@@ -1,0 +1,73 @@
+//! Criterion bench for **AVSP solving** (E7): time to choose views per
+//! solver, as the candidate set grows with catalog size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dqo_core::avsp::{solve, Solver, WorkloadQuery};
+use dqo_core::Catalog;
+use dqo_plan::expr::AggExpr;
+use dqo_plan::{AggFunc, LogicalPlan};
+use dqo_storage::datagen::DatasetSpec;
+use std::hint::black_box;
+
+fn setup(tables: usize) -> (Catalog, Vec<WorkloadQuery>) {
+    let catalog = Catalog::new();
+    let mut workload = Vec::new();
+    for i in 0..tables {
+        let name = format!("t{i}");
+        catalog.register(
+            &name,
+            DatasetSpec::new(20_000, 200)
+                .sorted(false)
+                .dense(true)
+                .seed(i as u64)
+                .relation()
+                .expect("spec"),
+        );
+        workload.push(WorkloadQuery::new(
+            LogicalPlan::group_by(
+                LogicalPlan::scan(&name),
+                "key",
+                vec![
+                    AggExpr::count_star("count"),
+                    AggExpr::on(AggFunc::Sum, "key", "sum"),
+                ],
+            ),
+            (i + 1) as f64,
+        ));
+    }
+    (catalog, workload)
+}
+
+fn avsp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("avsp/solve");
+    group.sample_size(10);
+    for tables in [1usize, 2, 4] {
+        let (catalog, workload) = setup(tables);
+        for (solver, name) in [(Solver::Greedy, "greedy"), (Solver::Knapsack, "knapsack")] {
+            group.bench_with_input(
+                BenchmarkId::new(name, tables),
+                &tables,
+                |b, _| {
+                    b.iter(|| {
+                        let sol = solve(black_box(&workload), &catalog, 1 << 22, solver)
+                            .expect("solves");
+                        black_box(sol.benefit)
+                    })
+                },
+            );
+        }
+    }
+    // Exhaustive only at the smallest size (2^n subsets).
+    let (catalog, workload) = setup(1);
+    group.bench_function(BenchmarkId::new("exhaustive", 1usize), |b| {
+        b.iter(|| {
+            let sol = solve(black_box(&workload), &catalog, 1 << 22, Solver::Exhaustive)
+                .expect("solves");
+            black_box(sol.benefit)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, avsp);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion bench for the **Figure 4 zoom-in** (E2): BSG vs HG on
+//! unsorted-sparse data across tiny group counts around the crossover.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dqo_exec::aggregate::CountSum;
+use dqo_exec::grouping::{execute_grouping, GroupingAlgorithm, GroupingHints};
+use dqo_storage::datagen::DatasetSpec;
+use std::hint::black_box;
+
+const ROWS: usize = 1_000_000;
+
+fn crossover(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crossover/unsorted_sparse");
+    group.throughput(Throughput::Elements(ROWS as u64));
+    group.sample_size(10);
+    for groups in [2usize, 8, 14, 16, 32, 256] {
+        let keys = DatasetSpec::new(ROWS, groups)
+            .sorted(false)
+            .dense(false)
+            .generate()
+            .expect("spec");
+        let mut known = keys.clone();
+        known.sort_unstable();
+        known.dedup();
+        let hints = GroupingHints {
+            distinct: Some(groups as u64),
+            known_keys: Some(known),
+            ..Default::default()
+        };
+        for algo in [GroupingAlgorithm::HashBased, GroupingAlgorithm::BinarySearch] {
+            group.bench_with_input(BenchmarkId::new(algo.abbrev(), groups), &groups, |b, _| {
+                b.iter(|| {
+                    let r = execute_grouping(
+                        algo,
+                        black_box(&keys),
+                        black_box(&keys),
+                        CountSum,
+                        &hints,
+                    )
+                    .expect("runs");
+                    black_box(r.len())
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, crossover);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Criterion bench for **Figure 4** (E1): grouping runtime per variant ×
+//! dataset shape × group count. Uses 1M rows so a full `cargo bench` stays
+//! tractable; the `fig4` binary covers the paper-scale sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dqo_exec::aggregate::CountSum;
+use dqo_exec::grouping::{execute_grouping, GroupingAlgorithm, GroupingHints};
+use dqo_storage::datagen::DatasetSpec;
+use dqo_storage::stats::detect_props;
+use std::hint::black_box;
+
+const ROWS: usize = 1_000_000;
+
+fn bench_shape(c: &mut Criterion, sorted: bool, dense: bool) {
+    let label = format!(
+        "fig4/{}_{}",
+        if sorted { "sorted" } else { "unsorted" },
+        if dense { "dense" } else { "sparse" }
+    );
+    let mut group = c.benchmark_group(&label);
+    group.throughput(Throughput::Elements(ROWS as u64));
+    group.sample_size(10);
+    for groups in [100usize, 10_000, 40_000] {
+        let keys = DatasetSpec::new(ROWS, groups)
+            .sorted(sorted)
+            .dense(dense)
+            .generate()
+            .expect("spec");
+        let props = detect_props(&keys);
+        let mut known = keys.clone();
+        known.sort_unstable();
+        known.dedup();
+        let hints = GroupingHints {
+            min: Some(props.min),
+            max: Some(props.max),
+            distinct: Some(props.distinct),
+            known_keys: Some(known),
+        };
+        for algo in GroupingAlgorithm::all() {
+            let applicable = (!algo.requires_dense_domain() || dense)
+                && (!algo.requires_partitioned_input() || sorted);
+            if !applicable {
+                continue;
+            }
+            group.bench_with_input(
+                BenchmarkId::new(algo.abbrev(), groups),
+                &groups,
+                |b, _| {
+                    b.iter(|| {
+                        let r = execute_grouping(
+                            algo,
+                            black_box(&keys),
+                            black_box(&keys),
+                            CountSum,
+                            &hints,
+                        )
+                        .expect("runs");
+                        black_box(r.len())
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn fig4(c: &mut Criterion) {
+    bench_shape(c, true, true);
+    bench_shape(c, true, false);
+    bench_shape(c, false, true);
+    bench_shape(c, false, false);
+}
+
+criterion_group!(benches, fig4);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Regenerates **Figure 4**: grouping runtime vs number of groups for the
+//! four dataset shapes.
+//!
+//! ```text
+//! cargo run -p dqo-bench --release --bin fig4            # 10M rows
+//! cargo run -p dqo-bench --release --bin fig4 -- --full  # the paper's 100M rows
+//! cargo run -p dqo-bench --release --bin fig4 -- --rows 1000000 --csv
+//! ```
+
+use dqo_bench::fig4::{paper_group_sweep, run, verify_shapes, DatasetShape};
+use dqo_bench::report::Table;
+use dqo_bench::Args;
+
+fn main() {
+    let args = Args::from_env();
+    let rows = if args.flag("--full") {
+        100_000_000
+    } else {
+        args.value("--rows").unwrap_or(10_000_000)
+    };
+    let reps: usize = args.value("--reps").unwrap_or(2);
+    let sweep = paper_group_sweep();
+
+    eprintln!("Figure 4: {rows} rows, sweep {sweep:?}, best of {reps} runs");
+    let points = run(rows, &sweep, reps);
+
+    for shape in DatasetShape::all() {
+        let algos = shape.algorithms();
+        let mut header: Vec<String> = vec!["#groups".into()];
+        header.extend(algos.iter().map(|a| a.abbrev().to_string()));
+        let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+        let mut table = Table::new(&header_refs);
+        for &groups in &sweep {
+            let mut row = vec![groups.to_string()];
+            for algo in &algos {
+                let p = points
+                    .iter()
+                    .find(|p| p.shape == shape && p.algorithm == *algo && p.groups == groups)
+                    .expect("measured");
+                row.push(format!("{:.1}", p.millis));
+            }
+            table.row(row);
+        }
+        println!("\n=== {} (runtime in ms) ===", shape.label());
+        if args.flag("--csv") {
+            print!("{}", table.to_csv());
+        } else {
+            print!("{}", table.to_text());
+        }
+    }
+
+    println!("\n=== shape verification against the paper's prose ===");
+    for finding in verify_shapes(&points) {
+        println!("  {finding}");
+    }
+}

@@ -1,0 +1,64 @@
+//! Regenerates **Figure 5**: DQO-over-SQO improvement factors for the
+//! estimated plan costs of the §4.3 query, per input configuration —
+//! optionally also executing both plans (E6).
+//!
+//! ```text
+//! cargo run -p dqo-bench --release --bin fig5
+//! cargo run -p dqo-bench --release --bin fig5 -- --execute --scale 4
+//! ```
+
+use dqo_bench::fig5::{paper_factor, run};
+use dqo_bench::report::Table;
+use dqo_bench::Args;
+
+fn main() {
+    let args = Args::from_env();
+    let scale: f64 = args.value("--scale").unwrap_or(1.0);
+    let execute = args.flag("--execute");
+
+    eprintln!(
+        "Figure 5: |R| = {}, |S| = {}, {} groups{}",
+        (25_000.0 * scale) as usize,
+        (90_000.0 * scale) as usize,
+        (20_000.0 * scale) as usize,
+        if execute { ", executing both plans" } else { "" }
+    );
+
+    let mut header = vec![
+        "inputs", "density", "SQO plan", "DQO plan", "SQO cost", "DQO cost", "factor", "paper",
+    ];
+    if execute {
+        header.extend(["SQO ms", "DQO ms", "measured"]);
+    }
+    let mut table = Table::new(&header);
+    for cell in run(scale, execute) {
+        let mut row = vec![
+            cell.label(),
+            if cell.dense { "dense" } else { "sparse" }.into(),
+            format!("{:?}", cell.sqo_plan),
+            format!("{:?}", cell.dqo_plan),
+            format!("{:.0}", cell.sqo_cost),
+            format!("{:.0}", cell.dqo_cost),
+            format!("{:.1}x", cell.factor()),
+            format!(
+                "{}x",
+                paper_factor(cell.r_sorted, cell.s_sorted, cell.dense)
+            ),
+        ];
+        if execute {
+            row.push(format!("{:.1}", cell.sqo_ms.unwrap_or(f64::NAN)));
+            row.push(format!("{:.1}", cell.dqo_ms.unwrap_or(f64::NAN)));
+            row.push(format!("{:.1}x", cell.measured_factor().unwrap_or(f64::NAN)));
+        }
+        table.row(row);
+    }
+    if args.flag("--csv") {
+        print!("{}", table.to_csv());
+    } else {
+        print!("{}", table.to_text());
+    }
+    println!(
+        "\nPaper grid (Figure 5): sparse column all 1x; dense column 1x / 4x / 2.8x / 4x\n\
+         for (Rs,Ss) / (Rs,Su) / (Ru,Ss) / (Ru,Su)."
+    );
+}

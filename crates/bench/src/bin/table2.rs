@@ -1,0 +1,82 @@
+//! Regenerates **Table 2**: the cost models for the grouping and join
+//! algorithm families, evaluated symbolically and at the Figure 5 sizes.
+//!
+//! ```text
+//! cargo run -p dqo-bench --release --bin table2
+//! ```
+
+use dqo_bench::report::Table;
+use dqo_bench::Args;
+use dqo_core::cost::{CostModel, TupleCostModel};
+use dqo_plan::{GroupingImpl, JoinImpl};
+
+fn main() {
+    let args = Args::from_env();
+    let m = TupleCostModel;
+    // The Figure 5 instance: |R| = 25,000 (join build), |S| = 90,000,
+    // grouping input 90,000 (the join output), 20,000 groups.
+    let (r, s, j, g) = (25_000.0, 90_000.0, 90_000.0, 20_000.0);
+
+    let grouping_formula = |a: GroupingImpl| match a {
+        GroupingImpl::Hg => "4·|R|",
+        GroupingImpl::Og => "|R|",
+        GroupingImpl::Sog => "|R|·log2(|R|) + |R|",
+        GroupingImpl::Sphg => "|R|",
+        GroupingImpl::Bsg => "|R|·log2(#groups)",
+    };
+    let join_formula = |a: JoinImpl| match a {
+        JoinImpl::Hj => "4·(|R|+|S|)",
+        JoinImpl::Oj => "|R|+|S|",
+        JoinImpl::Soj => "|R|·log2(|R|) + |S|·log2(|S|) + |R|+|S|",
+        JoinImpl::Sphj => "|R|+|S|",
+        JoinImpl::Bsj => "(|R|+|S|)·log2(#groups)",
+    };
+
+    println!("Table 2: cost models (evaluated at |R|=25k, |S|=90k, |J|=90k, g=20k)\n");
+    let mut grouping = Table::new(&["family", "grouping", "formula", "cost at |J|=90k"]);
+    let rows = [
+        ("hash-based", GroupingImpl::Hg),
+        ("order-based", GroupingImpl::Og),
+        ("sort & order-based", GroupingImpl::Sog),
+        ("static perfect hash", GroupingImpl::Sphg),
+        ("binary search-based", GroupingImpl::Bsg),
+    ];
+    for (family, algo) in rows {
+        grouping.row(vec![
+            family.to_string(),
+            algo.abbrev().to_string(),
+            grouping_formula(algo).to_string(),
+            format!("{:.0}", m.grouping(algo, j, g)),
+        ]);
+    }
+    let mut join = Table::new(&["family", "join", "formula", "cost at |R|=25k,|S|=90k"]);
+    let rows = [
+        ("hash-based", JoinImpl::Hj),
+        ("order-based", JoinImpl::Oj),
+        ("sort & order-based", JoinImpl::Soj),
+        ("static perfect hash", JoinImpl::Sphj),
+        ("binary search-based", JoinImpl::Bsj),
+    ];
+    for (family, algo) in rows {
+        join.row(vec![
+            family.to_string(),
+            algo.abbrev().to_string(),
+            join_formula(algo).to_string(),
+            format!("{:.0}", m.join(algo, r, s, r)),
+        ]);
+    }
+    if args.flag("--csv") {
+        print!("{}", grouping.to_csv());
+        println!();
+        print!("{}", join.to_csv());
+    } else {
+        print!("{}", grouping.to_text());
+        println!();
+        print!("{}", join.to_text());
+    }
+    println!(
+        "\nIdentity check: Sort(R) + Sort(S) + OJ = {:.0} equals SOJ = {:.0}",
+        m.sort(r) + m.sort(s) + m.join(JoinImpl::Oj, r, s, r),
+        m.join(JoinImpl::Soj, r, s, r)
+    );
+}

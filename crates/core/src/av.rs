@@ -1,0 +1,388 @@
+//! Algorithmic Views (AVs) — §3 of the paper.
+//!
+//! *"In DQO … it makes sense to precompute certain granules offline
+//! (before a query comes in). We coin these precomputed components
+//! **Algorithmic Views**. AVs can be precomputed for any level, not only
+//! 'physical' operators. Like that, AVs can be used as building blocks for
+//! DQO at query time to speed-up plan enumeration."*
+//!
+//! Three AV kinds ship here, one per granularity of interest:
+//!
+//! * [`AvKind::SortedProjection`] — a sorted copy of a table by one key: a
+//!   *property-establishing* AV (provides the `sorted` plan property at
+//!   zero query-time cost; subsumes a clustered index);
+//! * [`AvKind::SphIndex`] — a prebuilt static-perfect-hash join index (a
+//!   *synthesised data structure* in the sense of Idreos et al., which the
+//!   paper calls "one particular type of an AV");
+//! * [`AvKind::MaterialisedGrouping`] — a fully precomputed grouping
+//!   result: the boundary case where an AV degenerates into a classic
+//!   materialised view.
+//!
+//! AVs can be **planned** (signature + size/cost metadata only — what the
+//! AVSP solvers reason over) or **materialised** (artifact built). The
+//! optimiser treats an applicable AV as a zero-build-cost alternative.
+
+use crate::catalog::Catalog;
+use crate::Result;
+use dqo_exec::aggregate::{CountSum, CountSumState};
+use dqo_exec::grouping::hg::hash_grouping_chaining;
+use dqo_exec::join::sphj::SphIndex;
+use dqo_exec::sort::argsort;
+use dqo_plan::PlanProps;
+use dqo_storage::{Column, DataType, Field, Relation, Schema, Sortedness};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// The kind of precomputed granule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AvKind {
+    /// Sorted copy of the table by the key column.
+    SortedProjection,
+    /// Prebuilt SPH join index on the key column (dense domains only).
+    SphIndex,
+    /// Precomputed `GROUP BY key` with COUNT and SUM.
+    MaterialisedGrouping,
+}
+
+impl fmt::Display for AvKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AvKind::SortedProjection => "sorted-projection",
+            AvKind::SphIndex => "sph-index",
+            AvKind::MaterialisedGrouping => "materialised-grouping",
+        })
+    }
+}
+
+/// Identity of an AV: (table, key column, kind).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct AvSignature {
+    /// Base table.
+    pub table: String,
+    /// Key column.
+    pub column: String,
+    /// Kind of granule.
+    pub kind: AvKind,
+}
+
+impl AvSignature {
+    /// Construct a signature.
+    pub fn new(table: impl Into<String>, column: impl Into<String>, kind: AvKind) -> Self {
+        AvSignature {
+            table: table.into(),
+            column: column.into(),
+            kind,
+        }
+    }
+
+    /// The hidden catalog name a relation-shaped artifact registers under.
+    pub fn av_table_name(&self) -> String {
+        format!("__av::{}::{}::{}", self.kind, self.table, self.column)
+    }
+}
+
+impl fmt::Display for AvSignature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AV[{} on {}.{}]", self.kind, self.table, self.column)
+    }
+}
+
+/// A materialised artifact.
+#[derive(Debug, Clone)]
+pub enum AvArtifact {
+    /// Rows of the base table, sorted by the key column.
+    SortedProjection(Arc<Relation>),
+    /// Prebuilt CSR SPH index over the key column.
+    SphIndex(Arc<SphIndex>),
+    /// `(key, count, sum)` relation.
+    MaterialisedGrouping(Arc<Relation>),
+}
+
+/// One algorithmic view: identity, metadata, optionally the artifact.
+#[derive(Debug, Clone)]
+pub struct Av {
+    /// Identity.
+    pub signature: AvSignature,
+    /// Built artifact (`None` while merely *planned* by an AVSP solver).
+    pub artifact: Option<AvArtifact>,
+    /// One-off build cost in cost-model units (charged offline).
+    pub build_cost: f64,
+    /// Storage footprint in bytes.
+    pub byte_size: usize,
+    /// The plan properties the AV provides to consumers.
+    pub provides: PlanProps,
+}
+
+impl Av {
+    /// Whether the artifact is built.
+    pub fn is_materialised(&self) -> bool {
+        self.artifact.is_some()
+    }
+}
+
+/// Plan an AV (metadata only) from catalog statistics.
+pub fn plan_av(catalog: &Catalog, sig: &AvSignature) -> Result<Av> {
+    let props = catalog.column_props(&sig.table, &sig.column)?;
+    let rows = props.rows as f64;
+    let mut provides = PlanProps::from_data(&props);
+    let (build_cost, byte_size) = match sig.kind {
+        AvKind::SortedProjection => {
+            provides.sortedness = Sortedness::Ascending;
+            provides.partitioned = true;
+            let width: usize = catalog
+                .get(&sig.table)?
+                .relation
+                .schema()
+                .fields()
+                .iter()
+                .map(|f| f.data_type.byte_width())
+                .sum();
+            (rows * crate::cost::log2(rows), props.rows as usize * width)
+        }
+        AvKind::SphIndex => {
+            let domain = props.sph_domain().unwrap_or(0) as usize;
+            (rows, (domain + 1 + props.rows as usize) * 4)
+        }
+        AvKind::MaterialisedGrouping => {
+            provides.rows = props.distinct;
+            provides.sortedness = Sortedness::Ascending;
+            provides.partitioned = true;
+            // Build via one hash grouping pass; artifact stores
+            // (key u32, count u64, sum u64) per group.
+            (4.0 * rows, props.distinct as usize * 20)
+        }
+    };
+    Ok(Av {
+        signature: sig.clone(),
+        artifact: None,
+        build_cost,
+        byte_size,
+        provides,
+    })
+}
+
+/// Materialise an AV's artifact from the base table. Relation-shaped
+/// artifacts are also registered in the catalog under
+/// [`AvSignature::av_table_name`], so plans can scan them directly.
+pub fn materialise_av(catalog: &Catalog, sig: &AvSignature) -> Result<Av> {
+    let mut av = plan_av(catalog, sig)?;
+    let entry = catalog.get(&sig.table)?;
+    let keys = entry.relation.column(&sig.column)?.as_u32()?;
+    match sig.kind {
+        AvKind::SortedProjection => {
+            let order: Vec<usize> = argsort(keys).into_iter().map(|i| i as usize).collect();
+            let sorted = entry.relation.gather(&order);
+            catalog.register(sig.av_table_name(), sorted.clone());
+            av.artifact = Some(AvArtifact::SortedProjection(Arc::new(sorted)));
+        }
+        AvKind::SphIndex => {
+            let props = catalog.column_props(&sig.table, &sig.column)?;
+            let index = SphIndex::build(keys, props.min, props.max)?;
+            av.byte_size = index.byte_size();
+            av.artifact = Some(AvArtifact::SphIndex(Arc::new(index)));
+        }
+        AvKind::MaterialisedGrouping => {
+            let grouped = hash_grouping_chaining(keys, keys, CountSum, keys.len().min(1 << 20));
+            let mut g = grouped;
+            g.sort_by_key();
+            let counts: Vec<u64> = g.states.iter().map(|s: &CountSumState| s.count).collect();
+            let sums: Vec<u64> = g.states.iter().map(|s| s.sum).collect();
+            let rel = Relation::new(
+                Schema::new(vec![
+                    Field::new(&sig.column, DataType::U32),
+                    Field::new("count", DataType::U64),
+                    Field::new("sum", DataType::U64),
+                ])?,
+                vec![Column::U32(g.keys), Column::U64(counts), Column::U64(sums)],
+            )?;
+            catalog.register(sig.av_table_name(), rel.clone());
+            av.artifact = Some(AvArtifact::MaterialisedGrouping(Arc::new(rel)));
+        }
+    }
+    Ok(av)
+}
+
+/// The AV catalog: the set of views the optimiser may assume, plus
+/// registered *partial* AVs (§6) — grouping granules with some molecule
+/// decisions frozen offline and the rest completed at query time.
+#[derive(Debug, Default)]
+pub struct AvCatalog {
+    views: RwLock<HashMap<AvSignature, Arc<Av>>>,
+    partials: RwLock<HashMap<(String, String), Arc<crate::partial_av::PartialAv>>>,
+}
+
+impl AvCatalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        AvCatalog::default()
+    }
+
+    /// Register a (planned or materialised) AV.
+    pub fn register(&self, av: Av) -> Arc<Av> {
+        let av = Arc::new(av);
+        self.views
+            .write()
+            .insert(av.signature.clone(), Arc::clone(&av));
+        av
+    }
+
+    /// Remove an AV; returns whether it existed.
+    pub fn remove(&self, sig: &AvSignature) -> bool {
+        self.views.write().remove(sig).is_some()
+    }
+
+    /// Look up an AV by signature.
+    pub fn get(&self, sig: &AvSignature) -> Option<Arc<Av>> {
+        self.views.read().get(sig).cloned()
+    }
+
+    /// Look up by (table, column, kind) parts.
+    pub fn lookup(&self, table: &str, column: &str, kind: AvKind) -> Option<Arc<Av>> {
+        self.get(&AvSignature::new(table, column, kind))
+    }
+
+    /// All registered signatures.
+    pub fn signatures(&self) -> Vec<AvSignature> {
+        self.views.read().keys().cloned().collect()
+    }
+
+    /// Total bytes across registered AVs.
+    pub fn total_bytes(&self) -> usize {
+        self.views.read().values().map(|v| v.byte_size).sum()
+    }
+
+    /// Total offline build cost across registered AVs — the "how much time
+    /// do I want to spend on DQO offline" side of the §3 trade-off.
+    pub fn total_build_cost(&self) -> f64 {
+        self.views.read().values().map(|v| v.build_cost).sum()
+    }
+
+    /// Register a partial AV for groupings on `(table, column)`. The
+    /// optimiser will honour its frozen molecule decisions and complete
+    /// only the open ones at query time.
+    pub fn register_partial(
+        &self,
+        table: impl Into<String>,
+        column: impl Into<String>,
+        pav: crate::partial_av::PartialAv,
+    ) {
+        self.partials
+            .write()
+            .insert((table.into(), column.into()), Arc::new(pav));
+    }
+
+    /// Look up the partial AV for `(table, column)`.
+    pub fn partial_for(
+        &self,
+        table: &str,
+        column: &str,
+    ) -> Option<Arc<crate::partial_av::PartialAv>> {
+        self.partials
+            .read()
+            .get(&(table.to_owned(), column.to_owned()))
+            .cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dqo_storage::datagen::DatasetSpec;
+
+    fn catalog_with_t(sorted: bool, dense: bool) -> Catalog {
+        let cat = Catalog::new();
+        cat.register(
+            "t",
+            DatasetSpec::new(2_000, 40)
+                .sorted(sorted)
+                .dense(dense)
+                .relation()
+                .unwrap(),
+        );
+        cat
+    }
+
+    #[test]
+    fn plan_av_metadata() {
+        let cat = catalog_with_t(false, true);
+        let sig = AvSignature::new("t", "key", AvKind::SortedProjection);
+        let av = plan_av(&cat, &sig).unwrap();
+        assert!(!av.is_materialised());
+        assert!(av.build_cost > 0.0);
+        assert!(av.byte_size >= 2_000 * 4);
+        assert!(av.provides.sortedness.is_sorted());
+    }
+
+    #[test]
+    fn materialise_sorted_projection() {
+        let cat = catalog_with_t(false, true);
+        let sig = AvSignature::new("t", "key", AvKind::SortedProjection);
+        let av = materialise_av(&cat, &sig).unwrap();
+        assert!(av.is_materialised());
+        // Registered as a hidden table with sorted stats.
+        let props = cat.column_props(&sig.av_table_name(), "key").unwrap();
+        assert!(props.sortedness.is_sorted());
+        assert_eq!(props.rows, 2_000);
+    }
+
+    #[test]
+    fn materialise_sph_index() {
+        let cat = catalog_with_t(false, true);
+        let sig = AvSignature::new("t", "key", AvKind::SphIndex);
+        let av = materialise_av(&cat, &sig).unwrap();
+        match av.artifact {
+            Some(AvArtifact::SphIndex(idx)) => {
+                let probe = idx.probe(&[0, 39]);
+                assert!(!probe.is_empty());
+            }
+            other => panic!("expected SPH index, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn materialise_grouping_matches_data() {
+        let cat = catalog_with_t(false, true);
+        let sig = AvSignature::new("t", "key", AvKind::MaterialisedGrouping);
+        materialise_av(&cat, &sig).unwrap();
+        let grouped = cat.get(&sig.av_table_name()).unwrap();
+        assert_eq!(grouped.relation.rows(), 40);
+        let counts = grouped.relation.column("count").unwrap().as_u64().unwrap();
+        assert_eq!(counts.iter().sum::<u64>(), 2_000);
+    }
+
+    #[test]
+    fn av_catalog_register_lookup_remove() {
+        let cat = catalog_with_t(true, true);
+        let avs = AvCatalog::new();
+        let sig = AvSignature::new("t", "key", AvKind::SphIndex);
+        avs.register(plan_av(&cat, &sig).unwrap());
+        assert!(avs.lookup("t", "key", AvKind::SphIndex).is_some());
+        assert!(avs.lookup("t", "key", AvKind::SortedProjection).is_none());
+        assert_eq!(avs.signatures().len(), 1);
+        assert!(avs.total_bytes() > 0);
+        assert!(avs.remove(&sig));
+        assert!(!avs.remove(&sig));
+    }
+
+    #[test]
+    fn sph_av_on_sparse_domain_fails_to_materialise() {
+        let cat = catalog_with_t(false, false);
+        let sig = AvSignature::new("t", "key", AvKind::SphIndex);
+        // Planning succeeds (metadata), but the huge sparse domain would
+        // blow up the array; the planner records the honest byte size so
+        // AVSP will never select it.
+        let av = plan_av(&cat, &sig).unwrap();
+        assert!(av.byte_size > 1 << 20);
+    }
+
+    #[test]
+    fn av_table_name_is_unique_per_signature() {
+        let a = AvSignature::new("t", "k", AvKind::SphIndex).av_table_name();
+        let b = AvSignature::new("t", "k", AvKind::SortedProjection).av_table_name();
+        let c = AvSignature::new("u", "k", AvKind::SphIndex).av_table_name();
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+}

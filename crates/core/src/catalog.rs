@@ -1,0 +1,166 @@
+//! The table catalog: relations plus the statistics DQO feeds on.
+//!
+//! Every `u32`-typed column gets exact [`DataProps`] at registration time
+//! (sortedness, density, distinct count, range) — §4.1's "we always assume
+//! the number of distinct values to be known" holds because we compute it.
+
+use crate::error::CoreError;
+use crate::Result;
+use dqo_storage::{stats, DataProps, DataType, Relation};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One registered table.
+#[derive(Debug, Clone)]
+pub struct TableEntry {
+    /// The data.
+    pub relation: Arc<Relation>,
+    /// Exact properties of each `u32`/`Str` column (keyed by column name).
+    pub column_props: HashMap<String, DataProps>,
+}
+
+impl TableEntry {
+    fn from_relation(relation: Arc<Relation>) -> Self {
+        let mut column_props = HashMap::new();
+        for field in relation.schema().fields() {
+            if matches!(field.data_type, DataType::U32 | DataType::Str) {
+                if let Ok(col) = relation.column(&field.name) {
+                    if let Ok(data) = col.as_u32() {
+                        column_props.insert(field.name.clone(), stats::detect_props(data));
+                    }
+                }
+            }
+        }
+        TableEntry {
+            relation,
+            column_props,
+        }
+    }
+}
+
+/// A concurrent catalog of named tables.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    tables: RwLock<HashMap<String, Arc<TableEntry>>>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Register (or replace) a table, computing exact column statistics.
+    pub fn register(&self, name: impl Into<String>, relation: Relation) -> Arc<TableEntry> {
+        let entry = Arc::new(TableEntry::from_relation(Arc::new(relation)));
+        self.tables.write().insert(name.into(), Arc::clone(&entry));
+        entry
+    }
+
+    /// Look up a table.
+    pub fn get(&self, name: &str) -> Result<Arc<TableEntry>> {
+        self.tables
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| CoreError::UnknownTable(name.to_owned()))
+    }
+
+    /// Drop a table; returns whether it existed.
+    pub fn drop_table(&self, name: &str) -> bool {
+        self.tables.write().remove(name).is_some()
+    }
+
+    /// Names of all registered tables (unordered).
+    pub fn table_names(&self) -> Vec<String> {
+        self.tables.read().keys().cloned().collect()
+    }
+
+    /// Properties of `column` in `table`.
+    pub fn column_props(&self, table: &str, column: &str) -> Result<DataProps> {
+        let entry = self.get(table)?;
+        entry
+            .column_props
+            .get(column)
+            .copied()
+            .ok_or_else(|| CoreError::UnknownColumn(format!("{table}.{column}")))
+    }
+
+    /// Find the first registered table (searching `tables`, in the given
+    /// order) whose schema contains `column` — how the optimiser resolves a
+    /// grouping key back to its source statistics across joins.
+    pub fn resolve_column<'a>(
+        &self,
+        tables: impl IntoIterator<Item = &'a str>,
+        column: &str,
+    ) -> Result<(String, DataProps)> {
+        for t in tables {
+            if let Ok(entry) = self.get(t) {
+                if let Some(p) = entry.column_props.get(column) {
+                    return Ok((t.to_owned(), *p));
+                }
+            }
+        }
+        Err(CoreError::UnknownColumn(column.to_owned()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dqo_storage::Relation;
+
+    #[test]
+    fn register_computes_stats() {
+        let cat = Catalog::new();
+        cat.register("t", Relation::single_u32("key", vec![2, 0, 1, 1]));
+        let p = cat.column_props("t", "key").unwrap();
+        assert_eq!(p.distinct, 3);
+        assert!(p.density.is_dense());
+        assert!(!p.sortedness.is_sorted());
+        assert_eq!(p.rows, 4);
+    }
+
+    #[test]
+    fn unknown_lookups_fail() {
+        let cat = Catalog::new();
+        assert!(matches!(cat.get("nope"), Err(CoreError::UnknownTable(_))));
+        cat.register("t", Relation::single_u32("key", vec![1]));
+        assert!(matches!(
+            cat.column_props("t", "missing"),
+            Err(CoreError::UnknownColumn(_))
+        ));
+    }
+
+    #[test]
+    fn replace_and_drop() {
+        let cat = Catalog::new();
+        cat.register("t", Relation::single_u32("key", vec![1, 2]));
+        cat.register("t", Relation::single_u32("key", vec![7]));
+        assert_eq!(cat.get("t").unwrap().relation.rows(), 1);
+        assert!(cat.drop_table("t"));
+        assert!(!cat.drop_table("t"));
+    }
+
+    #[test]
+    fn resolve_column_across_tables() {
+        let cat = Catalog::new();
+        cat.register("r", Relation::single_u32("a", vec![0, 1]));
+        cat.register("s", Relation::single_u32("b", vec![5]));
+        let (t, p) = cat.resolve_column(["r", "s"], "b").unwrap();
+        assert_eq!(t, "s");
+        assert_eq!(p.rows, 1);
+        assert!(cat.resolve_column(["r", "s"], "zzz").is_err());
+    }
+
+    #[test]
+    fn table_names_lists_registrations() {
+        let cat = Catalog::new();
+        cat.register("a", Relation::single_u32("k", vec![]));
+        cat.register("b", Relation::single_u32("k", vec![]));
+        let mut names = cat.table_names();
+        names.sort();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+}

@@ -1,0 +1,240 @@
+//! Cost models — Table 2 of the paper, verbatim, plus a calibrated model.
+//!
+//! | | Grouping | Join |
+//! |---|---|---|
+//! | hash-based | `HG(R) = 4·|R|` | `HJ(R,S) = 4·(|R|+|S|)` |
+//! | order-based | `OG(R) = |R|` | `OJ(R,S) = |R|+|S|` |
+//! | sort & order-based | `SOG(R) = |R|·log₂|R| + |R|` | `SOJ(R,S) = |R|·log₂|R| + |S|·log₂|S| + |R|+|S|` |
+//! | static perfect hash | `SPHG(R) = |R|` | `SPHJ(R,S) = |R|+|S|` |
+//! | binary search | `BSG(R) = |R|·log₂(#groups)` | `BSJ(R,S) = (|R|+|S|)·log₂(#groups)` |
+//!
+//! Costs are in abstract *tuple operations*; the explicit sort enforcer
+//! costs `|R|·log₂|R|`, so `Sort(R) + Sort(S) + OJ ≡ SOJ` — the DP
+//! composes partial sorts (sort only the unsorted input) out of these
+//! pieces, which is exactly what Figure 5's 2.8× cell requires.
+
+use dqo_plan::{GroupingImpl, JoinImpl};
+
+/// log₂ with the convention `log2(x) = 0` for `x ≤ 1` (sorting one row is
+/// free; a single group needs no search).
+#[inline]
+pub fn log2(x: f64) -> f64 {
+    if x <= 1.0 {
+        0.0
+    } else {
+        x.log2()
+    }
+}
+
+/// A cost model over the paper's algorithm families.
+pub trait CostModel: Send + Sync {
+    /// Cost of grouping `rows` input tuples into `groups` groups.
+    fn grouping(&self, algo: GroupingImpl, rows: f64, groups: f64) -> f64;
+
+    /// Cost of joining `left` with `right` tuples, where the build side
+    /// holds `build_groups` distinct keys (BSJ's search depth).
+    fn join(&self, algo: JoinImpl, left: f64, right: f64, build_groups: f64) -> f64;
+
+    /// Cost of an explicit sort enforcer over `rows` tuples.
+    fn sort(&self, rows: f64) -> f64;
+
+    /// Cost of a scan / filter pass over `rows` tuples.
+    fn scan(&self, rows: f64) -> f64;
+
+    /// Model name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// The Table 2 model: unit-cost tuple operations.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TupleCostModel;
+
+impl CostModel for TupleCostModel {
+    fn grouping(&self, algo: GroupingImpl, rows: f64, groups: f64) -> f64 {
+        match algo {
+            GroupingImpl::Hg => 4.0 * rows,
+            GroupingImpl::Og => rows,
+            GroupingImpl::Sog => rows * log2(rows) + rows,
+            GroupingImpl::Sphg => rows,
+            GroupingImpl::Bsg => rows * log2(groups),
+        }
+    }
+
+    fn join(&self, algo: JoinImpl, left: f64, right: f64, build_groups: f64) -> f64 {
+        match algo {
+            JoinImpl::Hj => 4.0 * (left + right),
+            JoinImpl::Oj => left + right,
+            JoinImpl::Soj => left * log2(left) + right * log2(right) + left + right,
+            JoinImpl::Sphj => left + right,
+            JoinImpl::Bsj => (left + right) * log2(build_groups),
+        }
+    }
+
+    fn sort(&self, rows: f64) -> f64 {
+        rows * log2(rows)
+    }
+
+    fn scan(&self, rows: f64) -> f64 {
+        rows
+    }
+
+    fn name(&self) -> &'static str {
+        "table2-tuple-ops"
+    }
+}
+
+/// A calibrated model: the same formulas with per-family nanosecond
+/// weights fitted from micro-measurements, so estimated costs can be
+/// compared with measured wall-clock (experiment E6). Weights default to
+/// values measured on the reference machine; callers can refit.
+#[derive(Debug, Clone, Copy)]
+pub struct CalibratedCostModel {
+    /// ns per tuple for hash-table operations (insert+probe amortised).
+    pub ns_hash_op: f64,
+    /// ns per tuple for sequential/array operations.
+    pub ns_seq_op: f64,
+    /// ns per tuple·log₂ for sort/binary-search steps.
+    pub ns_log_op: f64,
+}
+
+impl Default for CalibratedCostModel {
+    fn default() -> Self {
+        // Defaults in the right ratio (hash ops ≈ 4× sequential ops — the
+        // same 4:1 ratio Table 2 encodes) with a ~2.5 ns sequential op.
+        CalibratedCostModel {
+            ns_hash_op: 10.0,
+            ns_seq_op: 2.5,
+            ns_log_op: 1.2,
+        }
+    }
+}
+
+impl CostModel for CalibratedCostModel {
+    fn grouping(&self, algo: GroupingImpl, rows: f64, groups: f64) -> f64 {
+        match algo {
+            GroupingImpl::Hg => self.ns_hash_op * rows,
+            GroupingImpl::Og | GroupingImpl::Sphg => self.ns_seq_op * rows,
+            GroupingImpl::Sog => self.ns_log_op * rows * log2(rows) + self.ns_seq_op * rows,
+            GroupingImpl::Bsg => self.ns_log_op * rows * log2(groups) + self.ns_seq_op * rows,
+        }
+    }
+
+    fn join(&self, algo: JoinImpl, left: f64, right: f64, build_groups: f64) -> f64 {
+        match algo {
+            JoinImpl::Hj => self.ns_hash_op * (left + right),
+            JoinImpl::Oj | JoinImpl::Sphj => self.ns_seq_op * (left + right),
+            JoinImpl::Soj => {
+                self.ns_log_op * (left * log2(left) + right * log2(right))
+                    + self.ns_seq_op * (left + right)
+            }
+            JoinImpl::Bsj => {
+                self.ns_log_op * (left + right) * log2(build_groups)
+                    + self.ns_seq_op * (left + right)
+            }
+        }
+    }
+
+    fn sort(&self, rows: f64) -> f64 {
+        self.ns_log_op * rows * log2(rows)
+    }
+
+    fn scan(&self, rows: f64) -> f64 {
+        self.ns_seq_op * rows
+    }
+
+    fn name(&self) -> &'static str {
+        "calibrated-ns"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const M: TupleCostModel = TupleCostModel;
+
+    #[test]
+    fn table2_grouping_formulas_exact() {
+        // |R| = 1024 so log₂ = 10 exactly.
+        let r = 1024.0;
+        assert_eq!(M.grouping(GroupingImpl::Hg, r, 16.0), 4096.0);
+        assert_eq!(M.grouping(GroupingImpl::Og, r, 16.0), 1024.0);
+        assert_eq!(M.grouping(GroupingImpl::Sphg, r, 16.0), 1024.0);
+        assert_eq!(M.grouping(GroupingImpl::Sog, r, 16.0), 1024.0 * 10.0 + 1024.0);
+        assert_eq!(M.grouping(GroupingImpl::Bsg, r, 16.0), 1024.0 * 4.0);
+    }
+
+    #[test]
+    fn table2_join_formulas_exact() {
+        let (l, s) = (1024.0, 4096.0);
+        assert_eq!(M.join(JoinImpl::Hj, l, s, 64.0), 4.0 * (l + s));
+        assert_eq!(M.join(JoinImpl::Oj, l, s, 64.0), l + s);
+        assert_eq!(M.join(JoinImpl::Sphj, l, s, 64.0), l + s);
+        assert_eq!(
+            M.join(JoinImpl::Soj, l, s, 64.0),
+            l * 10.0 + s * 12.0 + l + s
+        );
+        assert_eq!(M.join(JoinImpl::Bsj, l, s, 64.0), (l + s) * 6.0);
+    }
+
+    #[test]
+    fn sort_enforcers_compose_into_soj() {
+        // Sort(R) + Sort(S) + OJ(R,S) must equal SOJ(R,S) exactly —
+        // the identity the partial-sort plans rely on.
+        let (l, s) = (25_000.0, 90_000.0);
+        let composed = M.sort(l) + M.sort(s) + M.join(JoinImpl::Oj, l, s, 1.0);
+        let monolithic = M.join(JoinImpl::Soj, l, s, 1.0);
+        assert!((composed - monolithic).abs() < 1e-6);
+    }
+
+    #[test]
+    fn log2_convention_at_small_inputs() {
+        assert_eq!(log2(0.0), 0.0);
+        assert_eq!(log2(1.0), 0.0);
+        assert_eq!(log2(2.0), 1.0);
+        // Sorting one row is free; BSG over one group probes for free.
+        assert_eq!(M.sort(1.0), 0.0);
+        assert_eq!(M.grouping(GroupingImpl::Bsg, 100.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn bsg_beats_hg_for_few_groups_crosses_over_later() {
+        // The E2 crossover in the cost model: BSG < HG iff log₂ g < 4,
+        // i.e. up to 15 groups — matching the paper's "up to 14 groups"
+        // zoom-in observation.
+        let rows = 1e8;
+        assert!(M.grouping(GroupingImpl::Bsg, rows, 14.0) < M.grouping(GroupingImpl::Hg, rows, 14.0));
+        assert!(M.grouping(GroupingImpl::Bsg, rows, 15.0) < M.grouping(GroupingImpl::Hg, rows, 15.0));
+        assert!(M.grouping(GroupingImpl::Bsg, rows, 17.0) > M.grouping(GroupingImpl::Hg, rows, 17.0));
+    }
+
+    #[test]
+    fn calibrated_model_preserves_orderings() {
+        let c = CalibratedCostModel::default();
+        let rows = 1e6;
+        // SPHG fastest, HG 4× slower, SOG slower than both at scale.
+        let sphg = c.grouping(GroupingImpl::Sphg, rows, 1000.0);
+        let hg = c.grouping(GroupingImpl::Hg, rows, 1000.0);
+        let sog = c.grouping(GroupingImpl::Sog, rows, 1000.0);
+        assert!(sphg < hg);
+        assert!(hg < sog);
+        assert_eq!(c.name(), "calibrated-ns");
+    }
+
+    #[test]
+    fn figure5_cell_arithmetic() {
+        // The exact Figure 5 arithmetic at |R|=25k, |S|=90k, join out 90k:
+        // SQO best (R unsorted, S sorted, dense) = Sort(R)+OJ+OG;
+        // DQO best = SPHJ+SPHG; ratio ≈ 2.78 → rounds to 2.8.
+        let (r, s, j) = (25_000.0, 90_000.0, 90_000.0);
+        let sqo = M.sort(r)
+            + M.join(JoinImpl::Oj, r, s, 1.0)
+            + M.grouping(GroupingImpl::Og, j, 20_000.0);
+        let dqo = M.join(JoinImpl::Sphj, r, s, 1.0) + M.grouping(GroupingImpl::Sphg, j, 20_000.0);
+        let factor = sqo / dqo;
+        assert!((factor - 2.78).abs() < 0.01, "factor = {factor}");
+        // And the all-unsorted cell: HJ+HG over SPHJ+SPHG = 4 exactly.
+        let sqo4 = M.join(JoinImpl::Hj, r, s, 1.0) + M.grouping(GroupingImpl::Hg, j, 20_000.0);
+        assert!((sqo4 / dqo - 4.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,227 @@
+//! The end-to-end engine facade: register tables → (optionally) select and
+//! materialise AVs → optimise → execute.
+//!
+//! This is the "system that integrates all of the above" the paper's
+//! long-term vision calls for, able to *"make a smooth transition from SQO
+//! to DQO"*: the [`OptimizerMode`] is a per-query knob.
+
+use crate::av::{materialise_av, AvCatalog};
+use crate::avsp::{self, AvspSolution, Solver, WorkloadQuery};
+use crate::catalog::Catalog;
+use crate::executor::{execute_with_avs, ExecOutput};
+use crate::cost::TupleCostModel;
+use crate::optimizer::{optimize_full, OptimizerMode, PlannedQuery, PropertyModel};
+use crate::Result;
+use dqo_plan::LogicalPlan;
+use dqo_storage::Relation;
+use std::time::Instant;
+
+/// A planned, executed query with its measurements.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    /// The optimiser's decision.
+    pub planned: PlannedQuery,
+    /// The execution result.
+    pub output: ExecOutput,
+    /// Wall-clock execution time.
+    pub wall: std::time::Duration,
+}
+
+/// The end-to-end engine.
+#[derive(Debug, Default)]
+pub struct Engine {
+    catalog: Catalog,
+    avs: AvCatalog,
+    mode: OptimizerMode,
+    pmodel: PropertyModel,
+}
+
+impl Engine {
+    /// A fresh engine in DQO mode.
+    pub fn new() -> Self {
+        Engine::default()
+    }
+
+    /// Switch between shallow and deep optimisation (the SQO↔DQO knob).
+    pub fn set_mode(&mut self, mode: OptimizerMode) {
+        self.mode = mode;
+    }
+
+    /// Switch the sortedness propagation model. The engine defaults to the
+    /// sound [`PropertyModel::AttributeStrict`]; the paper-faithful stream
+    /// model is available for reproducing Figure 5 verbatim.
+    pub fn set_property_model(&mut self, pmodel: PropertyModel) {
+        self.pmodel = pmodel;
+    }
+
+    /// Current optimiser mode.
+    pub fn mode(&self) -> OptimizerMode {
+        self.mode
+    }
+
+    /// The table catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The AV catalog.
+    pub fn avs(&self) -> &AvCatalog {
+        &self.avs
+    }
+
+    /// Register a table.
+    pub fn register_table(&self, name: impl Into<String>, relation: Relation) {
+        self.catalog.register(name, relation);
+    }
+
+    /// Optimise a logical plan (no execution).
+    pub fn plan(&self, logical: &LogicalPlan) -> Result<PlannedQuery> {
+        optimize_full(
+            logical,
+            &self.catalog,
+            self.mode,
+            &TupleCostModel,
+            Some(&self.avs),
+            self.pmodel,
+        )
+    }
+
+    /// Optimise and execute.
+    pub fn query(&self, logical: &LogicalPlan) -> Result<QueryResult> {
+        let planned = self.plan(logical)?;
+        let start = Instant::now();
+        let output = execute_with_avs(&planned.plan, &self.catalog, Some(&self.avs))?;
+        Ok(QueryResult {
+            planned,
+            output,
+            wall: start.elapsed(),
+        })
+    }
+
+    /// EXPLAIN: the chosen plan, annotated, without executing.
+    pub fn explain(&self, logical: &LogicalPlan) -> Result<String> {
+        let planned = self.plan(logical)?;
+        Ok(format!(
+            "mode: {}\nestimated cost: {:.0}\noutput props: {}\n{}",
+            planned.mode,
+            planned.est_cost,
+            planned.props,
+            planned.plan.explain()
+        ))
+    }
+
+    /// EXPLAIN ANALYZE: plan, execute, and annotate with measurements.
+    pub fn explain_analyze(&self, logical: &LogicalPlan) -> Result<String> {
+        let result = self.query(logical)?;
+        Ok(format!(
+            "mode: {}
+estimated cost: {:.0}
+actual rows: {}
+wall time: {:?}
+pipeline: {}
+{}",
+            result.planned.mode,
+            result.planned.est_cost,
+            result.output.relation.rows(),
+            result.wall,
+            result.output.pipeline,
+            result.planned.plan.explain()
+        ))
+    }
+
+    /// Solve AVSP for a workload and materialise the chosen views.
+    pub fn select_and_materialise_avs(
+        &self,
+        workload: &[WorkloadQuery],
+        budget_bytes: usize,
+        solver: Solver,
+    ) -> Result<AvspSolution> {
+        let solution = avsp::solve(workload, &self.catalog, budget_bytes, solver)?;
+        for av in &solution.selected {
+            let built = materialise_av(&self.catalog, &av.signature)?;
+            self.avs.register(built);
+        }
+        Ok(solution)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dqo_plan::expr::AggExpr;
+    use dqo_storage::datagen::DatasetSpec;
+
+    fn engine_with_table(sorted: bool, dense: bool) -> Engine {
+        let engine = Engine::new();
+        engine.register_table(
+            "t",
+            DatasetSpec::new(5_000, 64)
+                .sorted(sorted)
+                .dense(dense)
+                .relation()
+                .unwrap(),
+        );
+        engine
+    }
+
+    fn count_sum_query() -> std::sync::Arc<LogicalPlan> {
+        LogicalPlan::group_by(
+            LogicalPlan::scan("t"),
+            "key",
+            vec![
+                AggExpr::count_star("count"),
+                AggExpr::on(dqo_plan::AggFunc::Sum, "key", "sum"),
+            ],
+        )
+    }
+
+    #[test]
+    fn end_to_end_query() {
+        let engine = engine_with_table(false, true);
+        let result = engine.query(&count_sum_query()).unwrap();
+        assert_eq!(result.output.relation.rows(), 64);
+        assert_eq!(result.planned.plan.algo_signature(), vec!["SPHG"]);
+        let counts = result.output.relation.column("count").unwrap().as_u64().unwrap();
+        assert_eq!(counts.iter().sum::<u64>(), 5_000);
+    }
+
+    #[test]
+    fn mode_knob_changes_plans() {
+        let mut engine = engine_with_table(false, true);
+        engine.set_mode(OptimizerMode::Shallow);
+        let sqo = engine.plan(&count_sum_query()).unwrap();
+        engine.set_mode(OptimizerMode::Deep);
+        let dqo = engine.plan(&count_sum_query()).unwrap();
+        assert_eq!(sqo.plan.algo_signature(), vec!["HG"]);
+        assert_eq!(dqo.plan.algo_signature(), vec!["SPHG"]);
+        assert!(dqo.est_cost < sqo.est_cost);
+    }
+
+    #[test]
+    fn explain_renders() {
+        let engine = engine_with_table(true, true);
+        let text = engine.explain(&count_sum_query()).unwrap();
+        assert!(text.contains("mode: DQO"));
+        assert!(text.contains("estimated cost"));
+        assert!(text.contains("γ[key]"));
+    }
+
+    #[test]
+    fn avsp_materialisation_speeds_up_workload() {
+        let engine = engine_with_table(false, true);
+        let q = count_sum_query();
+        let workload = vec![WorkloadQuery::new(q.clone(), 100.0)];
+        let before = engine.plan(&q).unwrap().est_cost;
+        let solution = engine
+            .select_and_materialise_avs(&workload, usize::MAX, Solver::Greedy)
+            .unwrap();
+        assert!(solution.benefit > 0.0);
+        let after = engine.plan(&q).unwrap().est_cost;
+        assert!(after < before, "AV must reduce planned cost: {after} vs {before}");
+        // And the query still returns correct results through the AV.
+        let result = engine.query(&q).unwrap();
+        assert_eq!(result.output.relation.rows(), 64);
+        let counts = result.output.relation.column("count").unwrap().as_u64().unwrap();
+        assert_eq!(counts.iter().sum::<u64>(), 5_000);
+    }
+}

@@ -1,0 +1,666 @@
+//! Executes a [`PhysicalPlan`] on the `dqo-exec` engine.
+//!
+//! The executor is deliberately thin: every algorithmic decision was made
+//! by the optimiser; this module maps plan vocabulary onto `dqo-exec`
+//! implementations, moves columns around, and accounts for pipeline
+//! breakers. A [`naive_eval`] reference evaluator (nested loops +
+//! BTreeMap) provides the correctness oracle for integration tests.
+
+use crate::av::{AvArtifact, AvCatalog, AvKind};
+use crate::catalog::Catalog;
+use crate::error::CoreError;
+use crate::Result;
+use dqo_exec::aggregate::{FullAgg, FullAggState};
+use dqo_exec::grouping::{execute_grouping, GroupingAlgorithm, GroupingHints};
+use dqo_exec::join::{execute_join as run_join, JoinAlgorithm, JoinHints};
+use dqo_exec::pipeline::{grouping_blocking, join_blocking, Blocking, PipelineStats};
+use dqo_exec::sort::{argsort, radix_sort_pairs_by_key};
+use dqo_plan::expr::{AggExpr, AggFunc, Predicate};
+use dqo_plan::{GroupingImpl, JoinImpl, LogicalPlan, PhysicalPlan};
+use dqo_storage::{Column, DataType, Field, Relation, Schema, Value};
+use std::collections::BTreeMap;
+
+/// The result of executing a plan.
+#[derive(Debug, Clone)]
+pub struct ExecOutput {
+    /// The result relation.
+    pub relation: Relation,
+    /// Pipeline-breaker accounting along the plan.
+    pub pipeline: PipelineStats,
+}
+
+/// Execute a physical plan against the catalog.
+pub fn execute(plan: &PhysicalPlan, catalog: &Catalog) -> Result<ExecOutput> {
+    execute_with_avs(plan, catalog, None)
+}
+
+/// Execute, reusing materialised Algorithmic Views where the plan was
+/// optimised against them (prebuilt SPH join indexes are probed instead of
+/// rebuilt; relation-shaped AVs are plain catalog tables already).
+pub fn execute_with_avs(
+    plan: &PhysicalPlan,
+    catalog: &Catalog,
+    avs: Option<&AvCatalog>,
+) -> Result<ExecOutput> {
+    let mut stats = PipelineStats::default();
+    let relation = exec_node(plan, catalog, avs, &mut stats)?;
+    Ok(ExecOutput {
+        relation,
+        pipeline: stats,
+    })
+}
+
+fn exec_node(
+    plan: &PhysicalPlan,
+    catalog: &Catalog,
+    avs: Option<&AvCatalog>,
+    stats: &mut PipelineStats,
+) -> Result<Relation> {
+    match plan {
+        PhysicalPlan::Scan { table } => {
+            let rel = catalog.get(table)?.relation.as_ref().clone();
+            stats.record(Blocking::Pipelined, rel.rows() as u64);
+            Ok(rel)
+        }
+        PhysicalPlan::Filter { input, predicate } => {
+            let rel = exec_node(input, catalog, avs, stats)?;
+            let mask = eval_predicate(&rel, predicate)?;
+            stats.record(Blocking::Pipelined, rel.rows() as u64);
+            Ok(rel.filter(&mask)?)
+        }
+        PhysicalPlan::Project { input, columns } => {
+            let rel = exec_node(input, catalog, avs, stats)?;
+            let names: Vec<&str> = columns.iter().map(String::as_str).collect();
+            Ok(rel.project(&names)?)
+        }
+        PhysicalPlan::Sort {
+            input,
+            key,
+            molecule,
+        } => {
+            let rel = exec_node(input, catalog, avs, stats)?;
+            let keys = rel.column(key)?.as_u32()?;
+            let order: Vec<usize> = match molecule {
+                dqo_plan::SortMolecule::Comparison => {
+                    argsort(keys).into_iter().map(|i| i as usize).collect()
+                }
+                dqo_plan::SortMolecule::Radix => {
+                    let mut pairs: Vec<(u32, u32)> = keys
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &k)| (k, i as u32))
+                        .collect();
+                    radix_sort_pairs_by_key(&mut pairs);
+                    pairs.into_iter().map(|(_, i)| i as usize).collect()
+                }
+            };
+            stats.record(Blocking::FullBreaker, rel.rows() as u64);
+            Ok(rel.gather(&order))
+        }
+        PhysicalPlan::Join {
+            left,
+            right,
+            left_key,
+            right_key,
+            algo,
+        } => {
+            // Prebuilt SPH index AV: probe it instead of rebuilding.
+            let prebuilt = match (avs, *algo, left.as_ref()) {
+                (Some(avs), JoinImpl::Sphj, PhysicalPlan::Scan { table }) => avs
+                    .lookup(table, left_key, AvKind::SphIndex)
+                    .and_then(|av| match &av.artifact {
+                        Some(AvArtifact::SphIndex(idx)) => Some(idx.clone()),
+                        _ => None,
+                    }),
+                _ => None,
+            };
+            let l = exec_node(left, catalog, avs, stats)?;
+            let r = exec_node(right, catalog, avs, stats)?;
+            if let Some(idx) = prebuilt {
+                let rk = r.column(right_key)?.as_u32()?;
+                let result = idx.probe(rk);
+                stats.record(Blocking::Pipelined, rk.len() as u64);
+                return assemble_join_output(&l, &r, &result);
+            }
+            exec_join(&l, &r, left_key, right_key, *algo, stats)
+        }
+        PhysicalPlan::GroupBy {
+            input,
+            key,
+            aggs,
+            algo,
+            molecules,
+        } => {
+            let rel = exec_node(input, catalog, avs, stats)?;
+            exec_group_by(&rel, key, aggs, *algo, *molecules, stats)
+        }
+        PhysicalPlan::Limit { input, n } => {
+            let rel = exec_node(input, catalog, avs, stats)?;
+            Ok(take_rows(&rel, *n))
+        }
+    }
+}
+
+/// First `n` rows of a relation.
+fn take_rows(rel: &Relation, n: u64) -> Relation {
+    let keep = (rel.rows() as u64).min(n) as usize;
+    let idx: Vec<usize> = (0..keep).collect();
+    rel.gather(&idx)
+}
+
+/// Map plan vocabulary onto the execution engine.
+fn to_exec_join(algo: JoinImpl) -> JoinAlgorithm {
+    match algo {
+        JoinImpl::Hj => JoinAlgorithm::HashBased,
+        JoinImpl::Oj => JoinAlgorithm::OrderBased,
+        JoinImpl::Soj => JoinAlgorithm::SortOrderBased,
+        JoinImpl::Sphj => JoinAlgorithm::StaticPerfectHash,
+        JoinImpl::Bsj => JoinAlgorithm::BinarySearch,
+    }
+}
+
+fn to_exec_grouping(algo: GroupingImpl) -> GroupingAlgorithm {
+    match algo {
+        GroupingImpl::Hg => GroupingAlgorithm::HashBased,
+        GroupingImpl::Sphg => GroupingAlgorithm::StaticPerfectHash,
+        GroupingImpl::Og => GroupingAlgorithm::OrderBased,
+        GroupingImpl::Sog => GroupingAlgorithm::SortOrderBased,
+        GroupingImpl::Bsg => GroupingAlgorithm::BinarySearch,
+    }
+}
+
+fn exec_join(
+    l: &Relation,
+    r: &Relation,
+    left_key: &str,
+    right_key: &str,
+    algo: JoinImpl,
+    stats: &mut PipelineStats,
+) -> Result<Relation> {
+    let lk = l.column(left_key)?.as_u32()?;
+    let rk = r.column(right_key)?.as_u32()?;
+    let hints = JoinHints {
+        build_min: lk.iter().copied().min(),
+        build_max: lk.iter().copied().max(),
+        build_distinct: None,
+    };
+    let result = run_join(to_exec_join(algo), lk, rk, &hints)?;
+    stats.record(join_blocking(to_exec_join(algo)), (lk.len() + rk.len()) as u64);
+    assemble_join_output(l, r, &result)
+}
+
+fn assemble_join_output(
+    l: &Relation,
+    r: &Relation,
+    result: &dqo_exec::join::JoinResult,
+) -> Result<Relation> {
+    let li: Vec<usize> = result.left_rows.iter().map(|&i| i as usize).collect();
+    let ri: Vec<usize> = result.right_rows.iter().map(|&i| i as usize).collect();
+    let left_out = l.gather(&li);
+    let right_out = r.gather(&ri);
+    let schema = l.schema().join(r.schema(), "right")?;
+    let mut columns: Vec<Column> = Vec::with_capacity(schema.width());
+    for i in 0..left_out.schema().width() {
+        columns.push(left_out.column_at(i)?.clone());
+    }
+    for i in 0..right_out.schema().width() {
+        columns.push(right_out.column_at(i)?.clone());
+    }
+    Ok(Relation::new(schema, columns)?)
+}
+
+fn exec_group_by(
+    rel: &Relation,
+    key: &str,
+    aggs: &[AggExpr],
+    algo: GroupingImpl,
+    molecules: dqo_plan::physical::GroupingMolecules,
+    stats: &mut PipelineStats,
+) -> Result<Relation> {
+    let keys = rel.column(key)?.as_u32()?;
+    let value_col = agg_input_column(aggs)?;
+    let values: &[u32] = match value_col {
+        Some(name) => rel.column(name)?.as_u32()?,
+        None => keys,
+    };
+    let (min, max) = min_max(keys);
+    let hints = GroupingHints {
+        min: Some(min),
+        max: Some(max),
+        distinct: None,
+        known_keys: None,
+    };
+    let exec_algo = to_exec_grouping(algo);
+    // Molecule-aware dispatch for the hash organelle: the optimiser's
+    // table/hash decision selects the concrete implementation.
+    let result = if algo == GroupingImpl::Hg {
+        run_hash_grouping_with_molecules(keys, values, molecules)
+    } else {
+        execute_grouping(exec_algo, keys, values, FullAgg, &hints)?
+    };
+    stats.record(grouping_blocking(exec_algo), keys.len() as u64);
+
+    // Assemble the output relation: key column + one column per aggregate.
+    let mut fields = vec![Field::new(key, DataType::U32)];
+    let mut columns = vec![Column::U32(result.keys.clone())];
+    for agg in aggs {
+        let (field, column) = materialise_agg(agg, &result.states)?;
+        fields.push(field);
+        columns.push(column);
+    }
+    Ok(Relation::new(Schema::new(fields)?, columns)?)
+}
+
+/// All aggregates must read the same input column (engine restriction,
+/// enforced by the SQL binder as well).
+fn agg_input_column(aggs: &[AggExpr]) -> Result<Option<&str>> {
+    let mut col: Option<&str> = None;
+    for a in aggs {
+        if let Some(c) = &a.column {
+            match col {
+                None => col = Some(c),
+                Some(existing) if existing == c => {}
+                Some(existing) => {
+                    return Err(CoreError::Unsupported(format!(
+                        "aggregates over multiple columns ({existing}, {c}) in one GROUP BY"
+                    )))
+                }
+            }
+        }
+    }
+    Ok(col)
+}
+
+fn materialise_agg(agg: &AggExpr, states: &[FullAggState]) -> Result<(Field, Column)> {
+    Ok(match agg.func {
+        AggFunc::CountStar => (
+            Field::new(&agg.alias, DataType::U64),
+            Column::U64(states.iter().map(|s| s.count).collect()),
+        ),
+        AggFunc::Sum => (
+            Field::new(&agg.alias, DataType::U64),
+            Column::U64(states.iter().map(|s| s.sum).collect()),
+        ),
+        AggFunc::Min => (
+            Field::new(&agg.alias, DataType::U32),
+            Column::U32(states.iter().map(|s| s.min).collect()),
+        ),
+        AggFunc::Max => (
+            Field::new(&agg.alias, DataType::U32),
+            Column::U32(states.iter().map(|s| s.max).collect()),
+        ),
+        AggFunc::Avg => (
+            Field::new(&agg.alias, DataType::F64),
+            Column::F64(states.iter().map(|s| s.avg().unwrap_or(0.0)).collect()),
+        ),
+    })
+}
+
+/// Dispatch HG onto the optimiser-chosen table/hash molecules
+/// (`dqo-core::molecule`); unknown combinations fall back to the paper's
+/// chaining + Murmur3 default.
+fn run_hash_grouping_with_molecules(
+    keys: &[u32],
+    values: &[u32],
+    molecules: dqo_plan::physical::GroupingMolecules,
+) -> dqo_exec::GroupedResult<dqo_exec::aggregate::FullAggState> {
+    use dqo_exec::grouping::hg;
+    use dqo_hashtable::hash_fn::{Fibonacci, Identity, Murmur3Finalizer};
+    use dqo_plan::{HashFnMolecule as H, TableMolecule as T};
+    let cap = 1024;
+    match (molecules.table, molecules.hash) {
+        (Some(T::LinearProbing), Some(H::Identity)) => {
+            hg::hash_grouping_linear(keys, values, FullAgg, cap, Identity)
+        }
+        (Some(T::LinearProbing), Some(H::Fibonacci)) => {
+            hg::hash_grouping_linear(keys, values, FullAgg, cap, Fibonacci)
+        }
+        (Some(T::LinearProbing), Some(H::Murmur3)) => {
+            hg::hash_grouping_linear(keys, values, FullAgg, cap, Murmur3Finalizer)
+        }
+        (Some(T::RobinHood), Some(H::Identity)) => {
+            hg::hash_grouping_robin_hood(keys, values, FullAgg, cap, Identity)
+        }
+        (Some(T::RobinHood), Some(H::Fibonacci)) => {
+            hg::hash_grouping_robin_hood(keys, values, FullAgg, cap, Fibonacci)
+        }
+        (Some(T::RobinHood), Some(H::Murmur3)) => {
+            hg::hash_grouping_robin_hood(keys, values, FullAgg, cap, Murmur3Finalizer)
+        }
+        _ => hg::hash_grouping_chaining(keys, values, FullAgg, cap),
+    }
+}
+
+fn min_max(keys: &[u32]) -> (u32, u32) {
+    let mut lo = u32::MAX;
+    let mut hi = 0;
+    for &k in keys {
+        lo = lo.min(k);
+        hi = hi.max(k);
+    }
+    if keys.is_empty() {
+        (0, 0)
+    } else {
+        (lo, hi)
+    }
+}
+
+fn eval_predicate(rel: &Relation, pred: &Predicate) -> Result<Vec<bool>> {
+    match pred {
+        Predicate::And(ps) => {
+            let mut mask = vec![true; rel.rows()];
+            for p in ps {
+                let m = eval_predicate(rel, p)?;
+                for (a, b) in mask.iter_mut().zip(m) {
+                    *a &= b;
+                }
+            }
+            Ok(mask)
+        }
+        Predicate::Compare { column, op, value } => {
+            let col = rel.column(column)?;
+            // Fast path for the dominant u32 case.
+            if let (Ok(data), Some(v)) = (col.as_u32(), value.as_u32()) {
+                return Ok(data.iter().map(|&x| op.eval(x.cmp(&v))).collect());
+            }
+            let mut mask = Vec::with_capacity(rel.rows());
+            for row in 0..rel.rows() {
+                let cell = col.value_at(row)?;
+                let ord = cell.total_cmp(value).ok_or_else(|| {
+                    CoreError::Unsupported(format!(
+                        "cross-type comparison {column} vs {value}"
+                    ))
+                })?;
+                mask.push(op.eval(ord));
+            }
+            Ok(mask)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reference evaluator
+// ---------------------------------------------------------------------------
+
+/// Direct evaluation of a *logical* plan with naive algorithms — the
+/// oracle for executor correctness tests. Group-by output is ordered by
+/// key; joins are nested loops.
+pub fn naive_eval(plan: &LogicalPlan, catalog: &Catalog) -> Result<Relation> {
+    match plan {
+        LogicalPlan::Scan { table } => Ok(catalog.get(table)?.relation.as_ref().clone()),
+        LogicalPlan::Filter { input, predicate } => {
+            let rel = naive_eval(input, catalog)?;
+            let mask = eval_predicate(&rel, predicate)?;
+            Ok(rel.filter(&mask)?)
+        }
+        LogicalPlan::Project { input, columns } => {
+            let rel = naive_eval(input, catalog)?;
+            let names: Vec<&str> = columns.iter().map(String::as_str).collect();
+            Ok(rel.project(&names)?)
+        }
+        LogicalPlan::Sort { input, key } => {
+            let rel = naive_eval(input, catalog)?;
+            let keys = rel.column(key)?.as_u32()?;
+            let order: Vec<usize> = argsort(keys).into_iter().map(|i| i as usize).collect();
+            Ok(rel.gather(&order))
+        }
+        LogicalPlan::Join {
+            left,
+            right,
+            left_key,
+            right_key,
+        } => {
+            let l = naive_eval(left, catalog)?;
+            let r = naive_eval(right, catalog)?;
+            let lk = l.column(left_key)?.as_u32()?;
+            let rk = r.column(right_key)?.as_u32()?;
+            let mut li = Vec::new();
+            let mut ri = Vec::new();
+            for (i, &a) in lk.iter().enumerate() {
+                for (j, &b) in rk.iter().enumerate() {
+                    if a == b {
+                        li.push(i);
+                        ri.push(j);
+                    }
+                }
+            }
+            let left_out = l.gather(&li);
+            let right_out = r.gather(&ri);
+            let schema = l.schema().join(r.schema(), "right")?;
+            let mut columns = Vec::new();
+            for i in 0..left_out.schema().width() {
+                columns.push(left_out.column_at(i)?.clone());
+            }
+            for i in 0..right_out.schema().width() {
+                columns.push(right_out.column_at(i)?.clone());
+            }
+            Ok(Relation::new(schema, columns)?)
+        }
+        LogicalPlan::Limit { input, n } => {
+            let rel = naive_eval(input, catalog)?;
+            Ok(take_rows(&rel, *n))
+        }
+        LogicalPlan::GroupBy { input, key, aggs } => {
+            let rel = naive_eval(input, catalog)?;
+            let keys = rel.column(key)?.as_u32()?;
+            let value_col = agg_input_column(aggs)?;
+            let values: &[u32] = match value_col {
+                Some(name) => rel.column(name)?.as_u32()?,
+                None => keys,
+            };
+            let mut groups: BTreeMap<u32, FullAggState> = BTreeMap::new();
+            let agg = FullAgg;
+            use dqo_exec::Aggregator;
+            for (&k, &v) in keys.iter().zip(values) {
+                agg.update(groups.entry(k).or_default(), v);
+            }
+            let keys_out: Vec<u32> = groups.keys().copied().collect();
+            let states: Vec<FullAggState> = groups.values().copied().collect();
+            let mut fields = vec![Field::new(key, DataType::U32)];
+            let mut columns = vec![Column::U32(keys_out)];
+            for a in aggs {
+                let (f, c) = materialise_agg(a, &states)?;
+                fields.push(f);
+                columns.push(c);
+            }
+            Ok(Relation::new(Schema::new(fields)?, columns)?)
+        }
+    }
+}
+
+/// All rows of a relation as `Value` vectors, sorted — result comparison
+/// helper for tests (execution order is plan-dependent by design).
+pub fn sorted_rows(rel: &Relation) -> Vec<Vec<Value>> {
+    let mut rows: Vec<Vec<Value>> = (0..rel.rows())
+        .map(|r| rel.row(r).expect("in bounds"))
+        .collect();
+    rows.sort_by(|a, b| {
+        for (x, y) in a.iter().zip(b) {
+            match x.total_cmp(y) {
+                Some(std::cmp::Ordering::Equal) | None => continue,
+                Some(other) => return other,
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizer::{optimize, OptimizerMode};
+    use dqo_plan::expr::CmpOp;
+    use dqo_storage::datagen::{DatasetSpec, ForeignKeySpec};
+
+    fn check_plan_matches_naive(logical: &LogicalPlan, catalog: &Catalog) {
+        let naive = naive_eval(logical, catalog).unwrap();
+        for mode in [OptimizerMode::Shallow, OptimizerMode::Deep] {
+            let planned = optimize(logical, catalog, mode).unwrap();
+            let out = execute(&planned.plan, catalog).unwrap();
+            assert_eq!(
+                sorted_rows(&out.relation),
+                sorted_rows(&naive),
+                "{mode} plan {:?} disagrees with naive",
+                planned.plan.algo_signature()
+            );
+        }
+    }
+
+    #[test]
+    fn grouping_end_to_end_all_dataset_shapes() {
+        for sorted in [true, false] {
+            for dense in [true, false] {
+                let cat = Catalog::new();
+                cat.register(
+                    "t",
+                    DatasetSpec::new(3_000, 50)
+                        .sorted(sorted)
+                        .dense(dense)
+                        .relation()
+                        .unwrap(),
+                );
+                let q = LogicalPlan::group_by(
+                    LogicalPlan::scan("t"),
+                    "key",
+                    vec![
+                        AggExpr::count_star("n"),
+                        AggExpr::on(AggFunc::Sum, "key", "total"),
+                    ],
+                );
+                check_plan_matches_naive(&q, &cat);
+            }
+        }
+    }
+
+    #[test]
+    fn figure5_query_end_to_end_all_shapes() {
+        for r_sorted in [true, false] {
+            for s_sorted in [true, false] {
+                for dense in [true, false] {
+                    let cat = Catalog::new();
+                    let (r, s) = ForeignKeySpec {
+                        r_rows: 500,
+                        s_rows: 1_500,
+                        groups: 80,
+                        r_sorted,
+                        s_sorted,
+                        dense,
+                        seed: 42,
+                    }
+                    .generate()
+                    .unwrap();
+                    cat.register("R", r);
+                    cat.register("S", s);
+                    let q = dqo_plan::logical::example_query_4_3();
+                    check_plan_matches_naive(&q, &cat);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn filter_and_project_end_to_end() {
+        let cat = Catalog::new();
+        cat.register(
+            "t",
+            DatasetSpec::new(2_000, 40).relation().unwrap(),
+        );
+        let q = LogicalPlan::group_by(
+            LogicalPlan::filter(
+                LogicalPlan::scan("t"),
+                Predicate::cmp("key", CmpOp::Lt, 20u32),
+            ),
+            "key",
+            vec![AggExpr::count_star("n")],
+        );
+        check_plan_matches_naive(&q, &cat);
+        // And verify the filter actually filtered.
+        let planned = optimize(&q, &cat, OptimizerMode::Deep).unwrap();
+        let out = execute(&planned.plan, &cat).unwrap();
+        let keys = out.relation.column("key").unwrap().as_u32().unwrap();
+        assert!(keys.iter().all(|&k| k < 20));
+        assert_eq!(keys.len(), 20);
+    }
+
+    #[test]
+    fn sort_node_end_to_end() {
+        let cat = Catalog::new();
+        cat.register("t", DatasetSpec::new(500, 30).relation().unwrap());
+        let q = LogicalPlan::sort(LogicalPlan::scan("t"), "key");
+        let planned = optimize(&q, &cat, OptimizerMode::Deep).unwrap();
+        let out = execute(&planned.plan, &cat).unwrap();
+        let keys = out.relation.column("key").unwrap().as_u32().unwrap();
+        assert!(keys.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(out.pipeline.breakers, 1); // exactly the sort
+    }
+
+    #[test]
+    fn aggregate_matrix_min_max_avg() {
+        let cat = Catalog::new();
+        let rel = Relation::new(
+            Schema::new(vec![
+                Field::new("g", DataType::U32),
+                Field::new("v", DataType::U32),
+            ])
+            .unwrap(),
+            vec![
+                Column::U32(vec![1, 1, 2, 2, 2]),
+                Column::U32(vec![10, 20, 5, 15, 25]),
+            ],
+        )
+        .unwrap();
+        cat.register("t", rel);
+        let q = LogicalPlan::group_by(
+            LogicalPlan::scan("t"),
+            "g",
+            vec![
+                AggExpr::on(AggFunc::Min, "v", "lo"),
+                AggExpr::on(AggFunc::Max, "v", "hi"),
+                AggExpr::on(AggFunc::Avg, "v", "mean"),
+                AggExpr::on(AggFunc::Sum, "v", "total"),
+                AggExpr::count_star("n"),
+            ],
+        );
+        let planned = optimize(&q, &cat, OptimizerMode::Deep).unwrap();
+        let out = execute(&planned.plan, &cat).unwrap();
+        let rows = sorted_rows(&out.relation);
+        assert_eq!(rows.len(), 2);
+        // group 1: min 10, max 20, avg 15, sum 30, n 2
+        assert_eq!(rows[0][1], Value::U32(10));
+        assert_eq!(rows[0][2], Value::U32(20));
+        assert_eq!(rows[0][3], Value::F64(15.0));
+        assert_eq!(rows[0][4], Value::U64(30));
+        assert_eq!(rows[0][5], Value::U64(2));
+    }
+
+    #[test]
+    fn mixed_agg_columns_rejected() {
+        let aggs = vec![
+            AggExpr::on(AggFunc::Sum, "a", "x"),
+            AggExpr::on(AggFunc::Min, "b", "y"),
+        ];
+        assert!(matches!(
+            agg_input_column(&aggs),
+            Err(CoreError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn pipeline_stats_distinguish_plans() {
+        let cat = Catalog::new();
+        cat.register(
+            "t",
+            DatasetSpec::new(1_000, 10).sorted(true).relation().unwrap(),
+        );
+        let q = LogicalPlan::group_by(
+            LogicalPlan::scan("t"),
+            "key",
+            vec![AggExpr::count_star("n")],
+        );
+        // Deep mode picks OG on sorted input → zero breakers.
+        let deep = optimize(&q, &cat, OptimizerMode::Deep).unwrap();
+        let out = execute(&deep.plan, &cat).unwrap();
+        assert_eq!(out.pipeline.breakers, 0, "OG must stream");
+    }
+}

@@ -1,0 +1,55 @@
+//! # dqo-core — Deep Query Optimisation
+//!
+//! The paper's primary contribution, implemented end to end:
+//!
+//! * [`catalog`] — tables plus the exact statistics DQO feeds on
+//!   (sortedness, density, distinct counts per key column);
+//! * [`cost`] — the Table 2 cost models (tuple-operation based) and a
+//!   calibrated nanosecond model for estimated-vs-measured studies;
+//! * [`optimizer`] — **one** property-annotated dynamic program that is
+//!   SQO or DQO depending on how much of the property vector it is allowed
+//!   to see (§4.3: SQO tracks sortedness only; DQO adds density and
+//!   friends), with sort enforcers, implementation choice at the organelle
+//!   level and molecule decisions below it;
+//! * [`executor`] — runs the chosen `PhysicalPlan` on `dqo-exec`,
+//!   returning results plus pipeline statistics;
+//! * [`av`] — **Algorithmic Views** (§3): precomputed granules (sorted
+//!   projections, SPH join indexes, hash indexes, materialised groupings)
+//!   the optimiser can substitute at zero build cost;
+//! * [`avsp`] — the **Algorithmic View Selection Problem**: exhaustive,
+//!   greedy and knapsack solvers choosing which AVs to materialise under a
+//!   space budget for a given workload;
+//! * [`partial_av`] — partial AVs (§6): granules frozen offline with
+//!   named decisions left open for query time;
+//! * [`adaptive`] — runtime-adaptive AVs (§6): a cracking-style index
+//!   whose optimisation decisions are delegated to query time.
+//!
+//! The crate re-exports an [`Engine`] facade for end-to-end use
+//! (register tables → optimise → execute).
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod adaptive;
+pub mod av;
+pub mod avsp;
+pub mod catalog;
+pub mod deep_exec;
+pub mod cost;
+pub mod engine;
+pub mod error;
+pub mod executor;
+pub mod molecule;
+pub mod optimizer;
+pub mod partial_av;
+pub mod reopt;
+
+pub use catalog::Catalog;
+pub use cost::{CostModel, TupleCostModel};
+pub use engine::Engine;
+pub use error::CoreError;
+pub use executor::{execute, ExecOutput};
+pub use optimizer::{optimize, OptimizerMode, PlannedQuery};
+
+/// Crate-wide result type.
+pub type Result<T> = std::result::Result<T, CoreError>;

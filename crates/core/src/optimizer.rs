@@ -1,0 +1,963 @@
+//! The property-annotated dynamic program — SQO and DQO in one optimiser.
+//!
+//! §2.2: plan properties *"can be considered and handled very similarly to
+//! how interesting properties are handled in dynamic programming. If any
+//! subcomponent in DQO produces an output with such a property, we must
+//! not discard that information."*
+//!
+//! The DP enumerates, bottom-up, a set of [`Candidate`]s per logical node
+//! — each a physical (sub-)plan with its cost and its [`PlanProps`] — and
+//! prunes to the cheapest candidate per property class (the classic
+//! interesting-order pruning, generalised to the full property vector).
+//! Sort *enforcers* are injected as alternatives wherever an order-based
+//! implementation would otherwise be inapplicable, which is how partial
+//! sort-merge plans ("sort only R") arise.
+//!
+//! **SQO vs DQO is a projection, not a second optimiser** (§4.3: "SQO only
+//! considers data sortedness as in traditional dynamic programming"):
+//! in [`OptimizerMode::Shallow`] every property vector is passed through
+//! [`PlanProps::shallow`], which forgets density and key ranges — so the
+//! SPH-based implementations simply never qualify. Running the *same* DP
+//! under both modes yields Figure 5's improvement factors.
+
+use crate::av::{AvCatalog, AvKind};
+use crate::molecule::{refine_grouping_molecules, MoleculeCosts};
+use crate::catalog::Catalog;
+use crate::cost::{CostModel, TupleCostModel};
+use crate::error::CoreError;
+use crate::Result;
+use dqo_plan::expr::Predicate;
+use dqo_plan::physical::GroupingMolecules;
+use dqo_plan::properties::PropKey;
+use dqo_plan::{CmpOp, GroupingImpl, JoinImpl, LogicalPlan, PhysicalPlan, PlanProps, SortMolecule};
+use dqo_storage::{Density, Sortedness};
+use std::collections::HashMap;
+
+/// Shallow (SQO) vs deep (DQO) optimisation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum OptimizerMode {
+    /// Track sortedness only — classical dynamic programming.
+    Shallow,
+    /// Track the full §2.2 property vector (density, distinct, ranges).
+    #[default]
+    Deep,
+}
+
+impl OptimizerMode {
+    /// Apply the mode's property visibility.
+    fn project(self, props: PlanProps) -> PlanProps {
+        match self {
+            OptimizerMode::Shallow => props.shallow(),
+            OptimizerMode::Deep => props,
+        }
+    }
+}
+
+impl std::fmt::Display for OptimizerMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            OptimizerMode::Shallow => "SQO",
+            OptimizerMode::Deep => "DQO",
+        })
+    }
+}
+
+/// How sortedness propagates through operators.
+///
+/// The paper's §4.3 arithmetic treats sortedness as a property of the
+/// *stream*: an order-based join's output counts as "sorted" input for a
+/// downstream order-based grouping even though it is ordered by the join
+/// key, not the grouping key (its generated data is clustered, so the two
+/// coincide). [`PropertyModel::PaperStream`] reproduces that model — and
+/// with it Figure 5's exact factors. [`PropertyModel::AttributeStrict`]
+/// tracks *which column* an intermediate is sorted by and only lets
+/// order-based operators consume matching orders; it is the sound default
+/// for the general engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PropertyModel {
+    /// The paper's stream-level boolean sortedness (Figure 5 semantics).
+    PaperStream,
+    /// Attribute-level sort tracking (sound on arbitrary data).
+    #[default]
+    AttributeStrict,
+}
+
+/// One enumerated alternative: a physical sub-plan, its estimated cost and
+/// its output properties.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// The physical sub-plan.
+    pub plan: PhysicalPlan,
+    /// Estimated cumulative cost (cost-model units).
+    pub cost: f64,
+    /// Output plan properties (stream-level, per the paper's model).
+    pub props: PlanProps,
+    /// Which column the output is ordered by, when known — consulted only
+    /// under [`PropertyModel::AttributeStrict`].
+    pub sort_col: Option<String>,
+}
+
+/// The optimiser's final answer.
+#[derive(Debug, Clone)]
+pub struct PlannedQuery {
+    /// The chosen physical plan.
+    pub plan: PhysicalPlan,
+    /// Its estimated cost.
+    pub est_cost: f64,
+    /// Its output properties.
+    pub props: PlanProps,
+    /// The mode that produced it.
+    pub mode: OptimizerMode,
+}
+
+/// Optimise `logical` against `catalog` with the Table 2 cost model under
+/// the paper's stream property model (reproduces Figure 5 verbatim).
+pub fn optimize(
+    logical: &LogicalPlan,
+    catalog: &Catalog,
+    mode: OptimizerMode,
+) -> Result<PlannedQuery> {
+    optimize_with(logical, catalog, mode, &TupleCostModel)
+}
+
+/// Optimise under the sound attribute-strict property model.
+pub fn optimize_strict(
+    logical: &LogicalPlan,
+    catalog: &Catalog,
+    mode: OptimizerMode,
+) -> Result<PlannedQuery> {
+    optimize_full(
+        logical,
+        catalog,
+        mode,
+        &TupleCostModel,
+        None,
+        PropertyModel::AttributeStrict,
+    )
+}
+
+/// Optimise with an explicit cost model (paper property model).
+pub fn optimize_with(
+    logical: &LogicalPlan,
+    catalog: &Catalog,
+    mode: OptimizerMode,
+    model: &dyn CostModel,
+) -> Result<PlannedQuery> {
+    optimize_full(logical, catalog, mode, model, None, PropertyModel::PaperStream)
+}
+
+/// Optimise while also considering registered Algorithmic Views (§3):
+/// an applicable AV becomes a zero-build-cost leaf alternative.
+pub fn optimize_with_avs(
+    logical: &LogicalPlan,
+    catalog: &Catalog,
+    mode: OptimizerMode,
+    avs: &AvCatalog,
+) -> Result<PlannedQuery> {
+    optimize_full(
+        logical,
+        catalog,
+        mode,
+        &TupleCostModel,
+        Some(avs),
+        PropertyModel::PaperStream,
+    )
+}
+
+/// The fully general entry point.
+pub fn optimize_full(
+    logical: &LogicalPlan,
+    catalog: &Catalog,
+    mode: OptimizerMode,
+    model: &dyn CostModel,
+    avs: Option<&AvCatalog>,
+    pmodel: PropertyModel,
+) -> Result<PlannedQuery> {
+    let opt = Optimizer {
+        catalog,
+        mode,
+        model,
+        avs,
+        pmodel,
+    };
+    let cands = opt.enumerate(logical, None)?;
+    let best = cands
+        .into_iter()
+        .min_by(candidate_order)
+        .ok_or_else(|| CoreError::NoPlanFound(format!("{logical}")))?;
+    Ok(PlannedQuery {
+        plan: best.plan,
+        est_cost: best.cost,
+        props: best.props,
+        mode,
+    })
+}
+
+/// Expose the full (pruned) candidate set of the root — used by tests and
+/// the depth-ablation experiment.
+pub fn enumerate_candidates(
+    logical: &LogicalPlan,
+    catalog: &Catalog,
+    mode: OptimizerMode,
+) -> Result<Vec<Candidate>> {
+    let opt = Optimizer {
+        catalog,
+        mode,
+        model: &TupleCostModel,
+        avs: None,
+        pmodel: PropertyModel::PaperStream,
+    };
+    opt.enumerate(logical, None)
+}
+
+struct Optimizer<'a> {
+    catalog: &'a Catalog,
+    mode: OptimizerMode,
+    model: &'a dyn CostModel,
+    avs: Option<&'a AvCatalog>,
+    pmodel: PropertyModel,
+}
+
+impl Optimizer<'_> {
+    /// Enumerate candidates for `node`. `focus` is the column by which the
+    /// parent will consume this sub-plan's output (join key / grouping
+    /// key); it determines which column's base properties a scan exposes.
+    fn enumerate(&self, node: &LogicalPlan, focus: Option<&str>) -> Result<Vec<Candidate>> {
+        match node {
+            LogicalPlan::Scan { table } => self.enumerate_scan(table, focus),
+            LogicalPlan::Filter { input, predicate } => {
+                self.enumerate_filter(input, predicate, focus)
+            }
+            LogicalPlan::Sort { input, key } => {
+                let inputs = self.enumerate(input, Some(key))?;
+                // Interesting-order payoff: an input that is already
+                // sorted on the key satisfies the Sort for free — this is
+                // what makes sorted-output groupings (SPHG/SOG/BSG) win
+                // under a final ORDER BY.
+                Ok(prune(inputs.into_iter().map(|c| {
+                    if self.is_sorted_on(&c, key) {
+                        c
+                    } else {
+                        self.add_sort(c, key)
+                    }
+                })))
+            }
+            LogicalPlan::Project { input, columns } => {
+                let inputs = self.enumerate(input, focus)?;
+                Ok(prune(inputs.into_iter().map(|c| Candidate {
+                    plan: PhysicalPlan::Project {
+                        input: Box::new(c.plan),
+                        columns: columns.clone(),
+                    },
+                    cost: c.cost, // columnar projection is free
+                    props: c.props,
+                    sort_col: c.sort_col,
+                })))
+            }
+            LogicalPlan::Limit { input, n } => {
+                let inputs = self.enumerate(input, focus)?;
+                Ok(prune(inputs.into_iter().map(|c| {
+                    let mut props = c.props;
+                    props.rows = props.rows.min(*n);
+                    Candidate {
+                        plan: PhysicalPlan::Limit {
+                            input: Box::new(c.plan),
+                            n: *n,
+                        },
+                        cost: c.cost, // truncation is free in a columnar store
+                        props,
+                        sort_col: c.sort_col,
+                    }
+                })))
+            }
+            LogicalPlan::Join {
+                left,
+                right,
+                left_key,
+                right_key,
+            } => self.enumerate_join(node, left, right, left_key, right_key),
+            LogicalPlan::GroupBy { input, key, aggs } => {
+                self.enumerate_group_by(node, input, key, aggs)
+            }
+        }
+    }
+
+    fn enumerate_scan(&self, table: &str, focus: Option<&str>) -> Result<Vec<Candidate>> {
+        let entry = self.catalog.get(table)?;
+        let rows = entry.relation.rows() as u64;
+        let props = match focus {
+            Some(col) => match entry.column_props.get(col) {
+                Some(p) => PlanProps::from_data(p),
+                None => PlanProps::unknown(rows),
+            },
+            None => PlanProps::unknown(rows),
+        };
+        let projected = self.mode.project(props);
+        let mut out = vec![Candidate {
+            plan: PhysicalPlan::Scan {
+                table: table.to_owned(),
+            },
+            cost: 0.0, // scans are the common baseline of every plan
+            sort_col: (projected.sortedness == Sortedness::Ascending)
+                .then(|| focus.unwrap_or_default().to_owned())
+                .filter(|c| !c.is_empty()),
+            props: projected,
+        }];
+        // AV alternative: a sorted projection provides the `sorted`
+        // property at zero query-time cost (its build cost was paid
+        // offline — the §3 trade-off).
+        if let (Some(avs), Some(col)) = (self.avs, focus) {
+            if let Some(av) = avs.lookup(table, col, AvKind::SortedProjection) {
+                out.push(Candidate {
+                    plan: PhysicalPlan::Scan {
+                        table: av.signature.av_table_name(),
+                    },
+                    cost: 0.0,
+                    props: self.mode.project(av.provides),
+                    sort_col: Some(col.to_owned()),
+                });
+            }
+        }
+        Ok(out)
+    }
+
+    fn enumerate_filter(
+        &self,
+        input: &LogicalPlan,
+        predicate: &Predicate,
+        focus: Option<&str>,
+    ) -> Result<Vec<Candidate>> {
+        let inputs = self.enumerate(input, focus)?;
+        Ok(prune(inputs.into_iter().map(|c| {
+            let selectivity = estimate_selectivity(predicate, &c.props);
+            let out_rows = ((c.props.rows as f64) * selectivity).ceil() as u64;
+            let mut props = c.props;
+            props.rows = out_rows;
+            // Filtering preserves order/partitioning but may punch holes
+            // into a dense domain — density degrades to unknown.
+            props.density = Density::Unknown;
+            props.key_range = None;
+            props.distinct = props.distinct.map(|d| {
+                (((d as f64) * selectivity).ceil() as u64).max(1).min(out_rows.max(1))
+            });
+            Candidate {
+                cost: c.cost + self.model.scan(c.props.rows as f64),
+                plan: PhysicalPlan::Filter {
+                    input: Box::new(c.plan),
+                    predicate: predicate.clone(),
+                },
+                props: self.mode.project(props),
+                sort_col: c.sort_col,
+            }
+        })))
+    }
+
+    /// Wrap a candidate in an explicit sort enforcer on `key`.
+    fn add_sort(&self, c: Candidate, key: &str) -> Candidate {
+        let mut props = c.props;
+        props.sortedness = Sortedness::Ascending;
+        props.partitioned = true;
+        Candidate {
+            cost: c.cost + self.model.sort(c.props.rows as f64),
+            plan: PhysicalPlan::Sort {
+                input: Box::new(c.plan),
+                key: key.to_owned(),
+                molecule: SortMolecule::Comparison,
+            },
+            props,
+            sort_col: Some(key.to_owned()),
+        }
+    }
+
+    /// Is this candidate's output usable as "sorted by `key`" under the
+    /// active property model?
+    fn is_sorted_on(&self, c: &Candidate, key: &str) -> bool {
+        // Order-based operators consume *ascending* runs; a descending
+        // input would need an (unmodelled) reversal, so it does not
+        // qualify.
+        let asc = c.props.sortedness == Sortedness::Ascending;
+        match self.pmodel {
+            PropertyModel::PaperStream => asc,
+            PropertyModel::AttributeStrict => asc && c.sort_col.as_deref() == Some(key),
+        }
+    }
+
+    /// Input candidates plus, for each one not sorted on `key`, a
+    /// sort-enforced twin.
+    fn with_sort_enforcers(&self, cands: Vec<Candidate>, key: &str) -> Vec<Candidate> {
+        let mut out = Vec::with_capacity(cands.len() * 2);
+        for c in cands {
+            if !self.is_sorted_on(&c, key) {
+                out.push(self.add_sort(c.clone(), key));
+            }
+            out.push(c);
+        }
+        out
+    }
+
+    fn enumerate_join(
+        &self,
+        node: &LogicalPlan,
+        left: &LogicalPlan,
+        right: &LogicalPlan,
+        left_key: &str,
+        right_key: &str,
+    ) -> Result<Vec<Candidate>> {
+        let left_cands =
+            self.with_sort_enforcers(self.enumerate(left, Some(left_key))?, left_key);
+        let right_cands =
+            self.with_sort_enforcers(self.enumerate(right, Some(right_key))?, right_key);
+
+        // Join-key distinct counts for cardinality estimation and BSJ depth.
+        let left_tables: Vec<&str> = left.tables();
+        let right_tables: Vec<&str> = right.tables();
+        let d_left = self
+            .catalog
+            .resolve_column(left_tables.iter().copied(), left_key)
+            .ok()
+            .map(|(_, p)| p.distinct);
+        let d_right = self
+            .catalog
+            .resolve_column(right_tables.iter().copied(), right_key)
+            .ok()
+            .map(|(_, p)| p.distinct);
+
+        let mut out: Vec<Candidate> = Vec::new();
+        for lc in &left_cands {
+            for rc in &right_cands {
+                let out_rows = estimate_join_rows(lc.props.rows, rc.props.rows, d_left, d_right);
+                // Enumerate in preference order: on exact cost ties the
+                // order-based plan wins (the paper's both-sorted cell).
+                for algo in [
+                    JoinImpl::Oj,
+                    JoinImpl::Sphj,
+                    JoinImpl::Bsj,
+                    JoinImpl::Hj,
+                    JoinImpl::Soj,
+                ] {
+                    if !self.join_applicable(algo, lc, rc, left_key, right_key) {
+                        continue;
+                    }
+                    let build_groups = d_left.unwrap_or(lc.props.rows).max(1) as f64;
+                    let mut join_cost = self.model.join(
+                        algo,
+                        lc.props.rows as f64,
+                        rc.props.rows as f64,
+                        build_groups,
+                    );
+                    // AV alternative: a prebuilt SPH index over the build
+                    // side removes the build pass — probe cost only.
+                    if algo == JoinImpl::Sphj && self.sph_index_av(&lc.plan, left_key) {
+                        join_cost = self.model.scan(rc.props.rows as f64);
+                    }
+                    let cost = lc.cost + rc.cost + join_cost;
+                    let props = self.join_output_props(algo, node, lc, rc, out_rows);
+                    out.push(Candidate {
+                        plan: PhysicalPlan::Join {
+                            left: Box::new(lc.plan.clone()),
+                            right: Box::new(rc.plan.clone()),
+                            left_key: left_key.to_owned(),
+                            right_key: right_key.to_owned(),
+                            algo,
+                        },
+                        cost,
+                        props,
+                        // Order-based joins emit in join-key order.
+                        sort_col: algo
+                            .produces_sorted_output()
+                            .then(|| left_key.to_owned()),
+                    });
+                }
+            }
+        }
+        if out.is_empty() {
+            return Err(CoreError::NoPlanFound(format!("{node}")));
+        }
+        Ok(prune(out.into_iter()))
+    }
+
+    /// Is there a materialisable SPH-index AV for this build side?
+    /// Only a bare base-table scan can reuse a prebuilt row index.
+    fn sph_index_av(&self, build_plan: &PhysicalPlan, key: &str) -> bool {
+        match (self.avs, build_plan) {
+            (Some(avs), PhysicalPlan::Scan { table }) => {
+                avs.lookup(table, key, AvKind::SphIndex).is_some()
+            }
+            _ => false,
+        }
+    }
+
+    fn join_applicable(
+        &self,
+        algo: JoinImpl,
+        lc: &Candidate,
+        rc: &Candidate,
+        left_key: &str,
+        right_key: &str,
+    ) -> bool {
+        match algo {
+            JoinImpl::Oj => self.is_sorted_on(lc, left_key) && self.is_sorted_on(rc, right_key),
+            // SPHJ builds over the left side: needs a provably dense domain
+            // — invisible in shallow mode by construction.
+            JoinImpl::Sphj => lc.props.admits_sph(),
+            JoinImpl::Bsj => lc.props.distinct.is_some(),
+            JoinImpl::Hj | JoinImpl::Soj => true,
+        }
+    }
+
+    fn join_output_props(
+        &self,
+        algo: JoinImpl,
+        _node: &LogicalPlan,
+        lc: &Candidate,
+        rc: &Candidate,
+        out_rows: u64,
+    ) -> PlanProps {
+        // The paper's simplified stream model: order-based joins produce
+        // "sorted" output; everything else is unordered (a black-box hash
+        // table's order must be assumed unknown, §2.1).
+        let sorted = algo.produces_sorted_output();
+        let props = PlanProps {
+            sortedness: if sorted {
+                Sortedness::Ascending
+            } else {
+                Sortedness::Unsorted
+            },
+            partitioned: sorted,
+            // Join output density/distinct refer to the downstream
+            // grouping key and are resolved from the catalog at the
+            // GroupBy node; the stream itself carries no density claim.
+            density: Density::Unknown,
+            distinct: None,
+            key_range: None,
+            rows: out_rows,
+            layout: lc.props.layout,
+        };
+        let _ = rc;
+        self.mode.project(props)
+    }
+
+    fn enumerate_group_by(
+        &self,
+        node: &LogicalPlan,
+        input: &LogicalPlan,
+        key: &str,
+        aggs: &[dqo_plan::AggExpr],
+    ) -> Result<Vec<Candidate>> {
+        let input_cands = self.with_sort_enforcers(self.enumerate(input, Some(key))?, key);
+
+        // AV alternative: a materialised grouping answers the whole node
+        // with a scan of the precomputed result — the boundary case where
+        // an AV degenerates into a classic materialised view (§3). Only
+        // matches the canonical (key, count, sum) shape so no renaming
+        // machinery is needed.
+        let mut av_candidates: Vec<Candidate> = Vec::new();
+        if let (Some(avs), LogicalPlan::Scan { table }) = (self.avs, input) {
+            let shape_ok = aggs.iter().all(|a| {
+                matches!(
+                    (&a.func, a.alias.as_str()),
+                    (dqo_plan::AggFunc::CountStar, "count") | (dqo_plan::AggFunc::Sum, "sum")
+                )
+            });
+            if shape_ok {
+                if let Some(av) = avs.lookup(table, key, AvKind::MaterialisedGrouping) {
+                    av_candidates.push(Candidate {
+                        plan: PhysicalPlan::Scan {
+                            table: av.signature.av_table_name(),
+                        },
+                        cost: self.model.scan(av.provides.rows as f64),
+                        props: self.mode.project(av.provides),
+                        sort_col: Some(key.to_owned()),
+                    });
+                }
+            }
+        }
+
+        // Resolve the grouping key's base statistics (density, distinct,
+        // range) from its source table — the §4.3 move: DQO knows R.a is
+        // dense even downstream of a join.
+        let key_stats = self
+            .catalog
+            .resolve_column(node.tables(), key)
+            .ok()
+            .map(|(_, p)| self.mode.project(PlanProps::from_data(&p)));
+
+        let groups = key_stats.and_then(|p| p.distinct);
+        let key_dense = key_stats.map(|p| p.admits_sph()).unwrap_or(false);
+        let key_range = key_stats.and_then(|p| p.key_range);
+
+        let mut out = av_candidates;
+        for ic in &input_cands {
+            for algo in [
+                GroupingImpl::Og,
+                GroupingImpl::Sphg,
+                GroupingImpl::Bsg,
+                GroupingImpl::Hg,
+                GroupingImpl::Sog,
+            ] {
+                let applicable = match algo {
+                    GroupingImpl::Og => self.is_sorted_on(ic, key),
+                    GroupingImpl::Sphg => key_dense,
+                    GroupingImpl::Bsg => groups.is_some(),
+                    GroupingImpl::Hg | GroupingImpl::Sog => true,
+                };
+                if !applicable {
+                    continue;
+                }
+                let g = groups.unwrap_or(ic.props.rows).max(1) as f64;
+                let cost = ic.cost + self.model.grouping(algo, ic.props.rows as f64, g);
+                let out_rows = groups.unwrap_or(ic.props.rows);
+                let sorted = algo.produces_sorted_output()
+                    || (algo == GroupingImpl::Og && ic.props.sortedness.is_sorted());
+                let props = self.mode.project(PlanProps {
+                    sortedness: if sorted {
+                        Sortedness::Ascending
+                    } else {
+                        Sortedness::Unsorted
+                    },
+                    partitioned: true, // one row per group
+                    density: if key_dense {
+                        Density::Dense
+                    } else {
+                        Density::Unknown
+                    },
+                    distinct: groups,
+                    key_range,
+                    rows: out_rows,
+                    layout: ic.props.layout,
+                });
+                // Molecule refinement is the step Table 1 adds: in deep
+                // mode the optimiser decides the table/hash/loop molecules
+                // from input properties; shallow mode ships the developer
+                // defaults behind the organelle name. A registered partial
+                // AV (§6) overrides: its frozen decisions stand, and only
+                // its open decisions are completed here.
+                let molecules = match self.mode {
+                    OptimizerMode::Deep => {
+                        let mut ref_props = key_stats.unwrap_or(ic.props);
+                        ref_props.rows = ic.props.rows;
+                        let partial = match (self.avs, input) {
+                            (Some(avs), LogicalPlan::Scan { table }) => {
+                                avs.partial_for(table, key)
+                            }
+                            _ => None,
+                        };
+                        match partial {
+                            Some(pav) if algo == GroupingImpl::Hg => pav.complete(&ref_props),
+                            _ => refine_grouping_molecules(
+                                algo,
+                                &ref_props,
+                                &MoleculeCosts::default(),
+                            ),
+                        }
+                    }
+                    OptimizerMode::Shallow => GroupingMolecules::defaults_for(algo),
+                };
+                out.push(Candidate {
+                    plan: PhysicalPlan::GroupBy {
+                        input: Box::new(ic.plan.clone()),
+                        key: key.to_owned(),
+                        aggs: aggs.to_vec(),
+                        algo,
+                        molecules,
+                    },
+                    cost,
+                    sort_col: sorted.then(|| key.to_owned()),
+                    props,
+                });
+            }
+        }
+        if out.is_empty() {
+            return Err(CoreError::NoPlanFound(format!("{node}")));
+        }
+        Ok(prune(out.into_iter()))
+    }
+}
+
+/// Interesting-property pruning: keep the cheapest candidate per property
+/// class; exact cost ties break toward order-based implementations (the
+/// paper's both-sorted cell: "the order-based implementations achieve the
+/// cheapest plans").
+fn prune(cands: impl Iterator<Item = Candidate>) -> Vec<Candidate> {
+    let mut best: HashMap<PropKey, Candidate> = HashMap::new();
+    for c in cands {
+        let key = c.props.memo_key();
+        match best.get(&key) {
+            Some(existing) if candidate_order(existing, &c) != std::cmp::Ordering::Greater => {}
+            _ => {
+                best.insert(key, c);
+            }
+        }
+    }
+    let mut out: Vec<Candidate> = best.into_values().collect();
+    out.sort_by(candidate_order);
+    out
+}
+
+/// Total order on candidates: cost first, then the order-based preference
+/// rank, then the rendered plan (full determinism).
+fn candidate_order(a: &Candidate, b: &Candidate) -> std::cmp::Ordering {
+    a.cost
+        .total_cmp(&b.cost)
+        .then_with(|| plan_rank(&a.plan).cmp(&plan_rank(&b.plan)))
+        .then_with(|| a.plan.explain().cmp(&b.plan.explain()))
+}
+
+/// Preference rank of a plan tree (lower = preferred on cost ties):
+/// order-based organelles first, then SPH, binary search, hash, monolithic
+/// sort variants.
+fn plan_rank(plan: &PhysicalPlan) -> u32 {
+    let own = match plan {
+        PhysicalPlan::Join { algo, .. } => match algo {
+            JoinImpl::Oj => 0,
+            JoinImpl::Sphj => 1,
+            JoinImpl::Bsj => 2,
+            JoinImpl::Hj => 3,
+            JoinImpl::Soj => 4,
+        },
+        PhysicalPlan::GroupBy { algo, .. } => match algo {
+            GroupingImpl::Og => 0,
+            GroupingImpl::Sphg => 1,
+            GroupingImpl::Bsg => 2,
+            GroupingImpl::Hg => 3,
+            GroupingImpl::Sog => 4,
+        },
+        PhysicalPlan::Sort { .. } => 1,
+        _ => 0,
+    };
+    own + plan.children().iter().map(|c| plan_rank(c)).sum::<u32>()
+}
+
+/// Join cardinality under the uniform containment assumption:
+/// `|L ⋈ R| = |L|·|R| / max(d_L, d_R)` — with a PK on one side this yields
+/// exactly the FK-side cardinality (the paper's 90,000).
+fn estimate_join_rows(l: u64, r: u64, d_l: Option<u64>, d_r: Option<u64>) -> u64 {
+    let d = d_l.unwrap_or(l).max(d_r.unwrap_or(r)).max(1);
+    (((l as f64) * (r as f64)) / d as f64).round() as u64
+}
+
+/// Textbook selectivity estimation for simple predicates.
+fn estimate_selectivity(pred: &Predicate, props: &PlanProps) -> f64 {
+    match pred {
+        Predicate::And(ps) => ps
+            .iter()
+            .map(|p| estimate_selectivity(p, props))
+            .product(),
+        Predicate::Compare { op, value, .. } => match op {
+            CmpOp::Eq => 1.0 / props.distinct.unwrap_or(10).max(1) as f64,
+            CmpOp::Ne => 1.0 - 1.0 / props.distinct.unwrap_or(10).max(1) as f64,
+            CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge => {
+                // Uniform over the known key range if available.
+                match (props.key_range, value.as_u32()) {
+                    (Some((lo, hi)), Some(v)) if hi > lo => {
+                        let frac = (f64::from(v.saturating_sub(lo)))
+                            / f64::from(hi - lo).max(1.0);
+                        let frac = frac.clamp(0.0, 1.0);
+                        match op {
+                            CmpOp::Lt | CmpOp::Le => frac,
+                            _ => 1.0 - frac,
+                        }
+                    }
+                    _ => 1.0 / 3.0,
+                }
+            }
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dqo_plan::expr::AggExpr;
+    use dqo_storage::datagen::{DatasetSpec, ForeignKeySpec};
+
+    fn fig4_catalog(sorted: bool, dense: bool) -> Catalog {
+        let cat = Catalog::new();
+        let rel = DatasetSpec::new(10_000, 100)
+            .sorted(sorted)
+            .dense(dense)
+            .relation()
+            .unwrap();
+        cat.register("t", rel);
+        cat
+    }
+
+    fn grouping_query() -> std::sync::Arc<LogicalPlan> {
+        LogicalPlan::group_by(
+            LogicalPlan::scan("t"),
+            "key",
+            vec![AggExpr::count_star("n")],
+        )
+    }
+
+    #[test]
+    fn dqo_picks_og_on_sorted_input() {
+        let cat = fig4_catalog(true, false);
+        let planned = optimize(&grouping_query(), &cat, OptimizerMode::Deep).unwrap();
+        assert_eq!(planned.plan.algo_signature(), vec!["OG"]);
+        assert_eq!(planned.est_cost, 10_000.0);
+    }
+
+    #[test]
+    fn dqo_picks_sphg_on_unsorted_dense_input() {
+        let cat = fig4_catalog(false, true);
+        let planned = optimize(&grouping_query(), &cat, OptimizerMode::Deep).unwrap();
+        assert_eq!(planned.plan.algo_signature(), vec!["SPHG"]);
+        assert_eq!(planned.est_cost, 10_000.0);
+    }
+
+    #[test]
+    fn sqo_cannot_see_density() {
+        let cat = fig4_catalog(false, true);
+        let planned = optimize(&grouping_query(), &cat, OptimizerMode::Shallow).unwrap();
+        // SPHG is invisible; with 100 groups BSG costs |R|·log₂100 ≈ 6.6|R|
+        // > HG's 4|R|, and sort+OG costs even more → HG wins.
+        assert_eq!(planned.plan.algo_signature(), vec!["HG"]);
+        assert_eq!(planned.est_cost, 40_000.0);
+    }
+
+    #[test]
+    fn sqo_picks_bsg_for_tiny_group_counts() {
+        // The E2 crossover is visible to SQO too (BSG needs only the
+        // distinct count): log₂(8) = 3 < 4.
+        let cat = Catalog::new();
+        cat.register(
+            "t",
+            DatasetSpec::new(10_000, 8).dense(false).relation().unwrap(),
+        );
+        let planned = optimize(&grouping_query(), &cat, OptimizerMode::Shallow).unwrap();
+        assert_eq!(planned.plan.algo_signature(), vec!["BSG"]);
+    }
+
+    #[test]
+    fn dqo_never_worse_than_sqo() {
+        for sorted in [true, false] {
+            for dense in [true, false] {
+                let cat = fig4_catalog(sorted, dense);
+                let q = grouping_query();
+                let deep = optimize(&q, &cat, OptimizerMode::Deep).unwrap();
+                let shallow = optimize(&q, &cat, OptimizerMode::Shallow).unwrap();
+                assert!(
+                    deep.est_cost <= shallow.est_cost,
+                    "DQO ({}) worse than SQO ({}) at sorted={sorted} dense={dense}",
+                    deep.est_cost,
+                    shallow.est_cost
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn figure5_configuration_produces_sphj_sphg_plan() {
+        let cat = Catalog::new();
+        let (r, s) = ForeignKeySpec {
+            r_sorted: false,
+            s_sorted: false,
+            ..Default::default()
+        }
+        .generate()
+        .unwrap();
+        cat.register("R", r);
+        cat.register("S", s);
+        let q = dqo_plan::logical::example_query_4_3();
+        let deep = optimize(&q, &cat, OptimizerMode::Deep).unwrap();
+        assert_eq!(deep.plan.algo_signature(), vec!["SPHG", "SPHJ"]);
+        let shallow = optimize(&q, &cat, OptimizerMode::Shallow).unwrap();
+        assert_eq!(shallow.plan.algo_signature(), vec!["HG", "HJ"]);
+        let factor = shallow.est_cost / deep.est_cost;
+        assert!((factor - 4.0).abs() < 0.05, "factor = {factor}");
+    }
+
+    #[test]
+    fn both_sorted_prefers_order_based_regardless_of_density() {
+        let cat = Catalog::new();
+        let (r, s) = ForeignKeySpec::default().generate().unwrap(); // both sorted, dense
+        cat.register("R", r);
+        cat.register("S", s);
+        let q = dqo_plan::logical::example_query_4_3();
+        let deep = optimize(&q, &cat, OptimizerMode::Deep).unwrap();
+        let shallow = optimize(&q, &cat, OptimizerMode::Shallow).unwrap();
+        assert_eq!(deep.plan.algo_signature(), vec!["OG", "OJ"]);
+        assert_eq!(shallow.plan.algo_signature(), vec!["OG", "OJ"]);
+        assert!((deep.est_cost - shallow.est_cost).abs() < 1e-9); // 1×
+    }
+
+    #[test]
+    fn partial_sort_plan_beats_full_resort() {
+        // R unsorted, S sorted: SQO should sort only R then merge-join.
+        let cat = Catalog::new();
+        let (r, s) = ForeignKeySpec {
+            r_sorted: false,
+            s_sorted: true,
+            ..Default::default()
+        }
+        .generate()
+        .unwrap();
+        cat.register("R", r);
+        cat.register("S", s);
+        let q = dqo_plan::logical::example_query_4_3();
+        let shallow = optimize(&q, &cat, OptimizerMode::Shallow).unwrap();
+        assert_eq!(shallow.plan.algo_signature(), vec!["OG", "OJ", "SORT"]);
+        // DQO beats the partial-sort plan with SPH: the 2.8× cell.
+        let deep = optimize(&q, &cat, OptimizerMode::Deep).unwrap();
+        assert_eq!(deep.plan.algo_signature(), vec!["SPHG", "SPHJ"]);
+        let factor = shallow.est_cost / deep.est_cost;
+        assert!((factor - 2.78).abs() < 0.02, "factor = {factor}");
+    }
+
+    #[test]
+    fn selectivity_estimates() {
+        let props = PlanProps {
+            distinct: Some(100),
+            key_range: Some((0, 99)),
+            ..PlanProps::unknown(1000)
+        };
+        let eq = Predicate::cmp("k", CmpOp::Eq, 5u32);
+        assert!((estimate_selectivity(&eq, &props) - 0.01).abs() < 1e-12);
+        let lt = Predicate::cmp("k", CmpOp::Lt, 50u32);
+        let s = estimate_selectivity(&lt, &props);
+        assert!((s - 0.5051).abs() < 0.01, "s = {s}");
+        let and = Predicate::And(vec![eq.clone(), eq]);
+        assert!((estimate_selectivity(&and, &props) - 0.0001).abs() < 1e-12);
+    }
+
+    #[test]
+    fn join_cardinality_fk_case() {
+        // PK side distinct = |R| → output = |S|.
+        assert_eq!(estimate_join_rows(25_000, 90_000, Some(25_000), Some(20_000)), 90_000);
+        // Unknown distincts: fall back to max of sizes.
+        assert_eq!(estimate_join_rows(10, 10, None, None), 10);
+    }
+
+    #[test]
+    fn no_plan_error_for_unknown_table() {
+        let cat = Catalog::new();
+        let q = grouping_query();
+        assert!(matches!(
+            optimize(&q, &cat, OptimizerMode::Deep),
+            Err(CoreError::UnknownTable(_))
+        ));
+    }
+
+    #[test]
+    fn pruning_keeps_cheapest_per_property_class() {
+        let mk = |cost: f64, sorted: bool| Candidate {
+            plan: PhysicalPlan::Scan { table: "t".into() },
+            cost,
+            sort_col: sorted.then(|| "k".to_owned()),
+            props: PlanProps {
+                sortedness: if sorted {
+                    Sortedness::Ascending
+                } else {
+                    Sortedness::Unsorted
+                },
+                partitioned: sorted,
+                ..PlanProps::unknown(10)
+            },
+        };
+        let pruned = prune(vec![mk(5.0, false), mk(3.0, false), mk(9.0, true)].into_iter());
+        assert_eq!(pruned.len(), 2); // one per property class
+        assert_eq!(pruned[0].cost, 3.0);
+        assert_eq!(pruned[1].cost, 9.0); // sorted survives despite higher cost
+    }
+}

@@ -1,0 +1,247 @@
+//! Mid-query reoptimisation — §6 of the paper:
+//!
+//! *"As with shallow query plans, the literature on reoptimisation (during
+//! query time) as well as adaptivity should be revisited in the light of
+//! DQO."*
+//!
+//! [`execute_adaptively`] runs a `GROUP BY` query in two stages: it
+//! executes the grouping's *input* sub-plan first, then derives **observed
+//! properties** from the materialised intermediate (exact sortedness,
+//! density, distinct count — no estimates) and re-runs the deep optimiser
+//! for the remaining grouping step against those observed facts. When the
+//! intermediate turns out sorted or dense in ways the static model could
+//! not prove, the grouping implementation is upgraded (e.g. HG → OG or
+//! SPHG) *after* the pipeline breaker that materialised it — the cheapest
+//! possible reoptimisation point.
+
+use crate::catalog::Catalog;
+use crate::executor::{execute_with_avs, ExecOutput};
+use crate::optimizer::{optimize_full, OptimizerMode, PropertyModel};
+use crate::cost::TupleCostModel;
+use crate::Result;
+use dqo_plan::{LogicalPlan, PhysicalPlan};
+
+/// What reoptimisation observed and decided.
+#[derive(Debug, Clone)]
+pub struct ReoptReport {
+    /// The grouping algorithm the static plan chose.
+    pub static_choice: Vec<&'static str>,
+    /// The grouping algorithm chosen against observed properties.
+    pub adaptive_choice: Vec<&'static str>,
+    /// Whether reoptimisation changed the plan.
+    pub changed: bool,
+    /// Observed properties of the intermediate (display form).
+    pub observed: String,
+}
+
+/// Execute `GroupBy(input)` adaptively: run `input`, observe, re-plan the
+/// grouping, run it. Non-grouping roots fall back to static execution.
+pub fn execute_adaptively(
+    logical: &LogicalPlan,
+    catalog: &Catalog,
+    mode: OptimizerMode,
+) -> Result<(ExecOutput, ReoptReport)> {
+    let LogicalPlan::GroupBy { input, key, aggs } = logical else {
+        let planned = optimize_full(
+            logical,
+            catalog,
+            mode,
+            &TupleCostModel,
+            None,
+            PropertyModel::AttributeStrict,
+        )?;
+        let out = execute_with_avs(&planned.plan, catalog, None)?;
+        let sig = planned.plan.algo_signature();
+        return Ok((
+            out,
+            ReoptReport {
+                static_choice: sig.clone(),
+                adaptive_choice: sig,
+                changed: false,
+                observed: "(no reoptimisation point)".into(),
+            },
+        ));
+    };
+
+    // The static plan for comparison.
+    let static_planned = optimize_full(
+        logical,
+        catalog,
+        mode,
+        &TupleCostModel,
+        None,
+        PropertyModel::AttributeStrict,
+    )?;
+    let static_grouping: Vec<&'static str> = static_planned
+        .plan
+        .algo_signature()
+        .into_iter()
+        .take(1)
+        .collect();
+
+    // Stage 1: plan + execute the input sub-plan.
+    let input_planned = optimize_full(
+        input,
+        catalog,
+        mode,
+        &TupleCostModel,
+        None,
+        PropertyModel::AttributeStrict,
+    )?;
+    let intermediate = execute_with_avs(&input_planned.plan, catalog, None)?;
+
+    // Stage 2: register the materialised intermediate; its registration
+    // computes *exact* observed statistics (sortedness, density, distinct)
+    // for every key column — estimates are now facts.
+    let tmp = "__reopt::intermediate";
+    catalog.register(tmp, intermediate.relation.clone());
+    let observed = catalog
+        .column_props(tmp, key)
+        .map(|p| p.to_string())
+        .unwrap_or_else(|_| "(key column missing)".into());
+
+    // Stage 3: re-plan just the grouping over the observed table.
+    let regroup = LogicalPlan::group_by(LogicalPlan::scan(tmp), key.clone(), aggs.clone());
+    let replanned = optimize_full(
+        &regroup,
+        catalog,
+        mode,
+        &TupleCostModel,
+        None,
+        PropertyModel::AttributeStrict,
+    )?;
+    let out = execute_with_avs(&replanned.plan, catalog, None);
+    catalog.drop_table(tmp);
+    let mut out = out?;
+    // Account the stage-1 pipeline work too.
+    out.pipeline.merge(&intermediate.pipeline);
+
+    let adaptive_grouping: Vec<&'static str> = replanned
+        .plan
+        .algo_signature()
+        .into_iter()
+        .take(1)
+        .collect();
+    let changed = adaptive_grouping != static_grouping
+        || !same_grouping_molecules(&static_planned.plan, &replanned.plan);
+    Ok((
+        out,
+        ReoptReport {
+            static_choice: static_grouping,
+            adaptive_choice: adaptive_grouping,
+            changed,
+            observed,
+        },
+    ))
+}
+
+fn grouping_molecules(plan: &PhysicalPlan) -> Option<dqo_plan::physical::GroupingMolecules> {
+    match plan {
+        PhysicalPlan::GroupBy { molecules, .. } => Some(*molecules),
+        _ => plan.children().first().and_then(|c| grouping_molecules(c)),
+    }
+}
+
+fn same_grouping_molecules(a: &PhysicalPlan, b: &PhysicalPlan) -> bool {
+    grouping_molecules(a) == grouping_molecules(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::{naive_eval, sorted_rows};
+    use dqo_plan::expr::AggExpr;
+    use dqo_storage::datagen::ForeignKeySpec;
+    use dqo_storage::{Column, DataType, Field, Relation, Schema};
+
+    /// R with id ⇄ a perfectly correlated and sorted, S sorted: the merge
+    /// join output *is* sorted by `a`, but the strict static model cannot
+    /// prove it (it only knows the stream is ordered by `id`).
+    fn correlated_catalog() -> Catalog {
+        let catalog = Catalog::new();
+        let n = 2_000u32;
+        let r = Relation::new(
+            Schema::new(vec![
+                Field::new("id", DataType::U32),
+                Field::new("a", DataType::U32),
+            ])
+            .unwrap(),
+            vec![
+                Column::U32((0..n).collect()),
+                Column::U32((0..n).map(|i| i / 10).collect()), // sorted, dense-ish
+            ],
+        )
+        .unwrap();
+        let s_keys: Vec<u32> = (0..6_000u32).map(|i| i % n).collect();
+        let mut s_sorted = s_keys;
+        s_sorted.sort_unstable();
+        let s = Relation::single_u32("r_id", s_sorted);
+        catalog.register("r", r);
+        catalog.register("s", s);
+        catalog
+    }
+
+    fn join_group_query() -> std::sync::Arc<LogicalPlan> {
+        LogicalPlan::group_by(
+            LogicalPlan::join(LogicalPlan::scan("r"), LogicalPlan::scan("s"), "id", "r_id"),
+            "a",
+            vec![AggExpr::count_star("n")],
+        )
+    }
+
+    #[test]
+    fn reopt_upgrades_grouping_on_observed_order() {
+        let catalog = correlated_catalog();
+        let q = join_group_query();
+        let (out, report) = execute_adaptively(&q, &catalog, OptimizerMode::Deep).unwrap();
+        // Statically, the strict model cannot use OG on `a` after a join
+        // on `id`; adaptively, the observed intermediate is provably
+        // sorted (correlation) or dense → a cheaper grouping is picked.
+        assert!(
+            report.changed,
+            "expected an upgrade; static {:?} adaptive {:?} observed {}",
+            report.static_choice, report.adaptive_choice, report.observed
+        );
+        assert!(matches!(report.adaptive_choice[0], "OG" | "SPHG"));
+        // And the result is still correct.
+        let naive = naive_eval(&q, &catalog).unwrap();
+        assert_eq!(sorted_rows(&out.relation), sorted_rows(&naive));
+    }
+
+    #[test]
+    fn reopt_is_correct_on_uncorrelated_data() {
+        let catalog = Catalog::new();
+        let (r, s) = ForeignKeySpec {
+            r_rows: 500,
+            s_rows: 1_500,
+            groups: 60,
+            r_sorted: false,
+            s_sorted: false,
+            dense: true,
+            seed: 3,
+        }
+        .generate()
+        .unwrap();
+        catalog.register("r", r);
+        catalog.register("s", s);
+        let q = join_group_query();
+        let naive = naive_eval(&q, &catalog).unwrap();
+        let (out, _) = execute_adaptively(&q, &catalog, OptimizerMode::Deep).unwrap();
+        assert_eq!(sorted_rows(&out.relation), sorted_rows(&naive));
+        // The temp table is cleaned up.
+        assert!(catalog.get("__reopt::intermediate").is_err());
+    }
+
+    #[test]
+    fn non_grouping_roots_fall_back_to_static() {
+        let catalog = Catalog::new();
+        catalog.register("t", Relation::single_u32("key", vec![3, 1, 2]));
+        let q = LogicalPlan::sort(LogicalPlan::scan("t"), "key");
+        let (out, report) = execute_adaptively(&q, &catalog, OptimizerMode::Deep).unwrap();
+        assert!(!report.changed);
+        assert_eq!(
+            out.relation.column("key").unwrap().as_u32().unwrap(),
+            &[1, 2, 3]
+        );
+    }
+}

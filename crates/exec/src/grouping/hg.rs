@@ -1,0 +1,198 @@
+//! Hash-based Grouping (HG) — §4.1.
+//!
+//! *"We use `std::unordered_map` as the underlying hash table and the
+//! Murmur3 finaliser as hash function. Every input element is inserted
+//! individually into the hash table."*
+//!
+//! [`hash_grouping_chaining`] reproduces that configuration via
+//! `dqo-hashtable`'s chained table (per-node allocations ⇒ the cache-miss
+//! growth visible in Figure 4). [`hash_grouping`] is generic over any
+//! [`GroupTable`] so the DQO molecule ablation (E9) can swap the table
+//! implementation and hash function without touching the operator.
+
+use crate::aggregate::Aggregator;
+use crate::grouping::GroupedResult;
+use dqo_hashtable::{
+    ChainingTable, GroupTable, HashFn, LinearProbingTable, Murmur3Finalizer,
+    QuadraticProbingTable, RobinHoodTable,
+};
+
+/// Hash grouping over any key→state table — the operator is one loop; the
+/// *table* is the DQO decision.
+pub fn hash_grouping<A, T>(keys: &[u32], values: &[u32], agg: A, mut table: T) -> GroupedResult<A::State>
+where
+    A: Aggregator,
+    T: GroupTable<A::State>,
+{
+    debug_assert_eq!(keys.len(), values.len());
+    for (&k, &v) in keys.iter().zip(values) {
+        let state = table.upsert_with(k, A::State::default);
+        agg.update(state, v);
+    }
+    let sorted = table.output_sorted();
+    let pairs = table.drain();
+    let mut keys_out = Vec::with_capacity(pairs.len());
+    let mut states = Vec::with_capacity(pairs.len());
+    for (k, s) in pairs {
+        keys_out.push(k);
+        states.push(s);
+    }
+    GroupedResult {
+        keys: keys_out,
+        states,
+        sorted_by_key: sorted,
+    }
+}
+
+/// The paper's HG: chaining table + Murmur3 finaliser, individual inserts.
+pub fn hash_grouping_chaining<A: Aggregator>(
+    keys: &[u32],
+    values: &[u32],
+    agg: A,
+    capacity: usize,
+) -> GroupedResult<A::State> {
+    hash_grouping(keys, values, agg, ChainingTable::with_capacity(capacity))
+}
+
+/// Molecule ablation: HG over linear probing with a chosen hash function.
+pub fn hash_grouping_linear<A: Aggregator, H: HashFn>(
+    keys: &[u32],
+    values: &[u32],
+    agg: A,
+    capacity: usize,
+    hash: H,
+) -> GroupedResult<A::State> {
+    hash_grouping(
+        keys,
+        values,
+        agg,
+        LinearProbingTable::with_capacity_and_hasher(capacity, hash),
+    )
+}
+
+/// Molecule ablation: HG over quadratic probing with a chosen hash function.
+pub fn hash_grouping_quadratic<A: Aggregator, H: HashFn>(
+    keys: &[u32],
+    values: &[u32],
+    agg: A,
+    capacity: usize,
+    hash: H,
+) -> GroupedResult<A::State> {
+    hash_grouping(
+        keys,
+        values,
+        agg,
+        QuadraticProbingTable::with_capacity_and_hasher(capacity, hash),
+    )
+}
+
+/// Molecule ablation: HG over Robin-Hood with a chosen hash function.
+pub fn hash_grouping_robin_hood<A: Aggregator, H: HashFn>(
+    keys: &[u32],
+    values: &[u32],
+    agg: A,
+    capacity: usize,
+    hash: H,
+) -> GroupedResult<A::State> {
+    hash_grouping(
+        keys,
+        values,
+        agg,
+        RobinHoodTable::with_capacity_and_hasher(capacity, hash),
+    )
+}
+
+/// The paper's default molecule for HG, re-exported for plan rendering.
+pub type DefaultHash = Murmur3Finalizer;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::{CountSum, FullAgg};
+    use dqo_hashtable::hash_fn::Fibonacci;
+
+    fn sorted_triples(r: GroupedResult<crate::aggregate::CountSumState>) -> Vec<(u32, u64, u64)> {
+        let mut r = r;
+        r.sort_by_key();
+        r.keys
+            .iter()
+            .zip(&r.states)
+            .map(|(&k, s)| (k, s.count, s.sum))
+            .collect()
+    }
+
+    #[test]
+    fn counts_and_sums() {
+        let keys = [5u32, 3, 5, 5, 3];
+        let vals = [10u32, 20, 30, 40, 50];
+        let r = hash_grouping_chaining(&keys, &vals, CountSum, 4);
+        assert_eq!(
+            sorted_triples(r),
+            vec![(3, 2, 70), (5, 3, 80)]
+        );
+    }
+
+    #[test]
+    fn output_not_claimed_sorted() {
+        let r = hash_grouping_chaining(&[2u32, 1], &[0, 0], CountSum, 2);
+        assert!(!r.sorted_by_key);
+    }
+
+    #[test]
+    fn empty_input() {
+        let r = hash_grouping_chaining(&[], &[], CountSum, 0);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn single_group_many_rows() {
+        let keys = vec![7u32; 10_000];
+        let vals = vec![1u32; 10_000];
+        let r = hash_grouping_chaining(&keys, &vals, CountSum, 1);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.states[0].count, 10_000);
+        assert_eq!(r.states[0].sum, 10_000);
+    }
+
+    #[test]
+    fn table_variants_agree() {
+        let keys: Vec<u32> = (0..5_000).map(|i| (i * 7919) % 257).collect();
+        let vals: Vec<u32> = (0..5_000).map(|i| i % 100).collect();
+        let a = sorted_triples(hash_grouping_chaining(&keys, &vals, CountSum, 257));
+        let b = sorted_triples(hash_grouping_linear(
+            &keys,
+            &vals,
+            CountSum,
+            257,
+            Murmur3Finalizer,
+        ));
+        let c = sorted_triples(hash_grouping_robin_hood(
+            &keys,
+            &vals,
+            CountSum,
+            257,
+            Fibonacci,
+        ));
+        let d = sorted_triples(hash_grouping_quadratic(
+            &keys,
+            &vals,
+            CountSum,
+            257,
+            Murmur3Finalizer,
+        ));
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+        assert_eq!(a, d);
+    }
+
+    #[test]
+    fn full_aggregate_via_hg() {
+        let keys = [1u32, 1, 2];
+        let vals = [4u32, 6, 9];
+        let mut r = hash_grouping_chaining(&keys, &vals, FullAgg, 2);
+        r.sort_by_key();
+        let s1 = &r.states[0];
+        assert_eq!((s1.count, s1.sum, s1.min, s1.max), (2, 10, 4, 6));
+        assert_eq!(s1.avg(), Some(5.0));
+    }
+}

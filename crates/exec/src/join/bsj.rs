@@ -1,0 +1,71 @@
+//! Binary Search Join (BSJ) — the join twin of BSG.
+//!
+//! The build side is argsorted into a (key, row) array; every probe is a
+//! binary search over it. Table 2 charges `(|R|+|S|)·log₂(#groups)`:
+//! logarithmic per tuple on both sides, which — like BSG — wins against
+//! hash joins only when the distinct-key count is tiny.
+
+use crate::join::JoinResult;
+
+/// Binary-search join: argsort `left_keys`, probe with `right_keys`.
+pub fn binary_search_join(left_keys: &[u32], right_keys: &[u32]) -> JoinResult {
+    // Sorted (key, original row) view of the build side.
+    let mut build: Vec<(u32, u32)> = left_keys
+        .iter()
+        .enumerate()
+        .map(|(i, &k)| (k, i as u32))
+        .collect();
+    build.sort_unstable_by_key(|&(k, _)| k);
+
+    let mut left_rows = Vec::new();
+    let mut right_rows = Vec::new();
+    for (j, &k) in right_keys.iter().enumerate() {
+        // Find the equal-key run via two boundary searches.
+        let lo = build.partition_point(|&(bk, _)| bk < k);
+        let hi = build.partition_point(|&(bk, _)| bk <= k);
+        for &(_, li) in &build[lo..hi] {
+            left_rows.push(li);
+            right_rows.push(j as u32);
+        }
+    }
+    JoinResult {
+        left_rows,
+        right_rows,
+        sorted_by_key: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::join::nested_loop_oracle;
+
+    #[test]
+    fn matches_oracle() {
+        let left = [8u32, 1, 5, 5];
+        let right = [5u32, 8, 2, 5];
+        let r = binary_search_join(&left, &right);
+        assert_eq!(r.normalised_pairs(), nested_loop_oracle(&left, &right));
+    }
+
+    #[test]
+    fn duplicate_runs() {
+        let r = binary_search_join(&[2u32, 2], &[2u32, 2, 2]);
+        assert_eq!(r.len(), 6);
+    }
+
+    #[test]
+    fn sparse_keys() {
+        let left = [4_000_000_000u32, 10];
+        let right = [10u32, 4_000_000_000, 11];
+        let r = binary_search_join(&left, &right);
+        assert_eq!(r.normalised_pairs(), nested_loop_oracle(&left, &right));
+    }
+
+    #[test]
+    fn no_matches_and_empty() {
+        assert!(binary_search_join(&[1, 2], &[3]).is_empty());
+        assert!(binary_search_join(&[], &[]).is_empty());
+        assert!(binary_search_join(&[], &[1]).is_empty());
+    }
+}

@@ -1,0 +1,75 @@
+//! Hash Join (HJ) — the join twin of hash-based grouping.
+//!
+//! Build a chained hash table (key → left row indices) over the left input,
+//! probe with every right tuple. Table 2 charges `4·(|R|+|S|)`: four
+//! abstract operations per tuple on both sides, mirroring HG's `4·|R|`.
+
+use crate::join::JoinResult;
+use dqo_hashtable::{ChainingTable, GroupTable};
+
+/// Hash join: build on `left_keys`, probe with `right_keys`.
+pub fn hash_join(left_keys: &[u32], right_keys: &[u32], build_capacity: usize) -> JoinResult {
+    let mut table: ChainingTable<Vec<u32>> = ChainingTable::with_capacity(build_capacity);
+    for (i, &k) in left_keys.iter().enumerate() {
+        table.upsert_with(k, Vec::new).push(i as u32);
+    }
+    let mut left_rows = Vec::new();
+    let mut right_rows = Vec::new();
+    for (j, &k) in right_keys.iter().enumerate() {
+        if let Some(matches) = table.get(k) {
+            for &i in matches {
+                left_rows.push(i);
+                right_rows.push(j as u32);
+            }
+        }
+    }
+    JoinResult {
+        left_rows,
+        right_rows,
+        // Output follows probe order hashed through a black-box table on
+        // the build side — assume unordered (§2.1).
+        sorted_by_key: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::join::nested_loop_oracle;
+
+    #[test]
+    fn matches_oracle_with_duplicates() {
+        let left = [1u32, 2, 2, 3];
+        let right = [2u32, 2, 3, 4];
+        let r = hash_join(&left, &right, 4);
+        assert_eq!(r.normalised_pairs(), nested_loop_oracle(&left, &right));
+        // 2×2 matches for key 2 plus one for key 3.
+        assert_eq!(r.len(), 5);
+    }
+
+    #[test]
+    fn no_matches() {
+        let r = hash_join(&[1, 2], &[3, 4], 2);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn empty_sides() {
+        assert!(hash_join(&[], &[1], 0).is_empty());
+        assert!(hash_join(&[1], &[], 1).is_empty());
+    }
+
+    #[test]
+    fn fk_join_cardinality() {
+        // PK on the left, FK probes on the right → output = |right|.
+        let left: Vec<u32> = (0..100).collect();
+        let right: Vec<u32> = (0..500).map(|i| (i * 7) % 100).collect();
+        let r = hash_join(&left, &right, 100);
+        assert_eq!(r.len(), 500);
+    }
+
+    #[test]
+    fn output_not_claimed_sorted() {
+        assert!(!hash_join(&[1], &[1], 1).sorted_by_key);
+    }
+}

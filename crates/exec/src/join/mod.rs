@@ -1,0 +1,250 @@
+//! The join algorithm family — §4.3, Table 2.
+//!
+//! *"For the physical implementations of the joins, we assume the
+//! algorithmic counterparts of our grouping implementations."* A join is a
+//! co-group with two inputs (the paper's footnote 1), so each grouping
+//! variant has a join twin:
+//!
+//! | Grouping | Join | Module | Cost (Table 2) |
+//! |---|---|---|---|
+//! | HG | HJ | [`hj`] | `4·(|R|+|S|)` |
+//! | OG | OJ | [`oj`] | `|R|+|S|` (both inputs sorted) |
+//! | SOG | SOJ | [`soj`] | `|R|log|R| + |S|log|S| + |R|+|S|` |
+//! | SPHG | SPHJ | [`sphj`] | `|R|+|S|` (dense build domain) |
+//! | BSG | BSJ | [`bsj`] | `(|R|+|S|)·log₂(#groups)` |
+//!
+//! All joins are equi-joins on `u32` key columns and produce row-index
+//! pairs; the executor gathers payload columns afterwards.
+
+pub mod bsj;
+pub mod hj;
+pub mod oj;
+pub mod soj;
+pub mod sphj;
+
+use crate::error::ExecError;
+use crate::Result;
+
+/// The output of an equi-join: matching row-index pairs into the left and
+/// right inputs, plus the output-order plan property.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct JoinResult {
+    /// Row indices into the left input.
+    pub left_rows: Vec<u32>,
+    /// Row indices into the right input (parallel to `left_rows`).
+    pub right_rows: Vec<u32>,
+    /// Whether output pairs are ordered by ascending join key.
+    pub sorted_by_key: bool,
+}
+
+impl JoinResult {
+    /// Number of output tuples.
+    pub fn len(&self) -> usize {
+        self.left_rows.len()
+    }
+
+    /// True if the join produced nothing.
+    pub fn is_empty(&self) -> bool {
+        self.left_rows.is_empty()
+    }
+
+    /// Normalise to (left, right) pairs sorted lexicographically — for
+    /// result comparison in tests and oracles.
+    pub fn normalised_pairs(&self) -> Vec<(u32, u32)> {
+        let mut pairs: Vec<(u32, u32)> = self
+            .left_rows
+            .iter()
+            .copied()
+            .zip(self.right_rows.iter().copied())
+            .collect();
+        pairs.sort_unstable();
+        pairs
+    }
+}
+
+/// Identifies a join variant — the organelle-level plan decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JoinAlgorithm {
+    /// HJ — hash join (build left, probe right).
+    HashBased,
+    /// OJ — merge join; both inputs must be sorted by the join key.
+    OrderBased,
+    /// SOJ — sort both inputs, then merge.
+    SortOrderBased,
+    /// SPHJ — static-perfect-hash join; build side domain must be dense.
+    StaticPerfectHash,
+    /// BSJ — binary-search join over the sorted build-key array.
+    BinarySearch,
+}
+
+impl JoinAlgorithm {
+    /// Paper abbreviation.
+    pub fn abbrev(self) -> &'static str {
+        match self {
+            JoinAlgorithm::HashBased => "HJ",
+            JoinAlgorithm::OrderBased => "OJ",
+            JoinAlgorithm::SortOrderBased => "SOJ",
+            JoinAlgorithm::StaticPerfectHash => "SPHJ",
+            JoinAlgorithm::BinarySearch => "BSJ",
+        }
+    }
+
+    /// Requires both inputs sorted by the join key.
+    pub fn requires_sorted_inputs(self) -> bool {
+        matches!(self, JoinAlgorithm::OrderBased)
+    }
+
+    /// Requires a dense build-side key domain.
+    pub fn requires_dense_domain(self) -> bool {
+        matches!(self, JoinAlgorithm::StaticPerfectHash)
+    }
+
+    /// Output ordered by join key.
+    pub fn output_sorted(self) -> bool {
+        matches!(
+            self,
+            JoinAlgorithm::OrderBased | JoinAlgorithm::SortOrderBased
+        )
+    }
+
+    /// All five variants.
+    pub fn all() -> [JoinAlgorithm; 5] {
+        [
+            JoinAlgorithm::HashBased,
+            JoinAlgorithm::OrderBased,
+            JoinAlgorithm::SortOrderBased,
+            JoinAlgorithm::StaticPerfectHash,
+            JoinAlgorithm::BinarySearch,
+        ]
+    }
+}
+
+impl std::fmt::Display for JoinAlgorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.abbrev())
+    }
+}
+
+/// Side information for join variants (catalog statistics).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JoinHints {
+    /// Min key of the build (left) side, for SPHJ.
+    pub build_min: Option<u32>,
+    /// Max key of the build (left) side, for SPHJ.
+    pub build_max: Option<u32>,
+    /// Distinct build keys, for table pre-sizing.
+    pub build_distinct: Option<u64>,
+}
+
+/// Dispatch a join variant on two key columns.
+pub fn execute_join(
+    algo: JoinAlgorithm,
+    left_keys: &[u32],
+    right_keys: &[u32],
+    hints: &JoinHints,
+) -> Result<JoinResult> {
+    match algo {
+        JoinAlgorithm::HashBased => Ok(hj::hash_join(
+            left_keys,
+            right_keys,
+            hints.build_distinct.unwrap_or(16) as usize,
+        )),
+        JoinAlgorithm::OrderBased => oj::merge_join(left_keys, right_keys),
+        JoinAlgorithm::SortOrderBased => Ok(soj::sort_merge_join(left_keys, right_keys)),
+        JoinAlgorithm::StaticPerfectHash => {
+            let (min, max) = match (hints.build_min, hints.build_max) {
+                (Some(lo), Some(hi)) => (lo, hi),
+                _ => min_max(left_keys).ok_or_else(|| {
+                    ExecError::MissingInput("SPHJ on empty build side without domain".into())
+                })?,
+            };
+            sphj::sph_join(left_keys, right_keys, min, max)
+        }
+        JoinAlgorithm::BinarySearch => Ok(bsj::binary_search_join(left_keys, right_keys)),
+    }
+}
+
+fn min_max(keys: &[u32]) -> Option<(u32, u32)> {
+    let mut it = keys.iter();
+    let &first = it.next()?;
+    let mut lo = first;
+    let mut hi = first;
+    for &k in it {
+        lo = lo.min(k);
+        hi = hi.max(k);
+    }
+    Some((lo, hi))
+}
+
+/// Naive nested-loop join — the test oracle every variant is checked
+/// against (quadratic; tests only).
+pub fn nested_loop_oracle(left_keys: &[u32], right_keys: &[u32]) -> Vec<(u32, u32)> {
+    let mut out = Vec::new();
+    for (i, &lk) in left_keys.iter().enumerate() {
+        for (j, &rk) in right_keys.iter().enumerate() {
+            if lk == rk {
+                out.push((i as u32, j as u32));
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metadata() {
+        assert_eq!(JoinAlgorithm::HashBased.abbrev(), "HJ");
+        assert!(JoinAlgorithm::OrderBased.requires_sorted_inputs());
+        assert!(JoinAlgorithm::StaticPerfectHash.requires_dense_domain());
+        assert!(JoinAlgorithm::SortOrderBased.output_sorted());
+        assert!(!JoinAlgorithm::HashBased.output_sorted());
+    }
+
+    #[test]
+    fn all_variants_agree_on_sorted_dense_inputs() {
+        let left: Vec<u32> = vec![0, 1, 2, 3, 4];
+        let right: Vec<u32> = vec![0, 0, 2, 2, 4, 9];
+        let oracle = nested_loop_oracle(&left, &right);
+        for algo in JoinAlgorithm::all() {
+            let r = execute_join(algo, &left, &right, &JoinHints::default()).unwrap();
+            assert_eq!(r.normalised_pairs(), oracle, "{algo} disagrees");
+        }
+    }
+
+    #[test]
+    fn join_result_helpers() {
+        let r = JoinResult {
+            left_rows: vec![1, 0],
+            right_rows: vec![5, 6],
+            sorted_by_key: false,
+        };
+        assert_eq!(r.len(), 2);
+        assert!(!r.is_empty());
+        assert_eq!(r.normalised_pairs(), vec![(0, 6), (1, 5)]);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        for algo in JoinAlgorithm::all() {
+            let r = execute_join(algo, &[], &[], &JoinHints::default());
+            match algo {
+                // SPHJ cannot infer a domain from an empty build side
+                // without hints; everything else yields empty output.
+                JoinAlgorithm::StaticPerfectHash => assert!(r.is_err()),
+                _ => assert!(r.unwrap().is_empty()),
+            }
+        }
+        // With hints, SPHJ accepts the empty build side too.
+        let hints = JoinHints {
+            build_min: Some(0),
+            build_max: Some(0),
+            build_distinct: Some(0),
+        };
+        let r = execute_join(JoinAlgorithm::StaticPerfectHash, &[], &[], &hints).unwrap();
+        assert!(r.is_empty());
+    }
+}

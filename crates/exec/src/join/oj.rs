@@ -1,0 +1,128 @@
+//! Order-based (merge) Join (OJ) — the join twin of order-based grouping.
+//!
+//! Requires **both** inputs sorted by the join key (the interesting-order
+//! precondition SQO already tracks); one synchronized pass, `|R|+|S|`
+//! abstract operations (Table 2), output sorted by key.
+
+use crate::error::ExecError;
+use crate::join::JoinResult;
+use crate::Result;
+
+/// Merge join over two ascending key columns.
+///
+/// Errors if either input is found unsorted (checked on the fly at zero
+/// extra cost — the merge already inspects adjacent keys).
+pub fn merge_join(left_keys: &[u32], right_keys: &[u32]) -> Result<JoinResult> {
+    let mut left_rows = Vec::new();
+    let mut right_rows = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < left_keys.len() && j < right_keys.len() {
+        check_order("left", left_keys, i)?;
+        check_order("right", right_keys, j)?;
+        let (lk, rk) = (left_keys[i], right_keys[j]);
+        if lk < rk {
+            i += 1;
+        } else if lk > rk {
+            j += 1;
+        } else {
+            // Equal runs on both sides → cross product of the runs.
+            let li0 = i;
+            while i < left_keys.len() && left_keys[i] == lk {
+                i += 1;
+            }
+            let rj0 = j;
+            while j < right_keys.len() && right_keys[j] == rk {
+                j += 1;
+            }
+            for li in li0..i {
+                for rj in rj0..j {
+                    left_rows.push(li as u32);
+                    right_rows.push(rj as u32);
+                }
+            }
+        }
+    }
+    // Verify the unconsumed tails too — correctness of the precondition
+    // matters more than the few comparisons this costs.
+    for k in i..left_keys.len() {
+        check_order("left", left_keys, k)?;
+    }
+    for k in j..right_keys.len() {
+        check_order("right", right_keys, k)?;
+    }
+    Ok(JoinResult {
+        left_rows,
+        right_rows,
+        sorted_by_key: true,
+    })
+}
+
+#[inline(always)]
+fn check_order(side: &'static str, keys: &[u32], at: usize) -> Result<()> {
+    if at > 0 && keys[at - 1] > keys[at] {
+        return Err(ExecError::PreconditionViolated {
+            algorithm: "OJ",
+            detail: format!("{side} input unsorted at row {at}"),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::join::nested_loop_oracle;
+
+    #[test]
+    fn matches_oracle_on_sorted_inputs() {
+        let left = [1u32, 2, 2, 5, 9];
+        let right = [2u32, 2, 3, 5, 5, 9];
+        let r = merge_join(&left, &right).unwrap();
+        assert_eq!(r.normalised_pairs(), nested_loop_oracle(&left, &right));
+        assert!(r.sorted_by_key);
+    }
+
+    #[test]
+    fn duplicate_runs_cross_product() {
+        let left = [7u32, 7];
+        let right = [7u32, 7, 7];
+        let r = merge_join(&left, &right).unwrap();
+        assert_eq!(r.len(), 6);
+    }
+
+    #[test]
+    fn unsorted_left_rejected() {
+        let r = merge_join(&[2u32, 1], &[1u32, 2]);
+        assert!(matches!(
+            r,
+            Err(ExecError::PreconditionViolated { algorithm: "OJ", .. })
+        ));
+    }
+
+    #[test]
+    fn unsorted_right_rejected() {
+        let r = merge_join(&[1u32, 2], &[3u32, 1, 3]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn unsorted_tail_detected() {
+        // Right tail is never reached by the merge loop (left exhausts
+        // first), but the order violation must still surface.
+        let r = merge_join(&[1u32], &[1u32, 5, 3]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn disjoint_ranges() {
+        let r = merge_join(&[1u32, 2, 3], &[10u32, 11]).unwrap();
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(merge_join(&[], &[]).unwrap().is_empty());
+        assert!(merge_join(&[1], &[]).unwrap().is_empty());
+        assert!(merge_join(&[], &[1]).unwrap().is_empty());
+    }
+}

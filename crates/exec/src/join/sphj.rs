@@ -1,0 +1,211 @@
+//! Static Perfect Hash Join (SPHJ) — the join twin of SPHG.
+//!
+//! Applicable when the **build side's key domain is dense** (§2.1): the
+//! build side is scattered into a CSR-shaped array indexed by `key - min`
+//! (one count pass, one fill pass), and each probe is a single array
+//! access. `|R| + |S|` abstract operations — the plan DQO unlocks by
+//! tracking density, worth the 4× of Figure 5.
+
+use crate::error::ExecError;
+use crate::join::JoinResult;
+use crate::Result;
+
+/// A prebuilt SPH join index over a dense build-side domain: CSR layout
+/// mapping `key - min` to the build rows holding that key.
+///
+/// Building this once and probing many times is exactly what an
+/// *Algorithmic View* (§3) materialises offline — `dqo-core`'s AV catalog
+/// stores these.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SphIndex {
+    min: u32,
+    /// CSR offsets: group `g` owns `rows[offsets[g]..offsets[g+1]]`.
+    offsets: Vec<u32>,
+    /// Build-side row indices, grouped by key slot.
+    rows: Vec<u32>,
+}
+
+impl SphIndex {
+    /// Build from the build-side keys over domain `[min, max]`.
+    /// Count pass → prefix sums → fill: no per-slot allocations.
+    pub fn build(left_keys: &[u32], min: u32, max: u32) -> Result<Self> {
+        if max < min {
+            return Err(ExecError::PreconditionViolated {
+                algorithm: "SPHJ",
+                detail: format!("empty domain: max ({max}) < min ({min})"),
+            });
+        }
+        let domain = (u64::from(max) - u64::from(min) + 1) as usize;
+        let mut offsets = vec![0u32; domain + 1];
+        for &k in left_keys {
+            let off = slot(k, min, domain).ok_or_else(|| domain_violation(k, min, max))?;
+            offsets[off + 1] += 1;
+        }
+        for i in 0..domain {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut rows = vec![0u32; left_keys.len()];
+        let mut cursor = offsets.clone();
+        for (i, &k) in left_keys.iter().enumerate() {
+            let off = slot(k, min, domain).expect("validated in count pass");
+            rows[cursor[off] as usize] = i as u32;
+            cursor[off] += 1;
+        }
+        Ok(SphIndex { min, offsets, rows })
+    }
+
+    /// Probe with the right-side keys. Keys outside the domain simply do
+    /// not match (no FK guarantee assumed).
+    pub fn probe(&self, right_keys: &[u32]) -> JoinResult {
+        let domain = self.offsets.len() - 1;
+        let mut left_rows = Vec::with_capacity(right_keys.len());
+        let mut right_rows = Vec::with_capacity(right_keys.len());
+        for (j, &k) in right_keys.iter().enumerate() {
+            if let Some(off) = slot(k, self.min, domain) {
+                let (lo, hi) = (self.offsets[off] as usize, self.offsets[off + 1] as usize);
+                for &li in &self.rows[lo..hi] {
+                    left_rows.push(li);
+                    right_rows.push(j as u32);
+                }
+            }
+        }
+        JoinResult {
+            left_rows,
+            right_rows,
+            // Output follows probe order; key-sortedness would require a
+            // sorted probe side, which the optimiser tracks separately.
+            sorted_by_key: false,
+        }
+    }
+
+    /// Heap footprint in bytes (AV budget accounting).
+    pub fn byte_size(&self) -> usize {
+        (self.offsets.len() + self.rows.len()) * std::mem::size_of::<u32>()
+    }
+}
+
+/// SPH join: dense build side `left_keys` over domain `[min, max]`,
+/// probe with `right_keys`.
+pub fn sph_join(left_keys: &[u32], right_keys: &[u32], min: u32, max: u32) -> Result<JoinResult> {
+    if left_keys.is_empty() || right_keys.is_empty() {
+        return Ok(JoinResult {
+            left_rows: Vec::new(),
+            right_rows: Vec::new(),
+            sorted_by_key: false,
+        });
+    }
+    Ok(SphIndex::build(left_keys, min, max)?.probe(right_keys))
+}
+
+#[inline(always)]
+fn slot(key: u32, min: u32, domain: usize) -> Option<usize> {
+    let off = key.checked_sub(min)? as usize;
+    (off < domain).then_some(off)
+}
+
+fn domain_violation(key: u32, min: u32, max: u32) -> ExecError {
+    ExecError::PreconditionViolated {
+        algorithm: "SPHJ",
+        detail: format!("build key {key} outside dense domain [{min}, {max}]"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::join::nested_loop_oracle;
+
+    #[test]
+    fn matches_oracle() {
+        let left = [0u32, 1, 2, 2, 4];
+        let right = [2u32, 4, 4, 0, 7];
+        let r = sph_join(&left, &right, 0, 4).unwrap();
+        assert_eq!(r.normalised_pairs(), nested_loop_oracle(&left, &right));
+    }
+
+    #[test]
+    fn probe_keys_outside_domain_do_not_match() {
+        let left = [1u32, 2];
+        let right = [0u32, 3, 2];
+        let r = sph_join(&left, &right, 1, 2).unwrap();
+        assert_eq!(r.normalised_pairs(), vec![(1, 2)]);
+    }
+
+    #[test]
+    fn build_key_outside_domain_is_error() {
+        let r = sph_join(&[5u32], &[5u32], 0, 3);
+        assert!(matches!(
+            r,
+            Err(ExecError::PreconditionViolated { algorithm: "SPHJ", .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_build_keys() {
+        let left = [3u32, 3, 3];
+        let right = [3u32, 3];
+        let r = sph_join(&left, &right, 3, 3).unwrap();
+        assert_eq!(r.len(), 6);
+    }
+
+    #[test]
+    fn offset_domain() {
+        let left = [100u32, 101];
+        let right = [101u32, 100, 101];
+        let r = sph_join(&left, &right, 100, 101).unwrap();
+        assert_eq!(r.normalised_pairs(), nested_loop_oracle(&left, &right));
+    }
+
+    #[test]
+    fn empty_sides_short_circuit() {
+        assert!(sph_join(&[], &[1], 0, 0).unwrap().is_empty());
+        assert!(sph_join(&[1], &[], 0, 3).unwrap().is_empty());
+    }
+
+    #[test]
+    fn inverted_domain_rejected() {
+        assert!(sph_join(&[1u32], &[1u32], 5, 2).is_err());
+    }
+
+    #[test]
+    fn pk_fk_join_output_equals_probe_size() {
+        let left: Vec<u32> = (0..50).collect();
+        let right: Vec<u32> = (0..200).map(|i| (i * 13) % 50).collect();
+        let r = sph_join(&left, &right, 0, 49).unwrap();
+        assert_eq!(r.len(), 200);
+    }
+}
+
+#[cfg(test)]
+mod index_tests {
+    use super::*;
+    use crate::join::nested_loop_oracle;
+
+    #[test]
+    fn prebuilt_index_probe_matches_one_shot_join() {
+        let left = [0u32, 1, 2, 2, 4];
+        let right = [2u32, 4, 4, 0, 7];
+        let idx = SphIndex::build(&left, 0, 4).unwrap();
+        let via_index = idx.probe(&right);
+        let one_shot = sph_join(&left, &right, 0, 4).unwrap();
+        assert_eq!(via_index, one_shot);
+        assert_eq!(via_index.normalised_pairs(), nested_loop_oracle(&left, &right));
+    }
+
+    #[test]
+    fn index_is_reusable_across_probes() {
+        let left: Vec<u32> = (0..100).collect();
+        let idx = SphIndex::build(&left, 0, 99).unwrap();
+        let a = idx.probe(&[5, 5, 99]);
+        let b = idx.probe(&[0]);
+        assert_eq!(a.len(), 3);
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn index_byte_size_accounts_csr() {
+        let idx = SphIndex::build(&[0u32, 1], 0, 1).unwrap();
+        // offsets: 3 u32, rows: 2 u32 → 20 bytes.
+        assert_eq!(idx.byte_size(), 20);
+    }
+}

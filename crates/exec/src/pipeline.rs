@@ -1,0 +1,137 @@
+//! Pipeline-breaker accounting.
+//!
+//! §1 of the paper criticises the textbook hash-grouping signature for
+//! inducing *"two unnecessary pipeline breakers"*: the fully materialised
+//! input relation and the collected result set. This module gives the
+//! engine a way to *measure* that: operators report how many times they
+//! materialise their full input/output, and the deep-plan executor
+//! aggregates the counts so plans can be compared on blocking behaviour,
+//! not just abstract cost.
+
+use std::fmt;
+
+/// Blocking behaviour of one operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Blocking {
+    /// Streams tuples through (e.g. OG's single pass, SPHJ's probe side).
+    Pipelined,
+    /// Must consume its entire input before producing output (e.g. the
+    /// build of a hash table, a sort).
+    FullBreaker,
+}
+
+/// Execution statistics accumulated along a pipeline.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// Number of pipeline breakers encountered.
+    pub breakers: usize,
+    /// Total rows materialised at breakers.
+    pub materialised_rows: u64,
+    /// Total rows streamed through pipelined operators.
+    pub streamed_rows: u64,
+}
+
+impl PipelineStats {
+    /// Record one operator's behaviour over `rows` tuples.
+    pub fn record(&mut self, blocking: Blocking, rows: u64) {
+        match blocking {
+            Blocking::Pipelined => self.streamed_rows += rows,
+            Blocking::FullBreaker => {
+                self.breakers += 1;
+                self.materialised_rows += rows;
+            }
+        }
+    }
+
+    /// Merge stats from a sub-pipeline.
+    pub fn merge(&mut self, other: &PipelineStats) {
+        self.breakers += other.breakers;
+        self.materialised_rows += other.materialised_rows;
+        self.streamed_rows += other.streamed_rows;
+    }
+}
+
+impl fmt::Display for PipelineStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} breaker(s), {} rows materialised, {} rows streamed",
+            self.breakers, self.materialised_rows, self.streamed_rows
+        )
+    }
+}
+
+/// Blocking classification of the grouping variants — the §1 observation
+/// made explicit. HG's two phases (load table, then emit) block; OG
+/// streams; SOG's sort blocks; SPHG blocks only on output emission when
+/// the consumer needs sorted groups (we classify the canonical behaviour).
+pub fn grouping_blocking(algo: crate::grouping::GroupingAlgorithm) -> Blocking {
+    use crate::grouping::GroupingAlgorithm::*;
+    match algo {
+        // One pass, groups emitted as runs close — non-blocking.
+        OrderBased => Blocking::Pipelined,
+        // All others fill a table/array first: the textbook two-phase shape.
+        HashBased | StaticPerfectHash | SortOrderBased | BinarySearch => Blocking::FullBreaker,
+    }
+}
+
+/// Blocking classification of the join variants (probe sides stream; the
+/// classification is for the build/sort phase).
+pub fn join_blocking(algo: crate::join::JoinAlgorithm) -> Blocking {
+    use crate::join::JoinAlgorithm::*;
+    match algo {
+        // Merge join streams both sorted inputs.
+        OrderBased => Blocking::Pipelined,
+        HashBased | SortOrderBased | StaticPerfectHash | BinarySearch => Blocking::FullBreaker,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grouping::GroupingAlgorithm;
+    use crate::join::JoinAlgorithm;
+
+    #[test]
+    fn record_and_merge() {
+        let mut s = PipelineStats::default();
+        s.record(Blocking::Pipelined, 100);
+        s.record(Blocking::FullBreaker, 50);
+        assert_eq!(s.breakers, 1);
+        assert_eq!(s.materialised_rows, 50);
+        assert_eq!(s.streamed_rows, 100);
+
+        let mut t = PipelineStats::default();
+        t.record(Blocking::FullBreaker, 10);
+        s.merge(&t);
+        assert_eq!(s.breakers, 2);
+        assert_eq!(s.materialised_rows, 60);
+    }
+
+    #[test]
+    fn og_is_the_only_pipelined_grouping() {
+        for algo in GroupingAlgorithm::all() {
+            let expected = algo == GroupingAlgorithm::OrderBased;
+            assert_eq!(
+                grouping_blocking(algo) == Blocking::Pipelined,
+                expected,
+                "{algo}"
+            );
+        }
+    }
+
+    #[test]
+    fn oj_is_the_only_pipelined_join() {
+        for algo in JoinAlgorithm::all() {
+            let expected = algo == JoinAlgorithm::OrderBased;
+            assert_eq!(join_blocking(algo) == Blocking::Pipelined, expected, "{algo}");
+        }
+    }
+
+    #[test]
+    fn display() {
+        let mut s = PipelineStats::default();
+        s.record(Blocking::FullBreaker, 5);
+        assert!(s.to_string().contains("1 breaker"));
+    }
+}

@@ -1,0 +1,154 @@
+//! Sorting utilities: argsort, sortedness checks, and an LSB radix sort —
+//! the sort itself is another unnestable granule (Figure 3 shows a
+//! "sort-based" branch discarded at the first unnest), and *which* sort to
+//! use is a molecule-level decision the E9 ablation exercises.
+
+/// Indices that would sort `keys` ascending (stable).
+pub fn argsort(keys: &[u32]) -> Vec<u32> {
+    let mut idx: Vec<u32> = (0..keys.len() as u32).collect();
+    idx.sort_by_key(|&i| keys[i as usize]);
+    idx
+}
+
+/// True if `keys` is non-decreasing.
+pub fn is_sorted_asc(keys: &[u32]) -> bool {
+    keys.windows(2).all(|w| w[0] <= w[1])
+}
+
+/// Comparison sort of (key, payload) pairs by key — the default molecule
+/// (pattern-defeating quicksort via `sort_unstable_by_key`).
+pub fn sort_pairs_by_key(pairs: &mut [(u32, u32)]) {
+    pairs.sort_unstable_by_key(|&(k, _)| k);
+}
+
+/// LSB radix sort (4 passes × 8 bits) of (key, payload) pairs by key.
+///
+/// O(n) with a large constant; beats the comparison sort on large arrays
+/// with wide key ranges — the kind of trade-off DQO can decide per plan
+/// instead of per code base.
+pub fn radix_sort_pairs_by_key(pairs: &mut Vec<(u32, u32)>) {
+    let n = pairs.len();
+    if n <= 1 {
+        return;
+    }
+    let mut scratch: Vec<(u32, u32)> = vec![(0, 0); n];
+    for pass in 0..4 {
+        let shift = pass * 8;
+        let mut counts = [0usize; 256];
+        for &(k, _) in pairs.iter() {
+            counts[((k >> shift) & 0xFF) as usize] += 1;
+        }
+        // Skip passes where all keys share the byte (common for small
+        // domains: upper passes are no-ops).
+        if counts.contains(&n) {
+            continue;
+        }
+        let mut offsets = [0usize; 256];
+        let mut acc = 0usize;
+        for b in 0..256 {
+            offsets[b] = acc;
+            acc += counts[b];
+        }
+        for &p in pairs.iter() {
+            let b = ((p.0 >> shift) & 0xFF) as usize;
+            scratch[offsets[b]] = p;
+            offsets[b] += 1;
+        }
+        std::mem::swap(pairs, &mut scratch);
+    }
+}
+
+/// Radix sort of bare keys (used by the SOG radix ablation).
+pub fn radix_sort_keys(keys: &mut Vec<u32>) {
+    let n = keys.len();
+    if n <= 1 {
+        return;
+    }
+    let mut scratch: Vec<u32> = vec![0; n];
+    for pass in 0..4 {
+        let shift = pass * 8;
+        let mut counts = [0usize; 256];
+        for &k in keys.iter() {
+            counts[((k >> shift) & 0xFF) as usize] += 1;
+        }
+        if counts.contains(&n) {
+            continue;
+        }
+        let mut offsets = [0usize; 256];
+        let mut acc = 0usize;
+        for b in 0..256 {
+            offsets[b] = acc;
+            acc += counts[b];
+        }
+        for &k in keys.iter() {
+            let b = ((k >> shift) & 0xFF) as usize;
+            scratch[offsets[b]] = k;
+            offsets[b] += 1;
+        }
+        std::mem::swap(keys, &mut scratch);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn argsort_basic() {
+        let keys = [30u32, 10, 20];
+        assert_eq!(argsort(&keys), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn argsort_stability() {
+        // Equal keys keep original relative order.
+        let keys = [5u32, 5, 1];
+        assert_eq!(argsort(&keys), vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn sortedness_check() {
+        assert!(is_sorted_asc(&[]));
+        assert!(is_sorted_asc(&[1]));
+        assert!(is_sorted_asc(&[1, 1, 2]));
+        assert!(!is_sorted_asc(&[2, 1]));
+    }
+
+    #[test]
+    fn radix_matches_comparison_sort() {
+        let mut a: Vec<(u32, u32)> = (0..10_000u32)
+            .map(|i| (i.wrapping_mul(2_654_435_761) ^ 0xABCD, i))
+            .collect();
+        let mut b = a.clone();
+        sort_pairs_by_key(&mut a);
+        radix_sort_pairs_by_key(&mut b);
+        let ak: Vec<u32> = a.iter().map(|p| p.0).collect();
+        let bk: Vec<u32> = b.iter().map(|p| p.0).collect();
+        assert_eq!(ak, bk);
+        // Payload multiset preserved.
+        let mut ap: Vec<u32> = a.iter().map(|p| p.1).collect();
+        let mut bp: Vec<u32> = b.iter().map(|p| p.1).collect();
+        ap.sort_unstable();
+        bp.sort_unstable();
+        assert_eq!(ap, bp);
+    }
+
+    #[test]
+    fn radix_keys_small_domain_skips_passes() {
+        let mut keys: Vec<u32> = (0..1000).map(|i| i % 7).collect();
+        radix_sort_keys(&mut keys);
+        assert!(is_sorted_asc(&keys));
+    }
+
+    #[test]
+    fn radix_boundaries() {
+        let mut keys = vec![u32::MAX, 0, u32::MAX - 1, 1];
+        radix_sort_keys(&mut keys);
+        assert_eq!(keys, vec![0, 1, u32::MAX - 1, u32::MAX]);
+        let mut empty: Vec<u32> = vec![];
+        radix_sort_keys(&mut empty);
+        let mut one = vec![9u32];
+        radix_sort_keys(&mut one);
+        assert_eq!(one, vec![9]);
+    }
+}

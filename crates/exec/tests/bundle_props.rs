@@ -1,0 +1,64 @@
+//! Property tests for the Figure 2 bundle formulation: partitioning into
+//! independent producers followed by per-producer aggregation must equal
+//! direct grouping, serially and in parallel.
+
+use dqo_exec::aggregate::{CountSum, CountSumState};
+use dqo_exec::bundle::{aggregate_bundle, aggregate_bundle_parallel, partition_by};
+use dqo_exec::grouping::sog::sort_order_grouping;
+use proptest::prelude::*;
+
+fn normalise(r: dqo_exec::GroupedResult<CountSumState>) -> Vec<(u32, u64, u64)> {
+    let mut r = r;
+    r.sort_by_key();
+    r.keys
+        .iter()
+        .zip(&r.states)
+        .map(|(&k, s)| (k, s.count, s.sum))
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn figure2_pipeline_equals_direct_grouping(
+        rows in proptest::collection::vec((0u32..100, 0u32..1000), 0..600)
+    ) {
+        let (keys, vals): (Vec<u32>, Vec<u32>) = rows.into_iter().unzip();
+        let bundle = partition_by(&keys);
+        // One producer per distinct key ("if the input produces 42
+        // different groups, partitionBy creates 42 different producers").
+        let distinct = keys.iter().collect::<std::collections::HashSet<_>>().len();
+        prop_assert_eq!(bundle.len(), distinct);
+        let via_bundle = normalise(aggregate_bundle(&bundle, &vals, CountSum));
+        let direct = normalise(sort_order_grouping(&keys, &vals, CountSum));
+        prop_assert_eq!(via_bundle, direct);
+    }
+
+    #[test]
+    fn parallel_loop_is_a_pure_molecule_swap(
+        rows in proptest::collection::vec((0u32..50, 0u32..1000), 0..600),
+        workers in 1usize..9,
+    ) {
+        let (keys, vals): (Vec<u32>, Vec<u32>) = rows.into_iter().unzip();
+        let bundle = partition_by(&keys);
+        let serial = aggregate_bundle(&bundle, &vals, CountSum);
+        let parallel = aggregate_bundle_parallel(&bundle, &vals, CountSum, workers);
+        prop_assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn producers_partition_the_input(
+        keys in proptest::collection::vec(any::<u32>(), 0..500)
+    ) {
+        let bundle = partition_by(&keys);
+        // Every row index appears in exactly one producer.
+        let mut seen = vec![false; keys.len()];
+        for p in &bundle.producers {
+            for &row in &p.rows {
+                prop_assert!(!seen[row as usize], "row {row} appears twice");
+                seen[row as usize] = true;
+                prop_assert_eq!(keys[row as usize], p.key);
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+}

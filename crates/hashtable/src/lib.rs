@@ -1,0 +1,48 @@
+//! # dqo-hashtable — the "molecule" substrate
+//!
+//! Table 1 of the paper places *"any subcomponent of an index, e.g. … hash
+//! function used, particular probing implementation"* at the **molecule**
+//! granularity, optimised today by developers and — under DQO — by the query
+//! optimiser. Citing Richter et al.'s seven-dimensional analysis of hashing
+//! \[17\], the paper stresses that "a hash table has many different dimensions
+//! which influence performance dramatically".
+//!
+//! This crate materialises those dimensions as interchangeable components:
+//!
+//! * [`hash_fn`] — hash functions over `u32` keys: [`Murmur3Finalizer`]
+//!   (the paper's HG uses exactly this), [`Fibonacci`] multiplicative
+//!   hashing, and [`Identity`];
+//! * [`chaining`] — a chained table with per-node heap allocations,
+//!   mirroring the memory behaviour of C++ `std::unordered_map` (the
+//!   paper's HG baseline);
+//! * [`linear_probing`] — open addressing with linear probing;
+//! * [`quadratic`] — open addressing with triangular (quadratic) probing;
+//! * [`robin_hood`] — open addressing with Robin-Hood displacement;
+//! * [`sph`] — the paper's **static perfect hash**: a plain array indexed
+//!   by `key - min`, applicable exactly when the key domain is dense
+//!   (§2.1), minimal when every slot is used.
+//!
+//! All tables implement [`GroupTable`], the narrow upsert-oriented interface
+//! the grouping operators need, so the DQO optimiser can treat the table
+//! kind as a plan decision.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod chaining;
+pub mod hash_fn;
+pub mod linear_probing;
+pub mod quadratic;
+pub mod robin_hood;
+pub mod sorted_array;
+pub mod sph;
+pub mod table;
+
+pub use chaining::ChainingTable;
+pub use quadratic::QuadraticProbingTable;
+pub use sorted_array::SortedArrayTable;
+pub use hash_fn::{Fibonacci, HashFn, Identity, Murmur3Finalizer};
+pub use linear_probing::LinearProbingTable;
+pub use robin_hood::RobinHoodTable;
+pub use sph::StaticPerfectHash;
+pub use table::{GroupTable, TableKind};

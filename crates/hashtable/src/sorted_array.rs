@@ -1,0 +1,159 @@
+//! Sorted array with binary-search lookup — the index "molecule" behind the
+//! paper's Binary Search-based Grouping (BSG, §4.1): *"We store a mapping
+//! from grouping key to aggregate data inside a sorted array. This allows
+//! us to perform binary search to lookup a group by its key."*
+//!
+//! Unlike SPH this works on **sparse** domains, at `O(log #groups)` per
+//! probe — exactly the logarithmic growth visible in Figure 4
+//! (sorted-sparse), and the reason BSG beats HG for very few groups
+//! (the Figure 4 zoom-in / E2 crossover).
+
+use crate::table::GroupTable;
+
+/// Sorted-array table from `u32` keys to `V`.
+///
+/// Two construction modes:
+/// * [`SortedArrayTable::from_keys`] — keys known up front (the paper
+///   assumes the distinct values are known); lookups never shift memory.
+/// * [`SortedArrayTable::new`] — discover keys on the fly with sorted
+///   insertion (O(n) worst-case per *new* key, cheap when groups are few).
+pub struct SortedArrayTable<V> {
+    keys: Vec<u32>,
+    values: Vec<Option<V>>,
+    len: usize,
+}
+
+impl<V> SortedArrayTable<V> {
+    /// Empty table; keys are discovered via upserts.
+    pub fn new() -> Self {
+        SortedArrayTable {
+            keys: Vec::new(),
+            values: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Build from the known key set (deduplicated and sorted internally).
+    pub fn from_keys(mut keys: Vec<u32>) -> Self {
+        keys.sort_unstable();
+        keys.dedup();
+        let values = (0..keys.len()).map(|_| None).collect();
+        SortedArrayTable {
+            keys,
+            values,
+            len: 0,
+        }
+    }
+
+    /// Number of key slots (≥ `len` when preallocated from keys).
+    pub fn capacity(&self) -> usize {
+        self.keys.len()
+    }
+}
+
+impl<V> Default for SortedArrayTable<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> GroupTable<V> for SortedArrayTable<V> {
+    fn upsert_with(&mut self, key: u32, init: impl FnOnce() -> V) -> &mut V {
+        match self.keys.binary_search(&key) {
+            Ok(i) => {
+                let slot = &mut self.values[i];
+                if slot.is_none() {
+                    *slot = Some(init());
+                    self.len += 1;
+                }
+                slot.as_mut().expect("filled above")
+            }
+            Err(i) => {
+                self.keys.insert(i, key);
+                self.values.insert(i, Some(init()));
+                self.len += 1;
+                self.values[i].as_mut().expect("just inserted")
+            }
+        }
+    }
+
+    fn get(&self, key: u32) -> Option<&V> {
+        let i = self.keys.binary_search(&key).ok()?;
+        self.values[i].as_ref()
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn drain(self) -> Vec<(u32, V)> {
+        self.keys
+            .into_iter()
+            .zip(self.values)
+            .filter_map(|(k, v)| v.map(|v| (k, v)))
+            .collect()
+    }
+
+    /// Drain order is ascending by construction.
+    fn output_sorted(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn discovery_mode() {
+        let mut t: SortedArrayTable<u64> = SortedArrayTable::new();
+        for k in [30u32, 10, 20, 10, 30, 30] {
+            *t.upsert_with(k, || 0) += 1;
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.get(30), Some(&3));
+        assert_eq!(t.get(10), Some(&2));
+        assert_eq!(t.get(20), Some(&1));
+        assert_eq!(t.get(25), None);
+        assert_eq!(t.drain(), vec![(10, 2), (20, 1), (30, 3)]);
+    }
+
+    #[test]
+    fn preallocated_mode_never_inserts() {
+        let mut t: SortedArrayTable<u32> = SortedArrayTable::from_keys(vec![7, 3, 7, 1]);
+        assert_eq!(t.capacity(), 3); // deduped
+        assert_eq!(t.len(), 0); // no values yet
+        t.upsert_with(3, || 33);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(3), Some(&33));
+        assert_eq!(t.get(1), None); // key slot exists, no value yet
+    }
+
+    #[test]
+    fn drain_skips_untouched_preallocated_keys() {
+        let mut t: SortedArrayTable<u32> = SortedArrayTable::from_keys(vec![1, 2, 3]);
+        t.upsert_with(2, || 22);
+        assert_eq!(t.drain(), vec![(2, 22)]);
+    }
+
+    #[test]
+    fn sorted_output_property() {
+        let t: SortedArrayTable<u32> = SortedArrayTable::new();
+        assert!(t.output_sorted());
+    }
+
+    #[test]
+    fn empty() {
+        let t: SortedArrayTable<u8> = SortedArrayTable::new();
+        assert!(t.is_empty());
+        assert_eq!(t.get(5), None);
+    }
+
+    #[test]
+    fn boundary_keys() {
+        let mut t: SortedArrayTable<u8> = SortedArrayTable::new();
+        t.upsert_with(u32::MAX, || 1);
+        t.upsert_with(0, || 2);
+        assert_eq!(t.drain(), vec![(0, 2), (u32::MAX, 1)]);
+    }
+}

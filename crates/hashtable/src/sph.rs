@@ -1,0 +1,182 @@
+//! Static perfect hashing (SPH).
+//!
+//! §2.1 of the paper: *"SPH can simply be an array of groups of tuples (or
+//! running aggregates …). The grouping key then serves as the index into
+//! that array. Here, the linear array slot computation works like a perfect
+//! hash function. If all array slots are used, the SPH is even minimal.
+//! This is only applicable if the key domain of the grouping key is
+//! (relatively) dense."*
+//!
+//! [`StaticPerfectHash`] is exactly that array: slot `key - min`, no
+//! collisions, no probing, and — unlike a black-box hash table — a **known,
+//! ascending output order**, a plan property DQO must not discard (§2.2).
+
+use crate::table::GroupTable;
+
+/// Static perfect hash table over the dense domain `[min, min + domain)`.
+pub struct StaticPerfectHash<V> {
+    min: u32,
+    slots: Vec<Option<V>>,
+    len: usize,
+}
+
+impl<V> StaticPerfectHash<V> {
+    /// A table covering keys `min ..= min + domain - 1`.
+    ///
+    /// `domain` is the SPH array length; the optimiser computes it from the
+    /// catalog's `[min, max]` statistics ([`sph domain`] in `dqo-storage`).
+    ///
+    /// [`sph domain`]: https://example.invalid/dqo-storage
+    pub fn new(min: u32, domain: usize) -> Self {
+        StaticPerfectHash {
+            min,
+            slots: (0..domain).map(|_| None).collect(),
+            len: 0,
+        }
+    }
+
+    /// The covered domain size (array length).
+    pub fn domain(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether every slot is occupied — the paper's *minimal* SPH.
+    pub fn is_minimal(&self) -> bool {
+        self.len == self.slots.len()
+    }
+
+    /// Slot index for a key, if the key is inside the domain.
+    #[inline(always)]
+    fn slot_of(&self, key: u32) -> Option<usize> {
+        let off = key.checked_sub(self.min)? as usize;
+        (off < self.slots.len()).then_some(off)
+    }
+
+    /// Fallible upsert for callers that cannot guarantee the domain.
+    pub fn try_upsert_with(&mut self, key: u32, init: impl FnOnce() -> V) -> Option<&mut V> {
+        let i = self.slot_of(key)?;
+        let slot = &mut self.slots[i];
+        if slot.is_none() {
+            *slot = Some(init());
+            self.len += 1;
+        }
+        slot.as_mut()
+    }
+}
+
+impl<V> GroupTable<V> for StaticPerfectHash<V> {
+    /// Upsert a key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` lies outside the configured dense domain. The DQO
+    /// optimiser only selects SPH when the catalog proves density, so an
+    /// out-of-domain key at execution time is a planner/statistics bug and
+    /// fails fast rather than silently corrupting groups.
+    fn upsert_with(&mut self, key: u32, init: impl FnOnce() -> V) -> &mut V {
+        let (min, domain) = (self.min, self.slots.len());
+        if self.slot_of(key).is_none() {
+            panic!(
+                "SPH domain violation: key {key} outside [{min}, {})",
+                u64::from(min) + domain as u64
+            );
+        }
+        self.try_upsert_with(key, init).expect("key checked in-domain")
+    }
+
+    fn get(&self, key: u32) -> Option<&V> {
+        self.slots[self.slot_of(key)?].as_ref()
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn drain(self) -> Vec<(u32, V)> {
+        let min = self.min;
+        self.slots
+            .into_iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.map(|v| (min + i as u32, v)))
+            .collect()
+    }
+
+    /// SPH output is ascending by construction — the property §2.1
+    /// contrasts against black-box hash tables.
+    fn output_sorted(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn upsert_get_len() {
+        let mut t: StaticPerfectHash<u64> = StaticPerfectHash::new(10, 5);
+        for k in [12u32, 10, 12, 14] {
+            *t.upsert_with(k, || 0) += 1;
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.get(12), Some(&2));
+        assert_eq!(t.get(11), None);
+        assert_eq!(t.get(9), None); // below domain
+        assert_eq!(t.get(15), None); // above domain
+    }
+
+    #[test]
+    fn drain_is_sorted_ascending() {
+        let mut t: StaticPerfectHash<u32> = StaticPerfectHash::new(100, 10);
+        for k in [107u32, 100, 103] {
+            t.upsert_with(k, || k);
+        }
+        assert!(t.output_sorted());
+        let d = t.drain();
+        assert_eq!(d, vec![(100, 100), (103, 103), (107, 107)]);
+    }
+
+    #[test]
+    fn minimality() {
+        let mut t: StaticPerfectHash<u8> = StaticPerfectHash::new(0, 3);
+        assert!(!t.is_minimal());
+        for k in 0..3u32 {
+            t.upsert_with(k, || 0);
+        }
+        assert!(t.is_minimal());
+        assert_eq!(t.domain(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "SPH domain violation")]
+    fn out_of_domain_panics() {
+        let mut t: StaticPerfectHash<u8> = StaticPerfectHash::new(0, 3);
+        t.upsert_with(3, || 0);
+    }
+
+    #[test]
+    fn try_upsert_rejects_gracefully() {
+        let mut t: StaticPerfectHash<u8> = StaticPerfectHash::new(5, 2);
+        assert!(t.try_upsert_with(4, || 0).is_none());
+        assert!(t.try_upsert_with(7, || 0).is_none());
+        assert!(t.try_upsert_with(6, || 9).is_some());
+        assert_eq!(t.get(6), Some(&9));
+    }
+
+    #[test]
+    fn offset_domain_near_u32_max() {
+        let mut t: StaticPerfectHash<u8> = StaticPerfectHash::new(u32::MAX - 1, 2);
+        t.upsert_with(u32::MAX - 1, || 1);
+        t.upsert_with(u32::MAX, || 2);
+        assert_eq!(t.get(u32::MAX), Some(&2));
+        assert!(t.is_minimal());
+    }
+
+    #[test]
+    fn empty_domain() {
+        let t: StaticPerfectHash<u8> = StaticPerfectHash::new(0, 0);
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.get(0), None);
+        assert!(t.drain().is_empty());
+    }
+}

@@ -1,0 +1,135 @@
+//! Property tests: every table implementation agrees with a `BTreeMap`
+//! oracle under arbitrary upsert workloads (within each table's domain
+//! precondition).
+
+use dqo_hashtable::hash_fn::{Fibonacci, Identity, Murmur3Finalizer};
+use dqo_hashtable::{
+    ChainingTable, GroupTable, LinearProbingTable, RobinHoodTable, SortedArrayTable,
+    StaticPerfectHash,
+};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// Run the counting workload on any table and return sorted (key, count).
+fn run_table<T: GroupTable<u64>>(mut table: T, keys: &[u32]) -> Vec<(u32, u64)> {
+    for &k in keys {
+        *table.upsert_with(k, || 0) += 1;
+    }
+    assert_eq!(
+        table.len(),
+        keys.iter().collect::<std::collections::HashSet<_>>().len()
+    );
+    let mut out = table.drain();
+    out.sort_unstable_by_key(|&(k, _)| k);
+    out
+}
+
+fn oracle(keys: &[u32]) -> Vec<(u32, u64)> {
+    let mut m: BTreeMap<u32, u64> = BTreeMap::new();
+    for &k in keys {
+        *m.entry(k).or_insert(0) += 1;
+    }
+    m.into_iter().collect()
+}
+
+proptest! {
+    #[test]
+    fn chaining_murmur_matches_oracle(keys in proptest::collection::vec(any::<u32>(), 0..2000)) {
+        prop_assert_eq!(run_table(ChainingTable::new(), &keys), oracle(&keys));
+    }
+
+    #[test]
+    fn chaining_identity_matches_oracle(keys in proptest::collection::vec(0u32..512, 0..2000)) {
+        let t: ChainingTable<u64, Identity> = ChainingTable::with_capacity_and_hasher(4, Identity);
+        prop_assert_eq!(run_table(t, &keys), oracle(&keys));
+    }
+
+    #[test]
+    fn linear_probing_matches_oracle(keys in proptest::collection::vec(any::<u32>(), 0..2000)) {
+        prop_assert_eq!(run_table(LinearProbingTable::new(), &keys), oracle(&keys));
+    }
+
+    #[test]
+    fn linear_probing_fibonacci_matches_oracle(keys in proptest::collection::vec(0u32..100, 0..2000)) {
+        let t: LinearProbingTable<u64, Fibonacci> =
+            LinearProbingTable::with_capacity_and_hasher(4, Fibonacci);
+        prop_assert_eq!(run_table(t, &keys), oracle(&keys));
+    }
+
+    #[test]
+    fn robin_hood_matches_oracle(keys in proptest::collection::vec(any::<u32>(), 0..2000)) {
+        prop_assert_eq!(run_table(RobinHoodTable::new(), &keys), oracle(&keys));
+    }
+
+    #[test]
+    fn robin_hood_identity_collisions_match_oracle(
+        keys in proptest::collection::vec(0u32..64, 0..1000)
+    ) {
+        let t: RobinHoodTable<u64, Identity> =
+            RobinHoodTable::with_capacity_and_hasher(4, Identity);
+        prop_assert_eq!(run_table(t, &keys), oracle(&keys));
+    }
+
+    #[test]
+    fn sorted_array_matches_oracle(keys in proptest::collection::vec(any::<u32>(), 0..1000)) {
+        prop_assert_eq!(run_table(SortedArrayTable::new(), &keys), oracle(&keys));
+    }
+
+    #[test]
+    fn sorted_array_preallocated_matches_oracle(keys in proptest::collection::vec(any::<u32>(), 0..1000)) {
+        let t: SortedArrayTable<u64> = SortedArrayTable::from_keys(keys.clone());
+        prop_assert_eq!(run_table(t, &keys), oracle(&keys));
+    }
+
+    #[test]
+    fn sph_matches_oracle_on_dense_domain(
+        min in 0u32..1000,
+        keys in proptest::collection::vec(0u32..256, 0..1000)
+    ) {
+        // Shift keys into [min, min+256): inside the SPH domain.
+        let shifted: Vec<u32> = keys.iter().map(|&k| min + k).collect();
+        let t: StaticPerfectHash<u64> = StaticPerfectHash::new(min, 256);
+        prop_assert_eq!(run_table(t, &shifted), oracle(&shifted));
+    }
+
+    #[test]
+    fn sph_drain_is_always_sorted(keys in proptest::collection::vec(0u32..128, 0..500)) {
+        let mut t: StaticPerfectHash<u64> = StaticPerfectHash::new(0, 128);
+        for &k in &keys {
+            *t.upsert_with(k, || 0) += 1;
+        }
+        let d = t.drain();
+        prop_assert!(d.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn murmur3_is_injective_on_samples(a in any::<u32>(), b in any::<u32>()) {
+        // fmix64 is bijective on u64, hence injective on u32 inputs.
+        prop_assume!(a != b);
+        let h = Murmur3Finalizer;
+        use dqo_hashtable::HashFn;
+        prop_assert_ne!(h.hash(a), h.hash(b));
+    }
+}
+
+mod quadratic_oracle {
+    use super::*;
+    use dqo_hashtable::QuadraticProbingTable;
+    use dqo_hashtable::hash_fn::Identity;
+
+    proptest! {
+        #[test]
+        fn quadratic_matches_oracle(keys in proptest::collection::vec(any::<u32>(), 0..2000)) {
+            prop_assert_eq!(run_table(QuadraticProbingTable::new(), &keys), oracle(&keys));
+        }
+
+        #[test]
+        fn quadratic_identity_collisions_match_oracle(
+            keys in proptest::collection::vec(0u32..64, 0..1500)
+        ) {
+            let t: QuadraticProbingTable<u64, Identity> =
+                QuadraticProbingTable::with_capacity_and_hasher(4, Identity);
+            prop_assert_eq!(run_table(t, &keys), oracle(&keys));
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! Predicates and aggregate expressions — the scalar layer of plans.
+
+use dqo_storage::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Comparison operators for filter predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// Evaluate against an `Ordering` between lhs and rhs.
+    pub fn eval(self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        match self {
+            CmpOp::Eq => ord == Equal,
+            CmpOp::Ne => ord != Equal,
+            CmpOp::Lt => ord == Less,
+            CmpOp::Le => ord != Greater,
+            CmpOp::Gt => ord == Greater,
+            CmpOp::Ge => ord != Less,
+        }
+    }
+
+    /// SQL spelling.
+    pub fn sql(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.sql())
+    }
+}
+
+/// A simple predicate: `column <op> constant`, optionally AND-ed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Predicate {
+    /// `column <op> constant`.
+    Compare {
+        /// Column name.
+        column: String,
+        /// Operator.
+        op: CmpOp,
+        /// Constant to compare against.
+        value: Value,
+    },
+    /// Conjunction of predicates.
+    And(Vec<Predicate>),
+}
+
+impl Predicate {
+    /// Convenience constructor for a comparison.
+    pub fn cmp(column: impl Into<String>, op: CmpOp, value: impl Into<Value>) -> Self {
+        Predicate::Compare {
+            column: column.into(),
+            op,
+            value: value.into(),
+        }
+    }
+
+    /// All columns the predicate touches.
+    pub fn columns(&self) -> Vec<&str> {
+        match self {
+            Predicate::Compare { column, .. } => vec![column.as_str()],
+            Predicate::And(ps) => ps.iter().flat_map(|p| p.columns()).collect(),
+        }
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Predicate::Compare { column, op, value } => write!(f, "{column} {op} {value}"),
+            Predicate::And(ps) => {
+                for (i, p) in ps.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " AND ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Aggregate function names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AggFunc {
+    /// `COUNT(*)`
+    CountStar,
+    /// `SUM(col)`
+    Sum,
+    /// `MIN(col)`
+    Min,
+    /// `MAX(col)`
+    Max,
+    /// `AVG(col)`
+    Avg,
+}
+
+impl AggFunc {
+    /// SQL spelling.
+    pub fn sql(self) -> &'static str {
+        match self {
+            AggFunc::CountStar => "COUNT",
+            AggFunc::Sum => "SUM",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+            AggFunc::Avg => "AVG",
+        }
+    }
+
+    /// Distributive/algebraic — partial states mergeable across partitions
+    /// (Figure 2's independent aggregation; §2.1's "distributive and/or
+    /// decomposable aggregation functions").
+    pub fn is_decomposable(self) -> bool {
+        // All five supported aggregates are; MEDIAN etc. would not be.
+        true
+    }
+}
+
+/// One aggregate expression in a GROUP BY output list.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AggExpr {
+    /// The function.
+    pub func: AggFunc,
+    /// Input column (`None` for `COUNT(*)`).
+    pub column: Option<String>,
+    /// Output name.
+    pub alias: String,
+}
+
+impl AggExpr {
+    /// `COUNT(*) AS alias`.
+    pub fn count_star(alias: impl Into<String>) -> Self {
+        AggExpr {
+            func: AggFunc::CountStar,
+            column: None,
+            alias: alias.into(),
+        }
+    }
+
+    /// `func(column) AS alias`.
+    pub fn on(func: AggFunc, column: impl Into<String>, alias: impl Into<String>) -> Self {
+        AggExpr {
+            func,
+            column: Some(column.into()),
+            alias: alias.into(),
+        }
+    }
+}
+
+impl fmt::Display for AggExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.column {
+            Some(c) => write!(f, "{}({c}) AS {}", self.func.sql(), self.alias),
+            None => write!(f, "{}(*) AS {}", self.func.sql(), self.alias),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Ordering;
+
+    #[test]
+    fn cmp_op_semantics() {
+        assert!(CmpOp::Eq.eval(Ordering::Equal));
+        assert!(!CmpOp::Eq.eval(Ordering::Less));
+        assert!(CmpOp::Ne.eval(Ordering::Greater));
+        assert!(CmpOp::Lt.eval(Ordering::Less));
+        assert!(CmpOp::Le.eval(Ordering::Equal));
+        assert!(CmpOp::Gt.eval(Ordering::Greater));
+        assert!(CmpOp::Ge.eval(Ordering::Equal));
+        assert!(!CmpOp::Ge.eval(Ordering::Less));
+    }
+
+    #[test]
+    fn predicate_display_and_columns() {
+        let p = Predicate::And(vec![
+            Predicate::cmp("a", CmpOp::Gt, 5u32),
+            Predicate::cmp("b", CmpOp::Eq, 7u32),
+        ]);
+        assert_eq!(p.to_string(), "a > 5 AND b = 7");
+        assert_eq!(p.columns(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn agg_expr_display() {
+        assert_eq!(AggExpr::count_star("n").to_string(), "COUNT(*) AS n");
+        assert_eq!(
+            AggExpr::on(AggFunc::Sum, "x", "total").to_string(),
+            "SUM(x) AS total"
+        );
+    }
+
+    #[test]
+    fn decomposability() {
+        for f in [AggFunc::CountStar, AggFunc::Sum, AggFunc::Min, AggFunc::Max, AggFunc::Avg] {
+            assert!(f.is_decomposable());
+        }
+    }
+}

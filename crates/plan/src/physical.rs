@@ -1,0 +1,281 @@
+//! Physical plans: every decision made, ready to execute.
+//!
+//! A [`PhysicalPlan`] is what the optimiser hands the executor: operators
+//! annotated with the chosen organelle ([`JoinImpl`]/[`GroupingImpl`]) and
+//! — when DQO went deeper — the molecule choices underneath
+//! ([`GroupingMolecules`]). A shallow plan simply leaves the molecule
+//! fields at their developer defaults, which is precisely SQO's behaviour
+//! per Table 1.
+
+use crate::algorithms::{
+    GroupingImpl, HashFnMolecule, JoinImpl, LoopMolecule, SortMolecule, TableMolecule,
+};
+use crate::expr::{AggExpr, Predicate};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Molecule-level decisions inside a grouping operator. `None` means "the
+/// developer default" (what SQO ships with).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct GroupingMolecules {
+    /// Backing table.
+    pub table: Option<TableMolecule>,
+    /// Hash function (hash-based tables only).
+    pub hash: Option<HashFnMolecule>,
+    /// Load loop strategy.
+    pub load_loop: Option<LoopMolecule>,
+}
+
+impl GroupingMolecules {
+    /// The developer defaults behind each §4.1 name — what a shallow
+    /// optimiser implicitly picks when it names the organelle.
+    pub fn defaults_for(algo: GroupingImpl) -> Self {
+        match algo {
+            GroupingImpl::Hg => GroupingMolecules {
+                table: Some(TableMolecule::Chaining),
+                hash: Some(HashFnMolecule::Murmur3),
+                load_loop: Some(LoopMolecule::Serial),
+            },
+            GroupingImpl::Sphg => GroupingMolecules {
+                table: Some(TableMolecule::StaticPerfectHash),
+                hash: None,
+                load_loop: Some(LoopMolecule::Serial),
+            },
+            GroupingImpl::Og => GroupingMolecules::default(),
+            GroupingImpl::Sog => GroupingMolecules::default(),
+            GroupingImpl::Bsg => GroupingMolecules {
+                table: Some(TableMolecule::SortedArray),
+                hash: None,
+                load_loop: Some(LoopMolecule::Serial),
+            },
+        }
+    }
+}
+
+/// A fully decided physical plan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PhysicalPlan {
+    /// Base-table scan.
+    Scan {
+        /// Catalog table name.
+        table: String,
+    },
+    /// Selection.
+    Filter {
+        /// Input plan.
+        input: Box<PhysicalPlan>,
+        /// Predicate.
+        predicate: Predicate,
+    },
+    /// Sort enforcer.
+    Sort {
+        /// Input plan.
+        input: Box<PhysicalPlan>,
+        /// Sort key.
+        key: String,
+        /// Sort implementation molecule.
+        molecule: SortMolecule,
+    },
+    /// Equi-join with a decided implementation.
+    Join {
+        /// Left (build) input.
+        left: Box<PhysicalPlan>,
+        /// Right (probe) input.
+        right: Box<PhysicalPlan>,
+        /// Join key on the left.
+        left_key: String,
+        /// Join key on the right.
+        right_key: String,
+        /// Chosen join organelle.
+        algo: JoinImpl,
+    },
+    /// Grouping with a decided implementation and molecules.
+    GroupBy {
+        /// Input plan.
+        input: Box<PhysicalPlan>,
+        /// Grouping key.
+        key: String,
+        /// Aggregates.
+        aggs: Vec<AggExpr>,
+        /// Chosen grouping organelle.
+        algo: GroupingImpl,
+        /// Molecule decisions beneath it.
+        molecules: GroupingMolecules,
+    },
+    /// Projection.
+    Project {
+        /// Input plan.
+        input: Box<PhysicalPlan>,
+        /// Columns to keep.
+        columns: Vec<String>,
+    },
+    /// Keep only the first `n` rows.
+    Limit {
+        /// Input plan.
+        input: Box<PhysicalPlan>,
+        /// Row cap.
+        n: u64,
+    },
+}
+
+impl PhysicalPlan {
+    /// Children of this node.
+    pub fn children(&self) -> Vec<&PhysicalPlan> {
+        match self {
+            PhysicalPlan::Scan { .. } => vec![],
+            PhysicalPlan::Filter { input, .. }
+            | PhysicalPlan::Sort { input, .. }
+            | PhysicalPlan::GroupBy { input, .. }
+            | PhysicalPlan::Project { input, .. }
+            | PhysicalPlan::Limit { input, .. } => vec![input],
+            PhysicalPlan::Join { left, right, .. } => vec![left, right],
+        }
+    }
+
+    /// Operator count.
+    pub fn node_count(&self) -> usize {
+        1 + self.children().iter().map(|c| c.node_count()).sum::<usize>()
+    }
+
+    /// The algorithm abbreviations used, pre-order — handy for asserting a
+    /// plan's shape in tests ("SPHJ then SPHG").
+    pub fn algo_signature(&self) -> Vec<&'static str> {
+        let mut out = Vec::new();
+        self.collect_signature(&mut out);
+        out
+    }
+
+    fn collect_signature(&self, out: &mut Vec<&'static str>) {
+        match self {
+            PhysicalPlan::Join { algo, .. } => out.push(algo.abbrev()),
+            PhysicalPlan::GroupBy { algo, .. } => out.push(algo.abbrev()),
+            PhysicalPlan::Sort { .. } => out.push("SORT"),
+            _ => {}
+        }
+        for c in self.children() {
+            c.collect_signature(out);
+        }
+    }
+
+    /// Indented EXPLAIN rendering, molecule annotations included.
+    pub fn explain(&self) -> String {
+        let mut s = String::new();
+        self.explain_into(&mut s, 0);
+        s
+    }
+
+    fn explain_into(&self, out: &mut String, depth: usize) {
+        let pad = "  ".repeat(depth);
+        let line = match self {
+            PhysicalPlan::Scan { table } => format!("Scan {table}"),
+            PhysicalPlan::Filter { predicate, .. } => format!("Filter {predicate}"),
+            PhysicalPlan::Sort { key, molecule, .. } => format!("Sort by {key} [{molecule}]"),
+            PhysicalPlan::Join {
+                left_key,
+                right_key,
+                algo,
+                ..
+            } => format!("{algo} on {left_key} = {right_key}"),
+            PhysicalPlan::GroupBy {
+                key,
+                algo,
+                molecules,
+                aggs,
+                ..
+            } => {
+                let aggs: Vec<String> = aggs.iter().map(|a| a.to_string()).collect();
+                let mut mol = Vec::new();
+                if let Some(t) = molecules.table {
+                    mol.push(format!("table={t}"));
+                }
+                if let Some(h) = molecules.hash {
+                    mol.push(format!("hash={h}"));
+                }
+                if let Some(l) = molecules.load_loop {
+                    mol.push(format!("load={l}"));
+                }
+                let mol = if mol.is_empty() {
+                    String::new()
+                } else {
+                    format!(" {{{}}}", mol.join(", "))
+                };
+                format!("{algo} γ[{key}]{mol} {}", aggs.join(", "))
+            }
+            PhysicalPlan::Project { columns, .. } => format!("Project {}", columns.join(", ")),
+            PhysicalPlan::Limit { n, .. } => format!("Limit {n}"),
+        };
+        out.push_str(&pad);
+        out.push_str(&line);
+        out.push('\n');
+        for c in self.children() {
+            c.explain_into(out, depth + 1);
+        }
+    }
+}
+
+impl fmt::Display for PhysicalPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.explain().trim_end())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sphj_sphg_plan() -> PhysicalPlan {
+        PhysicalPlan::GroupBy {
+            input: Box::new(PhysicalPlan::Join {
+                left: Box::new(PhysicalPlan::Scan { table: "R".into() }),
+                right: Box::new(PhysicalPlan::Scan { table: "S".into() }),
+                left_key: "id".into(),
+                right_key: "r_id".into(),
+                algo: JoinImpl::Sphj,
+            }),
+            key: "a".into(),
+            aggs: vec![AggExpr::count_star("count")],
+            algo: GroupingImpl::Sphg,
+            molecules: GroupingMolecules::defaults_for(GroupingImpl::Sphg),
+        }
+    }
+
+    #[test]
+    fn signature_reflects_choices() {
+        assert_eq!(sphj_sphg_plan().algo_signature(), vec!["SPHG", "SPHJ"]);
+    }
+
+    #[test]
+    fn hg_defaults_match_the_paper() {
+        let m = GroupingMolecules::defaults_for(GroupingImpl::Hg);
+        assert_eq!(m.table, Some(TableMolecule::Chaining));
+        assert_eq!(m.hash, Some(HashFnMolecule::Murmur3));
+        assert_eq!(m.load_loop, Some(LoopMolecule::Serial));
+    }
+
+    #[test]
+    fn sph_defaults_need_no_hash_function() {
+        let m = GroupingMolecules::defaults_for(GroupingImpl::Sphg);
+        assert_eq!(m.table, Some(TableMolecule::StaticPerfectHash));
+        assert_eq!(m.hash, None);
+    }
+
+    #[test]
+    fn explain_shows_molecules() {
+        let plan = PhysicalPlan::GroupBy {
+            input: Box::new(PhysicalPlan::Scan { table: "t".into() }),
+            key: "k".into(),
+            aggs: vec![AggExpr::count_star("n")],
+            algo: GroupingImpl::Hg,
+            molecules: GroupingMolecules::defaults_for(GroupingImpl::Hg),
+        };
+        let text = plan.explain();
+        assert!(text.contains("HG γ[k]"));
+        assert!(text.contains("table=chaining"));
+        assert!(text.contains("hash=murmur3"));
+    }
+
+    #[test]
+    fn node_count() {
+        assert_eq!(sphj_sphg_plan().node_count(), 4);
+    }
+}

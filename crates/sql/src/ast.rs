@@ -1,0 +1,156 @@
+//! Abstract syntax for the supported SQL subset.
+
+/// A column reference, optionally table-qualified.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnRef {
+    /// Optional table qualifier (`r` in `r.id`).
+    pub table: Option<String>,
+    /// Column name.
+    pub column: String,
+}
+
+impl ColumnRef {
+    /// Unqualified reference.
+    pub fn bare(column: impl Into<String>) -> Self {
+        ColumnRef {
+            table: None,
+            column: column.into(),
+        }
+    }
+
+    /// Qualified reference.
+    pub fn qualified(table: impl Into<String>, column: impl Into<String>) -> Self {
+        ColumnRef {
+            table: Some(table.into()),
+            column: column.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ColumnRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.table {
+            Some(t) => write!(f, "{t}.{}", self.column),
+            None => f.write_str(&self.column),
+        }
+    }
+}
+
+/// One item of the SELECT list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SelectItem {
+    /// A plain column.
+    Column {
+        /// The column.
+        column: ColumnRef,
+        /// Optional `AS` alias.
+        alias: Option<String>,
+    },
+    /// An aggregate call.
+    Aggregate {
+        /// Function name: COUNT/SUM/MIN/MAX/AVG.
+        func: AggCall,
+        /// Optional `AS` alias.
+        alias: Option<String>,
+    },
+}
+
+/// An aggregate call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AggCall {
+    /// `COUNT(*)`.
+    CountStar,
+    /// `SUM(col)`.
+    Sum(ColumnRef),
+    /// `MIN(col)`.
+    Min(ColumnRef),
+    /// `MAX(col)`.
+    Max(ColumnRef),
+    /// `AVG(col)`.
+    Avg(ColumnRef),
+}
+
+/// Comparison operators in WHERE.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AstCmpOp {
+    /// `=`
+    Eq,
+    /// `<>` / `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// A scalar literal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Literal {
+    /// Unsigned integer.
+    Number(u64),
+    /// String.
+    Str(String),
+}
+
+/// `column <op> literal` conjunct.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comparison {
+    /// Left side column.
+    pub column: ColumnRef,
+    /// Operator.
+    pub op: AstCmpOp,
+    /// Right side literal.
+    pub literal: Literal,
+}
+
+/// One `JOIN <table> ON <left> = <right>` clause.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinClause {
+    /// Joined table name.
+    pub table: String,
+    /// Left side of the ON equality.
+    pub left: ColumnRef,
+    /// Right side of the ON equality.
+    pub right: ColumnRef,
+}
+
+/// A parsed SELECT statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SelectStatement {
+    /// SELECT list.
+    pub items: Vec<SelectItem>,
+    /// FROM table.
+    pub from: String,
+    /// JOIN clauses, in order.
+    pub joins: Vec<JoinClause>,
+    /// WHERE conjuncts (ANDed).
+    pub predicates: Vec<Comparison>,
+    /// GROUP BY column, if any.
+    pub group_by: Option<ColumnRef>,
+    /// ORDER BY column, if any (ASC only).
+    pub order_by: Option<ColumnRef>,
+    /// LIMIT row cap, if any.
+    pub limit: Option<u64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn column_ref_display() {
+        assert_eq!(ColumnRef::bare("a").to_string(), "a");
+        assert_eq!(ColumnRef::qualified("r", "id").to_string(), "r.id");
+    }
+
+    #[test]
+    fn constructors() {
+        let c = ColumnRef::qualified("t", "x");
+        assert_eq!(c.table.as_deref(), Some("t"));
+        assert_eq!(c.column, "x");
+    }
+}

@@ -1,0 +1,409 @@
+//! Name resolution: AST → `dqo_plan::LogicalPlan`.
+//!
+//! The binder resolves tables through a [`SchemaProvider`], checks column
+//! existence and ambiguity, enforces the aggregate-query shape (grouped
+//! column + aggregates only), and emits the canonical logical tree:
+//! left-deep joins in written order, one Filter above the join tree, then
+//! GroupBy/Project, then Sort.
+
+use crate::ast::*;
+use crate::error::SqlError;
+use crate::Result;
+use dqo_plan::expr::{AggExpr, AggFunc, Predicate};
+use dqo_plan::{CmpOp, LogicalPlan};
+use dqo_storage::Schema;
+use std::sync::Arc;
+
+/// Resolves table names to schemas (implemented by the engine's catalog).
+pub trait SchemaProvider {
+    /// Schema of `table`, if registered.
+    fn table_schema(&self, table: &str) -> Option<Schema>;
+}
+
+/// A provider over a fixed set of (name, schema) pairs — for tests and
+/// standalone binding.
+pub struct StaticSchemas(pub Vec<(String, Schema)>);
+
+impl SchemaProvider for StaticSchemas {
+    fn table_schema(&self, table: &str) -> Option<Schema> {
+        self.0
+            .iter()
+            .find(|(n, _)| n == table)
+            .map(|(_, s)| s.clone())
+    }
+}
+
+/// Bind a parsed statement into a logical plan.
+pub fn bind(stmt: &SelectStatement, provider: &dyn SchemaProvider) -> Result<Arc<LogicalPlan>> {
+    let binder = Binder { provider };
+    binder.bind(stmt)
+}
+
+struct Binder<'a> {
+    provider: &'a dyn SchemaProvider,
+}
+
+/// The tables in scope, with schemas, in FROM/JOIN order.
+struct Scope {
+    tables: Vec<(String, Schema)>,
+}
+
+impl Scope {
+    /// Resolve a column reference to its bare name, checking existence and
+    /// ambiguity. Qualified references must match their table; bare
+    /// references must be unique across the scope.
+    fn resolve(&self, col: &ColumnRef) -> Result<String> {
+        match &col.table {
+            Some(t) => {
+                let (_, schema) = self
+                    .tables
+                    .iter()
+                    .find(|(name, _)| name == t)
+                    .ok_or_else(|| SqlError::UnknownTable(t.clone()))?;
+                if schema.index_of(&col.column).is_err() {
+                    return Err(SqlError::UnknownColumn(col.to_string()));
+                }
+                Ok(col.column.clone())
+            }
+            None => {
+                let hits: Vec<&String> = self
+                    .tables
+                    .iter()
+                    .filter(|(_, s)| s.index_of(&col.column).is_ok())
+                    .map(|(n, _)| n)
+                    .collect();
+                match hits.len() {
+                    0 => Err(SqlError::UnknownColumn(col.column.clone())),
+                    1 => Ok(col.column.clone()),
+                    _ => Err(SqlError::Semantic(format!(
+                        "ambiguous column '{}' (in tables: {})",
+                        col.column,
+                        hits.iter()
+                            .map(|s| s.as_str())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    ))),
+                }
+            }
+        }
+    }
+}
+
+impl Binder<'_> {
+    fn bind(&self, stmt: &SelectStatement) -> Result<Arc<LogicalPlan>> {
+        // FROM + JOINs: build scope and left-deep join tree.
+        let mut scope = Scope {
+            tables: vec![(stmt.from.clone(), self.schema_of(&stmt.from)?)],
+        };
+        let mut plan = LogicalPlan::scan(&stmt.from);
+        for join in &stmt.joins {
+            let right_schema = self.schema_of(&join.table)?;
+            // The left side of ON must resolve in the current scope, the
+            // right side in the joined table (accept either order).
+            let right_scope = Scope {
+                tables: vec![(join.table.clone(), right_schema.clone())],
+            };
+            let (lk, rk) = match (scope.resolve(&join.left), right_scope.resolve(&join.right)) {
+                (Ok(l), Ok(r)) => (l, r),
+                _ => {
+                    // Swapped condition: `ON s.r_id = r.id`.
+                    let l = scope.resolve(&join.right)?;
+                    let r = right_scope.resolve(&join.left)?;
+                    (l, r)
+                }
+            };
+            scope.tables.push((join.table.clone(), right_schema));
+            plan = LogicalPlan::join(plan, LogicalPlan::scan(&join.table), lk, rk);
+        }
+
+        // WHERE.
+        if !stmt.predicates.is_empty() {
+            let mut conjuncts = Vec::with_capacity(stmt.predicates.len());
+            for cmp in &stmt.predicates {
+                let column = scope.resolve(&cmp.column)?;
+                let value = match &cmp.literal {
+                    Literal::Number(n) => {
+                        let v = u32::try_from(*n).map_err(|_| SqlError::NumberOverflow {
+                            text: n.to_string(),
+                        })?;
+                        dqo_storage::Value::U32(v)
+                    }
+                    Literal::Str(s) => dqo_storage::Value::Str(s.clone()),
+                };
+                conjuncts.push(Predicate::Compare {
+                    column,
+                    op: convert_op(cmp.op),
+                    value,
+                });
+            }
+            let predicate = if conjuncts.len() == 1 {
+                conjuncts.pop().expect("one conjunct")
+            } else {
+                Predicate::And(conjuncts)
+            };
+            plan = LogicalPlan::filter(plan, predicate);
+        }
+
+        // GROUP BY / plain projection.
+        plan = match &stmt.group_by {
+            Some(group_col) => {
+                let key = scope.resolve(group_col)?;
+                let mut aggs = Vec::new();
+                for item in &stmt.items {
+                    match item {
+                        SelectItem::Column { column, .. } => {
+                            let name = scope.resolve(column)?;
+                            if name != key {
+                                return Err(SqlError::Semantic(format!(
+                                    "column '{name}' must appear in GROUP BY or an aggregate"
+                                )));
+                            }
+                        }
+                        SelectItem::Aggregate { func, alias } => {
+                            aggs.push(self.bind_agg(&scope, func, alias.as_deref(), aggs.len())?);
+                        }
+                    }
+                }
+                if aggs.is_empty() {
+                    return Err(SqlError::Semantic(
+                        "GROUP BY query needs at least one aggregate".into(),
+                    ));
+                }
+                LogicalPlan::group_by(plan, key, aggs)
+            }
+            None => {
+                let mut columns = Vec::new();
+                for item in &stmt.items {
+                    match item {
+                        SelectItem::Column { column, .. } => {
+                            columns.push(scope.resolve(column)?);
+                        }
+                        SelectItem::Aggregate { .. } => {
+                            return Err(SqlError::Semantic(
+                                "aggregates require GROUP BY (scalar aggregates unsupported)"
+                                    .into(),
+                            ))
+                        }
+                    }
+                }
+                LogicalPlan::project(plan, columns)
+            }
+        };
+
+        // ORDER BY. After GROUP BY, only the grouping key is sortable.
+        if let Some(order_col) = &stmt.order_by {
+            let key = match &stmt.group_by {
+                Some(g) => {
+                    let gk = scope.resolve(g)?;
+                    let ok = scope.resolve(order_col)?;
+                    if ok != gk {
+                        return Err(SqlError::Semantic(format!(
+                            "ORDER BY '{ok}' must match the GROUP BY key '{gk}'"
+                        )));
+                    }
+                    ok
+                }
+                None => scope.resolve(order_col)?,
+            };
+            plan = LogicalPlan::sort(plan, key);
+        }
+
+        if let Some(n) = stmt.limit {
+            plan = LogicalPlan::limit(plan, n);
+        }
+
+        Ok(plan)
+    }
+
+    fn schema_of(&self, table: &str) -> Result<Schema> {
+        self.provider
+            .table_schema(table)
+            .ok_or_else(|| SqlError::UnknownTable(table.to_owned()))
+    }
+
+    fn bind_agg(
+        &self,
+        scope: &Scope,
+        call: &AggCall,
+        alias: Option<&str>,
+        index: usize,
+    ) -> Result<AggExpr> {
+        let (func, column) = match call {
+            AggCall::CountStar => (AggFunc::CountStar, None),
+            AggCall::Sum(c) => (AggFunc::Sum, Some(scope.resolve(c)?)),
+            AggCall::Min(c) => (AggFunc::Min, Some(scope.resolve(c)?)),
+            AggCall::Max(c) => (AggFunc::Max, Some(scope.resolve(c)?)),
+            AggCall::Avg(c) => (AggFunc::Avg, Some(scope.resolve(c)?)),
+        };
+        let alias = alias
+            .map(str::to_owned)
+            .unwrap_or_else(|| default_alias(func, column.as_deref(), index));
+        Ok(AggExpr {
+            func,
+            column,
+            alias,
+        })
+    }
+}
+
+fn default_alias(func: AggFunc, column: Option<&str>, index: usize) -> String {
+    match column {
+        Some(c) => format!("{}_{c}", func.sql().to_ascii_lowercase()),
+        None => {
+            if index == 0 {
+                "count".to_string()
+            } else {
+                format!("count_{index}")
+            }
+        }
+    }
+}
+
+fn convert_op(op: AstCmpOp) -> CmpOp {
+    match op {
+        AstCmpOp::Eq => CmpOp::Eq,
+        AstCmpOp::Ne => CmpOp::Ne,
+        AstCmpOp::Lt => CmpOp::Lt,
+        AstCmpOp::Le => CmpOp::Le,
+        AstCmpOp::Gt => CmpOp::Gt,
+        AstCmpOp::Ge => CmpOp::Ge,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use dqo_storage::{DataType, Field};
+
+    fn provider() -> StaticSchemas {
+        StaticSchemas(vec![
+            (
+                "r".into(),
+                Schema::new(vec![
+                    Field::new("id", DataType::U32),
+                    Field::new("a", DataType::U32),
+                ])
+                .unwrap(),
+            ),
+            (
+                "s".into(),
+                Schema::new(vec![
+                    Field::new("r_id", DataType::U32),
+                    Field::new("payload", DataType::U32),
+                ])
+                .unwrap(),
+            ),
+        ])
+    }
+
+    fn compile(sql: &str) -> Result<Arc<LogicalPlan>> {
+        bind(&parse(sql)?, &provider())
+    }
+
+    #[test]
+    fn binds_the_papers_example_query() {
+        let plan =
+            compile("SELECT R.A, COUNT(*) FROM R JOIN S ON R.ID = S.R_ID GROUP BY R.A").unwrap();
+        let text = plan.explain();
+        assert!(text.contains("GroupBy γ[a] COUNT(*) AS count"));
+        assert!(text.contains("Join on id = r_id"));
+        assert!(text.contains("Scan r"));
+        assert!(text.contains("Scan s"));
+    }
+
+    #[test]
+    fn swapped_join_condition_accepted() {
+        let plan =
+            compile("SELECT a, COUNT(*) FROM r JOIN s ON s.r_id = r.id GROUP BY a").unwrap();
+        assert!(plan.explain().contains("Join on id = r_id"));
+    }
+
+    #[test]
+    fn where_binds_to_filter() {
+        let plan = compile("SELECT a FROM r WHERE a < 10 AND id >= 2").unwrap();
+        let text = plan.explain();
+        assert!(text.contains("Filter a < 10 AND id >= 2"));
+        assert!(text.contains("Project a"));
+    }
+
+    #[test]
+    fn unknown_table_and_column() {
+        assert!(matches!(
+            compile("SELECT a FROM nope"),
+            Err(SqlError::UnknownTable(_))
+        ));
+        assert!(matches!(
+            compile("SELECT zzz FROM r"),
+            Err(SqlError::UnknownColumn(_))
+        ));
+        assert!(matches!(
+            compile("SELECT r.zzz FROM r"),
+            Err(SqlError::UnknownColumn(_))
+        ));
+    }
+
+    #[test]
+    fn non_grouped_column_rejected() {
+        let err = compile("SELECT id, COUNT(*) FROM r GROUP BY a").unwrap_err();
+        assert!(matches!(err, SqlError::Semantic(_)));
+    }
+
+    #[test]
+    fn group_by_without_aggregate_rejected() {
+        assert!(compile("SELECT a FROM r GROUP BY a").is_err());
+    }
+
+    #[test]
+    fn scalar_aggregate_rejected() {
+        assert!(compile("SELECT COUNT(*) FROM r").is_err());
+    }
+
+    #[test]
+    fn order_by_must_match_group_key() {
+        assert!(compile("SELECT a, COUNT(*) FROM r GROUP BY a ORDER BY a").is_ok());
+        assert!(compile("SELECT a, COUNT(*) FROM r GROUP BY a ORDER BY id").is_err());
+    }
+
+    #[test]
+    fn default_aliases() {
+        let plan =
+            compile("SELECT a, COUNT(*), SUM(a), AVG(a) FROM r GROUP BY a").unwrap();
+        let text = plan.explain();
+        assert!(text.contains("COUNT(*) AS count"));
+        assert!(text.contains("SUM(a) AS sum_a"));
+        assert!(text.contains("AVG(a) AS avg_a"));
+    }
+
+    #[test]
+    fn ambiguous_bare_column() {
+        let schemas = StaticSchemas(vec![
+            (
+                "t1".into(),
+                Schema::new(vec![Field::new("x", DataType::U32)]).unwrap(),
+            ),
+            (
+                "t2".into(),
+                Schema::new(vec![
+                    Field::new("x", DataType::U32),
+                    Field::new("y", DataType::U32),
+                ])
+                .unwrap(),
+            ),
+        ]);
+        let stmt = parse("SELECT x FROM t1 JOIN t2 ON t1.x = t2.y").unwrap();
+        let err = bind(&stmt, &schemas).unwrap_err();
+        assert!(matches!(err, SqlError::Semantic(_)));
+    }
+
+    #[test]
+    fn string_predicate_binds() {
+        let schemas = StaticSchemas(vec![(
+            "t".into(),
+            Schema::new(vec![Field::new("s", DataType::Str)]).unwrap(),
+        )]);
+        let stmt = parse("SELECT s FROM t WHERE s = 'abc'").unwrap();
+        let plan = bind(&stmt, &schemas).unwrap();
+        assert!(plan.explain().contains("Filter s = 'abc'"));
+    }
+}

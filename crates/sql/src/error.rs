@@ -1,0 +1,89 @@
+//! SQL front-end errors with source positions.
+
+use std::fmt;
+
+/// Errors from lexing, parsing, or binding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SqlError {
+    /// A character the lexer cannot start a token with.
+    UnexpectedChar {
+        /// The character.
+        ch: char,
+        /// Byte offset in the input.
+        pos: usize,
+    },
+    /// An unterminated string literal.
+    UnterminatedString {
+        /// Byte offset where the literal started.
+        pos: usize,
+    },
+    /// A number too large for the engine's types.
+    NumberOverflow {
+        /// The literal text.
+        text: String,
+    },
+    /// The parser expected something else.
+    Expected {
+        /// What was expected.
+        what: String,
+        /// What was found.
+        found: String,
+        /// Byte offset.
+        pos: usize,
+    },
+    /// Input continued after a complete statement.
+    TrailingInput {
+        /// Byte offset of the first trailing token.
+        pos: usize,
+    },
+    /// Binder: unknown table.
+    UnknownTable(String),
+    /// Binder: unknown or ambiguous column.
+    UnknownColumn(String),
+    /// Binder: semantic restriction violated (e.g. non-grouped column in
+    /// an aggregate query).
+    Semantic(String),
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::UnexpectedChar { ch, pos } => {
+                write!(f, "unexpected character '{ch}' at byte {pos}")
+            }
+            SqlError::UnterminatedString { pos } => {
+                write!(f, "unterminated string literal starting at byte {pos}")
+            }
+            SqlError::NumberOverflow { text } => write!(f, "number too large: {text}"),
+            SqlError::Expected { what, found, pos } => {
+                write!(f, "expected {what}, found {found} at byte {pos}")
+            }
+            SqlError::TrailingInput { pos } => {
+                write!(f, "unexpected trailing input at byte {pos}")
+            }
+            SqlError::UnknownTable(t) => write!(f, "unknown table: {t}"),
+            SqlError::UnknownColumn(c) => write!(f, "unknown column: {c}"),
+            SqlError::Semantic(msg) => write!(f, "semantic error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_positions() {
+        let e = SqlError::UnexpectedChar { ch: '#', pos: 7 };
+        assert!(e.to_string().contains("'#'"));
+        assert!(e.to_string().contains("byte 7"));
+        let e = SqlError::Expected {
+            what: "FROM".into(),
+            found: "GROUP".into(),
+            pos: 12,
+        };
+        assert!(e.to_string().contains("expected FROM"));
+    }
+}

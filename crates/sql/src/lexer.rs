@@ -1,0 +1,286 @@
+//! Tokeniser for the supported SQL subset.
+
+use crate::error::SqlError;
+use crate::Result;
+
+/// A token with its byte position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokenKind,
+    /// Byte offset in the source text.
+    pub pos: usize,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Keyword (upper-cased) or identifier (lower-cased).
+    Word(String),
+    /// Unsigned integer literal.
+    Number(u64),
+    /// Single-quoted string literal (content, unescaped).
+    Str(String),
+    /// `,`
+    Comma,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `.`
+    Dot,
+    /// `*`
+    Star,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `;`
+    Semicolon,
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Human-readable description for diagnostics.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Word(w) => format!("'{w}'"),
+            TokenKind::Number(n) => format!("number {n}"),
+            TokenKind::Str(s) => format!("string '{s}'"),
+            TokenKind::Eof => "end of input".to_string(),
+            other => format!("{other:?}"),
+        }
+    }
+}
+
+/// SQL keywords (recognised case-insensitively, stored upper-case).
+const KEYWORDS: &[&str] = &[
+    "SELECT", "FROM", "WHERE", "GROUP", "ORDER", "BY", "JOIN", "ON", "AND", "AS", "COUNT", "SUM",
+    "MIN", "MAX", "AVG", "ASC", "INNER", "LIMIT",
+];
+
+/// Tokenise `sql`. The final token is always [`TokenKind::Eof`].
+pub fn lex(sql: &str) -> Result<Vec<Token>> {
+    let bytes = sql.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let pos = i;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => {
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token { kind: TokenKind::Comma, pos });
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token { kind: TokenKind::LParen, pos });
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token { kind: TokenKind::RParen, pos });
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Token { kind: TokenKind::Dot, pos });
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token { kind: TokenKind::Star, pos });
+                i += 1;
+            }
+            ';' => {
+                tokens.push(Token { kind: TokenKind::Semicolon, pos });
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token { kind: TokenKind::Eq, pos });
+                i += 1;
+            }
+            '!' if bytes.get(i + 1) == Some(&b'=') => {
+                tokens.push(Token { kind: TokenKind::Ne, pos });
+                i += 2;
+            }
+            '<' => {
+                let (kind, step) = match bytes.get(i + 1) {
+                    Some(b'=') => (TokenKind::Le, 2),
+                    Some(b'>') => (TokenKind::Ne, 2),
+                    _ => (TokenKind::Lt, 1),
+                };
+                tokens.push(Token { kind, pos });
+                i += step;
+            }
+            '>' => {
+                let (kind, step) = match bytes.get(i + 1) {
+                    Some(b'=') => (TokenKind::Ge, 2),
+                    _ => (TokenKind::Gt, 1),
+                };
+                tokens.push(Token { kind, pos });
+                i += step;
+            }
+            '\'' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != b'\'' {
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(SqlError::UnterminatedString { pos });
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Str(sql[start..j].to_owned()),
+                    pos,
+                });
+                i = j + 1;
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &sql[start..i];
+                let value: u64 = text
+                    .parse()
+                    .map_err(|_| SqlError::NumberOverflow { text: text.into() })?;
+                tokens.push(Token {
+                    kind: TokenKind::Number(value),
+                    pos,
+                });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &sql[start..i];
+                let upper = word.to_ascii_uppercase();
+                let kind = if KEYWORDS.contains(&upper.as_str()) {
+                    TokenKind::Word(upper)
+                } else {
+                    TokenKind::Word(word.to_ascii_lowercase())
+                };
+                tokens.push(Token { kind, pos });
+            }
+            other => return Err(SqlError::UnexpectedChar { ch: other, pos }),
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        pos: bytes.len(),
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(sql: &str) -> Vec<TokenKind> {
+        lex(sql).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn keywords_uppercased_identifiers_lowercased() {
+        let k = kinds("SELECT Key FROM T");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Word("SELECT".into()),
+                TokenKind::Word("key".into()),
+                TokenKind::Word("FROM".into()),
+                TokenKind::Word("t".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        let k = kinds("= <> != < <= > >=");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Eq,
+                TokenKind::Ne,
+                TokenKind::Ne,
+                TokenKind::Lt,
+                TokenKind::Le,
+                TokenKind::Gt,
+                TokenKind::Ge,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn punctuation_and_numbers() {
+        let k = kinds("count(*), r.id 42;");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Word("COUNT".into()),
+                TokenKind::LParen,
+                TokenKind::Star,
+                TokenKind::RParen,
+                TokenKind::Comma,
+                TokenKind::Word("r".into()),
+                TokenKind::Dot,
+                TokenKind::Word("id".into()),
+                TokenKind::Number(42),
+                TokenKind::Semicolon,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn string_literals() {
+        let k = kinds("'hello world'");
+        assert_eq!(k[0], TokenKind::Str("hello world".into()));
+    }
+
+    #[test]
+    fn unterminated_string() {
+        assert!(matches!(
+            lex("'oops"),
+            Err(SqlError::UnterminatedString { pos: 0 })
+        ));
+    }
+
+    #[test]
+    fn bad_character() {
+        assert!(matches!(
+            lex("select #"),
+            Err(SqlError::UnexpectedChar { ch: '#', .. })
+        ));
+    }
+
+    #[test]
+    fn number_overflow() {
+        assert!(matches!(
+            lex("99999999999999999999999999"),
+            Err(SqlError::NumberOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn positions_recorded() {
+        let toks = lex("a = 1").unwrap();
+        assert_eq!(toks[0].pos, 0);
+        assert_eq!(toks[1].pos, 2);
+        assert_eq!(toks[2].pos, 4);
+    }
+}

@@ -1,0 +1,43 @@
+//! # dqo-sql — a small SQL front-end for the DQO engine
+//!
+//! Parses and binds the query class the paper's evaluation uses (§4.3's
+//! `SELECT R.A, COUNT(*) FROM R JOIN S ON R.ID = S.R_ID GROUP BY R.A` and
+//! friends):
+//!
+//! ```sql
+//! SELECT key, COUNT(*) AS n, SUM(v) AS total
+//! FROM r JOIN s ON r.id = s.r_id
+//! WHERE v < 100 AND key >= 3
+//! GROUP BY key
+//! ORDER BY key
+//! ```
+//!
+//! Pipeline: [`lexer`] → [`parser`] (recursive descent over [`ast`]) →
+//! [`binder`] (name resolution against a [`binder::SchemaProvider`],
+//! producing a `dqo_plan::LogicalPlan`). Identifiers are lower-cased;
+//! `table.column` qualifiers resolve to the bare column name, matching
+//! the engine's flat join schemas.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod ast;
+pub mod binder;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+
+pub use binder::{bind, SchemaProvider};
+pub use error::SqlError;
+pub use parser::parse;
+
+/// Crate-wide result type.
+pub type Result<T> = std::result::Result<T, SqlError>;
+
+/// Parse and bind in one step.
+pub fn compile(
+    sql: &str,
+    provider: &dyn SchemaProvider,
+) -> Result<std::sync::Arc<dqo_plan::LogicalPlan>> {
+    bind(&parse(sql)?, provider)
+}

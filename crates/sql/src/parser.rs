@@ -1,0 +1,391 @@
+//! Recursive-descent parser for the supported SELECT grammar:
+//!
+//! ```text
+//! select   := SELECT items FROM ident join* where? group? order? ';'? EOF
+//! items    := item (',' item)*
+//! item     := agg | colref [AS ident]
+//! agg      := COUNT '(' '*' ')' | (SUM|MIN|MAX|AVG) '(' colref ')'  [AS ident]
+//! join     := [INNER] JOIN ident ON colref '=' colref
+//! where    := WHERE cmp (AND cmp)*
+//! cmp      := colref op literal
+//! group    := GROUP BY colref
+//! order    := ORDER BY colref [ASC]
+//! colref   := ident ['.' ident]
+//! ```
+
+use crate::ast::*;
+use crate::error::SqlError;
+use crate::lexer::{lex, Token, TokenKind};
+use crate::Result;
+
+/// Parse one SELECT statement.
+pub fn parse(sql: &str) -> Result<SelectStatement> {
+    let tokens = lex(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.select()?;
+    p.eat_if(&TokenKind::Semicolon);
+    let t = p.peek();
+    if t.kind != TokenKind::Eof {
+        return Err(SqlError::TrailingInput { pos: t.pos });
+    }
+    Ok(stmt)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    fn advance(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_if(&mut self, kind: &TokenKind) -> bool {
+        if &self.peek().kind == kind {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind, what: &str) -> Result<Token> {
+        if self.peek().kind == kind {
+            Ok(self.advance())
+        } else {
+            Err(self.err(what))
+        }
+    }
+
+    fn err(&self, what: &str) -> SqlError {
+        let t = self.peek();
+        SqlError::Expected {
+            what: what.to_owned(),
+            found: t.kind.describe(),
+            pos: t.pos,
+        }
+    }
+
+    fn keyword(&mut self, kw: &str) -> Result<()> {
+        match &self.peek().kind {
+            TokenKind::Word(w) if w == kw => {
+                self.advance();
+                Ok(())
+            }
+            _ => Err(self.err(kw)),
+        }
+    }
+
+    fn at_keyword(&self, kw: &str) -> bool {
+        matches!(&self.peek().kind, TokenKind::Word(w) if w == kw)
+    }
+
+    fn identifier(&mut self, what: &str) -> Result<String> {
+        match &self.peek().kind {
+            TokenKind::Word(w) if w.chars().next().is_some_and(|c| c.is_lowercase() || c == '_') => {
+                let w = w.clone();
+                self.advance();
+                Ok(w)
+            }
+            // Aggregate-function keywords are not reserved: `AS count`,
+            // `AS sum` etc. are legal aliases (and the canonical names the
+            // materialised-grouping AV shape uses).
+            TokenKind::Word(w) if matches!(w.as_str(), "COUNT" | "SUM" | "MIN" | "MAX" | "AVG") => {
+                let w = w.to_ascii_lowercase();
+                self.advance();
+                Ok(w)
+            }
+            _ => Err(self.err(what)),
+        }
+    }
+
+    fn column_ref(&mut self) -> Result<ColumnRef> {
+        let first = self.identifier("column name")?;
+        if self.eat_if(&TokenKind::Dot) {
+            let column = self.identifier("column name after '.'")?;
+            Ok(ColumnRef {
+                table: Some(first),
+                column,
+            })
+        } else {
+            Ok(ColumnRef {
+                table: None,
+                column: first,
+            })
+        }
+    }
+
+    fn select(&mut self) -> Result<SelectStatement> {
+        self.keyword("SELECT")?;
+        let mut items = vec![self.select_item()?];
+        while self.eat_if(&TokenKind::Comma) {
+            items.push(self.select_item()?);
+        }
+        self.keyword("FROM")?;
+        let from = self.identifier("table name")?;
+
+        let mut joins = Vec::new();
+        loop {
+            if self.at_keyword("INNER") {
+                self.advance();
+                self.keyword("JOIN")?;
+            } else if self.at_keyword("JOIN") {
+                self.advance();
+            } else {
+                break;
+            }
+            let table = self.identifier("joined table name")?;
+            self.keyword("ON")?;
+            let left = self.column_ref()?;
+            self.expect(TokenKind::Eq, "'=' in join condition")?;
+            let right = self.column_ref()?;
+            joins.push(JoinClause { table, left, right });
+        }
+
+        let mut predicates = Vec::new();
+        if self.at_keyword("WHERE") {
+            self.advance();
+            predicates.push(self.comparison()?);
+            while self.at_keyword("AND") {
+                self.advance();
+                predicates.push(self.comparison()?);
+            }
+        }
+
+        let mut group_by = None;
+        if self.at_keyword("GROUP") {
+            self.advance();
+            self.keyword("BY")?;
+            group_by = Some(self.column_ref()?);
+        }
+
+        let mut order_by = None;
+        if self.at_keyword("ORDER") {
+            self.advance();
+            self.keyword("BY")?;
+            order_by = Some(self.column_ref()?);
+            if self.at_keyword("ASC") {
+                self.advance();
+            }
+        }
+
+        let mut limit = None;
+        if self.at_keyword("LIMIT") {
+            self.advance();
+            match self.peek().kind {
+                TokenKind::Number(n) => {
+                    limit = Some(n);
+                    self.advance();
+                }
+                _ => return Err(self.err("row count after LIMIT")),
+            }
+        }
+
+        Ok(SelectStatement {
+            items,
+            from,
+            joins,
+            predicates,
+            group_by,
+            order_by,
+            limit,
+        })
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem> {
+        let agg = match &self.peek().kind {
+            TokenKind::Word(w) => match w.as_str() {
+                "COUNT" => {
+                    self.advance();
+                    self.expect(TokenKind::LParen, "'(' after COUNT")?;
+                    self.expect(TokenKind::Star, "'*' in COUNT(*)")?;
+                    self.expect(TokenKind::RParen, "')' after COUNT(*")?;
+                    Some(AggCall::CountStar)
+                }
+                "SUM" | "MIN" | "MAX" | "AVG" => {
+                    let func = w.clone();
+                    self.advance();
+                    self.expect(TokenKind::LParen, "'(' after aggregate")?;
+                    let col = self.column_ref()?;
+                    self.expect(TokenKind::RParen, "')' after aggregate argument")?;
+                    Some(match func.as_str() {
+                        "SUM" => AggCall::Sum(col),
+                        "MIN" => AggCall::Min(col),
+                        "MAX" => AggCall::Max(col),
+                        _ => AggCall::Avg(col),
+                    })
+                }
+                _ => None,
+            },
+            _ => None,
+        };
+        let alias = |p: &mut Self| -> Result<Option<String>> {
+            if p.at_keyword("AS") {
+                p.advance();
+                Ok(Some(p.identifier("alias after AS")?))
+            } else {
+                Ok(None)
+            }
+        };
+        match agg {
+            Some(func) => Ok(SelectItem::Aggregate {
+                func,
+                alias: alias(self)?,
+            }),
+            None => {
+                let column = self.column_ref()?;
+                Ok(SelectItem::Column {
+                    column,
+                    alias: alias(self)?,
+                })
+            }
+        }
+    }
+
+    fn comparison(&mut self) -> Result<Comparison> {
+        let column = self.column_ref()?;
+        let op = match self.peek().kind {
+            TokenKind::Eq => AstCmpOp::Eq,
+            TokenKind::Ne => AstCmpOp::Ne,
+            TokenKind::Lt => AstCmpOp::Lt,
+            TokenKind::Le => AstCmpOp::Le,
+            TokenKind::Gt => AstCmpOp::Gt,
+            TokenKind::Ge => AstCmpOp::Ge,
+            _ => return Err(self.err("comparison operator")),
+        };
+        self.advance();
+        let literal = match &self.peek().kind {
+            TokenKind::Number(n) => {
+                let n = *n;
+                self.advance();
+                Literal::Number(n)
+            }
+            TokenKind::Str(s) => {
+                let s = s.clone();
+                self.advance();
+                Literal::Str(s)
+            }
+            _ => return Err(self.err("literal")),
+        };
+        Ok(Comparison { column, op, literal })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_papers_example_query() {
+        let stmt =
+            parse("SELECT R.A, COUNT(*) FROM R JOIN S ON R.ID = S.R_ID GROUP BY R.A").unwrap();
+        assert_eq!(stmt.from, "r");
+        assert_eq!(stmt.joins.len(), 1);
+        assert_eq!(stmt.joins[0].table, "s");
+        assert_eq!(stmt.joins[0].left, ColumnRef::qualified("r", "id"));
+        assert_eq!(stmt.joins[0].right, ColumnRef::qualified("s", "r_id"));
+        assert_eq!(stmt.group_by, Some(ColumnRef::qualified("r", "a")));
+        assert_eq!(stmt.items.len(), 2);
+        assert!(matches!(
+            stmt.items[1],
+            SelectItem::Aggregate {
+                func: AggCall::CountStar,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn aggregates_and_aliases() {
+        let stmt = parse(
+            "SELECT key, COUNT(*) AS n, SUM(v) AS total, MIN(v), MAX(v), AVG(v) FROM t GROUP BY key",
+        )
+        .unwrap();
+        assert_eq!(stmt.items.len(), 6);
+        match &stmt.items[1] {
+            SelectItem::Aggregate { alias, .. } => assert_eq!(alias.as_deref(), Some("n")),
+            other => panic!("unexpected {other:?}"),
+        }
+        match &stmt.items[5] {
+            SelectItem::Aggregate {
+                func: AggCall::Avg(c),
+                alias,
+            } => {
+                assert_eq!(c.column, "v");
+                assert!(alias.is_none());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn where_conjunction() {
+        let stmt = parse("SELECT a FROM t WHERE a < 10 AND b >= 3 AND c = 'x'").unwrap();
+        assert_eq!(stmt.predicates.len(), 3);
+        assert_eq!(stmt.predicates[0].op, AstCmpOp::Lt);
+        assert_eq!(stmt.predicates[1].op, AstCmpOp::Ge);
+        assert_eq!(stmt.predicates[2].literal, Literal::Str("x".into()));
+    }
+
+    #[test]
+    fn order_by_and_semicolon() {
+        let stmt = parse("SELECT a FROM t ORDER BY a ASC;").unwrap();
+        assert_eq!(stmt.order_by, Some(ColumnRef::bare("a")));
+    }
+
+    #[test]
+    fn multi_join_chain() {
+        let stmt =
+            parse("SELECT a FROM t JOIN u ON t.x = u.y INNER JOIN v ON u.z = v.w").unwrap();
+        assert_eq!(stmt.joins.len(), 2);
+        assert_eq!(stmt.joins[1].table, "v");
+    }
+
+    #[test]
+    fn error_messages_have_positions() {
+        let err = parse("SELECT FROM t").unwrap_err();
+        assert!(matches!(err, SqlError::Expected { .. }));
+        let err = parse("SELECT a FROM t GROUP a").unwrap_err();
+        assert!(err.to_string().contains("BY"));
+    }
+
+    #[test]
+    fn trailing_input_rejected() {
+        assert!(matches!(
+            parse("SELECT a FROM t extra"),
+            Err(SqlError::TrailingInput { .. })
+        ));
+    }
+
+    #[test]
+    fn count_requires_star() {
+        assert!(parse("SELECT COUNT(a) FROM t").is_err());
+    }
+}
+
+#[cfg(test)]
+mod limit_tests {
+    use super::*;
+
+    #[test]
+    fn limit_parses() {
+        let stmt = parse("SELECT a FROM t ORDER BY a LIMIT 10").unwrap();
+        assert_eq!(stmt.limit, Some(10));
+        let stmt = parse("SELECT a FROM t").unwrap();
+        assert_eq!(stmt.limit, None);
+    }
+
+    #[test]
+    fn limit_requires_a_number() {
+        assert!(parse("SELECT a FROM t LIMIT x").is_err());
+    }
+}

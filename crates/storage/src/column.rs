@@ -1,0 +1,319 @@
+//! Typed columns.
+//!
+//! A [`Column`] is a contiguous, fully materialised vector of one scalar
+//! type. Hot operator code obtains the raw slice (e.g. [`Column::as_u32`])
+//! and works on it directly; `Value`-based access exists for the API
+//! boundary and tests.
+
+use crate::error::StorageError;
+use crate::value::{DataType, Value};
+use crate::Result;
+use serde::{Deserialize, Serialize};
+
+/// A typed, fully materialised column.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Column {
+    /// u32 data (grouping keys in the paper's experiments).
+    U32(Vec<u32>),
+    /// u64 data (counters).
+    U64(Vec<u64>),
+    /// i64 data.
+    I64(Vec<i64>),
+    /// f64 data.
+    F64(Vec<f64>),
+    /// bool data.
+    Bool(Vec<bool>),
+    /// Dictionary codes; the dictionary itself lives in the relation's
+    /// schema-adjacent metadata (see [`crate::dictionary`]).
+    Str(Vec<u32>),
+}
+
+impl Column {
+    /// The column's data type.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Column::U32(_) => DataType::U32,
+            Column::U64(_) => DataType::U64,
+            Column::I64(_) => DataType::I64,
+            Column::F64(_) => DataType::F64,
+            Column::Bool(_) => DataType::Bool,
+            Column::Str(_) => DataType::Str,
+        }
+    }
+
+    /// Number of values.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::U32(v) | Column::Str(v) => v.len(),
+            Column::U64(v) => v.len(),
+            Column::I64(v) => v.len(),
+            Column::F64(v) => v.len(),
+            Column::Bool(v) => v.len(),
+        }
+    }
+
+    /// True if the column holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// An empty column of the given type.
+    pub fn empty(dt: DataType) -> Self {
+        match dt {
+            DataType::U32 => Column::U32(Vec::new()),
+            DataType::U64 => Column::U64(Vec::new()),
+            DataType::I64 => Column::I64(Vec::new()),
+            DataType::F64 => Column::F64(Vec::new()),
+            DataType::Bool => Column::Bool(Vec::new()),
+            DataType::Str => Column::Str(Vec::new()),
+        }
+    }
+
+    /// Borrow as `&[u32]` (also accepts `Str`, whose physical layout is
+    /// `u32` dictionary codes).
+    pub fn as_u32(&self) -> Result<&[u32]> {
+        match self {
+            Column::U32(v) | Column::Str(v) => Ok(v),
+            other => Err(StorageError::TypeMismatch {
+                expected: DataType::U32,
+                found: other.data_type(),
+            }),
+        }
+    }
+
+    /// Borrow as `&[u64]`.
+    pub fn as_u64(&self) -> Result<&[u64]> {
+        match self {
+            Column::U64(v) => Ok(v),
+            other => Err(StorageError::TypeMismatch {
+                expected: DataType::U64,
+                found: other.data_type(),
+            }),
+        }
+    }
+
+    /// Borrow as `&[i64]`.
+    pub fn as_i64(&self) -> Result<&[i64]> {
+        match self {
+            Column::I64(v) => Ok(v),
+            other => Err(StorageError::TypeMismatch {
+                expected: DataType::I64,
+                found: other.data_type(),
+            }),
+        }
+    }
+
+    /// Borrow as `&[f64]`.
+    pub fn as_f64(&self) -> Result<&[f64]> {
+        match self {
+            Column::F64(v) => Ok(v),
+            other => Err(StorageError::TypeMismatch {
+                expected: DataType::F64,
+                found: other.data_type(),
+            }),
+        }
+    }
+
+    /// Borrow as `&[bool]`.
+    pub fn as_bool(&self) -> Result<&[bool]> {
+        match self {
+            Column::Bool(v) => Ok(v),
+            other => Err(StorageError::TypeMismatch {
+                expected: DataType::Bool,
+                found: other.data_type(),
+            }),
+        }
+    }
+
+    /// Value at `idx` as a [`Value`] (slow path; for API boundary and tests).
+    pub fn value_at(&self, idx: usize) -> Result<Value> {
+        let len = self.len();
+        if idx >= len {
+            return Err(StorageError::RowIndexOutOfBounds { index: idx, rows: len });
+        }
+        Ok(match self {
+            Column::U32(v) => Value::U32(v[idx]),
+            Column::U64(v) => Value::U64(v[idx]),
+            Column::I64(v) => Value::I64(v[idx]),
+            Column::F64(v) => Value::F64(v[idx]),
+            Column::Bool(v) => Value::Bool(v[idx]),
+            // `Str` surfaces the raw code; decoding needs the dictionary and
+            // is done by `Relation::value_at`.
+            Column::Str(v) => Value::U32(v[idx]),
+        })
+    }
+
+    /// Build a new column by picking the rows at `indices` (gather).
+    ///
+    /// Out-of-range indices are a programming error and panic in debug; in
+    /// release they would panic via slice indexing as well, which is the
+    /// desired fail-fast behaviour for a corrupted selection vector.
+    pub fn gather(&self, indices: &[usize]) -> Column {
+        match self {
+            Column::U32(v) => Column::U32(indices.iter().map(|&i| v[i]).collect()),
+            Column::U64(v) => Column::U64(indices.iter().map(|&i| v[i]).collect()),
+            Column::I64(v) => Column::I64(indices.iter().map(|&i| v[i]).collect()),
+            Column::F64(v) => Column::F64(indices.iter().map(|&i| v[i]).collect()),
+            Column::Bool(v) => Column::Bool(indices.iter().map(|&i| v[i]).collect()),
+            Column::Str(v) => Column::Str(indices.iter().map(|&i| v[i]).collect()),
+        }
+    }
+
+    /// Filter by a boolean selection mask of the same length.
+    pub fn filter(&self, mask: &[bool]) -> Result<Column> {
+        if mask.len() != self.len() {
+            return Err(StorageError::ColumnLengthMismatch {
+                expected: self.len(),
+                found: mask.len(),
+            });
+        }
+        fn keep<T: Copy>(v: &[T], mask: &[bool]) -> Vec<T> {
+            v.iter()
+                .zip(mask)
+                .filter_map(|(x, &m)| m.then_some(*x))
+                .collect()
+        }
+        Ok(match self {
+            Column::U32(v) => Column::U32(keep(v, mask)),
+            Column::U64(v) => Column::U64(keep(v, mask)),
+            Column::I64(v) => Column::I64(keep(v, mask)),
+            Column::F64(v) => Column::F64(keep(v, mask)),
+            Column::Bool(v) => Column::Bool(keep(v, mask)),
+            Column::Str(v) => Column::Str(keep(v, mask)),
+        })
+    }
+
+    /// Concatenate another column of the same type onto this one.
+    pub fn append(&mut self, other: &Column) -> Result<()> {
+        match (self, other) {
+            (Column::U32(a), Column::U32(b)) => a.extend_from_slice(b),
+            (Column::U64(a), Column::U64(b)) => a.extend_from_slice(b),
+            (Column::I64(a), Column::I64(b)) => a.extend_from_slice(b),
+            (Column::F64(a), Column::F64(b)) => a.extend_from_slice(b),
+            (Column::Bool(a), Column::Bool(b)) => a.extend_from_slice(b),
+            (Column::Str(a), Column::Str(b)) => a.extend_from_slice(b),
+            (me, other) => {
+                return Err(StorageError::TypeMismatch {
+                    expected: me.data_type(),
+                    found: other.data_type(),
+                })
+            }
+        }
+        Ok(())
+    }
+
+    /// Approximate heap footprint in bytes (used by the AV catalog's budget
+    /// accounting).
+    pub fn byte_size(&self) -> usize {
+        self.len() * self.data_type().byte_width()
+    }
+}
+
+impl From<Vec<u32>> for Column {
+    fn from(v: Vec<u32>) -> Self {
+        Column::U32(v)
+    }
+}
+
+impl From<Vec<u64>> for Column {
+    fn from(v: Vec<u64>) -> Self {
+        Column::U64(v)
+    }
+}
+
+impl From<Vec<i64>> for Column {
+    fn from(v: Vec<i64>) -> Self {
+        Column::I64(v)
+    }
+}
+
+impl From<Vec<f64>> for Column {
+    fn from(v: Vec<f64>) -> Self {
+        Column::F64(v)
+    }
+}
+
+impl From<Vec<bool>> for Column {
+    fn from(v: Vec<bool>) -> Self {
+        Column::Bool(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn len_and_type() {
+        let c = Column::U32(vec![1, 2, 3]);
+        assert_eq!(c.len(), 3);
+        assert!(!c.is_empty());
+        assert_eq!(c.data_type(), DataType::U32);
+        assert!(Column::empty(DataType::F64).is_empty());
+    }
+
+    #[test]
+    fn typed_slice_access() {
+        let c = Column::U32(vec![4, 5]);
+        assert_eq!(c.as_u32().unwrap(), &[4, 5]);
+        assert!(c.as_u64().is_err());
+        assert!(c.as_f64().is_err());
+    }
+
+    #[test]
+    fn str_column_exposes_codes_as_u32() {
+        let c = Column::Str(vec![0, 1, 0]);
+        assert_eq!(c.as_u32().unwrap(), &[0, 1, 0]);
+        assert_eq!(c.data_type(), DataType::Str);
+    }
+
+    #[test]
+    fn value_at_bounds() {
+        let c = Column::I64(vec![-1, 9]);
+        assert_eq!(c.value_at(1).unwrap(), Value::I64(9));
+        assert!(matches!(
+            c.value_at(2),
+            Err(StorageError::RowIndexOutOfBounds { index: 2, rows: 2 })
+        ));
+    }
+
+    #[test]
+    fn gather_reorders() {
+        let c = Column::U32(vec![10, 20, 30]);
+        let g = c.gather(&[2, 0, 0]);
+        assert_eq!(g.as_u32().unwrap(), &[30, 10, 10]);
+    }
+
+    #[test]
+    fn filter_by_mask() {
+        let c = Column::F64(vec![1.0, 2.0, 3.0]);
+        let f = c.filter(&[true, false, true]).unwrap();
+        assert_eq!(f.as_f64().unwrap(), &[1.0, 3.0]);
+    }
+
+    #[test]
+    fn filter_mask_length_checked() {
+        let c = Column::U32(vec![1]);
+        assert!(c.filter(&[true, false]).is_err());
+    }
+
+    #[test]
+    fn append_same_type() {
+        let mut a = Column::U32(vec![1]);
+        a.append(&Column::U32(vec![2, 3])).unwrap();
+        assert_eq!(a.as_u32().unwrap(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn append_type_mismatch() {
+        let mut a = Column::U32(vec![1]);
+        assert!(a.append(&Column::U64(vec![2])).is_err());
+    }
+
+    #[test]
+    fn byte_size() {
+        assert_eq!(Column::U32(vec![0; 10]).byte_size(), 40);
+        assert_eq!(Column::F64(vec![0.0; 10]).byte_size(), 80);
+        assert_eq!(Column::Bool(vec![false; 10]).byte_size(), 10);
+    }
+}

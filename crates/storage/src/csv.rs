@@ -1,0 +1,204 @@
+//! A small CSV loader so real data can reach the engine.
+//!
+//! Loads a header-first CSV into a [`Relation`], inferring column types:
+//! a column whose every value parses as `u32` becomes `U32` (the engine's
+//! key type), else `I64` if all parse as signed integers, else `F64` if
+//! all parse as floats, else a dictionary-encoded `Str` column — whose
+//! codes are dense by construction, i.e. immediately SPH-able (§2.1).
+
+use crate::column::Column;
+use crate::dictionary::Dictionary;
+use crate::error::StorageError;
+use crate::relation::Relation;
+use crate::schema::{Field, Schema};
+use crate::value::DataType;
+use crate::Result;
+use std::sync::Arc;
+
+/// Parse CSV text (header line + data lines, comma-separated, `"`-quoted
+/// fields supported) into a relation.
+pub fn parse_csv(text: &str) -> Result<Relation> {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let header = lines
+        .next()
+        .ok_or_else(|| StorageError::Codec("empty CSV: missing header".into()))?;
+    let names = split_row(header)?;
+    if names.is_empty() {
+        return Err(StorageError::Codec("CSV header has no columns".into()));
+    }
+    let mut cells: Vec<Vec<String>> = vec![Vec::new(); names.len()];
+    for (line_no, line) in lines.enumerate() {
+        let row = split_row(line)?;
+        if row.len() != names.len() {
+            return Err(StorageError::Codec(format!(
+                "CSV row {} has {} fields, header has {}",
+                line_no + 2,
+                row.len(),
+                names.len()
+            )));
+        }
+        for (c, v) in cells.iter_mut().zip(row) {
+            c.push(v);
+        }
+    }
+
+    let mut fields = Vec::with_capacity(names.len());
+    let mut columns = Vec::with_capacity(names.len());
+    let mut dictionaries: Vec<Option<Dictionary>> = Vec::with_capacity(names.len());
+    for (name, raw) in names.iter().zip(&cells) {
+        let (dt, col, dict) = infer_column(raw);
+        fields.push(Field::new(name.clone(), dt));
+        columns.push(col);
+        dictionaries.push(dict);
+    }
+    let mut rel = Relation::new(Schema::new(fields)?, columns)?;
+    for (name, dict) in names.iter().zip(dictionaries) {
+        if let Some(d) = dict {
+            rel = rel.with_dictionary(name, Arc::new(d))?;
+        }
+    }
+    Ok(rel)
+}
+
+/// Load a CSV file from disk.
+pub fn load_csv(path: impl AsRef<std::path::Path>) -> Result<Relation> {
+    let text = std::fs::read_to_string(path.as_ref())
+        .map_err(|e| StorageError::Codec(format!("cannot read {:?}: {e}", path.as_ref())))?;
+    parse_csv(&text)
+}
+
+fn infer_column(raw: &[String]) -> (DataType, Column, Option<Dictionary>) {
+    if raw.iter().all(|v| v.parse::<u32>().is_ok()) {
+        return (
+            DataType::U32,
+            Column::U32(raw.iter().map(|v| v.parse().expect("checked")).collect()),
+            None,
+        );
+    }
+    if raw.iter().all(|v| v.parse::<i64>().is_ok()) {
+        return (
+            DataType::I64,
+            Column::I64(raw.iter().map(|v| v.parse().expect("checked")).collect()),
+            None,
+        );
+    }
+    if raw.iter().all(|v| v.parse::<f64>().is_ok()) {
+        return (
+            DataType::F64,
+            Column::F64(raw.iter().map(|v| v.parse().expect("checked")).collect()),
+            None,
+        );
+    }
+    let (dict, codes) = Dictionary::encode_all(raw);
+    (DataType::Str, Column::Str(codes), Some(dict))
+}
+
+/// Split one CSV row, honouring double-quoted fields with `""` escapes.
+fn split_row(line: &str) -> Result<Vec<String>> {
+    let mut out = Vec::new();
+    let mut field = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if in_quotes => {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    field.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            }
+            '"' if field.is_empty() => in_quotes = true,
+            '"' => {
+                return Err(StorageError::Codec(
+                    "stray quote inside unquoted CSV field".into(),
+                ))
+            }
+            ',' if !in_quotes => {
+                out.push(std::mem::take(&mut field));
+            }
+            c => field.push(c),
+        }
+    }
+    if in_quotes {
+        return Err(StorageError::Codec("unterminated quoted CSV field".into()));
+    }
+    out.push(field);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    #[test]
+    fn typed_inference() {
+        let rel = parse_csv("id,score,label\n1,0.5,a\n2,1.5,b\n3,2.5,a\n").unwrap();
+        assert_eq!(rel.rows(), 3);
+        assert_eq!(rel.schema().field("id").unwrap().data_type, DataType::U32);
+        assert_eq!(rel.schema().field("score").unwrap().data_type, DataType::F64);
+        assert_eq!(rel.schema().field("label").unwrap().data_type, DataType::Str);
+        // Dictionary decoding works end to end.
+        assert_eq!(rel.value_at(1, "label").unwrap(), Value::Str("b".into()));
+        // Codes are dense: 2 distinct labels → codes {0, 1}.
+        assert_eq!(rel.column("label").unwrap().as_u32().unwrap(), &[0, 1, 0]);
+    }
+
+    #[test]
+    fn negative_numbers_become_i64() {
+        let rel = parse_csv("x\n-1\n2\n").unwrap();
+        assert_eq!(rel.schema().field("x").unwrap().data_type, DataType::I64);
+        assert_eq!(rel.column("x").unwrap().as_i64().unwrap(), &[-1, 2]);
+    }
+
+    #[test]
+    fn quoted_fields_and_escapes() {
+        let rel = parse_csv("a,b\n\"x,y\",\"say \"\"hi\"\"\"\n").unwrap();
+        assert_eq!(rel.value_at(0, "a").unwrap(), Value::Str("x,y".into()));
+        assert_eq!(rel.value_at(0, "b").unwrap(), Value::Str("say \"hi\"".into()));
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        assert!(matches!(
+            parse_csv("a,b\n1\n"),
+            Err(StorageError::Codec(_))
+        ));
+    }
+
+    #[test]
+    fn empty_and_headerless() {
+        assert!(parse_csv("").is_err());
+        let rel = parse_csv("only_header\n").unwrap();
+        assert_eq!(rel.rows(), 0);
+        // A data-less column defaults to the strictest type (u32 parses
+        // vacuously).
+        assert_eq!(rel.schema().field("only_header").unwrap().data_type, DataType::U32);
+    }
+
+    #[test]
+    fn unterminated_quote_rejected() {
+        assert!(parse_csv("a\n\"oops\n").is_err());
+    }
+
+    #[test]
+    fn blank_lines_skipped() {
+        let rel = parse_csv("x\n1\n\n2\n\n").unwrap();
+        assert_eq!(rel.rows(), 2);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("dqo_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.csv");
+        std::fs::write(&path, "k,v\n1,10\n2,20\n").unwrap();
+        let rel = load_csv(&path).unwrap();
+        assert_eq!(rel.rows(), 2);
+        assert_eq!(rel.column("v").unwrap().as_u32().unwrap(), &[10, 20]);
+        std::fs::remove_file(&path).ok();
+        assert!(load_csv(dir.join("missing.csv")).is_err());
+    }
+}

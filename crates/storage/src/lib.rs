@@ -1,0 +1,46 @@
+//! # dqo-storage — columnar storage substrate for Deep Query Optimisation
+//!
+//! This crate provides the in-memory data substrate that every experiment in
+//! the DQO reproduction runs on:
+//!
+//! * typed [`Column`]s and [`Relation`]s with a simple [`Schema`],
+//! * data properties ([`Sortedness`], [`Density`]) — the *plan properties*
+//!   of the paper's §2.2 as they manifest on stored data,
+//! * exact [`stats`] computation and property detection,
+//! * the paper's four benchmark datasets and foreign-key join inputs in
+//!   [`datagen`],
+//! * [`dictionary`] compression (dense dictionary codes are the paper's
+//!   natural candidate for static perfect hashing),
+//! * a compact row-wise [`rowcodec`] used for spilling and golden tests.
+//!
+//! The design goal is faithfulness to the paper's experimental setup
+//! (§4.1: 100M uniformly distributed `u32` grouping keys, with the
+//! sortedness × density cross product) while remaining a reusable library.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod column;
+pub mod csv;
+pub mod datagen;
+pub mod dictionary;
+pub mod error;
+pub mod properties;
+pub mod relation;
+pub mod rowcodec;
+pub mod schema;
+pub mod stats;
+pub mod value;
+
+pub use column::Column;
+pub use datagen::{DatasetSpec, ForeignKeySpec};
+pub use dictionary::Dictionary;
+pub use error::StorageError;
+pub use properties::{DataProps, Density, Sortedness};
+pub use relation::Relation;
+pub use schema::{Field, Schema};
+pub use stats::ColumnStats;
+pub use value::{DataType, Value};
+
+/// Crate-wide result type.
+pub type Result<T> = std::result::Result<T, StorageError>;

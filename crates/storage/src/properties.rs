@@ -1,0 +1,242 @@
+//! Data properties: the physical/statistical facts about stored data that
+//! Deep Query Optimisation exploits.
+//!
+//! §2.2 of the paper: *"in DQO, an 'interesting order' is just one tiny
+//! special case. Other cases include … sparse vs dense, clustered,
+//! partitioned, correlated, compressed, layout …"*. This module models the
+//! two properties the paper's evaluation exercises — [`Sortedness`] and
+//! [`Density`] — plus the distinct count ("we always assume the number of
+//! distinct values to be known", §4.1), in a form shared by the data layer
+//! and the optimiser.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Sort order of a key column.
+///
+/// The paper's model treats sortedness as a property of an *input* (Figure 4
+/// datasets are "sorted" or "unsorted"); we additionally distinguish the
+/// direction so order-based operators can verify their precondition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Sortedness {
+    /// Non-decreasing.
+    Ascending,
+    /// Non-increasing.
+    Descending,
+    /// No usable order.
+    Unsorted,
+}
+
+impl Sortedness {
+    /// True if any usable order is present.
+    pub fn is_sorted(self) -> bool {
+        !matches!(self, Sortedness::Unsorted)
+    }
+
+    /// The meet of two sortedness facts (used when merging partitions:
+    /// the result is only sorted if both inputs agree on a direction).
+    pub fn meet(self, other: Sortedness) -> Sortedness {
+        if self == other {
+            self
+        } else {
+            Sortedness::Unsorted
+        }
+    }
+}
+
+impl fmt::Display for Sortedness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Sortedness::Ascending => "sorted(asc)",
+            Sortedness::Descending => "sorted(desc)",
+            Sortedness::Unsorted => "unsorted",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Density of a key domain.
+///
+/// §2.1: a static perfect hash (SPH) "is only applicable if the key domain of
+/// the grouping key is (relatively) dense". We call a `u32` key column with
+/// `d` distinct values over the value range `[min, max]` **dense** when
+/// `d == max - min + 1` (every value in the range occurs — the SPH is then
+/// *minimal*), and more generally record the fill factor so the optimiser
+/// can decide whether a non-minimal SPH is still worthwhile.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Density {
+    /// Every key in `[min, max]` occurs; SPH over `max - min + 1` slots is
+    /// minimal and perfect.
+    Dense,
+    /// Keys are spread over a domain larger than the distinct count.
+    /// `fill` = distinct / (max - min + 1) ∈ (0, 1].
+    Sparse {
+        /// Fraction of the key range that is populated.
+        fill: f64,
+    },
+    /// Unknown (no statistics).
+    Unknown,
+}
+
+impl Density {
+    /// True if an SPH array indexed by `key - min` is applicable without
+    /// unacceptable space blow-up. The paper's experiments use exactly-dense
+    /// domains; we accept fill factors above `threshold` as "relatively
+    /// dense" (§2.1's wording) when the caller opts in.
+    pub fn admits_sph(self, threshold: f64) -> bool {
+        match self {
+            Density::Dense => true,
+            Density::Sparse { fill } => fill >= threshold,
+            Density::Unknown => false,
+        }
+    }
+
+    /// Strict paper semantics: only exactly-dense domains admit SPH.
+    pub fn is_dense(self) -> bool {
+        matches!(self, Density::Dense)
+    }
+}
+
+impl Eq for Density {}
+
+impl fmt::Display for Density {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Density::Dense => f.write_str("dense"),
+            Density::Sparse { fill } => write!(f, "sparse(fill={fill:.3})"),
+            Density::Unknown => f.write_str("unknown-density"),
+        }
+    }
+}
+
+/// The bundle of data properties for one key column of one relation,
+/// as consumed by the optimiser.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DataProps {
+    /// Sort order of the column.
+    pub sortedness: Sortedness,
+    /// Density of the key domain.
+    pub density: Density,
+    /// Exact number of distinct keys (the paper assumes this is known).
+    pub distinct: u64,
+    /// Minimum key value (valid when `distinct > 0`).
+    pub min: u32,
+    /// Maximum key value (valid when `distinct > 0`).
+    pub max: u32,
+    /// Number of rows.
+    pub rows: u64,
+}
+
+impl DataProps {
+    /// Properties of an empty column.
+    pub fn empty() -> Self {
+        DataProps {
+            sortedness: Sortedness::Ascending, // vacuously sorted
+            density: Density::Dense,           // vacuously dense
+            distinct: 0,
+            min: 0,
+            max: 0,
+            rows: 0,
+        }
+    }
+
+    /// Size of the SPH domain (`max - min + 1`), i.e. the array length a
+    /// static perfect hash over this column needs. `None` for empty columns.
+    pub fn sph_domain(&self) -> Option<u64> {
+        if self.rows == 0 {
+            None
+        } else {
+            Some(u64::from(self.max) - u64::from(self.min) + 1)
+        }
+    }
+}
+
+impl Eq for DataProps {}
+
+impl fmt::Display for DataProps {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} × {} (distinct={}, range=[{}, {}], rows={})",
+            self.sortedness, self.density, self.distinct, self.min, self.max, self.rows
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sortedness_meet() {
+        use Sortedness::*;
+        assert_eq!(Ascending.meet(Ascending), Ascending);
+        assert_eq!(Ascending.meet(Descending), Unsorted);
+        assert_eq!(Unsorted.meet(Ascending), Unsorted);
+        assert_eq!(Descending.meet(Descending), Descending);
+    }
+
+    #[test]
+    fn sortedness_predicates() {
+        assert!(Sortedness::Ascending.is_sorted());
+        assert!(Sortedness::Descending.is_sorted());
+        assert!(!Sortedness::Unsorted.is_sorted());
+    }
+
+    #[test]
+    fn density_sph_admission() {
+        assert!(Density::Dense.admits_sph(1.0));
+        assert!(Density::Sparse { fill: 0.9 }.admits_sph(0.5));
+        assert!(!Density::Sparse { fill: 0.3 }.admits_sph(0.5));
+        assert!(!Density::Unknown.admits_sph(0.0));
+        assert!(Density::Dense.is_dense());
+        assert!(!Density::Sparse { fill: 0.99 }.is_dense());
+    }
+
+    #[test]
+    fn sph_domain_of_empty_is_none() {
+        assert_eq!(DataProps::empty().sph_domain(), None);
+    }
+
+    #[test]
+    fn sph_domain_of_range() {
+        let p = DataProps {
+            sortedness: Sortedness::Unsorted,
+            density: Density::Dense,
+            distinct: 10,
+            min: 5,
+            max: 14,
+            rows: 100,
+        };
+        assert_eq!(p.sph_domain(), Some(10));
+    }
+
+    #[test]
+    fn sph_domain_handles_full_u32_range() {
+        let p = DataProps {
+            sortedness: Sortedness::Unsorted,
+            density: Density::Sparse { fill: 1e-9 },
+            distinct: 2,
+            min: 0,
+            max: u32::MAX,
+            rows: 2,
+        };
+        assert_eq!(p.sph_domain(), Some(1u64 << 32));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let p = DataProps {
+            sortedness: Sortedness::Ascending,
+            density: Density::Dense,
+            distinct: 3,
+            min: 0,
+            max: 2,
+            rows: 9,
+        };
+        let s = p.to_string();
+        assert!(s.contains("sorted(asc)"));
+        assert!(s.contains("dense"));
+        assert!(s.contains("distinct=3"));
+    }
+}

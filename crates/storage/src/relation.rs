@@ -1,0 +1,354 @@
+//! Relations: schemas plus equal-length columns.
+
+use crate::column::Column;
+use crate::dictionary::Dictionary;
+use crate::error::StorageError;
+use crate::schema::{Field, Schema};
+use crate::value::{DataType, Value};
+use crate::Result;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+/// An immutable, fully materialised relation (table or intermediate result).
+///
+/// Columns are shared via `Arc` so projections and property-preserving
+/// rewrites are O(1).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Relation {
+    schema: Schema,
+    columns: Vec<Arc<Column>>,
+    /// Dictionaries for `Str` columns, indexed like `columns` (None for
+    /// non-string columns).
+    dictionaries: Vec<Option<Arc<Dictionary>>>,
+    rows: usize,
+}
+
+impl Relation {
+    /// Build a relation, checking column count and lengths against `schema`.
+    pub fn new(schema: Schema, columns: Vec<Column>) -> Result<Self> {
+        Self::from_arcs(schema, columns.into_iter().map(Arc::new).collect())
+    }
+
+    /// Build from shared columns.
+    pub fn from_arcs(schema: Schema, columns: Vec<Arc<Column>>) -> Result<Self> {
+        if schema.width() != columns.len() {
+            return Err(StorageError::ColumnLengthMismatch {
+                expected: schema.width(),
+                found: columns.len(),
+            });
+        }
+        let rows = columns.first().map_or(0, |c| c.len());
+        for (field, col) in schema.fields().iter().zip(&columns) {
+            if col.len() != rows {
+                return Err(StorageError::ColumnLengthMismatch {
+                    expected: rows,
+                    found: col.len(),
+                });
+            }
+            if col.data_type() != field.data_type {
+                return Err(StorageError::TypeMismatch {
+                    expected: field.data_type,
+                    found: col.data_type(),
+                });
+            }
+        }
+        let dictionaries = vec![None; columns.len()];
+        Ok(Relation {
+            schema,
+            columns,
+            dictionaries,
+            rows,
+        })
+    }
+
+    /// An empty relation with the given schema.
+    pub fn empty(schema: Schema) -> Self {
+        let columns = schema
+            .fields()
+            .iter()
+            .map(|f| Arc::new(Column::empty(f.data_type)))
+            .collect();
+        let dictionaries = vec![None; schema.width()];
+        Relation {
+            schema,
+            columns,
+            dictionaries,
+            rows: 0,
+        }
+    }
+
+    /// Convenience: a single-column `u32` relation, the shape of every
+    /// Figure-4 dataset.
+    pub fn single_u32(name: &str, data: Vec<u32>) -> Self {
+        let schema = Schema::new(vec![Field::new(name, DataType::U32)])
+            .expect("single field cannot clash");
+        Relation::new(schema, vec![Column::U32(data)]).expect("lengths trivially match")
+    }
+
+    /// Attach a dictionary to a `Str` column.
+    pub fn with_dictionary(mut self, column: &str, dict: Arc<Dictionary>) -> Result<Self> {
+        let idx = self.schema.index_of(column)?;
+        if self.schema.field_at(idx)?.data_type != DataType::Str {
+            return Err(StorageError::TypeMismatch {
+                expected: DataType::Str,
+                found: self.schema.field_at(idx)?.data_type,
+            });
+        }
+        self.dictionaries[idx] = Some(dict);
+        Ok(self)
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// True if no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Column by name.
+    pub fn column(&self, name: &str) -> Result<&Column> {
+        Ok(&self.columns[self.schema.index_of(name)?])
+    }
+
+    /// Column by position.
+    pub fn column_at(&self, idx: usize) -> Result<&Column> {
+        self.columns
+            .get(idx)
+            .map(|c| c.as_ref())
+            .ok_or(StorageError::ColumnIndexOutOfBounds {
+                index: idx,
+                width: self.columns.len(),
+            })
+    }
+
+    /// Shared handle to a column by name (O(1), no copy).
+    pub fn column_arc(&self, name: &str) -> Result<Arc<Column>> {
+        Ok(Arc::clone(&self.columns[self.schema.index_of(name)?]))
+    }
+
+    /// Dictionary attached to a column, if any.
+    pub fn dictionary(&self, name: &str) -> Result<Option<&Arc<Dictionary>>> {
+        Ok(self.dictionaries[self.schema.index_of(name)?].as_ref())
+    }
+
+    /// Value at (row, column-name), decoding dictionary columns.
+    pub fn value_at(&self, row: usize, column: &str) -> Result<Value> {
+        let idx = self.schema.index_of(column)?;
+        let raw = self.columns[idx].value_at(row)?;
+        match (&self.dictionaries[idx], &raw) {
+            (Some(dict), Value::U32(code)) => Ok(Value::Str(dict.decode(*code)?.to_owned())),
+            _ => Ok(raw),
+        }
+    }
+
+    /// One whole row as values, in schema order (slow path; tests and
+    /// display only).
+    pub fn row(&self, row: usize) -> Result<Vec<Value>> {
+        (0..self.schema.width())
+            .map(|i| {
+                let name = &self.schema.field_at(i)?.name;
+                self.value_at(row, name)
+            })
+            .collect()
+    }
+
+    /// Project to the named columns (O(1) per column — shares buffers).
+    pub fn project(&self, names: &[&str]) -> Result<Relation> {
+        let schema = self.schema.project(names)?;
+        let mut columns = Vec::with_capacity(names.len());
+        let mut dictionaries = Vec::with_capacity(names.len());
+        for n in names {
+            let idx = self.schema.index_of(n)?;
+            columns.push(Arc::clone(&self.columns[idx]));
+            dictionaries.push(self.dictionaries[idx].clone());
+        }
+        Ok(Relation {
+            schema,
+            columns,
+            dictionaries,
+            rows: self.rows,
+        })
+    }
+
+    /// Gather rows at `indices` into a new relation (materialising copy).
+    pub fn gather(&self, indices: &[usize]) -> Relation {
+        let columns = self
+            .columns
+            .iter()
+            .map(|c| Arc::new(c.gather(indices)))
+            .collect();
+        Relation {
+            schema: self.schema.clone(),
+            columns,
+            dictionaries: self.dictionaries.clone(),
+            rows: indices.len(),
+        }
+    }
+
+    /// Filter rows by a boolean mask.
+    pub fn filter(&self, mask: &[bool]) -> Result<Relation> {
+        let columns = self
+            .columns
+            .iter()
+            .map(|c| c.filter(mask).map(Arc::new))
+            .collect::<Result<Vec<_>>>()?;
+        let rows = columns.first().map_or(0, |c| c.len());
+        Ok(Relation {
+            schema: self.schema.clone(),
+            columns,
+            dictionaries: self.dictionaries.clone(),
+            rows,
+        })
+    }
+
+    /// Total heap footprint of all columns, in bytes.
+    pub fn byte_size(&self) -> usize {
+        self.columns.iter().map(|c| c.byte_size()).sum()
+    }
+}
+
+impl fmt::Display for Relation {
+    /// Renders up to 20 rows, psql-style. Intended for examples and docs.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.schema)?;
+        let shown = self.rows.min(20);
+        for r in 0..shown {
+            let row = self.row(r).map_err(|_| fmt::Error)?;
+            let cells: Vec<String> = row.iter().map(Value::to_string).collect();
+            writeln!(f, "{}", cells.join(" | "))?;
+        }
+        if self.rows > shown {
+            writeln!(f, "... ({} rows total)", self.rows)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Relation {
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::U32),
+            Field::new("v", DataType::F64),
+        ])
+        .unwrap();
+        Relation::new(
+            schema,
+            vec![Column::U32(vec![1, 2, 3]), Column::F64(vec![0.1, 0.2, 0.3])],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_checks_lengths() {
+        let schema = Schema::new(vec![
+            Field::new("a", DataType::U32),
+            Field::new("b", DataType::U32),
+        ])
+        .unwrap();
+        let r = Relation::new(
+            schema,
+            vec![Column::U32(vec![1]), Column::U32(vec![1, 2])],
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn construction_checks_types() {
+        let schema = Schema::new(vec![Field::new("a", DataType::U32)]).unwrap();
+        let r = Relation::new(schema, vec![Column::F64(vec![1.0])]);
+        assert!(matches!(r, Err(StorageError::TypeMismatch { .. })));
+    }
+
+    #[test]
+    fn construction_checks_width() {
+        let schema = Schema::new(vec![Field::new("a", DataType::U32)]).unwrap();
+        let r = Relation::new(schema, vec![]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn accessors() {
+        let r = sample();
+        assert_eq!(r.rows(), 3);
+        assert_eq!(r.column("k").unwrap().as_u32().unwrap(), &[1, 2, 3]);
+        assert_eq!(r.value_at(2, "v").unwrap(), Value::F64(0.3));
+        assert!(r.column("nope").is_err());
+    }
+
+    #[test]
+    fn single_u32_shape() {
+        let r = Relation::single_u32("key", vec![9, 9, 9]);
+        assert_eq!(r.rows(), 3);
+        assert_eq!(r.schema().width(), 1);
+        assert_eq!(r.column("key").unwrap().as_u32().unwrap(), &[9, 9, 9]);
+    }
+
+    #[test]
+    fn projection_shares_buffers() {
+        let r = sample();
+        let p = r.project(&["v"]).unwrap();
+        assert_eq!(p.schema().width(), 1);
+        assert_eq!(p.rows(), 3);
+        // Shared Arc: same allocation.
+        assert!(Arc::ptr_eq(
+            &r.column_arc("v").unwrap(),
+            &p.column_arc("v").unwrap()
+        ));
+    }
+
+    #[test]
+    fn gather_and_filter() {
+        let r = sample();
+        let g = r.gather(&[2, 0]);
+        assert_eq!(g.column("k").unwrap().as_u32().unwrap(), &[3, 1]);
+        let f = r.filter(&[false, true, false]).unwrap();
+        assert_eq!(f.rows(), 1);
+        assert_eq!(f.column("k").unwrap().as_u32().unwrap(), &[2]);
+    }
+
+    #[test]
+    fn dictionary_decoding_in_value_at() {
+        let (dict, codes) = Dictionary::encode_all(&["x", "y", "x"]);
+        let schema = Schema::new(vec![Field::new("s", DataType::Str)]).unwrap();
+        let r = Relation::new(schema, vec![Column::Str(codes)])
+            .unwrap()
+            .with_dictionary("s", Arc::new(dict))
+            .unwrap();
+        assert_eq!(r.value_at(1, "s").unwrap(), Value::Str("y".into()));
+        assert_eq!(r.value_at(2, "s").unwrap(), Value::Str("x".into()));
+    }
+
+    #[test]
+    fn with_dictionary_rejects_non_str() {
+        let r = sample();
+        let res = r.with_dictionary("k", Arc::new(Dictionary::new()));
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn empty_relation() {
+        let r = Relation::empty(Schema::new(vec![Field::new("a", DataType::U32)]).unwrap());
+        assert!(r.is_empty());
+        assert_eq!(r.byte_size(), 0);
+    }
+
+    #[test]
+    fn display_truncates() {
+        let r = Relation::single_u32("k", (0..30).collect());
+        let s = r.to_string();
+        assert!(s.contains("(k: u32)"));
+        assert!(s.contains("... (30 rows total)"));
+    }
+}

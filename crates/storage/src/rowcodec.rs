@@ -1,0 +1,148 @@
+//! Compact row-wise encoding of relations.
+//!
+//! Used for golden-file tests, spilling intermediates, and shipping rows
+//! across pipeline boundaries in the (ablation-only) row-at-a-time executor.
+//! The format is a fixed header (schema-derived) followed by fixed-width
+//! little-endian rows; `Str` columns ship their dictionary codes.
+
+use crate::column::Column;
+use crate::error::StorageError;
+use crate::relation::Relation;
+use crate::schema::Schema;
+use crate::value::DataType;
+use crate::Result;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Encode a relation's data (not its schema) into a byte buffer.
+pub fn encode_rows(rel: &Relation) -> Bytes {
+    let width: usize = rel
+        .schema()
+        .fields()
+        .iter()
+        .map(|f| f.data_type.byte_width())
+        .sum();
+    let mut buf = BytesMut::with_capacity(8 + rel.rows() * width);
+    buf.put_u64_le(rel.rows() as u64);
+    for row in 0..rel.rows() {
+        for col in 0..rel.schema().width() {
+            let column = rel.column_at(col).expect("width checked");
+            match column {
+                Column::U32(v) | Column::Str(v) => buf.put_u32_le(v[row]),
+                Column::U64(v) => buf.put_u64_le(v[row]),
+                Column::I64(v) => buf.put_i64_le(v[row]),
+                Column::F64(v) => buf.put_f64_le(v[row]),
+                Column::Bool(v) => buf.put_u8(u8::from(v[row])),
+            }
+        }
+    }
+    buf.freeze()
+}
+
+/// Decode a buffer produced by [`encode_rows`] against the same schema.
+pub fn decode_rows(schema: &Schema, mut buf: Bytes) -> Result<Relation> {
+    if buf.remaining() < 8 {
+        return Err(StorageError::Codec("missing row-count header".into()));
+    }
+    let rows = buf.get_u64_le() as usize;
+    let width: usize = schema
+        .fields()
+        .iter()
+        .map(|f| f.data_type.byte_width())
+        .sum();
+    if buf.remaining() < rows * width {
+        return Err(StorageError::Codec(format!(
+            "buffer too short: need {} bytes for {} rows, have {}",
+            rows * width,
+            rows,
+            buf.remaining()
+        )));
+    }
+    let mut cols: Vec<Column> = schema
+        .fields()
+        .iter()
+        .map(|f| Column::empty(f.data_type))
+        .collect();
+    for _ in 0..rows {
+        for (ci, field) in schema.fields().iter().enumerate() {
+            match (&mut cols[ci], field.data_type) {
+                (Column::U32(v), DataType::U32) | (Column::Str(v), DataType::Str) => {
+                    v.push(buf.get_u32_le())
+                }
+                (Column::U64(v), DataType::U64) => v.push(buf.get_u64_le()),
+                (Column::I64(v), DataType::I64) => v.push(buf.get_i64_le()),
+                (Column::F64(v), DataType::F64) => v.push(buf.get_f64_le()),
+                (Column::Bool(v), DataType::Bool) => v.push(buf.get_u8() != 0),
+                _ => unreachable!("column built from the same schema"),
+            }
+        }
+    }
+    Relation::new(schema.clone(), cols)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Field;
+
+    fn sample() -> Relation {
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::U32),
+            Field::new("c", DataType::U64),
+            Field::new("s", DataType::F64),
+            Field::new("f", DataType::Bool),
+        ])
+        .unwrap();
+        Relation::new(
+            schema,
+            vec![
+                Column::U32(vec![1, 2, u32::MAX]),
+                Column::U64(vec![10, 20, u64::MAX]),
+                Column::F64(vec![0.5, -1.5, f64::INFINITY]),
+                Column::Bool(vec![true, false, true]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn roundtrip() {
+        let rel = sample();
+        let bytes = encode_rows(&rel);
+        let back = decode_rows(rel.schema(), bytes).unwrap();
+        assert_eq!(back.rows(), 3);
+        for r in 0..3 {
+            assert_eq!(back.row(r).unwrap(), rel.row(r).unwrap());
+        }
+    }
+
+    #[test]
+    fn roundtrip_empty() {
+        let rel = Relation::empty(sample().schema().clone());
+        let back = decode_rows(rel.schema(), encode_rows(&rel)).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn truncated_buffer_rejected() {
+        let rel = sample();
+        let bytes = encode_rows(&rel);
+        let truncated = bytes.slice(0..bytes.len() - 1);
+        assert!(matches!(
+            decode_rows(rel.schema(), truncated),
+            Err(StorageError::Codec(_))
+        ));
+    }
+
+    #[test]
+    fn header_only_too_short() {
+        assert!(decode_rows(&Schema::empty(), Bytes::from_static(&[0, 1, 2])).is_err());
+    }
+
+    #[test]
+    fn str_codes_roundtrip() {
+        let schema = Schema::new(vec![Field::new("s", DataType::Str)]).unwrap();
+        let rel = Relation::new(schema, vec![Column::Str(vec![3, 1, 4])]).unwrap();
+        let back = decode_rows(rel.schema(), encode_rows(&rel)).unwrap();
+        assert_eq!(back.column("s").unwrap().as_u32().unwrap(), &[3, 1, 4]);
+    }
+}

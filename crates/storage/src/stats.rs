@@ -1,0 +1,223 @@
+//! Exact statistics and data-property detection.
+//!
+//! The optimiser consumes [`DataProps`]; this module derives them from real
+//! columns. The paper assumes the distinct count is known (§4.1) — we compute
+//! it exactly, in O(n) time and O(range/8) or O(n) space depending on the
+//! key range, so catalogs built from generated data carry truthful
+//! statistics.
+
+use crate::properties::{DataProps, Density, Sortedness};
+use std::collections::HashSet;
+
+/// Exact per-column statistics for a `u32` key column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ColumnStats {
+    /// Number of rows.
+    pub rows: u64,
+    /// Exact distinct count.
+    pub distinct: u64,
+    /// Minimum value (undefined content if `rows == 0`).
+    pub min: u32,
+    /// Maximum value (undefined content if `rows == 0`).
+    pub max: u32,
+    /// Detected sort order.
+    pub sortedness: Sortedness,
+}
+
+impl ColumnStats {
+    /// Compute exact stats in a single pass plus a distinct-count pass.
+    pub fn compute(data: &[u32]) -> Self {
+        if data.is_empty() {
+            return ColumnStats {
+                rows: 0,
+                distinct: 0,
+                min: 0,
+                max: 0,
+                sortedness: Sortedness::Ascending,
+            };
+        }
+        let mut min = data[0];
+        let mut max = data[0];
+        let mut asc = true;
+        let mut desc = true;
+        for w in data.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            asc &= a <= b;
+            desc &= a >= b;
+        }
+        for &v in data {
+            min = min.min(v);
+            max = max.max(v);
+        }
+        let sortedness = if asc {
+            Sortedness::Ascending
+        } else if desc {
+            Sortedness::Descending
+        } else {
+            Sortedness::Unsorted
+        };
+        let distinct = exact_distinct(data, min, max);
+        ColumnStats {
+            rows: data.len() as u64,
+            distinct,
+            min,
+            max,
+            sortedness,
+        }
+    }
+
+    /// The density classification implied by these stats.
+    pub fn density(&self) -> Density {
+        if self.rows == 0 {
+            return Density::Dense; // vacuously
+        }
+        let domain = u64::from(self.max) - u64::from(self.min) + 1;
+        if self.distinct == domain {
+            Density::Dense
+        } else {
+            Density::Sparse {
+                fill: self.distinct as f64 / domain as f64,
+            }
+        }
+    }
+
+    /// Bundle into the optimiser-facing property struct.
+    pub fn data_props(&self) -> DataProps {
+        DataProps {
+            sortedness: self.sortedness,
+            density: self.density(),
+            distinct: self.distinct,
+            min: self.min,
+            max: self.max,
+            rows: self.rows,
+        }
+    }
+}
+
+/// Exact distinct count. Uses a bitmap when the value range is small
+/// relative to n (cheap, cache-friendly), a hash set otherwise.
+fn exact_distinct(data: &[u32], min: u32, max: u32) -> u64 {
+    let domain = u64::from(max) - u64::from(min) + 1;
+    // Bitmap costs domain/8 bytes; hash set costs ~16 bytes/distinct.
+    // Prefer the bitmap while it is within 8x of the data size.
+    if domain <= (data.len() as u64).saturating_mul(64).max(1 << 16) {
+        let mut bits = vec![0u64; domain.div_ceil(64) as usize];
+        let mut count = 0u64;
+        for &v in data {
+            let off = (v - min) as u64;
+            let (word, bit) = ((off / 64) as usize, off % 64);
+            let mask = 1u64 << bit;
+            if bits[word] & mask == 0 {
+                bits[word] |= mask;
+                count += 1;
+            }
+        }
+        count
+    } else {
+        let mut set = HashSet::with_capacity(data.len().min(1 << 20));
+        for &v in data {
+            set.insert(v);
+        }
+        set.len() as u64
+    }
+}
+
+/// Convenience: derive [`DataProps`] straight from a slice.
+pub fn detect_props(data: &[u32]) -> DataProps {
+    ColumnStats::compute(data).data_props()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats() {
+        let s = ColumnStats::compute(&[]);
+        assert_eq!(s.rows, 0);
+        assert_eq!(s.distinct, 0);
+        assert_eq!(s.sortedness, Sortedness::Ascending);
+        assert_eq!(s.density(), Density::Dense);
+    }
+
+    #[test]
+    fn single_value() {
+        let s = ColumnStats::compute(&[42]);
+        assert_eq!(s.rows, 1);
+        assert_eq!(s.distinct, 1);
+        assert_eq!((s.min, s.max), (42, 42));
+        assert_eq!(s.sortedness, Sortedness::Ascending); // also descending; asc wins
+        assert_eq!(s.density(), Density::Dense);
+    }
+
+    #[test]
+    fn sortedness_detection() {
+        assert_eq!(
+            ColumnStats::compute(&[1, 2, 2, 3]).sortedness,
+            Sortedness::Ascending
+        );
+        assert_eq!(
+            ColumnStats::compute(&[3, 2, 2, 1]).sortedness,
+            Sortedness::Descending
+        );
+        assert_eq!(
+            ColumnStats::compute(&[1, 3, 2]).sortedness,
+            Sortedness::Unsorted
+        );
+    }
+
+    #[test]
+    fn dense_detection() {
+        // 5..=9 fully populated.
+        let s = ColumnStats::compute(&[7, 5, 9, 6, 8, 7]);
+        assert_eq!(s.distinct, 5);
+        assert_eq!(s.density(), Density::Dense);
+    }
+
+    #[test]
+    fn sparse_detection_with_fill() {
+        // range 0..=9, distinct 2 → fill 0.2
+        let s = ColumnStats::compute(&[0, 9, 0, 9]);
+        match s.density() {
+            Density::Sparse { fill } => assert!((fill - 0.2).abs() < 1e-12),
+            other => panic!("expected sparse, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn distinct_exact_on_wide_range() {
+        // Wide range forces the hash-set path.
+        let data: Vec<u32> = (0..1000).map(|i| i * 4_000_000).collect();
+        let s = ColumnStats::compute(&data);
+        assert_eq!(s.distinct, 1000);
+    }
+
+    #[test]
+    fn distinct_exact_on_narrow_range() {
+        let data: Vec<u32> = (0..10_000).map(|i| i % 7).collect();
+        let s = ColumnStats::compute(&data);
+        assert_eq!(s.distinct, 7);
+        assert_eq!(s.density(), Density::Dense);
+    }
+
+    #[test]
+    fn data_props_bundle() {
+        let p = detect_props(&[2, 1, 3]);
+        assert_eq!(p.rows, 3);
+        assert_eq!(p.distinct, 3);
+        assert_eq!(p.sortedness, Sortedness::Unsorted);
+        assert!(p.density.is_dense());
+        assert_eq!(p.sph_domain(), Some(3));
+    }
+
+    #[test]
+    fn boundary_values() {
+        let s = ColumnStats::compute(&[u32::MAX, 0]);
+        assert_eq!((s.min, s.max), (0, u32::MAX));
+        assert_eq!(s.distinct, 2);
+        match s.density() {
+            Density::Sparse { fill } => assert!(fill > 0.0 && fill < 1e-9),
+            other => panic!("expected sparse, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Property tests for the storage substrate: statistics vs oracles,
+//! generator guarantees, and codec roundtrips.
+
+use dqo_storage::datagen::DatasetSpec;
+use dqo_storage::rowcodec::{decode_rows, encode_rows};
+use dqo_storage::stats::ColumnStats;
+use dqo_storage::{Column, DataType, Field, Relation, Schema};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+proptest! {
+    #[test]
+    fn stats_match_btreeset_oracle(data in proptest::collection::vec(any::<u32>(), 0..2000)) {
+        let s = ColumnStats::compute(&data);
+        let set: BTreeSet<u32> = data.iter().copied().collect();
+        prop_assert_eq!(s.distinct, set.len() as u64);
+        prop_assert_eq!(s.rows, data.len() as u64);
+        if let (Some(&lo), Some(&hi)) = (set.first(), set.last()) {
+            prop_assert_eq!((s.min, s.max), (lo, hi));
+        }
+        let asc = data.windows(2).all(|w| w[0] <= w[1]);
+        prop_assert_eq!(s.sortedness.is_sorted() && s.sortedness == dqo_storage::Sortedness::Ascending, asc || data.len() <= 1 && s.sortedness == dqo_storage::Sortedness::Ascending);
+    }
+
+    #[test]
+    fn dataset_spec_guarantees(
+        rows in 1usize..3000,
+        groups in 1usize..200,
+        sorted in any::<bool>(),
+        dense in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let data = DatasetSpec::new(rows, groups)
+            .sorted(sorted)
+            .dense(dense)
+            .seed(seed)
+            .generate()
+            .unwrap();
+        prop_assert_eq!(data.len(), rows);
+        let s = ColumnStats::compute(&data);
+        // Exactly min(groups, rows) distinct values, always.
+        prop_assert_eq!(s.distinct, groups.min(rows) as u64);
+        if sorted {
+            prop_assert!(s.sortedness.is_sorted());
+        }
+        if dense {
+            prop_assert!(s.density().is_dense());
+            prop_assert_eq!(s.min, 0);
+        }
+    }
+
+    #[test]
+    fn rowcodec_roundtrips_arbitrary_relations(
+        keys in proptest::collection::vec(any::<u32>(), 0..300),
+        floats in proptest::collection::vec(any::<f64>().prop_filter("finite", |f| f.is_finite()), 0..300),
+    ) {
+        let n = keys.len().min(floats.len());
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::U32),
+            Field::new("f", DataType::F64),
+        ]).unwrap();
+        let rel = Relation::new(
+            schema,
+            vec![
+                Column::U32(keys[..n].to_vec()),
+                Column::F64(floats[..n].to_vec()),
+            ],
+        ).unwrap();
+        let back = decode_rows(rel.schema(), encode_rows(&rel)).unwrap();
+        prop_assert_eq!(back.rows(), n);
+        for r in 0..n {
+            prop_assert_eq!(back.row(r).unwrap(), rel.row(r).unwrap());
+        }
+    }
+
+    #[test]
+    fn gather_then_filter_consistency(
+        data in proptest::collection::vec(any::<u32>(), 1..500),
+        threshold in any::<u32>(),
+    ) {
+        let rel = Relation::single_u32("k", data.clone());
+        let mask: Vec<bool> = data.iter().map(|&v| v < threshold).collect();
+        let filtered = rel.filter(&mask).unwrap();
+        let expected: Vec<u32> = data.iter().copied().filter(|&v| v < threshold).collect();
+        prop_assert_eq!(filtered.column("k").unwrap().as_u32().unwrap(), &expected[..]);
+        // gather with identity permutation is a no-op.
+        let idx: Vec<usize> = (0..data.len()).collect();
+        let gathered = rel.gather(&idx);
+        prop_assert_eq!(gathered.column("k").unwrap().as_u32().unwrap(), &data[..]);
+    }
+}

@@ -1,0 +1,215 @@
+//! # dqo — Deep Query Optimisation
+//!
+//! A from-scratch Rust implementation of *The Case for Deep Query
+//! Optimisation* (Dittrich & Nix, CIDR 2020): sub-operator-level query
+//! optimisation with plan properties beyond sortedness, algorithmic views,
+//! and the full §4 evaluation harness.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dqo::{Dqo, OptimizerMode};
+//! use dqo::storage::datagen::DatasetSpec;
+//!
+//! // An unsorted table whose key domain is dense — the case where deep
+//! // optimisation shines (static perfect hashing applies).
+//! let db = Dqo::new();
+//! db.register_table(
+//!     "t",
+//!     DatasetSpec::new(10_000, 100).sorted(false).dense(true).relation().unwrap(),
+//! );
+//!
+//! let result = db
+//!     .sql("SELECT key, COUNT(*) AS n FROM t GROUP BY key")
+//!     .unwrap();
+//! assert_eq!(result.output.relation.rows(), 100);
+//! // DQO chose static-perfect-hash grouping:
+//! assert_eq!(result.planned.plan.algo_signature(), vec!["SPHG"]);
+//! ```
+//!
+//! The sub-crates are re-exported as modules: [`storage`], [`hashtable`],
+//! [`plan`], [`exec`], [`core`], [`sql`].
+
+pub use dqo_core as core;
+pub use dqo_exec as exec;
+pub use dqo_hashtable as hashtable;
+pub use dqo_plan as plan;
+pub use dqo_sql as sql;
+pub use dqo_storage as storage;
+
+pub use dqo_core::engine::QueryResult;
+pub use dqo_core::{Catalog, Engine, OptimizerMode};
+pub use dqo_plan::LogicalPlan;
+pub use dqo_storage::Relation;
+
+use dqo_core::CoreError;
+use dqo_sql::{SchemaProvider, SqlError};
+use std::fmt;
+use std::sync::Arc;
+
+/// Top-level error: SQL front-end or engine.
+#[derive(Debug)]
+pub enum DqoError {
+    /// Lexing/parsing/binding failed.
+    Sql(SqlError),
+    /// Optimisation or execution failed.
+    Core(CoreError),
+}
+
+impl fmt::Display for DqoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DqoError::Sql(e) => write!(f, "SQL error: {e}"),
+            DqoError::Core(e) => write!(f, "engine error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DqoError {}
+
+impl From<SqlError> for DqoError {
+    fn from(e: SqlError) -> Self {
+        DqoError::Sql(e)
+    }
+}
+
+impl From<CoreError> for DqoError {
+    fn from(e: CoreError) -> Self {
+        DqoError::Core(e)
+    }
+}
+
+/// The end-to-end database: SQL in, relations out.
+///
+/// Wraps [`Engine`] (catalog + optimiser + executor + AVs) with the SQL
+/// front-end. The optimiser mode defaults to [`OptimizerMode::Deep`]; use
+/// [`Dqo::set_mode`] to fall back to shallow optimisation and observe the
+/// difference — the paper's "smooth transition from SQO to DQO".
+#[derive(Debug, Default)]
+pub struct Dqo {
+    engine: Engine,
+}
+
+struct CatalogSchemas<'a>(&'a Catalog);
+
+impl SchemaProvider for CatalogSchemas<'_> {
+    fn table_schema(&self, table: &str) -> Option<dqo_storage::Schema> {
+        self.0
+            .get(table)
+            .ok()
+            .map(|e| e.relation.schema().clone())
+    }
+}
+
+impl Dqo {
+    /// A fresh engine (deep mode).
+    pub fn new() -> Self {
+        Dqo::default()
+    }
+
+    /// The underlying engine (catalog, AVs, planning entry points).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Mutable access to the engine (e.g. to switch optimiser mode).
+    pub fn engine_mut(&mut self) -> &mut Engine {
+        &mut self.engine
+    }
+
+    /// Register a table.
+    pub fn register_table(&self, name: impl Into<String>, relation: Relation) {
+        self.engine.register_table(name, relation);
+    }
+
+    /// Load a CSV file (header + typed inference; strings are
+    /// dictionary-encoded into dense codes) and register it as `name`.
+    pub fn load_csv(
+        &self,
+        name: impl Into<String>,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<(), DqoError> {
+        let rel = dqo_storage::csv::load_csv(path).map_err(CoreError::from)?;
+        self.register_table(name, rel);
+        Ok(())
+    }
+
+    /// Switch the optimiser mode.
+    pub fn set_mode(&mut self, mode: OptimizerMode) {
+        self.engine.set_mode(mode);
+    }
+
+    /// Compile a SQL string to a logical plan.
+    pub fn compile(&self, sql_text: &str) -> Result<Arc<LogicalPlan>, DqoError> {
+        Ok(dqo_sql::compile(
+            sql_text,
+            &CatalogSchemas(self.engine.catalog()),
+        )?)
+    }
+
+    /// Compile, optimise and execute a SQL query.
+    pub fn sql(&self, sql_text: &str) -> Result<QueryResult, DqoError> {
+        let logical = self.compile(sql_text)?;
+        Ok(self.engine.query(&logical)?)
+    }
+
+    /// EXPLAIN a SQL query under the current mode.
+    pub fn explain(&self, sql_text: &str) -> Result<String, DqoError> {
+        let logical = self.compile(sql_text)?;
+        Ok(self.engine.explain(&logical)?)
+    }
+
+    /// EXPLAIN ANALYZE: plan, execute, and annotate the plan with actual
+    /// row counts, wall time, and pipeline-breaker statistics.
+    pub fn explain_analyze(&self, sql_text: &str) -> Result<String, DqoError> {
+        let logical = self.compile(sql_text)?;
+        Ok(self.engine.explain_analyze(&logical)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dqo_storage::datagen::DatasetSpec;
+
+    #[test]
+    fn sql_end_to_end() {
+        let db = Dqo::new();
+        db.register_table(
+            "t",
+            DatasetSpec::new(1_000, 10).relation().unwrap(),
+        );
+        let r = db
+            .sql("SELECT key, COUNT(*) AS n, SUM(key) AS s FROM t GROUP BY key ORDER BY key")
+            .unwrap();
+        assert_eq!(r.output.relation.rows(), 10);
+        let keys = r.output.relation.column("key").unwrap().as_u32().unwrap();
+        assert!(keys.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn error_types_surface() {
+        let db = Dqo::new();
+        assert!(matches!(
+            db.sql("SELECT nope FROM missing"),
+            Err(DqoError::Sql(SqlError::UnknownTable(_)))
+        ));
+        assert!(matches!(db.sql("SELEC"), Err(DqoError::Sql(_))));
+    }
+
+    #[test]
+    fn mode_switch_via_facade() {
+        let mut db = Dqo::new();
+        db.register_table(
+            "t",
+            DatasetSpec::new(5_000, 100).sorted(false).dense(true).relation().unwrap(),
+        );
+        let q = "SELECT key, COUNT(*) FROM t GROUP BY key";
+        let deep = db.explain(q).unwrap();
+        assert!(deep.contains("SPHG"));
+        db.set_mode(OptimizerMode::Shallow);
+        let shallow = db.explain(q).unwrap();
+        assert!(shallow.contains("HG"));
+        assert!(!shallow.contains("SPHG"));
+    }
+}
