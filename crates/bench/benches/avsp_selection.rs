@@ -44,25 +44,21 @@ fn avsp(c: &mut Criterion) {
     for tables in [1usize, 2, 4] {
         let (catalog, workload) = setup(tables);
         for (solver, name) in [(Solver::Greedy, "greedy"), (Solver::Knapsack, "knapsack")] {
-            group.bench_with_input(
-                BenchmarkId::new(name, tables),
-                &tables,
-                |b, _| {
-                    b.iter(|| {
-                        let sol = solve(black_box(&workload), &catalog, 1 << 22, solver)
-                            .expect("solves");
-                        black_box(sol.benefit)
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(name, tables), &tables, |b, _| {
+                b.iter(|| {
+                    let sol =
+                        solve(black_box(&workload), &catalog, 1 << 22, solver).expect("solves");
+                    black_box(sol.benefit)
+                })
+            });
         }
     }
     // Exhaustive only at the smallest size (2^n subsets).
     let (catalog, workload) = setup(1);
     group.bench_function(BenchmarkId::new("exhaustive", 1usize), |b| {
         b.iter(|| {
-            let sol = solve(black_box(&workload), &catalog, 1 << 22, Solver::Exhaustive)
-                .expect("solves");
+            let sol =
+                solve(black_box(&workload), &catalog, 1 << 22, Solver::Exhaustive).expect("solves");
             black_box(sol.benefit)
         })
     });

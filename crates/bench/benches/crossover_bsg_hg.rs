@@ -27,7 +27,10 @@ fn crossover(c: &mut Criterion) {
             known_keys: Some(known),
             ..Default::default()
         };
-        for algo in [GroupingAlgorithm::HashBased, GroupingAlgorithm::BinarySearch] {
+        for algo in [
+            GroupingAlgorithm::HashBased,
+            GroupingAlgorithm::BinarySearch,
+        ] {
             group.bench_with_input(BenchmarkId::new(algo.abbrev(), groups), &groups, |b, _| {
                 b.iter(|| {
                     let r = execute_grouping(

@@ -42,23 +42,19 @@ fn bench_shape(c: &mut Criterion, sorted: bool, dense: bool) {
             if !applicable {
                 continue;
             }
-            group.bench_with_input(
-                BenchmarkId::new(algo.abbrev(), groups),
-                &groups,
-                |b, _| {
-                    b.iter(|| {
-                        let r = execute_grouping(
-                            algo,
-                            black_box(&keys),
-                            black_box(&keys),
-                            CountSum,
-                            &hints,
-                        )
-                        .expect("runs");
-                        black_box(r.len())
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(algo.abbrev(), groups), &groups, |b, _| {
+                b.iter(|| {
+                    let r = execute_grouping(
+                        algo,
+                        black_box(&keys),
+                        black_box(&keys),
+                        CountSum,
+                        &hints,
+                    )
+                    .expect("runs");
+                    black_box(r.len())
+                })
+            });
         }
     }
     group.finish();

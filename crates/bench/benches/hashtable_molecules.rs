@@ -25,7 +25,9 @@ fn molecules(c: &mut Criterion) {
     group.sample_size(10);
 
     group.bench_function("chaining+murmur3 (paper HG)", |b| {
-        b.iter(|| black_box(hash_grouping_chaining(black_box(&keys), &keys, CountSum, GROUPS).len()))
+        b.iter(|| {
+            black_box(hash_grouping_chaining(black_box(&keys), &keys, CountSum, GROUPS).len())
+        })
     });
     group.bench_function("linear+murmur3", |b| {
         b.iter(|| {
@@ -52,8 +54,14 @@ fn molecules(c: &mut Criterion) {
     group.bench_function("robinhood+murmur3", |b| {
         b.iter(|| {
             black_box(
-                hash_grouping_robin_hood(black_box(&keys), &keys, CountSum, GROUPS, Murmur3Finalizer)
-                    .len(),
+                hash_grouping_robin_hood(
+                    black_box(&keys),
+                    &keys,
+                    CountSum,
+                    GROUPS,
+                    Murmur3Finalizer,
+                )
+                .len(),
             )
         })
     });

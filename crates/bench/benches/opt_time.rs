@@ -27,7 +27,13 @@ fn opt_time(c: &mut Criterion) {
     let mut group = c.benchmark_group("opt_time");
     for mode in [OptimizerMode::Shallow, OptimizerMode::Deep] {
         group.bench_function(format!("{mode}/plain"), |b| {
-            b.iter(|| black_box(optimize(black_box(&q), &catalog, mode).expect("plans").est_cost))
+            b.iter(|| {
+                black_box(
+                    optimize(black_box(&q), &catalog, mode)
+                        .expect("plans")
+                        .est_cost,
+                )
+            })
         });
     }
 

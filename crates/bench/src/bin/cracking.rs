@@ -40,7 +40,11 @@ fn main() {
     for q in 0..queries {
         let a = next();
         let b = next();
-        let (lo, hi) = if a < b { (a, b) } else { (b, a.saturating_add(1)) };
+        let (lo, hi) = if a < b {
+            (a, b)
+        } else {
+            (b, a.saturating_add(1))
+        };
         let work = cracked.crack_work(lo) + cracked.crack_work(hi);
         let t = Instant::now();
         let (count, _, stats) = cracked.range_query(lo, hi);

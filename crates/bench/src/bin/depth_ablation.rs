@@ -67,7 +67,9 @@ fn main() {
         }
         let micros = start.elapsed().as_secs_f64() * 1e6 / reps as f64;
         let planned = optimize(&q, &catalog, mode).expect("plans");
-        let kept = enumerate_candidates(&q, &catalog, mode).expect("enumerates").len();
+        let kept = enumerate_candidates(&q, &catalog, mode)
+            .expect("enumerates")
+            .len();
         table.row(vec![
             mode.to_string(),
             kept.to_string(),

@@ -21,7 +21,11 @@ fn main() {
         (25_000.0 * scale) as usize,
         (90_000.0 * scale) as usize,
         (20_000.0 * scale) as usize,
-        if execute { ", executing both plans" } else { "" }
+        if execute {
+            ", executing both plans"
+        } else {
+            ""
+        }
     );
 
     let mut header = vec![
@@ -48,7 +52,10 @@ fn main() {
         if execute {
             row.push(format!("{:.1}", cell.sqo_ms.unwrap_or(f64::NAN)));
             row.push(format!("{:.1}", cell.dqo_ms.unwrap_or(f64::NAN)));
-            row.push(format!("{:.1}x", cell.measured_factor().unwrap_or(f64::NAN)));
+            row.push(format!(
+                "{:.1}x",
+                cell.measured_factor().unwrap_or(f64::NAN)
+            ));
         }
         table.row(row);
     }

@@ -22,7 +22,14 @@ fn main() {
     let reps: usize = args.value("--reps").unwrap_or(3);
 
     eprintln!("skew ablation: {rows} rows, {groups} max groups, best of {reps}");
-    let mut table = Table::new(&["zipf s", "distinct seen", "HG ms", "SPHG ms", "SOG ms", "BSG ms"]);
+    let mut table = Table::new(&[
+        "zipf s",
+        "distinct seen",
+        "HG ms",
+        "SPHG ms",
+        "SOG ms",
+        "BSG ms",
+    ]);
     for exponent in [0.0f64, 0.5, 1.0, 1.5, 2.0] {
         // s = 0 is uniform; larger s concentrates mass on few keys.
         let keys = if exponent == 0.0 {

@@ -21,10 +21,22 @@ impl DatasetShape {
     /// first, sparse column first).
     pub fn all() -> [DatasetShape; 4] {
         [
-            DatasetShape { sorted: true, dense: false },
-            DatasetShape { sorted: true, dense: true },
-            DatasetShape { sorted: false, dense: false },
-            DatasetShape { sorted: false, dense: true },
+            DatasetShape {
+                sorted: true,
+                dense: false,
+            },
+            DatasetShape {
+                sorted: true,
+                dense: true,
+            },
+            DatasetShape {
+                sorted: false,
+                dense: false,
+            },
+            DatasetShape {
+                sorted: false,
+                dense: true,
+            },
         ]
     }
 
@@ -72,7 +84,9 @@ pub struct Fig4Point {
 
 /// The paper's sweep: group counts from 1 to 40,000.
 pub fn paper_group_sweep() -> Vec<usize> {
-    vec![1, 10, 100, 500, 1_000, 5_000, 10_000, 20_000, 30_000, 40_000]
+    vec![
+        1, 10, 100, 500, 1_000, 5_000, 10_000, 20_000, 30_000, 40_000,
+    ]
 }
 
 /// Measure one (shape, groups) cell for every applicable algorithm.
@@ -222,12 +236,18 @@ mod tests {
     fn shapes_and_algorithm_sets() {
         let shapes = DatasetShape::all();
         assert_eq!(shapes.len(), 4);
-        let sorted_dense = DatasetShape { sorted: true, dense: true };
+        let sorted_dense = DatasetShape {
+            sorted: true,
+            dense: true,
+        };
         let algos = sorted_dense.algorithms();
         assert!(algos.contains(&GroupingAlgorithm::StaticPerfectHash));
         assert!(algos.contains(&GroupingAlgorithm::OrderBased));
         assert!(!algos.contains(&GroupingAlgorithm::BinarySearch));
-        let unsorted_sparse = DatasetShape { sorted: false, dense: false };
+        let unsorted_sparse = DatasetShape {
+            sorted: false,
+            dense: false,
+        };
         let algos = unsorted_sparse.algorithms();
         assert!(algos.contains(&GroupingAlgorithm::BinarySearch));
         assert!(!algos.contains(&GroupingAlgorithm::StaticPerfectHash));
@@ -236,7 +256,10 @@ mod tests {
 
     #[test]
     fn measure_cell_produces_points() {
-        let shape = DatasetShape { sorted: false, dense: true };
+        let shape = DatasetShape {
+            sorted: false,
+            dense: true,
+        };
         let points = measure_cell(shape, 10_000, 50, 1);
         assert_eq!(points.len(), shape.algorithms().len());
         assert!(points.iter().all(|p| p.millis >= 0.0));

@@ -11,6 +11,7 @@
 //! | AVSP ablation (E7) | `avsp` | `avsp_selection` |
 //! | Unnest-depth / optimisation-time ablation (E8) | `depth_ablation` | `opt_time` |
 //! | Hash-table molecule ablation (E9) | `molecules` | `hashtable_molecules` |
+//! | Parallel scaling (morsel-driven HJ/SPHG) | `scaling` | `scaling` |
 //!
 //! Binaries print the same rows/series the paper reports, plus `--csv`.
 //! Dataset sizes default to laptop scale; `--full` switches to the paper's
@@ -22,6 +23,7 @@
 pub mod fig4;
 pub mod fig5;
 pub mod report;
+pub mod scaling;
 
 /// Parse `--key value` style arguments (plus boolean flags) very simply.
 #[derive(Debug, Clone, Default)]
@@ -60,11 +62,7 @@ mod tests {
 
     #[test]
     fn args_parse_flags_and_values() {
-        let a = Args::from_vec(vec![
-            "--csv".into(),
-            "--rows".into(),
-            "1000".into(),
-        ]);
+        let a = Args::from_vec(vec!["--csv".into(), "--rows".into(), "1000".into()]);
         assert!(a.flag("--csv"));
         assert!(!a.flag("--full"));
         assert_eq!(a.value::<usize>("--rows"), Some(1000));

@@ -125,9 +125,13 @@ pub fn solve(
         .collect();
     let base_cost = workload_cost(workload, catalog, &[])?;
     let selected = match solver {
-        Solver::Exhaustive => solve_exhaustive(workload, catalog, &candidates, budget_bytes, base_cost)?,
+        Solver::Exhaustive => {
+            solve_exhaustive(workload, catalog, &candidates, budget_bytes, base_cost)?
+        }
         Solver::Greedy => solve_greedy(workload, catalog, &candidates, budget_bytes, base_cost)?,
-        Solver::Knapsack => solve_knapsack(workload, catalog, &candidates, budget_bytes, base_cost)?,
+        Solver::Knapsack => {
+            solve_knapsack(workload, catalog, &candidates, budget_bytes, base_cost)?
+        }
     };
     let with_cost = workload_cost(workload, catalog, &selected)?;
     Ok(AvspSolution {
@@ -255,7 +259,11 @@ mod tests {
         let cat = Catalog::new();
         cat.register(
             "t",
-            DatasetSpec::new(10_000, 100).sorted(false).dense(true).relation().unwrap(),
+            DatasetSpec::new(10_000, 100)
+                .sorted(false)
+                .dense(true)
+                .relation()
+                .unwrap(),
         );
         let q = LogicalPlan::group_by(
             LogicalPlan::scan("t"),

@@ -26,7 +26,20 @@ pub fn log2(x: f64) -> f64 {
     }
 }
 
+/// Per-worker startup overhead of a morsel-driven parallel operator, in
+/// the model's tuple-operation units: spawning + scheduling one scoped
+/// worker costs about as much as streaming this many tuples. Charging it
+/// per worker is what makes the optimiser keep small inputs serial.
+pub const PARALLEL_STARTUP_TUPLES: f64 = 10_000.0;
+
 /// A cost model over the paper's algorithm families.
+///
+/// The `parallel_*` methods extend Table 2 to DOP-annotated operators:
+/// the work term divides by the degree of parallelism, a startup term
+/// charges [`PARALLEL_STARTUP_TUPLES`] per worker, and a merge term
+/// charges the post-aggregation combine (per-worker partial groups for
+/// grouping, the extra partition materialisation for joins). Plans only
+/// go parallel when that sum beats the serial cost.
 pub trait CostModel: Send + Sync {
     /// Cost of grouping `rows` input tuples into `groups` groups.
     fn grouping(&self, algo: GroupingImpl, rows: f64, groups: f64) -> f64;
@@ -40,6 +53,58 @@ pub trait CostModel: Send + Sync {
 
     /// Cost of a scan / filter pass over `rows` tuples.
     fn scan(&self, rows: f64) -> f64;
+
+    /// Startup + merge overhead of running any operator at `dop` workers,
+    /// where merging materialises `merge_tuples` extra tuples.
+    fn parallel_overhead(&self, dop: usize, merge_tuples: f64) -> f64 {
+        self.scan(PARALLEL_STARTUP_TUPLES) * dop as f64 + self.scan(merge_tuples)
+    }
+
+    /// Grouping at degree `dop`: thread-local aggregation divides the
+    /// work; the merge touches up to `dop · groups` partial states.
+    fn parallel_grouping(&self, algo: GroupingImpl, rows: f64, groups: f64, dop: usize) -> f64 {
+        let serial = self.grouping(algo, rows, groups);
+        if dop <= 1 {
+            return serial;
+        }
+        serial / dop as f64 + self.parallel_overhead(dop, groups * dop as f64)
+    }
+
+    /// Join at degree `dop`, mirroring the parallel implementations:
+    /// SPHJ keeps its cheap serial CSR build and divides only the probe;
+    /// the partitioned parallel HJ divides both sides but pays an extra
+    /// partition pass that re-materialises the build side.
+    fn parallel_join(
+        &self,
+        algo: JoinImpl,
+        left: f64,
+        right: f64,
+        build_groups: f64,
+        dop: usize,
+    ) -> f64 {
+        if dop <= 1 {
+            return self.join(algo, left, right, build_groups);
+        }
+        let d = dop as f64;
+        match algo {
+            JoinImpl::Sphj => {
+                self.join(algo, left, right / d, build_groups) + self.parallel_overhead(dop, 0.0)
+            }
+            _ => {
+                self.join(algo, left / d, right / d, build_groups)
+                    + self.parallel_overhead(dop, left)
+            }
+        }
+    }
+
+    /// Scan/filter at degree `dop`: embarrassingly parallel, no merge.
+    fn parallel_scan(&self, rows: f64, dop: usize) -> f64 {
+        let serial = self.scan(rows);
+        if dop <= 1 {
+            return serial;
+        }
+        serial / dop as f64 + self.parallel_overhead(dop, 0.0)
+    }
 
     /// Model name for reports.
     fn name(&self) -> &'static str;
@@ -160,7 +225,10 @@ mod tests {
         assert_eq!(M.grouping(GroupingImpl::Hg, r, 16.0), 4096.0);
         assert_eq!(M.grouping(GroupingImpl::Og, r, 16.0), 1024.0);
         assert_eq!(M.grouping(GroupingImpl::Sphg, r, 16.0), 1024.0);
-        assert_eq!(M.grouping(GroupingImpl::Sog, r, 16.0), 1024.0 * 10.0 + 1024.0);
+        assert_eq!(
+            M.grouping(GroupingImpl::Sog, r, 16.0),
+            1024.0 * 10.0 + 1024.0
+        );
         assert_eq!(M.grouping(GroupingImpl::Bsg, r, 16.0), 1024.0 * 4.0);
     }
 
@@ -203,9 +271,15 @@ mod tests {
         // i.e. up to 15 groups — matching the paper's "up to 14 groups"
         // zoom-in observation.
         let rows = 1e8;
-        assert!(M.grouping(GroupingImpl::Bsg, rows, 14.0) < M.grouping(GroupingImpl::Hg, rows, 14.0));
-        assert!(M.grouping(GroupingImpl::Bsg, rows, 15.0) < M.grouping(GroupingImpl::Hg, rows, 15.0));
-        assert!(M.grouping(GroupingImpl::Bsg, rows, 17.0) > M.grouping(GroupingImpl::Hg, rows, 17.0));
+        assert!(
+            M.grouping(GroupingImpl::Bsg, rows, 14.0) < M.grouping(GroupingImpl::Hg, rows, 14.0)
+        );
+        assert!(
+            M.grouping(GroupingImpl::Bsg, rows, 15.0) < M.grouping(GroupingImpl::Hg, rows, 15.0)
+        );
+        assert!(
+            M.grouping(GroupingImpl::Bsg, rows, 17.0) > M.grouping(GroupingImpl::Hg, rows, 17.0)
+        );
     }
 
     #[test]
@@ -222,14 +296,50 @@ mod tests {
     }
 
     #[test]
+    fn parallelism_only_pays_on_large_inputs() {
+        // Small input: startup dominates → serial HG is cheaper.
+        let small = 5_000.0;
+        assert!(
+            M.parallel_grouping(GroupingImpl::Hg, small, 64.0, 4)
+                > M.grouping(GroupingImpl::Hg, small, 64.0)
+        );
+        // Large input: near-linear division wins despite overhead.
+        let large = 1e7;
+        let par = M.parallel_grouping(GroupingImpl::Hg, large, 64.0, 4);
+        let serial = M.grouping(GroupingImpl::Hg, large, 64.0);
+        assert!(par < serial / 2.0, "par={par} serial={serial}");
+        // dop = 1 degenerates to the serial formula exactly.
+        assert_eq!(
+            M.parallel_grouping(GroupingImpl::Hg, large, 64.0, 1),
+            serial
+        );
+    }
+
+    #[test]
+    fn parallel_join_and_scan_overheads() {
+        let (l, r) = (1e6, 4e6);
+        let serial = M.join(JoinImpl::Hj, l, r, 100.0);
+        let par = M.parallel_join(JoinImpl::Hj, l, r, 100.0, 4);
+        // work/4 + 4·startup + |L| partition pass
+        assert!((par - (serial / 4.0 + 4.0 * PARALLEL_STARTUP_TUPLES + l)).abs() < 1e-6);
+        assert!(par < serial);
+        // SPHJ: serial build (|L|) + probe/4 + startup, no partition pass.
+        let sphj = M.parallel_join(JoinImpl::Sphj, l, r, 100.0, 4);
+        assert!((sphj - (l + r / 4.0 + 4.0 * PARALLEL_STARTUP_TUPLES)).abs() < 1e-6);
+        assert!(sphj < M.join(JoinImpl::Sphj, l, r, 100.0));
+        assert_eq!(M.parallel_scan(100.0, 1), 100.0);
+        assert!(M.parallel_scan(100.0, 4) > 100.0, "tiny scans stay serial");
+        assert!(M.parallel_scan(1e8, 4) < 1e8);
+    }
+
+    #[test]
     fn figure5_cell_arithmetic() {
         // The exact Figure 5 arithmetic at |R|=25k, |S|=90k, join out 90k:
         // SQO best (R unsorted, S sorted, dense) = Sort(R)+OJ+OG;
         // DQO best = SPHJ+SPHG; ratio ≈ 2.78 → rounds to 2.8.
         let (r, s, j) = (25_000.0, 90_000.0, 90_000.0);
-        let sqo = M.sort(r)
-            + M.join(JoinImpl::Oj, r, s, 1.0)
-            + M.grouping(GroupingImpl::Og, j, 20_000.0);
+        let sqo =
+            M.sort(r) + M.join(JoinImpl::Oj, r, s, 1.0) + M.grouping(GroupingImpl::Og, j, 20_000.0);
         let dqo = M.join(JoinImpl::Sphj, r, s, 1.0) + M.grouping(GroupingImpl::Sphg, j, 20_000.0);
         let factor = sqo / dqo;
         assert!((factor - 2.78).abs() < 0.01, "factor = {factor}");

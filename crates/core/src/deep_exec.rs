@@ -93,10 +93,7 @@ fn build_bundle(plan: &DeepPlan, keys: &[u32]) -> Result<Bundle> {
         // Input already partitioned: one producer per run.
         Granule::PassThroughPartition => {
             let input = plan.children.first();
-            if !matches!(
-                input.map(|c| &c.granule),
-                Some(Granule::Input)
-            ) {
+            if !matches!(input.map(|c| &c.granule), Some(Granule::Input)) {
                 return Err(CoreError::Unsupported(
                     "pass-through partition must consume the input directly".into(),
                 ));
@@ -129,33 +126,41 @@ fn build_index_bundle(
     }
     let cap = 1024;
     Ok(match (table, hash) {
-        (TableMolecule::Chaining, Some(HashFnMolecule::Murmur3)) => {
-            load(ChainingTable::with_capacity_and_hasher(cap, Murmur3Finalizer), keys)
-        }
-        (TableMolecule::Chaining, Some(HashFnMolecule::Fibonacci)) => {
-            load(ChainingTable::with_capacity_and_hasher(cap, Fibonacci), keys)
-        }
+        (TableMolecule::Chaining, Some(HashFnMolecule::Murmur3)) => load(
+            ChainingTable::with_capacity_and_hasher(cap, Murmur3Finalizer),
+            keys,
+        ),
+        (TableMolecule::Chaining, Some(HashFnMolecule::Fibonacci)) => load(
+            ChainingTable::with_capacity_and_hasher(cap, Fibonacci),
+            keys,
+        ),
         (TableMolecule::Chaining, Some(HashFnMolecule::Identity)) => {
             load(ChainingTable::with_capacity_and_hasher(cap, Identity), keys)
         }
-        (TableMolecule::LinearProbing, Some(HashFnMolecule::Murmur3)) => {
-            load(LinearProbingTable::with_capacity_and_hasher(cap, Murmur3Finalizer), keys)
-        }
-        (TableMolecule::LinearProbing, Some(HashFnMolecule::Fibonacci)) => {
-            load(LinearProbingTable::with_capacity_and_hasher(cap, Fibonacci), keys)
-        }
-        (TableMolecule::LinearProbing, Some(HashFnMolecule::Identity)) => {
-            load(LinearProbingTable::with_capacity_and_hasher(cap, Identity), keys)
-        }
-        (TableMolecule::RobinHood, Some(HashFnMolecule::Murmur3)) => {
-            load(RobinHoodTable::with_capacity_and_hasher(cap, Murmur3Finalizer), keys)
-        }
-        (TableMolecule::RobinHood, Some(HashFnMolecule::Fibonacci)) => {
-            load(RobinHoodTable::with_capacity_and_hasher(cap, Fibonacci), keys)
-        }
-        (TableMolecule::RobinHood, Some(HashFnMolecule::Identity)) => {
-            load(RobinHoodTable::with_capacity_and_hasher(cap, Identity), keys)
-        }
+        (TableMolecule::LinearProbing, Some(HashFnMolecule::Murmur3)) => load(
+            LinearProbingTable::with_capacity_and_hasher(cap, Murmur3Finalizer),
+            keys,
+        ),
+        (TableMolecule::LinearProbing, Some(HashFnMolecule::Fibonacci)) => load(
+            LinearProbingTable::with_capacity_and_hasher(cap, Fibonacci),
+            keys,
+        ),
+        (TableMolecule::LinearProbing, Some(HashFnMolecule::Identity)) => load(
+            LinearProbingTable::with_capacity_and_hasher(cap, Identity),
+            keys,
+        ),
+        (TableMolecule::RobinHood, Some(HashFnMolecule::Murmur3)) => load(
+            RobinHoodTable::with_capacity_and_hasher(cap, Murmur3Finalizer),
+            keys,
+        ),
+        (TableMolecule::RobinHood, Some(HashFnMolecule::Fibonacci)) => load(
+            RobinHoodTable::with_capacity_and_hasher(cap, Fibonacci),
+            keys,
+        ),
+        (TableMolecule::RobinHood, Some(HashFnMolecule::Identity)) => load(
+            RobinHoodTable::with_capacity_and_hasher(cap, Identity),
+            keys,
+        ),
         (TableMolecule::StaticPerfectHash, _) => {
             let (min, max) = match (keys.iter().min(), keys.iter().max()) {
                 (Some(&lo), Some(&hi)) => (lo, hi),

@@ -8,9 +8,9 @@
 use crate::av::{materialise_av, AvCatalog};
 use crate::avsp::{self, AvspSolution, Solver, WorkloadQuery};
 use crate::catalog::Catalog;
-use crate::executor::{execute_with_avs, ExecOutput};
 use crate::cost::TupleCostModel;
-use crate::optimizer::{optimize_full, OptimizerMode, PlannedQuery, PropertyModel};
+use crate::executor::{execute_with_avs, ExecOutput};
+use crate::optimizer::{optimize_full_dop, OptimizerMode, PlannedQuery, PropertyModel};
 use crate::Result;
 use dqo_plan::LogicalPlan;
 use dqo_storage::Relation;
@@ -28,18 +28,52 @@ pub struct QueryResult {
 }
 
 /// The end-to-end engine.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Engine {
     catalog: Catalog,
     avs: AvCatalog,
     mode: OptimizerMode,
     pmodel: PropertyModel,
+    /// Degree of parallelism offered to the optimiser; 1 disables the
+    /// morsel-driven parallel runtime entirely.
+    threads: usize,
+}
+
+impl Default for Engine {
+    /// DQO mode at the machine's available parallelism.
+    fn default() -> Self {
+        Engine {
+            catalog: Catalog::default(),
+            avs: AvCatalog::default(),
+            mode: OptimizerMode::default(),
+            pmodel: PropertyModel::default(),
+            threads: dqo_parallel::ThreadPool::with_default_parallelism().threads(),
+        }
+    }
 }
 
 impl Engine {
-    /// A fresh engine in DQO mode.
+    /// A fresh engine in DQO mode, parallelism at available hardware.
     pub fn new() -> Self {
         Engine::default()
+    }
+
+    /// Builder: cap the degree of parallelism (1 = serial execution).
+    /// The optimiser still only emits parallel plans where the DOP-aware
+    /// cost model says the startup + merge overhead pays.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.set_threads(threads);
+        self
+    }
+
+    /// Set the degree of parallelism (clamped to at least 1).
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    /// The configured degree of parallelism.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Switch between shallow and deep optimisation (the SQO↔DQO knob).
@@ -76,13 +110,14 @@ impl Engine {
 
     /// Optimise a logical plan (no execution).
     pub fn plan(&self, logical: &LogicalPlan) -> Result<PlannedQuery> {
-        optimize_full(
+        optimize_full_dop(
             logical,
             &self.catalog,
             self.mode,
             &TupleCostModel,
             Some(&self.avs),
             self.pmodel,
+            self.threads,
         )
     }
 
@@ -181,7 +216,13 @@ mod tests {
         let result = engine.query(&count_sum_query()).unwrap();
         assert_eq!(result.output.relation.rows(), 64);
         assert_eq!(result.planned.plan.algo_signature(), vec!["SPHG"]);
-        let counts = result.output.relation.column("count").unwrap().as_u64().unwrap();
+        let counts = result
+            .output
+            .relation
+            .column("count")
+            .unwrap()
+            .as_u64()
+            .unwrap();
         assert_eq!(counts.iter().sum::<u64>(), 5_000);
     }
 
@@ -207,6 +248,64 @@ mod tests {
     }
 
     #[test]
+    fn thread_knob_defaults_and_clamps() {
+        let engine = Engine::new();
+        assert!(engine.threads() >= 1);
+        let engine = Engine::new().with_threads(0);
+        assert_eq!(engine.threads(), 1);
+        let mut engine = Engine::new();
+        engine.set_threads(8);
+        assert_eq!(engine.threads(), 8);
+    }
+
+    #[test]
+    fn small_inputs_stay_serial_even_with_many_threads() {
+        // 5k rows: the startup term dominates, so the optimiser must not
+        // emit an Exchange no matter how many workers are offered.
+        let mut engine = engine_with_table(false, true);
+        engine.set_threads(16);
+        let planned = engine.plan(&count_sum_query()).unwrap();
+        assert!(
+            !planned.plan.explain().contains("Exchange"),
+            "plan: {}",
+            planned.plan.explain()
+        );
+    }
+
+    #[test]
+    fn large_inputs_parallelise_and_agree_with_serial() {
+        let make = |threads: usize| {
+            let engine = Engine::new().with_threads(threads);
+            engine.register_table(
+                "t",
+                DatasetSpec::new(300_000, 512)
+                    .sorted(false)
+                    .dense(true)
+                    .relation()
+                    .unwrap(),
+            );
+            engine
+        };
+        let serial_engine = make(1);
+        let serial = serial_engine.query(&count_sum_query()).unwrap();
+        assert!(!serial.planned.plan.explain().contains("Exchange"));
+        let par_engine = make(4);
+        let par = par_engine.query(&count_sum_query()).unwrap();
+        assert!(
+            par.planned.plan.explain().contains("Exchange dop=4"),
+            "plan: {}",
+            par.planned.plan.explain()
+        );
+        // Parallel grouping output is sorted by key; serial SPHG output
+        // is too, so the relations must match row for row.
+        assert_eq!(
+            crate::executor::sorted_rows(&par.output.relation),
+            crate::executor::sorted_rows(&serial.output.relation)
+        );
+        assert!(par.planned.est_cost < serial.planned.est_cost);
+    }
+
+    #[test]
     fn avsp_materialisation_speeds_up_workload() {
         let engine = engine_with_table(false, true);
         let q = count_sum_query();
@@ -217,11 +316,20 @@ mod tests {
             .unwrap();
         assert!(solution.benefit > 0.0);
         let after = engine.plan(&q).unwrap().est_cost;
-        assert!(after < before, "AV must reduce planned cost: {after} vs {before}");
+        assert!(
+            after < before,
+            "AV must reduce planned cost: {after} vs {before}"
+        );
         // And the query still returns correct results through the AV.
         let result = engine.query(&q).unwrap();
         assert_eq!(result.output.relation.rows(), 64);
-        let counts = result.output.relation.column("count").unwrap().as_u64().unwrap();
+        let counts = result
+            .output
+            .relation
+            .column("count")
+            .unwrap()
+            .as_u64()
+            .unwrap();
         assert_eq!(counts.iter().sum::<u64>(), 5_000);
     }
 }

@@ -34,8 +34,8 @@ pub mod adaptive;
 pub mod av;
 pub mod avsp;
 pub mod catalog;
-pub mod deep_exec;
 pub mod cost;
+pub mod deep_exec;
 pub mod engine;
 pub mod error;
 pub mod executor;

@@ -169,7 +169,11 @@ mod tests {
 
     #[test]
     fn uniform_keys_get_cheap_hash_and_open_addressing() {
-        let m = refine_grouping_molecules(GroupingImpl::Hg, &props(1_000_000, true), &MoleculeCosts::default());
+        let m = refine_grouping_molecules(
+            GroupingImpl::Hg,
+            &props(1_000_000, true),
+            &MoleculeCosts::default(),
+        );
         assert_eq!(m.table, Some(TableMolecule::LinearProbing));
         assert_eq!(m.hash, Some(HashFnMolecule::Identity));
         assert_eq!(m.load_loop, Some(LoopMolecule::Serial));
@@ -177,7 +181,11 @@ mod tests {
 
     #[test]
     fn sparse_keys_keep_a_real_hash_function() {
-        let m = refine_grouping_molecules(GroupingImpl::Hg, &props(1_000_000, false), &MoleculeCosts::default());
+        let m = refine_grouping_molecules(
+            GroupingImpl::Hg,
+            &props(1_000_000, false),
+            &MoleculeCosts::default(),
+        );
         // Identity is penalised on non-uniform keys; Fibonacci's small
         // risk premium still beats Murmur3's two multiply rounds.
         assert_eq!(m.hash, Some(HashFnMolecule::Fibonacci));
@@ -186,16 +194,28 @@ mod tests {
 
     #[test]
     fn huge_inputs_get_a_parallel_loop() {
-        let m = refine_grouping_molecules(GroupingImpl::Hg, &props(PARALLEL_LOOP_THRESHOLD, true), &MoleculeCosts::default());
+        let m = refine_grouping_molecules(
+            GroupingImpl::Hg,
+            &props(PARALLEL_LOOP_THRESHOLD, true),
+            &MoleculeCosts::default(),
+        );
         assert_eq!(m.load_loop, Some(LoopMolecule::Parallel));
     }
 
     #[test]
     fn non_hash_organelles_keep_structural_molecules() {
-        let m = refine_grouping_molecules(GroupingImpl::Sphg, &props(1_000, true), &MoleculeCosts::default());
+        let m = refine_grouping_molecules(
+            GroupingImpl::Sphg,
+            &props(1_000, true),
+            &MoleculeCosts::default(),
+        );
         assert_eq!(m.table, Some(TableMolecule::StaticPerfectHash));
         assert_eq!(m.hash, None);
-        let m = refine_grouping_molecules(GroupingImpl::Og, &props(1_000, true), &MoleculeCosts::default());
+        let m = refine_grouping_molecules(
+            GroupingImpl::Og,
+            &props(1_000, true),
+            &MoleculeCosts::default(),
+        );
         assert_eq!(m.table, None);
     }
 

@@ -21,10 +21,10 @@
 //! under both modes yields Figure 5's improvement factors.
 
 use crate::av::{AvCatalog, AvKind};
-use crate::molecule::{refine_grouping_molecules, MoleculeCosts};
 use crate::catalog::Catalog;
 use crate::cost::{CostModel, TupleCostModel};
 use crate::error::CoreError;
+use crate::molecule::{refine_grouping_molecules, MoleculeCosts};
 use crate::Result;
 use dqo_plan::expr::Predicate;
 use dqo_plan::physical::GroupingMolecules;
@@ -143,7 +143,14 @@ pub fn optimize_with(
     mode: OptimizerMode,
     model: &dyn CostModel,
 ) -> Result<PlannedQuery> {
-    optimize_full(logical, catalog, mode, model, None, PropertyModel::PaperStream)
+    optimize_full(
+        logical,
+        catalog,
+        mode,
+        model,
+        None,
+        PropertyModel::PaperStream,
+    )
 }
 
 /// Optimise while also considering registered Algorithmic Views (§3):
@@ -164,7 +171,8 @@ pub fn optimize_with_avs(
     )
 }
 
-/// The fully general entry point.
+/// The fully general entry point (serial plans only; see
+/// [`optimize_full_dop`] for DOP-aware planning).
 pub fn optimize_full(
     logical: &LogicalPlan,
     catalog: &Catalog,
@@ -173,12 +181,31 @@ pub fn optimize_full(
     avs: Option<&AvCatalog>,
     pmodel: PropertyModel,
 ) -> Result<PlannedQuery> {
+    optimize_full_dop(logical, catalog, mode, model, avs, pmodel, 1)
+}
+
+/// The fully general, DOP-aware entry point: with `dop > 1` the DP also
+/// enumerates, for every parallelisable organelle (HG/SPHG groupings,
+/// HJ/SPHJ joins, filters), an [`PhysicalPlan::Exchange`]-wrapped twin
+/// costed with the parallel extension of the cost model — so plans only
+/// go parallel when the startup + merge overhead pays.
+#[allow(clippy::too_many_arguments)]
+pub fn optimize_full_dop(
+    logical: &LogicalPlan,
+    catalog: &Catalog,
+    mode: OptimizerMode,
+    model: &dyn CostModel,
+    avs: Option<&AvCatalog>,
+    pmodel: PropertyModel,
+    dop: usize,
+) -> Result<PlannedQuery> {
     let opt = Optimizer {
         catalog,
         mode,
         model,
         avs,
         pmodel,
+        dop: dop.max(1),
     };
     let cands = opt.enumerate(logical, None)?;
     let best = cands
@@ -206,6 +233,7 @@ pub fn enumerate_candidates(
         model: &TupleCostModel,
         avs: None,
         pmodel: PropertyModel::PaperStream,
+        dop: 1,
     };
     opt.enumerate(logical, None)
 }
@@ -216,6 +244,9 @@ struct Optimizer<'a> {
     model: &'a dyn CostModel,
     avs: Option<&'a AvCatalog>,
     pmodel: PropertyModel,
+    /// Maximum degree of parallelism Exchange candidates may use (1 =
+    /// serial-only planning).
+    dop: usize,
 }
 
 impl Optimizer<'_> {
@@ -328,7 +359,7 @@ impl Optimizer<'_> {
         focus: Option<&str>,
     ) -> Result<Vec<Candidate>> {
         let inputs = self.enumerate(input, focus)?;
-        Ok(prune(inputs.into_iter().map(|c| {
+        Ok(prune(inputs.into_iter().flat_map(|c| {
             let selectivity = estimate_selectivity(predicate, &c.props);
             let out_rows = ((c.props.rows as f64) * selectivity).ceil() as u64;
             let mut props = c.props;
@@ -338,17 +369,35 @@ impl Optimizer<'_> {
             props.density = Density::Unknown;
             props.key_range = None;
             props.distinct = props.distinct.map(|d| {
-                (((d as f64) * selectivity).ceil() as u64).max(1).min(out_rows.max(1))
+                (((d as f64) * selectivity).ceil() as u64)
+                    .max(1)
+                    .min(out_rows.max(1))
             });
-            Candidate {
+            let props = self.mode.project(props);
+            let serial = Candidate {
                 cost: c.cost + self.model.scan(c.props.rows as f64),
                 plan: PhysicalPlan::Filter {
                     input: Box::new(c.plan),
                     predicate: predicate.clone(),
                 },
-                props: self.mode.project(props),
-                sort_col: c.sort_col,
+                props,
+                sort_col: c.sort_col.clone(),
+            };
+            let mut out = vec![serial];
+            // Morsel-parallel twin: same properties (mask concatenation
+            // preserves row order), cheaper only past the startup cost.
+            if self.dop > 1 {
+                out.push(Candidate {
+                    cost: c.cost + self.model.parallel_scan(c.props.rows as f64, self.dop),
+                    plan: PhysicalPlan::Exchange {
+                        input: Box::new(out[0].plan.clone()),
+                        dop: self.dop,
+                    },
+                    props,
+                    sort_col: c.sort_col,
+                });
             }
+            out
         })))
     }
 
@@ -403,8 +452,7 @@ impl Optimizer<'_> {
         left_key: &str,
         right_key: &str,
     ) -> Result<Vec<Candidate>> {
-        let left_cands =
-            self.with_sort_enforcers(self.enumerate(left, Some(left_key))?, left_key);
+        let left_cands = self.with_sort_enforcers(self.enumerate(left, Some(left_key))?, left_key);
         let right_cands =
             self.with_sort_enforcers(self.enumerate(right, Some(right_key))?, right_key);
 
@@ -452,20 +500,45 @@ impl Optimizer<'_> {
                     }
                     let cost = lc.cost + rc.cost + join_cost;
                     let props = self.join_output_props(algo, node, lc, rc, out_rows);
+                    let plan = PhysicalPlan::Join {
+                        left: Box::new(lc.plan.clone()),
+                        right: Box::new(rc.plan.clone()),
+                        left_key: left_key.to_owned(),
+                        right_key: right_key.to_owned(),
+                        algo,
+                    };
+                    // Parallel twin for the partition-parallel joins: the
+                    // partitioned HJ and the parallel-probe SPHJ. (A
+                    // prebuilt AV index already removed the build pass;
+                    // re-partitioning it would forfeit the AV, so AV
+                    // probes stay serial.)
+                    let parallelisable = matches!(algo, JoinImpl::Hj | JoinImpl::Sphj)
+                        && !(algo == JoinImpl::Sphj && self.sph_index_av(&lc.plan, left_key));
+                    if self.dop > 1 && parallelisable {
+                        out.push(Candidate {
+                            plan: PhysicalPlan::Exchange {
+                                input: Box::new(plan.clone()),
+                                dop: self.dop,
+                            },
+                            cost: lc.cost
+                                + rc.cost
+                                + self.model.parallel_join(
+                                    algo,
+                                    lc.props.rows as f64,
+                                    rc.props.rows as f64,
+                                    build_groups,
+                                    self.dop,
+                                ),
+                            props,
+                            sort_col: None,
+                        });
+                    }
                     out.push(Candidate {
-                        plan: PhysicalPlan::Join {
-                            left: Box::new(lc.plan.clone()),
-                            right: Box::new(rc.plan.clone()),
-                            left_key: left_key.to_owned(),
-                            right_key: right_key.to_owned(),
-                            algo,
-                        },
+                        plan,
                         cost,
                         props,
                         // Order-based joins emit in join-key order.
-                        sort_col: algo
-                            .produces_sorted_output()
-                            .then(|| left_key.to_owned()),
+                        sort_col: algo.produces_sorted_output().then(|| left_key.to_owned()),
                     });
                 }
             }
@@ -637,9 +710,7 @@ impl Optimizer<'_> {
                         let mut ref_props = key_stats.unwrap_or(ic.props);
                         ref_props.rows = ic.props.rows;
                         let partial = match (self.avs, input) {
-                            (Some(avs), LogicalPlan::Scan { table }) => {
-                                avs.partial_for(table, key)
-                            }
+                            (Some(avs), LogicalPlan::Scan { table }) => avs.partial_for(table, key),
                             _ => None,
                         };
                         match partial {
@@ -653,14 +724,47 @@ impl Optimizer<'_> {
                     }
                     OptimizerMode::Shallow => GroupingMolecules::defaults_for(algo),
                 };
+                let plan = PhysicalPlan::GroupBy {
+                    input: Box::new(ic.plan.clone()),
+                    key: key.to_owned(),
+                    aggs: aggs.to_vec(),
+                    algo,
+                    molecules,
+                };
+                // Parallel twin for the thread-local-aggregation
+                // groupings (HG, SPHG). Requires decomposable aggregates
+                // — COUNT/SUM/MIN/MAX/AVG all are. The deterministic
+                // merge emits ascending keys, so the parallel plan
+                // *gains* the sorted property serial HG lacks.
+                if self.dop > 1 && matches!(algo, GroupingImpl::Hg | GroupingImpl::Sphg) {
+                    let mut par_props = props;
+                    par_props.sortedness = Sortedness::Ascending;
+                    par_props.partitioned = true;
+                    // The load loop *is* the parallel molecule decision
+                    // (Figure 3(e)): record it in the plan.
+                    let mut par_molecules = molecules;
+                    par_molecules.load_loop = Some(dqo_plan::LoopMolecule::Parallel);
+                    out.push(Candidate {
+                        plan: PhysicalPlan::Exchange {
+                            input: Box::new(PhysicalPlan::GroupBy {
+                                input: Box::new(ic.plan.clone()),
+                                key: key.to_owned(),
+                                aggs: aggs.to_vec(),
+                                algo,
+                                molecules: par_molecules,
+                            }),
+                            dop: self.dop,
+                        },
+                        cost: ic.cost
+                            + self
+                                .model
+                                .parallel_grouping(algo, ic.props.rows as f64, g, self.dop),
+                        sort_col: Some(key.to_owned()),
+                        props: self.mode.project(par_props),
+                    });
+                }
                 out.push(Candidate {
-                    plan: PhysicalPlan::GroupBy {
-                        input: Box::new(ic.plan.clone()),
-                        key: key.to_owned(),
-                        aggs: aggs.to_vec(),
-                        algo,
-                        molecules,
-                    },
+                    plan,
                     cost,
                     sort_col: sorted.then(|| key.to_owned()),
                     props,
@@ -739,10 +843,7 @@ fn estimate_join_rows(l: u64, r: u64, d_l: Option<u64>, d_r: Option<u64>) -> u64
 /// Textbook selectivity estimation for simple predicates.
 fn estimate_selectivity(pred: &Predicate, props: &PlanProps) -> f64 {
     match pred {
-        Predicate::And(ps) => ps
-            .iter()
-            .map(|p| estimate_selectivity(p, props))
-            .product(),
+        Predicate::And(ps) => ps.iter().map(|p| estimate_selectivity(p, props)).product(),
         Predicate::Compare { op, value, .. } => match op {
             CmpOp::Eq => 1.0 / props.distinct.unwrap_or(10).max(1) as f64,
             CmpOp::Ne => 1.0 - 1.0 / props.distinct.unwrap_or(10).max(1) as f64,
@@ -750,8 +851,7 @@ fn estimate_selectivity(pred: &Predicate, props: &PlanProps) -> f64 {
                 // Uniform over the known key range if available.
                 match (props.key_range, value.as_u32()) {
                     (Some((lo, hi)), Some(v)) if hi > lo => {
-                        let frac = (f64::from(v.saturating_sub(lo)))
-                            / f64::from(hi - lo).max(1.0);
+                        let frac = (f64::from(v.saturating_sub(lo))) / f64::from(hi - lo).max(1.0);
                         let frac = frac.clamp(0.0, 1.0);
                         match op {
                             CmpOp::Lt | CmpOp::Le => frac,
@@ -924,7 +1024,10 @@ mod tests {
     #[test]
     fn join_cardinality_fk_case() {
         // PK side distinct = |R| → output = |S|.
-        assert_eq!(estimate_join_rows(25_000, 90_000, Some(25_000), Some(20_000)), 90_000);
+        assert_eq!(
+            estimate_join_rows(25_000, 90_000, Some(25_000), Some(20_000)),
+            90_000
+        );
         // Unknown distincts: fall back to max of sizes.
         assert_eq!(estimate_join_rows(10, 10, None, None), 10);
     }

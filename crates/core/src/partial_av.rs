@@ -228,7 +228,10 @@ mod tests {
             key_range: None,
             ..dense_props(1_000, 500)
         };
-        assert_eq!(pav.complete(&sparse_many).table, Some(TableMolecule::Chaining));
+        assert_eq!(
+            pav.complete(&sparse_many).table,
+            Some(TableMolecule::Chaining)
+        );
     }
 
     #[test]

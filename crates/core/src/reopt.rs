@@ -15,9 +15,9 @@
 //! possible reoptimisation point.
 
 use crate::catalog::Catalog;
+use crate::cost::TupleCostModel;
 use crate::executor::{execute_with_avs, ExecOutput};
 use crate::optimizer::{optimize_full, OptimizerMode, PropertyModel};
-use crate::cost::TupleCostModel;
 use crate::Result;
 use dqo_plan::{LogicalPlan, PhysicalPlan};
 

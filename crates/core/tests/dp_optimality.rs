@@ -90,8 +90,7 @@ fn dp_matches_brute_force_on_every_figure5_cell() {
                 catalog.register("R", r);
                 catalog.register("S", s);
                 let q = dqo_plan::logical::example_query_4_3();
-                for (mode, deep) in [(OptimizerMode::Shallow, false), (OptimizerMode::Deep, true)]
-                {
+                for (mode, deep) in [(OptimizerMode::Shallow, false), (OptimizerMode::Deep, true)] {
                     let planned = optimize(&q, &catalog, mode).unwrap();
                     let expected = brute_force_cost(
                         25_000.0, 90_000.0, 90_000.0, 20_000.0, r_sorted, s_sorted, dense, deep,

@@ -123,7 +123,10 @@ pub fn aggregate_bundle_parallel<A: Aggregator>(
     agg: A,
     workers: usize,
 ) -> GroupedResult<A::State> {
-    assert!(A::IS_DECOMPOSABLE, "parallel aggregation requires decomposability");
+    assert!(
+        A::IS_DECOMPOSABLE,
+        "parallel aggregation requires decomposability"
+    );
     if bundle.is_empty() {
         return GroupedResult {
             keys: Vec::new(),
@@ -136,11 +139,7 @@ pub fn aggregate_bundle_parallel<A: Aggregator>(
     let mut states: Vec<A::State> = vec![A::State::default(); n];
     let chunk = n.div_ceil(workers);
     crossbeam::thread::scope(|scope| {
-        for (pi, si) in bundle
-            .producers
-            .chunks(chunk)
-            .zip(states.chunks_mut(chunk))
-        {
+        for (pi, si) in bundle.producers.chunks(chunk).zip(states.chunks_mut(chunk)) {
             scope.spawn(move |_| {
                 for (p, s) in pi.iter().zip(si.iter_mut()) {
                     for v in p.values(values) {
@@ -182,7 +181,10 @@ mod tests {
         let r = aggregate_bundle(&bundle, &vals, CountSum);
         assert_eq!(r.keys, vec![0, 1, 2]);
         assert_eq!(
-            r.states.iter().map(|s| (s.count, s.sum)).collect::<Vec<_>>(),
+            r.states
+                .iter()
+                .map(|s| (s.count, s.sum))
+                .collect::<Vec<_>>(),
             vec![(2, 70), (1, 40), (3, 100)]
         );
     }

@@ -13,13 +13,18 @@
 use crate::aggregate::Aggregator;
 use crate::grouping::GroupedResult;
 use dqo_hashtable::{
-    ChainingTable, GroupTable, HashFn, LinearProbingTable, Murmur3Finalizer,
-    QuadraticProbingTable, RobinHoodTable,
+    ChainingTable, GroupTable, HashFn, LinearProbingTable, Murmur3Finalizer, QuadraticProbingTable,
+    RobinHoodTable,
 };
 
 /// Hash grouping over any key→state table — the operator is one loop; the
 /// *table* is the DQO decision.
-pub fn hash_grouping<A, T>(keys: &[u32], values: &[u32], agg: A, mut table: T) -> GroupedResult<A::State>
+pub fn hash_grouping<A, T>(
+    keys: &[u32],
+    values: &[u32],
+    agg: A,
+    mut table: T,
+) -> GroupedResult<A::State>
 where
     A: Aggregator,
     T: GroupTable<A::State>,
@@ -126,10 +131,7 @@ mod tests {
         let keys = [5u32, 3, 5, 5, 3];
         let vals = [10u32, 20, 30, 40, 50];
         let r = hash_grouping_chaining(&keys, &vals, CountSum, 4);
-        assert_eq!(
-            sorted_triples(r),
-            vec![(3, 2, 70), (5, 3, 80)]
-        );
+        assert_eq!(sorted_triples(r), vec![(3, 2, 70), (5, 3, 80)]);
     }
 
     #[test]
@@ -167,11 +169,7 @@ mod tests {
             Murmur3Finalizer,
         ));
         let c = sorted_triples(hash_grouping_robin_hood(
-            &keys,
-            &vals,
-            CountSum,
-            257,
-            Fibonacci,
+            &keys, &vals, CountSum, 257, Fibonacci,
         ));
         let d = sorted_triples(hash_grouping_quadratic(
             &keys,

@@ -291,9 +291,6 @@ mod tests {
                 Some(expect) => assert_eq!(&triples, expect, "{algo} disagrees"),
             }
         }
-        assert_eq!(
-            reference.unwrap(),
-            vec![(0, 2, 0), (1, 3, 3), (2, 1, 2)]
-        );
+        assert_eq!(reference.unwrap(), vec![(0, 2, 0), (1, 3, 3), (2, 1, 2)]);
     }
 }

@@ -74,7 +74,10 @@ mod tests {
         assert!(r.sorted_by_key);
         assert_eq!(r.keys, vec![1, 3, 7]);
         assert_eq!(
-            r.states.iter().map(|s| (s.count, s.sum)).collect::<Vec<_>>(),
+            r.states
+                .iter()
+                .map(|s| (s.count, s.sum))
+                .collect::<Vec<_>>(),
             vec![(2, 30), (3, 6), (1, 100)]
         );
     }
@@ -97,7 +100,10 @@ mod tests {
         let r = order_grouping(&keys, &vals, CountSum);
         assert!(matches!(
             r,
-            Err(ExecError::PreconditionViolated { algorithm: "OG", .. })
+            Err(ExecError::PreconditionViolated {
+                algorithm: "OG",
+                ..
+            })
         ));
     }
 

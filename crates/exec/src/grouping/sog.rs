@@ -47,7 +47,10 @@ pub fn sort_order_grouping<A: Aggregator>(
 
 /// SOG when key and value are the same column (the Figure 4 datasets):
 /// sorts the keys alone, halving the data moved.
-pub fn sort_order_grouping_keys_only<A: Aggregator>(keys: &[u32], agg: A) -> GroupedResult<A::State> {
+pub fn sort_order_grouping_keys_only<A: Aggregator>(
+    keys: &[u32],
+    agg: A,
+) -> GroupedResult<A::State> {
     let mut sorted = keys.to_vec();
     sorted.sort_unstable();
     let mut keys_out: Vec<u32> = Vec::new();
@@ -83,7 +86,10 @@ mod tests {
         assert!(r.sorted_by_key);
         assert_eq!(r.keys, vec![1, 2, 3]);
         assert_eq!(
-            r.states.iter().map(|s| (s.count, s.sum)).collect::<Vec<_>>(),
+            r.states
+                .iter()
+                .map(|s| (s.count, s.sum))
+                .collect::<Vec<_>>(),
             vec![(2, 21), (1, 20), (3, 93)]
         );
     }

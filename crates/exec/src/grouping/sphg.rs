@@ -108,7 +108,10 @@ mod tests {
         let r = sph_grouping(&[5u32], &[0], CountSum, 0, 3);
         assert!(matches!(
             r,
-            Err(ExecError::PreconditionViolated { algorithm: "SPHG", .. })
+            Err(ExecError::PreconditionViolated {
+                algorithm: "SPHG",
+                ..
+            })
         ));
         let r = sph_grouping(&[1u32], &[0], CountSum, 2, 4);
         assert!(r.is_err());

@@ -95,7 +95,10 @@ mod tests {
         let r = merge_join(&[2u32, 1], &[1u32, 2]);
         assert!(matches!(
             r,
-            Err(ExecError::PreconditionViolated { algorithm: "OJ", .. })
+            Err(ExecError::PreconditionViolated {
+                algorithm: "OJ",
+                ..
+            })
         ));
     }
 

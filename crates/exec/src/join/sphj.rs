@@ -136,7 +136,10 @@ mod tests {
         let r = sph_join(&[5u32], &[5u32], 0, 3);
         assert!(matches!(
             r,
-            Err(ExecError::PreconditionViolated { algorithm: "SPHJ", .. })
+            Err(ExecError::PreconditionViolated {
+                algorithm: "SPHJ",
+                ..
+            })
         ));
     }
 
@@ -189,7 +192,10 @@ mod index_tests {
         let via_index = idx.probe(&right);
         let one_shot = sph_join(&left, &right, 0, 4).unwrap();
         assert_eq!(via_index, one_shot);
-        assert_eq!(via_index.normalised_pairs(), nested_loop_oracle(&left, &right));
+        assert_eq!(
+            via_index.normalised_pairs(),
+            nested_loop_oracle(&left, &right)
+        );
     }
 
     #[test]

@@ -124,7 +124,11 @@ mod tests {
     fn oj_is_the_only_pipelined_join() {
         for algo in JoinAlgorithm::all() {
             let expected = algo == JoinAlgorithm::OrderBased;
-            assert_eq!(join_blocking(algo) == Blocking::Pipelined, expected, "{algo}");
+            assert_eq!(
+                join_blocking(algo) == Blocking::Pipelined,
+                expected,
+                "{algo}"
+            );
         }
     }
 

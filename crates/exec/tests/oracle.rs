@@ -18,9 +18,7 @@ fn grouping_oracle(keys: &[u32], values: &[u32]) -> Vec<(u32, u64, u64)> {
     m.into_iter().map(|(k, (c, s))| (k, c, s)).collect()
 }
 
-fn triples(
-    mut r: dqo_exec::GroupedResult<CountSumState>,
-) -> Vec<(u32, u64, u64)> {
+fn triples(mut r: dqo_exec::GroupedResult<CountSumState>) -> Vec<(u32, u64, u64)> {
     r.sort_by_key();
     r.keys
         .iter()

@@ -121,11 +121,7 @@ mod tests {
 
     #[test]
     fn names_are_distinct() {
-        let names = [
-            Murmur3Finalizer.name(),
-            Fibonacci.name(),
-            Identity.name(),
-        ];
+        let names = [Murmur3Finalizer.name(), Fibonacci.name(), Identity.name()];
         assert_eq!(
             names.len(),
             names.iter().collect::<std::collections::HashSet<_>>().len()

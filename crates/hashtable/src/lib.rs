@@ -39,10 +39,10 @@ pub mod sph;
 pub mod table;
 
 pub use chaining::ChainingTable;
-pub use quadratic::QuadraticProbingTable;
-pub use sorted_array::SortedArrayTable;
 pub use hash_fn::{Fibonacci, HashFn, Identity, Murmur3Finalizer};
 pub use linear_probing::LinearProbingTable;
+pub use quadratic::QuadraticProbingTable;
 pub use robin_hood::RobinHoodTable;
+pub use sorted_array::SortedArrayTable;
 pub use sph::StaticPerfectHash;
 pub use table::{GroupTable, TableKind};

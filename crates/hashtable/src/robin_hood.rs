@@ -138,7 +138,8 @@ impl<V, H: HashFn> GroupTable<V> for RobinHoodTable<V, H> {
     }
 
     fn get(&self, key: u32) -> Option<&V> {
-        self.find(key).map(|i| &self.slots[i].as_ref().expect("found").value)
+        self.find(key)
+            .map(|i| &self.slots[i].as_ref().expect("found").value)
     }
 
     fn len(&self) -> usize {
@@ -223,9 +224,9 @@ mod tests {
             RobinHoodTable::with_capacity_and_hasher(64, Identity);
         t.upsert_with(0, || 1);
         t.upsert_with(64, || 2); // displaced to dib 1
-        // Key 1's home is bucket 1 (occupied by key 64 at dib 1);
-        // probing for 1 at dib 0 < occupant dib 1 → keep probing; next is
-        // empty → miss. Either way: None.
+                                 // Key 1's home is bucket 1 (occupied by key 64 at dib 1);
+                                 // probing for 1 at dib 0 < occupant dib 1 → keep probing; next is
+                                 // empty → miss. Either way: None.
         assert_eq!(t.get(1), None);
     }
 

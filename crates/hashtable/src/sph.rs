@@ -81,7 +81,8 @@ impl<V> GroupTable<V> for StaticPerfectHash<V> {
                 u64::from(min) + domain as u64
             );
         }
-        self.try_upsert_with(key, init).expect("key checked in-domain")
+        self.try_upsert_with(key, init)
+            .expect("key checked in-domain")
     }
 
     fn get(&self, key: u32) -> Option<&V> {

@@ -114,8 +114,8 @@ proptest! {
 
 mod quadratic_oracle {
     use super::*;
-    use dqo_hashtable::QuadraticProbingTable;
     use dqo_hashtable::hash_fn::Identity;
+    use dqo_hashtable::QuadraticProbingTable;
 
     proptest! {
         #[test]

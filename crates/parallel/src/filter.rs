@@ -1,0 +1,77 @@
+//! Parallel scan/filter: morsel-parallel predicate evaluation.
+//!
+//! The predicate vocabulary lives above this crate (in `dqo-plan`), so
+//! the kernel is generic: the caller supplies a closure evaluating one
+//! morsel to a boolean mask, and this module schedules it across the
+//! pool and concatenates the per-morsel masks in morsel order
+//! (deterministic for any thread count). A `u32` fast path covers the
+//! dominant comparison case directly.
+
+use crate::morsel::Morsel;
+use crate::pool::ThreadPool;
+use dqo_exec::pipeline::{Blocking, PipelineStats};
+
+/// Evaluate a selection mask over `rows` rows in parallel. `eval` maps
+/// one morsel to its mask (`mask.len() == morsel.len()`).
+pub fn parallel_mask<F>(
+    pool: &ThreadPool,
+    rows: usize,
+    morsel_rows: usize,
+    eval: F,
+) -> (Vec<bool>, PipelineStats)
+where
+    F: Fn(Morsel) -> Vec<bool> + Sync,
+{
+    let chunks = pool.map_morsels(rows, morsel_rows, |m| {
+        let mask = eval(m);
+        debug_assert_eq!(mask.len(), m.len(), "mask must cover the morsel");
+        mask
+    });
+    let mut mask = Vec::with_capacity(rows);
+    for chunk in chunks {
+        mask.extend_from_slice(&chunk);
+    }
+    let mut stats = PipelineStats::default();
+    stats.record(Blocking::Pipelined, rows as u64);
+    (mask, stats)
+}
+
+/// Fast path: compare a `u32` column against a constant with `op`.
+pub fn parallel_compare_mask<F>(
+    pool: &ThreadPool,
+    column: &[u32],
+    morsel_rows: usize,
+    op: F,
+) -> (Vec<bool>, PipelineStats)
+where
+    F: Fn(u32) -> bool + Sync,
+{
+    parallel_mask(pool, column.len(), morsel_rows, |m| {
+        m.of(column).iter().map(|&v| op(v)).collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mask_matches_serial_for_all_thread_counts() {
+        let data: Vec<u32> = (0..50_000).map(|i| (i * 31) % 1000).collect();
+        let serial: Vec<bool> = data.iter().map(|&v| v < 250).collect();
+        for threads in [1, 2, 8] {
+            let pool = ThreadPool::new(threads);
+            let (mask, stats) = parallel_compare_mask(&pool, &data, 512, |v| v < 250);
+            assert_eq!(mask, serial, "threads={threads}");
+            assert_eq!(stats.breakers, 0, "filters must stream");
+            assert_eq!(stats.streamed_rows, 50_000);
+        }
+    }
+
+    #[test]
+    fn empty_column() {
+        let pool = ThreadPool::new(4);
+        let (mask, _) = parallel_compare_mask(&pool, &[], 64, |_| true);
+        assert!(mask.is_empty());
+    }
+}

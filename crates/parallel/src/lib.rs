@@ -1,0 +1,44 @@
+//! # dqo-parallel — morsel-driven parallel execution for DQO
+//!
+//! The serial engine executes every plan on one thread, capping the
+//! paper's molecule-level wins (SPHG/SPHJ, algorithmic views) at a single
+//! core. This crate adds the missing parallel runtime in the
+//! morsel-driven style (Leis et al., SIGMOD 2014):
+//!
+//! * [`morsel`] — cache-sized row ranges, the unit of parallel work;
+//! * [`pool`] — a std-only work-stealing scheduler ([`ThreadPool`]):
+//!   per-worker deques seeded with contiguous morsel blocks, a global
+//!   injector, and steal-half-from-the-back victim selection;
+//! * [`grouping`] — parallel HG/SPHG: thread-local aggregation with the
+//!   serial molecules (chaining table, dense SPH array) and a
+//!   deterministic sorted merge;
+//! * [`join`] — the partitioned parallel hash join (parallel partition →
+//!   per-partition build → parallel probe) and a parallel SPHJ probe;
+//! * [`filter`] — morsel-parallel predicate masks.
+//!
+//! Everything is **deterministic by construction**: per-morsel outputs
+//! are concatenated in morsel order and per-worker partials merge
+//! through order-insensitive decomposable aggregates, so results are
+//! identical across runs and thread counts. Parallel operators return
+//! [`dqo_exec::pipeline::PipelineStats`] so blocking behaviour stays
+//! measurable exactly as in the serial engine.
+//!
+//! The optimiser decides *when* to parallelise: `dqo-core` extends the
+//! Table 2 cost model with per-worker startup and merge terms and only
+//! wraps an operator in an `Exchange` plan node when the input is large
+//! enough that the overhead pays for itself.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod filter;
+pub mod grouping;
+pub mod join;
+pub mod morsel;
+pub mod pool;
+
+pub use filter::{parallel_compare_mask, parallel_mask};
+pub use grouping::{parallel_grouping, GroupingStrategy};
+pub use join::{parallel_hash_join, parallel_sph_join};
+pub use morsel::{morsels, Morsel, DEFAULT_MORSEL_ROWS};
+pub use pool::ThreadPool;

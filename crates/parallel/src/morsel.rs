@@ -1,0 +1,94 @@
+//! Morsels: the unit of parallel work.
+//!
+//! A morsel is a contiguous run of rows small enough that one worker's
+//! pass over it stays cache-resident (Leis et al., "Morsel-Driven
+//! Parallelism", SIGMOD 2014 — the execution model this subsystem
+//! adopts). DQO's sub-operator granules map naturally onto morsels: the
+//! same per-tuple kernel the serial engine runs over a whole column runs
+//! here over one morsel at a time, and workers steal morsels instead of
+//! waiting on a partitioning decided up front.
+
+/// Default morsel size in rows: 64Ki rows ≈ 256 KiB per `u32` column,
+/// comfortably inside L2 while large enough to amortise scheduling.
+pub const DEFAULT_MORSEL_ROWS: usize = 1 << 16;
+
+/// A contiguous row range `[start, end)` of some column/relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Morsel {
+    /// First row (inclusive).
+    pub start: usize,
+    /// One past the last row (exclusive).
+    pub end: usize,
+}
+
+impl Morsel {
+    /// Number of rows in the morsel.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True for the degenerate empty morsel.
+    pub fn is_empty(&self) -> bool {
+        self.start >= self.end
+    }
+
+    /// Slice a column to this morsel's rows.
+    pub fn of<'a, T>(&self, data: &'a [T]) -> &'a [T] {
+        &data[self.start..self.end]
+    }
+}
+
+/// Chop `rows` into morsels of at most `morsel_rows` rows, in row order.
+pub fn morsels(rows: usize, morsel_rows: usize) -> Vec<Morsel> {
+    let step = morsel_rows.max(1);
+    (0..rows)
+        .step_by(step)
+        .map(|start| Morsel {
+            start,
+            end: (start + step).min(rows),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_rows_exactly_once_in_order() {
+        let ms = morsels(1000, 300);
+        assert_eq!(ms.len(), 4);
+        assert_eq!(ms[0], Morsel { start: 0, end: 300 });
+        assert_eq!(
+            ms[3],
+            Morsel {
+                start: 900,
+                end: 1000
+            }
+        );
+        let total: usize = ms.iter().map(Morsel::len).sum();
+        assert_eq!(total, 1000);
+        for w in ms.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        assert!(morsels(0, 100).is_empty());
+        let ms = morsels(5, 100);
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].len(), 5);
+        // Degenerate morsel size is clamped to 1 rather than looping forever.
+        assert_eq!(morsels(3, 0).len(), 3);
+    }
+
+    #[test]
+    fn morsel_slicing() {
+        let data: Vec<u32> = (0..10).collect();
+        let m = Morsel { start: 3, end: 7 };
+        assert_eq!(m.of(&data), &[3, 4, 5, 6]);
+        assert_eq!(m.len(), 4);
+        assert!(!m.is_empty());
+    }
+}

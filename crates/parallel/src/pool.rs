@@ -1,0 +1,281 @@
+//! A std-only work-stealing scheduler for morsel batches.
+//!
+//! Each parallel operator invocation runs a fixed batch of tasks (morsel
+//! or partition indices) over `threads` scoped workers. Scheduling state
+//! is the classic work-stealing triple:
+//!
+//! * **per-worker deques** — each worker pops from the front of its own
+//!   deque (LIFO-ish locality on its contiguous task block);
+//! * **a global injector** — overflow queue every worker falls back to;
+//! * **stealing** — an idle worker takes half of a victim's remaining
+//!   tasks from the back of the victim's deque.
+//!
+//! Workers are spawned per batch via `std::thread::scope`, which is what
+//! lets tasks borrow the operator's inputs without `unsafe` or `'static`
+//! gymnastics; the spawn cost is real but bounded (~tens of µs per
+//! worker) and is exactly the *startup overhead* term the DOP-aware cost
+//! model charges, so the optimiser only chooses a parallel plan when the
+//! input is large enough to pay for it.
+
+use crate::morsel::{morsels, Morsel};
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Degree-of-parallelism handle: owns the scheduling configuration and
+/// runs morsel batches. Cheap to create and clone.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// A pool running `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        ThreadPool {
+            threads: threads.max(1),
+        }
+    }
+
+    /// A pool sized to the machine (`std::thread::available_parallelism`).
+    pub fn with_default_parallelism() -> Self {
+        ThreadPool::new(
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+        )
+    }
+
+    /// Configured degree of parallelism.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run `f` once per task index in `0..tasks` across the workers.
+    /// `f(worker, task)` must be safe to call concurrently from distinct
+    /// workers; every task runs exactly once. Blocks until the batch is
+    /// done. With one worker (or one task) everything runs inline on the
+    /// caller thread — the serial fast path costs no spawn.
+    fn run_batch<F: Fn(usize, usize) + Sync>(&self, tasks: usize, f: F) {
+        if tasks == 0 {
+            return;
+        }
+        let workers = self.threads.min(tasks);
+        if workers == 1 {
+            for t in 0..tasks {
+                f(0, t);
+            }
+            return;
+        }
+        let queues = WorkQueues::seeded(workers, tasks);
+        std::thread::scope(|scope| {
+            // Workers 1..n are spawned; worker 0 is the caller thread, so
+            // a dop-n batch spawns n-1 threads.
+            for w in 1..workers {
+                let queues = &queues;
+                let f = &f;
+                scope.spawn(move || queues.drain(w, f));
+            }
+            queues.drain(0, &f);
+        });
+    }
+
+    /// Map every morsel of `rows` through `f`, returning the per-morsel
+    /// results **in morsel order** — parallel output is deterministic
+    /// regardless of which worker ran which morsel.
+    pub fn map_morsels<T, F>(&self, rows: usize, morsel_rows: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(Morsel) -> T + Sync,
+    {
+        let ms = morsels(rows, morsel_rows);
+        self.map_tasks(ms.len(), |t| f(ms[t]))
+    }
+
+    /// Map task indices `0..tasks` through `f`, results in task order.
+    pub fn map_tasks<T, F>(&self, tasks: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let slots: Vec<Mutex<Option<T>>> = (0..tasks).map(|_| Mutex::new(None)).collect();
+        self.run_batch(tasks, |_, t| {
+            *slots[t].lock().expect("result slot") = Some(f(t));
+        });
+        slots
+            .into_iter()
+            .map(|s| {
+                s.into_inner()
+                    .expect("result slot")
+                    .expect("every task ran")
+            })
+            .collect()
+    }
+
+    /// Fold all morsels into **per-worker** states: each worker lazily
+    /// creates one state with `init` and folds every morsel it executes
+    /// into it with `step`. Returns the states of workers that ran at
+    /// least one morsel, in worker order.
+    ///
+    /// Which morsels land in which state depends on stealing, so this is
+    /// only deterministic downstream if the caller's merge of the states
+    /// is insensitive to that split — true for decomposable aggregates
+    /// ([`dqo_exec::aggregate::Aggregator::IS_DECOMPOSABLE`]), which is
+    /// why the optimiser only parallelises those.
+    pub fn fold_morsels<S, I, F>(&self, rows: usize, morsel_rows: usize, init: I, step: F) -> Vec<S>
+    where
+        S: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, Morsel) + Sync,
+    {
+        let ms = morsels(rows, morsel_rows);
+        let workers = self.threads.min(ms.len().max(1));
+        let states: Vec<Mutex<Option<S>>> = (0..workers).map(|_| Mutex::new(None)).collect();
+        self.run_batch(ms.len(), |w, t| {
+            // Uncontended: worker `w` is the only one touching slot `w`
+            // while the batch runs; the Mutex just proves it to the
+            // compiler.
+            let mut slot = states[w].lock().expect("worker state");
+            step(slot.get_or_insert_with(&init), ms[t]);
+        });
+        states
+            .into_iter()
+            .filter_map(|s| s.into_inner().expect("worker state"))
+            .collect()
+    }
+}
+
+impl Default for ThreadPool {
+    fn default() -> Self {
+        ThreadPool::with_default_parallelism()
+    }
+}
+
+/// The scheduling state of one batch.
+struct WorkQueues {
+    /// One deque per worker, pre-seeded with a contiguous block of tasks.
+    locals: Vec<Mutex<VecDeque<usize>>>,
+    /// Global overflow queue (tasks beyond the even split).
+    injector: Mutex<VecDeque<usize>>,
+}
+
+impl WorkQueues {
+    /// Split `tasks` into equal contiguous blocks per worker; the
+    /// remainder seeds the injector.
+    fn seeded(workers: usize, tasks: usize) -> Self {
+        let per_worker = tasks / workers;
+        let mut locals = Vec::with_capacity(workers);
+        for w in 0..workers {
+            locals.push(Mutex::new((w * per_worker..(w + 1) * per_worker).collect()));
+        }
+        let injector = Mutex::new((workers * per_worker..tasks).collect());
+        WorkQueues { locals, injector }
+    }
+
+    /// Worker loop: own deque front → injector → steal half from the
+    /// back of a victim's deque; exit when a full scan finds nothing.
+    fn drain<F: Fn(usize, usize)>(&self, worker: usize, f: &F) {
+        loop {
+            let task = self
+                .pop_local(worker)
+                .or_else(|| self.pop_injector())
+                .or_else(|| self.steal(worker));
+            match task {
+                Some(t) => f(worker, t),
+                None => return,
+            }
+        }
+    }
+
+    fn pop_local(&self, worker: usize) -> Option<usize> {
+        self.locals[worker].lock().expect("local deque").pop_front()
+    }
+
+    fn pop_injector(&self) -> Option<usize> {
+        self.injector.lock().expect("injector").pop_front()
+    }
+
+    fn steal(&self, thief: usize) -> Option<usize> {
+        let n = self.locals.len();
+        for offset in 1..n {
+            let victim = (thief + offset) % n;
+            let mut deque = self.locals[victim].lock().expect("victim deque");
+            let available = deque.len();
+            if available == 0 {
+                continue;
+            }
+            // Take half the victim's remaining tasks from the back, run
+            // one, queue the rest locally.
+            let take = available.div_ceil(2);
+            let stolen: Vec<usize> = (0..take).filter_map(|_| deque.pop_back()).collect();
+            drop(deque);
+            let mut mine = self.locals[thief].lock().expect("own deque");
+            let first = stolen[0];
+            for &t in &stolen[1..] {
+                mine.push_back(t);
+            }
+            return Some(first);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn map_tasks_runs_each_exactly_once_in_order() {
+        for threads in [1, 2, 4, 8] {
+            let pool = ThreadPool::new(threads);
+            let out = pool.map_tasks(100, |t| t * 2);
+            assert_eq!(out, (0..100).map(|t| t * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn map_morsels_is_deterministic_across_thread_counts() {
+        let data: Vec<u32> = (0..100_000).collect();
+        let serial = ThreadPool::new(1).map_morsels(data.len(), 1024, |m| {
+            m.of(&data).iter().map(|&v| u64::from(v)).sum::<u64>()
+        });
+        for threads in [2, 3, 8] {
+            let par = ThreadPool::new(threads).map_morsels(data.len(), 1024, |m| {
+                m.of(&data).iter().map(|&v| u64::from(v)).sum::<u64>()
+            });
+            assert_eq!(par, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn fold_morsels_partitions_all_rows() {
+        let pool = ThreadPool::new(4);
+        let counts = pool.fold_morsels(10_000, 128, || 0usize, |acc, m| *acc += m.len());
+        assert!(counts.len() <= 4);
+        assert_eq!(counts.iter().sum::<usize>(), 10_000);
+    }
+
+    #[test]
+    fn every_task_runs_despite_stealing() {
+        let ran = AtomicUsize::new(0);
+        ThreadPool::new(8).map_tasks(1_000, |_| {
+            ran.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 1_000);
+    }
+
+    #[test]
+    fn zero_tasks_and_zero_rows() {
+        let pool = ThreadPool::new(4);
+        assert!(pool.map_tasks(0, |t| t).is_empty());
+        assert!(pool.map_morsels(0, 64, |m| m.len()).is_empty());
+        assert!(pool.fold_morsels(0, 64, || 0usize, |_, _| {}).is_empty());
+    }
+
+    #[test]
+    fn pool_configuration() {
+        assert_eq!(ThreadPool::new(0).threads(), 1);
+        assert_eq!(ThreadPool::new(6).threads(), 6);
+        assert!(ThreadPool::default().threads() >= 1);
+    }
+}

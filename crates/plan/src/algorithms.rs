@@ -45,7 +45,10 @@ impl GroupingImpl {
 
     /// Output is sorted by group key.
     pub fn produces_sorted_output(self) -> bool {
-        matches!(self, GroupingImpl::Sphg | GroupingImpl::Sog | GroupingImpl::Bsg)
+        matches!(
+            self,
+            GroupingImpl::Sphg | GroupingImpl::Sog | GroupingImpl::Bsg
+        )
     }
 
     /// All variants.
@@ -110,7 +113,13 @@ impl JoinImpl {
 
     /// All variants.
     pub fn all() -> [JoinImpl; 5] {
-        [JoinImpl::Hj, JoinImpl::Oj, JoinImpl::Soj, JoinImpl::Sphj, JoinImpl::Bsj]
+        [
+            JoinImpl::Hj,
+            JoinImpl::Oj,
+            JoinImpl::Soj,
+            JoinImpl::Sphj,
+            JoinImpl::Bsj,
+        ]
     }
 }
 

@@ -121,7 +121,10 @@ impl DeepPlan {
 
     /// The Figure 3(a) starting point: a closed logical γ over an input.
     pub fn logical_grouping() -> Self {
-        DeepPlan::node(Granule::LogicalGroupBy, vec![DeepPlan::leaf(Granule::Input)])
+        DeepPlan::node(
+            Granule::LogicalGroupBy,
+            vec![DeepPlan::leaf(Granule::Input)],
+        )
     }
 
     /// Whether the whole tree is fully decided (no open choices).
@@ -132,7 +135,11 @@ impl DeepPlan {
     /// Number of decisions still open in the tree.
     pub fn open_decisions(&self) -> usize {
         usize::from(!self.granule.is_decided())
-            + self.children.iter().map(DeepPlan::open_decisions).sum::<usize>()
+            + self
+                .children
+                .iter()
+                .map(DeepPlan::open_decisions)
+                .sum::<usize>()
     }
 
     /// The finest granularity present in the tree — the plan's *depth* on
@@ -396,7 +403,10 @@ mod tests {
         let expansions = p.unnest_root();
         assert_eq!(expansions.len(), 1);
         let fig3b = &expansions[0];
-        assert!(matches!(fig3b.granule, Granule::AggregateBundle { agg_loop: None }));
+        assert!(matches!(
+            fig3b.granule,
+            Granule::AggregateBundle { agg_loop: None }
+        ));
         assert!(matches!(fig3b.children[0].granule, Granule::PartitionBy));
     }
 

@@ -220,7 +220,13 @@ mod tests {
 
     #[test]
     fn decomposability() {
-        for f in [AggFunc::CountStar, AggFunc::Sum, AggFunc::Min, AggFunc::Max, AggFunc::Avg] {
+        for f in [
+            AggFunc::CountStar,
+            AggFunc::Sum,
+            AggFunc::Min,
+            AggFunc::Max,
+            AggFunc::Avg,
+        ] {
             assert!(f.is_decomposable());
         }
     }

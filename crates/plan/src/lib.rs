@@ -34,7 +34,9 @@ pub mod logical;
 pub mod physical;
 pub mod properties;
 
-pub use algorithms::{GroupingImpl, HashFnMolecule, JoinImpl, LoopMolecule, SortMolecule, TableMolecule};
+pub use algorithms::{
+    GroupingImpl, HashFnMolecule, JoinImpl, LoopMolecule, SortMolecule, TableMolecule,
+};
 pub use deep::{DeepPlan, Granule};
 pub use expr::{AggExpr, AggFunc, CmpOp, Predicate};
 pub use granule::Granularity;

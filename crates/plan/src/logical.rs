@@ -67,7 +67,9 @@ pub enum LogicalPlan {
 impl LogicalPlan {
     /// Scan constructor.
     pub fn scan(table: impl Into<String>) -> Arc<Self> {
-        Arc::new(LogicalPlan::Scan { table: table.into() })
+        Arc::new(LogicalPlan::Scan {
+            table: table.into(),
+        })
     }
 
     /// Filter constructor.
@@ -106,7 +108,10 @@ impl LogicalPlan {
 
     /// Sort constructor.
     pub fn sort(input: Arc<Self>, key: impl Into<String>) -> Arc<Self> {
-        Arc::new(LogicalPlan::Sort { input, key: key.into() })
+        Arc::new(LogicalPlan::Sort {
+            input,
+            key: key.into(),
+        })
     }
 
     /// Limit constructor.
@@ -131,11 +136,7 @@ impl LogicalPlan {
     pub fn tables(&self) -> Vec<&str> {
         match self {
             LogicalPlan::Scan { table } => vec![table.as_str()],
-            _ => self
-                .children()
-                .iter()
-                .flat_map(|c| c.tables())
-                .collect(),
+            _ => self.children().iter().flat_map(|c| c.tables()).collect(),
         }
     }
 
@@ -161,7 +162,9 @@ impl LogicalPlan {
             LogicalPlan::Scan { table } => format!("Scan {table}"),
             LogicalPlan::Filter { predicate, .. } => format!("Filter {predicate}"),
             LogicalPlan::Join {
-                left_key, right_key, ..
+                left_key,
+                right_key,
+                ..
             } => format!("Join on {left_key} = {right_key}"),
             LogicalPlan::GroupBy { key, aggs, .. } => {
                 let aggs: Vec<String> = aggs.iter().map(|a| a.to_string()).collect();

@@ -116,6 +116,18 @@ pub enum PhysicalPlan {
         /// Row cap.
         n: u64,
     },
+    /// Morsel-driven parallel execution of the operator below at a given
+    /// degree of parallelism — the DOP annotation the optimiser attaches
+    /// when the DOP-aware cost model says the startup + merge overhead
+    /// pays off. The executor runs the child's work-sensitive phase on
+    /// `dqo-parallel`; an `Exchange` around an operator the parallel
+    /// runtime does not cover degrades gracefully to serial execution.
+    Exchange {
+        /// The operator to parallelise.
+        input: Box<PhysicalPlan>,
+        /// Worker count chosen by the optimiser (≥ 2 in planned trees).
+        dop: usize,
+    },
 }
 
 impl PhysicalPlan {
@@ -127,14 +139,19 @@ impl PhysicalPlan {
             | PhysicalPlan::Sort { input, .. }
             | PhysicalPlan::GroupBy { input, .. }
             | PhysicalPlan::Project { input, .. }
-            | PhysicalPlan::Limit { input, .. } => vec![input],
+            | PhysicalPlan::Limit { input, .. }
+            | PhysicalPlan::Exchange { input, .. } => vec![input],
             PhysicalPlan::Join { left, right, .. } => vec![left, right],
         }
     }
 
     /// Operator count.
     pub fn node_count(&self) -> usize {
-        1 + self.children().iter().map(|c| c.node_count()).sum::<usize>()
+        1 + self
+            .children()
+            .iter()
+            .map(|c| c.node_count())
+            .sum::<usize>()
     }
 
     /// The algorithm abbreviations used, pre-order — handy for asserting a
@@ -203,6 +220,7 @@ impl PhysicalPlan {
             }
             PhysicalPlan::Project { columns, .. } => format!("Project {}", columns.join(", ")),
             PhysicalPlan::Limit { n, .. } => format!("Limit {n}"),
+            PhysicalPlan::Exchange { dop, .. } => format!("Exchange dop={dop}"),
         };
         out.push_str(&pad);
         out.push_str(&line);
@@ -277,5 +295,18 @@ mod tests {
     #[test]
     fn node_count() {
         assert_eq!(sphj_sphg_plan().node_count(), 4);
+    }
+
+    #[test]
+    fn exchange_is_transparent_to_signatures_but_visible_in_explain() {
+        let plan = PhysicalPlan::Exchange {
+            input: Box::new(sphj_sphg_plan()),
+            dop: 4,
+        };
+        // The DOP annotation must not change the algorithmic signature …
+        assert_eq!(plan.algo_signature(), vec!["SPHG", "SPHJ"]);
+        assert_eq!(plan.node_count(), 5);
+        // … but must show up in EXPLAIN output.
+        assert!(plan.explain().contains("Exchange dop=4"));
     }
 }

@@ -122,7 +122,11 @@ impl fmt::Display for PlanProps {
             f,
             "[{}, {}, {}{}{}, rows={}]",
             self.sortedness,
-            if self.partitioned { "partitioned" } else { "unpartitioned" },
+            if self.partitioned {
+                "partitioned"
+            } else {
+                "unpartitioned"
+            },
             self.density,
             match self.distinct {
                 Some(d) => format!(", distinct={d}"),
@@ -207,8 +211,14 @@ mod tests {
     #[test]
     fn satisfies_requirements() {
         let p = dense_sorted(10);
-        assert!(p.satisfies(&PropRequirement { sorted: true, ..Default::default() }));
-        assert!(p.satisfies(&PropRequirement { dense: true, ..Default::default() }));
+        assert!(p.satisfies(&PropRequirement {
+            sorted: true,
+            ..Default::default()
+        }));
+        assert!(p.satisfies(&PropRequirement {
+            dense: true,
+            ..Default::default()
+        }));
         assert!(p.satisfies(&PropRequirement {
             sorted: true,
             partitioned: true,
@@ -216,8 +226,14 @@ mod tests {
             known_distinct: true
         }));
         let u = PlanProps::unknown(10);
-        assert!(!u.satisfies(&PropRequirement { sorted: true, ..Default::default() }));
-        assert!(!u.satisfies(&PropRequirement { dense: true, ..Default::default() }));
+        assert!(!u.satisfies(&PropRequirement {
+            sorted: true,
+            ..Default::default()
+        }));
+        assert!(!u.satisfies(&PropRequirement {
+            dense: true,
+            ..Default::default()
+        }));
         assert!(u.satisfies(&PropRequirement::default()));
     }
 
@@ -225,15 +241,32 @@ mod tests {
     fn sorted_implies_partitioned_for_requirements() {
         let mut p = dense_sorted(10);
         p.partitioned = false; // sorted but not flagged partitioned
-        assert!(p.satisfies(&PropRequirement { partitioned: true, ..Default::default() }));
+        assert!(p.satisfies(&PropRequirement {
+            partitioned: true,
+            ..Default::default()
+        }));
     }
 
     #[test]
     fn memo_key_dimensions() {
         let a = dense_sorted(10).memo_key();
-        assert_eq!(a, PropKey { sorted: true, partitioned: true, dense: true });
+        assert_eq!(
+            a,
+            PropKey {
+                sorted: true,
+                partitioned: true,
+                dense: true
+            }
+        );
         let b = PlanProps::unknown(10).memo_key();
-        assert_eq!(b, PropKey { sorted: false, partitioned: false, dense: false });
+        assert_eq!(
+            b,
+            PropKey {
+                sorted: false,
+                partitioned: false,
+                dense: false
+            }
+        );
         assert_ne!(a, b);
     }
 

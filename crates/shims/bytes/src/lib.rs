@@ -1,0 +1,221 @@
+//! Offline stand-in for the `bytes` crate: just enough of
+//! `Bytes`/`BytesMut` and the `Buf`/`BufMut` traits for the row codec
+//! (fixed-width little-endian encode/decode plus cheap slicing).
+
+use std::sync::Arc;
+
+/// Read side: a cursor over a byte buffer (mirrors `bytes::Buf`).
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// Read one byte, advancing the cursor.
+    fn get_u8(&mut self) -> u8;
+    /// Read a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32;
+    /// Read a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64;
+    /// Read a little-endian `i64`.
+    fn get_i64_le(&mut self) -> i64;
+    /// Read a little-endian `f64`.
+    fn get_f64_le(&mut self) -> f64;
+}
+
+/// Write side: append primitives to a growable buffer (mirrors `bytes::BufMut`).
+pub trait BufMut {
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8);
+    /// Append a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32);
+    /// Append a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64);
+    /// Append a little-endian `i64`.
+    fn put_i64_le(&mut self, v: i64);
+    /// Append a little-endian `f64`.
+    fn put_f64_le(&mut self, v: f64);
+}
+
+/// Immutable, cheaply cloneable and sliceable byte buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// Wrap a static byte slice.
+    pub fn from_static(bytes: &'static [u8]) -> Self {
+        Bytes {
+            data: bytes.into(),
+            start: 0,
+            end: bytes.len(),
+        }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Zero-copy sub-slice (panics if out of bounds, like upstream).
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+        assert!(range.start <= range.end && range.end <= self.len());
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
+    }
+
+    /// View as a plain slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+
+    fn take(&mut self, n: usize) -> &[u8] {
+        assert!(self.len() >= n, "buffer underflow");
+        let s = self.start;
+        self.start += n;
+        &self.data[s..s + n]
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let end = v.len();
+        Bytes {
+            data: v.into(),
+            start: 0,
+            end,
+        }
+    }
+}
+
+macro_rules! get_le {
+    ($self:ident, $t:ty) => {{
+        let n = std::mem::size_of::<$t>();
+        let raw = $self.take(n);
+        <$t>::from_le_bytes(raw.try_into().expect("exact width"))
+    }};
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        self.take(1)[0]
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        get_le!(self, u32)
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        get_le!(self, u64)
+    }
+
+    fn get_i64_le(&mut self) -> i64 {
+        get_le!(self, i64)
+    }
+
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_bits(get_le!(self, u64))
+    }
+}
+
+/// Growable write buffer, frozen into [`Bytes`] when done.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Pre-sized buffer.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Current length.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if nothing written yet.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Convert into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.data.push(v);
+    }
+
+    fn put_u32_le(&mut self, v: u32) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_i64_le(&mut self, v: i64) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_f64_le(&mut self, v: f64) {
+        self.data.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut buf = BytesMut::with_capacity(32);
+        buf.put_u8(7);
+        buf.put_u32_le(0xDEAD_BEEF);
+        buf.put_u64_le(u64::MAX - 1);
+        buf.put_i64_le(-42);
+        buf.put_f64_le(1.5);
+        let mut b = buf.freeze();
+        assert_eq!(b.remaining(), 1 + 4 + 8 + 8 + 8);
+        assert_eq!(b.get_u8(), 7);
+        assert_eq!(b.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(b.get_u64_le(), u64::MAX - 1);
+        assert_eq!(b.get_i64_le(), -42);
+        assert_eq!(b.get_f64_le(), 1.5);
+        assert_eq!(b.remaining(), 0);
+    }
+
+    #[test]
+    fn slicing_shares_storage() {
+        let b = Bytes::from(vec![1, 2, 3, 4, 5]);
+        let s = b.slice(1..4);
+        assert_eq!(s.as_slice(), &[2, 3, 4]);
+        assert_eq!(b.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer underflow")]
+    fn underflow_panics() {
+        let mut b = Bytes::from_static(&[1]);
+        let _ = b.get_u32_le();
+    }
+}

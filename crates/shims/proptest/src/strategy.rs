@@ -1,0 +1,150 @@
+//! Value-generation strategies (the generate half of proptest; no shrinking).
+
+use crate::Arbitrary;
+use rand::rngs::StdRng;
+use rand::{RngExt, SampleUniform};
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Keep only values satisfying `pred`; gives up (panics) if the
+    /// predicate keeps rejecting, mirroring upstream's rejection cap.
+    fn prop_filter<F>(self, reason: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            reason,
+            pred,
+        }
+    }
+
+    /// Map generated values through `f`.
+    fn prop_map<F, O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Whole-domain strategy for a type (see [`crate::any`]).
+pub struct Any<T>(pub(crate) PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+impl<T: SampleUniform + PartialOrd + Copy> Strategy for Range<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        rng.random_range(self.start..self.end)
+    }
+}
+
+/// String-pattern strategy: upstream proptest interprets a `&str` as a
+/// regex to generate matching strings. The shim honours the one shape the
+/// workspace uses — a char class with a `{lo,hi}` repetition suffix — by
+/// reading the repetition bounds and emitting that many printable
+/// characters (ASCII plus a sprinkling of multi-byte code points, so
+/// byte-length vs char-length bugs still surface). Pattern semantics
+/// beyond the length bounds are not modelled.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut StdRng) -> String {
+        let (lo, hi) = repetition_bounds(self).unwrap_or((0, 64));
+        let len = if hi > lo {
+            rng.random_range(lo..hi + 1)
+        } else {
+            lo
+        };
+        (0..len)
+            .map(|_| {
+                // Mostly printable ASCII; occasionally a multi-byte char.
+                match rng.random_range(0u32..20) {
+                    0 => 'λ',
+                    1 => '→',
+                    _ => char::from(rng.random_range(0x20u8..0x7F)),
+                }
+            })
+            .collect()
+    }
+}
+
+/// Extract `lo`/`hi` from a trailing `{lo,hi}` repetition, if present.
+fn repetition_bounds(pattern: &str) -> Option<(usize, usize)> {
+    let open = pattern.rfind('{')?;
+    let body = pattern[open + 1..].strip_suffix('}')?;
+    let (lo, hi) = body.split_once(',')?;
+    Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+}
+
+/// Filtering combinator returned by [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    reason: &'static str,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut StdRng) -> S::Value {
+        for _ in 0..10_000 {
+            let v = self.inner.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter rejected 10000 candidates: {}", self.reason);
+    }
+}
+
+/// Mapping combinator returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(S::Value) -> O, O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident/$v:ident),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($s,)+) = self;
+                ($($s.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A / a);
+impl_tuple_strategy!(A / a, B / b);
+impl_tuple_strategy!(A / a, B / b, C / c);
+impl_tuple_strategy!(A / a, B / b, C / c, D / d);

@@ -1,0 +1,15 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! Provides the `Serialize`/`Deserialize` names in both the trait and the
+//! derive-macro namespaces so `use serde::{Serialize, Deserialize}` plus
+//! `#[derive(Serialize, Deserialize)]` compile unchanged. The derives are
+//! no-ops (see `serde_derive`); the traits are unimplemented markers kept
+//! for signature fidelity until a real serialisation backend lands.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods in the shim).
+pub trait SerializeTrait {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods in the shim).
+pub trait DeserializeTrait<'de> {}

@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no access to crates.io, and nothing in this
+//! workspace actually serialises values — the `#[derive(Serialize,
+//! Deserialize)]` annotations on plan/storage types exist so a future
+//! wire-format PR can turn them on. These derives therefore expand to
+//! nothing: the annotation stays valid, no code is generated.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive (accepts `#[serde(...)]` helper attributes).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive (accepts `#[serde(...)]` helper attributes).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -314,8 +314,7 @@ mod tests {
 
     #[test]
     fn swapped_join_condition_accepted() {
-        let plan =
-            compile("SELECT a, COUNT(*) FROM r JOIN s ON s.r_id = r.id GROUP BY a").unwrap();
+        let plan = compile("SELECT a, COUNT(*) FROM r JOIN s ON s.r_id = r.id GROUP BY a").unwrap();
         assert!(plan.explain().contains("Join on id = r_id"));
     }
 
@@ -367,8 +366,7 @@ mod tests {
 
     #[test]
     fn default_aliases() {
-        let plan =
-            compile("SELECT a, COUNT(*), SUM(a), AVG(a) FROM r GROUP BY a").unwrap();
+        let plan = compile("SELECT a, COUNT(*), SUM(a), AVG(a) FROM r GROUP BY a").unwrap();
         let text = plan.explain();
         assert!(text.contains("COUNT(*) AS count"));
         assert!(text.contains("SUM(a) AS sum_a"));

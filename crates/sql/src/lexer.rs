@@ -81,35 +81,59 @@ pub fn lex(sql: &str) -> Result<Vec<Token>> {
                 i += 1;
             }
             ',' => {
-                tokens.push(Token { kind: TokenKind::Comma, pos });
+                tokens.push(Token {
+                    kind: TokenKind::Comma,
+                    pos,
+                });
                 i += 1;
             }
             '(' => {
-                tokens.push(Token { kind: TokenKind::LParen, pos });
+                tokens.push(Token {
+                    kind: TokenKind::LParen,
+                    pos,
+                });
                 i += 1;
             }
             ')' => {
-                tokens.push(Token { kind: TokenKind::RParen, pos });
+                tokens.push(Token {
+                    kind: TokenKind::RParen,
+                    pos,
+                });
                 i += 1;
             }
             '.' => {
-                tokens.push(Token { kind: TokenKind::Dot, pos });
+                tokens.push(Token {
+                    kind: TokenKind::Dot,
+                    pos,
+                });
                 i += 1;
             }
             '*' => {
-                tokens.push(Token { kind: TokenKind::Star, pos });
+                tokens.push(Token {
+                    kind: TokenKind::Star,
+                    pos,
+                });
                 i += 1;
             }
             ';' => {
-                tokens.push(Token { kind: TokenKind::Semicolon, pos });
+                tokens.push(Token {
+                    kind: TokenKind::Semicolon,
+                    pos,
+                });
                 i += 1;
             }
             '=' => {
-                tokens.push(Token { kind: TokenKind::Eq, pos });
+                tokens.push(Token {
+                    kind: TokenKind::Eq,
+                    pos,
+                });
                 i += 1;
             }
             '!' if bytes.get(i + 1) == Some(&b'=') => {
-                tokens.push(Token { kind: TokenKind::Ne, pos });
+                tokens.push(Token {
+                    kind: TokenKind::Ne,
+                    pos,
+                });
                 i += 2;
             }
             '<' => {

@@ -91,7 +91,11 @@ impl Parser {
 
     fn identifier(&mut self, what: &str) -> Result<String> {
         match &self.peek().kind {
-            TokenKind::Word(w) if w.chars().next().is_some_and(|c| c.is_lowercase() || c == '_') => {
+            TokenKind::Word(w)
+                if w.chars()
+                    .next()
+                    .is_some_and(|c| c.is_lowercase() || c == '_') =>
+            {
                 let w = w.clone();
                 self.advance();
                 Ok(w)
@@ -276,7 +280,11 @@ impl Parser {
             }
             _ => return Err(self.err("literal")),
         };
-        Ok(Comparison { column, op, literal })
+        Ok(Comparison {
+            column,
+            op,
+            literal,
+        })
     }
 }
 
@@ -344,8 +352,7 @@ mod tests {
 
     #[test]
     fn multi_join_chain() {
-        let stmt =
-            parse("SELECT a FROM t JOIN u ON t.x = u.y INNER JOIN v ON u.z = v.w").unwrap();
+        let stmt = parse("SELECT a FROM t JOIN u ON t.x = u.y INNER JOIN v ON u.z = v.w").unwrap();
         assert_eq!(stmt.joins.len(), 2);
         assert_eq!(stmt.joins[1].table, "v");
     }

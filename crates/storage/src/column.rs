@@ -129,7 +129,10 @@ impl Column {
     pub fn value_at(&self, idx: usize) -> Result<Value> {
         let len = self.len();
         if idx >= len {
-            return Err(StorageError::RowIndexOutOfBounds { index: idx, rows: len });
+            return Err(StorageError::RowIndexOutOfBounds {
+                index: idx,
+                rows: len,
+            });
         }
         Ok(match self {
             Column::U32(v) => Value::U32(v[idx]),

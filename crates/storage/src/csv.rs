@@ -138,8 +138,14 @@ mod tests {
         let rel = parse_csv("id,score,label\n1,0.5,a\n2,1.5,b\n3,2.5,a\n").unwrap();
         assert_eq!(rel.rows(), 3);
         assert_eq!(rel.schema().field("id").unwrap().data_type, DataType::U32);
-        assert_eq!(rel.schema().field("score").unwrap().data_type, DataType::F64);
-        assert_eq!(rel.schema().field("label").unwrap().data_type, DataType::Str);
+        assert_eq!(
+            rel.schema().field("score").unwrap().data_type,
+            DataType::F64
+        );
+        assert_eq!(
+            rel.schema().field("label").unwrap().data_type,
+            DataType::Str
+        );
         // Dictionary decoding works end to end.
         assert_eq!(rel.value_at(1, "label").unwrap(), Value::Str("b".into()));
         // Codes are dense: 2 distinct labels → codes {0, 1}.
@@ -157,15 +163,15 @@ mod tests {
     fn quoted_fields_and_escapes() {
         let rel = parse_csv("a,b\n\"x,y\",\"say \"\"hi\"\"\"\n").unwrap();
         assert_eq!(rel.value_at(0, "a").unwrap(), Value::Str("x,y".into()));
-        assert_eq!(rel.value_at(0, "b").unwrap(), Value::Str("say \"hi\"".into()));
+        assert_eq!(
+            rel.value_at(0, "b").unwrap(),
+            Value::Str("say \"hi\"".into())
+        );
     }
 
     #[test]
     fn ragged_rows_rejected() {
-        assert!(matches!(
-            parse_csv("a,b\n1\n"),
-            Err(StorageError::Codec(_))
-        ));
+        assert!(matches!(parse_csv("a,b\n1\n"), Err(StorageError::Codec(_))));
     }
 
     #[test]
@@ -175,7 +181,10 @@ mod tests {
         assert_eq!(rel.rows(), 0);
         // A data-less column defaults to the strictest type (u32 parses
         // vacuously).
-        assert_eq!(rel.schema().field("only_header").unwrap().data_type, DataType::U32);
+        assert_eq!(
+            rel.schema().field("only_header").unwrap().data_type,
+            DataType::U32
+        );
     }
 
     #[test]

@@ -201,7 +201,11 @@ impl ForeignKeySpec {
             dense: self.dense,
             seed: self.seed ^ 0xA,
         };
-        let mut a_vals = if self.r_rows == 0 { Vec::new() } else { a_spec.generate()? };
+        let mut a_vals = if self.r_rows == 0 {
+            Vec::new()
+        } else {
+            a_spec.generate()?
+        };
 
         if !self.r_sorted && self.r_rows > 1 {
             // Shuffle rows of R (id and a move together).
@@ -219,7 +223,9 @@ impl ForeignKeySpec {
         if self.s_sorted {
             r_id.sort_unstable();
         }
-        let payload: Vec<u32> = (0..self.s_rows).map(|_| rng.random_range(0..1000)).collect();
+        let payload: Vec<u32> = (0..self.s_rows)
+            .map(|_| rng.random_range(0..1000))
+            .collect();
 
         let r_schema = Schema::new(vec![
             Field::new("id", DataType::U32),
@@ -350,8 +356,14 @@ mod tests {
         assert_eq!(r.rows(), 100);
         assert_eq!(s.rows(), 500);
         // Every S.r_id exists in R.id exactly once → join output = |S|.
-        let ids: std::collections::HashSet<u32> =
-            r.column("id").unwrap().as_u32().unwrap().iter().copied().collect();
+        let ids: std::collections::HashSet<u32> = r
+            .column("id")
+            .unwrap()
+            .as_u32()
+            .unwrap()
+            .iter()
+            .copied()
+            .collect();
         assert_eq!(ids.len(), 100); // PK
         for &fk in s.column("r_id").unwrap().as_u32().unwrap() {
             assert!(ids.contains(&fk));
@@ -407,7 +419,10 @@ mod tests {
         assert_eq!(keys.len(), 50_000);
         let zero = keys.iter().filter(|&&k| k == 0).count();
         let tail = keys.iter().filter(|&&k| k == 99).count();
-        assert!(zero > tail * 5, "zipf head ({zero}) should dominate tail ({tail})");
+        assert!(
+            zero > tail * 5,
+            "zipf head ({zero}) should dominate tail ({tail})"
+        );
         assert!(keys.iter().all(|&k| k < 100));
     }
 

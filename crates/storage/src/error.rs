@@ -54,7 +54,10 @@ impl fmt::Display for StorageError {
                 write!(f, "type mismatch: expected {expected}, found {found}")
             }
             StorageError::ColumnLengthMismatch { expected, found } => {
-                write!(f, "column length mismatch: expected {expected}, found {found}")
+                write!(
+                    f,
+                    "column length mismatch: expected {expected}, found {found}"
+                )
             }
             StorageError::RowIndexOutOfBounds { index, rows } => {
                 write!(f, "row index {index} out of bounds for {rows} rows")

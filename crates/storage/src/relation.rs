@@ -81,8 +81,8 @@ impl Relation {
     /// Convenience: a single-column `u32` relation, the shape of every
     /// Figure-4 dataset.
     pub fn single_u32(name: &str, data: Vec<u32>) -> Self {
-        let schema = Schema::new(vec![Field::new(name, DataType::U32)])
-            .expect("single field cannot clash");
+        let schema =
+            Schema::new(vec![Field::new(name, DataType::U32)]).expect("single field cannot clash");
         Relation::new(schema, vec![Column::U32(data)]).expect("lengths trivially match")
     }
 
@@ -257,10 +257,7 @@ mod tests {
             Field::new("b", DataType::U32),
         ])
         .unwrap();
-        let r = Relation::new(
-            schema,
-            vec![Column::U32(vec![1]), Column::U32(vec![1, 2])],
-        );
+        let r = Relation::new(schema, vec![Column::U32(vec![1]), Column::U32(vec![1, 2])]);
         assert!(r.is_err());
     }
 

@@ -23,15 +23,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let db = Dqo::new();
     db.register_table(
         "events",
-        DatasetSpec::new(200_000, 5_000).sorted(false).dense(true).relation()?,
+        DatasetSpec::new(200_000, 5_000)
+            .sorted(false)
+            .dense(true)
+            .relation()?,
     );
     db.register_table(
         "codes",
-        DatasetSpec::new(50_000, 256).sorted(false).dense(true).relation()?,
+        DatasetSpec::new(50_000, 256)
+            .sorted(false)
+            .dense(true)
+            .relation()?,
     );
 
-    let hot = db.compile("SELECT key, COUNT(*) AS count, SUM(key) AS sum FROM events GROUP BY key")?;
-    let cold = db.compile("SELECT key, COUNT(*) AS count, SUM(key) AS sum FROM codes GROUP BY key")?;
+    let hot =
+        db.compile("SELECT key, COUNT(*) AS count, SUM(key) AS sum FROM events GROUP BY key")?;
+    let cold =
+        db.compile("SELECT key, COUNT(*) AS count, SUM(key) AS sum FROM codes GROUP BY key")?;
     let workload = vec![
         WorkloadQuery::new(hot.clone(), 100.0), // hot query
         WorkloadQuery::new(cold, 1.0),          // rare query
@@ -43,11 +51,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let db2 = Dqo::new(); // fresh engine per budget
         db2.register_table(
             "events",
-            DatasetSpec::new(200_000, 5_000).sorted(false).dense(true).relation()?,
+            DatasetSpec::new(200_000, 5_000)
+                .sorted(false)
+                .dense(true)
+                .relation()?,
         );
         db2.register_table(
             "codes",
-            DatasetSpec::new(50_000, 256).sorted(false).dense(true).relation()?,
+            DatasetSpec::new(50_000, 256)
+                .sorted(false)
+                .dense(true)
+                .relation()?,
         );
         let solution =
             db2.engine()
@@ -79,7 +93,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{pav}");
     for d in [OpenDecision::LoadLoop, OpenDecision::HashFunction] {
         pav = pav.freeze(d, &defaults);
-        println!("freeze {d} → {} query-time decisions left", pav.query_time_decisions());
+        println!(
+            "freeze {d} → {} query-time decisions left",
+            pav.query_time_decisions()
+        );
     }
     // At query time, the one open decision (table kind) adapts to density:
     let dense_props = {
@@ -94,11 +111,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- 3. Adaptive AV: database cracking ---------------------------------
     println!("=== Adaptive AV: a column that becomes an index as it is queried ===\n");
-    let data = DatasetSpec::new(1_000_000, 100_000).sorted(false).dense(true).generate()?;
+    let data = DatasetSpec::new(1_000_000, 100_000)
+        .sorted(false)
+        .dense(true)
+        .generate()?;
     let mut cracked = CrackedColumn::new(data);
-    for (i, (lo, hi)) in [(10_000, 20_000), (12_000, 18_000), (14_000, 16_000), (14_500, 15_500)]
-        .into_iter()
-        .enumerate()
+    for (i, (lo, hi)) in [
+        (10_000, 20_000),
+        (12_000, 18_000),
+        (14_000, 16_000),
+        (14_500, 15_500),
+    ]
+    .into_iter()
+    .enumerate()
     {
         let work_before = cracked.crack_work(lo) + cracked.crack_work(hi);
         let (count, _, stats) = cracked.range_query(lo, hi);

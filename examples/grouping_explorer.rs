@@ -12,7 +12,9 @@ use std::time::Instant;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().collect();
-    let rows: usize = args.get(1).map_or(2_000_000, |s| s.parse().unwrap_or(2_000_000));
+    let rows: usize = args
+        .get(1)
+        .map_or(2_000_000, |s| s.parse().unwrap_or(2_000_000));
     let groups: usize = args.get(2).map_or(10_000, |s| s.parse().unwrap_or(10_000));
 
     println!("rows = {rows}, groups = {groups} (release build recommended)\n");

@@ -30,7 +30,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             Column::U32((0..n).map(|i| i / 10).collect()),
         ],
     )?;
-    let mut fk: Vec<u32> = (0..600_000u32).map(|i| (i.wrapping_mul(2_654_435_761)) % n).collect();
+    let mut fk: Vec<u32> = (0..600_000u32)
+        .map(|i| (i.wrapping_mul(2_654_435_761)) % n)
+        .collect();
     fk.sort_unstable();
     let s = Relation::single_u32("r_id", fk);
     catalog.register("r", r);
@@ -49,7 +51,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("adaptive grouping choice : {:?}", report.adaptive_choice);
     println!(
         "plan changed             : {}",
-        if report.changed { "yes — reoptimisation paid off" } else { "no" }
+        if report.changed {
+            "yes — reoptimisation paid off"
+        } else {
+            "no"
+        }
     );
     println!(
         "\nresult: {} groups, pipeline: {}",

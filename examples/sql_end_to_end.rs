@@ -11,7 +11,9 @@ use dqo::{Dqo, OptimizerMode};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let default_query =
         "SELECT a, COUNT(*) AS n FROM r JOIN s ON r.id = s.r_id GROUP BY a ORDER BY a";
-    let query = std::env::args().nth(1).unwrap_or_else(|| default_query.to_owned());
+    let query = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| default_query.to_owned());
 
     let mut db = Dqo::new();
     let (r, s) = ForeignKeySpec {

@@ -28,11 +28,12 @@
 //! ```
 //!
 //! The sub-crates are re-exported as modules: [`storage`], [`hashtable`],
-//! [`plan`], [`exec`], [`core`], [`sql`].
+//! [`plan`], [`exec`], [`core`], [`sql`], [`parallel`].
 
 pub use dqo_core as core;
 pub use dqo_exec as exec;
 pub use dqo_hashtable as hashtable;
+pub use dqo_parallel as parallel;
 pub use dqo_plan as plan;
 pub use dqo_sql as sql;
 pub use dqo_storage as storage;
@@ -94,10 +95,7 @@ struct CatalogSchemas<'a>(&'a Catalog);
 
 impl SchemaProvider for CatalogSchemas<'_> {
     fn table_schema(&self, table: &str) -> Option<dqo_storage::Schema> {
-        self.0
-            .get(table)
-            .ok()
-            .map(|e| e.relation.schema().clone())
+        self.0.get(table).ok().map(|e| e.relation.schema().clone())
     }
 }
 
@@ -175,10 +173,7 @@ mod tests {
     #[test]
     fn sql_end_to_end() {
         let db = Dqo::new();
-        db.register_table(
-            "t",
-            DatasetSpec::new(1_000, 10).relation().unwrap(),
-        );
+        db.register_table("t", DatasetSpec::new(1_000, 10).relation().unwrap());
         let r = db
             .sql("SELECT key, COUNT(*) AS n, SUM(key) AS s FROM t GROUP BY key ORDER BY key")
             .unwrap();
@@ -202,7 +197,11 @@ mod tests {
         let mut db = Dqo::new();
         db.register_table(
             "t",
-            DatasetSpec::new(5_000, 100).sorted(false).dense(true).relation().unwrap(),
+            DatasetSpec::new(5_000, 100)
+                .sorted(false)
+                .dense(true)
+                .relation()
+                .unwrap(),
         );
         let q = "SELECT key, COUNT(*) FROM t GROUP BY key";
         let deep = db.explain(q).unwrap();

@@ -61,7 +61,10 @@ fn measured_crossover_exists_on_unsorted_sparse_data() {
     let bsg_small = time_of(GroupingAlgorithm::BinarySearch, &small, &hints_small);
     let hg_small = time_of(GroupingAlgorithm::HashBased, &small, &hints_small);
 
-    let large = DatasetSpec::new(rows, 4096).dense(false).generate().unwrap();
+    let large = DatasetSpec::new(rows, 4096)
+        .dense(false)
+        .generate()
+        .unwrap();
     let mut known: Vec<u32> = large.clone();
     known.sort_unstable();
     known.dedup();

@@ -98,7 +98,13 @@ fn filters_joins_order_by_combined() {
              WHERE payload < 700 GROUP BY a ORDER BY a",
         )
         .unwrap();
-    let keys = result.output.relation.column("a").unwrap().as_u32().unwrap();
+    let keys = result
+        .output
+        .relation
+        .column("a")
+        .unwrap()
+        .as_u32()
+        .unwrap();
     assert!(keys.windows(2).all(|w| w[0] <= w[1]));
 }
 
@@ -134,12 +140,9 @@ fn deep_never_costs_more_than_shallow_across_many_configs() {
                 let q = db
                     .compile("SELECT a, COUNT(*) FROM r JOIN s ON r.id = s.r_id GROUP BY a")
                     .unwrap();
-                let deep = dqo::core::optimizer::optimize(
-                    &q,
-                    db.engine().catalog(),
-                    OptimizerMode::Deep,
-                )
-                .unwrap();
+                let deep =
+                    dqo::core::optimizer::optimize(&q, db.engine().catalog(), OptimizerMode::Deep)
+                        .unwrap();
                 let shallow = dqo::core::optimizer::optimize(
                     &q,
                     db.engine().catalog(),
@@ -161,7 +164,11 @@ fn result_correctness_with_avs_materialised() {
     let db = Dqo::new();
     db.register_table(
         "t",
-        DatasetSpec::new(20_000, 500).sorted(false).dense(true).relation().unwrap(),
+        DatasetSpec::new(20_000, 500)
+            .sorted(false)
+            .dense(true)
+            .relation()
+            .unwrap(),
     );
     let sql = "SELECT key, COUNT(*) AS count, SUM(key) AS sum FROM t GROUP BY key";
     let q = db.compile(sql).unwrap();
@@ -234,7 +241,11 @@ fn explain_shows_molecules_in_deep_mode_only() {
     let mut db = Dqo::new();
     db.register_table(
         "t",
-        DatasetSpec::new(3_000, 1_000).sorted(false).dense(false).relation().unwrap(),
+        DatasetSpec::new(3_000, 1_000)
+            .sorted(false)
+            .dense(false)
+            .relation()
+            .unwrap(),
     );
     // Sparse + many groups → HG in both modes, but deep mode refines the
     // table/hash molecules away from the developer defaults.
@@ -275,7 +286,11 @@ fn order_by_is_free_when_grouping_output_is_sorted() {
     let mut db = Dqo::new();
     db.register_table(
         "t",
-        DatasetSpec::new(10_000, 200).sorted(false).dense(true).relation().unwrap(),
+        DatasetSpec::new(10_000, 200)
+            .sorted(false)
+            .dense(true)
+            .relation()
+            .unwrap(),
     );
     let sql = "SELECT key, COUNT(*) AS n FROM t GROUP BY key ORDER BY key";
     // Deep mode: SPHG emits ascending keys → no Sort operator needed.
@@ -285,7 +300,13 @@ fn order_by_is_free_when_grouping_output_is_sorted() {
     // (or switch to a sorted-output variant; either way order holds).
     db.set_mode(OptimizerMode::Shallow);
     let shallow = db.sql(sql).unwrap();
-    let keys = shallow.output.relation.column("key").unwrap().as_u32().unwrap();
+    let keys = shallow
+        .output
+        .relation
+        .column("key")
+        .unwrap()
+        .as_u32()
+        .unwrap();
     assert!(keys.windows(2).all(|w| w[0] <= w[1]));
     assert!(deep.planned.est_cost < shallow.planned.est_cost);
 }
@@ -320,7 +341,11 @@ fn explain_analyze_reports_measurements() {
     let db = Dqo::new();
     db.register_table(
         "t",
-        DatasetSpec::new(2_000, 50).sorted(false).dense(true).relation().unwrap(),
+        DatasetSpec::new(2_000, 50)
+            .sorted(false)
+            .dense(true)
+            .relation()
+            .unwrap(),
     );
     let text = db
         .explain_analyze("SELECT key, COUNT(*) AS n FROM t GROUP BY key")
@@ -340,7 +365,11 @@ fn partial_av_freezes_molecules_at_query_time() {
     let db = Dqo::new();
     db.register_table(
         "t",
-        DatasetSpec::new(4_000, 800).sorted(false).dense(false).relation().unwrap(),
+        DatasetSpec::new(4_000, 800)
+            .sorted(false)
+            .dense(false)
+            .relation()
+            .unwrap(),
     );
     let sql = "SELECT key, COUNT(*) FROM t GROUP BY key";
     // Without a partial AV, deep mode refines molecules freely.

@@ -12,7 +12,11 @@ use dqo::core::optimizer::{optimize, OptimizerMode};
 use dqo::core::Catalog;
 use dqo::storage::datagen::ForeignKeySpec;
 
-fn factor(r_sorted: bool, s_sorted: bool, dense: bool) -> (f64, Vec<&'static str>, Vec<&'static str>) {
+fn factor(
+    r_sorted: bool,
+    s_sorted: bool,
+    dense: bool,
+) -> (f64, Vec<&'static str>, Vec<&'static str>) {
     let catalog = Catalog::new();
     let (r, s) = ForeignKeySpec {
         r_sorted,

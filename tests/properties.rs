@@ -33,10 +33,7 @@ fn tables(ids: Vec<u32>, a_vals: Vec<u32>, fk_choices: Vec<u8>) -> (Relation, Re
         vec![Column::U32(ids.clone()), Column::U32(a)],
     )
     .unwrap();
-    let fk: Vec<u32> = fk_choices
-        .iter()
-        .map(|&c| ids[(c as usize) % n])
-        .collect();
+    let fk: Vec<u32> = fk_choices.iter().map(|&c| ids[(c as usize) % n]).collect();
     let s = Relation::single_u32("r_id", fk);
     (r, s)
 }
