@@ -8,7 +8,8 @@ use dqo_exec::aggregate::CountSum;
 use dqo_exec::grouping::{execute_grouping, GroupingAlgorithm, GroupingHints};
 use dqo_exec::join::hj::hash_join;
 use dqo_parallel::{
-    parallel_grouping, parallel_hash_join, GroupingStrategy, ThreadPool, DEFAULT_MORSEL_ROWS,
+    parallel_grouping, parallel_hash_join, GroupingStrategy, PersistentPool, ThreadPool,
+    DEFAULT_MORSEL_ROWS,
 };
 use dqo_storage::datagen::{DatasetSpec, ForeignKeySpec};
 use std::hint::black_box;
@@ -47,7 +48,8 @@ fn sphg_scaling(c: &mut Criterion) {
         })
     });
     for threads in THREADS {
-        let pool = ThreadPool::new(threads);
+        let pool =
+            ThreadPool::with_pool(threads, std::sync::Arc::new(PersistentPool::new(threads)));
         group.bench_with_input(BenchmarkId::new("parallel", threads), &threads, |b, _| {
             b.iter(|| {
                 parallel_grouping(
@@ -93,10 +95,12 @@ fn hj_scaling(c: &mut Criterion) {
         b.iter(|| hash_join(black_box(&lk), black_box(&rk), lk.len()).len())
     });
     for threads in THREADS {
-        let pool = ThreadPool::new(threads);
+        let pool =
+            ThreadPool::with_pool(threads, std::sync::Arc::new(PersistentPool::new(threads)));
         group.bench_with_input(BenchmarkId::new("parallel", threads), &threads, |b, _| {
             b.iter(|| {
                 parallel_hash_join(&pool, black_box(&lk), black_box(&rk), DEFAULT_MORSEL_ROWS)
+                    .expect("parallel HJ")
                     .0
                     .len()
             })

@@ -1,0 +1,87 @@
+//! Inter-query concurrency harness: M client sessions × K queries over
+//! one shared persistent pool with bounded in-flight admission; reports
+//! latency percentiles and throughput, and exits non-zero if any result
+//! diverges from the serial oracle or the admission bound is violated.
+//!
+//! ```text
+//! cargo run -p dqo-bench --release --bin concurrency                 # 8 clients
+//! cargo run -p dqo-bench --release --bin concurrency -- --clients 16 --max-inflight 4
+//! cargo run -p dqo-bench --release --bin concurrency -- --json      # machine-readable
+//! ```
+
+use dqo_bench::concurrency::{run, ConcurrencyConfig};
+use dqo_bench::report::Table;
+use dqo_bench::Args;
+
+fn main() {
+    let args = Args::from_env();
+    let defaults = ConcurrencyConfig::default();
+    let cfg = ConcurrencyConfig {
+        rows: args.value("--rows").unwrap_or(defaults.rows),
+        groups: args.value("--groups").unwrap_or(defaults.groups),
+        clients: args.value("--clients").unwrap_or(defaults.clients),
+        queries_per_client: args
+            .value("--queries")
+            .unwrap_or(defaults.queries_per_client),
+        pool_threads: args.value("--threads").unwrap_or(defaults.pool_threads),
+        max_inflight: args
+            .value("--max-inflight")
+            .unwrap_or(defaults.max_inflight),
+    };
+    eprintln!(
+        "concurrency: {} clients x {} queries, {} rows/{} groups, pool {} workers, \
+         max {} in flight",
+        cfg.clients,
+        cfg.queries_per_client,
+        cfg.rows,
+        cfg.groups,
+        cfg.pool_threads,
+        cfg.max_inflight
+    );
+
+    let report = run(cfg);
+
+    let mut table = Table::new(&[
+        "clients",
+        "queries_per_client",
+        "pool_threads",
+        "max_inflight",
+        "p50_ms",
+        "p95_ms",
+        "p99_ms",
+        "throughput_qps",
+        "peak_inflight",
+        "oracle_ok",
+    ]);
+    table.row(vec![
+        report.config.clients.to_string(),
+        report.config.queries_per_client.to_string(),
+        report.config.pool_threads.to_string(),
+        report.config.max_inflight.to_string(),
+        format!("{:.3}", report.p50_ms),
+        format!("{:.3}", report.p95_ms),
+        format!("{:.3}", report.p99_ms),
+        format!("{:.1}", report.throughput_qps),
+        report.peak_inflight.to_string(),
+        report.oracle_ok.to_string(),
+    ]);
+    if args.flag("--json") {
+        print!("{}", table.to_json());
+    } else if args.flag("--csv") {
+        print!("{}", table.to_csv());
+    } else {
+        print!("{}", table.to_text());
+    }
+
+    if !report.oracle_ok {
+        eprintln!("FAIL: a client result diverged from the serial oracle");
+        std::process::exit(1);
+    }
+    if report.peak_inflight > report.config.max_inflight {
+        eprintln!(
+            "FAIL: admission bound violated ({} > {})",
+            report.peak_inflight, report.config.max_inflight
+        );
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,212 @@
+//! Inter-query concurrency study: M client sessions multiplexing one
+//! shared persistent pool through admission control.
+//!
+//! This is the measurement the serving architecture is judged on: each
+//! client is an [`Engine`] session created with
+//! [`Engine::with_shared_pool`], firing K group-by queries back to back;
+//! the harness records per-query latency and reports p50/p95/p99 plus
+//! aggregate throughput. Every client result is checked against the
+//! single-threaded serial oracle **bit-identically** (column debug
+//! encodings compared, not just sorted sets) — admission may clamp each
+//! query to a different DOP, so a pass here demonstrates DOP-independent
+//! determinism under real concurrency, not just correctness at one
+//! thread count.
+
+use dqo_core::Engine;
+use dqo_parallel::PersistentPool;
+use dqo_plan::expr::AggExpr;
+use dqo_plan::{AggFunc, LogicalPlan};
+use dqo_storage::datagen::DatasetSpec;
+use dqo_storage::Relation;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Workload shape for one concurrency run.
+#[derive(Debug, Clone)]
+pub struct ConcurrencyConfig {
+    /// Rows in the (dense, unsorted) table every session queries.
+    pub rows: usize,
+    /// Distinct grouping keys.
+    pub groups: usize,
+    /// Client sessions sharing the pool.
+    pub clients: usize,
+    /// Queries each client fires back to back.
+    pub queries_per_client: usize,
+    /// Workers in the shared pool.
+    pub pool_threads: usize,
+    /// Admission bound on concurrently executing queries.
+    pub max_inflight: usize,
+}
+
+impl Default for ConcurrencyConfig {
+    fn default() -> Self {
+        ConcurrencyConfig {
+            rows: 200_000,
+            groups: 512,
+            clients: 8,
+            queries_per_client: 20,
+            pool_threads: dqo_parallel::default_threads().max(2),
+            max_inflight: 4,
+        }
+    }
+}
+
+/// What one concurrency run measured.
+#[derive(Debug, Clone)]
+pub struct ConcurrencyReport {
+    /// The configuration that produced this report.
+    pub config: ConcurrencyConfig,
+    /// Median per-query latency, milliseconds.
+    pub p50_ms: f64,
+    /// 95th-percentile per-query latency, milliseconds.
+    pub p95_ms: f64,
+    /// 99th-percentile per-query latency, milliseconds.
+    pub p99_ms: f64,
+    /// Completed queries per second over the whole run.
+    pub throughput_qps: f64,
+    /// High-water mark of concurrently admitted queries — must stay
+    /// ≤ `max_inflight` or admission control is broken.
+    pub peak_inflight: usize,
+    /// Every query result was bit-identical to the serial oracle.
+    pub oracle_ok: bool,
+}
+
+/// The workload query: `SELECT key, COUNT(*), SUM(key) GROUP BY key`.
+fn workload_query() -> Arc<LogicalPlan> {
+    LogicalPlan::group_by(
+        LogicalPlan::scan("t"),
+        "key",
+        vec![
+            AggExpr::count_star("n"),
+            AggExpr::on(AggFunc::Sum, "key", "s"),
+        ],
+    )
+}
+
+fn table(cfg: &ConcurrencyConfig) -> Relation {
+    DatasetSpec::new(cfg.rows, cfg.groups)
+        .sorted(false)
+        .dense(true)
+        .seed(0xC0FFEE)
+        .relation()
+        .expect("datagen")
+}
+
+/// Bit-exact encoding of a grouping result: both the serial SPHG/HG
+/// path and the parallel merge emit ascending keys, so equal relations
+/// must render identically column by column.
+fn encode(rel: &Relation) -> String {
+    let mut out = String::new();
+    for i in 0..rel.schema().width() {
+        out.push_str(&format!("{:?};", rel.column_at(i).expect("column")));
+    }
+    out
+}
+
+/// Percentile over raw latencies (nearest-rank on the sorted sample:
+/// the smallest value with at least `p`% of the sample at or below it).
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Run the study: M sessions × K queries over one shared pool.
+pub fn run(cfg: ConcurrencyConfig) -> ConcurrencyReport {
+    let rel = table(&cfg);
+    let query = workload_query();
+
+    // Serial oracle: one session, one thread, no pool involvement.
+    let serial = Engine::new().with_threads(1);
+    serial.register_table("t", rel.clone());
+    let reference = encode(
+        &serial
+            .query(&query)
+            .expect("serial oracle query")
+            .output
+            .relation,
+    );
+
+    let pool = Arc::new(PersistentPool::with_admission(
+        cfg.pool_threads,
+        cfg.max_inflight,
+    ));
+    let wall = Instant::now();
+    let mut latencies: Vec<f64> = Vec::with_capacity(cfg.clients * cfg.queries_per_client);
+    let mut oracle_ok = true;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for _ in 0..cfg.clients {
+            let pool = Arc::clone(&pool);
+            let rel = rel.clone();
+            let query = Arc::clone(&query);
+            let reference = reference.as_str();
+            let queries = cfg.queries_per_client;
+            handles.push(scope.spawn(move || {
+                let session = Engine::with_shared_pool(pool);
+                session.register_table("t", rel);
+                let mut lats = Vec::with_capacity(queries);
+                let mut ok = true;
+                for _ in 0..queries {
+                    let start = Instant::now();
+                    let result = session.query(&query).expect("client query");
+                    lats.push(start.elapsed().as_secs_f64() * 1e3);
+                    ok &= encode(&result.output.relation) == reference;
+                }
+                (lats, ok)
+            }));
+        }
+        for h in handles {
+            let (lats, ok) = h.join().expect("client thread");
+            latencies.extend(lats);
+            oracle_ok &= ok;
+        }
+    });
+    let wall_secs = wall.elapsed().as_secs_f64();
+
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+    let total = latencies.len();
+    ConcurrencyReport {
+        p50_ms: percentile(&latencies, 50.0),
+        p95_ms: percentile(&latencies, 95.0),
+        p99_ms: percentile(&latencies, 99.0),
+        throughput_qps: total as f64 / wall_secs.max(1e-9),
+        peak_inflight: pool.admission().peak_inflight(),
+        oracle_ok,
+        config: cfg,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let xs: Vec<f64> = (1..=20).map(f64::from).collect();
+        assert_eq!(percentile(&xs, 50.0), 10.0);
+        assert_eq!(percentile(&xs, 95.0), 19.0);
+        assert_eq!(percentile(&xs, 99.0), 20.0);
+        assert_eq!(percentile(&[5.0, 9.0], 50.0), 5.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn small_run_is_sound() {
+        let report = run(ConcurrencyConfig {
+            rows: 20_000,
+            groups: 64,
+            clients: 3,
+            queries_per_client: 2,
+            pool_threads: 2,
+            max_inflight: 2,
+        });
+        assert!(report.oracle_ok, "results diverged from the serial oracle");
+        assert!(report.peak_inflight <= 2, "admission bound violated");
+        assert!(report.p50_ms.is_finite() && report.p50_ms >= 0.0);
+        assert!(report.p99_ms >= report.p50_ms);
+        assert!(report.throughput_qps > 0.0);
+    }
+}

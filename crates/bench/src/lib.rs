@@ -12,6 +12,7 @@
 //! | Unnest-depth / optimisation-time ablation (E8) | `depth_ablation` | `opt_time` |
 //! | Hash-table molecule ablation (E9) | `molecules` | `hashtable_molecules` |
 //! | Parallel scaling (morsel-driven HJ/SPHG) | `scaling` | `scaling` |
+//! | Inter-query concurrency (shared pool + admission) | `concurrency` | — |
 //!
 //! Binaries print the same rows/series the paper reports, plus `--csv`.
 //! Dataset sizes default to laptop scale; `--full` switches to the paper's
@@ -20,6 +21,7 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod concurrency;
 pub mod fig4;
 pub mod fig5;
 pub mod report;

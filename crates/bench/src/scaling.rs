@@ -6,7 +6,8 @@ use dqo_exec::aggregate::CountSum;
 use dqo_exec::grouping::{execute_grouping, GroupingAlgorithm, GroupingHints};
 use dqo_exec::join::hj::hash_join;
 use dqo_parallel::{
-    parallel_grouping, parallel_hash_join, GroupingStrategy, ThreadPool, DEFAULT_MORSEL_ROWS,
+    parallel_grouping, parallel_hash_join, GroupingStrategy, PersistentPool, ThreadPool,
+    DEFAULT_MORSEL_ROWS,
 };
 use dqo_storage::datagen::{DatasetSpec, ForeignKeySpec};
 use std::time::Instant;
@@ -73,7 +74,9 @@ pub fn run(rows: usize, groups: usize, threads: &[usize], reps: usize) -> Vec<Sc
         speedup: 1.0,
     });
     for &t in threads {
-        let pool = ThreadPool::new(t);
+        // A dedicated pool sized to this configuration, so the measured
+        // thread count is physical regardless of the global pool's size.
+        let pool = ThreadPool::with_pool(t, std::sync::Arc::new(PersistentPool::new(t)));
         let ms = best_of(reps, || {
             parallel_grouping(
                 &pool,
@@ -122,9 +125,10 @@ pub fn run(rows: usize, groups: usize, threads: &[usize], reps: usize) -> Vec<Sc
         speedup: 1.0,
     });
     for &t in threads {
-        let pool = ThreadPool::new(t);
+        let pool = ThreadPool::with_pool(t, std::sync::Arc::new(PersistentPool::new(t)));
         let ms = best_of(reps, || {
             parallel_hash_join(&pool, &lk, &rk, DEFAULT_MORSEL_ROWS)
+                .expect("parallel HJ")
                 .0
                 .len() as u64
         });

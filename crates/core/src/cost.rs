@@ -26,20 +26,30 @@ pub fn log2(x: f64) -> f64 {
     }
 }
 
-/// Per-worker startup overhead of a morsel-driven parallel operator, in
-/// the model's tuple-operation units: spawning + scheduling one scoped
-/// worker costs about as much as streaming this many tuples. Charging it
-/// per worker is what makes the optimiser keep small inputs serial.
-pub const PARALLEL_STARTUP_TUPLES: f64 = 10_000.0;
+/// Per-batch overhead of dispatching a parallel operator onto the
+/// persistent pool, in the model's tuple-operation units: seeding the
+/// batch queues, taking the submit lock, and the final join handshake
+/// cost about as much as streaming this many tuples.
+pub const PARALLEL_BATCH_TUPLES: f64 = 1_000.0;
+
+/// Per-worker dispatch overhead of a parallel batch: waking one parked
+/// pool worker (condvar signal + queue pop + cold caches) costs about
+/// this many tuple operations. Before the persistent pool this term was
+/// a full `std::thread` spawn — 10 000 tuples — so the amortisation is
+/// what lets the optimiser parallelise ~4× smaller inputs; charging the
+/// remainder per worker is what still keeps genuinely small inputs
+/// serial.
+pub const PARALLEL_DISPATCH_TUPLES: f64 = 2_500.0;
 
 /// A cost model over the paper's algorithm families.
 ///
 /// The `parallel_*` methods extend Table 2 to DOP-annotated operators:
 /// the work term divides by the degree of parallelism, a startup term
-/// charges [`PARALLEL_STARTUP_TUPLES`] per worker, and a merge term
-/// charges the post-aggregation combine (per-worker partial groups for
-/// grouping, the extra partition materialisation for joins). Plans only
-/// go parallel when that sum beats the serial cost.
+/// charges [`PARALLEL_BATCH_TUPLES`] once plus
+/// [`PARALLEL_DISPATCH_TUPLES`] per worker, and a merge term charges the
+/// post-aggregation combine (per-worker partial groups for grouping, the
+/// extra partition materialisation for joins). Plans only go parallel
+/// when that sum beats the serial cost.
 pub trait CostModel: Send + Sync {
     /// Cost of grouping `rows` input tuples into `groups` groups.
     fn grouping(&self, algo: GroupingImpl, rows: f64, groups: f64) -> f64;
@@ -57,7 +67,9 @@ pub trait CostModel: Send + Sync {
     /// Startup + merge overhead of running any operator at `dop` workers,
     /// where merging materialises `merge_tuples` extra tuples.
     fn parallel_overhead(&self, dop: usize, merge_tuples: f64) -> f64 {
-        self.scan(PARALLEL_STARTUP_TUPLES) * dop as f64 + self.scan(merge_tuples)
+        self.scan(PARALLEL_BATCH_TUPLES)
+            + self.scan(PARALLEL_DISPATCH_TUPLES) * dop as f64
+            + self.scan(merge_tuples)
     }
 
     /// Grouping at degree `dop`: thread-local aggregation divides the
@@ -297,8 +309,10 @@ mod tests {
 
     #[test]
     fn parallelism_only_pays_on_large_inputs() {
-        // Small input: startup dominates → serial HG is cheaper.
-        let small = 5_000.0;
+        // Small input: dispatch overhead dominates → serial HG is
+        // cheaper. (The threshold sits ~4× lower than under the scoped
+        // spawn scheduler: the persistent pool amortised the spawn away.)
+        let small = 2_000.0;
         assert!(
             M.parallel_grouping(GroupingImpl::Hg, small, 64.0, 4)
                 > M.grouping(GroupingImpl::Hg, small, 64.0)
@@ -318,18 +332,40 @@ mod tests {
     #[test]
     fn parallel_join_and_scan_overheads() {
         let (l, r) = (1e6, 4e6);
+        let overhead4 = PARALLEL_BATCH_TUPLES + 4.0 * PARALLEL_DISPATCH_TUPLES;
         let serial = M.join(JoinImpl::Hj, l, r, 100.0);
         let par = M.parallel_join(JoinImpl::Hj, l, r, 100.0, 4);
-        // work/4 + 4·startup + |L| partition pass
-        assert!((par - (serial / 4.0 + 4.0 * PARALLEL_STARTUP_TUPLES + l)).abs() < 1e-6);
+        // work/4 + batch + 4·dispatch + |L| partition pass
+        assert!((par - (serial / 4.0 + overhead4 + l)).abs() < 1e-6);
         assert!(par < serial);
-        // SPHJ: serial build (|L|) + probe/4 + startup, no partition pass.
+        // SPHJ: serial build (|L|) + probe/4 + overhead, no partition pass.
         let sphj = M.parallel_join(JoinImpl::Sphj, l, r, 100.0, 4);
-        assert!((sphj - (l + r / 4.0 + 4.0 * PARALLEL_STARTUP_TUPLES)).abs() < 1e-6);
+        assert!((sphj - (l + r / 4.0 + overhead4)).abs() < 1e-6);
         assert!(sphj < M.join(JoinImpl::Sphj, l, r, 100.0));
         assert_eq!(M.parallel_scan(100.0, 1), 100.0);
         assert!(M.parallel_scan(100.0, 4) > 100.0, "tiny scans stay serial");
         assert!(M.parallel_scan(1e8, 4) < 1e8);
+    }
+
+    #[test]
+    fn amortised_dispatch_is_cheaper_than_a_spawn_but_not_free() {
+        // The persistent pool must lower the parallelism break-even point
+        // (vs the old 10k-tuple spawn) without eliminating it: at 5k rows
+        // a dense SPHG stays serial for every DOP the engine offers.
+        let rows = 5_000.0;
+        let serial = M.grouping(GroupingImpl::Sphg, rows, 64.0);
+        for dop in [2, 4, 8, 16] {
+            assert!(
+                M.parallel_grouping(GroupingImpl::Sphg, rows, 64.0, dop) > serial,
+                "dop={dop}"
+            );
+        }
+        // But a 20k-row SPHG — well below the old spawn-dominated
+        // break-even (~54k rows at dop 4, when each worker cost a 10k-
+        // tuple spawn) — now parallelises profitably.
+        let rows = 20_000.0;
+        let serial = M.grouping(GroupingImpl::Sphg, rows, 64.0);
+        assert!(M.parallel_grouping(GroupingImpl::Sphg, rows, 64.0, 4) < serial);
     }
 
     #[test]

@@ -9,11 +9,13 @@ use crate::av::{materialise_av, AvCatalog};
 use crate::avsp::{self, AvspSolution, Solver, WorkloadQuery};
 use crate::catalog::Catalog;
 use crate::cost::TupleCostModel;
-use crate::executor::{execute_with_avs, ExecOutput};
+use crate::executor::{execute_on_pool, execute_with_avs, ExecOutput};
 use crate::optimizer::{optimize_full_dop, OptimizerMode, PlannedQuery, PropertyModel};
 use crate::Result;
+use dqo_parallel::PersistentPool;
 use dqo_plan::LogicalPlan;
 use dqo_storage::Relation;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// A planned, executed query with its measurements.
@@ -28,6 +30,17 @@ pub struct QueryResult {
 }
 
 /// The end-to-end engine.
+///
+/// One engine is one *session*. Every session executes its parallel
+/// batches on a persistent [`PersistentPool`] (by default the
+/// process-wide shared pool); [`Engine::with_shared_pool`] additionally
+/// turns on **shared-pool serving mode**, where N sessions multiplex one
+/// explicitly sized pool and every [`Engine::query`] passes the pool's
+/// [admission controller](dqo_parallel::AdmissionController): at most
+/// `max_inflight` queries run concurrently (FIFO beyond that) and each
+/// admitted query's DOP is clamped to its fair share of the workers
+/// under load. Results are unaffected — the morsel runtime is
+/// deterministic across DOPs — only latency trades.
 #[derive(Debug)]
 pub struct Engine {
     catalog: Catalog,
@@ -37,25 +50,53 @@ pub struct Engine {
     /// Degree of parallelism offered to the optimiser; 1 disables the
     /// morsel-driven parallel runtime entirely.
     threads: usize,
+    /// `Some` = shared-pool serving mode: parallel batches dispatch onto
+    /// this explicit pool and queries pass its admission controller.
+    /// `None` = the process-global pool, resolved lazily at the first
+    /// Exchange node so serial sessions never spawn pool workers.
+    pool: Option<Arc<PersistentPool>>,
 }
 
 impl Default for Engine {
-    /// DQO mode at the machine's available parallelism.
+    /// DQO mode at the default parallelism (`DQO_THREADS` env override,
+    /// else the machine's available parallelism). No pool workers are
+    /// spawned until a plan actually carries an Exchange node.
     fn default() -> Self {
         Engine {
             catalog: Catalog::default(),
             avs: AvCatalog::default(),
             mode: OptimizerMode::default(),
             pmodel: PropertyModel::default(),
-            threads: dqo_parallel::ThreadPool::with_default_parallelism().threads(),
+            threads: dqo_parallel::default_threads(),
+            pool: None,
         }
     }
 }
 
 impl Engine {
-    /// A fresh engine in DQO mode, parallelism at available hardware.
+    /// A fresh engine in DQO mode, parallelism at the default
+    /// (`DQO_THREADS` env override, else available hardware).
     pub fn new() -> Self {
         Engine::default()
+    }
+
+    /// A session multiplexing a shared pool in serving mode: parallelism
+    /// defaults to the pool's worker count and every `query` passes the
+    /// pool's admission controller (bounded in-flight queries, FIFO
+    /// overflow, per-query DOP clamp under load).
+    pub fn with_shared_pool(pool: Arc<PersistentPool>) -> Self {
+        Engine {
+            threads: pool.threads(),
+            pool: Some(pool),
+            ..Engine::default()
+        }
+    }
+
+    /// The persistent pool this engine's parallel batches run on (the
+    /// process-global pool unless in shared-pool mode). Calling this
+    /// forces the global pool into existence for a default engine.
+    pub fn pool(&self) -> Arc<PersistentPool> {
+        self.pool.clone().unwrap_or_else(PersistentPool::global)
     }
 
     /// Builder: cap the degree of parallelism (1 = serial execution).
@@ -108,8 +149,14 @@ impl Engine {
         self.catalog.register(name, relation);
     }
 
-    /// Optimise a logical plan (no execution).
+    /// Optimise a logical plan (no execution). Plans at the session's
+    /// full configured DOP; in shared-pool mode the DOP actually granted
+    /// to a `query` may be lower under load.
     pub fn plan(&self, logical: &LogicalPlan) -> Result<PlannedQuery> {
+        self.plan_with_dop(logical, self.threads)
+    }
+
+    fn plan_with_dop(&self, logical: &LogicalPlan, dop: usize) -> Result<PlannedQuery> {
         optimize_full_dop(
             logical,
             &self.catalog,
@@ -117,15 +164,25 @@ impl Engine {
             &TupleCostModel,
             Some(&self.avs),
             self.pmodel,
-            self.threads,
+            dop,
         )
     }
 
-    /// Optimise and execute.
+    /// Optimise and execute. In shared-pool mode this blocks in the
+    /// pool's FIFO admission queue while `max_inflight` queries are
+    /// already running, and plans at the admission-granted DOP.
     pub fn query(&self, logical: &LogicalPlan) -> Result<QueryResult> {
-        let planned = self.plan(logical)?;
+        let permit = self
+            .pool
+            .as_ref()
+            .map(|pool| pool.admission().admit(self.threads));
+        let dop = permit.as_ref().map_or(self.threads, |p| p.dop());
+        let planned = self.plan_with_dop(logical, dop)?;
         let start = Instant::now();
-        let output = execute_with_avs(&planned.plan, &self.catalog, Some(&self.avs))?;
+        let output = match &self.pool {
+            Some(pool) => execute_on_pool(&planned.plan, &self.catalog, Some(&self.avs), pool)?,
+            None => execute_with_avs(&planned.plan, &self.catalog, Some(&self.avs))?,
+        };
         Ok(QueryResult {
             planned,
             output,
@@ -303,6 +360,41 @@ mod tests {
             crate::executor::sorted_rows(&serial.output.relation)
         );
         assert!(par.planned.est_cost < serial.planned.est_cost);
+    }
+
+    #[test]
+    fn shared_pool_mode_admits_and_matches_serial() {
+        let pool = Arc::new(PersistentPool::with_admission(2, 2));
+        let register = |engine: &Engine| {
+            engine.register_table(
+                "t",
+                DatasetSpec::new(200_000, 256)
+                    .sorted(false)
+                    .dense(true)
+                    .relation()
+                    .unwrap(),
+            );
+        };
+        let serial = Engine::new().with_threads(1);
+        register(&serial);
+        let reference = serial.query(&count_sum_query()).unwrap();
+
+        let session = Engine::with_shared_pool(Arc::clone(&pool));
+        assert_eq!(session.threads(), 2);
+        register(&session);
+        let result = session.query(&count_sum_query()).unwrap();
+        assert!(
+            result.planned.plan.explain().contains("Exchange"),
+            "200k rows at dop 2 must parallelise: {}",
+            result.planned.plan.explain()
+        );
+        assert_eq!(
+            crate::executor::sorted_rows(&result.output.relation),
+            crate::executor::sorted_rows(&reference.output.relation)
+        );
+        // The admission controller saw the query through.
+        assert_eq!(pool.admission().inflight(), 0);
+        assert!(pool.admission().peak_inflight() >= 1);
     }
 
     #[test]

@@ -59,6 +59,12 @@ impl From<ExecError> for CoreError {
     }
 }
 
+impl From<dqo_parallel::PoolError> for CoreError {
+    fn from(e: dqo_parallel::PoolError) -> Self {
+        CoreError::Exec(e.into())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

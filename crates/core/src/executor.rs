@@ -15,11 +15,12 @@ use dqo_exec::grouping::{execute_grouping, GroupingAlgorithm, GroupingHints};
 use dqo_exec::join::{execute_join as run_join, JoinAlgorithm, JoinHints};
 use dqo_exec::pipeline::{grouping_blocking, join_blocking, Blocking, PipelineStats};
 use dqo_exec::sort::{argsort, radix_sort_pairs_by_key};
-use dqo_parallel::{GroupingStrategy, ThreadPool, DEFAULT_MORSEL_ROWS};
+use dqo_parallel::{GroupingStrategy, PersistentPool, ThreadPool, DEFAULT_MORSEL_ROWS};
 use dqo_plan::expr::{AggExpr, AggFunc, Predicate};
 use dqo_plan::{GroupingImpl, JoinImpl, LogicalPlan, PhysicalPlan};
 use dqo_storage::{Column, DataType, Field, Relation, Schema, Value};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// The result of executing a plan.
 #[derive(Debug, Clone)]
@@ -38,13 +39,44 @@ pub fn execute(plan: &PhysicalPlan, catalog: &Catalog) -> Result<ExecOutput> {
 /// Execute, reusing materialised Algorithmic Views where the plan was
 /// optimised against them (prebuilt SPH join indexes are probed instead of
 /// rebuilt; relation-shaped AVs are plain catalog tables already).
+/// Exchange nodes dispatch onto the process-wide shared pool, resolved
+/// lazily — a plan with no Exchange never spawns pool workers; use
+/// [`execute_on_pool`] to target a specific pool.
 pub fn execute_with_avs(
     plan: &PhysicalPlan,
     catalog: &Catalog,
     avs: Option<&AvCatalog>,
 ) -> Result<ExecOutput> {
+    exec_root(plan, catalog, avs, None)
+}
+
+/// Execute with Exchange nodes dispatching onto `pool` — the engine's
+/// shared-pool serving mode routes every session's batches through here
+/// so they multiplex one set of persistent workers.
+pub fn execute_on_pool(
+    plan: &PhysicalPlan,
+    catalog: &Catalog,
+    avs: Option<&AvCatalog>,
+    pool: &Arc<PersistentPool>,
+) -> Result<ExecOutput> {
+    exec_root(plan, catalog, avs, Some(pool))
+}
+
+fn exec_root(
+    plan: &PhysicalPlan,
+    catalog: &Catalog,
+    avs: Option<&AvCatalog>,
+    preset: Option<&Arc<PersistentPool>>,
+) -> Result<ExecOutput> {
+    // The pool is resolved only if the plan actually reaches an Exchange
+    // node, so serial plans never force the process-global pool (and its
+    // parked worker threads) into existence.
+    let resolve = move || match preset {
+        Some(pool) => Arc::clone(pool),
+        None => PersistentPool::global(),
+    };
     let mut stats = PipelineStats::default();
-    let relation = exec_node(plan, catalog, avs, &mut stats)?;
+    let relation = exec_node(plan, catalog, avs, &resolve, &mut stats)?;
     Ok(ExecOutput {
         relation,
         pipeline: stats,
@@ -55,6 +87,7 @@ fn exec_node(
     plan: &PhysicalPlan,
     catalog: &Catalog,
     avs: Option<&AvCatalog>,
+    pool: &dyn Fn() -> Arc<PersistentPool>,
     stats: &mut PipelineStats,
 ) -> Result<Relation> {
     match plan {
@@ -64,13 +97,13 @@ fn exec_node(
             Ok(rel)
         }
         PhysicalPlan::Filter { input, predicate } => {
-            let rel = exec_node(input, catalog, avs, stats)?;
+            let rel = exec_node(input, catalog, avs, pool, stats)?;
             let mask = eval_predicate(&rel, predicate)?;
             stats.record(Blocking::Pipelined, rel.rows() as u64);
             Ok(rel.filter(&mask)?)
         }
         PhysicalPlan::Project { input, columns } => {
-            let rel = exec_node(input, catalog, avs, stats)?;
+            let rel = exec_node(input, catalog, avs, pool, stats)?;
             let names: Vec<&str> = columns.iter().map(String::as_str).collect();
             Ok(rel.project(&names)?)
         }
@@ -79,7 +112,7 @@ fn exec_node(
             key,
             molecule,
         } => {
-            let rel = exec_node(input, catalog, avs, stats)?;
+            let rel = exec_node(input, catalog, avs, pool, stats)?;
             let keys = rel.column(key)?.as_u32()?;
             let order: Vec<usize> = match molecule {
                 dqo_plan::SortMolecule::Comparison => {
@@ -115,8 +148,8 @@ fn exec_node(
                     }),
                 _ => None,
             };
-            let l = exec_node(left, catalog, avs, stats)?;
-            let r = exec_node(right, catalog, avs, stats)?;
+            let l = exec_node(left, catalog, avs, pool, stats)?;
+            let r = exec_node(right, catalog, avs, pool, stats)?;
             if let Some(idx) = prebuilt {
                 let rk = r.column(right_key)?.as_u32()?;
                 let result = idx.probe(rk);
@@ -132,15 +165,17 @@ fn exec_node(
             algo,
             molecules,
         } => {
-            let rel = exec_node(input, catalog, avs, stats)?;
+            let rel = exec_node(input, catalog, avs, pool, stats)?;
             exec_group_by(&rel, key, aggs, *algo, *molecules, stats)
         }
         PhysicalPlan::Limit { input, n } => {
-            let rel = exec_node(input, catalog, avs, stats)?;
+            let rel = exec_node(input, catalog, avs, pool, stats)?;
             Ok(take_rows(&rel, *n))
         }
         PhysicalPlan::Exchange { input, dop } => {
-            let pool = ThreadPool::new(*dop);
+            // A cheap handle: DOP for this Exchange, dispatch onto the
+            // session's persistent pool.
+            let tp = ThreadPool::with_pool(*dop, pool());
             match input.as_ref() {
                 PhysicalPlan::GroupBy {
                     input: child,
@@ -149,8 +184,8 @@ fn exec_node(
                     algo,
                     ..
                 } if matches!(algo, GroupingImpl::Hg | GroupingImpl::Sphg) => {
-                    let rel = exec_node(child, catalog, avs, stats)?;
-                    exec_group_by_parallel(&rel, key, aggs, *algo, &pool, stats)
+                    let rel = exec_node(child, catalog, avs, pool, stats)?;
+                    exec_group_by_parallel(&rel, key, aggs, *algo, &tp, stats)
                 }
                 PhysicalPlan::Join {
                     left,
@@ -159,20 +194,20 @@ fn exec_node(
                     right_key,
                     algo,
                 } if matches!(algo, JoinImpl::Hj | JoinImpl::Sphj) => {
-                    let l = exec_node(left, catalog, avs, stats)?;
-                    let r = exec_node(right, catalog, avs, stats)?;
-                    exec_join_parallel(&l, &r, left_key, right_key, *algo, &pool, stats)
+                    let l = exec_node(left, catalog, avs, pool, stats)?;
+                    let r = exec_node(right, catalog, avs, pool, stats)?;
+                    exec_join_parallel(&l, &r, left_key, right_key, *algo, &tp, stats)
                 }
                 PhysicalPlan::Filter {
                     input: child,
                     predicate,
                 } => {
-                    let rel = exec_node(child, catalog, avs, stats)?;
-                    exec_filter_parallel(&rel, predicate, &pool, stats)
+                    let rel = exec_node(child, catalog, avs, pool, stats)?;
+                    exec_filter_parallel(&rel, predicate, &tp, stats)
                 }
                 // Anything the parallel runtime does not cover degrades
                 // gracefully to the serial executor.
-                other => exec_node(other, catalog, avs, stats),
+                other => exec_node(other, catalog, avs, pool, stats),
             }
         }
     }
@@ -361,7 +396,7 @@ fn exec_join_parallel(
                 PipelineStats::default(),
             ),
         },
-        _ => dqo_parallel::parallel_hash_join(pool, lk, rk, DEFAULT_MORSEL_ROWS),
+        _ => dqo_parallel::parallel_hash_join(pool, lk, rk, DEFAULT_MORSEL_ROWS)?,
     };
     stats.merge(&par_stats);
     assemble_join_output(l, r, &result)
@@ -377,7 +412,7 @@ fn exec_filter_parallel(
 ) -> Result<Relation> {
     let chunks = pool.map_morsels(rel.rows(), DEFAULT_MORSEL_ROWS, |m| {
         eval_predicate_range(rel, predicate, m.start, m.end)
-    });
+    })?;
     let mut mask = Vec::with_capacity(rel.rows());
     for chunk in chunks {
         mask.extend_from_slice(&chunk?);

@@ -26,6 +26,9 @@ pub enum ExecError {
     /// The requested algorithm needs information that was not provided
     /// (e.g. BSG without the known key set).
     MissingInput(String),
+    /// The parallel scheduler failed the batch (e.g. a worker task
+    /// panicked); surfaced to the submitting query only.
+    Scheduler(String),
 }
 
 impl fmt::Display for ExecError {
@@ -39,6 +42,7 @@ impl fmt::Display for ExecError {
             }
             ExecError::Storage(e) => write!(f, "storage error: {e}"),
             ExecError::MissingInput(msg) => write!(f, "missing input: {msg}"),
+            ExecError::Scheduler(msg) => write!(f, "scheduler error: {msg}"),
         }
     }
 }

@@ -1,0 +1,196 @@
+//! Admission control for inter-query concurrency.
+//!
+//! A shared [`crate::PersistentPool`] serving N sessions needs a policy
+//! for heavy traffic: without one, every arriving query fans out at its
+//! full DOP, oversubscribing the workers and collapsing tail latency for
+//! everyone. The [`AdmissionController`] applies the classic two knobs:
+//!
+//! * **bounded in-flight queries** — at most `max_inflight` queries
+//!   execute concurrently; arrivals beyond that wait in a strict FIFO
+//!   queue (ticket order), so under overload latency grows by queueing
+//!   delay instead of by context-switch thrash, and no query starves;
+//! * **per-query DOP clamp under load** — an admitted query's granted
+//!   DOP is its fair share of the workers, `pool_threads / inflight`
+//!   (min 1), whenever it shares the pool; a query admitted to an idle
+//!   pool keeps its full requested DOP.
+//!
+//! Determinism is unaffected: the morsel runtime produces bit-identical
+//! results at any DOP, so the clamp trades only latency, never answers.
+
+use std::sync::{Condvar, Mutex};
+
+/// See the module docs. Cheap to share behind the pool it guards.
+#[derive(Debug)]
+pub struct AdmissionController {
+    max_inflight: usize,
+    pool_threads: usize,
+    state: Mutex<AdmState>,
+    cv: Condvar,
+}
+
+#[derive(Debug)]
+struct AdmState {
+    /// Next arrival ticket to hand out.
+    next_ticket: u64,
+    /// Next ticket allowed to be admitted (strict FIFO).
+    serving: u64,
+    /// Queries currently admitted and not yet released.
+    inflight: usize,
+    /// High-water mark of `inflight` (observability for tests/benches).
+    peak_inflight: usize,
+}
+
+/// An admitted query's slot. Holds the admission until dropped; carries
+/// the granted degree of parallelism.
+#[derive(Debug)]
+pub struct AdmissionPermit<'a> {
+    controller: &'a AdmissionController,
+    dop: usize,
+}
+
+impl AdmissionPermit<'_> {
+    /// The DOP granted at admission time (requested DOP, clamped to the
+    /// query's fair share of the pool while other queries are in flight).
+    pub fn dop(&self) -> usize {
+        self.dop
+    }
+}
+
+impl Drop for AdmissionPermit<'_> {
+    fn drop(&mut self) {
+        let mut s = self.controller.state.lock().expect("admission state");
+        s.inflight -= 1;
+        drop(s);
+        self.controller.cv.notify_all();
+    }
+}
+
+impl AdmissionController {
+    /// A controller admitting at most `max_inflight` (clamped to ≥ 1)
+    /// concurrent queries onto a pool of `pool_threads` workers.
+    pub fn new(max_inflight: usize, pool_threads: usize) -> Self {
+        AdmissionController {
+            max_inflight: max_inflight.max(1),
+            pool_threads: pool_threads.max(1),
+            state: Mutex::new(AdmState {
+                next_ticket: 0,
+                serving: 0,
+                inflight: 0,
+                peak_inflight: 0,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Block until admitted (FIFO), then return the permit carrying the
+    /// granted DOP. Dropping the permit releases the slot.
+    pub fn admit(&self, requested_dop: usize) -> AdmissionPermit<'_> {
+        let mut s = self.state.lock().expect("admission state");
+        let ticket = s.next_ticket;
+        s.next_ticket += 1;
+        while !(s.serving == ticket && s.inflight < self.max_inflight) {
+            s = self.cv.wait(s).expect("admission state");
+        }
+        s.serving += 1;
+        s.inflight += 1;
+        s.peak_inflight = s.peak_inflight.max(s.inflight);
+        let dop = Self::granted_dop(requested_dop, self.pool_threads, s.inflight);
+        drop(s);
+        // Another waiter may have been blocked purely on ticket order.
+        self.cv.notify_all();
+        AdmissionPermit {
+            controller: self,
+            dop,
+        }
+    }
+
+    /// The clamp rule: full requested DOP on an otherwise idle pool,
+    /// otherwise the fair share `pool_threads / inflight`, at least 1.
+    fn granted_dop(requested: usize, pool_threads: usize, inflight: usize) -> usize {
+        let requested = requested.max(1);
+        if inflight <= 1 {
+            requested
+        } else {
+            requested.min((pool_threads / inflight).max(1))
+        }
+    }
+
+    /// Queries currently admitted.
+    pub fn inflight(&self) -> usize {
+        self.state.lock().expect("admission state").inflight
+    }
+
+    /// High-water mark of concurrently admitted queries.
+    pub fn peak_inflight(&self) -> usize {
+        self.state.lock().expect("admission state").peak_inflight
+    }
+
+    /// Queries waiting in the FIFO queue right now.
+    pub fn queued(&self) -> usize {
+        let s = self.state.lock().expect("admission state");
+        (s.next_ticket - s.serving) as usize
+    }
+
+    /// The in-flight bound.
+    pub fn max_inflight(&self) -> usize {
+        self.max_inflight
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn grants_full_dop_when_idle_and_fair_share_under_load() {
+        let ctl = AdmissionController::new(8, 4);
+        let p1 = ctl.admit(4);
+        assert_eq!(p1.dop(), 4, "idle pool: full DOP");
+        let p2 = ctl.admit(4);
+        assert_eq!(p2.dop(), 2, "two in flight on 4 workers: fair share 2");
+        let p3 = ctl.admit(4);
+        assert_eq!(p3.dop(), 1, "4/3 rounds down to 1");
+        let p4 = ctl.admit(1);
+        assert_eq!(p4.dop(), 1, "never below 1");
+        drop((p1, p2, p3, p4));
+        assert_eq!(ctl.inflight(), 0);
+        assert_eq!(ctl.peak_inflight(), 4);
+    }
+
+    #[test]
+    fn bounds_inflight_and_admits_fifo_after_release() {
+        let ctl = Arc::new(AdmissionController::new(2, 4));
+        let p1 = ctl.admit(2);
+        let _p2 = ctl.admit(2);
+        assert_eq!(ctl.inflight(), 2);
+
+        let (tx, rx) = mpsc::channel();
+        let c = Arc::clone(&ctl);
+        let waiter = std::thread::spawn(move || {
+            let _p3 = c.admit(2);
+            tx.send(()).unwrap();
+        });
+        // The third query must be queued, not admitted.
+        assert!(
+            rx.recv_timeout(Duration::from_millis(150)).is_err(),
+            "admission exceeded max_inflight"
+        );
+        assert_eq!(ctl.queued(), 1);
+        drop(p1);
+        rx.recv_timeout(Duration::from_secs(10))
+            .expect("waiter admitted after a release");
+        waiter.join().unwrap();
+        assert!(ctl.peak_inflight() <= 2);
+    }
+
+    #[test]
+    fn clamps_are_clamped_to_sane_minimums() {
+        let ctl = AdmissionController::new(0, 0); // degenerate config
+        assert_eq!(ctl.max_inflight(), 1);
+        let p = ctl.admit(0);
+        assert_eq!(p.dop(), 1);
+    }
+}

@@ -10,6 +10,7 @@
 use crate::morsel::Morsel;
 use crate::pool::ThreadPool;
 use dqo_exec::pipeline::{Blocking, PipelineStats};
+use dqo_exec::ExecError;
 
 /// Evaluate a selection mask over `rows` rows in parallel. `eval` maps
 /// one morsel to its mask (`mask.len() == morsel.len()`).
@@ -18,7 +19,7 @@ pub fn parallel_mask<F>(
     rows: usize,
     morsel_rows: usize,
     eval: F,
-) -> (Vec<bool>, PipelineStats)
+) -> Result<(Vec<bool>, PipelineStats), ExecError>
 where
     F: Fn(Morsel) -> Vec<bool> + Sync,
 {
@@ -26,14 +27,14 @@ where
         let mask = eval(m);
         debug_assert_eq!(mask.len(), m.len(), "mask must cover the morsel");
         mask
-    });
+    })?;
     let mut mask = Vec::with_capacity(rows);
     for chunk in chunks {
         mask.extend_from_slice(&chunk);
     }
     let mut stats = PipelineStats::default();
     stats.record(Blocking::Pipelined, rows as u64);
-    (mask, stats)
+    Ok((mask, stats))
 }
 
 /// Fast path: compare a `u32` column against a constant with `op`.
@@ -42,7 +43,7 @@ pub fn parallel_compare_mask<F>(
     column: &[u32],
     morsel_rows: usize,
     op: F,
-) -> (Vec<bool>, PipelineStats)
+) -> Result<(Vec<bool>, PipelineStats), ExecError>
 where
     F: Fn(u32) -> bool + Sync,
 {
@@ -61,7 +62,7 @@ mod tests {
         let serial: Vec<bool> = data.iter().map(|&v| v < 250).collect();
         for threads in [1, 2, 8] {
             let pool = ThreadPool::new(threads);
-            let (mask, stats) = parallel_compare_mask(&pool, &data, 512, |v| v < 250);
+            let (mask, stats) = parallel_compare_mask(&pool, &data, 512, |v| v < 250).unwrap();
             assert_eq!(mask, serial, "threads={threads}");
             assert_eq!(stats.breakers, 0, "filters must stream");
             assert_eq!(stats.streamed_rows, 50_000);
@@ -71,7 +72,7 @@ mod tests {
     #[test]
     fn empty_column() {
         let pool = ThreadPool::new(4);
-        let (mask, _) = parallel_compare_mask(&pool, &[], 64, |_| true);
+        let (mask, _) = parallel_compare_mask(&pool, &[], 64, |_| true).unwrap();
         assert!(mask.is_empty());
     }
 }

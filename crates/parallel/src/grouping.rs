@@ -60,7 +60,7 @@ pub fn parallel_grouping<A: Aggregator>(
     let mut stats = PipelineStats::default();
     stats.record(Blocking::FullBreaker, keys.len() as u64);
     let result = match strategy {
-        GroupingStrategy::Hash => hash_strategy(pool, keys, values, agg, morsel_rows),
+        GroupingStrategy::Hash => hash_strategy(pool, keys, values, agg, morsel_rows)?,
         GroupingStrategy::StaticPerfectHash { min, max } => {
             sph_strategy(pool, keys, values, agg, min, max, morsel_rows)?
         }
@@ -82,7 +82,7 @@ fn hash_strategy<A: Aggregator>(
     values: &[u32],
     agg: A,
     morsel_rows: usize,
-) -> GroupedResult<A::State> {
+) -> Result<GroupedResult<A::State>, ExecError> {
     let worker_maps = pool.fold_morsels(
         keys.len(),
         morsel_rows,
@@ -100,7 +100,7 @@ fn hash_strategy<A: Aggregator>(
                 }
             }
         },
-    );
+    )?;
     let mut merged: BTreeMap<u32, A::State> = BTreeMap::new();
     for map in worker_maps {
         for (k, s) in map {
@@ -115,11 +115,11 @@ fn hash_strategy<A: Aggregator>(
         }
     }
     let (keys_out, states): (Vec<u32>, Vec<A::State>) = merged.into_iter().unzip();
-    GroupedResult {
+    Ok(GroupedResult {
         keys: keys_out,
         states,
         sorted_by_key: true,
-    }
+    })
 }
 
 /// Per-worker SPH state: the dense aggregate array plus occupancy.
@@ -167,7 +167,7 @@ fn sph_strategy<A: Aggregator>(
                 }
             }
         },
-    );
+    )?;
     if let Some(k) = partials.iter().find_map(|p| p.out_of_domain) {
         return Err(ExecError::PreconditionViolated {
             algorithm: "parallel SPHG",

@@ -48,7 +48,7 @@ pub fn parallel_hash_join(
     left: &[u32],
     right: &[u32],
     morsel_rows: usize,
-) -> (JoinResult, PipelineStats) {
+) -> Result<(JoinResult, PipelineStats), ExecError> {
     let mut stats = PipelineStats::default();
     let p = partition_count(pool);
     let mask = p - 1;
@@ -62,7 +62,7 @@ pub fn parallel_hash_join(
             buckets[partition_of(k, mask)].push((k, (m.start + i) as u32));
         }
         buckets
-    });
+    })?;
     stats.record(Blocking::FullBreaker, left.len() as u64);
 
     // Phase 2 — per-partition build, one chaining table per partition
@@ -75,7 +75,7 @@ pub fn parallel_hash_join(
             }
         }
         table
-    });
+    })?;
 
     // Phase 3 — parallel probe: each probe morsel reads only its keys'
     // partitions; matches emit in build-insertion order, morsels
@@ -92,7 +92,7 @@ pub fn parallel_hash_join(
             }
         }
         (left_rows, right_rows)
-    });
+    })?;
     stats.record(Blocking::FullBreaker, (left.len() + right.len()) as u64);
 
     let mut result = JoinResult {
@@ -104,7 +104,7 @@ pub fn parallel_hash_join(
         result.left_rows.extend_from_slice(&l);
         result.right_rows.extend_from_slice(&r);
     }
-    (result, stats)
+    Ok((result, stats))
 }
 
 /// Parallel static-perfect-hash join over the dense build domain
@@ -128,7 +128,7 @@ pub fn parallel_sph_join(
             *r += m.start as u32;
         }
         local
-    });
+    })?;
     stats.record(Blocking::FullBreaker, (left.len() + right.len()) as u64);
     let mut result = JoinResult {
         left_rows: Vec::new(),
@@ -160,7 +160,7 @@ mod tests {
         let oracle = nested_loop_oracle(&left, &right);
         for threads in [1, 2, 8] {
             let pool = ThreadPool::new(threads);
-            let (r, stats) = parallel_hash_join(&pool, &left, &right, 64);
+            let (r, stats) = parallel_hash_join(&pool, &left, &right, 64).unwrap();
             assert_eq!(r.normalised_pairs(), oracle, "threads={threads}");
             assert_eq!(stats.breakers, 2);
         }
@@ -183,9 +183,9 @@ mod tests {
         let left = dataset(5_000, 40);
         let right = dataset(5_000, 40);
         let pool = ThreadPool::new(8);
-        let (first, _) = parallel_hash_join(&pool, &left, &right, 128);
+        let (first, _) = parallel_hash_join(&pool, &left, &right, 128).unwrap();
         for _ in 0..3 {
-            let (again, _) = parallel_hash_join(&pool, &left, &right, 128);
+            let (again, _) = parallel_hash_join(&pool, &left, &right, 128).unwrap();
             assert_eq!(again.left_rows, first.left_rows);
             assert_eq!(again.right_rows, first.right_rows);
         }
@@ -194,9 +194,9 @@ mod tests {
     #[test]
     fn empty_sides() {
         let pool = ThreadPool::new(4);
-        let (r, _) = parallel_hash_join(&pool, &[], &[1, 2], 64);
+        let (r, _) = parallel_hash_join(&pool, &[], &[1, 2], 64).unwrap();
         assert!(r.is_empty());
-        let (r, _) = parallel_hash_join(&pool, &[1, 2], &[], 64);
+        let (r, _) = parallel_hash_join(&pool, &[1, 2], &[], 64).unwrap();
         assert!(r.is_empty());
         let (r, _) = parallel_sph_join(&pool, &[], &[1], 0, 0, 64).unwrap();
         assert!(r.is_empty());
@@ -213,7 +213,7 @@ mod tests {
         let left: Vec<u32> = (0..100).collect();
         let right: Vec<u32> = (0..5_000).map(|i| (i * 7) % 100).collect();
         let pool = ThreadPool::new(4);
-        let (hj, _) = parallel_hash_join(&pool, &left, &right, 256);
+        let (hj, _) = parallel_hash_join(&pool, &left, &right, 256).unwrap();
         assert_eq!(hj.len(), 5_000);
         let (sphj, _) = parallel_sph_join(&pool, &left, &right, 0, 99, 256).unwrap();
         assert_eq!(sphj.len(), 5_000);

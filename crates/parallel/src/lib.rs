@@ -3,12 +3,22 @@
 //! The serial engine executes every plan on one thread, capping the
 //! paper's molecule-level wins (SPHG/SPHJ, algorithmic views) at a single
 //! core. This crate adds the missing parallel runtime in the
-//! morsel-driven style (Leis et al., SIGMOD 2014):
+//! morsel-driven style (Leis et al., SIGMOD 2014), built for serving
+//! many sessions at once:
 //!
 //! * [`morsel`] — cache-sized row ranges, the unit of parallel work;
-//! * [`pool`] — a std-only work-stealing scheduler ([`ThreadPool`]):
-//!   per-worker deques seeded with contiguous morsel blocks, a global
-//!   injector, and steal-half-from-the-back victim selection;
+//! * [`persistent`] — the [`PersistentPool`]: long-lived workers parked
+//!   on a condvar, a global injector plus per-worker deques that
+//!   interleave jobs from multiple queries, batch handles with blocking
+//!   join, panic capture, and graceful shutdown on drop;
+//! * [`admission`] — the [`AdmissionController`]: bounded in-flight
+//!   queries with a FIFO overflow queue and a per-query DOP clamp under
+//!   load, so a shared pool degrades gracefully instead of
+//!   oversubscribing;
+//! * [`pool`] — the [`ThreadPool`] dispatch handle (a DOP plus a pool)
+//!   with the morsel batch APIs; batch-internal scheduling is
+//!   work-stealing over per-runner deques seeded with contiguous morsel
+//!   blocks;
 //! * [`grouping`] — parallel HG/SPHG: thread-local aggregation with the
 //!   serial molecules (chaining table, dense SPH array) and a
 //!   deterministic sorted merge;
@@ -19,26 +29,33 @@
 //! Everything is **deterministic by construction**: per-morsel outputs
 //! are concatenated in morsel order and per-worker partials merge
 //! through order-insensitive decomposable aggregates, so results are
-//! identical across runs and thread counts. Parallel operators return
-//! [`dqo_exec::pipeline::PipelineStats`] so blocking behaviour stays
-//! measurable exactly as in the serial engine.
+//! identical across runs, thread counts, and admission-clamped DOPs.
+//! Parallel operators return [`dqo_exec::pipeline::PipelineStats`] so
+//! blocking behaviour stays measurable exactly as in the serial engine,
+//! and every scheduling API returns `Result` — a worker panic is
+//! captured and surfaced to the submitting query only.
 //!
 //! The optimiser decides *when* to parallelise: `dqo-core` extends the
-//! Table 2 cost model with per-worker startup and merge terms and only
-//! wraps an operator in an `Exchange` plan node when the input is large
-//! enough that the overhead pays for itself.
+//! Table 2 cost model with per-batch dispatch and merge terms (much
+//! smaller than PR 1's per-spawn startup, now that workers are
+//! persistent) and only wraps an operator in an `Exchange` plan node
+//! when the input is large enough that the overhead pays for itself.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod admission;
 pub mod filter;
 pub mod grouping;
 pub mod join;
 pub mod morsel;
+pub mod persistent;
 pub mod pool;
 
+pub use admission::{AdmissionController, AdmissionPermit};
 pub use filter::{parallel_compare_mask, parallel_mask};
 pub use grouping::{parallel_grouping, GroupingStrategy};
 pub use join::{parallel_hash_join, parallel_sph_join};
 pub use morsel::{morsels, Morsel, DEFAULT_MORSEL_ROWS};
-pub use pool::ThreadPool;
+pub use persistent::{default_threads, BatchHandle, PersistentPool};
+pub use pool::{PoolError, ThreadPool};

@@ -1,0 +1,607 @@
+//! The persistent work-stealing pool: long-lived workers shared across
+//! queries and sessions.
+//!
+//! PR 1's scheduler spawned scoped workers per operator batch — fine for
+//! one query (the spawn cost is the cost model's startup term), wasteful
+//! under inter-query concurrency where every operator of every session
+//! pays it again. [`PersistentPool`] keeps `threads` workers alive for
+//! the life of the pool, parked on a condvar when idle:
+//!
+//! * **jobs** — the unit the pool schedules is a *runner*: one worker
+//!   slot of one batch. A batch at DOP `d` enqueues `d` runners (or
+//!   `d - 1` when the submitting thread participates), and each runner
+//!   drains the batch's own [`WorkQueues`] — so work stealing happens at
+//!   two levels: runners across pool workers, morsels across runners.
+//! * **a global injector plus per-worker deques** — runners are
+//!   round-robined across the per-worker deques (overflow beyond the
+//!   worker count goes to the injector), so the queues interleave jobs
+//!   from multiple queries simultaneously; idle workers steal from the
+//!   back of a victim's deque.
+//! * **batch handles** — [`PersistentPool::submit`] returns a
+//!   [`BatchHandle`] whose blocking [`BatchHandle::join`] reports a
+//!   captured task panic as [`PoolError::TaskPanicked`] to the
+//!   submitting query only; other queries sharing the pool are
+//!   unaffected and the workers stay alive.
+//! * **graceful shutdown** — [`PersistentPool::shutdown`] (also run on
+//!   drop, idempotently) lets workers finish every queued job before
+//!   they exit; batches submitted after shutdown run inline on the
+//!   submitting thread so nothing deadlocks.
+//!
+//! One constraint, by design: a task must not block on a nested batch
+//! join (submit-and-join from inside a pool worker can idle-wait on
+//! runners that have no free worker). The engine never nests — parallel
+//! operators submit batches from the session thread only.
+
+use crate::pool::{PoolError, WorkQueues};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+use crate::admission::AdmissionController;
+
+/// Degree of parallelism used when none is configured: the `DQO_THREADS`
+/// environment variable if set to a positive integer, otherwise
+/// [`std::thread::available_parallelism`]. CI runs the test suite under a
+/// `DQO_THREADS={1, 4}` matrix so both the serial and the parallel
+/// planner paths are exercised regardless of runner hardware.
+pub fn default_threads() -> usize {
+    match std::env::var("DQO_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+    {
+        Some(n) if n >= 1 => n,
+        _ => std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
+    }
+}
+
+/// Turn a panic payload into a printable message.
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "task panicked (non-string payload)".to_string()
+    }
+}
+
+/// Completion state shared between a batch's runners and its waiter.
+struct BatchCore {
+    state: Mutex<BatchStatus>,
+    cv: Condvar,
+}
+
+struct BatchStatus {
+    /// Runners not yet finished.
+    pending: usize,
+    /// First captured panic message, if any task panicked.
+    panic: Option<String>,
+}
+
+impl BatchCore {
+    fn new(pending: usize) -> Self {
+        BatchCore {
+            state: Mutex::new(BatchStatus {
+                pending,
+                panic: None,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// One runner finished (optionally with a captured panic).
+    fn finish(&self, panicked: Option<String>) {
+        let mut s = self.state.lock().expect("batch state");
+        s.pending -= 1;
+        if s.panic.is_none() {
+            s.panic = panicked;
+        }
+        drop(s);
+        self.cv.notify_all();
+    }
+
+    /// Abort `n` runners that were never enqueued (pool shut down).
+    fn cancel(&self, n: usize) {
+        let mut s = self.state.lock().expect("batch state");
+        s.pending -= n;
+        drop(s);
+        self.cv.notify_all();
+    }
+
+    /// Block until every runner finished; the first captured panic is
+    /// taken and surfaced as an error (subsequent waits return `Ok`).
+    fn wait(&self) -> Result<(), PoolError> {
+        let mut s = self.state.lock().expect("batch state");
+        while s.pending > 0 {
+            s = self.cv.wait(s).expect("batch state");
+        }
+        match s.panic.take() {
+            Some(msg) => Err(PoolError::TaskPanicked(msg)),
+            None => Ok(()),
+        }
+    }
+
+    /// Block until every runner finished, keeping any panic in place.
+    fn wait_quiet(&self) {
+        let mut s = self.state.lock().expect("batch state");
+        while s.pending > 0 {
+            s = self.cv.wait(s).expect("batch state");
+        }
+    }
+}
+
+/// A batch whose task closure and queues are *borrowed* from the
+/// submitting stack frame. Soundness contract: the lifetimes are erased
+/// to `'static` on submission, and [`BorrowedJoin`] (returned to the
+/// submitter) blocks in `wait`/`Drop` until every runner has finished —
+/// so the borrow outlives all uses even if the submitter unwinds.
+struct BorrowedBatch {
+    core: BatchCore,
+    queues: &'static WorkQueues,
+    f: &'static (dyn Fn(usize, usize) + Sync),
+}
+
+/// A batch owning its closure (`'static` public [`PersistentPool::submit`] API).
+struct OwnedBatch {
+    core: BatchCore,
+    queues: WorkQueues,
+    f: Box<dyn Fn(usize) + Send + Sync>,
+}
+
+/// One schedulable unit: a runner slot of some batch.
+enum Job {
+    Borrowed(Arc<BorrowedBatch>, usize),
+    Owned(Arc<OwnedBatch>, usize),
+}
+
+impl Job {
+    /// Execute this runner to completion, capturing any task panic into
+    /// the batch so `join` reports it to the submitting query only.
+    fn run(self) {
+        match self {
+            Job::Borrowed(batch, slot) => {
+                let result = catch_unwind(AssertUnwindSafe(|| batch.queues.drain(slot, batch.f)));
+                batch.core.finish(result.err().map(panic_message));
+            }
+            Job::Owned(batch, slot) => {
+                let f = &batch.f;
+                let result =
+                    catch_unwind(AssertUnwindSafe(|| batch.queues.drain(slot, &|_w, t| f(t))));
+                batch.core.finish(result.err().map(panic_message));
+            }
+        }
+    }
+}
+
+/// Blocking join handle for a borrowed batch (crate-internal: the public
+/// morsel APIs wrap it). Drop blocks until all runners finished — the
+/// guard that makes the lifetime erasure in [`BorrowedBatch`] sound.
+pub(crate) struct BorrowedJoin {
+    batch: Arc<BorrowedBatch>,
+}
+
+impl BorrowedJoin {
+    pub(crate) fn wait(&self) -> Result<(), PoolError> {
+        self.batch.core.wait()
+    }
+}
+
+impl Drop for BorrowedJoin {
+    fn drop(&mut self) {
+        self.batch.core.wait_quiet();
+    }
+}
+
+/// Handle to a batch submitted via [`PersistentPool::submit`]. Dropping
+/// the handle detaches the batch (its tasks still run); [`join`] blocks
+/// until completion and surfaces a task panic as an error.
+///
+/// [`join`]: BatchHandle::join
+pub struct BatchHandle {
+    batch: Arc<OwnedBatch>,
+}
+
+impl BatchHandle {
+    /// Block until every task of the batch has run. A panicking task
+    /// aborts its runner (sibling runners still drain the remaining
+    /// tasks) and surfaces here as [`PoolError::TaskPanicked`].
+    pub fn join(self) -> Result<(), PoolError> {
+        self.batch.core.wait()
+    }
+}
+
+impl std::fmt::Debug for BatchHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchHandle").finish_non_exhaustive()
+    }
+}
+
+struct PoolSync {
+    shutdown: bool,
+}
+
+/// State shared between the pool handle and its workers.
+struct PoolShared {
+    /// Per-worker job deques: a worker pops its own from the front,
+    /// thieves take from the back.
+    locals: Vec<Mutex<VecDeque<Job>>>,
+    /// Global overflow queue.
+    injector: Mutex<VecDeque<Job>>,
+    /// Bumped (under `sync`) on every submit/shutdown so parked workers
+    /// can distinguish "new work arrived" from a spurious wakeup.
+    generation: AtomicU64,
+    sync: Mutex<PoolSync>,
+    cv: Condvar,
+    /// Round-robin cursor for spreading runners across worker deques.
+    rr: AtomicUsize,
+}
+
+impl PoolShared {
+    /// Own deque front → injector → steal one job from the back of a
+    /// victim's deque. `None` means every queue was empty at scan time.
+    fn find_job(&self, me: usize) -> Option<Job> {
+        if let Some(job) = self.locals[me].lock().expect("local deque").pop_front() {
+            return Some(job);
+        }
+        if let Some(job) = self.injector.lock().expect("injector").pop_front() {
+            return Some(job);
+        }
+        let n = self.locals.len();
+        for offset in 1..n {
+            let victim = (me + offset) % n;
+            if let Some(job) = self.locals[victim].lock().expect("victim deque").pop_back() {
+                return Some(job);
+            }
+        }
+        None
+    }
+}
+
+fn worker_loop(shared: &PoolShared, me: usize) {
+    loop {
+        let gen = shared.generation.load(Ordering::Acquire);
+        if let Some(job) = shared.find_job(me) {
+            job.run();
+            continue;
+        }
+        let guard = shared.sync.lock().expect("pool sync");
+        if shared.generation.load(Ordering::Acquire) != gen {
+            // Jobs may have been enqueued between the empty scan and
+            // taking the lock: re-scan before considering parking or
+            // exiting, so a submit racing a shutdown is never abandoned.
+            continue;
+        }
+        // Generation unchanged ⇒ the queues were truly empty at scan
+        // time and nothing has been enqueued since (enqueue bumps the
+        // generation under this lock, and refuses once shutdown is set).
+        if guard.shutdown {
+            return;
+        }
+        // Park. A submit bumps the generation under `sync` before
+        // notifying, so the wakeup cannot be missed.
+        drop(shared.cv.wait(guard).expect("pool sync"));
+    }
+}
+
+/// A persistent pool of `threads` workers shared across queries and
+/// sessions, with an embedded [`AdmissionController`] for the engine's
+/// shared-pool mode. See the module docs for the scheduling structure.
+pub struct PersistentPool {
+    shared: Arc<PoolShared>,
+    admission: AdmissionController,
+    threads: usize,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl PersistentPool {
+    /// A pool with `threads` workers (clamped to at least 1) and a
+    /// generous default admission cap (`max(64, 4 × threads)` in-flight
+    /// queries) so admission only binds when explicitly configured down.
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        PersistentPool::with_admission(threads, (threads * 4).max(64))
+    }
+
+    /// A pool with `threads` workers admitting at most `max_inflight`
+    /// concurrent queries (FIFO beyond that; see [`AdmissionController`]).
+    pub fn with_admission(threads: usize, max_inflight: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(PoolShared {
+            locals: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            injector: Mutex::new(VecDeque::new()),
+            generation: AtomicU64::new(0),
+            sync: Mutex::new(PoolSync { shutdown: false }),
+            cv: Condvar::new(),
+            rr: AtomicUsize::new(0),
+        });
+        let workers = (0..threads)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("dqo-pool-{w}"))
+                    .spawn(move || worker_loop(&shared, w))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        PersistentPool {
+            shared,
+            admission: AdmissionController::new(max_inflight, threads),
+            threads,
+            workers: Mutex::new(workers),
+        }
+    }
+
+    /// The process-wide shared pool every [`crate::ThreadPool`] handle
+    /// uses unless given a dedicated pool. Sized at
+    /// `max(2, default_threads())` so stealing paths are exercised even
+    /// on single-core machines; created lazily, lives for the process.
+    pub fn global() -> Arc<PersistentPool> {
+        static GLOBAL: OnceLock<Arc<PersistentPool>> = OnceLock::new();
+        Arc::clone(GLOBAL.get_or_init(|| Arc::new(PersistentPool::new(default_threads().max(2)))))
+    }
+
+    /// Number of workers.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The pool's admission controller (used by `Engine`'s shared-pool
+    /// mode to bound in-flight queries and clamp per-query DOP).
+    pub fn admission(&self) -> &AdmissionController {
+        &self.admission
+    }
+
+    /// Enqueue jobs (round-robin across worker deques up to the worker
+    /// count, overflow into the global injector) and wake the workers.
+    /// Returns `false` — enqueuing nothing — if the pool has shut down.
+    fn enqueue(&self, jobs: Vec<Job>) -> bool {
+        let sync = self.shared.sync.lock().expect("pool sync");
+        if sync.shutdown {
+            return false;
+        }
+        let workers = self.shared.locals.len();
+        for (i, job) in jobs.into_iter().enumerate() {
+            if i < workers {
+                let target = self.shared.rr.fetch_add(1, Ordering::Relaxed) % workers;
+                self.shared.locals[target]
+                    .lock()
+                    .expect("local deque")
+                    .push_back(job);
+            } else {
+                self.shared
+                    .injector
+                    .lock()
+                    .expect("injector")
+                    .push_back(job);
+            }
+        }
+        self.shared.generation.fetch_add(1, Ordering::Release);
+        self.shared.cv.notify_all();
+        true
+    }
+
+    /// Submit a `'static` batch: `f(task)` runs once per index in
+    /// `0..tasks`, at most `dop` tasks concurrently, on the pool's
+    /// workers. Returns immediately; call [`BatchHandle::join`] to block.
+    /// If the pool has shut down the batch runs inline here instead.
+    pub fn submit<F>(&self, tasks: usize, dop: usize, f: F) -> BatchHandle
+    where
+        F: Fn(usize) + Send + Sync + 'static,
+    {
+        let slots = dop.clamp(1, tasks.max(1));
+        let batch = Arc::new(OwnedBatch {
+            core: BatchCore::new(slots),
+            queues: WorkQueues::seeded(slots, tasks),
+            f: Box::new(f),
+        });
+        let jobs = (0..slots)
+            .map(|s| Job::Owned(Arc::clone(&batch), s))
+            .collect();
+        if !self.enqueue(jobs) {
+            for s in 0..slots {
+                Job::Owned(Arc::clone(&batch), s).run();
+            }
+        }
+        BatchHandle { batch }
+    }
+
+    /// Enqueue runner `slots` of a batch whose queues and closure are
+    /// borrowed from the caller's stack.
+    ///
+    /// # Safety
+    ///
+    /// The caller must keep `queues` and `f` alive until the returned
+    /// [`BorrowedJoin`] reports completion — which its `Drop` guarantees
+    /// by blocking, so holding the join on the same stack frame as the
+    /// borrows is sufficient.
+    pub(crate) unsafe fn spawn_borrowed(
+        &self,
+        queues: &WorkQueues,
+        f: &(dyn Fn(usize, usize) + Sync),
+        slots: std::ops::Range<usize>,
+    ) -> BorrowedJoin {
+        let n = slots.len();
+        // Erase the lifetimes (plain and trait-object alike), made sound
+        // by BorrowedJoin's blocking Drop.
+        let queues: &'static WorkQueues = &*(queues as *const WorkQueues);
+        let f: &'static (dyn Fn(usize, usize) + Sync) = std::mem::transmute(f);
+        let batch = Arc::new(BorrowedBatch {
+            core: BatchCore::new(n),
+            queues,
+            f,
+        });
+        let jobs = slots
+            .map(|s| Job::Borrowed(Arc::clone(&batch), s))
+            .collect();
+        if !self.enqueue(jobs) {
+            // Pool already shut down: nothing enqueued; the caller's own
+            // drain (slot 0) steals and runs every task.
+            batch.core.cancel(n);
+        }
+        BorrowedJoin { batch }
+    }
+
+    /// Ask the workers to exit once the queues are drained, and join
+    /// them. Idempotent: later calls (including the one from `Drop`) are
+    /// no-ops. Batches submitted after shutdown run inline on the
+    /// submitting thread.
+    pub fn shutdown(&self) {
+        {
+            let mut sync = self.shared.sync.lock().expect("pool sync");
+            sync.shutdown = true;
+            self.shared.generation.fetch_add(1, Ordering::Release);
+            self.shared.cv.notify_all();
+        }
+        let handles = std::mem::take(&mut *self.workers.lock().expect("worker handles"));
+        for h in handles {
+            // A worker that somehow died still must not poison shutdown.
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for PersistentPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for PersistentPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PersistentPool")
+            .field("threads", &self.threads)
+            .field("inflight", &self.admission.inflight())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn submit_runs_every_task_once() {
+        let pool = PersistentPool::new(3);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&counter);
+        let handle = pool.submit(500, 3, move |_t| {
+            c.fetch_add(1, Ordering::Relaxed);
+        });
+        handle.join().unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 500);
+    }
+
+    #[test]
+    fn concurrent_batches_from_many_threads_share_one_pool() {
+        let pool = Arc::new(PersistentPool::new(2));
+        let total = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|scope| {
+            for _ in 0..6 {
+                let pool = Arc::clone(&pool);
+                let total = Arc::clone(&total);
+                scope.spawn(move || {
+                    for _ in 0..10 {
+                        let t = Arc::clone(&total);
+                        pool.submit(40, 2, move |_| {
+                            t.fetch_add(1, Ordering::Relaxed);
+                        })
+                        .join()
+                        .unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 6 * 10 * 40);
+    }
+
+    #[test]
+    fn task_panic_surfaces_as_err_and_pool_survives() {
+        let pool = PersistentPool::new(2);
+        let handle = pool.submit(64, 2, |t| {
+            if t == 13 {
+                panic!("boom at task 13");
+            }
+        });
+        let err = handle.join().unwrap_err();
+        assert!(matches!(err, PoolError::TaskPanicked(ref m) if m.contains("boom")));
+        // The pool keeps serving other queries.
+        let ran = Arc::new(AtomicUsize::new(0));
+        let r = Arc::clone(&ran);
+        pool.submit(32, 2, move |_| {
+            r.fetch_add(1, Ordering::Relaxed);
+        })
+        .join()
+        .unwrap();
+        assert_eq!(ran.load(Ordering::Relaxed), 32);
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_drop_safe() {
+        let pool = PersistentPool::new(2);
+        let ran = Arc::new(AtomicUsize::new(0));
+        let r = Arc::clone(&ran);
+        let handle = pool.submit(100, 2, move |_| {
+            r.fetch_add(1, Ordering::Relaxed);
+        });
+        pool.shutdown();
+        pool.shutdown(); // second call is a no-op
+        handle.join().unwrap(); // queued work drained before exit
+        assert_eq!(ran.load(Ordering::Relaxed), 100);
+        // Submitting after shutdown runs inline rather than deadlocking.
+        let r2 = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&r2);
+        pool.submit(10, 4, move |_| {
+            c.fetch_add(1, Ordering::Relaxed);
+        })
+        .join()
+        .unwrap();
+        assert_eq!(r2.load(Ordering::Relaxed), 10);
+        drop(pool); // Drop after explicit shutdown is fine too.
+    }
+
+    #[test]
+    fn shutdown_racing_a_submit_never_abandons_jobs() {
+        // Regression: a worker's empty scan racing an enqueue-then-
+        // shutdown must re-scan before exiting, or the batch's runners
+        // are abandoned and join deadlocks.
+        for _ in 0..50 {
+            let pool = Arc::new(PersistentPool::new(1));
+            let p2 = Arc::clone(&pool);
+            let ran = Arc::new(AtomicUsize::new(0));
+            let r = Arc::clone(&ran);
+            let submitter = std::thread::spawn(move || {
+                p2.submit(16, 2, move |_| {
+                    r.fetch_add(1, Ordering::Relaxed);
+                })
+                .join()
+                .unwrap();
+            });
+            pool.shutdown();
+            submitter.join().unwrap();
+            assert_eq!(ran.load(Ordering::Relaxed), 16);
+        }
+    }
+
+    #[test]
+    fn dop_larger_than_pool_still_completes() {
+        let pool = PersistentPool::new(1);
+        let ran = Arc::new(AtomicUsize::new(0));
+        let r = Arc::clone(&ran);
+        pool.submit(200, 8, move |_| {
+            r.fetch_add(1, Ordering::Relaxed);
+        })
+        .join()
+        .unwrap();
+        assert_eq!(ran.load(Ordering::Relaxed), 200);
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+        assert!(PersistentPool::global().threads() >= 2);
+    }
+}

@@ -1,88 +1,146 @@
-//! A std-only work-stealing scheduler for morsel batches.
+//! Morsel-batch scheduling over the persistent pool.
 //!
-//! Each parallel operator invocation runs a fixed batch of tasks (morsel
-//! or partition indices) over `threads` scoped workers. Scheduling state
-//! is the classic work-stealing triple:
+//! [`ThreadPool`] is a cheap *dispatch handle*: a degree of parallelism
+//! plus a reference to a long-lived [`PersistentPool`] (the process-wide
+//! shared pool by default, or a dedicated/session-shared one via
+//! [`ThreadPool::with_pool`]). Each parallel operator invocation runs a
+//! fixed batch of tasks (morsel or partition indices) at that DOP.
+//! Batch-internal scheduling is still the classic work-stealing triple:
 //!
-//! * **per-worker deques** — each worker pops from the front of its own
-//!   deque (LIFO-ish locality on its contiguous task block);
-//! * **a global injector** — overflow queue every worker falls back to;
-//! * **stealing** — an idle worker takes half of a victim's remaining
+//! * **per-runner deques** ([`WorkQueues`]) — each runner slot pops from
+//!   the front of its own deque (LIFO-ish locality on its contiguous
+//!   task block);
+//! * **a batch injector** — overflow queue every runner falls back to;
+//! * **stealing** — an idle runner takes half of a victim's remaining
 //!   tasks from the back of the victim's deque.
 //!
-//! Workers are spawned per batch via `std::thread::scope`, which is what
-//! lets tasks borrow the operator's inputs without `unsafe` or `'static`
-//! gymnastics; the spawn cost is real but bounded (~tens of µs per
-//! worker) and is exactly the *startup overhead* term the DOP-aware cost
-//! model charges, so the optimiser only chooses a parallel plan when the
-//! input is large enough to pay for it.
+//! What changed from the scoped-spawn scheduler of PR 1: runner slots
+//! `1..dop` are enqueued as jobs on the persistent pool's parked workers
+//! instead of `std::thread::scope` spawns, the submitting thread still
+//! drains slot 0 itself (so a batch always makes progress even on a
+//! saturated pool), and every API returns `Result` — a panicking task is
+//! captured and surfaced as [`PoolError::TaskPanicked`] to the
+//! submitting query only, leaving the pool workers alive for everyone
+//! else. The spawn cost disappears from the hot path, which is exactly
+//! the amortisation `dqo-core`'s cost model now reflects with its much
+//! smaller per-worker dispatch term.
 
 use crate::morsel::{morsels, Morsel};
+use crate::persistent::{default_threads, panic_message, PersistentPool};
 use std::collections::VecDeque;
-use std::sync::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex};
 
-/// Degree-of-parallelism handle: owns the scheduling configuration and
-/// runs morsel batches. Cheap to create and clone.
+/// Scheduler failure surfaced to the submitting query.
 #[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PoolError {
+    /// A task panicked; the panic was captured on the worker, the batch
+    /// was aborted, and the pool stays healthy.
+    TaskPanicked(String),
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoolError::TaskPanicked(msg) => write!(f, "parallel task panicked: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+impl From<PoolError> for dqo_exec::ExecError {
+    fn from(e: PoolError) -> Self {
+        dqo_exec::ExecError::Scheduler(e.to_string())
+    }
+}
+
+/// Degree-of-parallelism handle onto a persistent pool: owns the batch
+/// configuration and runs morsel batches. Cheap to create and clone.
+#[derive(Debug, Clone)]
 pub struct ThreadPool {
-    threads: usize,
+    dop: usize,
+    pool: Arc<PersistentPool>,
 }
 
 impl ThreadPool {
-    /// A pool running `threads` workers (clamped to at least 1).
+    /// A handle running batches at DOP `threads` (clamped to at least 1)
+    /// on the process-wide shared [`PersistentPool`].
     pub fn new(threads: usize) -> Self {
+        ThreadPool::with_pool(threads, PersistentPool::global())
+    }
+
+    /// A handle running batches at DOP `threads` on a specific pool —
+    /// the engine's shared-pool mode and benchmarks use this to control
+    /// pool sizing explicitly.
+    pub fn with_pool(threads: usize, pool: Arc<PersistentPool>) -> Self {
         ThreadPool {
-            threads: threads.max(1),
+            dop: threads.max(1),
+            pool,
         }
     }
 
-    /// A pool sized to the machine (`std::thread::available_parallelism`).
+    /// A handle at the default DOP (`DQO_THREADS` env override, else the
+    /// machine's available parallelism).
     pub fn with_default_parallelism() -> Self {
-        ThreadPool::new(
-            std::thread::available_parallelism()
-                .map(std::num::NonZeroUsize::get)
-                .unwrap_or(1),
-        )
+        ThreadPool::new(default_threads())
     }
 
     /// Configured degree of parallelism.
     pub fn threads(&self) -> usize {
-        self.threads
+        self.dop
     }
 
-    /// Run `f` once per task index in `0..tasks` across the workers.
-    /// `f(worker, task)` must be safe to call concurrently from distinct
-    /// workers; every task runs exactly once. Blocks until the batch is
-    /// done. With one worker (or one task) everything runs inline on the
-    /// caller thread — the serial fast path costs no spawn.
-    fn run_batch<F: Fn(usize, usize) + Sync>(&self, tasks: usize, f: F) {
+    /// The persistent pool this handle dispatches onto.
+    pub fn pool(&self) -> &Arc<PersistentPool> {
+        &self.pool
+    }
+
+    /// Run `f` once per task index in `0..tasks` across up to `dop`
+    /// runner slots. `f(slot, task)` must be safe to call concurrently
+    /// from distinct slots; every task runs exactly once. Blocks until
+    /// the batch is done. With one slot (or one task) everything runs
+    /// inline on the caller thread — the serial fast path never touches
+    /// the pool.
+    fn run_batch<F: Fn(usize, usize) + Sync>(&self, tasks: usize, f: F) -> Result<(), PoolError> {
         if tasks == 0 {
-            return;
+            return Ok(());
         }
-        let workers = self.threads.min(tasks);
+        let workers = self.dop.min(tasks);
         if workers == 1 {
-            for t in 0..tasks {
-                f(0, t);
-            }
-            return;
+            return catch_unwind(AssertUnwindSafe(|| {
+                for t in 0..tasks {
+                    f(0, t);
+                }
+            }))
+            .map_err(|p| PoolError::TaskPanicked(panic_message(p)));
         }
         let queues = WorkQueues::seeded(workers, tasks);
-        std::thread::scope(|scope| {
-            // Workers 1..n are spawned; worker 0 is the caller thread, so
-            // a dop-n batch spawns n-1 threads.
-            for w in 1..workers {
-                let queues = &queues;
-                let f = &f;
-                scope.spawn(move || queues.drain(w, f));
-            }
-            queues.drain(0, &f);
-        });
+        // Slots 1..workers go to the pool; slot 0 is the caller thread,
+        // so a dop-n batch occupies at most n-1 pool workers and always
+        // progresses even when the pool is saturated by other queries.
+        //
+        // SAFETY: `join` blocks (in `wait` and, on unwind, in its Drop)
+        // until every pool runner has finished, so the borrows of
+        // `queues` and `f` outlive all uses.
+        let join = unsafe { self.pool.spawn_borrowed(&queues, &f, 1..workers) };
+        let caller = catch_unwind(AssertUnwindSafe(|| queues.drain(0, &f)));
+        let runners = join.wait();
+        match caller {
+            Err(p) => Err(PoolError::TaskPanicked(panic_message(p))),
+            Ok(()) => runners,
+        }
     }
 
     /// Map every morsel of `rows` through `f`, returning the per-morsel
     /// results **in morsel order** — parallel output is deterministic
     /// regardless of which worker ran which morsel.
-    pub fn map_morsels<T, F>(&self, rows: usize, morsel_rows: usize, f: F) -> Vec<T>
+    pub fn map_morsels<T, F>(
+        &self,
+        rows: usize,
+        morsel_rows: usize,
+        f: F,
+    ) -> Result<Vec<T>, PoolError>
     where
         T: Send,
         F: Fn(Morsel) -> T + Sync,
@@ -92,55 +150,64 @@ impl ThreadPool {
     }
 
     /// Map task indices `0..tasks` through `f`, results in task order.
-    pub fn map_tasks<T, F>(&self, tasks: usize, f: F) -> Vec<T>
+    pub fn map_tasks<T, F>(&self, tasks: usize, f: F) -> Result<Vec<T>, PoolError>
     where
         T: Send,
         F: Fn(usize) -> T + Sync,
     {
         let slots: Vec<Mutex<Option<T>>> = (0..tasks).map(|_| Mutex::new(None)).collect();
         self.run_batch(tasks, |_, t| {
-            *slots[t].lock().expect("result slot") = Some(f(t));
-        });
-        slots
+            // Run the task before taking the slot lock so a panicking
+            // task cannot poison its result slot.
+            let v = f(t);
+            *slots[t].lock().expect("result slot") = Some(v);
+        })?;
+        Ok(slots
             .into_iter()
             .map(|s| {
                 s.into_inner()
                     .expect("result slot")
                     .expect("every task ran")
             })
-            .collect()
+            .collect())
     }
 
-    /// Fold all morsels into **per-worker** states: each worker lazily
+    /// Fold all morsels into **per-slot** states: each runner slot lazily
     /// creates one state with `init` and folds every morsel it executes
-    /// into it with `step`. Returns the states of workers that ran at
-    /// least one morsel, in worker order.
+    /// into it with `step`. Returns the states of slots that ran at
+    /// least one morsel, in slot order.
     ///
     /// Which morsels land in which state depends on stealing, so this is
     /// only deterministic downstream if the caller's merge of the states
     /// is insensitive to that split — true for decomposable aggregates
     /// ([`dqo_exec::aggregate::Aggregator::IS_DECOMPOSABLE`]), which is
     /// why the optimiser only parallelises those.
-    pub fn fold_morsels<S, I, F>(&self, rows: usize, morsel_rows: usize, init: I, step: F) -> Vec<S>
+    pub fn fold_morsels<S, I, F>(
+        &self,
+        rows: usize,
+        morsel_rows: usize,
+        init: I,
+        step: F,
+    ) -> Result<Vec<S>, PoolError>
     where
         S: Send,
         I: Fn() -> S + Sync,
         F: Fn(&mut S, Morsel) + Sync,
     {
         let ms = morsels(rows, morsel_rows);
-        let workers = self.threads.min(ms.len().max(1));
+        let workers = self.dop.min(ms.len().max(1));
         let states: Vec<Mutex<Option<S>>> = (0..workers).map(|_| Mutex::new(None)).collect();
         self.run_batch(ms.len(), |w, t| {
-            // Uncontended: worker `w` is the only one touching slot `w`
+            // Uncontended: slot `w` is the only one touching state `w`
             // while the batch runs; the Mutex just proves it to the
             // compiler.
             let mut slot = states[w].lock().expect("worker state");
             step(slot.get_or_insert_with(&init), ms[t]);
-        });
-        states
+        })?;
+        Ok(states
             .into_iter()
             .filter_map(|s| s.into_inner().expect("worker state"))
-            .collect()
+            .collect())
     }
 }
 
@@ -150,18 +217,19 @@ impl Default for ThreadPool {
     }
 }
 
-/// The scheduling state of one batch.
-struct WorkQueues {
-    /// One deque per worker, pre-seeded with a contiguous block of tasks.
+/// The task-scheduling state of one batch (shared by the persistent
+/// pool's runner jobs and the submitting thread).
+pub(crate) struct WorkQueues {
+    /// One deque per runner slot, pre-seeded with a contiguous task block.
     locals: Vec<Mutex<VecDeque<usize>>>,
-    /// Global overflow queue (tasks beyond the even split).
+    /// Batch-local overflow queue (tasks beyond the even split).
     injector: Mutex<VecDeque<usize>>,
 }
 
 impl WorkQueues {
-    /// Split `tasks` into equal contiguous blocks per worker; the
+    /// Split `tasks` into equal contiguous blocks per slot; the
     /// remainder seeds the injector.
-    fn seeded(workers: usize, tasks: usize) -> Self {
+    pub(crate) fn seeded(workers: usize, tasks: usize) -> Self {
         let per_worker = tasks / workers;
         let mut locals = Vec::with_capacity(workers);
         for w in 0..workers {
@@ -171,9 +239,9 @@ impl WorkQueues {
         WorkQueues { locals, injector }
     }
 
-    /// Worker loop: own deque front → injector → steal half from the
+    /// Runner loop: own deque front → injector → steal half from the
     /// back of a victim's deque; exit when a full scan finds nothing.
-    fn drain<F: Fn(usize, usize)>(&self, worker: usize, f: &F) {
+    pub(crate) fn drain<F: Fn(usize, usize) + ?Sized>(&self, worker: usize, f: &F) {
         loop {
             let task = self
                 .pop_local(worker)
@@ -228,7 +296,7 @@ mod tests {
     fn map_tasks_runs_each_exactly_once_in_order() {
         for threads in [1, 2, 4, 8] {
             let pool = ThreadPool::new(threads);
-            let out = pool.map_tasks(100, |t| t * 2);
+            let out = pool.map_tasks(100, |t| t * 2).unwrap();
             assert_eq!(out, (0..100).map(|t| t * 2).collect::<Vec<_>>());
         }
     }
@@ -236,13 +304,17 @@ mod tests {
     #[test]
     fn map_morsels_is_deterministic_across_thread_counts() {
         let data: Vec<u32> = (0..100_000).collect();
-        let serial = ThreadPool::new(1).map_morsels(data.len(), 1024, |m| {
-            m.of(&data).iter().map(|&v| u64::from(v)).sum::<u64>()
-        });
-        for threads in [2, 3, 8] {
-            let par = ThreadPool::new(threads).map_morsels(data.len(), 1024, |m| {
+        let serial = ThreadPool::new(1)
+            .map_morsels(data.len(), 1024, |m| {
                 m.of(&data).iter().map(|&v| u64::from(v)).sum::<u64>()
-            });
+            })
+            .unwrap();
+        for threads in [2, 3, 8] {
+            let par = ThreadPool::new(threads)
+                .map_morsels(data.len(), 1024, |m| {
+                    m.of(&data).iter().map(|&v| u64::from(v)).sum::<u64>()
+                })
+                .unwrap();
             assert_eq!(par, serial, "threads={threads}");
         }
     }
@@ -250,7 +322,9 @@ mod tests {
     #[test]
     fn fold_morsels_partitions_all_rows() {
         let pool = ThreadPool::new(4);
-        let counts = pool.fold_morsels(10_000, 128, || 0usize, |acc, m| *acc += m.len());
+        let counts = pool
+            .fold_morsels(10_000, 128, || 0usize, |acc, m| *acc += m.len())
+            .unwrap();
         assert!(counts.len() <= 4);
         assert_eq!(counts.iter().sum::<usize>(), 10_000);
     }
@@ -258,18 +332,23 @@ mod tests {
     #[test]
     fn every_task_runs_despite_stealing() {
         let ran = AtomicUsize::new(0);
-        ThreadPool::new(8).map_tasks(1_000, |_| {
-            ran.fetch_add(1, Ordering::Relaxed);
-        });
+        ThreadPool::new(8)
+            .map_tasks(1_000, |_| {
+                ran.fetch_add(1, Ordering::Relaxed);
+            })
+            .unwrap();
         assert_eq!(ran.load(Ordering::Relaxed), 1_000);
     }
 
     #[test]
     fn zero_tasks_and_zero_rows() {
         let pool = ThreadPool::new(4);
-        assert!(pool.map_tasks(0, |t| t).is_empty());
-        assert!(pool.map_morsels(0, 64, |m| m.len()).is_empty());
-        assert!(pool.fold_morsels(0, 64, || 0usize, |_, _| {}).is_empty());
+        assert!(pool.map_tasks(0, |t| t).unwrap().is_empty());
+        assert!(pool.map_morsels(0, 64, |m| m.len()).unwrap().is_empty());
+        assert!(pool
+            .fold_morsels(0, 64, || 0usize, |_, _| {})
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
@@ -277,5 +356,35 @@ mod tests {
         assert_eq!(ThreadPool::new(0).threads(), 1);
         assert_eq!(ThreadPool::new(6).threads(), 6);
         assert!(ThreadPool::default().threads() >= 1);
+    }
+
+    #[test]
+    fn dedicated_pool_handle() {
+        let pool = Arc::new(PersistentPool::new(2));
+        let tp = ThreadPool::with_pool(4, Arc::clone(&pool));
+        assert_eq!(tp.threads(), 4);
+        let out = tp.map_tasks(50, |t| t + 1).unwrap();
+        assert_eq!(out[49], 50);
+    }
+
+    #[test]
+    fn panics_surface_as_err_serial_and_parallel() {
+        for threads in [1, 4] {
+            let pool = ThreadPool::new(threads);
+            let err = pool
+                .map_tasks(100, |t| {
+                    if t == 37 {
+                        panic!("task 37 exploded");
+                    }
+                    t
+                })
+                .unwrap_err();
+            assert!(
+                matches!(err, PoolError::TaskPanicked(ref m) if m.contains("exploded")),
+                "threads={threads}: {err}"
+            );
+            // The same handle keeps working after a failed batch.
+            assert_eq!(pool.map_tasks(10, |t| t).unwrap().len(), 10);
+        }
     }
 }

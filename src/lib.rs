@@ -40,6 +40,7 @@ pub use dqo_storage as storage;
 
 pub use dqo_core::engine::QueryResult;
 pub use dqo_core::{Catalog, Engine, OptimizerMode};
+pub use dqo_parallel::{AdmissionController, PersistentPool};
 pub use dqo_plan::LogicalPlan;
 pub use dqo_storage::Relation;
 
@@ -103,6 +104,19 @@ impl Dqo {
     /// A fresh engine (deep mode).
     pub fn new() -> Self {
         Dqo::default()
+    }
+
+    /// Wrap an already-configured engine (e.g. one built with
+    /// [`Engine::with_shared_pool`] or a capped thread count).
+    pub fn with_engine(engine: Engine) -> Self {
+        Dqo { engine }
+    }
+
+    /// A session multiplexing `pool` in shared serving mode: queries
+    /// pass the pool's admission controller (bounded in-flight, FIFO
+    /// overflow, per-query DOP clamp under load).
+    pub fn with_shared_pool(pool: Arc<PersistentPool>) -> Self {
+        Dqo::with_engine(Engine::with_shared_pool(pool))
     }
 
     /// The underlying engine (catalog, AVs, planning entry points).

@@ -134,7 +134,7 @@ fn join_kernels_match_serial_under_skew() {
         .unwrap();
         for threads in THREAD_COUNTS {
             let pool = ThreadPool::new(threads);
-            let (par, _) = parallel_hash_join(&pool, &left, &right, 4096);
+            let (par, _) = parallel_hash_join(&pool, &left, &right, 4096).unwrap();
             assert_eq!(
                 par.normalised_pairs(),
                 serial.normalised_pairs(),

@@ -1,0 +1,150 @@
+//! Inter-query concurrency stress: many sessions multiplexing one
+//! shared persistent pool must (a) return results identical to the
+//! serial oracle — admission may clamp every query to a different DOP,
+//! so this exercises DOP-independent determinism under real contention —
+//! (b) never exceed the admission controller's in-flight bound, and
+//! (c) survive a panicking task without deadlocking or poisoning the
+//! pool for the other sessions.
+
+use dqo::core::executor::sorted_rows;
+use dqo::parallel::{PersistentPool, PoolError, ThreadPool};
+use dqo::storage::datagen::{DatasetSpec, ForeignKeySpec};
+use dqo::storage::Value;
+use dqo::{Dqo, Engine};
+use std::sync::Arc;
+
+const SESSIONS: usize = 8;
+const QUERIES_PER_SESSION: usize = 3;
+const MAX_INFLIGHT: usize = 3;
+
+fn grouping_table(seed: u64) -> dqo::Relation {
+    DatasetSpec::new(120_000, 128)
+        .sorted(false)
+        .dense(true)
+        .seed(seed)
+        .relation()
+        .unwrap()
+}
+
+fn run_sorted(db: &Dqo, sql: &str) -> Vec<Vec<Value>> {
+    sorted_rows(&db.sql(sql).expect("query runs").output.relation)
+}
+
+#[test]
+fn eight_sessions_share_one_pool_and_match_the_serial_oracle() {
+    let sql = "SELECT key, COUNT(*) AS n, SUM(key) AS s, MIN(key) AS lo, MAX(key) AS hi \
+               FROM t GROUP BY key";
+    // Per-session datasets (distinct seeds) and their serial references.
+    let references: Vec<Vec<Vec<Value>>> = (0..SESSIONS)
+        .map(|i| {
+            let mut db = Dqo::new();
+            db.engine_mut().set_threads(1);
+            db.register_table("t", grouping_table(100 + i as u64));
+            run_sorted(&db, sql)
+        })
+        .collect();
+
+    let pool = Arc::new(PersistentPool::with_admission(4, MAX_INFLIGHT));
+    std::thread::scope(|scope| {
+        for (i, reference) in references.iter().enumerate() {
+            let pool = Arc::clone(&pool);
+            scope.spawn(move || {
+                let db = Dqo::with_shared_pool(pool);
+                db.register_table("t", grouping_table(100 + i as u64));
+                for q in 0..QUERIES_PER_SESSION {
+                    assert_eq!(
+                        run_sorted(&db, sql),
+                        *reference,
+                        "session={i} query={q} diverged from the serial oracle"
+                    );
+                }
+            });
+        }
+    });
+
+    assert_eq!(pool.admission().inflight(), 0, "permits must all release");
+    let peak = pool.admission().peak_inflight();
+    assert!(
+        peak <= MAX_INFLIGHT,
+        "admission bound violated: peak {peak} > {MAX_INFLIGHT}"
+    );
+    assert!(peak >= 1, "at least one query must have been admitted");
+}
+
+#[test]
+fn concurrent_join_sessions_match_serial() {
+    let sql = "SELECT a, COUNT(*) AS count FROM r JOIN s ON r.id = s.r_id GROUP BY a";
+    let tables = || {
+        ForeignKeySpec {
+            r_rows: 40_000,
+            s_rows: 120_000,
+            groups: 4_000,
+            r_sorted: false,
+            s_sorted: false,
+            dense: true,
+            seed: 0xFEED,
+        }
+        .generate()
+        .unwrap()
+    };
+    let reference = {
+        let mut db = Dqo::new();
+        db.engine_mut().set_threads(1);
+        let (r, s) = tables();
+        db.register_table("r", r);
+        db.register_table("s", s);
+        run_sorted(&db, sql)
+    };
+
+    let pool = Arc::new(PersistentPool::with_admission(4, 2));
+    std::thread::scope(|scope| {
+        for i in 0..SESSIONS {
+            let pool = Arc::clone(&pool);
+            let reference = &reference;
+            scope.spawn(move || {
+                let db = Dqo::with_shared_pool(pool);
+                let (r, s) = tables();
+                db.register_table("r", r);
+                db.register_table("s", s);
+                assert_eq!(run_sorted(&db, sql), *reference, "session={i}");
+            });
+        }
+    });
+    assert!(pool.admission().peak_inflight() <= 2);
+}
+
+#[test]
+fn a_panicking_batch_fails_only_its_own_query() {
+    let pool = Arc::new(PersistentPool::new(2));
+    let healthy = ThreadPool::with_pool(4, Arc::clone(&pool));
+
+    // One query's batch panics mid-flight...
+    let failing = ThreadPool::with_pool(4, Arc::clone(&pool));
+    let err = failing
+        .map_tasks(256, |t| {
+            if t == 200 {
+                panic!("injected fault");
+            }
+            t
+        })
+        .unwrap_err();
+    assert!(matches!(err, PoolError::TaskPanicked(ref m) if m.contains("injected fault")));
+
+    // ...while a concurrent engine session on the same pool is unharmed,
+    // before and after.
+    let session = Engine::with_shared_pool(Arc::clone(&pool));
+    session.register_table("t", grouping_table(7));
+    let serial = Engine::new().with_threads(1);
+    serial.register_table("t", grouping_table(7));
+    let query = dqo::LogicalPlan::group_by(
+        dqo::LogicalPlan::scan("t"),
+        "key",
+        vec![dqo::plan::expr::AggExpr::count_star("n")],
+    );
+    let expect = sorted_rows(&serial.query(&query).unwrap().output.relation);
+    assert_eq!(
+        sorted_rows(&session.query(&query).unwrap().output.relation),
+        expect
+    );
+    assert_eq!(healthy.map_tasks(64, |t| t).unwrap().len(), 64);
+}
