@@ -12,6 +12,7 @@
 //! | Unnest-depth / optimisation-time ablation (E8) | `depth_ablation` | `opt_time` |
 //! | Hash-table molecule ablation (E9) | `molecules` | `hashtable_molecules` |
 //! | Parallel scaling (morsel-driven HJ/SPHG) | `scaling` | `scaling` |
+//! | Parallel sort subsystem (SORT/SOG/SOJ + queue pressure) | `sort_scaling` | — |
 //! | Inter-query concurrency (shared pool + admission) | `concurrency` | — |
 //!
 //! Binaries print the same rows/series the paper reports, plus `--csv`.
@@ -26,6 +27,7 @@ pub mod fig4;
 pub mod fig5;
 pub mod report;
 pub mod scaling;
+pub mod sort_scaling;
 
 /// Parse `--key value` style arguments (plus boolean flags) very simply.
 #[derive(Debug, Clone, Default)]

@@ -72,20 +72,44 @@ pub trait CostModel: Send + Sync {
             + self.scan(merge_tuples)
     }
 
+    /// Sort at degree `dop`: run formation divides the `n·log n` work,
+    /// the Merge Path multi-way merge re-materialises the rows once
+    /// (also divided), and each of the two phases dispatches its own
+    /// batch onto the pool.
+    fn parallel_sort(&self, rows: f64, dop: usize) -> f64 {
+        let serial = self.sort(rows);
+        if dop <= 1 {
+            return serial;
+        }
+        let d = dop as f64;
+        serial / d + self.scan(rows) / d + 2.0 * self.parallel_overhead(dop, 0.0)
+    }
+
     /// Grouping at degree `dop`: thread-local aggregation divides the
     /// work; the merge touches up to `dop · groups` partial states.
+    /// SOG decomposes differently — parallel sort, a divided OG pass,
+    /// and a boundary stitch over at most `groups` merged states.
     fn parallel_grouping(&self, algo: GroupingImpl, rows: f64, groups: f64, dop: usize) -> f64 {
         let serial = self.grouping(algo, rows, groups);
         if dop <= 1 {
             return serial;
         }
-        serial / dop as f64 + self.parallel_overhead(dop, groups * dop as f64)
+        let d = dop as f64;
+        match algo {
+            GroupingImpl::Sog => {
+                self.parallel_sort(rows, dop)
+                    + self.grouping(GroupingImpl::Og, rows, groups) / d
+                    + self.parallel_overhead(dop, groups)
+            }
+            _ => serial / d + self.parallel_overhead(dop, groups * d),
+        }
     }
 
     /// Join at degree `dop`, mirroring the parallel implementations:
     /// SPHJ keeps its cheap serial CSR build and divides only the probe;
     /// the partitioned parallel HJ divides both sides but pays an extra
-    /// partition pass that re-materialises the build side.
+    /// partition pass that re-materialises the build side; SOJ runs two
+    /// parallel sorts then a divided range-partitioned merge.
     fn parallel_join(
         &self,
         algo: JoinImpl,
@@ -101,6 +125,12 @@ pub trait CostModel: Send + Sync {
         match algo {
             JoinImpl::Sphj => {
                 self.join(algo, left, right / d, build_groups) + self.parallel_overhead(dop, 0.0)
+            }
+            JoinImpl::Soj => {
+                self.parallel_sort(left, dop)
+                    + self.parallel_sort(right, dop)
+                    + self.join(JoinImpl::Oj, left, right, build_groups) / d
+                    + self.parallel_overhead(dop, 0.0)
             }
             _ => {
                 self.join(algo, left / d, right / d, build_groups)
@@ -366,6 +396,59 @@ mod tests {
         let rows = 20_000.0;
         let serial = M.grouping(GroupingImpl::Sphg, rows, 64.0);
         assert!(M.parallel_grouping(GroupingImpl::Sphg, rows, 64.0, 4) < serial);
+    }
+
+    #[test]
+    fn parallel_sort_has_a_break_even_and_wins_past_it() {
+        // Below break-even the two dispatch rounds dominate and the
+        // serial sort stays cheaper; above it the divided n·log n wins.
+        let dop = 4;
+        let break_even = (1..200)
+            .map(|i| i as f64 * 1_000.0)
+            .find(|&rows| M.parallel_sort(rows, dop) < M.sort(rows))
+            .expect("parallel sort must eventually win");
+        assert!(
+            (2_000.0..60_000.0).contains(&break_even),
+            "break-even = {break_even}"
+        );
+        // Strictly serial below, strictly parallel above — the optimiser
+        // "prefers the parallel sort molecule above its break-even".
+        assert!(M.parallel_sort(break_even / 4.0, dop) > M.sort(break_even / 4.0));
+        assert!(M.parallel_sort(break_even * 4.0, dop) < M.sort(break_even * 4.0) / 2.0);
+        // dop = 1 degenerates to the serial formula exactly.
+        assert_eq!(M.parallel_sort(1e6, 1), M.sort(1e6));
+    }
+
+    #[test]
+    fn parallel_sog_and_soj_follow_the_sort_decomposition() {
+        let (rows, groups) = (1e6, 500.0);
+        let d = 4.0;
+        let sog = M.parallel_grouping(GroupingImpl::Sog, rows, groups, 4);
+        let expect = M.parallel_sort(rows, 4)
+            + M.grouping(GroupingImpl::Og, rows, groups) / d
+            + PARALLEL_BATCH_TUPLES
+            + d * PARALLEL_DISPATCH_TUPLES
+            + groups;
+        assert!((sog - expect).abs() < 1e-6);
+        assert!(sog < M.grouping(GroupingImpl::Sog, rows, groups));
+
+        let (l, r) = (2.5e5, 1e6);
+        let soj = M.parallel_join(JoinImpl::Soj, l, r, 100.0, 4);
+        let expect = M.parallel_sort(l, 4)
+            + M.parallel_sort(r, 4)
+            + M.join(JoinImpl::Oj, l, r, 100.0) / d
+            + PARALLEL_BATCH_TUPLES
+            + d * PARALLEL_DISPATCH_TUPLES;
+        assert!((soj - expect).abs() < 1e-6);
+        assert!(soj < M.join(JoinImpl::Soj, l, r, 100.0));
+        // Small sort-based operators stay serial at every offered DOP.
+        for dop in [2, 4, 8] {
+            assert!(
+                M.parallel_grouping(GroupingImpl::Sog, 3_000.0, 50.0, dop)
+                    > M.grouping(GroupingImpl::Sog, 3_000.0, 50.0),
+                "dop={dop}"
+            );
+        }
     }
 
     #[test]

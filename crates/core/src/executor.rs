@@ -183,7 +183,11 @@ fn exec_node(
                     aggs,
                     algo,
                     ..
-                } if matches!(algo, GroupingImpl::Hg | GroupingImpl::Sphg) => {
+                } if matches!(
+                    algo,
+                    GroupingImpl::Hg | GroupingImpl::Sphg | GroupingImpl::Sog
+                ) =>
+                {
                     let rel = exec_node(child, catalog, avs, pool, stats)?;
                     exec_group_by_parallel(&rel, key, aggs, *algo, &tp, stats)
                 }
@@ -193,10 +197,18 @@ fn exec_node(
                     left_key,
                     right_key,
                     algo,
-                } if matches!(algo, JoinImpl::Hj | JoinImpl::Sphj) => {
+                } if matches!(algo, JoinImpl::Hj | JoinImpl::Sphj | JoinImpl::Soj) => {
                     let l = exec_node(left, catalog, avs, pool, stats)?;
                     let r = exec_node(right, catalog, avs, pool, stats)?;
                     exec_join_parallel(&l, &r, left_key, right_key, *algo, &tp, stats)
+                }
+                PhysicalPlan::Sort {
+                    input: child,
+                    key,
+                    molecule,
+                } => {
+                    let rel = exec_node(child, catalog, avs, pool, stats)?;
+                    exec_sort_parallel(&rel, key, *molecule, &tp, stats)
                 }
                 PhysicalPlan::Filter {
                     input: child,
@@ -334,10 +346,37 @@ fn grouped_to_relation(
     Ok(Relation::new(Schema::new(fields)?, columns)?)
 }
 
+/// The parallel run-sort molecule matching a plan-side [`dqo_plan::SortMolecule`].
+fn to_run_molecule(molecule: dqo_plan::SortMolecule) -> dqo_parallel::RunSortMolecule {
+    match molecule {
+        dqo_plan::SortMolecule::Comparison => dqo_parallel::RunSortMolecule::Comparison,
+        dqo_plan::SortMolecule::Radix => dqo_parallel::RunSortMolecule::Radix,
+    }
+}
+
+/// Morsel-parallel sort enforcer (dispatched from an `Exchange` node):
+/// parallel run formation + Merge Path merge produce the stable argsort
+/// permutation, bit-identical to the serial enforcer at any DOP.
+fn exec_sort_parallel(
+    rel: &Relation,
+    key: &str,
+    molecule: dqo_plan::SortMolecule,
+    pool: &ThreadPool,
+    stats: &mut PipelineStats,
+) -> Result<Relation> {
+    let keys = rel.column(key)?.as_u32()?;
+    let (order, par_stats) = dqo_parallel::parallel_argsort(pool, keys, to_run_molecule(molecule))
+        .map_err(dqo_exec::ExecError::from)?;
+    stats.merge(&par_stats);
+    let order: Vec<usize> = order.into_iter().map(|i| i as usize).collect();
+    Ok(rel.gather(&order))
+}
+
 /// Morsel-parallel group-by (dispatched from an `Exchange` node): the
 /// grouping key/value columns run through `dqo-parallel`'s thread-local
-/// aggregation, and the parallel kernels' own [`PipelineStats`] merge
-/// into the query's accounting.
+/// aggregation — or, for SOG, the parallel sort subsystem — and the
+/// parallel kernels' own [`PipelineStats`] merge into the query's
+/// accounting.
 fn exec_group_by_parallel(
     rel: &Relation,
     key: &str,
@@ -352,6 +391,17 @@ fn exec_group_by_parallel(
         Some(name) => rel.column(name)?.as_u32()?,
         None => keys,
     };
+    if algo == GroupingImpl::Sog {
+        let (result, par_stats) = dqo_parallel::parallel_sog(
+            pool,
+            keys,
+            values,
+            FullAgg,
+            dqo_parallel::RunSortMolecule::Comparison,
+        )?;
+        stats.merge(&par_stats);
+        return grouped_to_relation(key, aggs, &result);
+    }
     let strategy = match algo {
         GroupingImpl::Sphg => {
             let (min, max) = min_max(keys);
@@ -372,8 +422,8 @@ fn exec_group_by_parallel(
 }
 
 /// Morsel-parallel join (dispatched from an `Exchange` node): partitioned
-/// parallel HJ or parallel-probe SPHJ on the key columns, then the usual
-/// gather-based output assembly.
+/// parallel HJ, parallel-probe SPHJ, or parallel-sort SOJ on the key
+/// columns, then the usual gather-based output assembly.
 fn exec_join_parallel(
     l: &Relation,
     r: &Relation,
@@ -386,6 +436,12 @@ fn exec_join_parallel(
     let lk = l.column(left_key)?.as_u32()?;
     let rk = r.column(right_key)?.as_u32()?;
     let (result, par_stats) = match algo {
+        JoinImpl::Soj => dqo_parallel::parallel_sort_merge_join(
+            pool,
+            lk,
+            rk,
+            dqo_parallel::RunSortMolecule::Comparison,
+        )?,
         JoinImpl::Sphj => match (lk.iter().copied().min(), lk.iter().copied().max()) {
             (Some(min), Some(max)) => {
                 dqo_parallel::parallel_sph_join(pool, lk, rk, min, max, DEFAULT_MORSEL_ROWS)?
@@ -865,8 +921,9 @@ mod tests {
                 assert!(par.pipeline.breakers >= 2, "input pass + merge");
             }
         }
-        // An Exchange around an operator the runtime does not cover must
-        // fall back to serial execution, not fail.
+        // Exchange{Sort} dispatches the parallel sort subsystem — output
+        // must be ascending (and, per the oracle tests, bit-identical to
+        // the serial enforcer).
         let sort_plan = PhysicalPlan::Exchange {
             input: Box::new(PhysicalPlan::Sort {
                 input: Box::new(PhysicalPlan::Scan { table: "t".into() }),
@@ -878,6 +935,19 @@ mod tests {
         let out = execute(&sort_plan, &cat).unwrap();
         let keys = out.relation.column("key").unwrap().as_u32().unwrap();
         assert!(keys.windows(2).all(|w| w[0] <= w[1]));
+        // An Exchange around an operator the runtime genuinely does not
+        // cover (BSG grouping has no parallel twin) must fall back to
+        // serial execution, not fail.
+        let bsg_plan = PhysicalPlan::Exchange {
+            input: Box::new(group_by(GroupingImpl::Bsg)),
+            dop: 4,
+        };
+        let fallback = execute(&bsg_plan, &cat).unwrap();
+        assert_eq!(
+            sorted_rows(&fallback.relation),
+            sorted_rows(&serial.relation),
+            "BSG fallback"
+        );
     }
 
     #[test]

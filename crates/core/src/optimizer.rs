@@ -264,12 +264,13 @@ impl Optimizer<'_> {
                 // Interesting-order payoff: an input that is already
                 // sorted on the key satisfies the Sort for free — this is
                 // what makes sorted-output groupings (SPHG/SOG/BSG) win
-                // under a final ORDER BY.
-                Ok(prune(inputs.into_iter().map(|c| {
+                // under a final ORDER BY. Unsorted inputs enumerate the
+                // serial enforcer plus its morsel-parallel twin.
+                Ok(prune(inputs.into_iter().flat_map(|c| {
                     if self.is_sorted_on(&c, key) {
-                        c
+                        vec![c]
                     } else {
-                        self.add_sort(c, key)
+                        self.sort_enforcer_candidates(c, key)
                     }
                 })))
             }
@@ -418,6 +419,35 @@ impl Optimizer<'_> {
         }
     }
 
+    /// The sort-enforcer alternatives for an unsorted candidate: the
+    /// serial enforcer plus, at `dop > 1`, its Exchange-wrapped twin
+    /// (morsel-parallel run formation + Merge Path merge). The parallel
+    /// sort is stable by construction, so both provide the identical
+    /// ascending-order property.
+    fn sort_enforcer_candidates(&self, c: Candidate, key: &str) -> Vec<Candidate> {
+        let mut out = Vec::with_capacity(2);
+        if self.dop > 1 {
+            let mut props = c.props;
+            props.sortedness = Sortedness::Ascending;
+            props.partitioned = true;
+            out.push(Candidate {
+                cost: c.cost + self.model.parallel_sort(c.props.rows as f64, self.dop),
+                plan: PhysicalPlan::Exchange {
+                    input: Box::new(PhysicalPlan::Sort {
+                        input: Box::new(c.plan.clone()),
+                        key: key.to_owned(),
+                        molecule: SortMolecule::Comparison,
+                    }),
+                    dop: self.dop,
+                },
+                props,
+                sort_col: Some(key.to_owned()),
+            });
+        }
+        out.push(self.add_sort(c, key));
+        out
+    }
+
     /// Is this candidate's output usable as "sorted by `key`" under the
     /// active property model?
     fn is_sorted_on(&self, c: &Candidate, key: &str) -> bool {
@@ -431,13 +461,13 @@ impl Optimizer<'_> {
         }
     }
 
-    /// Input candidates plus, for each one not sorted on `key`, a
-    /// sort-enforced twin.
+    /// Input candidates plus, for each one not sorted on `key`, the
+    /// sort-enforced twins (serial, and parallel at `dop > 1`).
     fn with_sort_enforcers(&self, cands: Vec<Candidate>, key: &str) -> Vec<Candidate> {
         let mut out = Vec::with_capacity(cands.len() * 2);
         for c in cands {
             if !self.is_sorted_on(&c, key) {
-                out.push(self.add_sort(c.clone(), key));
+                out.extend(self.sort_enforcer_candidates(c.clone(), key));
             }
             out.push(c);
         }
@@ -508,12 +538,14 @@ impl Optimizer<'_> {
                         algo,
                     };
                     // Parallel twin for the partition-parallel joins: the
-                    // partitioned HJ and the parallel-probe SPHJ. (A
+                    // partitioned HJ, the parallel-probe SPHJ, and the
+                    // parallel-sort + range-partitioned-merge SOJ. (A
                     // prebuilt AV index already removed the build pass;
                     // re-partitioning it would forfeit the AV, so AV
                     // probes stay serial.)
-                    let parallelisable = matches!(algo, JoinImpl::Hj | JoinImpl::Sphj)
-                        && !(algo == JoinImpl::Sphj && self.sph_index_av(&lc.plan, left_key));
+                    let parallelisable =
+                        matches!(algo, JoinImpl::Hj | JoinImpl::Sphj | JoinImpl::Soj)
+                            && !(algo == JoinImpl::Sphj && self.sph_index_av(&lc.plan, left_key));
                     if self.dop > 1 && parallelisable {
                         out.push(Candidate {
                             plan: PhysicalPlan::Exchange {
@@ -530,7 +562,9 @@ impl Optimizer<'_> {
                                     self.dop,
                                 ),
                             props,
-                            sort_col: None,
+                            // Parallel SOJ concatenates partitions in key
+                            // order, keeping the order-based property.
+                            sort_col: algo.produces_sorted_output().then(|| left_key.to_owned()),
                         });
                     }
                     out.push(Candidate {
@@ -731,12 +765,19 @@ impl Optimizer<'_> {
                     algo,
                     molecules,
                 };
-                // Parallel twin for the thread-local-aggregation
-                // groupings (HG, SPHG). Requires decomposable aggregates
-                // — COUNT/SUM/MIN/MAX/AVG all are. The deterministic
-                // merge emits ascending keys, so the parallel plan
-                // *gains* the sorted property serial HG lacks.
-                if self.dop > 1 && matches!(algo, GroupingImpl::Hg | GroupingImpl::Sphg) {
+                // Parallel twin for the groupings with a parallel
+                // implementation: thread-local aggregation (HG, SPHG)
+                // and the parallel-sort + boundary-stitch SOG. Requires
+                // decomposable aggregates — COUNT/SUM/MIN/MAX/AVG all
+                // are. The deterministic merges emit ascending keys, so
+                // the parallel plan *gains* the sorted property serial
+                // HG lacks.
+                if self.dop > 1
+                    && matches!(
+                        algo,
+                        GroupingImpl::Hg | GroupingImpl::Sphg | GroupingImpl::Sog
+                    )
+                {
                     let mut par_props = props;
                     par_props.sortedness = Sortedness::Ascending;
                     par_props.partitioned = true;
@@ -1040,6 +1081,110 @@ mod tests {
             optimize(&q, &cat, OptimizerMode::Deep),
             Err(CoreError::UnknownTable(_))
         ));
+    }
+
+    #[test]
+    fn parallel_sort_enforcer_chosen_above_break_even() {
+        // An ORDER BY over an unsorted table: below the parallel-sort
+        // break-even the planner keeps the serial enforcer; well above
+        // it, the DOP-aware DP wraps the Sort in an Exchange.
+        let plan_for = |rows: usize, dop: usize| {
+            let cat = Catalog::new();
+            cat.register(
+                "t",
+                DatasetSpec::new(rows, 64)
+                    .sorted(false)
+                    .dense(false)
+                    .relation()
+                    .unwrap(),
+            );
+            let q = LogicalPlan::sort(LogicalPlan::scan("t"), "key");
+            optimize_full_dop(
+                &q,
+                &cat,
+                OptimizerMode::Deep,
+                &TupleCostModel,
+                None,
+                PropertyModel::PaperStream,
+                dop,
+            )
+            .unwrap()
+        };
+        let small = plan_for(2_000, 4);
+        assert!(
+            !small.plan.explain().contains("Exchange"),
+            "below break-even must stay serial: {}",
+            small.plan.explain()
+        );
+        let large = plan_for(200_000, 4);
+        assert!(
+            large.plan.explain().contains("Exchange dop=4"),
+            "above break-even must parallelise: {}",
+            large.plan.explain()
+        );
+        assert_eq!(large.plan.algo_signature(), vec!["SORT"]);
+        assert!(large.est_cost < plan_for(200_000, 1).est_cost);
+    }
+
+    #[test]
+    fn dop_aware_hash_vs_sort_choice_is_real() {
+        // The Figure-5 R-unsorted/S-sorted cell at scale. At dop = 1
+        // SQO plans the partial-sort molecule (SORT(R) + OJ + OG beats
+        // HJ + HG, the paper's 2.8×-cell arithmetic). At dop = 4 the
+        // DOP-aware DP weighs the *parallel* twins of both families —
+        // the parallel sort enforcer against the partitioned HJ +
+        // parallel HG — and flips to the fully parallelisable hash
+        // plan, because OJ/OG stay serial while every hash organelle
+        // divides. Before the parallel sort subsystem this comparison
+        // was degenerate (sort-based plans could not parallelise at
+        // all); now both sides are costed for what they really do.
+        let cat = Catalog::new();
+        let (r, s) = ForeignKeySpec {
+            r_rows: 100_000,
+            s_rows: 360_000,
+            groups: 20_000,
+            r_sorted: false,
+            s_sorted: true,
+            dense: true,
+            seed: 3,
+        }
+        .generate()
+        .unwrap();
+        cat.register("R", r);
+        cat.register("S", s);
+        let q = dqo_plan::logical::example_query_4_3();
+        let plan_at = |dop| {
+            optimize_full_dop(
+                &q,
+                &cat,
+                OptimizerMode::Shallow,
+                &TupleCostModel,
+                None,
+                PropertyModel::PaperStream,
+                dop,
+            )
+            .unwrap()
+        };
+        let serial = plan_at(1);
+        assert_eq!(serial.plan.algo_signature(), vec!["OG", "OJ", "SORT"]);
+        assert!(!serial.plan.explain().contains("Exchange"));
+        let par = plan_at(4);
+        assert_eq!(par.plan.algo_signature(), vec!["HG", "HJ"]);
+        assert!(
+            par.plan.explain().contains("Exchange dop=4"),
+            "plan: {}",
+            par.plan.explain()
+        );
+        assert!(par.est_cost < serial.est_cost);
+        // The flip is a genuine comparison, not hash-by-default: the
+        // parallel partial-sort plan also beat the serial baseline, it
+        // just lost to the parallel hash plan.
+        let model = TupleCostModel;
+        let par_sort_plan = model.parallel_sort(100_000.0, 4)
+            + model.join(JoinImpl::Oj, 100_000.0, 360_000.0, 100_000.0)
+            + model.grouping(GroupingImpl::Og, 360_000.0, 20_000.0);
+        assert!(par_sort_plan < serial.est_cost);
+        assert!(par.est_cost < par_sort_plan);
     }
 
     #[test]

@@ -5,6 +5,11 @@
 //! input positions. When one input is already sorted the optimiser plans a
 //! partial SOJ (sort only the unsorted side) — that asymmetry is what makes
 //! Figure 5's R-unsorted/S-sorted cell 2.8× instead of 4×.
+//!
+//! The sorted views use the **canonical total order** (key, row): equal
+//! keys come out in input order. That makes the output pair order a pure
+//! function of the inputs — the contract the morsel-parallel SOJ
+//! (`dqo-parallel::sort`) reproduces bit-for-bit at any DOP.
 
 use crate::join::JoinResult;
 
@@ -12,7 +17,7 @@ use crate::join::JoinResult;
 pub fn sort_merge_join(left_keys: &[u32], right_keys: &[u32]) -> JoinResult {
     let left = sorted_view(left_keys);
     let right = sorted_view(right_keys);
-    merge_views(&left, &right)
+    merge_join_views(&left, &right)
 }
 
 /// Partial SOJ: the left side is already sorted (verified cheaply by the
@@ -26,7 +31,7 @@ pub fn sort_right_merge_join(left_keys: &[u32], right_keys: &[u32]) -> JoinResul
         .collect();
     debug_assert!(left.windows(2).all(|w| w[0].0 <= w[1].0), "left not sorted");
     let right = sorted_view(right_keys);
-    merge_views(&left, &right)
+    merge_join_views(&left, &right)
 }
 
 fn sorted_view(keys: &[u32]) -> Vec<(u32, u32)> {
@@ -35,11 +40,16 @@ fn sorted_view(keys: &[u32]) -> Vec<(u32, u32)> {
         .enumerate()
         .map(|(i, &k)| (k, i as u32))
         .collect();
-    v.sort_unstable_by_key(|&(k, _)| k);
+    // Tuple order = (key, row): a total order, so the "unstable" sort is
+    // effectively stable and the view is canonical for any sort algorithm.
+    v.sort_unstable();
     v
 }
 
-fn merge_views(left: &[(u32, u32)], right: &[(u32, u32)]) -> JoinResult {
+/// Merge join over two (key, row)-sorted views, emitting the cross product
+/// of each matching key run in view order. Public so the parallel SOJ can
+/// run the identical kernel per key-range partition.
+pub fn merge_join_views(left: &[(u32, u32)], right: &[(u32, u32)]) -> JoinResult {
     let mut left_rows = Vec::new();
     let mut right_rows = Vec::new();
     let (mut i, mut j) = (0usize, 0usize);

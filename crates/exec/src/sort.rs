@@ -21,21 +21,41 @@ pub fn sort_pairs_by_key(pairs: &mut [(u32, u32)]) {
     pairs.sort_unstable_by_key(|&(k, _)| k);
 }
 
-/// LSB radix sort (4 passes × 8 bits) of (key, payload) pairs by key.
+/// LSB radix sort (4 passes × 8 bits) of (key, payload) pairs by key —
+/// **stable**: pairs with equal keys keep their input order.
 ///
 /// O(n) with a large constant; beats the comparison sort on large arrays
 /// with wide key ranges — the kind of trade-off DQO can decide per plan
-/// instead of per code base.
-pub fn radix_sort_pairs_by_key(pairs: &mut Vec<(u32, u32)>) {
+/// instead of per code base. Operates on a plain slice so callers that
+/// already own a block (e.g. the parallel run-formation path) can sort in
+/// place; scratch is allocated internally, or pass your own via
+/// [`radix_sort_pairs_with_scratch`] to reuse it across calls.
+pub fn radix_sort_pairs_by_key(pairs: &mut [(u32, u32)]) {
+    let mut scratch: Vec<(u32, u32)> = vec![(0, 0); pairs.len()];
+    radix_sort_pairs_with_scratch(pairs, &mut scratch);
+}
+
+/// [`radix_sort_pairs_by_key`] with a caller-provided scratch buffer of at
+/// least `pairs.len()` entries (contents ignored and clobbered).
+pub fn radix_sort_pairs_with_scratch(pairs: &mut [(u32, u32)], scratch: &mut [(u32, u32)]) {
     let n = pairs.len();
     if n <= 1 {
         return;
     }
-    let mut scratch: Vec<(u32, u32)> = vec![(0, 0); n];
+    assert!(
+        scratch.len() >= n,
+        "radix scratch too small: {} < {n}",
+        scratch.len()
+    );
+    // Ping-pong between the input and the scratch buffer; track which
+    // one currently holds the data instead of swapping Vecs.
+    let mut src: &mut [(u32, u32)] = pairs;
+    let mut dst: &mut [(u32, u32)] = &mut scratch[..n];
+    let mut in_scratch = false;
     for pass in 0..4 {
         let shift = pass * 8;
         let mut counts = [0usize; 256];
-        for &(k, _) in pairs.iter() {
+        for &(k, _) in src.iter() {
             counts[((k >> shift) & 0xFF) as usize] += 1;
         }
         // Skip passes where all keys share the byte (common for small
@@ -49,12 +69,18 @@ pub fn radix_sort_pairs_by_key(pairs: &mut Vec<(u32, u32)>) {
             offsets[b] = acc;
             acc += counts[b];
         }
-        for &p in pairs.iter() {
+        for &p in src.iter() {
             let b = ((p.0 >> shift) & 0xFF) as usize;
-            scratch[offsets[b]] = p;
+            dst[offsets[b]] = p;
             offsets[b] += 1;
         }
-        std::mem::swap(pairs, &mut scratch);
+        std::mem::swap(&mut src, &mut dst);
+        in_scratch = !in_scratch;
+    }
+    if in_scratch {
+        // The sorted data ended up in the scratch buffer (`src` aliases
+        // it after the last swap); copy it back into the input slice.
+        dst.copy_from_slice(src);
     }
 }
 
@@ -104,6 +130,56 @@ mod tests {
         // Equal keys keep original relative order.
         let keys = [5u32, 5, 1];
         assert_eq!(argsort(&keys), vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn argsort_stability_regression_many_duplicates() {
+        // Regression for the tie-break contract the parallel merge relies
+        // on: with heavy duplication, indices of equal keys must come out
+        // strictly ascending (input order), i.e. `argsort` sorts by the
+        // total order (key, index). The parallel sort reproduces exactly
+        // this order, so any drift here breaks bit-identity with the
+        // serial oracle.
+        let keys: Vec<u32> = (0..10_000u32)
+            .map(|i| i.wrapping_mul(2_654_435_761) % 7)
+            .collect();
+        let idx = argsort(&keys);
+        assert_eq!(idx.len(), keys.len());
+        for w in idx.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            let (ka, kb) = (keys[a as usize], keys[b as usize]);
+            assert!(ka <= kb, "keys out of order");
+            if ka == kb {
+                assert!(a < b, "equal keys {ka} broke input order: {a} before {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn radix_pairs_is_stable() {
+        // Equal keys keep input (payload) order — the same contract as
+        // `argsort`, required for the radix molecule to be interchangeable
+        // with the comparison molecule under the parallel merge.
+        let mut pairs: Vec<(u32, u32)> = (0..5_000u32).map(|i| (i % 13, i)).collect();
+        radix_sort_pairs_by_key(&mut pairs);
+        for w in pairs.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            if w[0].0 == w[1].0 {
+                assert!(w[0].1 < w[1].1, "radix sort lost stability at {w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn radix_with_external_scratch_matches_internal() {
+        let mut a: Vec<(u32, u32)> = (0..4_096u32)
+            .map(|i| (i.wrapping_mul(0x9E37_79B9), i))
+            .collect();
+        let mut b = a.clone();
+        radix_sort_pairs_by_key(&mut a);
+        let mut scratch = vec![(0u32, 0u32); b.len() + 7]; // oversized is fine
+        radix_sort_pairs_with_scratch(&mut b, &mut scratch);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -24,7 +24,14 @@
 //!   deterministic sorted merge;
 //! * [`join`] — the partitioned parallel hash join (parallel partition →
 //!   per-partition build → parallel probe) and a parallel SPHJ probe;
-//! * [`filter`] — morsel-parallel predicate masks.
+//! * [`filter`] — morsel-parallel predicate masks;
+//! * [`sort`] + [`merge_path`] — the parallel sort subsystem: per-worker
+//!   run formation (pdqsort or LSB radix, the serial molecule decision)
+//!   followed by a Merge Path multi-way merge whose per-worker output
+//!   ranges are disjoint, contiguous and deterministic; parallel SOG
+//!   (run aggregation with deterministic boundary stitching) and
+//!   parallel SOJ (range-partitioned merge join) build on it, completing
+//!   parallel coverage of the paper's sort-based operator family.
 //!
 //! Everything is **deterministic by construction**: per-morsel outputs
 //! are concatenated in morsel order and per-worker partials merge
@@ -48,9 +55,11 @@ pub mod admission;
 pub mod filter;
 pub mod grouping;
 pub mod join;
+pub mod merge_path;
 pub mod morsel;
 pub mod persistent;
 pub mod pool;
+pub mod sort;
 
 pub use admission::{AdmissionController, AdmissionPermit};
 pub use filter::{parallel_compare_mask, parallel_mask};
@@ -59,3 +68,6 @@ pub use join::{parallel_hash_join, parallel_sph_join};
 pub use morsel::{morsels, Morsel, DEFAULT_MORSEL_ROWS};
 pub use persistent::{default_threads, BatchHandle, PersistentPool};
 pub use pool::{PoolError, ThreadPool};
+pub use sort::{
+    parallel_argsort, parallel_sog, parallel_sort_index, parallel_sort_merge_join, RunSortMolecule,
+};

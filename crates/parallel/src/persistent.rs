@@ -354,6 +354,28 @@ impl PersistentPool {
         &self.admission
     }
 
+    /// Runner jobs currently queued and not yet picked up, summed over
+    /// the per-worker deques and the global injector — a read-only
+    /// scheduler-pressure signal for benches and the adaptive-admission
+    /// work. A racy snapshot by design: queues move while it is read.
+    pub fn queued_now(&self) -> usize {
+        self.depth().iter().sum()
+    }
+
+    /// Per-queue snapshot of the scheduler's backlog: one entry per
+    /// worker deque, plus the global injector's depth as the final
+    /// element. Same racy-snapshot caveat as [`PersistentPool::queued_now`].
+    pub fn depth(&self) -> Vec<usize> {
+        let mut out: Vec<usize> = self
+            .shared
+            .locals
+            .iter()
+            .map(|q| q.lock().expect("local deque").len())
+            .collect();
+        out.push(self.shared.injector.lock().expect("injector").len());
+        out
+    }
+
     /// Enqueue jobs (round-robin across worker deques up to the worker
     /// count, overflow into the global injector) and wake the workers.
     /// Returns `false` — enqueuing nothing — if the pool has shut down.
@@ -597,6 +619,37 @@ mod tests {
         .join()
         .unwrap();
         assert_eq!(ran.load(Ordering::Relaxed), 200);
+    }
+
+    #[test]
+    fn queue_depth_observability() {
+        let pool = PersistentPool::new(2);
+        // Idle pool: nothing queued, one depth entry per worker plus the
+        // injector.
+        assert_eq!(pool.depth().len(), 3);
+        // Both workers plus this thread rendezvous: the two runner tasks
+        // hold the workers until the main thread joins the barrier.
+        let blocker = Arc::new(std::sync::Barrier::new(3));
+        let b = Arc::clone(&blocker);
+        let busy = pool.submit(2, 2, move |_| {
+            b.wait();
+        });
+        // With every worker occupied, additional batches pile up in the
+        // queues and the counter must eventually see them.
+        let queued = pool.submit(4, 4, |_| {});
+        let mut seen = 0;
+        for _ in 0..1_000 {
+            seen = seen.max(pool.queued_now());
+            if seen > 0 {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        assert!(seen > 0, "queued jobs never became visible");
+        blocker.wait();
+        busy.join().unwrap();
+        queued.join().unwrap();
+        assert_eq!(pool.queued_now(), 0, "drained pool reports empty queues");
     }
 
     #[test]

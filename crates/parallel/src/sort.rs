@@ -1,0 +1,447 @@
+//! The parallel sort subsystem: morsel-parallel run formation plus a
+//! Merge Path multi-way merge — and on top of it, parallel SOG and
+//! parallel SOJ.
+//!
+//! The paper treats the sort as an unnestable granule and *which* sort to
+//! run as a molecule-level decision (the E9 ablation); this module keeps
+//! that decision ([`RunSortMolecule`]: pdqsort vs LSB radix) and
+//! parallelises around it:
+//!
+//! 1. **Run formation** — the input splits into one contiguous block per
+//!    worker; each block becomes a sorted run of `(key, row)` pairs under
+//!    the canonical **total order** (key, then original row index). Both
+//!    molecules produce the identical run: the comparison sort orders the
+//!    tuples directly and the radix sort is stable over pairs built in
+//!    row order.
+//! 2. **Merge Path merge** — [`crate::merge_path`] cuts every run so each
+//!    worker emits one contiguous, disjoint range of the final output.
+//!    Because the order is total and row indices are unique, the merged
+//!    output is *the* sorted permutation — bit-identical for any DOP,
+//!    worker count, or steal order, and equal to the serial stable
+//!    [`dqo_exec::sort::argsort`].
+//!
+//! [`parallel_sog`] aggregates the sorted pairs range-parallel and
+//! stitches the per-range boundary groups with the decomposable-aggregate
+//! merge; [`parallel_sort_merge_join`] sorts both sides and runs the
+//! serial merge kernel per disjoint key-range partition. Both are
+//! bit-identical to their serial counterparts (`sog::sort_order_grouping`,
+//! `soj::sort_merge_join`) at every DOP.
+
+use crate::pool::{PoolError, ThreadPool};
+use dqo_exec::aggregate::Aggregator;
+use dqo_exec::grouping::GroupedResult;
+use dqo_exec::join::soj::merge_join_views;
+use dqo_exec::join::JoinResult;
+use dqo_exec::pipeline::{Blocking, PipelineStats};
+use dqo_exec::sort::radix_sort_pairs_by_key;
+use dqo_exec::ExecError;
+
+use crate::merge_path::{kway_merge_to, partition_merge};
+
+/// Smallest block worth a dedicated sort run: below this, splitting costs
+/// more in merge overhead than the run sort saves.
+pub const MIN_RUN_ROWS: usize = 1 << 12;
+
+/// The sort molecule each worker runs over its block — the same
+/// comparison-vs-radix decision the serial sort enforcer takes
+/// (`dqo_plan::SortMolecule`), mirrored here so `dqo-parallel` does not
+/// depend on the plan vocabulary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RunSortMolecule {
+    /// Pattern-defeating comparison sort (`sort_unstable` on the tuple).
+    #[default]
+    Comparison,
+    /// LSB radix sort by key (stable, so ties keep row order).
+    Radix,
+}
+
+/// Sort `keys` into the canonical `(key, original_row)` order: ascending
+/// by key, ties in input order. Returns the sorted pairs — the payload
+/// column is the stable argsort permutation — plus pipeline accounting
+/// (run formation is a full breaker; the merge, when it happens, is a
+/// second one).
+pub fn parallel_sort_index(
+    pool: &ThreadPool,
+    keys: &[u32],
+    molecule: RunSortMolecule,
+) -> Result<(Vec<(u32, u32)>, PipelineStats), PoolError> {
+    let n = keys.len();
+    let mut stats = PipelineStats::default();
+    stats.record(Blocking::FullBreaker, n as u64);
+    let runs_n = pool.threads().min(n.div_ceil(MIN_RUN_ROWS)).max(1);
+
+    // Phase 1 — run formation: one contiguous block per run, sorted
+    // locally with the chosen molecule. Block boundaries depend only on
+    // (n, runs_n), never on scheduling.
+    let bounds: Vec<usize> = (0..=runs_n).map(|r| r * n / runs_n).collect();
+    let runs: Vec<Vec<(u32, u32)>> = pool.map_tasks(runs_n, |r| {
+        let (start, end) = (bounds[r], bounds[r + 1]);
+        let mut pairs: Vec<(u32, u32)> = keys[start..end]
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| (k, (start + i) as u32))
+            .collect();
+        match molecule {
+            RunSortMolecule::Comparison => pairs.sort_unstable(),
+            RunSortMolecule::Radix => radix_sort_pairs_by_key(&mut pairs),
+        }
+        pairs
+    })?;
+    if runs_n == 1 {
+        return Ok((runs.into_iter().next().unwrap_or_default(), stats));
+    }
+
+    // Phase 2 — Merge Path merge: each worker fills one contiguous,
+    // disjoint range of a single preallocated output directly (no
+    // per-worker chunk Vecs, no second concatenation pass — the rows
+    // re-materialise exactly once, which is what the cost model's
+    // `parallel_sort` charges).
+    let run_views: Vec<&[(u32, u32)]> = runs.iter().map(|r| r.as_slice()).collect();
+    let parts = pool.threads().min(n.max(1));
+    let splits = partition_merge(&run_views, parts);
+    // Worker w's output range starts at the number of elements its cut
+    // vector selects — consistent even if duplicate pairs made the cuts
+    // snap to value boundaries.
+    let offsets: Vec<usize> = splits.iter().map(|cut| cut.iter().sum()).collect();
+    let mut sorted: Vec<(u32, u32)> = vec![(0, 0); n];
+    {
+        /// A raw base pointer shareable across runner slots; sound
+        /// because every task writes only its own disjoint range. The
+        /// accessor keeps closure capture on the Sync wrapper, not the
+        /// raw pointer field.
+        struct OutPtr(*mut (u32, u32));
+        unsafe impl Sync for OutPtr {}
+        impl OutPtr {
+            fn get(&self) -> *mut (u32, u32) {
+                self.0
+            }
+        }
+        let base = OutPtr(sorted.as_mut_ptr());
+        pool.map_tasks(parts, |w| {
+            let slices: Vec<&[(u32, u32)]> = run_views
+                .iter()
+                .enumerate()
+                .map(|(r, run)| &run[splits[w][r]..splits[w + 1][r]])
+                .collect();
+            // SAFETY: the ranges `[offsets[w], offsets[w + 1])` are
+            // disjoint across tasks (offsets is non-decreasing and each
+            // task owns exactly one), they lie inside `sorted`
+            // (offsets[parts] = n), and `map_tasks` blocks until every
+            // task finished before `sorted` is touched again.
+            let out = unsafe {
+                std::slice::from_raw_parts_mut(
+                    base.get().add(offsets[w]),
+                    offsets[w + 1] - offsets[w],
+                )
+            };
+            kway_merge_to(&slices, out);
+        })?;
+    }
+    stats.record(Blocking::FullBreaker, n as u64);
+    Ok((sorted, stats))
+}
+
+/// Indices that would sort `keys` ascending, equal keys in input order —
+/// the parallel twin of [`dqo_exec::sort::argsort`], bit-identical to it
+/// at every DOP.
+pub fn parallel_argsort(
+    pool: &ThreadPool,
+    keys: &[u32],
+    molecule: RunSortMolecule,
+) -> Result<(Vec<u32>, PipelineStats), PoolError> {
+    let (pairs, stats) = parallel_sort_index(pool, keys, molecule)?;
+    Ok((pairs.into_iter().map(|(_, row)| row).collect(), stats))
+}
+
+/// Parallel SOG: parallel sort of the grouping key, then range-parallel
+/// run aggregation with deterministic run-boundary stitching. Requires a
+/// decomposable aggregate (merging the two partial states of a group
+/// split across a range boundary must be exact) — true for
+/// COUNT/SUM/MIN/MAX/AVG, which is all the engine plans in parallel.
+/// Output keys ascend; the result equals serial
+/// [`dqo_exec::grouping::sog::sort_order_grouping`] bit for bit.
+pub fn parallel_sog<A: Aggregator>(
+    pool: &ThreadPool,
+    keys: &[u32],
+    values: &[u32],
+    agg: A,
+    molecule: RunSortMolecule,
+) -> Result<(GroupedResult<A::State>, PipelineStats), ExecError> {
+    assert!(
+        A::IS_DECOMPOSABLE,
+        "parallel SOG requires a decomposable aggregate"
+    );
+    if keys.len() != values.len() {
+        return Err(ExecError::LengthMismatch {
+            keys: keys.len(),
+            values: values.len(),
+        });
+    }
+    let (sorted, mut stats) = parallel_sort_index(pool, keys, molecule)?;
+    let n = sorted.len();
+    let parts = pool.threads().min(n.max(1));
+    let bounds: Vec<usize> = (0..=parts).map(|w| w * n / parts).collect();
+
+    // Range-parallel OG core: every worker aggregates the runs inside its
+    // contiguous range of the sorted pairs.
+    let segments: Vec<(Vec<u32>, Vec<A::State>)> = pool.map_tasks(parts, |w| {
+        let mut seg_keys: Vec<u32> = Vec::new();
+        let mut seg_states: Vec<A::State> = Vec::new();
+        for &(k, row) in &sorted[bounds[w]..bounds[w + 1]] {
+            if seg_keys.last() != Some(&k) {
+                seg_keys.push(k);
+                seg_states.push(A::State::default());
+            }
+            agg.update(
+                seg_states.last_mut().expect("just pushed"),
+                values[row as usize],
+            );
+        }
+        (seg_keys, seg_states)
+    })?;
+
+    // Deterministic run-boundary stitching: a group whose run straddles a
+    // range boundary appears as the last group of one segment and the
+    // first of the next; merge their partial states. Decomposability
+    // makes the result independent of where the boundaries fell — i.e.
+    // of the DOP.
+    let mut keys_out: Vec<u32> = Vec::new();
+    let mut states: Vec<A::State> = Vec::new();
+    for (seg_keys, seg_states) in segments {
+        let mut iter = seg_keys.into_iter().zip(seg_states);
+        if let Some((k, s)) = iter.next() {
+            if keys_out.last() == Some(&k) {
+                agg.merge(states.last_mut().expect("non-empty"), &s);
+            } else {
+                keys_out.push(k);
+                states.push(s);
+            }
+        }
+        for (k, s) in iter {
+            keys_out.push(k);
+            states.push(s);
+        }
+    }
+    stats.record(Blocking::FullBreaker, keys_out.len() as u64);
+    Ok((
+        GroupedResult {
+            keys: keys_out,
+            states,
+            sorted_by_key: true,
+        },
+        stats,
+    ))
+}
+
+/// Parallel SOJ: parallel sort of both inputs into canonical (key, row)
+/// views, then a range-partitioned merge join — the sorted left view is
+/// cut into contiguous partitions **aligned to key boundaries** (no key
+/// run is ever split), each worker binary-searches the right view for its
+/// partition's key range and runs the serial merge kernel, and chunks
+/// concatenate in partition order. Output pairs equal serial
+/// [`dqo_exec::join::soj::sort_merge_join`] bit for bit at every DOP.
+pub fn parallel_sort_merge_join(
+    pool: &ThreadPool,
+    left: &[u32],
+    right: &[u32],
+    molecule: RunSortMolecule,
+) -> Result<(JoinResult, PipelineStats), ExecError> {
+    let (ls, mut stats) = parallel_sort_index(pool, left, molecule)?;
+    let (rs, right_stats) = parallel_sort_index(pool, right, molecule)?;
+    stats.merge(&right_stats);
+
+    let n = ls.len();
+    let parts = pool.threads().min(n.max(1));
+    // Candidate boundaries at even positions, advanced past the current
+    // key run so partitions own disjoint key ranges.
+    let mut bounds: Vec<usize> = Vec::with_capacity(parts + 1);
+    bounds.push(0);
+    for w in 1..parts {
+        let mut b = (w * n / parts).max(*bounds.last().expect("non-empty"));
+        while b > 0 && b < n && ls[b].0 == ls[b - 1].0 {
+            b += 1;
+        }
+        bounds.push(b);
+    }
+    bounds.push(n);
+
+    let chunks: Vec<JoinResult> = pool.map_tasks(parts, |w| {
+        let (a, b) = (bounds[w], bounds[w + 1]);
+        if a >= b {
+            return JoinResult::default();
+        }
+        let (lo, hi) = (ls[a].0, ls[b - 1].0);
+        let r_start = rs.partition_point(|p| p.0 < lo);
+        let r_end = rs.partition_point(|p| p.0 <= hi);
+        merge_join_views(&ls[a..b], &rs[r_start..r_end])
+    })?;
+    stats.record(Blocking::FullBreaker, (left.len() + right.len()) as u64);
+
+    let mut result = JoinResult {
+        left_rows: Vec::new(),
+        right_rows: Vec::new(),
+        sorted_by_key: true,
+    };
+    for chunk in chunks {
+        result.left_rows.extend_from_slice(&chunk.left_rows);
+        result.right_rows.extend_from_slice(&chunk.right_rows);
+    }
+    Ok((result, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dqo_exec::aggregate::CountSum;
+    use dqo_exec::grouping::sog::sort_order_grouping;
+    use dqo_exec::join::soj::sort_merge_join;
+    use dqo_exec::sort::argsort;
+
+    const MOLECULES: [RunSortMolecule; 2] = [RunSortMolecule::Comparison, RunSortMolecule::Radix];
+
+    fn dataset(n: usize, domain: u32, seed: u32) -> Vec<u32> {
+        (0..n)
+            .map(|i| (i as u32).wrapping_mul(2_654_435_761).wrapping_add(seed) % domain)
+            .collect()
+    }
+
+    #[test]
+    fn sort_index_matches_serial_argsort_bit_for_bit() {
+        // Heavy duplication: the tie-break (input order) is where a
+        // non-stable merge would diverge from the serial oracle.
+        let keys = dataset(100_000, 37, 5);
+        let serial = argsort(&keys);
+        for molecule in MOLECULES {
+            for threads in [1, 2, 8] {
+                let pool = ThreadPool::new(threads);
+                let (par, stats) = parallel_argsort(&pool, &keys, molecule).unwrap();
+                assert_eq!(par, serial, "threads={threads} {molecule:?}");
+                assert!(stats.breakers >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn sorted_pairs_are_fully_ordered_and_a_permutation() {
+        let keys = dataset(50_000, 1 << 20, 9);
+        let pool = ThreadPool::new(4);
+        let (pairs, _) = parallel_sort_index(&pool, &keys, RunSortMolecule::Comparison).unwrap();
+        assert_eq!(pairs.len(), keys.len());
+        assert!(pairs.windows(2).all(|w| w[0] < w[1]), "total order");
+        let mut rows: Vec<u32> = pairs.iter().map(|p| p.1).collect();
+        rows.sort_unstable();
+        assert!(rows.iter().enumerate().all(|(i, &r)| i as u32 == r));
+    }
+
+    #[test]
+    fn molecules_agree() {
+        let keys = dataset(30_000, 1000, 1);
+        let pool = ThreadPool::new(8);
+        let (a, _) = parallel_sort_index(&pool, &keys, RunSortMolecule::Comparison).unwrap();
+        let (b, _) = parallel_sort_index(&pool, &keys, RunSortMolecule::Radix).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sog_matches_serial_across_threads() {
+        let keys = dataset(80_000, 501, 3);
+        let vals = dataset(80_000, 1000, 8);
+        let serial = sort_order_grouping(&keys, &vals, CountSum);
+        for molecule in MOLECULES {
+            for threads in [1, 2, 8] {
+                let pool = ThreadPool::new(threads);
+                let (par, stats) = parallel_sog(&pool, &keys, &vals, CountSum, molecule).unwrap();
+                assert_eq!(par, serial, "threads={threads} {molecule:?}");
+                assert!(par.sorted_by_key);
+                assert!(stats.breakers >= 2, "sort + group breakers");
+            }
+        }
+    }
+
+    #[test]
+    fn sog_boundary_stitching_single_giant_group() {
+        // One key spanning every range boundary: stitching must collapse
+        // all partial states into one group.
+        let keys = vec![7u32; 50_000];
+        let vals: Vec<u32> = (0..50_000).map(|i| (i % 100) as u32).collect();
+        let pool = ThreadPool::new(8);
+        let (r, _) =
+            parallel_sog(&pool, &keys, &vals, CountSum, RunSortMolecule::Comparison).unwrap();
+        assert_eq!(r.keys, vec![7]);
+        assert_eq!(r.states[0].count, 50_000);
+        assert_eq!(
+            r.states[0].sum,
+            vals.iter().map(|&v| u64::from(v)).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn soj_matches_serial_bit_for_bit() {
+        let left = dataset(20_000, 300, 2);
+        let right = dataset(60_000, 400, 6);
+        let serial = sort_merge_join(&left, &right);
+        for molecule in MOLECULES {
+            for threads in [1, 2, 8] {
+                let pool = ThreadPool::new(threads);
+                let (par, _) = parallel_sort_merge_join(&pool, &left, &right, molecule).unwrap();
+                // Bit-identical: same pairs in the same emission order.
+                assert_eq!(par.left_rows, serial.left_rows, "threads={threads}");
+                assert_eq!(par.right_rows, serial.right_rows, "threads={threads}");
+                assert!(par.sorted_by_key);
+            }
+        }
+    }
+
+    #[test]
+    fn soj_duplicate_heavy_keys_never_split_across_partitions() {
+        // A handful of huge key runs: boundary alignment must keep each
+        // run in one partition or the cross products fracture.
+        let left: Vec<u32> = (0..40_000).map(|i| (i / 10_000) as u32).collect();
+        let right: Vec<u32> = (0..4_000).map(|i| (i % 8) as u32).collect();
+        let serial = sort_merge_join(&left, &right);
+        let pool = ThreadPool::new(8);
+        let (par, _) =
+            parallel_sort_merge_join(&pool, &left, &right, RunSortMolecule::Comparison).unwrap();
+        assert_eq!(par.left_rows, serial.left_rows);
+        assert_eq!(par.right_rows, serial.right_rows);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let pool = ThreadPool::new(4);
+        let (pairs, _) = parallel_sort_index(&pool, &[], RunSortMolecule::Comparison).unwrap();
+        assert!(pairs.is_empty());
+        let (r, _) = parallel_sog(&pool, &[], &[], CountSum, RunSortMolecule::Radix).unwrap();
+        assert!(r.is_empty());
+        assert!(r.sorted_by_key);
+        let (j, _) =
+            parallel_sort_merge_join(&pool, &[], &[1, 2], RunSortMolecule::Comparison).unwrap();
+        assert!(j.is_empty());
+        let (j, _) =
+            parallel_sort_merge_join(&pool, &[1], &[1], RunSortMolecule::Comparison).unwrap();
+        assert_eq!(j.len(), 1);
+        let (one, _) = parallel_sort_index(&pool, &[42], RunSortMolecule::Radix).unwrap();
+        assert_eq!(one, vec![(42, 0)]);
+    }
+
+    #[test]
+    fn length_mismatch_is_an_error() {
+        let pool = ThreadPool::new(2);
+        assert!(matches!(
+            parallel_sog(&pool, &[1, 2], &[1], CountSum, RunSortMolecule::Comparison),
+            Err(ExecError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn repeated_runs_are_identical() {
+        let keys = dataset(120_000, 64, 77);
+        let pool = ThreadPool::new(8);
+        let (first, _) = parallel_sort_index(&pool, &keys, RunSortMolecule::Comparison).unwrap();
+        for _ in 0..3 {
+            let (again, _) =
+                parallel_sort_index(&pool, &keys, RunSortMolecule::Comparison).unwrap();
+            assert_eq!(again, first);
+        }
+    }
+}

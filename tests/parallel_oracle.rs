@@ -6,9 +6,15 @@
 
 use dqo::core::executor::sorted_rows;
 use dqo::exec::aggregate::CountSum;
+use dqo::exec::grouping::sog::sort_order_grouping;
 use dqo::exec::grouping::{execute_grouping, GroupingAlgorithm, GroupingHints};
+use dqo::exec::join::soj::sort_merge_join;
 use dqo::exec::join::{execute_join, JoinAlgorithm, JoinHints};
-use dqo::parallel::{parallel_grouping, parallel_hash_join, GroupingStrategy, ThreadPool};
+use dqo::exec::sort::argsort;
+use dqo::parallel::{
+    parallel_argsort, parallel_grouping, parallel_hash_join, parallel_sog,
+    parallel_sort_merge_join, GroupingStrategy, RunSortMolecule, ThreadPool,
+};
 use dqo::storage::datagen::{zipf_keys, DatasetSpec, ForeignKeySpec};
 use dqo::storage::Value;
 use dqo::{Dqo, OptimizerMode};
@@ -140,6 +146,143 @@ fn join_kernels_match_serial_under_skew() {
                 serial.normalised_pairs(),
                 "threads={threads} exponent={exponent}"
             );
+        }
+    }
+}
+
+#[test]
+fn parallel_sort_bit_identical_to_stable_argsort() {
+    // The sort subsystem's determinism contract: the merged output is
+    // *the* stable sorted permutation — equal keys in input order —
+    // regardless of DOP, run count or steal order, for both molecules.
+    for seed in [2u64, 0xFEED] {
+        for exponent in [0.0f64, 1.2] {
+            let keys = if exponent == 0.0 {
+                DatasetSpec::new(120_000, 200)
+                    .sorted(false)
+                    .dense(true)
+                    .seed(seed)
+                    .generate()
+                    .unwrap()
+            } else {
+                zipf_keys(120_000, 200, exponent, seed)
+            };
+            let reference = argsort(&keys);
+            for threads in THREAD_COUNTS {
+                for molecule in [RunSortMolecule::Comparison, RunSortMolecule::Radix] {
+                    let pool = ThreadPool::new(threads);
+                    let (par, _) = parallel_argsort(&pool, &keys, molecule).unwrap();
+                    assert_eq!(
+                        par, reference,
+                        "seed={seed} exponent={exponent} threads={threads} {molecule:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn sog_bit_identical_across_dop_seeds_and_skew() {
+    for seed in [4u64, 99] {
+        for exponent in [0.6f64, 1.4] {
+            let keys = zipf_keys(150_000, 300, exponent, seed);
+            let vals = zipf_keys(150_000, 1_000, 0.9, seed + 1);
+            let serial = sort_order_grouping(&keys, &vals, CountSum);
+            for threads in THREAD_COUNTS {
+                let pool = ThreadPool::new(threads);
+                let (par, _) =
+                    parallel_sog(&pool, &keys, &vals, CountSum, RunSortMolecule::Comparison)
+                        .unwrap();
+                // Full structural equality, not sorted-set equality: keys,
+                // states and the sortedness property all match.
+                assert_eq!(
+                    par, serial,
+                    "seed={seed} exponent={exponent} threads={threads}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn soj_bit_identical_across_dop_seeds_and_skew() {
+    for seed in [8u64, 31] {
+        for exponent in [0.5f64, 1.5] {
+            let left: Vec<u32> = zipf_keys(30_000, 800, 0.8, seed);
+            let right = zipf_keys(90_000, 1_000, exponent, seed + 5);
+            let serial = sort_merge_join(&left, &right);
+            for threads in THREAD_COUNTS {
+                let pool = ThreadPool::new(threads);
+                let (par, _) =
+                    parallel_sort_merge_join(&pool, &left, &right, RunSortMolecule::Comparison)
+                        .unwrap();
+                // Bit-identical emission order, not just the same pair set.
+                assert_eq!(
+                    par.left_rows, serial.left_rows,
+                    "seed={seed} exponent={exponent} threads={threads}"
+                );
+                assert_eq!(par.right_rows, serial.right_rows);
+                assert!(par.sorted_by_key);
+            }
+        }
+    }
+}
+
+#[test]
+fn sort_based_exchange_plans_match_serial_execution() {
+    use dqo::plan::physical::GroupingMolecules;
+    use dqo::plan::{GroupingImpl, JoinImpl, PhysicalPlan};
+
+    // Physical plans pinned to the sort-based organelles, serial vs
+    // Exchange-wrapped: the executor's parallel SOG/SOJ/sort dispatch
+    // must reproduce the serial output relations exactly.
+    let cat = dqo::Catalog::new();
+    let (r, s) = ForeignKeySpec {
+        r_rows: 4_000,
+        s_rows: 12_000,
+        groups: 150,
+        r_sorted: false,
+        s_sorted: false,
+        dense: true,
+        seed: 17,
+    }
+    .generate()
+    .unwrap();
+    cat.register("R", r);
+    cat.register("S", s);
+
+    let soj = PhysicalPlan::Join {
+        left: Box::new(PhysicalPlan::Scan { table: "R".into() }),
+        right: Box::new(PhysicalPlan::Scan { table: "S".into() }),
+        left_key: "id".into(),
+        right_key: "r_id".into(),
+        algo: JoinImpl::Soj,
+    };
+    let sog = PhysicalPlan::GroupBy {
+        input: Box::new(PhysicalPlan::Scan { table: "S".into() }),
+        key: "r_id".into(),
+        aggs: vec![dqo::plan::AggExpr::count_star("n")],
+        algo: GroupingImpl::Sog,
+        molecules: GroupingMolecules::defaults_for(GroupingImpl::Sog),
+    };
+    for plan in [soj, sog] {
+        let serial = dqo::core::executor::execute(&plan, &cat).unwrap();
+        for dop in [2, 8] {
+            let wrapped = PhysicalPlan::Exchange {
+                input: Box::new(plan.clone()),
+                dop,
+            };
+            let par = dqo::core::executor::execute(&wrapped, &cat).unwrap();
+            // Row-for-row identical (both emit in ascending key order).
+            assert_eq!(par.relation.rows(), serial.relation.rows());
+            for col in 0..serial.relation.schema().width() {
+                assert_eq!(
+                    format!("{:?}", par.relation.column_at(col).unwrap()),
+                    format!("{:?}", serial.relation.column_at(col).unwrap()),
+                    "dop={dop} column={col}"
+                );
+            }
         }
     }
 }
