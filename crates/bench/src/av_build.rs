@@ -1,0 +1,117 @@
+//! Offline AV build scaling study: parallel materialisation of each
+//! [`AvKind`] on the persistent pool versus the serial reference
+//! `materialise_av`, across thread counts — emitted by the `av_build`
+//! binary in the same JSON shape as `scaling`/`sort_scaling`, so the
+//! trajectory lives next to them in the CI artifacts.
+//!
+//! Each parallel configuration also samples the pool's queued-job
+//! counter while the build runs and reports the peak — the same
+//! scheduler-pressure signal `sort_scaling` tracks.
+
+use crate::sort_scaling::{best_of, with_pressure_sampler};
+use dqo_core::av::{materialise_av, materialise_av_on, AvKind, AvSignature};
+use dqo_core::{Catalog, CostModel, TupleCostModel};
+use dqo_parallel::{PersistentPool, ThreadPool};
+use dqo_storage::datagen::DatasetSpec;
+use std::sync::Arc;
+
+/// One measured AV-build configuration.
+#[derive(Debug, Clone)]
+pub struct AvBuildPoint {
+    /// AV kind (`sorted-projection`, `sph-index`, `materialised-grouping`).
+    pub kind: AvKind,
+    /// Worker count (0 encodes the serial `materialise_av` baseline).
+    pub threads: usize,
+    /// Best-of-reps wall time in milliseconds.
+    pub millis: f64,
+    /// Serial build time / this configuration's time.
+    pub speedup: f64,
+    /// Peak queued runner jobs observed on the pool during the build.
+    pub queued_peak: usize,
+    /// Cost-model estimate at this DOP (tuple operations; the serial
+    /// baseline reports the DOP-1 estimate).
+    pub est_cost: f64,
+}
+
+/// All three kinds, in a fixed report order.
+pub const KINDS: [AvKind; 3] = [
+    AvKind::SortedProjection,
+    AvKind::SphIndex,
+    AvKind::MaterialisedGrouping,
+];
+
+/// Measure every AV kind at each thread count over a `rows`-row dense
+/// datagen table. `threads` entries are parallel configurations; the
+/// serial baseline (threads = 0) is always included first per kind.
+pub fn run(rows: usize, groups: usize, threads: &[usize], reps: usize) -> Vec<AvBuildPoint> {
+    let catalog = Catalog::new();
+    catalog.register(
+        "t",
+        DatasetSpec::new(rows, groups)
+            .sorted(false)
+            .dense(true)
+            .relation()
+            .expect("datagen"),
+    );
+    let props = catalog.column_props("t", "key").expect("key stats");
+    let mut out = Vec::new();
+    for kind in KINDS {
+        let sig = AvSignature::new("t", "key", kind);
+        let (est_rows, shape) = dqo_core::av::build_shape(&props, kind);
+        let serial_ms = best_of(reps, || {
+            materialise_av(&catalog, &sig)
+                .expect("serial build")
+                .byte_size as u64
+        });
+        out.push(AvBuildPoint {
+            kind,
+            threads: 0,
+            millis: serial_ms,
+            speedup: 1.0,
+            queued_peak: 0,
+            est_cost: TupleCostModel.parallel_av_build(kind, est_rows, shape, 1),
+        });
+        for &t in threads {
+            // A dedicated pool per configuration so the measured thread
+            // count is physical regardless of the global pool's size.
+            let pool = Arc::new(PersistentPool::new(t));
+            let tp = ThreadPool::with_pool(t, Arc::clone(&pool));
+            let (ms, queued_peak) = with_pressure_sampler(&pool, || {
+                best_of(reps, || {
+                    materialise_av_on(&catalog, &sig, &tp)
+                        .expect("parallel build")
+                        .byte_size as u64
+                })
+            });
+            out.push(AvBuildPoint {
+                kind,
+                threads: t,
+                millis: ms,
+                speedup: serial_ms / ms,
+                queued_peak,
+                est_cost: TupleCostModel.parallel_av_build(kind, est_rows, shape, t),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_points_for_every_kind_and_configuration() {
+        let points = run(20_000, 64, &[1, 2], 1);
+        // Per kind: serial baseline + 2 thread counts.
+        assert_eq!(points.len(), 9);
+        assert!(points
+            .iter()
+            .all(|p| p.millis.is_finite() && p.millis >= 0.0));
+        assert!(points.iter().all(|p| p.est_cost > 0.0));
+        for kind in KINDS {
+            assert!(points.iter().any(|p| p.kind == kind && p.threads == 0));
+            assert!(points.iter().any(|p| p.kind == kind && p.threads == 2));
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Offline AV build harness: parallel materialisation of each AV kind
+//! (sorted projection, SPH index, materialised grouping) on the
+//! persistent pool versus the serial reference, at thread counts
+//! 1/2/4/8, with scheduler-pressure (peak queued jobs) and the cost
+//! model's `parallel_av_build` estimate per configuration.
+//!
+//! ```text
+//! cargo run -p dqo-bench --release --bin av_build                  # 1M rows
+//! cargo run -p dqo-bench --release --bin av_build -- --rows 4000000
+//! cargo run -p dqo-bench --release --bin av_build -- --json        # machine-readable report
+//! ```
+//!
+//! When `DQO_THREADS` is set it caps the measured thread ladder, so
+//! CI's `DQO_THREADS={1,4}` matrix legs produce genuinely different
+//! trajectories instead of duplicate JSON.
+
+use dqo_bench::av_build::run;
+use dqo_bench::report::Table;
+use dqo_bench::Args;
+
+fn main() {
+    let args = Args::from_env();
+    let rows: usize = args.value("--rows").unwrap_or(1_000_000);
+    let groups: usize = args.value("--groups").unwrap_or(20_000);
+    let reps: usize = args.value("--reps").unwrap_or(3);
+    let ladder = [1usize, 2, 4, 8];
+    let threads: Vec<usize> = match std::env::var("DQO_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+    {
+        Some(cap) if cap >= 1 => ladder.into_iter().filter(|&t| t <= cap).collect(),
+        _ => ladder.to_vec(),
+    };
+
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    eprintln!(
+        "av_build: {rows} rows, {groups} groups, threads {threads:?}, best of {reps} \
+         ({cores} hardware core(s) available)"
+    );
+    let points = run(rows, groups, &threads, reps);
+
+    let mut table = Table::new(&[
+        "kind",
+        "threads",
+        "ms",
+        "speedup",
+        "queued_peak",
+        "est_cost",
+    ]);
+    for p in &points {
+        table.row(vec![
+            p.kind.to_string(),
+            if p.threads == 0 {
+                "serial".to_string()
+            } else {
+                p.threads.to_string()
+            },
+            format!("{:.2}", p.millis),
+            format!("{:.2}", p.speedup),
+            p.queued_peak.to_string(),
+            format!("{:.0}", p.est_cost),
+        ]);
+    }
+    if args.flag("--json") {
+        print!("{}", table.to_json());
+    } else if args.flag("--csv") {
+        print!("{}", table.to_csv());
+    } else {
+        print!("{}", table.to_text());
+    }
+}

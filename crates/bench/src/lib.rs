@@ -14,6 +14,7 @@
 //! | Parallel scaling (morsel-driven HJ/SPHG) | `scaling` | `scaling` |
 //! | Parallel sort subsystem (SORT/SOG/SOJ + queue pressure) | `sort_scaling` | — |
 //! | Inter-query concurrency (shared pool + admission) | `concurrency` | — |
+//! | Offline AV builds (per-kind speedup + queue pressure) | `av_build` | — |
 //!
 //! Binaries print the same rows/series the paper reports, plus `--csv`.
 //! Dataset sizes default to laptop scale; `--full` switches to the paper's
@@ -22,6 +23,7 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod av_build;
 pub mod concurrency;
 pub mod fig4;
 pub mod fig5;

@@ -38,7 +38,7 @@ pub struct SortScalingPoint {
     pub queued_peak: usize,
 }
 
-fn best_of<F: FnMut() -> u64>(reps: usize, mut f: F) -> f64 {
+pub(crate) fn best_of<F: FnMut() -> u64>(reps: usize, mut f: F) -> f64 {
     let mut best = f64::INFINITY;
     for _ in 0..reps.max(1) {
         let start = Instant::now();
@@ -52,7 +52,10 @@ fn best_of<F: FnMut() -> u64>(reps: usize, mut f: F) -> f64 {
 
 /// Run `f` while a sampler thread polls the pool's queue depth; returns
 /// `f`'s result and the peak `queued_now` observed.
-fn with_pressure_sampler<T>(pool: &Arc<PersistentPool>, f: impl FnOnce() -> T) -> (T, usize) {
+pub(crate) fn with_pressure_sampler<T>(
+    pool: &Arc<PersistentPool>,
+    f: impl FnOnce() -> T,
+) -> (T, usize) {
     let stop = Arc::new(AtomicBool::new(false));
     let peak = Arc::new(AtomicUsize::new(0));
     let sampler = {

@@ -26,8 +26,13 @@ use crate::catalog::Catalog;
 use crate::Result;
 use dqo_exec::aggregate::{CountSum, CountSumState};
 use dqo_exec::grouping::hg::hash_grouping_chaining;
+use dqo_exec::grouping::GroupedResult;
 use dqo_exec::join::sphj::SphIndex;
 use dqo_exec::sort::argsort;
+use dqo_parallel::{
+    parallel_argsort, parallel_gather, parallel_grouping, parallel_sph_index_build,
+    GroupingStrategy, RunSortMolecule, ThreadPool, DEFAULT_MORSEL_ROWS,
+};
 use dqo_plan::PlanProps;
 use dqo_storage::{Column, DataType, Field, Relation, Schema, Sortedness};
 use parking_lot::RwLock;
@@ -122,6 +127,20 @@ impl Av {
     }
 }
 
+/// The cost model's `(rows, shape)` parameters for building `kind` over
+/// a column with `props` — `shape` is the kind's size dimension beyond
+/// the row count (SPH domain for indexes, distinct count for groupings,
+/// unused for sorted projections). The single source of truth for
+/// [`crate::cost::CostModel::parallel_av_build`] callers.
+pub fn build_shape(props: &dqo_storage::DataProps, kind: AvKind) -> (f64, f64) {
+    let shape = match kind {
+        AvKind::SortedProjection => 0.0,
+        AvKind::SphIndex => props.sph_domain().unwrap_or(0) as f64,
+        AvKind::MaterialisedGrouping => props.distinct as f64,
+    };
+    (props.rows as f64, shape)
+}
+
 /// Plan an AV (metadata only) from catalog statistics.
 pub fn plan_av(catalog: &Catalog, sig: &AvSignature) -> Result<Av> {
     let props = catalog.column_props(&sig.table, &sig.column)?;
@@ -163,9 +182,31 @@ pub fn plan_av(catalog: &Catalog, sig: &AvSignature) -> Result<Av> {
     })
 }
 
-/// Materialise an AV's artifact from the base table. Relation-shaped
-/// artifacts are also registered in the catalog under
-/// [`AvSignature::av_table_name`], so plans can scan them directly.
+/// Assemble the `(key, count, sum)` relation a materialised-grouping AV
+/// stores, from a key-sorted grouping result.
+fn grouping_relation(sig: &AvSignature, g: GroupedResult<CountSumState>) -> Result<Relation> {
+    let counts: Vec<u64> = g.states.iter().map(|s| s.count).collect();
+    let sums: Vec<u64> = g.states.iter().map(|s| s.sum).collect();
+    Ok(Relation::new(
+        Schema::new(vec![
+            Field::new(&sig.column, DataType::U32),
+            Field::new("count", DataType::U64),
+            Field::new("sum", DataType::U64),
+        ])?,
+        vec![Column::U32(g.keys), Column::U64(counts), Column::U64(sums)],
+    )?)
+}
+
+/// Materialise an AV's artifact from the base table with the **serial**
+/// kernels (`argsort`, [`SphIndex::build`], `hash_grouping_chaining`) on
+/// the caller thread. Relation-shaped artifacts are also registered in
+/// the catalog under [`AvSignature::av_table_name`], so plans can scan
+/// them directly.
+///
+/// This is the reference implementation the parallel builder
+/// ([`materialise_av_on`]) is tested bit-identical against; offline
+/// batch builds should go through [`crate::av_build::AvBuilder`], which
+/// runs on the shared pool under admission control.
 pub fn materialise_av(catalog: &Catalog, sig: &AvSignature) -> Result<Av> {
     let mut av = plan_av(catalog, sig)?;
     let entry = catalog.get(&sig.table)?;
@@ -184,19 +225,60 @@ pub fn materialise_av(catalog: &Catalog, sig: &AvSignature) -> Result<Av> {
             av.artifact = Some(AvArtifact::SphIndex(Arc::new(index)));
         }
         AvKind::MaterialisedGrouping => {
-            let grouped = hash_grouping_chaining(keys, keys, CountSum, keys.len().min(1 << 20));
-            let mut g = grouped;
+            let mut g = hash_grouping_chaining(keys, keys, CountSum, keys.len().min(1 << 20));
             g.sort_by_key();
-            let counts: Vec<u64> = g.states.iter().map(|s: &CountSumState| s.count).collect();
-            let sums: Vec<u64> = g.states.iter().map(|s| s.sum).collect();
-            let rel = Relation::new(
-                Schema::new(vec![
-                    Field::new(&sig.column, DataType::U32),
-                    Field::new("count", DataType::U64),
-                    Field::new("sum", DataType::U64),
-                ])?,
-                vec![Column::U32(g.keys), Column::U64(counts), Column::U64(sums)],
-            )?;
+            let rel = grouping_relation(sig, g)?;
+            catalog.register(sig.av_table_name(), rel.clone());
+            av.artifact = Some(AvArtifact::MaterialisedGrouping(Arc::new(rel)));
+        }
+    }
+    Ok(av)
+}
+
+/// Materialise an AV's artifact through the persistent pool behind
+/// `pool`: the sorted projection via the parallel sort plus a
+/// range-partitioned gather, the SPH index via the partitioned CSR
+/// build, the materialised grouping via the parallel SPHG/HG kernels.
+///
+/// Artifacts are **bit-identical** to [`materialise_av`]'s at any DOP or
+/// steal order (the parallel kernels are deterministic by construction),
+/// and at DOP 1 everything runs inline on the caller thread without
+/// touching the pool. Registration side effects match the serial path.
+pub fn materialise_av_on(catalog: &Catalog, sig: &AvSignature, pool: &ThreadPool) -> Result<Av> {
+    let mut av = plan_av(catalog, sig)?;
+    let entry = catalog.get(&sig.table)?;
+    let keys = entry.relation.column(&sig.column)?.as_u32()?;
+    match sig.kind {
+        AvKind::SortedProjection => {
+            let (perm, _) = parallel_argsort(pool, keys, RunSortMolecule::Comparison)?;
+            let order: Vec<usize> = perm.into_iter().map(|i| i as usize).collect();
+            let sorted = parallel_gather(pool, &entry.relation, &order)?;
+            catalog.register(sig.av_table_name(), sorted.clone());
+            av.artifact = Some(AvArtifact::SortedProjection(Arc::new(sorted)));
+        }
+        AvKind::SphIndex => {
+            let props = catalog.column_props(&sig.table, &sig.column)?;
+            let index = parallel_sph_index_build(pool, keys, props.min, props.max)?;
+            av.byte_size = index.byte_size();
+            av.artifact = Some(AvArtifact::SphIndex(Arc::new(index)));
+        }
+        AvKind::MaterialisedGrouping => {
+            let props = catalog.column_props(&sig.table, &sig.column)?;
+            // The same molecule split the query engine uses: the dense
+            // SPH array when density admits it, chaining hash otherwise.
+            // Both kernels emit ascending keys with exactly-merged
+            // decomposable states, i.e. the serial artifact.
+            let strategy = if props.rows > 0 && props.density.is_dense() {
+                GroupingStrategy::StaticPerfectHash {
+                    min: props.min,
+                    max: props.max,
+                }
+            } else {
+                GroupingStrategy::Hash
+            };
+            let (g, _) =
+                parallel_grouping(pool, keys, keys, CountSum, strategy, DEFAULT_MORSEL_ROWS)?;
+            let rel = grouping_relation(sig, g)?;
             catalog.register(sig.av_table_name(), rel.clone());
             av.artifact = Some(AvArtifact::MaterialisedGrouping(Arc::new(rel)));
         }
@@ -228,9 +310,47 @@ impl AvCatalog {
         av
     }
 
+    /// Register `av` only if `still_valid` holds, evaluated **under the
+    /// catalog's write lock** so the check cannot interleave with an
+    /// [`AvCatalog::invalidate_table`] (which takes the same lock).
+    /// Returns `None` without registering when the check fails — how a
+    /// long-running build refuses to publish an artifact whose base
+    /// table was replaced mid-build.
+    pub fn register_if(&self, av: Av, still_valid: impl FnOnce() -> bool) -> Option<Arc<Av>> {
+        let mut views = self.views.write();
+        if !still_valid() {
+            return None;
+        }
+        let av = Arc::new(av);
+        views.insert(av.signature.clone(), Arc::clone(&av));
+        Some(av)
+    }
+
     /// Remove an AV; returns whether it existed.
     pub fn remove(&self, sig: &AvSignature) -> bool {
         self.views.write().remove(sig).is_some()
+    }
+
+    /// Drop every AV and partial AV built from `table`, returning the
+    /// removed signatures so the caller can also deregister their hidden
+    /// `__av::` relations from the table catalog.
+    ///
+    /// Must be called whenever the base table's data changes (re-register
+    /// or drop): artifacts are snapshots, and a catalog that keeps
+    /// serving them after the data moved would answer queries from stale
+    /// data — the bug `Engine::register_table` guards against.
+    pub fn invalidate_table(&self, table: &str) -> Vec<AvSignature> {
+        let mut removed = Vec::new();
+        self.views.write().retain(|sig, _| {
+            if sig.table == table {
+                removed.push(sig.clone());
+                false
+            } else {
+                true
+            }
+        });
+        self.partials.write().retain(|(t, _), _| t != table);
+        removed
     }
 
     /// Look up an AV by signature.
@@ -375,6 +495,89 @@ mod tests {
         // AVSP will never select it.
         let av = plan_av(&cat, &sig).unwrap();
         assert!(av.byte_size > 1 << 20);
+    }
+
+    /// Fast unit smoke for `materialise_av_on` (the exhaustive
+    /// seed × skew × DOP matrix lives in `tests/parallel_oracle.rs`):
+    /// one realistic table plus the degenerate empty/single-row bases,
+    /// all three kinds, parallel vs serial at DOP 4.
+    #[test]
+    fn materialise_av_on_matches_serial_smoke() {
+        let pool = ThreadPool::new(4);
+        for data in [
+            None, // the 2k-row datagen table
+            Some(vec![]),
+            Some(vec![42u32]),
+        ] {
+            let cat = match &data {
+                None => catalog_with_t(false, true),
+                Some(rows) => {
+                    let cat = Catalog::new();
+                    cat.register("t", Relation::single_u32("key", rows.clone()));
+                    cat
+                }
+            };
+            for kind in [
+                AvKind::SortedProjection,
+                AvKind::SphIndex,
+                AvKind::MaterialisedGrouping,
+            ] {
+                let sig = AvSignature::new("t", "key", kind);
+                let serial = materialise_av(&cat, &sig).unwrap();
+                let par = materialise_av_on(&cat, &sig, &pool).unwrap();
+                let ctx = format!("{kind} rows={:?}", data.as_ref().map(Vec::len));
+                assert_eq!(par.byte_size, serial.byte_size, "{ctx}");
+                match (par.artifact.unwrap(), serial.artifact.unwrap()) {
+                    (AvArtifact::SortedProjection(p), AvArtifact::SortedProjection(s))
+                    | (AvArtifact::MaterialisedGrouping(p), AvArtifact::MaterialisedGrouping(s)) => {
+                        assert_eq!(p.rows(), s.rows(), "{ctx}");
+                        for c in 0..s.schema().width() {
+                            assert_eq!(
+                                format!("{:?}", p.column_at(c).unwrap()),
+                                format!("{:?}", s.column_at(c).unwrap()),
+                                "{ctx} column={c}"
+                            );
+                        }
+                    }
+                    (AvArtifact::SphIndex(p), AvArtifact::SphIndex(s)) => {
+                        assert_eq!(p, s, "{ctx}")
+                    }
+                    other => panic!("{ctx}: artifact kinds diverged: {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn invalidate_table_drops_views_and_partials() {
+        let cat = catalog_with_t(false, true);
+        let avs = AvCatalog::new();
+        avs.register(plan_av(&cat, &AvSignature::new("t", "key", AvKind::SphIndex)).unwrap());
+        avs.register(
+            plan_av(
+                &cat,
+                &AvSignature::new("t", "key", AvKind::SortedProjection),
+            )
+            .unwrap(),
+        );
+        avs.register_partial("t", "key", crate::partial_av::PartialAv::fully_open("p"));
+        // A view on another table must survive.
+        cat.register("u", Relation::single_u32("key", vec![1, 2, 3]));
+        avs.register(
+            plan_av(
+                &cat,
+                &AvSignature::new("u", "key", AvKind::SortedProjection),
+            )
+            .unwrap(),
+        );
+
+        let removed = avs.invalidate_table("t");
+        assert_eq!(removed.len(), 2);
+        assert!(removed.iter().all(|sig| sig.table == "t"));
+        assert!(avs.lookup("t", "key", AvKind::SphIndex).is_none());
+        assert!(avs.partial_for("t", "key").is_none());
+        assert!(avs.lookup("u", "key", AvKind::SortedProjection).is_some());
+        assert!(avs.invalidate_table("t").is_empty(), "idempotent");
     }
 
     #[test]

@@ -1,0 +1,283 @@
+//! The offline AV build service: batch-materialise an AVSP solution on
+//! the shared persistent pool, under admission control.
+//!
+//! §3's trade-off is "how much time do I want to spend on DQO offline?"
+//! — and on a serving system that offline time competes with live
+//! queries for the same workers. [`AvBuilder`] makes the competition
+//! explicit and bounded:
+//!
+//! * every AV build passes the pool's
+//!   [`AdmissionController`](dqo_parallel::AdmissionController) exactly
+//!   like a query — it occupies one in-flight slot, waits FIFO behind
+//!   earlier arrivals, and its DOP is clamped to the fair share while
+//!   other queries run, so the admission bound holds with builds and
+//!   queries multiplexed on one pool;
+//! * builds are **low priority by construction**: a batch admits one
+//!   build at a time (never more than a single in-flight slot for the
+//!   whole batch) and [`AvBuilder::spawn`] runs the batch on a
+//!   background thread so the session thread keeps serving;
+//! * each build reports [`AvBuildStats`]: granted DOP, wall time, bytes,
+//!   and the cost model's serial/parallel
+//!   [`estimates`](crate::cost::CostModel::parallel_av_build) — the
+//!   observability the adaptive-admission roadmap item feeds on.
+//!
+//! Artifacts are built with [`materialise_av_on`], bit-identical to the
+//! serial [`crate::av::materialise_av`] at any granted DOP.
+
+use crate::av::{materialise_av_on, AvCatalog, AvSignature};
+use crate::avsp::AvspSolution;
+use crate::catalog::Catalog;
+use crate::cost::{CostModel, TupleCostModel};
+use crate::error::CoreError;
+use crate::Result;
+use dqo_parallel::{PersistentPool, ThreadPool};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Measurements and estimates for one completed AV build.
+#[derive(Debug, Clone)]
+pub struct AvBuildStats {
+    /// What was built.
+    pub signature: AvSignature,
+    /// DOP the builder asked admission for.
+    pub requested_dop: usize,
+    /// DOP admission actually granted (clamped under load).
+    pub granted_dop: usize,
+    /// Build wall time, admission wait excluded.
+    pub wall: Duration,
+    /// Artifact footprint in bytes.
+    pub bytes: usize,
+    /// Cost-model estimate of the serial build (tuple operations).
+    pub est_serial_cost: f64,
+    /// Cost-model estimate at the granted DOP (tuple operations).
+    pub est_parallel_cost: f64,
+    /// True when the base table was replaced (or dropped) while this
+    /// build ran: the stale artifact was **discarded**, not registered.
+    pub superseded: bool,
+}
+
+/// Batch-materialises AVs on a shared pool through its admission
+/// controller. Cheap to clone; see the module docs for the policy.
+#[derive(Debug, Clone)]
+pub struct AvBuilder {
+    catalog: Arc<Catalog>,
+    avs: Arc<AvCatalog>,
+    pool: Arc<PersistentPool>,
+    requested_dop: usize,
+}
+
+impl AvBuilder {
+    /// A builder materialising into `avs` from `catalog`, dispatching on
+    /// `pool` and requesting the pool's full worker count per build
+    /// (admission clamps it under load).
+    pub fn new(catalog: Arc<Catalog>, avs: Arc<AvCatalog>, pool: Arc<PersistentPool>) -> Self {
+        let requested_dop = pool.threads();
+        AvBuilder {
+            catalog,
+            avs,
+            pool,
+            requested_dop,
+        }
+    }
+
+    /// Override the DOP requested from admission (clamped to ≥ 1).
+    pub fn with_requested_dop(mut self, dop: usize) -> Self {
+        self.requested_dop = dop.max(1);
+        self
+    }
+
+    /// The cost model's size parameters for `sig`'s kind.
+    fn shape_of(&self, sig: &AvSignature) -> Result<(f64, f64)> {
+        let props = self.catalog.column_props(&sig.table, &sig.column)?;
+        Ok(crate::av::build_shape(&props, sig.kind))
+    }
+
+    /// Build one AV: admit, materialise at the granted DOP, register the
+    /// result in the AV catalog, release the slot.
+    ///
+    /// A build races table replacement by design (it runs in the
+    /// background while the session serves DDL): the artifact is only
+    /// published if the base table's registration
+    /// [generation](crate::catalog::TableEntry::generation) is unchanged
+    /// since the build read it — checked atomically against
+    /// [`AvCatalog::invalidate_table`] — so a table replaced mid-build
+    /// can never end up served from the stale snapshot. A superseded
+    /// build discards its artifact (and hidden relation) and reports
+    /// [`AvBuildStats::superseded`].
+    pub fn build(&self, sig: &AvSignature) -> Result<AvBuildStats> {
+        let (rows, shape) = self.shape_of(sig)?;
+        let generation = self.catalog.generation_of(&sig.table);
+        let permit = self.pool.admission().admit(self.requested_dop);
+        let granted_dop = permit.dop();
+        let tp = ThreadPool::with_pool(granted_dop, Arc::clone(&self.pool));
+        let start = Instant::now();
+        let av = materialise_av_on(&self.catalog, sig, &tp)?;
+        let wall = start.elapsed();
+        let bytes = av.byte_size;
+        let published = self
+            .avs
+            .register_if(av, || self.catalog.generation_of(&sig.table) == generation)
+            .is_some();
+        if !published {
+            // The base table moved mid-build: the hidden relation the
+            // materialiser registered is a stale snapshot — drop it.
+            self.catalog.drop_table(&sig.av_table_name());
+        }
+        drop(permit);
+        Ok(AvBuildStats {
+            signature: sig.clone(),
+            requested_dop: self.requested_dop,
+            granted_dop,
+            wall,
+            bytes,
+            est_serial_cost: TupleCostModel.parallel_av_build(sig.kind, rows, shape, 1),
+            est_parallel_cost: TupleCostModel.parallel_av_build(sig.kind, rows, shape, granted_dop),
+            superseded: !published,
+        })
+    }
+
+    /// Build a batch in order, one admission slot at a time.
+    pub fn build_batch(&self, sigs: &[AvSignature]) -> Result<Vec<AvBuildStats>> {
+        sigs.iter().map(|sig| self.build(sig)).collect()
+    }
+
+    /// Build every view an AVSP solver selected.
+    pub fn build_solution(&self, solution: &AvspSolution) -> Result<Vec<AvBuildStats>> {
+        let sigs: Vec<AvSignature> = solution
+            .selected
+            .iter()
+            .map(|av| av.signature.clone())
+            .collect();
+        self.build_batch(&sigs)
+    }
+
+    /// Run `build_batch` on a background thread — the offline-build mode:
+    /// queries keep flowing on the session thread while the builds
+    /// trickle through admission behind them.
+    pub fn spawn(&self, sigs: Vec<AvSignature>) -> AvBuildHandle {
+        let builder = self.clone();
+        AvBuildHandle {
+            thread: std::thread::Builder::new()
+                .name("dqo-av-build".into())
+                .spawn(move || builder.build_batch(&sigs))
+                .expect("spawn AV build thread"),
+        }
+    }
+}
+
+/// Join handle for a background AV build batch.
+#[derive(Debug)]
+pub struct AvBuildHandle {
+    thread: std::thread::JoinHandle<Result<Vec<AvBuildStats>>>,
+}
+
+impl AvBuildHandle {
+    /// Block until the batch finished; surfaces the first build error,
+    /// or an [`CoreError::Av`] if the build thread itself panicked.
+    pub fn wait(self) -> Result<Vec<AvBuildStats>> {
+        self.thread
+            .join()
+            .map_err(|_| CoreError::Av("background AV build thread panicked".into()))?
+    }
+
+    /// Whether the batch already finished (non-blocking).
+    pub fn is_finished(&self) -> bool {
+        self.thread.is_finished()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::av::{materialise_av, AvArtifact, AvKind};
+    use dqo_storage::datagen::DatasetSpec;
+
+    fn setup(rows: usize, groups: usize) -> (Arc<Catalog>, Arc<AvCatalog>) {
+        let catalog = Arc::new(Catalog::new());
+        catalog.register(
+            "t",
+            DatasetSpec::new(rows, groups)
+                .sorted(false)
+                .dense(true)
+                .relation()
+                .unwrap(),
+        );
+        (catalog, Arc::new(AvCatalog::new()))
+    }
+
+    #[test]
+    fn builds_register_artifacts_and_report_stats() {
+        let (catalog, avs) = setup(50_000, 128);
+        let pool = Arc::new(PersistentPool::new(2));
+        let builder = AvBuilder::new(Arc::clone(&catalog), Arc::clone(&avs), pool);
+        let sigs = vec![
+            AvSignature::new("t", "key", AvKind::SortedProjection),
+            AvSignature::new("t", "key", AvKind::SphIndex),
+            AvSignature::new("t", "key", AvKind::MaterialisedGrouping),
+        ];
+        let stats = builder.build_batch(&sigs).unwrap();
+        assert_eq!(stats.len(), 3);
+        for s in &stats {
+            assert!(s.granted_dop >= 1);
+            assert!(s.bytes > 0);
+            assert!(s.est_serial_cost > 0.0);
+            assert!(
+                s.est_parallel_cost <= s.est_serial_cost || s.granted_dop == 1,
+                "{:?}",
+                s
+            );
+            assert!(avs.get(&s.signature).unwrap().is_materialised());
+        }
+        // Relation-shaped artifacts are scannable through the catalog.
+        assert!(catalog.get(&sigs[0].av_table_name()).is_ok());
+        assert!(catalog.get(&sigs[2].av_table_name()).is_ok());
+    }
+
+    #[test]
+    fn built_artifacts_match_the_serial_reference() {
+        let (catalog, avs) = setup(30_000, 64);
+        let pool = Arc::new(PersistentPool::new(4));
+        let builder = AvBuilder::new(Arc::clone(&catalog), Arc::clone(&avs), pool);
+        let sig = AvSignature::new("t", "key", AvKind::SphIndex);
+        builder.build(&sig).unwrap();
+        let reference_catalog = Arc::new(Catalog::new());
+        reference_catalog.register("t", (*catalog.get("t").unwrap().relation).clone());
+        let serial = materialise_av(&reference_catalog, &sig).unwrap();
+        match (avs.get(&sig).unwrap().artifact.as_ref(), serial.artifact) {
+            (Some(AvArtifact::SphIndex(par)), Some(AvArtifact::SphIndex(ser))) => {
+                assert_eq!(**par, *ser)
+            }
+            other => panic!("expected SPH artifacts, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn background_batch_respects_the_admission_bound() {
+        let (catalog, avs) = setup(120_000, 256);
+        let pool = Arc::new(PersistentPool::with_admission(2, 1));
+        let builder = AvBuilder::new(catalog, avs, Arc::clone(&pool));
+        let handle = builder.spawn(vec![
+            AvSignature::new("t", "key", AvKind::SortedProjection),
+            AvSignature::new("t", "key", AvKind::SphIndex),
+            AvSignature::new("t", "key", AvKind::MaterialisedGrouping),
+        ]);
+        let stats = handle.wait().unwrap();
+        assert_eq!(stats.len(), 3);
+        // One build at a time through a max_inflight=1 controller: the
+        // peak can never exceed the bound.
+        assert!(pool.admission().peak_inflight() <= 1);
+        assert_eq!(pool.admission().inflight(), 0);
+    }
+
+    #[test]
+    fn build_errors_surface_not_panic() {
+        let catalog = Arc::new(Catalog::new());
+        let avs = Arc::new(AvCatalog::new());
+        let pool = Arc::new(PersistentPool::new(1));
+        let builder = AvBuilder::new(catalog, avs, pool);
+        let missing = AvSignature::new("nope", "key", AvKind::SphIndex);
+        assert!(builder.build(&missing).is_err());
+        let handle = builder.spawn(vec![missing]);
+        assert!(handle.wait().is_err());
+    }
+}

@@ -9,6 +9,7 @@ use crate::Result;
 use dqo_storage::{stats, DataProps, DataType, Relation};
 use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// One registered table.
@@ -18,10 +19,15 @@ pub struct TableEntry {
     pub relation: Arc<Relation>,
     /// Exact properties of each `u32`/`Str` column (keyed by column name).
     pub column_props: HashMap<String, DataProps>,
+    /// Registration generation: strictly increases across the catalog on
+    /// every `register`, so a long-running consumer (e.g. an offline AV
+    /// build) can detect that the table it read from has since been
+    /// replaced.
+    pub generation: u64,
 }
 
 impl TableEntry {
-    fn from_relation(relation: Arc<Relation>) -> Self {
+    fn from_relation(relation: Arc<Relation>, generation: u64) -> Self {
         let mut column_props = HashMap::new();
         for field in relation.schema().fields() {
             if matches!(field.data_type, DataType::U32 | DataType::Str) {
@@ -35,6 +41,7 @@ impl TableEntry {
         TableEntry {
             relation,
             column_props,
+            generation,
         }
     }
 }
@@ -43,6 +50,8 @@ impl TableEntry {
 #[derive(Debug, Default)]
 pub struct Catalog {
     tables: RwLock<HashMap<String, Arc<TableEntry>>>,
+    /// Source of [`TableEntry::generation`] stamps.
+    generations: AtomicU64,
 }
 
 impl Catalog {
@@ -53,9 +62,17 @@ impl Catalog {
 
     /// Register (or replace) a table, computing exact column statistics.
     pub fn register(&self, name: impl Into<String>, relation: Relation) -> Arc<TableEntry> {
-        let entry = Arc::new(TableEntry::from_relation(Arc::new(relation)));
+        let generation = self.generations.fetch_add(1, Ordering::Relaxed);
+        let entry = Arc::new(TableEntry::from_relation(Arc::new(relation), generation));
         self.tables.write().insert(name.into(), Arc::clone(&entry));
         entry
+    }
+
+    /// The registration generation of `name`'s current entry, if it
+    /// exists — compare against a snapshot taken earlier to detect that
+    /// the table was replaced in between.
+    pub fn generation_of(&self, name: &str) -> Option<u64> {
+        self.tables.read().get(name).map(|e| e.generation)
     }
 
     /// Look up a table.

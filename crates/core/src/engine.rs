@@ -5,7 +5,8 @@
 //! long-term vision calls for, able to *"make a smooth transition from SQO
 //! to DQO"*: the [`OptimizerMode`] is a per-query knob.
 
-use crate::av::{materialise_av, AvCatalog};
+use crate::av::AvCatalog;
+use crate::av_build::{AvBuildHandle, AvBuilder};
 use crate::avsp::{self, AvspSolution, Solver, WorkloadQuery};
 use crate::catalog::Catalog;
 use crate::cost::TupleCostModel;
@@ -43,8 +44,8 @@ pub struct QueryResult {
 /// deterministic across DOPs — only latency trades.
 #[derive(Debug)]
 pub struct Engine {
-    catalog: Catalog,
-    avs: AvCatalog,
+    catalog: Arc<Catalog>,
+    avs: Arc<AvCatalog>,
     mode: OptimizerMode,
     pmodel: PropertyModel,
     /// Degree of parallelism offered to the optimiser; 1 disables the
@@ -63,8 +64,8 @@ impl Default for Engine {
     /// spawned until a plan actually carries an Exchange node.
     fn default() -> Self {
         Engine {
-            catalog: Catalog::default(),
-            avs: AvCatalog::default(),
+            catalog: Arc::new(Catalog::default()),
+            avs: Arc::new(AvCatalog::default()),
             mode: OptimizerMode::default(),
             pmodel: PropertyModel::default(),
             threads: dqo_parallel::default_threads(),
@@ -144,9 +145,39 @@ impl Engine {
         &self.avs
     }
 
-    /// Register a table.
+    /// Register (or replace) a table. Replacing a table **invalidates
+    /// every AV built from it** — the artifacts are snapshots of the old
+    /// data, and serving them (or their hidden `__av::` relations) after
+    /// the base table moved would answer queries from stale data.
+    ///
+    /// Ordering matters for in-flight background builds: the new entry
+    /// is registered **first** (bumping the table's generation), *then*
+    /// the AVs are invalidated. A build still running against the old
+    /// data either publishes before the invalidation (and is removed by
+    /// it) or fails its generation check and discards the artifact — in
+    /// no interleaving does a stale AV survive.
     pub fn register_table(&self, name: impl Into<String>, relation: Relation) {
-        self.catalog.register(name, relation);
+        let name = name.into();
+        self.catalog.register(name.clone(), relation);
+        self.invalidate_avs_of(&name);
+    }
+
+    /// Drop a table, invalidating its AVs and partial AVs; returns
+    /// whether the table existed. Like [`Engine::register_table`], the
+    /// catalog entry goes first so racing background builds fail their
+    /// generation check.
+    pub fn drop_table(&self, name: &str) -> bool {
+        let existed = self.catalog.drop_table(name);
+        self.invalidate_avs_of(name);
+        existed
+    }
+
+    /// Remove every AV/partial built from `table` and deregister their
+    /// hidden `__av::` relations from the table catalog.
+    fn invalidate_avs_of(&self, table: &str) {
+        for sig in self.avs.invalidate_table(table) {
+            self.catalog.drop_table(&sig.av_table_name());
+        }
     }
 
     /// Optimise a logical plan (no execution). Plans at the session's
@@ -221,7 +252,21 @@ pipeline: {}
         ))
     }
 
-    /// Solve AVSP for a workload and materialise the chosen views.
+    /// An [`AvBuilder`] wired to this session's catalog, AV catalog and
+    /// pool: every build passes the pool's admission controller and runs
+    /// the parallel build kernels at the granted DOP.
+    pub fn av_builder(&self) -> AvBuilder {
+        AvBuilder::new(
+            Arc::clone(&self.catalog),
+            Arc::clone(&self.avs),
+            self.pool(),
+        )
+        .with_requested_dop(self.threads)
+    }
+
+    /// Solve AVSP for a workload and materialise the chosen views on the
+    /// session's pool (each build admission-controlled; see
+    /// [`Engine::av_builder`]).
     pub fn select_and_materialise_avs(
         &self,
         workload: &[WorkloadQuery],
@@ -229,11 +274,22 @@ pipeline: {}
         solver: Solver,
     ) -> Result<AvspSolution> {
         let solution = avsp::solve(workload, &self.catalog, budget_bytes, solver)?;
-        for av in &solution.selected {
-            let built = materialise_av(&self.catalog, &av.signature)?;
-            self.avs.register(built);
-        }
+        self.av_builder().build_solution(&solution)?;
         Ok(solution)
+    }
+
+    /// Materialise an AVSP solution **in the background**: the returned
+    /// handle's batch trickles through the pool's admission queue (one
+    /// in-flight slot at a time, DOP-clamped under load) while this
+    /// session keeps serving queries. [`AvBuildHandle::wait`] returns
+    /// the per-build [`crate::av_build::AvBuildStats`].
+    pub fn materialise_avs_background(&self, solution: &AvspSolution) -> AvBuildHandle {
+        let sigs = solution
+            .selected
+            .iter()
+            .map(|av| av.signature.clone())
+            .collect();
+        self.av_builder().spawn(sigs)
     }
 }
 
@@ -395,6 +451,170 @@ mod tests {
         // The admission controller saw the query through.
         assert_eq!(pool.admission().inflight(), 0);
         assert!(pool.admission().peak_inflight() >= 1);
+    }
+
+    #[test]
+    fn reregistering_a_table_never_serves_stale_avs() {
+        // Regression: AVs are snapshots; replacing the base table must
+        // invalidate them (and their hidden `__av::` relations), or the
+        // engine answers queries from the old data.
+        let engine = engine_with_table(false, true);
+        let q = count_sum_query();
+        let workload = vec![WorkloadQuery::new(q.clone(), 100.0)];
+        engine
+            .select_and_materialise_avs(&workload, usize::MAX, crate::avsp::Solver::Greedy)
+            .unwrap();
+        assert!(!engine.avs().signatures().is_empty());
+        let grouped_via_av = engine.query(&q).unwrap();
+        assert_eq!(grouped_via_av.output.relation.rows(), 64);
+
+        // Replace the table with 16 groups over half the rows: every
+        // answer derived from the old 64-group snapshot is now wrong.
+        engine.register_table(
+            "t",
+            DatasetSpec::new(2_500, 16)
+                .sorted(false)
+                .dense(true)
+                .relation()
+                .unwrap(),
+        );
+        assert!(
+            engine.avs().signatures().is_empty(),
+            "AVs built from the old data must be invalidated"
+        );
+        assert!(
+            engine
+                .catalog()
+                .table_names()
+                .iter()
+                .all(|n| !n.starts_with("__av::")),
+            "hidden AV relations must be deregistered"
+        );
+        let fresh = engine.query(&q).unwrap();
+        assert_eq!(fresh.output.relation.rows(), 16);
+        let counts = fresh
+            .output
+            .relation
+            .column("count")
+            .unwrap()
+            .as_u64()
+            .unwrap();
+        assert_eq!(counts.iter().sum::<u64>(), 2_500);
+    }
+
+    #[test]
+    fn drop_table_invalidates_avs_too() {
+        let engine = engine_with_table(false, true);
+        let q = count_sum_query();
+        let workload = vec![WorkloadQuery::new(q, 1.0)];
+        engine
+            .select_and_materialise_avs(&workload, usize::MAX, crate::avsp::Solver::Greedy)
+            .unwrap();
+        assert!(engine.drop_table("t"));
+        assert!(engine.avs().signatures().is_empty());
+        assert!(engine
+            .catalog()
+            .table_names()
+            .iter()
+            .all(|n| !n.starts_with("__av::")));
+        assert!(!engine.drop_table("t"));
+    }
+
+    #[test]
+    fn background_av_builds_respect_admission_while_queries_run() {
+        let pool = Arc::new(PersistentPool::with_admission(2, 2));
+        let engine = Engine::with_shared_pool(Arc::clone(&pool));
+        engine.register_table(
+            "t",
+            DatasetSpec::new(150_000, 128)
+                .sorted(false)
+                .dense(true)
+                .relation()
+                .unwrap(),
+        );
+        let q = count_sum_query();
+        let workload = vec![WorkloadQuery::new(q.clone(), 10.0)];
+        let solution =
+            avsp::solve(&workload, engine.catalog(), usize::MAX, Solver::Greedy).unwrap();
+        assert!(!solution.selected.is_empty());
+        let handle = engine.materialise_avs_background(&solution);
+        // Queries keep flowing while the batch trickles through
+        // admission behind them.
+        for _ in 0..4 {
+            let r = engine.query(&q).unwrap();
+            assert_eq!(r.output.relation.rows(), 128);
+        }
+        let stats = handle.wait().unwrap();
+        assert_eq!(stats.len(), solution.selected.len());
+        assert!(stats.iter().all(|s| s.granted_dop >= 1));
+        // The admission bound held across builds + queries combined.
+        assert!(pool.admission().peak_inflight() <= 2);
+        assert_eq!(pool.admission().inflight(), 0);
+        // The built AVs serve subsequent queries.
+        for sig in engine.avs().signatures() {
+            assert!(engine.avs().get(&sig).unwrap().is_materialised());
+        }
+    }
+
+    #[test]
+    fn background_build_racing_table_replacement_never_leaves_stale_avs() {
+        // Regression for the build-vs-DDL race: a background build whose
+        // base table is replaced mid-flight must fail its generation
+        // check and discard the artifact (superseded), never publish a
+        // stale one. Run several rounds so both interleavings (build
+        // finishes before / after the replacement) occur.
+        let q = count_sum_query();
+        for round in 0..8u64 {
+            let pool = Arc::new(PersistentPool::new(2));
+            let engine = Engine::with_shared_pool(Arc::clone(&pool));
+            engine.register_table(
+                "t",
+                DatasetSpec::new(200_000, 64)
+                    .sorted(false)
+                    .dense(true)
+                    .seed(round)
+                    .relation()
+                    .unwrap(),
+            );
+            let workload = vec![WorkloadQuery::new(q.clone(), 10.0)];
+            let solution =
+                avsp::solve(&workload, engine.catalog(), usize::MAX, Solver::Greedy).unwrap();
+            let handle = engine.materialise_avs_background(&solution);
+            // Replace the table while the batch may be mid-build.
+            engine.register_table(
+                "t",
+                DatasetSpec::new(1_000, 16)
+                    .sorted(false)
+                    .dense(true)
+                    .relation()
+                    .unwrap(),
+            );
+            let stats = handle.wait().unwrap();
+            assert_eq!(stats.len(), solution.selected.len(), "round={round}");
+            // Whatever interleaving happened: queries answer from the
+            // new data, never a stale artifact.
+            let result = engine.query(&q).unwrap();
+            assert_eq!(result.output.relation.rows(), 16, "round={round}");
+            let counts = result
+                .output
+                .relation
+                .column("count")
+                .unwrap()
+                .as_u64()
+                .unwrap();
+            assert_eq!(counts.iter().sum::<u64>(), 1_000, "round={round}");
+            // Hidden `__av::` relations only exist for registered AVs
+            // (no leaked stale snapshots).
+            let sigs = engine.avs().signatures();
+            for name in engine.catalog().table_names() {
+                if name.starts_with("__av::") {
+                    assert!(
+                        sigs.iter().any(|s| s.av_table_name() == name),
+                        "round={round}: orphaned hidden relation {name}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -19,6 +19,9 @@
 //! * [`avsp`] — the **Algorithmic View Selection Problem**: exhaustive,
 //!   greedy and knapsack solvers choosing which AVs to materialise under a
 //!   space budget for a given workload;
+//! * [`av_build`] — the offline AV build service: batch-materialises an
+//!   AVSP solution on the shared persistent pool, admission-controlled
+//!   and optionally in the background, with per-build stats;
 //! * [`partial_av`] — partial AVs (§6): granules frozen offline with
 //!   named decisions left open for query time;
 //! * [`adaptive`] — runtime-adaptive AVs (§6): a cracking-style index
@@ -32,6 +35,7 @@
 
 pub mod adaptive;
 pub mod av;
+pub mod av_build;
 pub mod avsp;
 pub mod catalog;
 pub mod cost;
@@ -44,6 +48,7 @@ pub mod optimizer;
 pub mod partial_av;
 pub mod reopt;
 
+pub use av_build::{AvBuildHandle, AvBuildStats, AvBuilder};
 pub use catalog::Catalog;
 pub use cost::{CostModel, TupleCostModel};
 pub use engine::Engine;

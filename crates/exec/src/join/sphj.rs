@@ -54,6 +54,40 @@ impl SphIndex {
         Ok(SphIndex { min, offsets, rows })
     }
 
+    /// Assemble an index from prebuilt CSR parts — the entry point for
+    /// parallel builders that compute the layout themselves (per-block
+    /// histograms + partitioned fill). Validates the CSR invariants so a
+    /// buggy builder cannot produce an index that panics at probe time.
+    pub fn from_csr(min: u32, offsets: Vec<u32>, rows: Vec<u32>) -> Result<Self> {
+        let invalid = |detail: String| ExecError::PreconditionViolated {
+            algorithm: "SPHJ",
+            detail,
+        };
+        if offsets.len() < 2 {
+            return Err(invalid(format!(
+                "CSR offsets need at least 2 entries, got {}",
+                offsets.len()
+            )));
+        }
+        if offsets[0] != 0 {
+            return Err(invalid(format!(
+                "CSR offsets must start at 0: {}",
+                offsets[0]
+            )));
+        }
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err(invalid("CSR offsets must be non-decreasing".into()));
+        }
+        if *offsets.last().expect("len checked") as usize != rows.len() {
+            return Err(invalid(format!(
+                "CSR offsets end at {} but {} rows were supplied",
+                offsets.last().expect("len checked"),
+                rows.len()
+            )));
+        }
+        Ok(SphIndex { min, offsets, rows })
+    }
+
     /// Probe with the right-side keys. Keys outside the domain simply do
     /// not match (no FK guarantee assumed).
     pub fn probe(&self, right_keys: &[u32]) -> JoinResult {
@@ -206,6 +240,30 @@ mod index_tests {
         let b = idx.probe(&[0]);
         assert_eq!(a.len(), 3);
         assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn from_csr_roundtrips_a_built_index() {
+        let left = [2u32, 0, 1, 1];
+        let built = SphIndex::build(&left, 0, 2).unwrap();
+        let assembled = SphIndex::from_csr(0, built.offsets.clone(), built.rows.clone()).unwrap();
+        assert_eq!(assembled, built);
+        assert_eq!(
+            assembled.probe(&[1, 2]).normalised_pairs(),
+            built.probe(&[1, 2]).normalised_pairs()
+        );
+    }
+
+    #[test]
+    fn from_csr_rejects_malformed_layouts() {
+        // Too few offsets.
+        assert!(SphIndex::from_csr(0, vec![0], vec![]).is_err());
+        // Offsets not starting at zero.
+        assert!(SphIndex::from_csr(0, vec![1, 1], vec![0]).is_err());
+        // Decreasing offsets.
+        assert!(SphIndex::from_csr(0, vec![0, 2, 1], vec![0, 1]).is_err());
+        // End offset disagrees with the row count.
+        assert!(SphIndex::from_csr(0, vec![0, 2], vec![0]).is_err());
     }
 
     #[test]

@@ -31,7 +31,11 @@
 //!   ranges are disjoint, contiguous and deterministic; parallel SOG
 //!   (run aggregation with deterministic boundary stitching) and
 //!   parallel SOJ (range-partitioned merge join) build on it, completing
-//!   parallel coverage of the paper's sort-based operator family.
+//!   parallel coverage of the paper's sort-based operator family;
+//! * [`av_build`] — offline Algorithmic-View build kernels: a
+//!   partitioned bit-identical SPH-index CSR build and a
+//!   range-partitioned relation gather, so `dqo-core` can materialise
+//!   every AV kind through the shared pool.
 //!
 //! Everything is **deterministic by construction**: per-morsel outputs
 //! are concatenated in morsel order and per-worker partials merge
@@ -52,6 +56,7 @@
 #![warn(clippy::all)]
 
 pub mod admission;
+pub mod av_build;
 pub mod filter;
 pub mod grouping;
 pub mod join;
@@ -62,6 +67,7 @@ pub mod pool;
 pub mod sort;
 
 pub use admission::{AdmissionController, AdmissionPermit};
+pub use av_build::{parallel_gather, parallel_sph_index_build};
 pub use filter::{parallel_compare_mask, parallel_mask};
 pub use grouping::{parallel_grouping, GroupingStrategy};
 pub use join::{parallel_hash_join, parallel_sph_join};

@@ -39,24 +39,40 @@ pub fn encode_rows(rel: &Relation) -> Bytes {
 }
 
 /// Decode a buffer produced by [`encode_rows`] against the same schema.
+///
+/// The buffer is untrusted (it may come off disk or a wire): a corrupt
+/// or truncated payload — an overflowing row count, a zero-width schema
+/// claiming rows, fewer bytes than the header promises — returns a typed
+/// [`StorageError::Codec`] instead of panicking mid-read.
 pub fn decode_rows(schema: &Schema, mut buf: Bytes) -> Result<Relation> {
     if buf.remaining() < 8 {
         return Err(StorageError::Codec("missing row-count header".into()));
     }
-    let rows = buf.get_u64_le() as usize;
+    let claimed_rows = buf.get_u64_le();
     let width: usize = schema
         .fields()
         .iter()
         .map(|f| f.data_type.byte_width())
         .sum();
-    if buf.remaining() < rows * width {
+    if width == 0 && claimed_rows > 0 {
         return Err(StorageError::Codec(format!(
-            "buffer too short: need {} bytes for {} rows, have {}",
-            rows * width,
-            rows,
+            "zero-width schema cannot carry {claimed_rows} rows"
+        )));
+    }
+    // Checked arithmetic: a hostile row count must not wrap the length
+    // check and let the per-value reads run off the end of the buffer.
+    let need = claimed_rows.checked_mul(width as u64).ok_or_else(|| {
+        StorageError::Codec(format!(
+            "row count {claimed_rows} × row width {width} overflows"
+        ))
+    })?;
+    if (buf.remaining() as u64) < need {
+        return Err(StorageError::Codec(format!(
+            "buffer too short: need {need} bytes for {claimed_rows} rows, have {}",
             buf.remaining()
         )));
     }
+    let rows = claimed_rows as usize;
     let mut cols: Vec<Column> = schema
         .fields()
         .iter()
@@ -72,7 +88,13 @@ pub fn decode_rows(schema: &Schema, mut buf: Bytes) -> Result<Relation> {
                 (Column::I64(v), DataType::I64) => v.push(buf.get_i64_le()),
                 (Column::F64(v), DataType::F64) => v.push(buf.get_f64_le()),
                 (Column::Bool(v), DataType::Bool) => v.push(buf.get_u8() != 0),
-                _ => unreachable!("column built from the same schema"),
+                (col, dt) => {
+                    return Err(StorageError::Codec(format!(
+                        "column {} decodes as {:?} but the schema says {dt:?}",
+                        field.name,
+                        col.data_type()
+                    )))
+                }
             }
         }
     }
@@ -136,6 +158,63 @@ mod tests {
     #[test]
     fn header_only_too_short() {
         assert!(decode_rows(&Schema::empty(), Bytes::from_static(&[0, 1, 2])).is_err());
+    }
+
+    /// Every prefix of a valid encoding must decode to a typed error,
+    /// never a panic — the "trusts the buffer" regression.
+    #[test]
+    fn every_truncation_point_is_a_typed_error() {
+        let rel = sample();
+        let bytes = encode_rows(&rel);
+        for cut in 0..bytes.len() {
+            let r = decode_rows(rel.schema(), bytes.slice(0..cut));
+            assert!(
+                matches!(r, Err(StorageError::Codec(_))),
+                "cut at {cut} must be a codec error"
+            );
+        }
+    }
+
+    #[test]
+    fn hostile_row_count_is_rejected_not_allocated() {
+        let rel = sample();
+        // Corrupt the header to claim u64::MAX rows: the checked length
+        // math must reject it before any read or allocation.
+        let mut corrupt = encode_rows(&rel).as_slice().to_vec();
+        corrupt[..8].copy_from_slice(&u64::MAX.to_le_bytes());
+        let r = decode_rows(rel.schema(), Bytes::from(corrupt));
+        assert!(matches!(r, Err(StorageError::Codec(msg)) if msg.contains("overflow")));
+        // A merely-too-large (non-overflowing) count is also rejected.
+        let mut too_many = encode_rows(&rel).as_slice().to_vec();
+        too_many[..8].copy_from_slice(&1_000u64.to_le_bytes());
+        let r = decode_rows(rel.schema(), Bytes::from(too_many));
+        assert!(matches!(r, Err(StorageError::Codec(msg)) if msg.contains("too short")));
+    }
+
+    #[test]
+    fn zero_width_schema_with_claimed_rows_is_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&3u64.to_le_bytes());
+        let r = decode_rows(&Schema::empty(), Bytes::from(buf));
+        assert!(matches!(r, Err(StorageError::Codec(msg)) if msg.contains("zero-width")));
+        // Zero rows over a zero-width schema stays fine.
+        let mut ok = Vec::new();
+        ok.extend_from_slice(&0u64.to_le_bytes());
+        assert!(decode_rows(&Schema::empty(), Bytes::from(ok)).is_ok());
+    }
+
+    #[test]
+    fn corruption_roundtrip_decodes_or_errors_cleanly() {
+        // Flipping any single byte of the payload either still decodes
+        // (data corruption the fixed-width codec cannot detect) or
+        // errors — but never panics.
+        let rel = sample();
+        let bytes = encode_rows(&rel);
+        for i in 0..bytes.len() {
+            let mut corrupt = bytes.as_slice().to_vec();
+            corrupt[i] ^= 0xFF;
+            let _ = decode_rows(rel.schema(), Bytes::from(corrupt));
+        }
     }
 
     #[test]

@@ -39,7 +39,7 @@ pub use dqo_sql as sql;
 pub use dqo_storage as storage;
 
 pub use dqo_core::engine::QueryResult;
-pub use dqo_core::{Catalog, Engine, OptimizerMode};
+pub use dqo_core::{AvBuildHandle, AvBuildStats, AvBuilder, Catalog, Engine, OptimizerMode};
 pub use dqo_parallel::{AdmissionController, PersistentPool};
 pub use dqo_plan::LogicalPlan;
 pub use dqo_storage::Relation;

@@ -4,6 +4,8 @@
 //! thread counts 1/2/8 — and identical output byte-for-byte across
 //! repeated runs of the same query at the same thread count.
 
+use dqo::core::av::{materialise_av, materialise_av_on, AvArtifact, AvKind, AvSignature};
+use dqo::core::avsp::{self, Solver, WorkloadQuery};
 use dqo::core::executor::sorted_rows;
 use dqo::exec::aggregate::CountSum;
 use dqo::exec::grouping::sog::sort_order_grouping;
@@ -285,6 +287,176 @@ fn sort_based_exchange_plans_match_serial_execution() {
             }
         }
     }
+}
+
+/// Column-for-column bit-level equality via the raw buffer debug form.
+fn assert_relations_identical(a: &dqo::Relation, b: &dqo::Relation, ctx: &str) {
+    assert_eq!(a.rows(), b.rows(), "{ctx}");
+    for c in 0..a.schema().width() {
+        assert_eq!(
+            format!("{:?}", a.column_at(c).unwrap()),
+            format!("{:?}", b.column_at(c).unwrap()),
+            "{ctx} column={c}"
+        );
+    }
+}
+
+/// Compare a parallel AV artifact against the serial reference.
+fn assert_artifacts_identical(par: AvArtifact, serial: AvArtifact, ctx: &str) {
+    match (par, serial) {
+        (AvArtifact::SortedProjection(p), AvArtifact::SortedProjection(s))
+        | (AvArtifact::MaterialisedGrouping(p), AvArtifact::MaterialisedGrouping(s)) => {
+            assert_relations_identical(&p, &s, ctx)
+        }
+        (AvArtifact::SphIndex(p), AvArtifact::SphIndex(s)) => assert_eq!(p, s, "{ctx}"),
+        other => panic!("{ctx}: artifact kinds diverged: {other:?}"),
+    }
+}
+
+const AV_KINDS: [AvKind; 3] = [
+    AvKind::SortedProjection,
+    AvKind::SphIndex,
+    AvKind::MaterialisedGrouping,
+];
+
+#[test]
+fn av_builds_bit_identical_across_dop_seeds_and_skew() {
+    // The offline-AV story meets the parallel runtime: every AV kind
+    // built through the pool must equal the serial materialisation bit
+    // for bit — across DOPs, datagen seeds and Zipf-skewed key columns
+    // (where morsel histograms and gather chunks are maximally
+    // unbalanced).
+    for seed in [11u64, 0xAB] {
+        for exponent in [0.0f64, 0.9, 1.4] {
+            let keys = if exponent == 0.0 {
+                DatasetSpec::new(60_000, 256)
+                    .sorted(false)
+                    .dense(true)
+                    .seed(seed)
+                    .generate()
+                    .unwrap()
+            } else {
+                zipf_keys(60_000, 256, exponent, seed)
+            };
+            let payload: Vec<u32> = (0..keys.len() as u32).rev().collect();
+            let make_catalog = || {
+                let cat = dqo::Catalog::new();
+                let schema = dqo::storage::Schema::new(vec![
+                    dqo::storage::Field::new("key", dqo::storage::DataType::U32),
+                    dqo::storage::Field::new("val", dqo::storage::DataType::U32),
+                ])
+                .unwrap();
+                let rel = dqo::Relation::new(
+                    schema,
+                    vec![
+                        dqo::storage::Column::U32(keys.clone()),
+                        dqo::storage::Column::U32(payload.clone()),
+                    ],
+                )
+                .unwrap();
+                cat.register("t", rel);
+                cat
+            };
+            let serial_cat = make_catalog();
+            for kind in AV_KINDS {
+                let sig = AvSignature::new("t", "key", kind);
+                let serial = materialise_av(&serial_cat, &sig).unwrap();
+                for threads in THREAD_COUNTS {
+                    let par_cat = make_catalog();
+                    let pool = ThreadPool::new(threads);
+                    let par = materialise_av_on(&par_cat, &sig, &pool).unwrap();
+                    let ctx =
+                        format!("seed={seed} exponent={exponent} threads={threads} kind={kind}");
+                    assert_eq!(par.byte_size, serial.byte_size, "{ctx}");
+                    assert_artifacts_identical(
+                        par.artifact.unwrap(),
+                        serial.artifact.clone().unwrap(),
+                        &ctx,
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn av_builds_handle_degenerate_columns_at_every_dop() {
+    // Empty and single-row key columns carry degenerate min/max stats;
+    // all three kinds must still produce well-formed artifacts, at every
+    // DOP, identical to the serial build.
+    for data in [vec![], vec![7u32]] {
+        let cat = dqo::Catalog::new();
+        cat.register("t", dqo::Relation::single_u32("key", data.clone()));
+        for kind in AV_KINDS {
+            let sig = AvSignature::new("t", "key", kind);
+            let serial = materialise_av(&cat, &sig).unwrap();
+            for threads in THREAD_COUNTS {
+                let pool = ThreadPool::new(threads);
+                let par = materialise_av_on(&cat, &sig, &pool).unwrap();
+                assert_artifacts_identical(
+                    par.artifact.unwrap(),
+                    serial.artifact.clone().unwrap(),
+                    &format!("rows={} threads={threads} kind={kind}", data.len()),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn background_av_builds_hold_the_admission_bound_under_query_load() {
+    // Offline builds and live queries multiplex one pool: with a
+    // max_inflight=2 controller, builds (one slot at a time) plus two
+    // query sessions must never push the peak past the bound — and the
+    // artifacts they leave behind must serve correct answers.
+    let pool = std::sync::Arc::new(dqo::PersistentPool::with_admission(2, 2));
+    let engine = dqo::Engine::with_shared_pool(std::sync::Arc::clone(&pool));
+    engine.register_table(
+        "t",
+        DatasetSpec::new(150_000, 128)
+            .sorted(false)
+            .dense(true)
+            .seed(5)
+            .relation()
+            .unwrap(),
+    );
+    // The canonical (count, sum) shape — the one a materialised-grouping
+    // AV can answer outright, so the solver has something to select.
+    let q = dqo::LogicalPlan::group_by(
+        dqo::LogicalPlan::scan("t"),
+        "key",
+        vec![
+            dqo::plan::AggExpr::count_star("count"),
+            dqo::plan::AggExpr::on(dqo::plan::AggFunc::Sum, "key", "sum"),
+        ],
+    );
+    let workload = vec![WorkloadQuery::new(q.clone(), 10.0)];
+    let solution = avsp::solve(&workload, engine.catalog(), usize::MAX, Solver::Greedy).unwrap();
+    assert!(!solution.selected.is_empty());
+
+    let reference = sorted_rows(&engine.query(&q).unwrap().output.relation);
+    let handle = engine.materialise_avs_background(&solution);
+    std::thread::scope(|scope| {
+        for _ in 0..2 {
+            scope.spawn(|| {
+                for _ in 0..5 {
+                    let r = engine.query(&q).unwrap();
+                    assert_eq!(sorted_rows(&r.output.relation), reference);
+                }
+            });
+        }
+    });
+    let stats = handle.wait().unwrap();
+    assert_eq!(stats.len(), solution.selected.len());
+    assert!(
+        pool.admission().peak_inflight() <= 2,
+        "admission bound violated: peak={}",
+        pool.admission().peak_inflight()
+    );
+    assert_eq!(pool.admission().inflight(), 0);
+    // Queries keep agreeing with the reference once the AVs serve them.
+    let via_avs = engine.query(&q).unwrap();
+    assert_eq!(sorted_rows(&via_avs.output.relation), reference);
 }
 
 #[test]
