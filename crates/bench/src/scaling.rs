@@ -3,6 +3,7 @@
 //! and criterion bench share, so future PRs can track the trajectory.
 
 use dqo_exec::aggregate::CountSum;
+use dqo_exec::composite::KeyPacker;
 use dqo_exec::grouping::{execute_grouping, GroupingAlgorithm, GroupingHints};
 use dqo_exec::join::hj::hash_join;
 use dqo_parallel::{
@@ -98,6 +99,70 @@ pub fn run(rows: usize, groups: usize, threads: &[usize], reps: usize) -> Vec<Sc
         });
     }
 
+    // --- SPHG-2COL: multi-column grouping on the packed composite key ---
+    // Two dense key columns packed into one u32 code column — the
+    // executor's composite GROUP BY path. The serial baseline includes
+    // the pack pass (it is part of the composite kernel's real cost).
+    let g1 = groups.max(1);
+    let g2 = 8usize;
+    let second: Vec<u32> = DatasetSpec::new(rows, g2)
+        .sorted(false)
+        .dense(true)
+        .seed(0xC0)
+        .generate()
+        .expect("datagen");
+    let packer = KeyPacker::fit(&[&keys, &second]).expect("small domains pack");
+    let packed_max = (g1 * g2 - 1) as u32;
+    let serial_ms = best_of(reps, || {
+        let packed = packer.pack(&[&keys, &second]);
+        execute_grouping(
+            GroupingAlgorithm::StaticPerfectHash,
+            &packed,
+            &packed,
+            CountSum,
+            &GroupingHints {
+                min: Some(0),
+                max: Some(packed_max),
+                distinct: Some((g1 * g2) as u64),
+                known_keys: None,
+            },
+        )
+        .expect("serial composite SPHG")
+        .len() as u64
+    });
+    out.push(ScalingPoint {
+        workload: "SPHG-2COL",
+        threads: 0,
+        millis: serial_ms,
+        speedup: 1.0,
+    });
+    for &t in threads {
+        let pool = ThreadPool::with_pool(t, std::sync::Arc::new(PersistentPool::new(t)));
+        let ms = best_of(reps, || {
+            let packed = packer.pack(&[&keys, &second]);
+            parallel_grouping(
+                &pool,
+                &packed,
+                &packed,
+                CountSum,
+                GroupingStrategy::StaticPerfectHash {
+                    min: 0,
+                    max: packed_max,
+                },
+                DEFAULT_MORSEL_ROWS,
+            )
+            .expect("parallel composite SPHG")
+            .0
+            .len() as u64
+        });
+        out.push(ScalingPoint {
+            workload: "SPHG-2COL",
+            threads: t,
+            millis: ms,
+            speedup: serial_ms / ms,
+        });
+    }
+
     // --- HJ: FK join, |S| = rows, |R| = rows / 4 ---
     let (r, s) = ForeignKeySpec {
         r_rows: (rows / 4).max(1),
@@ -150,14 +215,18 @@ mod tests {
     #[test]
     fn produces_points_for_every_configuration() {
         let points = run(20_000, 64, &[1, 2], 1);
-        // Per workload: serial baseline + 2 thread counts.
-        assert_eq!(points.len(), 6);
+        // Per workload (SPHG, SPHG-2COL, HJ): serial baseline + 2 thread
+        // counts.
+        assert_eq!(points.len(), 9);
         assert!(points
             .iter()
             .all(|p| p.millis.is_finite() && p.millis >= 0.0));
         assert!(points
             .iter()
             .any(|p| p.workload == "SPHG" && p.threads == 0));
+        assert!(points
+            .iter()
+            .any(|p| p.workload == "SPHG-2COL" && p.threads == 2));
         assert!(points.iter().any(|p| p.workload == "HJ" && p.threads == 2));
     }
 }

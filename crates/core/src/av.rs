@@ -23,8 +23,10 @@
 //! optimiser treats an applicable AV as a zero-build-cost alternative.
 
 use crate::catalog::Catalog;
+use crate::error::CoreError;
 use crate::Result;
 use dqo_exec::aggregate::{CountSum, CountSumState};
+use dqo_exec::composite::{rowwise_group, unpack_grouped, KeyPacker};
 use dqo_exec::grouping::hg::hash_grouping_chaining;
 use dqo_exec::grouping::GroupedResult;
 use dqo_exec::join::sphj::SphIndex;
@@ -72,6 +74,13 @@ pub struct AvSignature {
     pub kind: AvKind,
 }
 
+/// The canonical key-column name of a **composite** AV: component columns
+/// joined with `+` (`"a+b"`). Composite signatures reuse the ordinary
+/// [`AvSignature`] plumbing; the builders split the name back apart.
+pub fn composite_column_name(keys: &[String]) -> String {
+    keys.join("+")
+}
+
 impl AvSignature {
     /// Construct a signature.
     pub fn new(table: impl Into<String>, column: impl Into<String>, kind: AvKind) -> Self {
@@ -80,6 +89,22 @@ impl AvSignature {
             column: column.into(),
             kind,
         }
+    }
+
+    /// Construct a composite-key signature over `keys` (in order).
+    pub fn composite(table: impl Into<String>, keys: &[String], kind: AvKind) -> Self {
+        AvSignature::new(table, composite_column_name(keys), kind)
+    }
+
+    /// Whether this signature's key is a composite (multi-column) key.
+    pub fn is_composite(&self) -> bool {
+        self.column.contains('+')
+    }
+
+    /// The key column names (one for plain signatures, several for
+    /// composites), in key order.
+    pub fn key_columns(&self) -> Vec<&str> {
+        self.column.split('+').collect()
     }
 
     /// The hidden catalog name a relation-shaped artifact registers under.
@@ -141,9 +166,66 @@ pub fn build_shape(props: &dqo_storage::DataProps, kind: AvKind) -> (f64, f64) {
     (props.rows as f64, shape)
 }
 
-/// Plan an AV (metadata only) from catalog statistics.
+/// Derive a composite key's statistics from its per-column `DataProps` —
+/// the **single source** for AV planning ([`signature_props`]) and the
+/// optimiser's composite grouping stats: the distinct count multiplies
+/// (capped by the row count), the packed range spans the mixed-radix
+/// product, and the packed domain counts as dense only when every
+/// component is dense, the product fits `u32` **and** the resulting SPH
+/// array stays proportional to the data (≤ max(4·rows, 2¹⁶) slots).
+pub fn combine_composite_props(cols: &[dqo_storage::DataProps]) -> dqo_storage::DataProps {
+    let mut rows = 0u64;
+    let mut distinct: u128 = 1;
+    let mut span: u128 = 1;
+    let mut all_dense = true;
+    for p in cols {
+        rows = rows.max(p.rows);
+        distinct *= u128::from(p.distinct.max(1));
+        span *= u128::from(p.sph_domain().unwrap_or(1).max(1));
+        all_dense &= p.density.is_dense() && p.rows > 0;
+    }
+    let packable = span <= u128::from(u32::MAX) + 1;
+    let bounded = span <= u128::from(rows.max(1)).saturating_mul(4).max(1 << 16);
+    let distinct = u64::try_from(distinct).unwrap_or(u64::MAX).min(rows.max(1));
+    dqo_storage::DataProps {
+        sortedness: dqo_storage::Sortedness::Unsorted,
+        density: if all_dense && packable && bounded {
+            dqo_storage::Density::Dense
+        } else {
+            dqo_storage::Density::Unknown
+        },
+        distinct,
+        min: 0,
+        max: u32::try_from(span.max(1) - 1).unwrap_or(u32::MAX),
+        rows,
+    }
+}
+
+/// Statistics backing a signature: the key column's `DataProps`, or —
+/// for composite signatures — the derived bundle of
+/// [`combine_composite_props`].
+pub fn signature_props(catalog: &Catalog, sig: &AvSignature) -> Result<dqo_storage::DataProps> {
+    if !sig.is_composite() {
+        return catalog.column_props(&sig.table, &sig.column);
+    }
+    let cols: Vec<dqo_storage::DataProps> = sig
+        .key_columns()
+        .iter()
+        .map(|col| catalog.column_props(&sig.table, col))
+        .collect::<Result<_>>()?;
+    Ok(combine_composite_props(&cols))
+}
+
+/// Plan an AV (metadata only) from catalog statistics. Composite keys
+/// admit sorted projections and materialised groupings; a composite SPH
+/// *join* index has no composite join to serve and is rejected.
 pub fn plan_av(catalog: &Catalog, sig: &AvSignature) -> Result<Av> {
-    let props = catalog.column_props(&sig.table, &sig.column)?;
+    if sig.is_composite() && sig.kind == AvKind::SphIndex {
+        return Err(CoreError::Unsupported(format!(
+            "composite-key SPH index {sig} (joins are single-key)"
+        )));
+    }
+    let props = signature_props(catalog, sig)?;
     let rows = props.rows as f64;
     let mut provides = PlanProps::from_data(&props);
     let (build_cost, byte_size) = match sig.kind {
@@ -168,9 +250,14 @@ pub fn plan_av(catalog: &Catalog, sig: &AvSignature) -> Result<Av> {
             provides.rows = props.distinct;
             provides.sortedness = Sortedness::Ascending;
             provides.partitioned = true;
-            // Build via one hash grouping pass; artifact stores
-            // (key u32, count u64, sum u64) per group.
-            (4.0 * rows, props.distinct as usize * 20)
+            // Build via one hash grouping pass (plus the pack pass per
+            // extra composite key column); artifact stores one u32 per
+            // key column plus (count u64, sum u64) per group.
+            let key_width = sig.key_columns().len();
+            (
+                4.0 * rows + rows * (key_width - 1) as f64,
+                props.distinct as usize * (4 * key_width + 16),
+            )
         }
     };
     Ok(Av {
@@ -208,6 +295,9 @@ fn grouping_relation(sig: &AvSignature, g: GroupedResult<CountSumState>) -> Resu
 /// batch builds should go through [`crate::av_build::AvBuilder`], which
 /// runs on the shared pool under admission control.
 pub fn materialise_av(catalog: &Catalog, sig: &AvSignature) -> Result<Av> {
+    if sig.is_composite() {
+        return materialise_composite(catalog, sig, None);
+    }
     let mut av = plan_av(catalog, sig)?;
     let entry = catalog.get(&sig.table)?;
     let keys = entry.relation.column(&sig.column)?.as_u32()?;
@@ -245,6 +335,9 @@ pub fn materialise_av(catalog: &Catalog, sig: &AvSignature) -> Result<Av> {
 /// and at DOP 1 everything runs inline on the caller thread without
 /// touching the pool. Registration side effects match the serial path.
 pub fn materialise_av_on(catalog: &Catalog, sig: &AvSignature, pool: &ThreadPool) -> Result<Av> {
+    if sig.is_composite() {
+        return materialise_composite(catalog, sig, Some(pool));
+    }
     let mut av = plan_av(catalog, sig)?;
     let entry = catalog.get(&sig.table)?;
     let keys = entry.relation.column(&sig.column)?.as_u32()?;
@@ -284,6 +377,131 @@ pub fn materialise_av_on(catalog: &Catalog, sig: &AvSignature, pool: &ThreadPool
         }
     }
     Ok(av)
+}
+
+/// Materialise a **composite-key** AV (sorted projection or materialised
+/// grouping), serially or on a pool. Both paths share one kernel choice:
+/// when the key tuple packs into the `u32` code domain, the packed code
+/// column drives the ordinary single-key machinery (parallel twins and
+/// serial kernels are bit-identical on it); otherwise the build falls
+/// back to the deterministic row-wise kernels, identically in both modes.
+fn materialise_composite(
+    catalog: &Catalog,
+    sig: &AvSignature,
+    pool: Option<&ThreadPool>,
+) -> Result<Av> {
+    let mut av = plan_av(catalog, sig)?;
+    let entry = catalog.get(&sig.table)?;
+    let key_names = sig.key_columns();
+    let key_cols: Vec<&[u32]> = key_names
+        .iter()
+        .map(|k| Ok(entry.relation.column(k)?.as_u32()?))
+        .collect::<Result<_>>()?;
+    let packer = KeyPacker::fit(&key_cols);
+    match sig.kind {
+        AvKind::SortedProjection => {
+            let order: Vec<usize> = match &packer {
+                Some(p) => {
+                    let packed = p.pack(&key_cols);
+                    match pool {
+                        Some(tp) => parallel_argsort(tp, &packed, RunSortMolecule::Comparison)?.0,
+                        None => argsort(&packed),
+                    }
+                    .into_iter()
+                    .map(|i| i as usize)
+                    .collect()
+                }
+                None => {
+                    // Stable lexicographic argsort over the raw tuples —
+                    // the order the packed path would have produced.
+                    let rows = key_cols[0].len();
+                    let mut idx: Vec<usize> = (0..rows).collect();
+                    idx.sort_by(|&a, &b| {
+                        key_cols
+                            .iter()
+                            .map(|c| c[a].cmp(&c[b]))
+                            .find(|o| *o != std::cmp::Ordering::Equal)
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                    });
+                    idx
+                }
+            };
+            let sorted = match pool {
+                Some(tp) => parallel_gather(tp, &entry.relation, &order)?,
+                None => entry.relation.gather(&order),
+            };
+            catalog.register(sig.av_table_name(), sorted.clone());
+            av.artifact = Some(AvArtifact::SortedProjection(Arc::new(sorted)));
+        }
+        AvKind::MaterialisedGrouping => {
+            // The canonical composite shape: one column per key, then
+            // COUNT(*) and SUM of the *first* key column (matching the
+            // single-key AV, whose sum aggregates the key itself).
+            let values = key_cols[0];
+            let (cols, states) = match &packer {
+                Some(p) => {
+                    let packed = p.pack(&key_cols);
+                    let grouped = match pool {
+                        Some(tp) => {
+                            parallel_grouping(
+                                tp,
+                                &packed,
+                                values,
+                                CountSum,
+                                GroupingStrategy::Hash,
+                                DEFAULT_MORSEL_ROWS,
+                            )?
+                            .0
+                        }
+                        None => hash_grouping_chaining(
+                            &packed,
+                            values,
+                            CountSum,
+                            packed.len().min(1 << 20),
+                        ),
+                    };
+                    unpack_grouped(p, grouped)
+                }
+                None => rowwise_group(&key_cols, values, CountSum),
+            };
+            let rel = composite_grouping_relation(&entry.relation, &key_names, cols, &states)?;
+            catalog.register(sig.av_table_name(), rel.clone());
+            av.artifact = Some(AvArtifact::MaterialisedGrouping(Arc::new(rel)));
+        }
+        AvKind::SphIndex => unreachable!("plan_av rejects composite SPH indexes"),
+    }
+    Ok(av)
+}
+
+/// Assemble the composite grouping artifact: the key columns keep their
+/// base-table types and dictionaries; `count`/`sum` follow.
+fn composite_grouping_relation(
+    base: &Relation,
+    key_names: &[&str],
+    key_cols: Vec<Vec<u32>>,
+    states: &[CountSumState],
+) -> Result<Relation> {
+    let mut fields = Vec::with_capacity(key_names.len() + 2);
+    let mut columns = Vec::with_capacity(key_names.len() + 2);
+    for (name, data) in key_names.iter().zip(key_cols) {
+        let dtype = base.schema().field(name)?.data_type;
+        fields.push(Field::new(*name, dtype));
+        columns.push(match dtype {
+            DataType::Str => Column::Str(data),
+            _ => Column::U32(data),
+        });
+    }
+    fields.push(Field::new("count", DataType::U64));
+    fields.push(Field::new("sum", DataType::U64));
+    columns.push(Column::U64(states.iter().map(|s| s.count).collect()));
+    columns.push(Column::U64(states.iter().map(|s| s.sum).collect()));
+    let mut rel = Relation::new(Schema::new(fields)?, columns)?;
+    for (idx, name) in key_names.iter().enumerate() {
+        if let Some(dict) = base.dictionary(name)? {
+            rel = rel.with_dictionary_at(idx, Arc::clone(dict))?;
+        }
+    }
+    Ok(rel)
 }
 
 /// The AV catalog: the set of views the optimiser may assume, plus

@@ -86,9 +86,10 @@ impl AvBuilder {
         self
     }
 
-    /// The cost model's size parameters for `sig`'s kind.
+    /// The cost model's size parameters for `sig`'s kind (composite
+    /// signatures derive their stats from the component columns).
     fn shape_of(&self, sig: &AvSignature) -> Result<(f64, f64)> {
-        let props = self.catalog.column_props(&sig.table, &sig.column)?;
+        let props = crate::av::signature_props(&self.catalog, sig)?;
         Ok(crate::av::build_shape(&props, sig.kind))
     }
 

@@ -112,6 +112,50 @@ pub fn workload_cost(
     Ok(total)
 }
 
+/// Composite-key candidates derived from the workload itself: for every
+/// multi-column `GROUP BY` over a base-table scan, the matching composite
+/// materialised grouping and sorted projection. (The catalog sweep in
+/// [`enumerate_candidates`] cannot see these — the key combinations only
+/// exist in queries.)
+pub fn workload_composite_candidates(
+    workload: &[WorkloadQuery],
+    catalog: &Catalog,
+) -> Result<Vec<Av>> {
+    fn collect<'p>(plan: &'p LogicalPlan, out: &mut Vec<(&'p str, &'p [String])>) {
+        if let LogicalPlan::GroupBy { input, keys, .. } = plan {
+            if keys.len() > 1 {
+                if let LogicalPlan::Scan { table } = input.as_ref() {
+                    out.push((table, keys));
+                }
+            }
+        }
+        for child in plan.children() {
+            collect(child, out);
+        }
+    }
+    let mut sites = Vec::new();
+    for q in workload {
+        collect(&q.plan, &mut sites);
+    }
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    for (table, keys) in sites {
+        for kind in [AvKind::MaterialisedGrouping, AvKind::SortedProjection] {
+            let sig = AvSignature::composite(table, keys, kind);
+            if !seen.insert(sig.clone()) {
+                continue;
+            }
+            // Missing statistics (unknown table/column) just skip the
+            // candidate — the workload may reference tables that are not
+            // registered yet.
+            if let Ok(av) = plan_av(catalog, &sig) {
+                out.push(av);
+            }
+        }
+    }
+    Ok(out)
+}
+
 /// Solve AVSP for `workload` under `budget_bytes`.
 pub fn solve(
     workload: &[WorkloadQuery],
@@ -119,7 +163,9 @@ pub fn solve(
     budget_bytes: usize,
     solver: Solver,
 ) -> Result<AvspSolution> {
-    let candidates: Vec<Av> = enumerate_candidates(catalog)?
+    let mut all_candidates = enumerate_candidates(catalog)?;
+    all_candidates.extend(workload_composite_candidates(workload, catalog)?);
+    let candidates: Vec<Av> = all_candidates
         .into_iter()
         .filter(|av| av.byte_size <= budget_bytes)
         .collect();

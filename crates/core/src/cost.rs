@@ -140,6 +140,17 @@ pub trait CostModel: Send + Sync {
         }
     }
 
+    /// Table-2 extension for composite (multi-column) grouping keys: the
+    /// executor packs the key tuple into the 64-bit packed-value domain
+    /// with one normalise-and-scale pass per key column beyond the first
+    /// (the first column rides along with the grouping kernel's own
+    /// scan). Row-wise fallbacks cost more in practice, but the model
+    /// deliberately charges the packed path — the optimiser should not
+    /// avoid composite groupings it can run packed.
+    fn composite_key_pack(&self, rows: f64, key_columns: usize) -> f64 {
+        self.scan(rows) * key_columns.saturating_sub(1) as f64
+    }
+
     /// Scan/filter at degree `dop`: embarrassingly parallel, no merge.
     fn parallel_scan(&self, rows: f64, dop: usize) -> f64 {
         let serial = self.scan(rows);
@@ -309,6 +320,18 @@ mod tests {
             1024.0 * 10.0 + 1024.0
         );
         assert_eq!(M.grouping(GroupingImpl::Bsg, r, 16.0), 1024.0 * 4.0);
+    }
+
+    #[test]
+    fn composite_pack_charges_one_pass_per_extra_key() {
+        assert_eq!(M.composite_key_pack(1_000.0, 1), 0.0);
+        assert_eq!(M.composite_key_pack(1_000.0, 2), 1_000.0);
+        assert_eq!(M.composite_key_pack(1_000.0, 3), 2_000.0);
+        // A 2-column SPHG still beats a single-column HG on the model:
+        // pack pass + |R| < 4·|R|.
+        let two_col_sphg =
+            M.composite_key_pack(1_000.0, 2) + M.grouping(GroupingImpl::Sphg, 1_000.0, 16.0);
+        assert!(two_col_sphg < M.grouping(GroupingImpl::Hg, 1_000.0, 16.0));
     }
 
     #[test]

@@ -11,6 +11,7 @@ use crate::catalog::Catalog;
 use crate::error::CoreError;
 use crate::Result;
 use dqo_exec::aggregate::{FullAgg, FullAggState};
+use dqo_exec::composite::{rowwise_group, unpack_grouped, KeyPacker};
 use dqo_exec::grouping::{execute_grouping, GroupingAlgorithm, GroupingHints};
 use dqo_exec::join::{execute_join as run_join, JoinAlgorithm, JoinHints};
 use dqo_exec::pipeline::{grouping_blocking, join_blocking, Blocking, PipelineStats};
@@ -18,8 +19,7 @@ use dqo_exec::sort::{argsort, radix_sort_pairs_by_key};
 use dqo_parallel::{GroupingStrategy, PersistentPool, ThreadPool, DEFAULT_MORSEL_ROWS};
 use dqo_plan::expr::{AggExpr, AggFunc, Predicate};
 use dqo_plan::{GroupingImpl, JoinImpl, LogicalPlan, PhysicalPlan};
-use dqo_storage::{Column, DataType, Field, Relation, Schema, Value};
-use std::collections::BTreeMap;
+use dqo_storage::{Column, DataType, Dictionary, Field, Relation, Schema, Value};
 use std::sync::Arc;
 
 /// The result of executing a plan.
@@ -160,13 +160,13 @@ fn exec_node(
         }
         PhysicalPlan::GroupBy {
             input,
-            key,
+            keys,
             aggs,
             algo,
             molecules,
         } => {
             let rel = exec_node(input, catalog, avs, pool, stats)?;
-            exec_group_by(&rel, key, aggs, *algo, *molecules, stats)
+            exec_group_by(&rel, keys, aggs, *algo, *molecules, stats)
         }
         PhysicalPlan::Limit { input, n } => {
             let rel = exec_node(input, catalog, avs, pool, stats)?;
@@ -179,7 +179,7 @@ fn exec_node(
             match input.as_ref() {
                 PhysicalPlan::GroupBy {
                     input: child,
-                    key,
+                    keys,
                     aggs,
                     algo,
                     ..
@@ -189,7 +189,7 @@ fn exec_node(
                 ) =>
                 {
                     let rel = exec_node(child, catalog, avs, pool, stats)?;
-                    exec_group_by_parallel(&rel, key, aggs, *algo, &tp, stats)
+                    exec_group_by_parallel(&rel, keys, aggs, *algo, &tp, stats)
                 }
                 PhysicalPlan::Join {
                     left,
@@ -283,67 +283,155 @@ fn assemble_join_output(
 ) -> Result<Relation> {
     let li: Vec<usize> = result.left_rows.iter().map(|&i| i as usize).collect();
     let ri: Vec<usize> = result.right_rows.iter().map(|&i| i as usize).collect();
-    let left_out = l.gather(&li);
-    let right_out = r.gather(&ri);
-    let schema = l.schema().join(r.schema(), "right")?;
+    concat_columns(&l.gather(&li), &r.gather(&ri))
+}
+
+/// Concatenate the columns of two equal-length relations under the
+/// qualified join schema, carrying `Str` dictionaries across (the codes
+/// are copied verbatim, so the source dictionaries stay valid).
+fn concat_columns(left: &Relation, right: &Relation) -> Result<Relation> {
+    let schema = left.schema().join(right.schema(), "right")?;
     let mut columns: Vec<Column> = Vec::with_capacity(schema.width());
-    for i in 0..left_out.schema().width() {
-        columns.push(left_out.column_at(i)?.clone());
+    for i in 0..left.schema().width() {
+        columns.push(left.column_at(i)?.clone());
     }
-    for i in 0..right_out.schema().width() {
-        columns.push(right_out.column_at(i)?.clone());
+    for i in 0..right.schema().width() {
+        columns.push(right.column_at(i)?.clone());
     }
-    Ok(Relation::new(schema, columns)?)
+    let mut rel = Relation::new(schema, columns)?;
+    let width_left = left.schema().width();
+    for i in 0..width_left {
+        if let Some(dict) = left.dictionary_at(i)? {
+            rel = rel.with_dictionary_at(i, Arc::clone(dict))?;
+        }
+    }
+    for i in 0..right.schema().width() {
+        if let Some(dict) = right.dictionary_at(i)? {
+            rel = rel.with_dictionary_at(width_left + i, Arc::clone(dict))?;
+        }
+    }
+    Ok(rel)
+}
+
+/// The output shape of one grouping key column: its field (name + type,
+/// `U32` or `Str`) and, for dictionary-encoded columns, the dictionary to
+/// re-attach so downstream consumers can decode the codes.
+type KeyLayout = (Field, Option<Arc<Dictionary>>);
+
+/// Resolve the output layout of the grouping key columns from the input
+/// relation (names, types, dictionaries).
+fn key_layouts(rel: &Relation, keys: &[String]) -> Result<Vec<KeyLayout>> {
+    keys.iter()
+        .map(|k| {
+            let field = rel.schema().field(k)?.clone();
+            let dict = rel.dictionary(k)?.cloned();
+            Ok((field, dict))
+        })
+        .collect()
 }
 
 fn exec_group_by(
     rel: &Relation,
-    key: &str,
+    keys: &[String],
     aggs: &[AggExpr],
     algo: GroupingImpl,
     molecules: dqo_plan::physical::GroupingMolecules,
     stats: &mut PipelineStats,
 ) -> Result<Relation> {
-    let keys = rel.column(key)?.as_u32()?;
+    let layouts = key_layouts(rel, keys)?;
+    let key_cols: Vec<&[u32]> = keys
+        .iter()
+        .map(|k| Ok(rel.column(k)?.as_u32()?))
+        .collect::<Result<_>>()?;
     let value_col = agg_input_column(aggs)?;
     let values: &[u32] = match value_col {
         Some(name) => rel.column(name)?.as_u32()?,
-        None => keys,
-    };
-    let (min, max) = min_max(keys);
-    let hints = GroupingHints {
-        min: Some(min),
-        max: Some(max),
-        distinct: None,
-        known_keys: None,
+        None => key_cols[0],
     };
     let exec_algo = to_exec_grouping(algo);
-    // Molecule-aware dispatch for the hash organelle: the optimiser's
-    // table/hash decision selects the concrete implementation.
-    let result = if algo == GroupingImpl::Hg {
-        run_hash_grouping_with_molecules(keys, values, molecules)
-    } else {
-        execute_grouping(exec_algo, keys, values, FullAgg, &hints)?
-    };
-    stats.record(grouping_blocking(exec_algo), keys.len() as u64);
-    grouped_to_relation(key, aggs, &result)
+
+    if keys.len() == 1 {
+        // Single-key fast path: the kernels run on the raw column.
+        let data = key_cols[0];
+        let (min, max) = min_max(data);
+        let hints = GroupingHints {
+            min: Some(min),
+            max: Some(max),
+            distinct: None,
+            known_keys: None,
+        };
+        // Molecule-aware dispatch for the hash organelle: the optimiser's
+        // table/hash decision selects the concrete implementation.
+        let result = if algo == GroupingImpl::Hg {
+            run_hash_grouping_with_molecules(data, values, molecules)
+        } else {
+            execute_grouping(exec_algo, data, values, FullAgg, &hints)?
+        };
+        stats.record(grouping_blocking(exec_algo), data.len() as u64);
+        return grouped_to_relation(&layouts, vec![result.keys.clone()], aggs, &result.states);
+    }
+
+    // Composite key: pack into the u32 code domain where the per-column
+    // widths allow, and run the very same single-column kernels on the
+    // packed codes; otherwise fall back to the row-wise kernel.
+    let rows = key_cols[0].len() as u64;
+    match KeyPacker::fit(&key_cols) {
+        Some(packer) => {
+            let packed = packer.pack(&key_cols);
+            let (min, max) = min_max(&packed);
+            let hints = GroupingHints {
+                min: Some(min),
+                max: Some(max),
+                distinct: None,
+                known_keys: None,
+            };
+            let result = if algo == GroupingImpl::Hg {
+                run_hash_grouping_with_molecules(&packed, values, molecules)
+            } else {
+                execute_grouping(exec_algo, &packed, values, FullAgg, &hints)?
+            };
+            stats.record(grouping_blocking(exec_algo), rows);
+            let (cols, states) = unpack_grouped(&packer, result);
+            grouped_to_relation(&layouts, cols, aggs, &states)
+        }
+        None => {
+            let (cols, states) = rowwise_group(&key_cols, values, FullAgg);
+            stats.record(Blocking::FullBreaker, rows);
+            grouped_to_relation(&layouts, cols, aggs, &states)
+        }
+    }
 }
 
-/// Assemble a grouping output relation: key column + one column per
-/// aggregate.
+/// Assemble a grouping output relation: one column per grouping key (with
+/// its original type and dictionary) + one column per aggregate.
 fn grouped_to_relation(
-    key: &str,
+    layouts: &[KeyLayout],
+    key_columns: Vec<Vec<u32>>,
     aggs: &[AggExpr],
-    result: &dqo_exec::GroupedResult<FullAggState>,
+    states: &[FullAggState],
 ) -> Result<Relation> {
-    let mut fields = vec![Field::new(key, DataType::U32)];
-    let mut columns = vec![Column::U32(result.keys.clone())];
+    debug_assert_eq!(layouts.len(), key_columns.len());
+    let mut fields = Vec::with_capacity(layouts.len() + aggs.len());
+    let mut columns = Vec::with_capacity(layouts.len() + aggs.len());
+    for ((field, _), data) in layouts.iter().zip(key_columns) {
+        fields.push(field.clone());
+        columns.push(match field.data_type {
+            DataType::Str => Column::Str(data),
+            _ => Column::U32(data),
+        });
+    }
     for agg in aggs {
-        let (field, column) = materialise_agg(agg, &result.states)?;
+        let (field, column) = materialise_agg(agg, states)?;
         fields.push(field);
         columns.push(column);
     }
-    Ok(Relation::new(Schema::new(fields)?, columns)?)
+    let mut rel = Relation::new(Schema::new(fields)?, columns)?;
+    for (idx, (_, dict)) in layouts.iter().enumerate() {
+        if let Some(dict) = dict {
+            rel = rel.with_dictionary_at(idx, Arc::clone(dict))?;
+        }
+    }
+    Ok(rel)
 }
 
 /// The parallel run-sort molecule matching a plan-side [`dqo_plan::SortMolecule`].
@@ -376,49 +464,83 @@ fn exec_sort_parallel(
 /// grouping key/value columns run through `dqo-parallel`'s thread-local
 /// aggregation — or, for SOG, the parallel sort subsystem — and the
 /// parallel kernels' own [`PipelineStats`] merge into the query's
-/// accounting.
+/// accounting. Composite keys run the identical kernels on the packed
+/// code column (bit-identical to serial at any DOP, since the packing is
+/// deterministic and the parallel merges are); an unpackable composite
+/// degrades gracefully to the serial row-wise kernel.
 fn exec_group_by_parallel(
     rel: &Relation,
-    key: &str,
+    keys: &[String],
     aggs: &[AggExpr],
     algo: GroupingImpl,
     pool: &ThreadPool,
     stats: &mut PipelineStats,
 ) -> Result<Relation> {
-    let keys = rel.column(key)?.as_u32()?;
+    let layouts = key_layouts(rel, keys)?;
+    let key_cols: Vec<&[u32]> = keys
+        .iter()
+        .map(|k| Ok(rel.column(k)?.as_u32()?))
+        .collect::<Result<_>>()?;
     let value_col = agg_input_column(aggs)?;
     let values: &[u32] = match value_col {
         Some(name) => rel.column(name)?.as_u32()?,
-        None => keys,
+        None => key_cols[0],
     };
-    if algo == GroupingImpl::Sog {
+
+    // Composite keys pack (or bail to the serial row-wise fallback).
+    let packed_storage;
+    let (packer, data): (Option<KeyPacker>, &[u32]) = if keys.len() == 1 {
+        (None, key_cols[0])
+    } else {
+        match KeyPacker::fit(&key_cols) {
+            Some(p) => {
+                packed_storage = p.pack(&key_cols);
+                (Some(p), packed_storage.as_slice())
+            }
+            None => {
+                let (cols, states) = rowwise_group(&key_cols, values, FullAgg);
+                stats.record(Blocking::FullBreaker, key_cols[0].len() as u64);
+                return grouped_to_relation(&layouts, cols, aggs, &states);
+            }
+        }
+    };
+
+    let result = if algo == GroupingImpl::Sog {
         let (result, par_stats) = dqo_parallel::parallel_sog(
             pool,
-            keys,
+            data,
             values,
             FullAgg,
             dqo_parallel::RunSortMolecule::Comparison,
         )?;
         stats.merge(&par_stats);
-        return grouped_to_relation(key, aggs, &result);
-    }
-    let strategy = match algo {
-        GroupingImpl::Sphg => {
-            let (min, max) = min_max(keys);
-            GroupingStrategy::StaticPerfectHash { min, max }
-        }
-        _ => GroupingStrategy::Hash,
+        result
+    } else {
+        let strategy = match algo {
+            GroupingImpl::Sphg => {
+                let (min, max) = min_max(data);
+                GroupingStrategy::StaticPerfectHash { min, max }
+            }
+            _ => GroupingStrategy::Hash,
+        };
+        let (result, par_stats) = dqo_parallel::parallel_grouping(
+            pool,
+            data,
+            values,
+            FullAgg,
+            strategy,
+            DEFAULT_MORSEL_ROWS,
+        )?;
+        stats.merge(&par_stats);
+        result
     };
-    let (result, par_stats) = dqo_parallel::parallel_grouping(
-        pool,
-        keys,
-        values,
-        FullAgg,
-        strategy,
-        DEFAULT_MORSEL_ROWS,
-    )?;
-    stats.merge(&par_stats);
-    grouped_to_relation(key, aggs, &result)
+    match packer {
+        Some(packer) => {
+            let (cols, states) = unpack_grouped(&packer, result);
+            grouped_to_relation(&layouts, cols, aggs, &states)
+        }
+        None => grouped_to_relation(&layouts, vec![result.keys.clone()], aggs, &result.states),
+    }
 }
 
 /// Morsel-parallel join (dispatched from an `Exchange` node): partitioned
@@ -598,6 +720,19 @@ fn eval_predicate_range(
         }
         Predicate::Compare { column, op, value } => {
             let col = rel.column(column)?;
+            // Dictionary-encoded string column vs string literal: compare
+            // once per *code* (under real string order, regardless of how
+            // codes were assigned), then mask rows by table lookup.
+            if col.data_type() == DataType::Str {
+                let Value::Str(lit) = value else {
+                    return Err(CoreError::Unsupported(format!(
+                        "string column '{column}' compared to non-string literal {value}"
+                    )));
+                };
+                let dict = str_dictionary(rel, column)?;
+                let table = dict.match_table(|s| op.eval(s.cmp(lit.as_str())));
+                return mask_by_code_table(col.as_u32()?, &table, start, end, column);
+            }
             // Fast path for the dominant u32 case.
             if let (Ok(data), Some(v)) = (col.as_u32(), value.as_u32()) {
                 return Ok(data[start..end]
@@ -615,7 +750,48 @@ fn eval_predicate_range(
             }
             Ok(mask)
         }
+        Predicate::Prefix { column, prefix } => {
+            let col = rel.column(column)?;
+            if col.data_type() != DataType::Str {
+                return Err(CoreError::Unsupported(format!(
+                    "LIKE on non-string column '{column}'"
+                )));
+            }
+            let dict = str_dictionary(rel, column)?;
+            let table = dict.match_table(|s| s.starts_with(prefix.as_str()));
+            mask_by_code_table(col.as_u32()?, &table, start, end, column)
+        }
     }
+}
+
+/// The dictionary of a `Str` column, or a clear error when none is
+/// attached (codes without a dictionary cannot be compared to strings).
+fn str_dictionary<'a>(rel: &'a Relation, column: &str) -> Result<&'a Arc<Dictionary>> {
+    rel.dictionary(column)?.ok_or_else(|| {
+        CoreError::Unsupported(format!(
+            "string column '{column}' has no dictionary attached"
+        ))
+    })
+}
+
+/// Apply a per-code boolean table to the code column over `[start, end)`.
+fn mask_by_code_table(
+    codes: &[u32],
+    table: &[bool],
+    start: usize,
+    end: usize,
+    column: &str,
+) -> Result<Vec<bool>> {
+    codes[start..end]
+        .iter()
+        .map(|&c| {
+            table.get(c as usize).copied().ok_or_else(|| {
+                CoreError::Unsupported(format!(
+                    "code {c} of column '{column}' missing from its dictionary"
+                ))
+            })
+        })
+        .collect()
 }
 
 // ---------------------------------------------------------------------------
@@ -664,46 +840,45 @@ pub fn naive_eval(plan: &LogicalPlan, catalog: &Catalog) -> Result<Relation> {
                     }
                 }
             }
-            let left_out = l.gather(&li);
-            let right_out = r.gather(&ri);
-            let schema = l.schema().join(r.schema(), "right")?;
-            let mut columns = Vec::new();
-            for i in 0..left_out.schema().width() {
-                columns.push(left_out.column_at(i)?.clone());
-            }
-            for i in 0..right_out.schema().width() {
-                columns.push(right_out.column_at(i)?.clone());
-            }
-            Ok(Relation::new(schema, columns)?)
+            concat_columns(&l.gather(&li), &r.gather(&ri))
         }
         LogicalPlan::Limit { input, n } => {
             let rel = naive_eval(input, catalog)?;
             Ok(take_rows(&rel, *n))
         }
-        LogicalPlan::GroupBy { input, key, aggs } => {
+        LogicalPlan::GroupBy { input, keys, aggs } => {
             let rel = naive_eval(input, catalog)?;
-            let keys = rel.column(key)?.as_u32()?;
+            let layouts = key_layouts(&rel, keys)?;
+            let key_cols: Vec<&[u32]> = keys
+                .iter()
+                .map(|k| Ok(rel.column(k)?.as_u32()?))
+                .collect::<Result<_>>()?;
             let value_col = agg_input_column(aggs)?;
             let values: &[u32] = match value_col {
                 Some(name) => rel.column(name)?.as_u32()?,
-                None => keys,
+                None => key_cols[0],
             };
-            let mut groups: BTreeMap<u32, FullAggState> = BTreeMap::new();
-            let agg = FullAgg;
+            // The oracle groups with its own BTreeMap loop over the raw
+            // key tuples — deliberately NOT the engine's kernels (packed
+            // or `rowwise_group`), so a kernel bug cannot hide by also
+            // corrupting the reference. Output in ascending tuple order.
+            let rows = key_cols[0].len();
+            let mut groups: std::collections::BTreeMap<Vec<u32>, FullAggState> =
+                std::collections::BTreeMap::new();
             use dqo_exec::Aggregator;
-            for (&k, &v) in keys.iter().zip(values) {
-                agg.update(groups.entry(k).or_default(), v);
+            for row in 0..rows {
+                let tuple: Vec<u32> = key_cols.iter().map(|c| c[row]).collect();
+                FullAgg.update(groups.entry(tuple).or_default(), values[row]);
             }
-            let keys_out: Vec<u32> = groups.keys().copied().collect();
-            let states: Vec<FullAggState> = groups.values().copied().collect();
-            let mut fields = vec![Field::new(key, DataType::U32)];
-            let mut columns = vec![Column::U32(keys_out)];
-            for a in aggs {
-                let (f, c) = materialise_agg(a, &states)?;
-                fields.push(f);
-                columns.push(c);
+            let mut cols = vec![Vec::with_capacity(groups.len()); keys.len()];
+            let mut states = Vec::with_capacity(groups.len());
+            for (tuple, state) in groups {
+                for (col, v) in cols.iter_mut().zip(tuple) {
+                    col.push(v);
+                }
+                states.push(state);
             }
-            Ok(Relation::new(Schema::new(fields)?, columns)?)
+            grouped_to_relation(&layouts, cols, aggs, &states)
         }
     }
 }
@@ -900,7 +1075,7 @@ mod tests {
         ];
         let group_by = |algo| PhysicalPlan::GroupBy {
             input: Box::new(PhysicalPlan::Scan { table: "t".into() }),
-            key: "key".into(),
+            keys: vec!["key".into()],
             aggs: aggs.clone(),
             algo,
             molecules: dqo_plan::physical::GroupingMolecules::defaults_for(algo),

@@ -308,8 +308,8 @@ impl Optimizer<'_> {
                 left_key,
                 right_key,
             } => self.enumerate_join(node, left, right, left_key, right_key),
-            LogicalPlan::GroupBy { input, key, aggs } => {
-                self.enumerate_group_by(node, input, key, aggs)
+            LogicalPlan::GroupBy { input, keys, aggs } => {
+                self.enumerate_group_by(node, input, keys, aggs)
             }
         }
     }
@@ -648,9 +648,13 @@ impl Optimizer<'_> {
         &self,
         node: &LogicalPlan,
         input: &LogicalPlan,
-        key: &str,
+        keys: &[String],
         aggs: &[dqo_plan::AggExpr],
     ) -> Result<Vec<Candidate>> {
+        if keys.len() > 1 {
+            return self.enumerate_group_by_composite(node, input, keys, aggs);
+        }
+        let key = keys[0].as_str();
         let input_cands = self.with_sort_enforcers(self.enumerate(input, Some(key))?, key);
 
         // AV alternative: a materialised grouping answers the whole node
@@ -760,7 +764,7 @@ impl Optimizer<'_> {
                 };
                 let plan = PhysicalPlan::GroupBy {
                     input: Box::new(ic.plan.clone()),
-                    key: key.to_owned(),
+                    keys: vec![key.to_owned()],
                     aggs: aggs.to_vec(),
                     algo,
                     molecules,
@@ -789,7 +793,7 @@ impl Optimizer<'_> {
                         plan: PhysicalPlan::Exchange {
                             input: Box::new(PhysicalPlan::GroupBy {
                                 input: Box::new(ic.plan.clone()),
-                                key: key.to_owned(),
+                                keys: vec![key.to_owned()],
                                 aggs: aggs.to_vec(),
                                 algo,
                                 molecules: par_molecules,
@@ -816,6 +820,155 @@ impl Optimizer<'_> {
             return Err(CoreError::NoPlanFound(format!("{node}")));
         }
         Ok(prune(out.into_iter()))
+    }
+
+    /// Enumerate a **composite** (multi-column) grouping. The executor
+    /// runs these on the 64-bit packed-value domain where the per-column
+    /// widths allow, so the Table-2 arithmetic carries over with one
+    /// extension: a normalise-and-pack pass per extra key column
+    /// ([`CostModel::composite_key_pack`]). Applicable organelles are the
+    /// ones with packed serial kernels *and* parallel twins — HG, SPHG
+    /// (when the composite domain is provably dense and bounded) and SOG;
+    /// order-based and binary-search variants stay single-key for now.
+    fn enumerate_group_by_composite(
+        &self,
+        node: &LogicalPlan,
+        input: &LogicalPlan,
+        keys: &[String],
+        aggs: &[dqo_plan::AggExpr],
+    ) -> Result<Vec<Candidate>> {
+        // SOG/HG/SPHG need no input order, so no sort enforcers here;
+        // the first key is the focus column for scan properties.
+        let input_cands = self.enumerate(input, Some(&keys[0]))?;
+        let key_stats = self.composite_key_stats(node, keys);
+        let groups = key_stats.and_then(|p| p.distinct);
+        let key_dense = key_stats.map(|p| p.admits_sph()).unwrap_or(false);
+        let key_range = key_stats.and_then(|p| p.key_range);
+
+        // AV alternative: a composite materialised grouping (registered
+        // under the canonical `a+b` key name) answers the node by scan.
+        // The artifact's schema is exactly (keys…, count, sum-of-first-
+        // key), so the aggregate list must be exactly that shape — looser
+        // matches would surface the artifact's extra columns.
+        let mut out: Vec<Candidate> = Vec::new();
+        if let (Some(avs), LogicalPlan::Scan { table }) = (self.avs, input) {
+            let shape_ok = aggs.len() == 2
+                && aggs[0].func == dqo_plan::AggFunc::CountStar
+                && aggs[0].alias == "count"
+                && aggs[1].func == dqo_plan::AggFunc::Sum
+                && aggs[1].alias == "sum"
+                && aggs[1].column.as_deref() == Some(keys[0].as_str());
+            if shape_ok {
+                let composite = crate::av::composite_column_name(keys);
+                if let Some(av) = avs.lookup(table, &composite, AvKind::MaterialisedGrouping) {
+                    out.push(Candidate {
+                        plan: PhysicalPlan::Scan {
+                            table: av.signature.av_table_name(),
+                        },
+                        cost: self.model.scan(av.provides.rows as f64),
+                        props: self.mode.project(av.provides),
+                        sort_col: Some(keys[0].clone()),
+                    });
+                }
+            }
+        }
+
+        for ic in &input_cands {
+            for algo in [GroupingImpl::Sphg, GroupingImpl::Hg, GroupingImpl::Sog] {
+                if algo == GroupingImpl::Sphg && !key_dense {
+                    continue;
+                }
+                let rows = ic.props.rows as f64;
+                let g = groups.unwrap_or(ic.props.rows).max(1) as f64;
+                let pack = self.model.composite_key_pack(rows, keys.len());
+                let cost = ic.cost + pack + self.model.grouping(algo, rows, g);
+                let out_rows = groups.unwrap_or(ic.props.rows);
+                // Packed outputs are normalised to ascending packed-code
+                // order (lexicographic tuple order), so every composite
+                // grouping emits sorted-by-first-key output.
+                let props = self.mode.project(PlanProps {
+                    sortedness: Sortedness::Ascending,
+                    partitioned: true,
+                    density: if key_dense {
+                        Density::Dense
+                    } else {
+                        Density::Unknown
+                    },
+                    distinct: groups,
+                    key_range,
+                    rows: out_rows,
+                    layout: ic.props.layout,
+                });
+                let molecules = match self.mode {
+                    OptimizerMode::Deep => {
+                        let mut ref_props = key_stats.unwrap_or(ic.props);
+                        ref_props.rows = ic.props.rows;
+                        refine_grouping_molecules(algo, &ref_props, &MoleculeCosts::default())
+                    }
+                    OptimizerMode::Shallow => GroupingMolecules::defaults_for(algo),
+                };
+                let plan = PhysicalPlan::GroupBy {
+                    input: Box::new(ic.plan.clone()),
+                    keys: keys.to_vec(),
+                    aggs: aggs.to_vec(),
+                    algo,
+                    molecules,
+                };
+                if self.dop > 1 {
+                    let mut par_molecules = molecules;
+                    par_molecules.load_loop = Some(dqo_plan::LoopMolecule::Parallel);
+                    out.push(Candidate {
+                        plan: PhysicalPlan::Exchange {
+                            input: Box::new(PhysicalPlan::GroupBy {
+                                input: Box::new(ic.plan.clone()),
+                                keys: keys.to_vec(),
+                                aggs: aggs.to_vec(),
+                                algo,
+                                molecules: par_molecules,
+                            }),
+                            dop: self.dop,
+                        },
+                        // The pack pass stays serial; only the grouping
+                        // itself divides.
+                        cost: ic.cost
+                            + pack
+                            + self.model.parallel_grouping(algo, rows, g, self.dop),
+                        sort_col: Some(keys[0].clone()),
+                        props,
+                    });
+                }
+                out.push(Candidate {
+                    plan,
+                    cost,
+                    sort_col: Some(keys[0].clone()),
+                    props,
+                });
+            }
+        }
+        if out.is_empty() {
+            return Err(CoreError::NoPlanFound(format!("{node}")));
+        }
+        Ok(prune(out.into_iter()))
+    }
+
+    /// The composite key's plan properties, derived from the per-column
+    /// catalog statistics through the same
+    /// [`crate::av::combine_composite_props`] bundle AV planning uses
+    /// (one derivation, no drift). `None` when any key column has no
+    /// statistics.
+    fn composite_key_stats(&self, node: &LogicalPlan, keys: &[String]) -> Option<PlanProps> {
+        let tables = node.tables();
+        let cols: Option<Vec<dqo_storage::DataProps>> = keys
+            .iter()
+            .map(|key| {
+                self.catalog
+                    .resolve_column(tables.iter().copied(), key)
+                    .ok()
+                    .map(|(_, p)| p)
+            })
+            .collect();
+        let combined = crate::av::combine_composite_props(&cols?);
+        Some(self.mode.project(PlanProps::from_data(&combined)))
     }
 }
 
@@ -885,6 +1038,14 @@ fn estimate_join_rows(l: u64, r: u64, d_l: Option<u64>, d_r: Option<u64>) -> u64
 fn estimate_selectivity(pred: &Predicate, props: &PlanProps) -> f64 {
     match pred {
         Predicate::And(ps) => ps.iter().map(|p| estimate_selectivity(p, props)).product(),
+        // Prefix matches sit between equality and a half-open range; with
+        // no per-string histogram we charge a flat fraction that shrinks
+        // with the prefix length (each extra character filters harder).
+        Predicate::Prefix { prefix, .. } => match prefix.len() {
+            0 => 1.0,
+            1 => 0.25,
+            _ => 0.1,
+        },
         Predicate::Compare { op, value, .. } => match op {
             CmpOp::Eq => 1.0 / props.distinct.unwrap_or(10).max(1) as f64,
             CmpOp::Ne => 1.0 - 1.0 / props.distinct.unwrap_or(10).max(1) as f64,

@@ -41,7 +41,7 @@ pub fn execute_adaptively(
     catalog: &Catalog,
     mode: OptimizerMode,
 ) -> Result<(ExecOutput, ReoptReport)> {
-    let LogicalPlan::GroupBy { input, key, aggs } = logical else {
+    let LogicalPlan::GroupBy { input, keys, aggs } = logical else {
         let planned = optimize_full(
             logical,
             catalog,
@@ -95,13 +95,19 @@ pub fn execute_adaptively(
     // for every key column — estimates are now facts.
     let tmp = "__reopt::intermediate";
     catalog.register(tmp, intermediate.relation.clone());
-    let observed = catalog
-        .column_props(tmp, key)
-        .map(|p| p.to_string())
-        .unwrap_or_else(|_| "(key column missing)".into());
+    let observed = keys
+        .iter()
+        .map(|key| {
+            catalog
+                .column_props(tmp, key)
+                .map(|p| p.to_string())
+                .unwrap_or_else(|_| "(key column missing)".into())
+        })
+        .collect::<Vec<_>>()
+        .join("; ");
 
     // Stage 3: re-plan just the grouping over the observed table.
-    let regroup = LogicalPlan::group_by(LogicalPlan::scan(tmp), key.clone(), aggs.clone());
+    let regroup = LogicalPlan::group_by_multi(LogicalPlan::scan(tmp), keys.clone(), aggs.clone());
     let replanned = optimize_full(
         &regroup,
         catalog,

@@ -24,6 +24,7 @@
 
 pub mod aggregate;
 pub mod bundle;
+pub mod composite;
 pub mod error;
 pub mod grouping;
 pub mod join;
@@ -31,6 +32,7 @@ pub mod pipeline;
 pub mod sort;
 
 pub use aggregate::{Aggregator, CountSum, FullAgg};
+pub use composite::KeyPacker;
 pub use error::ExecError;
 pub use grouping::{GroupedResult, GroupingAlgorithm};
 pub use join::JoinAlgorithm;

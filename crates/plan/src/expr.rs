@@ -66,6 +66,15 @@ pub enum Predicate {
         /// Constant to compare against.
         value: Value,
     },
+    /// `column LIKE 'prefix%'` on a dictionary-encoded string column —
+    /// the supported subset of LIKE (one trailing `%`, no other
+    /// wildcards). Evaluated per dictionary *code*, not per row.
+    Prefix {
+        /// Column name.
+        column: String,
+        /// The literal prefix (the pattern minus its trailing `%`).
+        prefix: String,
+    },
     /// Conjunction of predicates.
     And(Vec<Predicate>),
 }
@@ -80,10 +89,19 @@ impl Predicate {
         }
     }
 
+    /// Convenience constructor for a prefix match (`LIKE 'prefix%'`).
+    pub fn prefix(column: impl Into<String>, prefix: impl Into<String>) -> Self {
+        Predicate::Prefix {
+            column: column.into(),
+            prefix: prefix.into(),
+        }
+    }
+
     /// All columns the predicate touches.
     pub fn columns(&self) -> Vec<&str> {
         match self {
             Predicate::Compare { column, .. } => vec![column.as_str()],
+            Predicate::Prefix { column, .. } => vec![column.as_str()],
             Predicate::And(ps) => ps.iter().flat_map(|p| p.columns()).collect(),
         }
     }
@@ -93,6 +111,7 @@ impl fmt::Display for Predicate {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Predicate::Compare { column, op, value } => write!(f, "{column} {op} {value}"),
+            Predicate::Prefix { column, prefix } => write!(f, "{column} LIKE '{prefix}%'"),
             Predicate::And(ps) => {
                 for (i, p) in ps.iter().enumerate() {
                     if i > 0 {
@@ -207,6 +226,13 @@ mod tests {
         ]);
         assert_eq!(p.to_string(), "a > 5 AND b = 7");
         assert_eq!(p.columns(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn prefix_predicate_display_and_columns() {
+        let p = Predicate::prefix("name", "ab");
+        assert_eq!(p.to_string(), "name LIKE 'ab%'");
+        assert_eq!(p.columns(), vec!["name"]);
     }
 
     #[test]

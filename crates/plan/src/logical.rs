@@ -31,12 +31,13 @@ pub enum LogicalPlan {
         /// Join key column on the right input.
         right_key: String,
     },
-    /// Grouping + aggregation (the paper's γ / Γ).
+    /// Grouping + aggregation (the paper's γ / Γ). One or more key
+    /// columns; multi-column keys group by the composite tuple.
     GroupBy {
         /// Input plan.
         input: Arc<LogicalPlan>,
-        /// Grouping key column.
-        key: String,
+        /// Grouping key columns, in declaration order (at least one).
+        keys: Vec<String>,
         /// Aggregate output expressions.
         aggs: Vec<AggExpr>,
     },
@@ -92,13 +93,19 @@ impl LogicalPlan {
         })
     }
 
-    /// GroupBy constructor.
+    /// GroupBy constructor (single key).
     pub fn group_by(input: Arc<Self>, key: impl Into<String>, aggs: Vec<AggExpr>) -> Arc<Self> {
         Arc::new(LogicalPlan::GroupBy {
             input,
-            key: key.into(),
+            keys: vec![key.into()],
             aggs,
         })
+    }
+
+    /// GroupBy constructor for a composite (multi-column) key.
+    pub fn group_by_multi(input: Arc<Self>, keys: Vec<String>, aggs: Vec<AggExpr>) -> Arc<Self> {
+        assert!(!keys.is_empty(), "GROUP BY needs at least one key column");
+        Arc::new(LogicalPlan::GroupBy { input, keys, aggs })
     }
 
     /// Project constructor.
@@ -166,9 +173,9 @@ impl LogicalPlan {
                 right_key,
                 ..
             } => format!("Join on {left_key} = {right_key}"),
-            LogicalPlan::GroupBy { key, aggs, .. } => {
+            LogicalPlan::GroupBy { keys, aggs, .. } => {
                 let aggs: Vec<String> = aggs.iter().map(|a| a.to_string()).collect();
-                format!("GroupBy γ[{key}] {}", aggs.join(", "))
+                format!("GroupBy γ[{}] {}", keys.join(", "), aggs.join(", "))
             }
             LogicalPlan::Project { columns, .. } => format!("Project {}", columns.join(", ")),
             LogicalPlan::Sort { key, .. } => format!("Sort by {key}"),
@@ -209,12 +216,26 @@ mod tests {
         assert_eq!(plan.node_count(), 4);
         assert_eq!(plan.tables(), vec!["R", "S"]);
         match plan.as_ref() {
-            LogicalPlan::GroupBy { key, aggs, .. } => {
-                assert_eq!(key, "a");
+            LogicalPlan::GroupBy { keys, aggs, .. } => {
+                assert_eq!(keys, &["a"]);
                 assert_eq!(aggs.len(), 1);
             }
             other => panic!("expected GroupBy at root, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn multi_key_group_by_builds_and_renders() {
+        let plan = LogicalPlan::group_by_multi(
+            LogicalPlan::scan("t"),
+            vec!["a".into(), "b".into()],
+            vec![AggExpr::count_star("n")],
+        );
+        match plan.as_ref() {
+            LogicalPlan::GroupBy { keys, .. } => assert_eq!(keys, &["a", "b"]),
+            other => panic!("expected GroupBy, got {other:?}"),
+        }
+        assert!(plan.explain().contains("GroupBy γ[a, b] COUNT(*) AS n"));
     }
 
     #[test]

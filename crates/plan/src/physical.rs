@@ -89,12 +89,15 @@ pub enum PhysicalPlan {
         /// Chosen join organelle.
         algo: JoinImpl,
     },
-    /// Grouping with a decided implementation and molecules.
+    /// Grouping with a decided implementation and molecules. Multi-column
+    /// keys run on the 64-bit packed composite-key domain when the
+    /// per-column dictionary/range widths allow, with a row-wise fallback
+    /// otherwise (an executor decision; the plan only records the keys).
     GroupBy {
         /// Input plan.
         input: Box<PhysicalPlan>,
-        /// Grouping key.
-        key: String,
+        /// Grouping key columns (at least one).
+        keys: Vec<String>,
         /// Aggregates.
         aggs: Vec<AggExpr>,
         /// Chosen grouping organelle.
@@ -194,7 +197,7 @@ impl PhysicalPlan {
                 ..
             } => format!("{algo} on {left_key} = {right_key}"),
             PhysicalPlan::GroupBy {
-                key,
+                keys,
                 algo,
                 molecules,
                 aggs,
@@ -216,7 +219,7 @@ impl PhysicalPlan {
                 } else {
                     format!(" {{{}}}", mol.join(", "))
                 };
-                format!("{algo} γ[{key}]{mol} {}", aggs.join(", "))
+                format!("{algo} γ[{}]{mol} {}", keys.join(","), aggs.join(", "))
             }
             PhysicalPlan::Project { columns, .. } => format!("Project {}", columns.join(", ")),
             PhysicalPlan::Limit { n, .. } => format!("Limit {n}"),
@@ -250,7 +253,7 @@ mod tests {
                 right_key: "r_id".into(),
                 algo: JoinImpl::Sphj,
             }),
-            key: "a".into(),
+            keys: vec!["a".into()],
             aggs: vec![AggExpr::count_star("count")],
             algo: GroupingImpl::Sphg,
             molecules: GroupingMolecules::defaults_for(GroupingImpl::Sphg),
@@ -281,7 +284,7 @@ mod tests {
     fn explain_shows_molecules() {
         let plan = PhysicalPlan::GroupBy {
             input: Box::new(PhysicalPlan::Scan { table: "t".into() }),
-            key: "k".into(),
+            keys: vec!["k".into()],
             aggs: vec![AggExpr::count_star("n")],
             algo: GroupingImpl::Hg,
             molecules: GroupingMolecules::defaults_for(GroupingImpl::Hg),
@@ -290,6 +293,18 @@ mod tests {
         assert!(text.contains("HG γ[k]"));
         assert!(text.contains("table=chaining"));
         assert!(text.contains("hash=murmur3"));
+    }
+
+    #[test]
+    fn explain_renders_composite_keys() {
+        let plan = PhysicalPlan::GroupBy {
+            input: Box::new(PhysicalPlan::Scan { table: "t".into() }),
+            keys: vec!["k".into(), "s".into()],
+            aggs: vec![AggExpr::count_star("n")],
+            algo: GroupingImpl::Sphg,
+            molecules: GroupingMolecules::defaults_for(GroupingImpl::Sphg),
+        };
+        assert!(plan.explain().contains("SPHG γ[k,s]"));
     }
 
     #[test]

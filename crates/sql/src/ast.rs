@@ -85,6 +85,8 @@ pub enum AstCmpOp {
     Gt,
     /// `>=`
     Ge,
+    /// `LIKE` (prefix patterns only: `'abc%'`).
+    Like,
 }
 
 /// A scalar literal.
@@ -129,8 +131,8 @@ pub struct SelectStatement {
     pub joins: Vec<JoinClause>,
     /// WHERE conjuncts (ANDed).
     pub predicates: Vec<Comparison>,
-    /// GROUP BY column, if any.
-    pub group_by: Option<ColumnRef>,
+    /// GROUP BY columns, in declaration order (empty = no grouping).
+    pub group_by: Vec<ColumnRef>,
     /// ORDER BY column, if any (ASC only).
     pub order_by: Option<ColumnRef>,
     /// LIMIT row cap, if any.

@@ -11,7 +11,7 @@ use crate::error::SqlError;
 use crate::Result;
 use dqo_plan::expr::{AggExpr, AggFunc, Predicate};
 use dqo_plan::{CmpOp, LogicalPlan};
-use dqo_storage::Schema;
+use dqo_storage::{DataType, Schema};
 use std::sync::Arc;
 
 /// Resolves table names to schemas (implemented by the engine's catalog).
@@ -49,10 +49,10 @@ struct Scope {
 }
 
 impl Scope {
-    /// Resolve a column reference to its bare name, checking existence and
-    /// ambiguity. Qualified references must match their table; bare
-    /// references must be unique across the scope.
-    fn resolve(&self, col: &ColumnRef) -> Result<String> {
+    /// Resolve a column reference to its bare name and data type, checking
+    /// existence and ambiguity. Qualified references must match their
+    /// table; bare references must be unique across the scope.
+    fn resolve_typed(&self, col: &ColumnRef) -> Result<(String, DataType)> {
         match &col.table {
             Some(t) => {
                 let (_, schema) = self
@@ -60,32 +60,36 @@ impl Scope {
                     .iter()
                     .find(|(name, _)| name == t)
                     .ok_or_else(|| SqlError::UnknownTable(t.clone()))?;
-                if schema.index_of(&col.column).is_err() {
-                    return Err(SqlError::UnknownColumn(col.to_string()));
+                match schema.field(&col.column) {
+                    Ok(field) => Ok((col.column.clone(), field.data_type)),
+                    Err(_) => Err(SqlError::UnknownColumn(col.to_string())),
                 }
-                Ok(col.column.clone())
             }
             None => {
-                let hits: Vec<&String> = self
+                let hits: Vec<(&String, DataType)> = self
                     .tables
                     .iter()
-                    .filter(|(_, s)| s.index_of(&col.column).is_ok())
-                    .map(|(n, _)| n)
+                    .filter_map(|(n, s)| s.field(&col.column).ok().map(|f| (n, f.data_type)))
                     .collect();
                 match hits.len() {
                     0 => Err(SqlError::UnknownColumn(col.column.clone())),
-                    1 => Ok(col.column.clone()),
+                    1 => Ok((col.column.clone(), hits[0].1)),
                     _ => Err(SqlError::Semantic(format!(
                         "ambiguous column '{}' (in tables: {})",
                         col.column,
                         hits.iter()
-                            .map(|s| s.as_str())
+                            .map(|(s, _)| s.as_str())
                             .collect::<Vec<_>>()
                             .join(", ")
                     ))),
                 }
             }
         }
+    }
+
+    /// Resolve a column reference to its bare name only.
+    fn resolve(&self, col: &ColumnRef) -> Result<String> {
+        self.resolve_typed(col).map(|(name, _)| name)
     }
 }
 
@@ -103,38 +107,36 @@ impl Binder<'_> {
             let right_scope = Scope {
                 tables: vec![(join.table.clone(), right_schema.clone())],
             };
-            let (lk, rk) = match (scope.resolve(&join.left), right_scope.resolve(&join.right)) {
+            let ((lk, lt), (rk, rt)) = match (
+                scope.resolve_typed(&join.left),
+                right_scope.resolve_typed(&join.right),
+            ) {
                 (Ok(l), Ok(r)) => (l, r),
                 _ => {
                     // Swapped condition: `ON s.r_id = r.id`.
-                    let l = scope.resolve(&join.right)?;
-                    let r = right_scope.resolve(&join.left)?;
+                    let l = scope.resolve_typed(&join.right)?;
+                    let r = right_scope.resolve_typed(&join.left)?;
                     (l, r)
                 }
             };
+            // Join keys must be u32: dictionary codes are per-table, so
+            // equality on two `Str` columns' codes would be meaningless.
+            if lt != DataType::U32 || rt != DataType::U32 {
+                return Err(SqlError::Semantic(format!(
+                    "join keys must be u32 columns, got {lk}: {lt} = {rk}: {rt} \
+                     (string join keys are unsupported: dictionary codes are per-table)"
+                )));
+            }
             scope.tables.push((join.table.clone(), right_schema));
             plan = LogicalPlan::join(plan, LogicalPlan::scan(&join.table), lk, rk);
         }
 
-        // WHERE.
+        // WHERE. Literal types are checked against the column type here,
+        // so the executor never sees a cross-type comparison.
         if !stmt.predicates.is_empty() {
             let mut conjuncts = Vec::with_capacity(stmt.predicates.len());
             for cmp in &stmt.predicates {
-                let column = scope.resolve(&cmp.column)?;
-                let value = match &cmp.literal {
-                    Literal::Number(n) => {
-                        let v = u32::try_from(*n).map_err(|_| SqlError::NumberOverflow {
-                            text: n.to_string(),
-                        })?;
-                        dqo_storage::Value::U32(v)
-                    }
-                    Literal::Str(s) => dqo_storage::Value::Str(s.clone()),
-                };
-                conjuncts.push(Predicate::Compare {
-                    column,
-                    op: convert_op(cmp.op),
-                    value,
-                });
+                conjuncts.push(self.bind_predicate(&scope, cmp)?);
             }
             let predicate = if conjuncts.len() == 1 {
                 conjuncts.pop().expect("one conjunct")
@@ -145,67 +147,89 @@ impl Binder<'_> {
         }
 
         // GROUP BY / plain projection.
-        plan = match &stmt.group_by {
-            Some(group_col) => {
+        let mut group_keys: Vec<String> = Vec::new();
+        let mut projection: Option<Vec<String>> = None;
+        plan = if !stmt.group_by.is_empty() {
+            for group_col in &stmt.group_by {
                 let key = scope.resolve(group_col)?;
-                let mut aggs = Vec::new();
-                for item in &stmt.items {
-                    match item {
-                        SelectItem::Column { column, .. } => {
-                            let name = scope.resolve(column)?;
-                            if name != key {
-                                return Err(SqlError::Semantic(format!(
-                                    "column '{name}' must appear in GROUP BY or an aggregate"
-                                )));
-                            }
+                if group_keys.contains(&key) {
+                    return Err(SqlError::Semantic(format!(
+                        "duplicate GROUP BY column '{key}'"
+                    )));
+                }
+                group_keys.push(key);
+            }
+            // The SELECT list, in order, as output column names — plain
+            // columns must be grouping keys; aggregates contribute their
+            // aliases.
+            let mut aggs = Vec::new();
+            let mut select_cols: Vec<String> = Vec::with_capacity(stmt.items.len());
+            for item in &stmt.items {
+                match item {
+                    SelectItem::Column { column, .. } => {
+                        let name = scope.resolve(column)?;
+                        if !group_keys.contains(&name) {
+                            return Err(SqlError::Semantic(format!(
+                                "column '{name}' must appear in GROUP BY or an aggregate"
+                            )));
                         }
-                        SelectItem::Aggregate { func, alias } => {
-                            aggs.push(self.bind_agg(&scope, func, alias.as_deref(), aggs.len())?);
-                        }
+                        select_cols.push(name);
+                    }
+                    SelectItem::Aggregate { func, alias } => {
+                        let agg = self.bind_agg(&scope, func, alias.as_deref(), aggs.len())?;
+                        select_cols.push(agg.alias.clone());
+                        aggs.push(agg);
                     }
                 }
-                if aggs.is_empty() {
-                    return Err(SqlError::Semantic(
-                        "GROUP BY query needs at least one aggregate".into(),
-                    ));
-                }
-                LogicalPlan::group_by(plan, key, aggs)
             }
-            None => {
-                let mut columns = Vec::new();
-                for item in &stmt.items {
-                    match item {
-                        SelectItem::Column { column, .. } => {
-                            columns.push(scope.resolve(column)?);
-                        }
-                        SelectItem::Aggregate { .. } => {
-                            return Err(SqlError::Semantic(
-                                "aggregates require GROUP BY (scalar aggregates unsupported)"
-                                    .into(),
-                            ))
-                        }
+            if aggs.is_empty() {
+                return Err(SqlError::Semantic(
+                    "GROUP BY query needs at least one aggregate".into(),
+                ));
+            }
+            // The SELECT list may omit or reorder grouping keys; when it
+            // differs from the grouping's natural output (keys… aggs…),
+            // a projection above the GroupBy (applied after ORDER BY, so
+            // sorting by an unselected key still works) narrows the
+            // output to exactly the selected columns, in SELECT order.
+            let natural = group_keys.iter().chain(aggs.iter().map(|a| &a.alias));
+            if !select_cols.iter().eq(natural) {
+                projection = Some(select_cols);
+            }
+            LogicalPlan::group_by_multi(plan, group_keys.clone(), aggs)
+        } else {
+            let mut columns = Vec::new();
+            for item in &stmt.items {
+                match item {
+                    SelectItem::Column { column, .. } => {
+                        columns.push(scope.resolve(column)?);
+                    }
+                    SelectItem::Aggregate { .. } => {
+                        return Err(SqlError::Semantic(
+                            "aggregates require GROUP BY (scalar aggregates unsupported)".into(),
+                        ))
                     }
                 }
-                LogicalPlan::project(plan, columns)
             }
+            LogicalPlan::project(plan, columns)
         };
 
-        // ORDER BY. After GROUP BY, only the grouping key is sortable.
+        // ORDER BY. After GROUP BY, only grouping keys are sortable.
         if let Some(order_col) = &stmt.order_by {
-            let key = match &stmt.group_by {
-                Some(g) => {
-                    let gk = scope.resolve(g)?;
-                    let ok = scope.resolve(order_col)?;
-                    if ok != gk {
-                        return Err(SqlError::Semantic(format!(
-                            "ORDER BY '{ok}' must match the GROUP BY key '{gk}'"
-                        )));
-                    }
-                    ok
-                }
-                None => scope.resolve(order_col)?,
-            };
+            let key = scope.resolve(order_col)?;
+            if !group_keys.is_empty() && !group_keys.contains(&key) {
+                return Err(SqlError::Semantic(format!(
+                    "ORDER BY '{key}' must be one of the GROUP BY keys ({})",
+                    group_keys.join(", ")
+                )));
+            }
             plan = LogicalPlan::sort(plan, key);
+        }
+
+        // Narrow a grouped output to the SELECT list (post-sort, so the
+        // sort key need not survive the projection).
+        if let Some(columns) = projection {
+            plan = LogicalPlan::project(plan, columns);
         }
 
         if let Some(n) = stmt.limit {
@@ -221,6 +245,63 @@ impl Binder<'_> {
             .ok_or_else(|| SqlError::UnknownTable(table.to_owned()))
     }
 
+    /// Bind one WHERE conjunct, type-checking the literal against the
+    /// column: string columns take string literals (and LIKE); numeric
+    /// columns take numbers. Mismatches are binder errors, with the
+    /// column's real type in the message.
+    fn bind_predicate(&self, scope: &Scope, cmp: &Comparison) -> Result<Predicate> {
+        let (column, dtype) = scope.resolve_typed(&cmp.column)?;
+        if cmp.op == AstCmpOp::Like {
+            if dtype != DataType::Str {
+                return Err(SqlError::Semantic(format!(
+                    "type mismatch: LIKE needs a string column, but '{column}' is {dtype}"
+                )));
+            }
+            let Literal::Str(pattern) = &cmp.literal else {
+                return Err(SqlError::Semantic("LIKE needs a string pattern".to_owned()));
+            };
+            let Some(prefix) = pattern.strip_suffix('%') else {
+                return Err(SqlError::Semantic(format!(
+                    "unsupported LIKE pattern '{pattern}': only prefix patterns \
+                     ('abc%') are supported"
+                )));
+            };
+            if prefix.contains('%') || prefix.contains('_') {
+                return Err(SqlError::Semantic(format!(
+                    "unsupported LIKE pattern '{pattern}': only one trailing '%' \
+                     wildcard is supported"
+                )));
+            }
+            return Ok(Predicate::prefix(column, prefix));
+        }
+        let value = match &cmp.literal {
+            Literal::Number(n) => {
+                if dtype == DataType::Str {
+                    return Err(SqlError::Semantic(format!(
+                        "type mismatch: string column '{column}' compared to number {n}"
+                    )));
+                }
+                let v = u32::try_from(*n).map_err(|_| SqlError::NumberOverflow {
+                    text: n.to_string(),
+                })?;
+                dqo_storage::Value::U32(v)
+            }
+            Literal::Str(s) => {
+                if dtype != DataType::Str {
+                    return Err(SqlError::Semantic(format!(
+                        "type mismatch: {dtype} column '{column}' compared to string '{s}'"
+                    )));
+                }
+                dqo_storage::Value::Str(s.clone())
+            }
+        };
+        Ok(Predicate::Compare {
+            column,
+            op: convert_op(cmp.op),
+            value,
+        })
+    }
+
     fn bind_agg(
         &self,
         scope: &Scope,
@@ -228,12 +309,22 @@ impl Binder<'_> {
         alias: Option<&str>,
         index: usize,
     ) -> Result<AggExpr> {
+        let resolve_numeric = |c: &ColumnRef, func: &str| -> Result<String> {
+            let (name, dtype) = scope.resolve_typed(c)?;
+            if dtype == DataType::Str {
+                return Err(SqlError::Semantic(format!(
+                    "type mismatch: {func} over string column '{name}' \
+                     (aggregates need numeric input)"
+                )));
+            }
+            Ok(name)
+        };
         let (func, column) = match call {
             AggCall::CountStar => (AggFunc::CountStar, None),
-            AggCall::Sum(c) => (AggFunc::Sum, Some(scope.resolve(c)?)),
-            AggCall::Min(c) => (AggFunc::Min, Some(scope.resolve(c)?)),
-            AggCall::Max(c) => (AggFunc::Max, Some(scope.resolve(c)?)),
-            AggCall::Avg(c) => (AggFunc::Avg, Some(scope.resolve(c)?)),
+            AggCall::Sum(c) => (AggFunc::Sum, Some(resolve_numeric(c, "SUM")?)),
+            AggCall::Min(c) => (AggFunc::Min, Some(resolve_numeric(c, "MIN")?)),
+            AggCall::Max(c) => (AggFunc::Max, Some(resolve_numeric(c, "MAX")?)),
+            AggCall::Avg(c) => (AggFunc::Avg, Some(resolve_numeric(c, "AVG")?)),
         };
         let alias = alias
             .map(str::to_owned)
@@ -267,6 +358,7 @@ fn convert_op(op: AstCmpOp) -> CmpOp {
         AstCmpOp::Le => CmpOp::Le,
         AstCmpOp::Gt => CmpOp::Gt,
         AstCmpOp::Ge => CmpOp::Ge,
+        AstCmpOp::Like => unreachable!("LIKE binds to Predicate::Prefix"),
     }
 }
 
@@ -403,5 +495,132 @@ mod tests {
         let stmt = parse("SELECT s FROM t WHERE s = 'abc'").unwrap();
         let plan = bind(&stmt, &schemas).unwrap();
         assert!(plan.explain().contains("Filter s = 'abc'"));
+    }
+
+    fn str_provider() -> StaticSchemas {
+        StaticSchemas(vec![(
+            "t".into(),
+            Schema::new(vec![
+                Field::new("k", DataType::U32),
+                Field::new("v", DataType::U32),
+                Field::new("s", DataType::Str),
+            ])
+            .unwrap(),
+        )])
+    }
+
+    fn compile_str(sql: &str) -> Result<Arc<LogicalPlan>> {
+        bind(&parse(sql)?, &str_provider())
+    }
+
+    #[test]
+    fn string_range_and_prefix_predicates_bind() {
+        let plan = compile_str("SELECT k FROM t WHERE s < 'm' AND s LIKE 'ab%'").unwrap();
+        let text = plan.explain();
+        assert!(text.contains("s < 'm'"), "{text}");
+        assert!(text.contains("s LIKE 'ab%'"), "{text}");
+    }
+
+    #[test]
+    fn multi_column_group_by_binds() {
+        let plan = compile_str("SELECT s, k, COUNT(*) AS n FROM t GROUP BY s, k").unwrap();
+        assert!(
+            plan.explain().contains("GroupBy γ[s, k]"),
+            "{}",
+            plan.explain()
+        );
+        // Non-grouped select column still rejected.
+        let err = compile_str("SELECT v, COUNT(*) FROM t GROUP BY s, k").unwrap_err();
+        assert!(err.to_string().contains("must appear in GROUP BY"));
+        // Duplicate keys rejected.
+        let err = compile_str("SELECT k, COUNT(*) FROM t GROUP BY k, k").unwrap_err();
+        assert!(err.to_string().contains("duplicate GROUP BY"));
+    }
+
+    #[test]
+    fn select_subset_of_group_keys_projects() {
+        // Unselected grouping keys must not leak into the output schema;
+        // the SELECT order wins over the GROUP BY order.
+        let plan = compile_str("SELECT k, COUNT(*) AS n FROM t GROUP BY s, k").unwrap();
+        let text = plan.explain();
+        assert!(text.contains("Project k, n"), "{text}");
+        assert!(text.contains("GroupBy γ[s, k]"), "{text}");
+        let plan = compile_str("SELECT k, s, COUNT(*) AS n FROM t GROUP BY s, k").unwrap();
+        assert!(
+            plan.explain().contains("Project k, s, n"),
+            "{}",
+            plan.explain()
+        );
+        // Matching order needs no projection.
+        let plan = compile_str("SELECT s, k, COUNT(*) AS n FROM t GROUP BY s, k").unwrap();
+        assert!(!plan.explain().contains("Project"), "{}", plan.explain());
+        // ORDER BY an unselected key sorts before the projection.
+        let plan = compile_str("SELECT k, COUNT(*) AS n FROM t GROUP BY s, k ORDER BY s").unwrap();
+        let text = plan.explain();
+        let sort_pos = text.find("Sort by s").expect("sort node");
+        let proj_pos = text.find("Project k, n").expect("project node");
+        assert!(
+            proj_pos < sort_pos,
+            "projection must sit above the sort:\n{text}"
+        );
+    }
+
+    #[test]
+    fn order_by_any_group_key() {
+        assert!(compile_str("SELECT s, k, COUNT(*) FROM t GROUP BY s, k ORDER BY k").is_ok());
+        assert!(compile_str("SELECT s, k, COUNT(*) FROM t GROUP BY s, k ORDER BY s").is_ok());
+        let err = compile_str("SELECT s, k, COUNT(*) FROM t GROUP BY s, k ORDER BY v").unwrap_err();
+        assert!(err.to_string().contains("must be one of the GROUP BY keys"));
+    }
+
+    #[test]
+    fn type_mismatched_comparisons_error_clearly() {
+        let err = compile_str("SELECT k FROM t WHERE s = 5").unwrap_err();
+        assert!(
+            err.to_string()
+                .contains("string column 's' compared to number"),
+            "{err}"
+        );
+        let err = compile_str("SELECT k FROM t WHERE k = 'x'").unwrap_err();
+        assert!(
+            err.to_string()
+                .contains("u32 column 'k' compared to string"),
+            "{err}"
+        );
+        let err = compile_str("SELECT k FROM t WHERE k LIKE 'a%'").unwrap_err();
+        assert!(
+            err.to_string().contains("LIKE needs a string column"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn non_prefix_like_patterns_rejected() {
+        for pattern in ["%abc", "a%b%", "a_c%", "abc"] {
+            let sql = format!("SELECT k FROM t WHERE s LIKE '{pattern}'");
+            let err = compile_str(&sql).unwrap_err();
+            assert!(err.to_string().contains("LIKE"), "pattern {pattern}: {err}");
+        }
+        // The bare-'%' pattern is a valid (match-everything) prefix.
+        assert!(compile_str("SELECT k FROM t WHERE s LIKE '%'").is_ok());
+    }
+
+    #[test]
+    fn string_aggregates_and_join_keys_rejected() {
+        let err = compile_str("SELECT s, SUM(s) FROM t GROUP BY s").unwrap_err();
+        assert!(err.to_string().contains("SUM over string column"), "{err}");
+        let schemas = StaticSchemas(vec![
+            (
+                "a".into(),
+                Schema::new(vec![Field::new("s", DataType::Str)]).unwrap(),
+            ),
+            (
+                "b".into(),
+                Schema::new(vec![Field::new("x", DataType::Str)]).unwrap(),
+            ),
+        ]);
+        let stmt = parse("SELECT a.s FROM a JOIN b ON a.s = b.x").unwrap();
+        let err = bind(&stmt, &schemas).unwrap_err();
+        assert!(err.to_string().contains("join keys must be u32"), "{err}");
     }
 }

@@ -65,7 +65,7 @@ impl TokenKind {
 /// SQL keywords (recognised case-insensitively, stored upper-case).
 const KEYWORDS: &[&str] = &[
     "SELECT", "FROM", "WHERE", "GROUP", "ORDER", "BY", "JOIN", "ON", "AND", "AS", "COUNT", "SUM",
-    "MIN", "MAX", "AVG", "ASC", "INNER", "LIMIT",
+    "MIN", "MAX", "AVG", "ASC", "INNER", "LIMIT", "LIKE",
 ];
 
 /// Tokenise `sql`. The final token is always [`TokenKind::Eof`].

@@ -7,8 +7,8 @@
 //! agg      := COUNT '(' '*' ')' | (SUM|MIN|MAX|AVG) '(' colref ')'  [AS ident]
 //! join     := [INNER] JOIN ident ON colref '=' colref
 //! where    := WHERE cmp (AND cmp)*
-//! cmp      := colref op literal
-//! group    := GROUP BY colref
+//! cmp      := colref op literal | colref LIKE string
+//! group    := GROUP BY colref (',' colref)*
 //! order    := ORDER BY colref [ASC]
 //! colref   := ident ['.' ident]
 //! ```
@@ -165,11 +165,14 @@ impl Parser {
             }
         }
 
-        let mut group_by = None;
+        let mut group_by = Vec::new();
         if self.at_keyword("GROUP") {
             self.advance();
             self.keyword("BY")?;
-            group_by = Some(self.column_ref()?);
+            group_by.push(self.column_ref()?);
+            while self.eat_if(&TokenKind::Comma) {
+                group_by.push(self.column_ref()?);
+            }
         }
 
         let mut order_by = None;
@@ -257,16 +260,33 @@ impl Parser {
 
     fn comparison(&mut self) -> Result<Comparison> {
         let column = self.column_ref()?;
-        let op = match self.peek().kind {
+        let op = match &self.peek().kind {
             TokenKind::Eq => AstCmpOp::Eq,
             TokenKind::Ne => AstCmpOp::Ne,
             TokenKind::Lt => AstCmpOp::Lt,
             TokenKind::Le => AstCmpOp::Le,
             TokenKind::Gt => AstCmpOp::Gt,
             TokenKind::Ge => AstCmpOp::Ge,
+            TokenKind::Word(w) if w == "LIKE" => AstCmpOp::Like,
             _ => return Err(self.err("comparison operator")),
         };
         self.advance();
+        if op == AstCmpOp::Like {
+            // LIKE takes a string pattern, nothing else.
+            let literal = match &self.peek().kind {
+                TokenKind::Str(s) => {
+                    let s = s.clone();
+                    self.advance();
+                    Literal::Str(s)
+                }
+                _ => return Err(self.err("string pattern after LIKE")),
+            };
+            return Ok(Comparison {
+                column,
+                op,
+                literal,
+            });
+        }
         let literal = match &self.peek().kind {
             TokenKind::Number(n) => {
                 let n = *n;
@@ -301,7 +321,7 @@ mod tests {
         assert_eq!(stmt.joins[0].table, "s");
         assert_eq!(stmt.joins[0].left, ColumnRef::qualified("r", "id"));
         assert_eq!(stmt.joins[0].right, ColumnRef::qualified("s", "r_id"));
-        assert_eq!(stmt.group_by, Some(ColumnRef::qualified("r", "a")));
+        assert_eq!(stmt.group_by, vec![ColumnRef::qualified("r", "a")]);
         assert_eq!(stmt.items.len(), 2);
         assert!(matches!(
             stmt.items[1],
@@ -363,6 +383,28 @@ mod tests {
         assert!(matches!(err, SqlError::Expected { .. }));
         let err = parse("SELECT a FROM t GROUP a").unwrap_err();
         assert!(err.to_string().contains("BY"));
+    }
+
+    #[test]
+    fn multi_column_group_by_parses() {
+        let stmt = parse("SELECT a, b, COUNT(*) FROM t GROUP BY a, b").unwrap();
+        assert_eq!(
+            stmt.group_by,
+            vec![ColumnRef::bare("a"), ColumnRef::bare("b")]
+        );
+        let stmt = parse("SELECT t.a, u.b, COUNT(*) FROM t JOIN u ON t.x = u.y GROUP BY t.a, u.b")
+            .unwrap();
+        assert_eq!(stmt.group_by.len(), 2);
+        assert_eq!(stmt.group_by[1], ColumnRef::qualified("u", "b"));
+    }
+
+    #[test]
+    fn like_parses_with_string_pattern_only() {
+        let stmt = parse("SELECT a FROM t WHERE s LIKE 'ab%'").unwrap();
+        assert_eq!(stmt.predicates.len(), 1);
+        assert_eq!(stmt.predicates[0].op, AstCmpOp::Like);
+        assert_eq!(stmt.predicates[0].literal, Literal::Str("ab%".into()));
+        assert!(parse("SELECT a FROM t WHERE s LIKE 5").is_err());
     }
 
     #[test]

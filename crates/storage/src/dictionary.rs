@@ -33,6 +33,42 @@ impl Dictionary {
         (dict, codes)
     }
 
+    /// Build an **order-preserving** dictionary: codes are assigned in
+    /// lexicographic string order, so `code(a) < code(b) ⇔ a < b`. This is
+    /// the encoding under which comparison predicates (`<`, `>`, …) on
+    /// string columns reduce to `u32` comparisons on the codes — and the
+    /// code domain is still dense over `[0, n)`.
+    pub fn encode_all_sorted<S: AsRef<str>>(raw: &[S]) -> (Dictionary, Vec<u32>) {
+        let mut distinct: Vec<&str> = raw.iter().map(AsRef::as_ref).collect();
+        distinct.sort_unstable();
+        distinct.dedup();
+        let mut dict = Dictionary::new();
+        for s in &distinct {
+            dict.encode(s);
+        }
+        let codes = raw
+            .iter()
+            .map(|s| dict.lookup(s.as_ref()).expect("all values inserted"))
+            .collect();
+        (dict, codes)
+    }
+
+    /// True if code order equals string order (the dictionary's values are
+    /// lexicographically ascending). Always holds for
+    /// [`Dictionary::encode_all_sorted`]; generally not for
+    /// [`Dictionary::encode_all`].
+    pub fn is_order_preserving(&self) -> bool {
+        self.values.windows(2).all(|w| w[0] < w[1])
+    }
+
+    /// Evaluate a string predicate once per **code** instead of once per
+    /// row: `table[code]` holds `pred(decode(code))`. Row-level predicate
+    /// evaluation over a dictionary column is then a table lookup — O(dict)
+    /// string work regardless of the row count.
+    pub fn match_table(&self, pred: impl Fn(&str) -> bool) -> Vec<bool> {
+        self.values.iter().map(|s| pred(s)).collect()
+    }
+
     /// Code for `s`, inserting it if new.
     pub fn encode(&mut self, s: &str) -> u32 {
         if let Some(&code) = self.index.get(s) {
@@ -124,6 +160,27 @@ mod tests {
         assert!(d.is_empty());
         assert_eq!(d.len(), 0);
         assert_eq!(d.code_domain(), 0..0);
+    }
+
+    #[test]
+    fn encode_all_sorted_preserves_order() {
+        let (dict, codes) = Dictionary::encode_all_sorted(&["pear", "apple", "pear", "fig"]);
+        assert_eq!(dict.len(), 3);
+        assert!(dict.is_order_preserving());
+        assert_eq!(dict.decode(0).unwrap(), "apple");
+        assert_eq!(dict.decode(1).unwrap(), "fig");
+        assert_eq!(dict.decode(2).unwrap(), "pear");
+        assert_eq!(codes, vec![2, 0, 2, 1]);
+        // First-occurrence encoding of the same data is NOT order-preserving.
+        let (fo, _) = Dictionary::encode_all(&["pear", "apple", "fig"]);
+        assert!(!fo.is_order_preserving());
+    }
+
+    #[test]
+    fn match_table_evaluates_per_code() {
+        let (dict, _) = Dictionary::encode_all(&["banana", "apple", "blueberry"]);
+        let table = dict.match_table(|s| s.starts_with('b'));
+        assert_eq!(table, vec![true, false, true]);
     }
 
     #[test]

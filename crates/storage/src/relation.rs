@@ -99,6 +99,32 @@ impl Relation {
         Ok(self)
     }
 
+    /// Attach a dictionary to the `Str` column at position `idx` — the
+    /// positional twin of [`Relation::with_dictionary`], used when
+    /// assembling outputs (join concatenation, grouping keys) whose column
+    /// names were qualified or renamed along the way.
+    pub fn with_dictionary_at(mut self, idx: usize, dict: Arc<Dictionary>) -> Result<Self> {
+        if self.schema.field_at(idx)?.data_type != DataType::Str {
+            return Err(StorageError::TypeMismatch {
+                expected: DataType::Str,
+                found: self.schema.field_at(idx)?.data_type,
+            });
+        }
+        self.dictionaries[idx] = Some(dict);
+        Ok(self)
+    }
+
+    /// Dictionary attached to the column at position `idx`, if any.
+    pub fn dictionary_at(&self, idx: usize) -> Result<Option<&Arc<Dictionary>>> {
+        if idx >= self.dictionaries.len() {
+            return Err(StorageError::ColumnIndexOutOfBounds {
+                index: idx,
+                width: self.dictionaries.len(),
+            });
+        }
+        Ok(self.dictionaries[idx].as_ref())
+    }
+
     /// The schema.
     pub fn schema(&self) -> &Schema {
         &self.schema

@@ -4,9 +4,20 @@
 use dqo_storage::datagen::DatasetSpec;
 use dqo_storage::rowcodec::{decode_rows, encode_rows};
 use dqo_storage::stats::ColumnStats;
-use dqo_storage::{Column, DataType, Field, Relation, Schema};
+use dqo_storage::{Column, DataType, Dictionary, Field, Relation, Schema};
 use proptest::prelude::*;
 use std::collections::BTreeSet;
+
+/// A strategy-friendly pool of short strings: arbitrary bytes mapped onto
+/// a compact alphabet so duplicates and shared prefixes are common (the
+/// interesting cases for dictionaries and prefix predicates).
+fn word(x: u32) -> String {
+    let alphabet = ["ap", "ba", "ca", "do", "el", "fi", "go", "hu"];
+    let a = alphabet[(x & 7) as usize];
+    let b = alphabet[((x >> 3) & 7) as usize];
+    let tail = (x >> 6) & 3;
+    format!("{a}{b}{tail}")
+}
 
 proptest! {
     #[test]
@@ -70,6 +81,52 @@ proptest! {
         prop_assert_eq!(back.rows(), n);
         for r in 0..n {
             prop_assert_eq!(back.row(r).unwrap(), rel.row(r).unwrap());
+        }
+    }
+
+    #[test]
+    fn dictionary_roundtrips_and_stays_dense(raw in proptest::collection::vec(any::<u32>(), 0..600)) {
+        let strings: Vec<String> = raw.iter().map(|&x| word(x)).collect();
+        for sorted in [false, true] {
+            let (dict, codes) = if sorted {
+                Dictionary::encode_all_sorted(&strings)
+            } else {
+                Dictionary::encode_all(&strings)
+            };
+            // encode → decode identity, row by row.
+            prop_assert_eq!(codes.len(), strings.len());
+            for (code, s) in codes.iter().zip(&strings) {
+                prop_assert_eq!(dict.decode(*code).unwrap(), s.as_str());
+                prop_assert_eq!(dict.lookup(s), Some(*code));
+            }
+            // The code domain is dense over [0, n) for both encodings.
+            let domain = dict.code_domain();
+            prop_assert_eq!(domain.end as usize, dict.len());
+            prop_assert!(codes.iter().all(|c| domain.contains(c)));
+            let distinct: BTreeSet<&str> = strings.iter().map(String::as_str).collect();
+            prop_assert_eq!(dict.len(), distinct.len());
+        }
+    }
+
+    #[test]
+    fn sorted_dictionary_code_order_is_string_order(raw in proptest::collection::vec(any::<u32>(), 1..600)) {
+        let strings: Vec<String> = raw.iter().map(|&x| word(x)).collect();
+        let (dict, codes) = Dictionary::encode_all_sorted(&strings);
+        prop_assert!(dict.is_order_preserving());
+        // code order == string order, for every pair of rows.
+        for (i, &ci) in codes.iter().enumerate() {
+            for (j, &cj) in codes.iter().enumerate() {
+                prop_assert_eq!(
+                    ci.cmp(&cj),
+                    strings[i].cmp(&strings[j]),
+                    "rows {} ('{}') vs {} ('{}')", i, &strings[i], j, &strings[j]
+                );
+            }
+        }
+        // match_table agrees with direct evaluation on every code.
+        let table = dict.match_table(|s| s.starts_with("ap"));
+        for &c in &codes {
+            prop_assert_eq!(table[c as usize], dict.decode(c).unwrap().starts_with("ap"));
         }
     }
 

@@ -263,7 +263,7 @@ fn sort_based_exchange_plans_match_serial_execution() {
     };
     let sog = PhysicalPlan::GroupBy {
         input: Box::new(PhysicalPlan::Scan { table: "S".into() }),
-        key: "r_id".into(),
+        keys: vec!["r_id".into()],
         aggs: vec![dqo::plan::AggExpr::count_star("n")],
         algo: GroupingImpl::Sog,
         molecules: GroupingMolecules::defaults_for(GroupingImpl::Sog),
@@ -502,4 +502,212 @@ fn shallow_mode_parallelises_too() {
     assert!(explain.contains("Exchange"), "plan: {explain}");
     assert!(explain.contains("HG"), "plan: {explain}");
     assert_eq!(run_sorted(&par_db, sql), reference);
+}
+
+// ---------------------------------------------------------------------------
+// The widened SQL surface: string predicates + multi-column grouping
+// ---------------------------------------------------------------------------
+
+/// Build m(key, val, cat): `key` u32 (optionally Zipf-skewed), `val` u32,
+/// `cat` a dictionary-encoded string with shared prefixes.
+fn mixed_relation(rows: usize, groups: usize, seed: u64, exponent: f64) -> dqo::Relation {
+    use dqo::storage::{Column, DataType, Dictionary, Field, Relation, Schema};
+    const CATS: [&str; 8] = [
+        "alpha", "alps", "beta", "bravo", "brim", "charlie", "delta", "deep",
+    ];
+    let keys = if exponent > 0.0 {
+        zipf_keys(rows, groups, exponent, seed)
+    } else {
+        DatasetSpec::new(rows, groups)
+            .sorted(false)
+            .dense(true)
+            .seed(seed)
+            .generate()
+            .unwrap()
+    };
+    // A cheap deterministic stream decorrelated from the key column.
+    let mut x = seed | 1;
+    let mut next = move || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x
+    };
+    let vals: Vec<u32> = (0..rows).map(|_| (next() % 10_000) as u32).collect();
+    let cats: Vec<&str> = (0..rows)
+        .map(|_| CATS[(next() % CATS.len() as u64) as usize])
+        .collect();
+    let (dict, codes) = Dictionary::encode_all(&cats);
+    Relation::new(
+        Schema::new(vec![
+            Field::new("key", DataType::U32),
+            Field::new("val", DataType::U32),
+            Field::new("cat", DataType::Str),
+        ])
+        .unwrap(),
+        vec![Column::U32(keys), Column::U32(vals), Column::Str(codes)],
+    )
+    .unwrap()
+    .with_dictionary("cat", std::sync::Arc::new(dict))
+    .unwrap()
+}
+
+fn mixed_db(rows: usize, groups: usize, seed: u64, exponent: f64, threads: usize) -> Dqo {
+    let mut db = Dqo::new();
+    db.engine_mut().set_threads(threads);
+    db.register_table("m", mixed_relation(rows, groups, seed, exponent));
+    db
+}
+
+#[test]
+fn str_filters_and_multi_column_grouping_match_serial_across_threads() {
+    // String predicates (=, </>, prefix LIKE) and one- and two-column
+    // groupings over a mixed u32/Str table: bit-identical to the serial
+    // engine at every DOP, across seeds and Zipf skews.
+    let sqls = [
+        "SELECT cat, key, COUNT(*) AS n, SUM(val) AS s FROM m GROUP BY cat, key",
+        "SELECT key, cat, COUNT(*) AS n, MIN(val) AS lo, MAX(val) AS hi FROM m \
+         WHERE cat LIKE 'b%' GROUP BY key, cat",
+        "SELECT cat, COUNT(*) AS n FROM m WHERE cat >= 'beta' AND key < 100 GROUP BY cat",
+        "SELECT key, COUNT(*) AS n FROM m WHERE cat = 'charlie' GROUP BY key",
+    ];
+    for seed in [9u64, 0xFEED] {
+        for exponent in [0.0f64, 1.2] {
+            for sql in sqls {
+                let reference = run_sorted(&mixed_db(120_000, 256, seed, exponent, 1), sql);
+                for threads in THREAD_COUNTS {
+                    let db = mixed_db(120_000, 256, seed, exponent, threads);
+                    assert_eq!(
+                        run_sorted(&db, sql),
+                        reference,
+                        "seed={seed} exponent={exponent} threads={threads} {sql}"
+                    );
+                }
+            }
+        }
+    }
+    // Sanity: at this scale the two-column grouping really goes parallel.
+    let explain = mixed_db(120_000, 256, 9, 0.0, 4).explain(sqls[0]).unwrap();
+    assert!(explain.contains("Exchange"), "plan: {explain}");
+    assert!(explain.contains("γ[cat,key]"), "plan: {explain}");
+}
+
+#[test]
+fn multi_column_grouping_kernels_bit_identical_across_dop() {
+    use dqo::plan::physical::GroupingMolecules;
+    use dqo::plan::{GroupingImpl, PhysicalPlan};
+
+    // Pinned physical plans for each composite-capable organelle,
+    // Exchange-wrapped at every DOP: the packed parallel kernels must
+    // reproduce the serial output relation byte for byte (both sides
+    // normalise to ascending packed order).
+    let cat = dqo::Catalog::new();
+    cat.register("m", mixed_relation(80_000, 64, 23, 1.1));
+    let group_by = |algo| PhysicalPlan::GroupBy {
+        input: Box::new(PhysicalPlan::Scan { table: "m".into() }),
+        keys: vec!["cat".into(), "key".into()],
+        aggs: vec![
+            dqo::plan::AggExpr::count_star("n"),
+            dqo::plan::AggExpr::on(dqo::plan::AggFunc::Sum, "val", "s"),
+        ],
+        algo,
+        molecules: GroupingMolecules::defaults_for(algo),
+    };
+    for algo in [GroupingImpl::Hg, GroupingImpl::Sphg, GroupingImpl::Sog] {
+        let serial = dqo::core::executor::execute(&group_by(algo), &cat).unwrap();
+        for dop in THREAD_COUNTS {
+            let wrapped = PhysicalPlan::Exchange {
+                input: Box::new(group_by(algo)),
+                dop,
+            };
+            let par = dqo::core::executor::execute(&wrapped, &cat).unwrap();
+            assert_relations_identical(
+                &par.relation,
+                &serial.relation,
+                &format!("{algo:?} dop={dop}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn multi_column_grouping_degenerate_tables_match_across_threads() {
+    use dqo::storage::{Column, DataType, Dictionary, Field, Relation, Schema};
+
+    let make = |keys: Vec<u32>, cats: Vec<&str>| {
+        let (dict, codes) = Dictionary::encode_all(&cats);
+        Relation::new(
+            Schema::new(vec![
+                Field::new("key", DataType::U32),
+                Field::new("cat", DataType::Str),
+            ])
+            .unwrap(),
+            vec![Column::U32(keys), Column::Str(codes)],
+        )
+        .unwrap()
+        .with_dictionary("cat", std::sync::Arc::new(dict))
+        .unwrap()
+    };
+    let tables = [
+        ("empty", make(vec![], vec![])),
+        ("single-row", make(vec![7], vec!["only"])),
+        ("all-equal", make(vec![5; 1000], vec!["same"; 1000])),
+    ];
+    let sqls = [
+        "SELECT cat, key, COUNT(*) AS n FROM m GROUP BY cat, key",
+        "SELECT key, COUNT(*) AS n FROM m WHERE cat LIKE 's%' GROUP BY key",
+    ];
+    for (name, rel) in &tables {
+        for sql in sqls {
+            let mut reference: Option<Vec<Vec<Value>>> = None;
+            for threads in THREAD_COUNTS {
+                let mut db = Dqo::new();
+                db.engine_mut().set_threads(threads);
+                db.register_table("m", rel.clone());
+                let rows = run_sorted(&db, sql);
+                match &reference {
+                    None => reference = Some(rows),
+                    Some(expect) => {
+                        assert_eq!(&rows, expect, "{name} threads={threads} {sql}")
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn composite_av_builds_bit_identical_across_dop() {
+    // Composite-key AVs (sorted projection + materialised grouping over
+    // `cat+key`) built through the pool equal the serial materialisation
+    // bit for bit at every DOP — including degenerate bases.
+    let keys: Vec<String> = vec!["cat".into(), "key".into()];
+    for (name, rel) in [
+        ("mixed", mixed_relation(60_000, 64, 31, 1.2)),
+        ("empty", mixed_relation(0, 1, 1, 0.0)),
+        ("single-row", mixed_relation(1, 1, 2, 0.0)),
+    ] {
+        for kind in [AvKind::SortedProjection, AvKind::MaterialisedGrouping] {
+            let sig = AvSignature::composite("m", &keys, kind);
+            let serial_cat = dqo::Catalog::new();
+            serial_cat.register("m", rel.clone());
+            let serial = materialise_av(&serial_cat, &sig).unwrap();
+            for threads in THREAD_COUNTS {
+                let pool = ThreadPool::new(threads);
+                let par_cat = dqo::Catalog::new();
+                par_cat.register("m", rel.clone());
+                let par = materialise_av_on(&par_cat, &sig, &pool).unwrap();
+                assert_artifacts_identical(
+                    par.artifact.clone().unwrap(),
+                    serial.artifact.clone().unwrap(),
+                    &format!("{name} {kind} threads={threads}"),
+                );
+            }
+        }
+    }
+    // Composite SPH join indexes are rejected at planning time.
+    let cat = dqo::Catalog::new();
+    cat.register("m", mixed_relation(100, 4, 1, 0.0));
+    let sig = AvSignature::composite("m", &keys, AvKind::SphIndex);
+    assert!(dqo::core::av::plan_av(&cat, &sig).is_err());
 }
