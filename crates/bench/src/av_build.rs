@@ -6,11 +6,17 @@
 //!
 //! Each parallel configuration also samples the pool's queued-job
 //! counter while the build runs and reports the peak — the same
-//! scheduler-pressure signal `sort_scaling` tracks.
+//! scheduler-pressure signal `sort_scaling` tracks. Per-rep wall times
+//! additionally feed p50/p95/p99/p999 percentiles per configuration,
+//! and every dedicated pool's metrics registry is merged into one
+//! snapshot so the scheduler's view of the whole study rides along in
+//! the bench artifacts (`--metrics-out`).
 
-use crate::sort_scaling::{best_of, with_pressure_sampler};
+use crate::concurrency::percentile;
+use crate::sort_scaling::{samples_of, with_pressure_sampler};
 use dqo_core::av::{materialise_av, materialise_av_on, AvKind, AvSignature};
 use dqo_core::{Catalog, CostModel, TupleCostModel};
+use dqo_obs::MetricsSnapshot;
 use dqo_parallel::{PersistentPool, ThreadPool};
 use dqo_storage::datagen::DatasetSpec;
 use std::sync::Arc;
@@ -24,6 +30,14 @@ pub struct AvBuildPoint {
     pub threads: usize,
     /// Best-of-reps wall time in milliseconds.
     pub millis: f64,
+    /// Median per-rep wall time, milliseconds.
+    pub p50_ms: f64,
+    /// 95th-percentile per-rep wall time, milliseconds.
+    pub p95_ms: f64,
+    /// 99th-percentile per-rep wall time, milliseconds.
+    pub p99_ms: f64,
+    /// 99.9th-percentile per-rep wall time, milliseconds.
+    pub p999_ms: f64,
     /// Serial build time / this configuration's time.
     pub speedup: f64,
     /// Peak queued runner jobs observed on the pool during the build.
@@ -33,6 +47,17 @@ pub struct AvBuildPoint {
     pub est_cost: f64,
 }
 
+/// A whole study: every configuration's point plus the merged metrics
+/// registry of every dedicated pool the study ran on.
+#[derive(Debug, Clone)]
+pub struct AvBuildReport {
+    /// One point per (kind, thread count) configuration.
+    pub points: Vec<AvBuildPoint>,
+    /// Pool metrics merged across configurations (counters and
+    /// histograms sum; gauges keep their maximum).
+    pub metrics: MetricsSnapshot,
+}
+
 /// All three kinds, in a fixed report order.
 pub const KINDS: [AvKind; 3] = [
     AvKind::SortedProjection,
@@ -40,10 +65,22 @@ pub const KINDS: [AvKind; 3] = [
     AvKind::MaterialisedGrouping,
 ];
 
+/// Best-of plus percentile summary of one configuration's rep samples.
+fn summarise(mut samples: Vec<f64>) -> (f64, f64, f64, f64, f64) {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite wall time"));
+    (
+        samples.first().copied().unwrap_or(0.0),
+        percentile(&samples, 50.0),
+        percentile(&samples, 95.0),
+        percentile(&samples, 99.0),
+        percentile(&samples, 99.9),
+    )
+}
+
 /// Measure every AV kind at each thread count over a `rows`-row dense
 /// datagen table. `threads` entries are parallel configurations; the
 /// serial baseline (threads = 0) is always included first per kind.
-pub fn run(rows: usize, groups: usize, threads: &[usize], reps: usize) -> Vec<AvBuildPoint> {
+pub fn run(rows: usize, groups: usize, threads: &[usize], reps: usize) -> AvBuildReport {
     let catalog = Catalog::new();
     catalog.register(
         "t",
@@ -54,19 +91,24 @@ pub fn run(rows: usize, groups: usize, threads: &[usize], reps: usize) -> Vec<Av
             .expect("datagen"),
     );
     let props = catalog.column_props("t", "key").expect("key stats");
-    let mut out = Vec::new();
+    let mut points = Vec::new();
+    let mut metrics = MetricsSnapshot::default();
     for kind in KINDS {
         let sig = AvSignature::new("t", "key", kind);
         let (est_rows, shape) = dqo_core::av::build_shape(&props, kind);
-        let serial_ms = best_of(reps, || {
+        let (serial_ms, p50, p95, p99, p999) = summarise(samples_of(reps, || {
             materialise_av(&catalog, &sig)
                 .expect("serial build")
                 .byte_size as u64
-        });
-        out.push(AvBuildPoint {
+        }));
+        points.push(AvBuildPoint {
             kind,
             threads: 0,
             millis: serial_ms,
+            p50_ms: p50,
+            p95_ms: p95,
+            p99_ms: p99,
+            p999_ms: p999,
             speedup: 1.0,
             queued_peak: 0,
             est_cost: TupleCostModel.parallel_av_build(kind, est_rows, shape, 1),
@@ -76,24 +118,30 @@ pub fn run(rows: usize, groups: usize, threads: &[usize], reps: usize) -> Vec<Av
             // count is physical regardless of the global pool's size.
             let pool = Arc::new(PersistentPool::new(t));
             let tp = ThreadPool::with_pool(t, Arc::clone(&pool));
-            let (ms, queued_peak) = with_pressure_sampler(&pool, || {
-                best_of(reps, || {
+            let (samples, queued_peak) = with_pressure_sampler(&pool, || {
+                samples_of(reps, || {
                     materialise_av_on(&catalog, &sig, &tp)
                         .expect("parallel build")
                         .byte_size as u64
                 })
             });
-            out.push(AvBuildPoint {
+            let (ms, p50, p95, p99, p999) = summarise(samples);
+            metrics.merge(&pool.metrics_snapshot());
+            points.push(AvBuildPoint {
                 kind,
                 threads: t,
                 millis: ms,
+                p50_ms: p50,
+                p95_ms: p95,
+                p99_ms: p99,
+                p999_ms: p999,
                 speedup: serial_ms / ms,
                 queued_peak,
                 est_cost: TupleCostModel.parallel_av_build(kind, est_rows, shape, t),
             });
         }
     }
-    out
+    AvBuildReport { points, metrics }
 }
 
 #[cfg(test)]
@@ -102,7 +150,8 @@ mod tests {
 
     #[test]
     fn produces_points_for_every_kind_and_configuration() {
-        let points = run(20_000, 64, &[1, 2], 1);
+        let report = run(20_000, 64, &[1, 2], 2);
+        let points = &report.points;
         // Per kind: serial baseline + 2 thread counts.
         assert_eq!(points.len(), 9);
         assert!(points
@@ -113,5 +162,17 @@ mod tests {
             assert!(points.iter().any(|p| p.kind == kind && p.threads == 0));
             assert!(points.iter().any(|p| p.kind == kind && p.threads == 2));
         }
+        // Percentiles are ordered and best-of is the fastest rep.
+        for p in points {
+            assert!(p.millis <= p.p50_ms);
+            assert!(p.p50_ms <= p.p95_ms);
+            assert!(p.p95_ms <= p.p99_ms);
+            assert!(p.p99_ms <= p.p999_ms);
+        }
+        // The merged snapshot saw every dedicated pool: 6 parallel
+        // configurations × 2 reps each ran jobs, and the widest pool
+        // had 2 workers (gauges merge by max).
+        assert!(report.metrics.counter(dqo_obs::names::POOL_JOBS).unwrap() > 0);
+        assert_eq!(report.metrics.gauge(dqo_obs::names::POOL_WORKERS), Some(2));
     }
 }

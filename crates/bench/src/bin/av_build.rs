@@ -1,18 +1,23 @@
 //! Offline AV build harness: parallel materialisation of each AV kind
 //! (sorted projection, SPH index, materialised grouping) on the
 //! persistent pool versus the serial reference, at thread counts
-//! 1/2/4/8, with scheduler-pressure (peak queued jobs) and the cost
-//! model's `parallel_av_build` estimate per configuration.
+//! 1/2/4/8, with scheduler-pressure (peak queued jobs), per-rep
+//! latency percentiles (p50/p95/p99/p999) and the cost model's
+//! `parallel_av_build` estimate per configuration.
 //!
 //! ```text
 //! cargo run -p dqo-bench --release --bin av_build                  # 1M rows
 //! cargo run -p dqo-bench --release --bin av_build -- --rows 4000000
 //! cargo run -p dqo-bench --release --bin av_build -- --json        # machine-readable report
+//! cargo run -p dqo-bench --release --bin av_build -- --metrics-out pool-metrics.json
 //! ```
 //!
 //! When `DQO_THREADS` is set it caps the measured thread ladder, so
 //! CI's `DQO_THREADS={1,4}` matrix legs produce genuinely different
-//! trajectories instead of duplicate JSON.
+//! trajectories instead of duplicate JSON. `--metrics-out <path>`
+//! dumps the merged pool metrics registry (jobs, steals, parks across
+//! every configuration's dedicated pool) as JSON next to the bench
+//! output.
 
 use dqo_bench::av_build::run;
 use dqo_bench::report::Table;
@@ -39,17 +44,21 @@ fn main() {
         "av_build: {rows} rows, {groups} groups, threads {threads:?}, best of {reps} \
          ({cores} hardware core(s) available)"
     );
-    let points = run(rows, groups, &threads, reps);
+    let report = run(rows, groups, &threads, reps);
 
     let mut table = Table::new(&[
         "kind",
         "threads",
         "ms",
+        "p50_ms",
+        "p95_ms",
+        "p99_ms",
+        "p999_ms",
         "speedup",
         "queued_peak",
         "est_cost",
     ]);
-    for p in &points {
+    for p in &report.points {
         table.row(vec![
             p.kind.to_string(),
             if p.threads == 0 {
@@ -58,6 +67,10 @@ fn main() {
                 p.threads.to_string()
             },
             format!("{:.2}", p.millis),
+            format!("{:.2}", p.p50_ms),
+            format!("{:.2}", p.p95_ms),
+            format!("{:.2}", p.p99_ms),
+            format!("{:.2}", p.p999_ms),
             format!("{:.2}", p.speedup),
             p.queued_peak.to_string(),
             format!("{:.0}", p.est_cost),
@@ -69,5 +82,13 @@ fn main() {
         print!("{}", table.to_csv());
     } else {
         print!("{}", table.to_text());
+    }
+
+    if let Some(path) = args.value::<String>("--metrics-out") {
+        if let Err(e) = std::fs::write(&path, report.metrics.to_json()) {
+            eprintln!("FAIL: could not write metrics snapshot to {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("metrics snapshot written to {path}");
     }
 }

@@ -7,7 +7,13 @@
 //! cargo run -p dqo-bench --release --bin concurrency                 # 8 clients
 //! cargo run -p dqo-bench --release --bin concurrency -- --clients 16 --max-inflight 4
 //! cargo run -p dqo-bench --release --bin concurrency -- --json      # machine-readable
+//! cargo run -p dqo-bench --release --bin concurrency -- --metrics-out pool-metrics.json
 //! ```
+//!
+//! `--metrics-out <path>` dumps the shared pool's metrics registry
+//! (jobs, steals, parks, admission waits) as JSON next to the bench
+//! output, so the scheduler's view of the run rides along in CI
+//! artifacts.
 
 use dqo_bench::concurrency::{run, ConcurrencyConfig};
 use dqo_bench::report::Table;
@@ -49,6 +55,7 @@ fn main() {
         "p50_ms",
         "p95_ms",
         "p99_ms",
+        "p999_ms",
         "throughput_qps",
         "peak_inflight",
         "oracle_ok",
@@ -61,6 +68,7 @@ fn main() {
         format!("{:.3}", report.p50_ms),
         format!("{:.3}", report.p95_ms),
         format!("{:.3}", report.p99_ms),
+        format!("{:.3}", report.p999_ms),
         format!("{:.1}", report.throughput_qps),
         report.peak_inflight.to_string(),
         report.oracle_ok.to_string(),
@@ -71,6 +79,14 @@ fn main() {
         print!("{}", table.to_csv());
     } else {
         print!("{}", table.to_text());
+    }
+
+    if let Some(path) = args.value::<String>("--metrics-out") {
+        if let Err(e) = std::fs::write(&path, report.metrics.to_json()) {
+            eprintln!("FAIL: could not write metrics snapshot to {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("metrics snapshot written to {path}");
     }
 
     if !report.oracle_ok {

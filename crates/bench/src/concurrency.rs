@@ -62,6 +62,9 @@ pub struct ConcurrencyReport {
     pub p95_ms: f64,
     /// 99th-percentile per-query latency, milliseconds.
     pub p99_ms: f64,
+    /// 99.9th-percentile per-query latency, milliseconds — the deep-tail
+    /// signal admission control is supposed to protect.
+    pub p999_ms: f64,
     /// Completed queries per second over the whole run.
     pub throughput_qps: f64,
     /// High-water mark of concurrently admitted queries — must stay
@@ -69,6 +72,10 @@ pub struct ConcurrencyReport {
     pub peak_inflight: usize,
     /// Every query result was bit-identical to the serial oracle.
     pub oracle_ok: bool,
+    /// The shared pool's metrics registry at the end of the run (jobs,
+    /// steals, parks, admission waits) — dumped next to the bench JSON
+    /// so CI artifacts carry the scheduler's view of the same run.
+    pub metrics: dqo_obs::MetricsSnapshot,
 }
 
 /// The workload query: `SELECT key, COUNT(*), SUM(key) GROUP BY key`.
@@ -105,7 +112,7 @@ fn encode(rel: &Relation) -> String {
 
 /// Percentile over raw latencies (nearest-rank on the sorted sample:
 /// the smallest value with at least `p`% of the sample at or below it).
-fn percentile(sorted: &[f64], p: f64) -> f64 {
+pub(crate) fn percentile(sorted: &[f64], p: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
     }
@@ -172,9 +179,11 @@ pub fn run(cfg: ConcurrencyConfig) -> ConcurrencyReport {
         p50_ms: percentile(&latencies, 50.0),
         p95_ms: percentile(&latencies, 95.0),
         p99_ms: percentile(&latencies, 99.0),
+        p999_ms: percentile(&latencies, 99.9),
         throughput_qps: total as f64 / wall_secs.max(1e-9),
         peak_inflight: pool.admission().peak_inflight(),
         oracle_ok,
+        metrics: pool.metrics_snapshot(),
         config: cfg,
     }
 }
@@ -207,6 +216,22 @@ mod tests {
         assert!(report.peak_inflight <= 2, "admission bound violated");
         assert!(report.p50_ms.is_finite() && report.p50_ms >= 0.0);
         assert!(report.p99_ms >= report.p50_ms);
+        assert!(report.p999_ms >= report.p99_ms);
         assert!(report.throughput_qps > 0.0);
+        // The metrics snapshot carries the run: 6 queries admitted, each
+        // recording exactly one wait, and the pool actually ran jobs.
+        let admitted = report
+            .metrics
+            .counter(dqo_obs::names::ADMISSION_ADMITTED)
+            .unwrap();
+        assert_eq!(admitted, 6);
+        let (wait_count, _) = report
+            .metrics
+            .histogram_count_sum(dqo_obs::names::ADMISSION_WAIT_SECONDS)
+            .unwrap();
+        assert_eq!(wait_count, admitted);
+        // 20k rows may plan serial, so pool jobs are not guaranteed —
+        // but the pool's shape always is.
+        assert_eq!(report.metrics.gauge(dqo_obs::names::POOL_WORKERS), Some(2));
     }
 }

@@ -38,16 +38,24 @@ pub struct SortScalingPoint {
     pub queued_peak: usize,
 }
 
-pub(crate) fn best_of<F: FnMut() -> u64>(reps: usize, mut f: F) -> f64 {
-    let mut best = f64::INFINITY;
-    for _ in 0..reps.max(1) {
-        let start = Instant::now();
-        let sink = f();
-        let elapsed = start.elapsed().as_secs_f64() * 1e3;
-        std::hint::black_box(sink);
-        best = best.min(elapsed);
-    }
-    best
+pub(crate) fn best_of<F: FnMut() -> u64>(reps: usize, f: F) -> f64 {
+    samples_of(reps, f)
+        .into_iter()
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Per-rep wall times in milliseconds (for percentile reporting; min of
+/// the samples is the classic best-of measurement).
+pub(crate) fn samples_of<F: FnMut() -> u64>(reps: usize, mut f: F) -> Vec<f64> {
+    (0..reps.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            let sink = f();
+            let elapsed = start.elapsed().as_secs_f64() * 1e3;
+            std::hint::black_box(sink);
+            elapsed
+        })
+        .collect()
 }
 
 /// Run `f` while a sampler thread polls the pool's queue depth; returns

@@ -30,6 +30,7 @@ use crate::catalog::Catalog;
 use crate::cost::{CostModel, TupleCostModel};
 use crate::error::CoreError;
 use crate::Result;
+use dqo_obs::{names, Counter, Histogram, MetricsRegistry, DURATION_BUCKETS};
 use dqo_parallel::{PersistentPool, ThreadPool};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -64,25 +65,43 @@ pub struct AvBuilder {
     avs: Arc<AvCatalog>,
     pool: Arc<PersistentPool>,
     requested_dop: usize,
+    builds: Counter,
+    bytes: Counter,
+    wall: Histogram,
 }
 
 impl AvBuilder {
     /// A builder materialising into `avs` from `catalog`, dispatching on
     /// `pool` and requesting the pool's full worker count per build
-    /// (admission clamps it under load).
+    /// (admission clamps it under load). Build counters/bytes/wall land
+    /// in the pool's metrics registry (where the admission metrics for
+    /// these builds already live).
     pub fn new(catalog: Arc<Catalog>, avs: Arc<AvCatalog>, pool: Arc<PersistentPool>) -> Self {
         let requested_dop = pool.threads();
+        let registry = Arc::clone(pool.metrics_registry());
         AvBuilder {
             catalog,
             avs,
             pool,
             requested_dop,
+            builds: registry.counter(names::AV_BUILDS),
+            bytes: registry.counter(names::AV_BUILD_BYTES),
+            wall: registry.histogram(names::AV_BUILD_SECONDS, &DURATION_BUCKETS),
         }
     }
 
     /// Override the DOP requested from admission (clamped to ≥ 1).
     pub fn with_requested_dop(mut self, dop: usize) -> Self {
         self.requested_dop = dop.max(1);
+        self
+    }
+
+    /// Re-register the build metrics in `registry` instead of the pool's
+    /// own (tests and benches that assert on exact counts).
+    pub fn with_registry(mut self, registry: &MetricsRegistry) -> Self {
+        self.builds = registry.counter(names::AV_BUILDS);
+        self.bytes = registry.counter(names::AV_BUILD_BYTES);
+        self.wall = registry.histogram(names::AV_BUILD_SECONDS, &DURATION_BUCKETS);
         self
     }
 
@@ -125,6 +144,9 @@ impl AvBuilder {
             self.catalog.drop_table(&sig.av_table_name());
         }
         drop(permit);
+        self.builds.inc();
+        self.bytes.add(bytes as u64);
+        self.wall.observe_duration(wall);
         Ok(AvBuildStats {
             signature: sig.clone(),
             requested_dop: self.requested_dop,

@@ -10,14 +10,19 @@ use crate::av_build::{AvBuildHandle, AvBuilder};
 use crate::avsp::{self, AvspSolution, Solver, WorkloadQuery};
 use crate::catalog::Catalog;
 use crate::cost::TupleCostModel;
-use crate::executor::{execute_on_pool, execute_with_avs, ExecOutput};
+use crate::executor::{execute_on_pool, execute_traced, execute_with_avs, ExecOutput};
 use crate::optimizer::{optimize_full_dop, OptimizerMode, PlannedQuery, PropertyModel};
+use crate::profile::{render_annotated, PlanRuntime};
 use crate::Result;
+use dqo_obs::{
+    names, Counter, Histogram, MetricsRegistry, MetricsSnapshot, Phase, QueryProfile, TraceBuilder,
+    DURATION_BUCKETS,
+};
 use dqo_parallel::PersistentPool;
 use dqo_plan::LogicalPlan;
 use dqo_storage::Relation;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::Duration;
 
 /// A planned, executed query with its measurements.
 #[derive(Debug, Clone)]
@@ -26,8 +31,21 @@ pub struct QueryResult {
     pub planned: PlannedQuery,
     /// The execution result.
     pub output: ExecOutput,
-    /// Wall-clock execution time.
-    pub wall: std::time::Duration,
+    /// End-to-end wall time under the engine's control: admission
+    /// queueing plus execution (`queue_wait + exec_wall`). Earlier
+    /// versions reported execution only, hiding time spent in the FIFO
+    /// admission queue under load.
+    pub wall: Duration,
+    /// Time spent waiting in the pool's admission queue (zero outside
+    /// shared-pool serving mode).
+    pub queue_wait: Duration,
+    /// Pure execution wall time, post-admission and post-planning.
+    pub exec_wall: Duration,
+    /// Phase-timed trace of the whole query (empty when tracing is off).
+    pub profile: QueryProfile,
+    /// Per-operator runtime metrics in plan pre-order (empty when
+    /// tracing is off).
+    pub ops: PlanRuntime,
 }
 
 /// The end-to-end engine.
@@ -56,6 +74,41 @@ pub struct Engine {
     /// `None` = the process-global pool, resolved lazily at the first
     /// Exchange node so serial sessions never spawn pool workers.
     pool: Option<Arc<PersistentPool>>,
+    /// Phase traces + per-operator metrics on every `query` when true
+    /// (default from `DQO_OBS`, on unless `off`/`0`/`false`).
+    tracing: bool,
+    /// Engine-level metric handles and the registry they live in.
+    obs: EngineObs,
+}
+
+/// Engine-level observability: query counter and phase histograms,
+/// registered in one [`MetricsRegistry`] (the process-global one by
+/// default; [`Engine::with_metrics_registry`] isolates a session).
+#[derive(Debug)]
+struct EngineObs {
+    registry: Arc<MetricsRegistry>,
+    queries: Counter,
+    optimise: Histogram,
+    exec: Histogram,
+}
+
+impl EngineObs {
+    fn new(registry: Arc<MetricsRegistry>) -> Self {
+        EngineObs {
+            queries: registry.counter(names::ENGINE_QUERIES),
+            optimise: registry.histogram(names::OPTIMISE_SECONDS, &DURATION_BUCKETS),
+            exec: registry.histogram(names::EXEC_SECONDS, &DURATION_BUCKETS),
+            registry,
+        }
+    }
+}
+
+/// The `DQO_OBS` default: tracing is on unless explicitly disabled.
+fn tracing_default() -> bool {
+    !matches!(
+        std::env::var("DQO_OBS").as_deref(),
+        Ok("off") | Ok("0") | Ok("false")
+    )
 }
 
 impl Default for Engine {
@@ -70,6 +123,8 @@ impl Default for Engine {
             pmodel: PropertyModel::default(),
             threads: dqo_parallel::default_threads(),
             pool: None,
+            tracing: tracing_default(),
+            obs: EngineObs::new(MetricsRegistry::global()),
         }
     }
 }
@@ -111,6 +166,46 @@ impl Engine {
     /// Set the degree of parallelism (clamped to at least 1).
     pub fn set_threads(&mut self, threads: usize) {
         self.threads = threads.max(1);
+    }
+
+    /// Builder: enable or disable per-query tracing (phase spans and
+    /// per-operator metrics). The initial value comes from `DQO_OBS`
+    /// (on unless `off`/`0`/`false`); this knob overrides it
+    /// programmatically — tests use it instead of racing on the process
+    /// environment.
+    pub fn with_tracing(mut self, tracing: bool) -> Self {
+        self.set_tracing(tracing);
+        self
+    }
+
+    /// Enable or disable per-query tracing (see [`Engine::with_tracing`]).
+    pub fn set_tracing(&mut self, tracing: bool) {
+        self.tracing = tracing;
+    }
+
+    /// Whether `query` records phase traces and per-operator metrics.
+    pub fn tracing(&self) -> bool {
+        self.tracing
+    }
+
+    /// Builder: register this engine's metrics (queries, optimise/exec
+    /// histograms, AV builds) in an isolated registry instead of the
+    /// process-global one — for tests and benches that assert on exact
+    /// counts.
+    pub fn with_metrics_registry(mut self, registry: Arc<MetricsRegistry>) -> Self {
+        self.obs = EngineObs::new(registry);
+        self
+    }
+
+    /// A combined metrics snapshot: the engine's registry (queries,
+    /// phase histograms, AV builds) merged with the session pool's
+    /// (workers, jobs, steals, parks, admission). Note this resolves the
+    /// pool, forcing the process-global pool into existence for a
+    /// default engine.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let mut snap = self.obs.registry.snapshot();
+        snap.merge(&self.pool().metrics_snapshot());
+        snap
     }
 
     /// The configured degree of parallelism.
@@ -203,21 +298,67 @@ impl Engine {
     /// pool's FIFO admission queue while `max_inflight` queries are
     /// already running, and plans at the admission-granted DOP.
     pub fn query(&self, logical: &LogicalPlan) -> Result<QueryResult> {
+        let trace = if self.tracing {
+            TraceBuilder::start()
+        } else {
+            TraceBuilder::disabled()
+        };
+        self.query_traced(logical, trace)
+    }
+
+    /// [`Engine::query`] continuing an existing trace — the SQL facade
+    /// times parse/bind into the same trace before handing over, so the
+    /// final [`QueryProfile`] covers the full statement lifecycle.
+    /// Admission waiting, optimisation and execution are each timed
+    /// separately: `queue_wait` is measured around `admit()` itself, so
+    /// time spent queued behind other sessions is no longer folded into
+    /// (or hidden from) the execution wall time.
+    pub fn query_traced(
+        &self,
+        logical: &LogicalPlan,
+        mut trace: TraceBuilder,
+    ) -> Result<QueryResult> {
+        let began = trace.begin();
         let permit = self
             .pool
             .as_ref()
             .map(|pool| pool.admission().admit(self.threads));
+        let queue_wait = trace.end(Phase::AdmissionWait, began);
         let dop = permit.as_ref().map_or(self.threads, |p| p.dop());
+
+        let began = trace.begin();
         let planned = self.plan_with_dop(logical, dop)?;
-        let start = Instant::now();
-        let output = match &self.pool {
-            Some(pool) => execute_on_pool(&planned.plan, &self.catalog, Some(&self.avs), pool)?,
-            None => execute_with_avs(&planned.plan, &self.catalog, Some(&self.avs))?,
+        let optimise = trace.end(Phase::Optimise, began);
+        self.obs.optimise.observe_duration(optimise);
+
+        let began = trace.begin();
+        let (output, ops) = if trace.is_enabled() {
+            let (output, nodes) = execute_traced(
+                &planned.plan,
+                &self.catalog,
+                Some(&self.avs),
+                self.pool.as_ref(),
+            )?;
+            (output, PlanRuntime { nodes })
+        } else {
+            let output = match &self.pool {
+                Some(pool) => execute_on_pool(&planned.plan, &self.catalog, Some(&self.avs), pool)?,
+                None => execute_with_avs(&planned.plan, &self.catalog, Some(&self.avs))?,
+            };
+            (output, PlanRuntime::default())
         };
+        let exec_wall = trace.end(Phase::Execute, began);
+        self.obs.exec.observe_duration(exec_wall);
+        self.obs.queries.inc();
+        drop(permit);
         Ok(QueryResult {
             planned,
             output,
-            wall: start.elapsed(),
+            wall: queue_wait + exec_wall,
+            queue_wait,
+            exec_wall,
+            profile: trace.finish(),
+            ops,
         })
     }
 
@@ -233,22 +374,41 @@ impl Engine {
         ))
     }
 
-    /// EXPLAIN ANALYZE: plan, execute, and annotate with measurements.
+    /// EXPLAIN ANALYZE: plan, execute, and annotate with measurements —
+    /// a phase-timed header plus the plan tree with per-operator actual
+    /// rows, wall time and est-vs-actual cardinality delta on every node
+    /// (and DOP/morsels/steals on `Exchange` nodes). With tracing
+    /// disabled the tree degrades to the plain EXPLAIN rendering.
     pub fn explain_analyze(&self, logical: &LogicalPlan) -> Result<String> {
         let result = self.query(logical)?;
+        self.render_analyzed(&result)
+    }
+
+    /// Render an already-executed [`QueryResult`] in the
+    /// [`Engine::explain_analyze`] format (the SQL facade reuses this
+    /// with its own parse/bind-timed trace).
+    pub fn render_analyzed(&self, result: &QueryResult) -> Result<String> {
+        let phases = if result.profile.spans.is_empty() {
+            String::new()
+        } else {
+            format!("phases: {}\n", result.profile)
+        };
         Ok(format!(
             "mode: {}
 estimated cost: {:.0}
 actual rows: {}
-wall time: {:?}
-pipeline: {}
+wall time: {:?} (queue {:?} + exec {:?})
+{}pipeline: {}
 {}",
             result.planned.mode,
             result.planned.est_cost,
             result.output.relation.rows(),
             result.wall,
+            result.queue_wait,
+            result.exec_wall,
+            phases,
             result.output.pipeline,
-            result.planned.plan.explain()
+            render_annotated(&result.planned.plan, &self.catalog, &result.ops)
         ))
     }
 
@@ -358,6 +518,105 @@ mod tests {
         assert!(text.contains("mode: DQO"));
         assert!(text.contains("estimated cost"));
         assert!(text.contains("γ[key]"));
+    }
+
+    #[test]
+    fn explain_analyze_annotates_every_node_with_est_act_delta() {
+        let engine = Engine::new().with_threads(4).with_tracing(true);
+        engine.register_table(
+            "t",
+            DatasetSpec::new(300_000, 512)
+                .sorted(false)
+                .dense(true)
+                .relation()
+                .unwrap(),
+        );
+        let text = engine.explain_analyze(&count_sum_query()).unwrap();
+        assert!(text.contains("phases: "), "{text}");
+        assert!(
+            text.contains("admission-wait=") || text.contains("execute="),
+            "{text}"
+        );
+        // Every plan line carries the runtime annotation.
+        let plan_lines: Vec<&str> = text
+            .lines()
+            .filter(|l| l.contains("Scan") || l.contains("Exchange") || l.contains("γ["))
+            .collect();
+        assert!(plan_lines.len() >= 3, "{text}");
+        for line in &plan_lines {
+            assert!(line.contains("est="), "missing est: {line}");
+            assert!(line.contains("act="), "missing act: {line}");
+            assert!(line.contains("Δ="), "missing delta: {line}");
+            assert!(line.contains("wall="), "missing wall: {line}");
+        }
+        // The Exchange node additionally reports its parallel runtime.
+        let exchange = plan_lines
+            .iter()
+            .find(|l| l.contains("Exchange"))
+            .expect("300k rows at dop 4 must parallelise");
+        assert!(exchange.contains("dop=4"), "{exchange}");
+        assert!(exchange.contains("morsels="), "{exchange}");
+        assert!(exchange.contains("steals="), "{exchange}");
+    }
+
+    #[test]
+    fn tracing_off_matches_traced_results_bitwise() {
+        let make = |tracing: bool| {
+            let engine = Engine::new().with_threads(4).with_tracing(tracing);
+            engine.register_table(
+                "t",
+                DatasetSpec::new(300_000, 512)
+                    .sorted(false)
+                    .dense(true)
+                    .relation()
+                    .unwrap(),
+            );
+            engine.query(&count_sum_query()).unwrap()
+        };
+        let traced = make(true);
+        let plain = make(false);
+        assert_eq!(
+            crate::executor::sorted_rows(&traced.output.relation),
+            crate::executor::sorted_rows(&plain.output.relation),
+            "instrumentation must not change results"
+        );
+        assert_eq!(traced.output.pipeline, plain.output.pipeline);
+        assert!(!traced.profile.spans.is_empty());
+        assert!(!traced.ops.is_empty());
+        assert!(plain.profile.spans.is_empty());
+        assert!(plain.ops.is_empty());
+        // The admission-wait satellite: both report the split either way.
+        assert_eq!(traced.wall, traced.queue_wait + traced.exec_wall);
+    }
+
+    #[test]
+    fn metrics_registry_counts_queries_and_phases() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let pool = Arc::new(PersistentPool::with_admission(2, 4));
+        let engine = Engine::with_shared_pool(Arc::clone(&pool))
+            .with_metrics_registry(Arc::clone(&registry))
+            .with_tracing(true);
+        engine.register_table(
+            "t",
+            DatasetSpec::new(5_000, 64).dense(true).relation().unwrap(),
+        );
+        for _ in 0..3 {
+            engine.query(&count_sum_query()).unwrap();
+        }
+        let snap = engine.metrics();
+        assert_eq!(snap.counter(names::ENGINE_QUERIES), Some(3));
+        let (opt_count, opt_sum) = snap.histogram_count_sum(names::OPTIMISE_SECONDS).unwrap();
+        assert_eq!(opt_count, 3);
+        assert!(opt_sum > 0.0);
+        let (exec_count, _) = snap.histogram_count_sum(names::EXEC_SECONDS).unwrap();
+        assert_eq!(exec_count, 3);
+        // Merged pool side: every query passed admission, and the wait
+        // histogram agrees with the admitted count.
+        assert_eq!(snap.counter(names::ADMISSION_ADMITTED), Some(3));
+        let (wait_count, _) = snap
+            .histogram_count_sum(names::ADMISSION_WAIT_SECONDS)
+            .unwrap();
+        assert_eq!(wait_count, 3);
     }
 
     #[test]

@@ -14,13 +14,17 @@ use dqo_exec::aggregate::{FullAgg, FullAggState};
 use dqo_exec::composite::{rowwise_group, unpack_grouped, KeyPacker};
 use dqo_exec::grouping::{execute_grouping, GroupingAlgorithm, GroupingHints};
 use dqo_exec::join::{execute_join as run_join, JoinAlgorithm, JoinHints};
-use dqo_exec::pipeline::{grouping_blocking, join_blocking, Blocking, PipelineStats};
+use dqo_exec::pipeline::{
+    grouping_blocking, join_blocking, Blocking, OperatorMetrics, PipelineStats,
+};
 use dqo_exec::sort::{argsort, radix_sort_pairs_by_key};
-use dqo_parallel::{GroupingStrategy, PersistentPool, ThreadPool, DEFAULT_MORSEL_ROWS};
+use dqo_parallel::{BatchObs, GroupingStrategy, PersistentPool, ThreadPool, DEFAULT_MORSEL_ROWS};
 use dqo_plan::expr::{AggExpr, AggFunc, Predicate};
 use dqo_plan::{GroupingImpl, JoinImpl, LogicalPlan, PhysicalPlan};
 use dqo_storage::{Column, DataType, Dictionary, Field, Relation, Schema, Value};
+use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// The result of executing a plan.
 #[derive(Debug, Clone)]
@@ -47,7 +51,7 @@ pub fn execute_with_avs(
     catalog: &Catalog,
     avs: Option<&AvCatalog>,
 ) -> Result<ExecOutput> {
-    exec_root(plan, catalog, avs, None)
+    exec_root(plan, catalog, avs, None, false).map(|(out, _)| out)
 }
 
 /// Execute with Exchange nodes dispatching onto `pool` — the engine's
@@ -59,7 +63,25 @@ pub fn execute_on_pool(
     avs: Option<&AvCatalog>,
     pool: &Arc<PersistentPool>,
 ) -> Result<ExecOutput> {
-    exec_root(plan, catalog, avs, Some(pool))
+    exec_root(plan, catalog, avs, Some(pool), false).map(|(out, _)| out)
+}
+
+/// [`execute_on_pool`] with per-operator instrumentation: alongside the
+/// output, returns one [`OperatorMetrics`] per plan node in pre-order
+/// (the numbering of [`PhysicalPlan::preorder`] and the `explain` line
+/// order), carrying actual rows, inclusive wall time, the node's
+/// pipeline-stats contribution, and — for `Exchange` nodes — the DOP,
+/// morsels dispatched and morsel steals. The relation produced is
+/// bit-identical to the untraced path: instrumentation only reads clocks
+/// and counters, never the data. `pool: None` resolves the process-global
+/// pool lazily, exactly like [`execute_with_avs`].
+pub fn execute_traced(
+    plan: &PhysicalPlan,
+    catalog: &Catalog,
+    avs: Option<&AvCatalog>,
+    pool: Option<&Arc<PersistentPool>>,
+) -> Result<(ExecOutput, Vec<OperatorMetrics>)> {
+    exec_root(plan, catalog, avs, pool, true)
 }
 
 fn exec_root(
@@ -67,7 +89,8 @@ fn exec_root(
     catalog: &Catalog,
     avs: Option<&AvCatalog>,
     preset: Option<&Arc<PersistentPool>>,
-) -> Result<ExecOutput> {
+    collect: bool,
+) -> Result<(ExecOutput, Vec<OperatorMetrics>)> {
     // The pool is resolved only if the plan actually reaches an Exchange
     // node, so serial plans never force the process-global pool (and its
     // parked worker threads) into existence.
@@ -76,19 +99,95 @@ fn exec_root(
         None => PersistentPool::global(),
     };
     let mut stats = PipelineStats::default();
-    let relation = exec_node(plan, catalog, avs, &resolve, &mut stats)?;
-    Ok(ExecOutput {
-        relation,
-        pipeline: stats,
-    })
+    let mut obs = collect.then(|| OpCollector::new(plan));
+    let relation = exec_node(plan, catalog, avs, &resolve, &mut stats, &mut obs)?;
+    Ok((
+        ExecOutput {
+            relation,
+            pipeline: stats,
+        },
+        obs.map(|c| c.nodes).unwrap_or_default(),
+    ))
 }
 
+/// Per-node metrics sink for an instrumented execution. Nodes are keyed
+/// by address — the plan tree is borrowed immutably for the whole run, so
+/// a node's address is a stable identity — and mapped to their pre-order
+/// index so the metrics vector zips with the rendered plan.
+struct OpCollector {
+    ids: HashMap<usize, usize>,
+    nodes: Vec<OperatorMetrics>,
+}
+
+impl OpCollector {
+    fn new(root: &PhysicalPlan) -> Self {
+        let pre = root.preorder();
+        let ids = pre
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (*p as *const PhysicalPlan as usize, i))
+            .collect();
+        OpCollector {
+            ids,
+            nodes: vec![OperatorMetrics::default(); pre.len()],
+        }
+    }
+
+    fn slot(&mut self, plan: &PhysicalPlan) -> Option<&mut OperatorMetrics> {
+        let id = *self.ids.get(&(plan as *const PhysicalPlan as usize))?;
+        Some(&mut self.nodes[id])
+    }
+
+    fn record(
+        &mut self,
+        plan: &PhysicalPlan,
+        rows_out: u64,
+        wall: std::time::Duration,
+        stats: PipelineStats,
+    ) {
+        if let Some(m) = self.slot(plan) {
+            m.rows_out = rows_out;
+            m.wall = wall;
+            m.stats = stats;
+        }
+    }
+}
+
+/// Execute one node, recording its [`OperatorMetrics`] when instrumented.
+/// The untraced path short-circuits to [`exec_node_inner`] so disabled
+/// observability costs one branch per node, not a clock read.
 fn exec_node(
     plan: &PhysicalPlan,
     catalog: &Catalog,
     avs: Option<&AvCatalog>,
     pool: &dyn Fn() -> Arc<PersistentPool>,
     stats: &mut PipelineStats,
+    obs: &mut Option<OpCollector>,
+) -> Result<Relation> {
+    if obs.is_none() {
+        return exec_node_inner(plan, catalog, avs, pool, stats, obs);
+    }
+    let began = Instant::now();
+    let before = *stats;
+    let rel = exec_node_inner(plan, catalog, avs, pool, stats, obs)?;
+    if let Some(c) = obs.as_mut() {
+        c.record(
+            plan,
+            rel.rows() as u64,
+            began.elapsed(),
+            stats.since(&before),
+        );
+    }
+    Ok(rel)
+}
+
+fn exec_node_inner(
+    plan: &PhysicalPlan,
+    catalog: &Catalog,
+    avs: Option<&AvCatalog>,
+    pool: &dyn Fn() -> Arc<PersistentPool>,
+    stats: &mut PipelineStats,
+    obs: &mut Option<OpCollector>,
 ) -> Result<Relation> {
     match plan {
         PhysicalPlan::Scan { table } => {
@@ -97,13 +196,13 @@ fn exec_node(
             Ok(rel)
         }
         PhysicalPlan::Filter { input, predicate } => {
-            let rel = exec_node(input, catalog, avs, pool, stats)?;
+            let rel = exec_node(input, catalog, avs, pool, stats, obs)?;
             let mask = eval_predicate(&rel, predicate)?;
             stats.record(Blocking::Pipelined, rel.rows() as u64);
             Ok(rel.filter(&mask)?)
         }
         PhysicalPlan::Project { input, columns } => {
-            let rel = exec_node(input, catalog, avs, pool, stats)?;
+            let rel = exec_node(input, catalog, avs, pool, stats, obs)?;
             let names: Vec<&str> = columns.iter().map(String::as_str).collect();
             Ok(rel.project(&names)?)
         }
@@ -112,7 +211,7 @@ fn exec_node(
             key,
             molecule,
         } => {
-            let rel = exec_node(input, catalog, avs, pool, stats)?;
+            let rel = exec_node(input, catalog, avs, pool, stats, obs)?;
             let keys = rel.column(key)?.as_u32()?;
             let order: Vec<usize> = match molecule {
                 dqo_plan::SortMolecule::Comparison => {
@@ -148,8 +247,8 @@ fn exec_node(
                     }),
                 _ => None,
             };
-            let l = exec_node(left, catalog, avs, pool, stats)?;
-            let r = exec_node(right, catalog, avs, pool, stats)?;
+            let l = exec_node(left, catalog, avs, pool, stats, obs)?;
+            let r = exec_node(right, catalog, avs, pool, stats, obs)?;
             if let Some(idx) = prebuilt {
                 let rk = r.column(right_key)?.as_u32()?;
                 let result = idx.probe(rk);
@@ -165,18 +264,26 @@ fn exec_node(
             algo,
             molecules,
         } => {
-            let rel = exec_node(input, catalog, avs, pool, stats)?;
+            let rel = exec_node(input, catalog, avs, pool, stats, obs)?;
             exec_group_by(&rel, keys, aggs, *algo, *molecules, stats)
         }
         PhysicalPlan::Limit { input, n } => {
-            let rel = exec_node(input, catalog, avs, pool, stats)?;
+            let rel = exec_node(input, catalog, avs, pool, stats, obs)?;
             Ok(take_rows(&rel, *n))
         }
         PhysicalPlan::Exchange { input, dop } => {
             // A cheap handle: DOP for this Exchange, dispatch onto the
-            // session's persistent pool.
-            let tp = ThreadPool::with_pool(*dop, pool());
-            match input.as_ref() {
+            // session's persistent pool. When instrumented, a per-batch
+            // observation sink captures morsel and steal counts for this
+            // subtree without touching the shared pool's registry.
+            let mut tp = ThreadPool::with_pool(*dop, pool());
+            let batch_obs = obs.as_ref().map(|_| Arc::new(BatchObs::default()));
+            if let Some(b) = &batch_obs {
+                tp = tp.with_obs(Arc::clone(b));
+            }
+            let began = Instant::now();
+            let before = *stats;
+            let rel = match input.as_ref() {
                 PhysicalPlan::GroupBy {
                     input: child,
                     keys,
@@ -188,7 +295,7 @@ fn exec_node(
                     GroupingImpl::Hg | GroupingImpl::Sphg | GroupingImpl::Sog
                 ) =>
                 {
-                    let rel = exec_node(child, catalog, avs, pool, stats)?;
+                    let rel = exec_node(child, catalog, avs, pool, stats, obs)?;
                     exec_group_by_parallel(&rel, keys, aggs, *algo, &tp, stats)
                 }
                 PhysicalPlan::Join {
@@ -198,8 +305,8 @@ fn exec_node(
                     right_key,
                     algo,
                 } if matches!(algo, JoinImpl::Hj | JoinImpl::Sphj | JoinImpl::Soj) => {
-                    let l = exec_node(left, catalog, avs, pool, stats)?;
-                    let r = exec_node(right, catalog, avs, pool, stats)?;
+                    let l = exec_node(left, catalog, avs, pool, stats, obs)?;
+                    let r = exec_node(right, catalog, avs, pool, stats, obs)?;
                     exec_join_parallel(&l, &r, left_key, right_key, *algo, &tp, stats)
                 }
                 PhysicalPlan::Sort {
@@ -207,20 +314,39 @@ fn exec_node(
                     key,
                     molecule,
                 } => {
-                    let rel = exec_node(child, catalog, avs, pool, stats)?;
+                    let rel = exec_node(child, catalog, avs, pool, stats, obs)?;
                     exec_sort_parallel(&rel, key, *molecule, &tp, stats)
                 }
                 PhysicalPlan::Filter {
                     input: child,
                     predicate,
                 } => {
-                    let rel = exec_node(child, catalog, avs, pool, stats)?;
+                    let rel = exec_node(child, catalog, avs, pool, stats, obs)?;
                     exec_filter_parallel(&rel, predicate, &tp, stats)
                 }
                 // Anything the parallel runtime does not cover degrades
                 // gracefully to the serial executor.
-                other => exec_node(other, catalog, avs, pool, stats),
+                other => exec_node(other, catalog, avs, pool, stats, obs),
+            }?;
+            if let Some(c) = obs.as_mut() {
+                // The operator under the Exchange bypasses `exec_node` on
+                // the parallel paths, so its metrics are recorded here
+                // (inclusive of its children, like every other node).
+                c.record(
+                    input,
+                    rel.rows() as u64,
+                    began.elapsed(),
+                    stats.since(&before),
+                );
+                if let Some(m) = c.slot(plan) {
+                    m.dop = Some(*dop);
+                    if let Some(b) = &batch_obs {
+                        m.morsels = b.tasks();
+                        m.steals = b.steals();
+                    }
+                }
             }
+            Ok(rel)
         }
     }
 }

@@ -46,6 +46,7 @@ pub mod executor;
 pub mod molecule;
 pub mod optimizer;
 pub mod partial_av;
+pub mod profile;
 pub mod reopt;
 
 pub use av_build::{AvBuildHandle, AvBuildStats, AvBuilder};
@@ -55,6 +56,7 @@ pub use engine::Engine;
 pub use error::CoreError;
 pub use executor::{execute, ExecOutput};
 pub use optimizer::{optimize, OptimizerMode, PlannedQuery};
+pub use profile::PlanRuntime;
 
 /// Crate-wide result type.
 pub type Result<T> = std::result::Result<T, CoreError>;

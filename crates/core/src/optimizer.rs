@@ -1029,13 +1029,13 @@ fn plan_rank(plan: &PhysicalPlan) -> u32 {
 /// Join cardinality under the uniform containment assumption:
 /// `|L ⋈ R| = |L|·|R| / max(d_L, d_R)` — with a PK on one side this yields
 /// exactly the FK-side cardinality (the paper's 90,000).
-fn estimate_join_rows(l: u64, r: u64, d_l: Option<u64>, d_r: Option<u64>) -> u64 {
+pub(crate) fn estimate_join_rows(l: u64, r: u64, d_l: Option<u64>, d_r: Option<u64>) -> u64 {
     let d = d_l.unwrap_or(l).max(d_r.unwrap_or(r)).max(1);
     (((l as f64) * (r as f64)) / d as f64).round() as u64
 }
 
 /// Textbook selectivity estimation for simple predicates.
-fn estimate_selectivity(pred: &Predicate, props: &PlanProps) -> f64 {
+pub(crate) fn estimate_selectivity(pred: &Predicate, props: &PlanProps) -> f64 {
     match pred {
         Predicate::And(ps) => ps.iter().map(|p| estimate_selectivity(p, props)).product(),
         // Prefix matches sit between equality and a half-open range; with

@@ -1,0 +1,276 @@
+//! Per-operator runtime profiles behind `EXPLAIN ANALYZE`.
+//!
+//! The instrumented executor ([`crate::executor::execute_traced`]) hands
+//! back one [`OperatorMetrics`] per physical-plan node in pre-order. This
+//! module turns that vector into the annotated tree a user reads:
+//! estimated-vs-actual cardinality per node (the estimates recomputed with
+//! the optimiser's own rules, so the delta audits the cost model that
+//! picked the plan), wall time, rows produced, pipeline breakers, and —
+//! on `Exchange` nodes — granted DOP, morsels dispatched, and steals.
+
+use crate::catalog::Catalog;
+use crate::optimizer::{estimate_join_rows, estimate_selectivity};
+use dqo_exec::pipeline::OperatorMetrics;
+use dqo_plan::{PhysicalPlan, PlanProps};
+use std::time::Duration;
+
+/// The runtime profile of one executed plan: per-node metrics in
+/// pre-order (index `i` describes the `i`-th line of the rendered tree).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PlanRuntime {
+    /// One entry per plan node, pre-order.
+    pub nodes: Vec<OperatorMetrics>,
+}
+
+impl PlanRuntime {
+    /// Metrics for the node at pre-order index `i`.
+    pub fn node(&self, i: usize) -> Option<&OperatorMetrics> {
+        self.nodes.get(i)
+    }
+
+    /// Number of profiled nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when nothing was profiled (untraced execution).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+/// Estimated output cardinality for every node of `plan`, pre-order,
+/// recomputed with the optimiser's estimation rules (uniform-containment
+/// joins, textbook predicate selectivities, distinct-count grouping).
+/// A table or column missing from the catalog degrades that node's
+/// estimate to a pass-through instead of failing — EXPLAIN ANALYZE must
+/// render for any plan the executor accepts.
+pub fn estimate_rows(plan: &PhysicalPlan, catalog: &Catalog) -> Vec<u64> {
+    let mut out = Vec::with_capacity(plan.node_count());
+    est_node(plan, catalog, &mut out);
+    out
+}
+
+fn est_node(plan: &PhysicalPlan, catalog: &Catalog, out: &mut Vec<u64>) -> u64 {
+    let idx = out.len();
+    out.push(0);
+    let rows = match plan {
+        PhysicalPlan::Scan { table } => catalog
+            .get(table)
+            .map(|t| t.relation.rows() as u64)
+            .unwrap_or(0),
+        PhysicalPlan::Filter { input, predicate } => {
+            let child = est_node(input, catalog, out);
+            let props = predicate
+                .columns()
+                .first()
+                .and_then(|col| column_props_below(input, col, catalog))
+                .unwrap_or_else(|| PlanProps::unknown(child));
+            ((child as f64) * estimate_selectivity(predicate, &props)).ceil() as u64
+        }
+        PhysicalPlan::Sort { input, .. }
+        | PhysicalPlan::Project { input, .. }
+        | PhysicalPlan::Exchange { input, .. } => est_node(input, catalog, out),
+        PhysicalPlan::Limit { input, n } => est_node(input, catalog, out).min(*n),
+        PhysicalPlan::Join {
+            left,
+            right,
+            left_key,
+            right_key,
+            ..
+        } => {
+            let l = est_node(left, catalog, out);
+            let r = est_node(right, catalog, out);
+            let d_l = column_props_below(left, left_key, catalog).and_then(|p| p.distinct);
+            let d_r = column_props_below(right, right_key, catalog).and_then(|p| p.distinct);
+            estimate_join_rows(l, r, d_l, d_r)
+        }
+        PhysicalPlan::GroupBy { input, keys, .. } => {
+            let child = est_node(input, catalog, out);
+            // Output rows = distinct key combinations; assume key
+            // independence (product of per-column distincts) and cap by
+            // the input cardinality.
+            let mut groups: u64 = 1;
+            for key in keys {
+                let d = column_props_below(input, key, catalog)
+                    .and_then(|p| p.distinct)
+                    .unwrap_or(child);
+                groups = groups.saturating_mul(d.max(1));
+            }
+            groups.min(child)
+        }
+    };
+    out[idx] = rows;
+    rows
+}
+
+/// Resolve a column's base-table statistics by walking down the
+/// single-child spine beneath `plan` to its `Scan`. Joins and missing
+/// columns yield `None` (the estimate falls back to unknown props).
+fn column_props_below(plan: &PhysicalPlan, column: &str, catalog: &Catalog) -> Option<PlanProps> {
+    match plan {
+        PhysicalPlan::Scan { table } => catalog
+            .column_props(table, column)
+            .ok()
+            .map(|d| PlanProps::from_data(&d)),
+        PhysicalPlan::Join { .. } => None,
+        _ => plan
+            .children()
+            .first()
+            .and_then(|c| column_props_below(c, column, catalog)),
+    }
+}
+
+/// Render the annotated `EXPLAIN ANALYZE` tree: the plain explain lines
+/// with ` (est=… act=… Δ=… wall=…)` per node, plus parallel-runtime
+/// detail on `Exchange` nodes. Empty runtimes (untraced execution) render
+/// the plain tree.
+pub fn render_annotated(plan: &PhysicalPlan, catalog: &Catalog, runtime: &PlanRuntime) -> String {
+    if runtime.is_empty() {
+        return plan.explain();
+    }
+    let est = estimate_rows(plan, catalog);
+    plan.explain_annotated(&|id, node| {
+        let m = runtime.node(id)?;
+        let e = est.get(id).copied().unwrap_or(0);
+        let mut parts = vec![
+            format!("est={e}"),
+            format!("act={}", m.rows_out),
+            format!("Δ={}", fmt_delta(e, m.rows_out)),
+            format!("wall={}", fmt_duration(m.wall)),
+        ];
+        if m.stats.breakers > 0 {
+            parts.push(format!("breakers={}", m.stats.breakers));
+        }
+        if let PhysicalPlan::Exchange { .. } = node {
+            parts.push(format!("dop={}", m.dop.unwrap_or(0)));
+            parts.push(format!("morsels={}", m.morsels));
+            parts.push(format!("steals={}", m.steals));
+        }
+        Some(format!("({})", parts.join(" ")))
+    })
+}
+
+/// Signed relative cardinality error, actual vs estimate.
+fn fmt_delta(est: u64, act: u64) -> String {
+    if est == act {
+        return "+0.0%".to_owned();
+    }
+    if est == 0 {
+        return "+inf".to_owned();
+    }
+    let pct = ((act as f64) - (est as f64)) / (est as f64) * 100.0;
+    format!("{pct:+.1}%")
+}
+
+/// Compact human duration: ns/µs/ms/s with two significant decimals.
+pub(crate) fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos}ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2}µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2}ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2}s", d.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dqo_plan::expr::{AggExpr, CmpOp, Predicate};
+    use dqo_plan::physical::GroupingMolecules;
+    use dqo_plan::{GroupingImpl, JoinImpl};
+    use dqo_storage::datagen::DatasetSpec;
+
+    fn catalog_10k_100() -> Catalog {
+        let cat = Catalog::new();
+        let rel = DatasetSpec::new(10_000, 100)
+            .dense(true)
+            .relation()
+            .unwrap();
+        cat.register("t", rel);
+        cat
+    }
+
+    fn scan() -> Box<PhysicalPlan> {
+        Box::new(PhysicalPlan::Scan { table: "t".into() })
+    }
+
+    #[test]
+    fn estimates_follow_optimiser_rules() {
+        let cat = catalog_10k_100();
+        // Scan → 10 000 rows.
+        assert_eq!(estimate_rows(&scan(), &cat), vec![10_000]);
+        // Eq filter on a 100-distinct key → 1/100 selectivity.
+        let filt = PhysicalPlan::Filter {
+            input: scan(),
+            predicate: Predicate::cmp("key", CmpOp::Eq, 5u32),
+        };
+        assert_eq!(estimate_rows(&filt, &cat), vec![100, 10_000]);
+        // Grouping on the key → distinct count, capped by input.
+        let gb = PhysicalPlan::GroupBy {
+            input: Box::new(filt),
+            keys: vec!["key".into()],
+            aggs: vec![AggExpr::count_star("n")],
+            algo: GroupingImpl::Hg,
+            molecules: GroupingMolecules::default(),
+        };
+        assert_eq!(estimate_rows(&gb, &cat), vec![100, 100, 10_000]);
+        // Exchange is cardinality-transparent.
+        let ex = PhysicalPlan::Exchange {
+            input: Box::new(gb),
+            dop: 4,
+        };
+        assert_eq!(estimate_rows(&ex, &cat), vec![100, 100, 100, 10_000]);
+    }
+
+    #[test]
+    fn join_estimate_uses_uniform_containment() {
+        let cat = catalog_10k_100();
+        let join = PhysicalPlan::Join {
+            left: scan(),
+            right: scan(),
+            left_key: "key".into(),
+            right_key: "key".into(),
+            algo: JoinImpl::Hj,
+        };
+        // |L⋈R| = 10 000·10 000 / max(100, 100) = 1 000 000.
+        assert_eq!(estimate_rows(&join, &cat), vec![1_000_000, 10_000, 10_000]);
+    }
+
+    #[test]
+    fn unknown_tables_degrade_instead_of_failing() {
+        let cat = Catalog::new();
+        let plan = PhysicalPlan::Limit {
+            input: Box::new(PhysicalPlan::Scan {
+                table: "nope".into(),
+            }),
+            n: 7,
+        };
+        assert_eq!(estimate_rows(&plan, &cat), vec![0, 0]);
+    }
+
+    #[test]
+    fn delta_and_duration_formatting() {
+        assert_eq!(fmt_delta(100, 100), "+0.0%");
+        assert_eq!(fmt_delta(100, 150), "+50.0%");
+        assert_eq!(fmt_delta(200, 100), "-50.0%");
+        assert_eq!(fmt_delta(0, 5), "+inf");
+        assert_eq!(fmt_duration(Duration::from_nanos(420)), "420ns");
+        assert_eq!(fmt_duration(Duration::from_micros(1500)), "1.50ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.00s");
+    }
+
+    #[test]
+    fn empty_runtime_renders_plain_explain() {
+        let cat = catalog_10k_100();
+        let plan = *scan();
+        assert_eq!(
+            render_annotated(&plan, &cat, &PlanRuntime::default()),
+            plan.explain()
+        );
+    }
+}

@@ -9,6 +9,7 @@
 //! not just abstract cost.
 
 use std::fmt;
+use std::time::Duration;
 
 /// Blocking behaviour of one operator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,6 +50,41 @@ impl PipelineStats {
         self.materialised_rows += other.materialised_rows;
         self.streamed_rows += other.streamed_rows;
     }
+
+    /// The stats accumulated *since* an earlier snapshot `before` — how a
+    /// per-operator collector isolates one node's contribution from the
+    /// running pipeline totals. Saturating, so a snapshot taken out of
+    /// order yields zeros instead of a panic.
+    pub fn since(&self, before: &PipelineStats) -> PipelineStats {
+        PipelineStats {
+            breakers: self.breakers.saturating_sub(before.breakers),
+            materialised_rows: self
+                .materialised_rows
+                .saturating_sub(before.materialised_rows),
+            streamed_rows: self.streamed_rows.saturating_sub(before.streamed_rows),
+        }
+    }
+}
+
+/// Runtime metrics for one physical-plan node, collected during an
+/// instrumented (`EXPLAIN ANALYZE`) execution. Nodes are identified by
+/// their pre-order index in the plan tree, matching the order in which
+/// the plan renderer emits lines — so a metrics vector zips directly
+/// with the rendered tree.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct OperatorMetrics {
+    /// Rows this node produced.
+    pub rows_out: u64,
+    /// Inclusive wall time (the node plus its whole subtree).
+    pub wall: Duration,
+    /// Pipeline-breaker stats contributed by this node's subtree.
+    pub stats: PipelineStats,
+    /// Granted degree of parallelism, for `Exchange` nodes.
+    pub dop: Option<usize>,
+    /// Morsels/tasks dispatched under this node (`Exchange` subtrees).
+    pub morsels: u64,
+    /// Successful morsel steals under this node (`Exchange` subtrees).
+    pub steals: u64,
 }
 
 impl fmt::Display for PipelineStats {
@@ -130,6 +166,35 @@ mod tests {
                 "{algo}"
             );
         }
+    }
+
+    #[test]
+    fn since_isolates_a_subtree_and_saturates() {
+        let mut before = PipelineStats::default();
+        before.record(Blocking::FullBreaker, 40);
+        let mut after = before;
+        after.record(Blocking::Pipelined, 100);
+        after.record(Blocking::FullBreaker, 7);
+        let delta = after.since(&before);
+        assert_eq!(
+            delta,
+            PipelineStats {
+                breakers: 1,
+                materialised_rows: 7,
+                streamed_rows: 100
+            }
+        );
+        // Out-of-order snapshots clamp to zero rather than underflow.
+        assert_eq!(before.since(&after), PipelineStats::default());
+    }
+
+    #[test]
+    fn operator_metrics_default_is_empty() {
+        let m = OperatorMetrics::default();
+        assert_eq!(m.rows_out, 0);
+        assert_eq!(m.wall, std::time::Duration::ZERO);
+        assert_eq!(m.dop, None);
+        assert_eq!(m.stats, PipelineStats::default());
     }
 
     #[test]

@@ -1,0 +1,71 @@
+//! # dqo-obs — end-to-end observability for the DQO engine
+//!
+//! The paper's core move is replacing opaque operators with *measurable*
+//! sub-operator molecules — §1 argues by counting pipeline breakers and
+//! Table 2 is a per-molecule cost model. This crate supplies the
+//! measurement substrate the rest of the engine wires into:
+//!
+//! * [`trace`] — per-query **phase spans** ([`QueryProfile`]): parse,
+//!   bind, optimise, admission wait and execute, each with a monotonic
+//!   start offset and duration, assembled by a [`TraceBuilder`] that is
+//!   threaded from the SQL front-end through the engine;
+//! * [`metrics`] — a **process-wide registry** ([`MetricsRegistry`]) of
+//!   hand-rolled atomic [`Counter`]s, [`Gauge`]s and fixed-bucket
+//!   [`Histogram`]s (no dependencies — the environment is shims-only),
+//!   with deterministic-order [`MetricsSnapshot`]s exposable as JSON or
+//!   Prometheus text.
+//!
+//! Everything here is designed to be **cheap and bit-identity-safe**:
+//! recording is a handful of relaxed atomic operations, never a lock on
+//! a hot path, and nothing observes or perturbs query results.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot, DURATION_BUCKETS};
+pub use trace::{Phase, PhaseSpan, QueryProfile, TraceBuilder};
+
+/// Canonical metric names, so producers and consumers never drift.
+pub mod names {
+    /// Runner jobs executed by pool workers (counter).
+    pub const POOL_JOBS: &str = "dqo_pool_jobs_total";
+    /// Runner jobs stolen from another worker's deque (counter).
+    pub const POOL_STEALS: &str = "dqo_pool_steals_total";
+    /// Times a pool worker parked on the idle condvar (counter).
+    pub const POOL_PARKS: &str = "dqo_pool_parks_total";
+    /// Jobs queued and not yet picked up, racy snapshot (gauge).
+    pub const POOL_QUEUE_DEPTH: &str = "dqo_pool_queue_depth";
+    /// Pool worker count (gauge).
+    pub const POOL_WORKERS: &str = "dqo_pool_workers";
+    /// Morsel batches dispatched through the pool (counter).
+    pub const POOL_BATCHES: &str = "dqo_pool_batches_total";
+    /// Morsel/partition tasks executed across all batches (counter).
+    pub const POOL_BATCH_TASKS: &str = "dqo_pool_batch_tasks_total";
+    /// Tasks stolen across runner slots inside batches (counter).
+    pub const POOL_BATCH_STEALS: &str = "dqo_pool_batch_steals_total";
+    /// Queries (and AV builds) admitted by the controller (counter).
+    pub const ADMISSION_ADMITTED: &str = "dqo_admission_admitted_total";
+    /// Time spent blocked in the FIFO admission queue (histogram, s).
+    pub const ADMISSION_WAIT_SECONDS: &str = "dqo_admission_wait_seconds";
+    /// Queries currently admitted and running (gauge).
+    pub const ADMISSION_INFLIGHT: &str = "dqo_admission_inflight";
+    /// Queries waiting in the FIFO overflow queue right now (gauge).
+    pub const ADMISSION_QUEUED: &str = "dqo_admission_queued";
+    /// High-water mark of concurrently admitted queries (gauge).
+    pub const ADMISSION_PEAK_INFLIGHT: &str = "dqo_admission_peak_inflight";
+    /// Queries executed by the engine (counter).
+    pub const ENGINE_QUERIES: &str = "dqo_engine_queries_total";
+    /// Optimiser (plan enumeration) time per query (histogram, s).
+    pub const OPTIMISE_SECONDS: &str = "dqo_optimise_seconds";
+    /// Execution wall time per query, admission excluded (histogram, s).
+    pub const EXEC_SECONDS: &str = "dqo_exec_seconds";
+    /// Algorithmic views materialised (counter).
+    pub const AV_BUILDS: &str = "dqo_av_builds_total";
+    /// Bytes across all materialised AV artifacts (counter).
+    pub const AV_BUILD_BYTES: &str = "dqo_av_build_bytes_total";
+    /// AV build wall time, admission excluded (histogram, s).
+    pub const AV_BUILD_SECONDS: &str = "dqo_av_build_seconds";
+}

@@ -1,0 +1,624 @@
+//! Hand-rolled atomic metrics: counters, gauges, fixed-bucket histograms,
+//! and a registry with deterministic-order snapshots.
+//!
+//! No dependencies by design (the build environment is shims-only): a
+//! [`Counter`]/[`Gauge`] is an `Arc<AtomicU64>`, a [`Histogram`] is a
+//! fixed vector of cumulative-convention buckets plus a CAS-maintained
+//! `f64` sum, and the [`MetricsRegistry`] is a name → metric map whose
+//! lock is only taken at registration and snapshot time — never on the
+//! record path. Handles are cheap `Arc` clones that outlive the registry.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Default latency bucket upper bounds, in seconds (10 µs … 10 s). The
+/// `+Inf` bucket is implicit, per the Prometheus cumulative convention.
+pub const DURATION_BUCKETS: [f64; 12] = [
+    1e-5, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2, 0.1, 0.5, 1.0, 5.0, 10.0,
+];
+
+/// A monotonically increasing counter. Cheap to clone; clones share state.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A fresh counter at zero.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins gauge (also supports max-accumulation for
+/// high-water marks). Cheap to clone; clones share state.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// A fresh gauge at zero.
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Set the value.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Raise the value to `v` if it is higher (high-water mark).
+    pub fn raise(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistCore {
+    /// Upper bounds (`le`), strictly increasing; `+Inf` is implicit.
+    bounds: Vec<f64>,
+    /// Per-bound observation counts (non-cumulative; cumulated at
+    /// snapshot time), plus one trailing slot for `+Inf`.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    /// `f64` bits, maintained with a CAS loop.
+    sum_bits: AtomicU64,
+}
+
+/// A fixed-bucket histogram of `f64` observations (typically seconds).
+/// Cheap to clone; clones share state.
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistCore>);
+
+impl Histogram {
+    /// A histogram with the given upper bounds (must be strictly
+    /// increasing; the `+Inf` bucket is added implicitly).
+    pub fn new(bounds: &[f64]) -> Self {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        Histogram(Arc::new(HistCore {
+            bounds: bounds.to_vec(),
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0),
+        }))
+    }
+
+    /// Record one observation: it lands in the first bucket whose upper
+    /// bound is ≥ the value (`le` convention), else in `+Inf`.
+    pub fn observe(&self, v: f64) {
+        let idx = self
+            .0
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.0.bounds.len());
+        self.0.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        let mut cur = self.0.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self.0.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Record a duration, in seconds.
+    pub fn observe_duration(&self, d: Duration) {
+        self.observe(d.as_secs_f64());
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.0.sum_bits.load(Ordering::Relaxed))
+    }
+
+    fn sample(&self) -> SampleValue {
+        SampleValue::Histogram {
+            bounds: self.0.bounds.clone(),
+            counts: self
+                .0
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count(),
+            sum: self.sum(),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// A name → metric registry. Registration is idempotent: asking for an
+/// existing name returns a handle to the same underlying metric. The
+/// internal lock is taken only at registration and snapshot time.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// The process-wide registry engine-level metrics default to.
+    pub fn global() -> Arc<MetricsRegistry> {
+        static GLOBAL: std::sync::OnceLock<Arc<MetricsRegistry>> = std::sync::OnceLock::new();
+        Arc::clone(GLOBAL.get_or_init(|| Arc::new(MetricsRegistry::new())))
+    }
+
+    /// Register (or fetch) the counter `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut m = self.metrics.lock().expect("metrics registry");
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Counter::new()))
+        {
+            Metric::Counter(c) => c.clone(),
+            _ => panic!("metric '{name}' is not a counter"),
+        }
+    }
+
+    /// Register (or fetch) the gauge `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut m = self.metrics.lock().expect("metrics registry");
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Gauge::new()))
+        {
+            Metric::Gauge(g) => g.clone(),
+            _ => panic!("metric '{name}' is not a gauge"),
+        }
+    }
+
+    /// Register (or fetch) the histogram `name` with `bounds` (ignored if
+    /// the histogram already exists).
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn histogram(&self, name: &str, bounds: &[f64]) -> Histogram {
+        let mut m = self.metrics.lock().expect("metrics registry");
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Histogram::new(bounds)))
+        {
+            Metric::Histogram(h) => h.clone(),
+            _ => panic!("metric '{name}' is not a histogram"),
+        }
+    }
+
+    /// A point-in-time copy of every registered metric, in name order.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let m = self.metrics.lock().expect("metrics registry");
+        MetricsSnapshot {
+            samples: m
+                .iter()
+                .map(|(name, metric)| MetricSample {
+                    name: name.clone(),
+                    value: match metric {
+                        Metric::Counter(c) => SampleValue::Counter(c.get()),
+                        Metric::Gauge(g) => SampleValue::Gauge(g.get()),
+                        Metric::Histogram(h) => h.sample(),
+                    },
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One sampled metric value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SampleValue {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(u64),
+    /// Histogram state.
+    Histogram {
+        /// Upper bounds (`le`), `+Inf` implicit.
+        bounds: Vec<f64>,
+        /// Per-bound counts (non-cumulative), trailing entry is `+Inf`.
+        counts: Vec<u64>,
+        /// Total observations.
+        count: u64,
+        /// Sum of observations.
+        sum: f64,
+    },
+}
+
+/// A named sampled metric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricSample {
+    /// Metric name.
+    pub name: String,
+    /// Sampled value.
+    pub value: SampleValue,
+}
+
+/// A point-in-time copy of a registry, in deterministic name order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// The samples, sorted by name.
+    pub samples: Vec<MetricSample>,
+}
+
+/// Render an `f64` the way both JSON and Prometheus accept (no `+`
+/// exponents, `inf` never reached — bounds are finite by construction).
+fn fmt_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.1}")
+    } else {
+        format!("{v}")
+    }
+}
+
+impl MetricsSnapshot {
+    /// Look up a counter by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.samples
+            .iter()
+            .find(|s| s.name == name)
+            .and_then(|s| match s.value {
+                SampleValue::Counter(v) => Some(v),
+                _ => None,
+            })
+    }
+
+    /// Look up a gauge by name.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.samples
+            .iter()
+            .find(|s| s.name == name)
+            .and_then(|s| match s.value {
+                SampleValue::Gauge(v) => Some(v),
+                _ => None,
+            })
+    }
+
+    /// Look up a histogram's (count, sum) by name.
+    pub fn histogram_count_sum(&self, name: &str) -> Option<(u64, f64)> {
+        self.samples
+            .iter()
+            .find(|s| s.name == name)
+            .and_then(|s| match &s.value {
+                SampleValue::Histogram { count, sum, .. } => Some((*count, *sum)),
+                _ => None,
+            })
+    }
+
+    /// Merge `other` into `self`: counters and histogram buckets add,
+    /// gauges keep the maximum (high-water semantics — used when folding
+    /// snapshots from several pools into one report). Histograms with
+    /// mismatched bounds keep the first operand's state unchanged.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for theirs in &other.samples {
+            match self.samples.iter_mut().find(|s| s.name == theirs.name) {
+                None => {
+                    let at = self.samples.partition_point(|s| s.name < theirs.name);
+                    self.samples.insert(at, theirs.clone());
+                }
+                Some(mine) => match (&mut mine.value, &theirs.value) {
+                    (SampleValue::Counter(a), SampleValue::Counter(b)) => *a += b,
+                    (SampleValue::Gauge(a), SampleValue::Gauge(b)) => *a = (*a).max(*b),
+                    (
+                        SampleValue::Histogram {
+                            bounds,
+                            counts,
+                            count,
+                            sum,
+                        },
+                        SampleValue::Histogram {
+                            bounds: ob,
+                            counts: oc,
+                            count: on,
+                            sum: os,
+                        },
+                    ) if bounds == ob => {
+                        for (a, b) in counts.iter_mut().zip(oc) {
+                            *a += b;
+                        }
+                        *count += on;
+                        *sum += os;
+                    }
+                    _ => {}
+                },
+            }
+        }
+    }
+
+    /// JSON exposition: an object keyed by metric name. Histogram buckets
+    /// are cumulative (`le` convention) to match the Prometheus view.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, s) in self.samples.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n  \"{}\": ", s.name);
+            match &s.value {
+                SampleValue::Counter(v) => {
+                    let _ = write!(out, "{{\"type\": \"counter\", \"value\": {v}}}");
+                }
+                SampleValue::Gauge(v) => {
+                    let _ = write!(out, "{{\"type\": \"gauge\", \"value\": {v}}}");
+                }
+                SampleValue::Histogram {
+                    bounds,
+                    counts,
+                    count,
+                    sum,
+                } => {
+                    let _ = write!(
+                        out,
+                        "{{\"type\": \"histogram\", \"count\": {count}, \"sum\": {}, \"buckets\": [",
+                        fmt_f64(*sum)
+                    );
+                    let mut cum = 0u64;
+                    for (j, (b, c)) in bounds.iter().zip(counts).enumerate() {
+                        cum += c;
+                        if j > 0 {
+                            out.push_str(", ");
+                        }
+                        let _ = write!(out, "{{\"le\": {}, \"count\": {cum}}}", fmt_f64(*b));
+                    }
+                    cum += counts.last().copied().unwrap_or(0);
+                    if !bounds.is_empty() {
+                        out.push_str(", ");
+                    }
+                    let _ = write!(out, "{{\"le\": \"+Inf\", \"count\": {cum}}}]}}");
+                }
+            }
+        }
+        out.push_str("\n}");
+        out
+    }
+
+    /// Prometheus text exposition (version 0.0.4): `# TYPE` headers,
+    /// cumulative `_bucket{le=...}` series plus `_sum` and `_count` for
+    /// histograms.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for s in &self.samples {
+            match &s.value {
+                SampleValue::Counter(v) => {
+                    let _ = writeln!(out, "# TYPE {} counter", s.name);
+                    let _ = writeln!(out, "{} {v}", s.name);
+                }
+                SampleValue::Gauge(v) => {
+                    let _ = writeln!(out, "# TYPE {} gauge", s.name);
+                    let _ = writeln!(out, "{} {v}", s.name);
+                }
+                SampleValue::Histogram {
+                    bounds,
+                    counts,
+                    count,
+                    sum,
+                } => {
+                    let _ = writeln!(out, "# TYPE {} histogram", s.name);
+                    let mut cum = 0u64;
+                    for (b, c) in bounds.iter().zip(counts) {
+                        cum += c;
+                        let _ = writeln!(out, "{}_bucket{{le=\"{}\"}} {cum}", s.name, fmt_f64(*b));
+                    }
+                    cum += counts.last().copied().unwrap_or(0);
+                    let _ = writeln!(out, "{}_bucket{{le=\"+Inf\"}} {cum}", s.name);
+                    let _ = writeln!(out, "{}_sum {}", s.name, fmt_f64(*sum));
+                    let _ = writeln!(out, "{}_count {count}", s.name);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let c2 = c.clone();
+        c2.inc();
+        assert_eq!(c.get(), 6, "clones share state");
+
+        let g = Gauge::new();
+        g.set(7);
+        g.raise(3);
+        assert_eq!(g.get(), 7, "raise never lowers");
+        g.raise(11);
+        assert_eq!(g.get(), 11);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_follow_le_convention() {
+        let h = Histogram::new(&[1.0, 2.0, 5.0]);
+        // A value exactly on a bound lands in that bound's bucket.
+        h.observe(1.0);
+        h.observe(1.5);
+        h.observe(2.0);
+        h.observe(5.0);
+        h.observe(5.0001); // +Inf
+        h.observe(0.0); // first bucket
+        match h.sample() {
+            SampleValue::Histogram {
+                bounds,
+                counts,
+                count,
+                sum,
+            } => {
+                assert_eq!(bounds, vec![1.0, 2.0, 5.0]);
+                assert_eq!(counts, vec![2, 2, 1, 1], "le=1, le=2, le=5, +Inf");
+                assert_eq!(count, 6);
+                assert!((sum - 14.5001).abs() < 1e-9);
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn histogram_rejects_unsorted_bounds() {
+        let _ = Histogram::new(&[2.0, 1.0]);
+    }
+
+    #[test]
+    fn registry_returns_shared_handles_in_name_order() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("b_second");
+        let b = reg.counter("b_second");
+        a.inc();
+        b.inc();
+        assert_eq!(reg.counter("b_second").get(), 2);
+        reg.gauge("a_first").set(9);
+        reg.histogram("c_third", &DURATION_BUCKETS).observe(0.001);
+        let snap = reg.snapshot();
+        let names: Vec<&str> = snap.samples.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["a_first", "b_second", "c_third"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a counter")]
+    fn registry_rejects_kind_mismatch() {
+        let reg = MetricsRegistry::new();
+        reg.gauge("x");
+        reg.counter("x");
+    }
+
+    #[test]
+    fn snapshot_lookups_and_merge() {
+        let reg = MetricsRegistry::new();
+        reg.counter("jobs").add(10);
+        reg.gauge("depth").set(3);
+        reg.histogram("wait", &[0.1, 1.0]).observe(0.05);
+        let mut a = reg.snapshot();
+        assert_eq!(a.counter("jobs"), Some(10));
+        assert_eq!(a.gauge("depth"), Some(3));
+        assert_eq!(a.histogram_count_sum("wait"), Some((1, 0.05)));
+        assert_eq!(a.counter("missing"), None);
+
+        let reg2 = MetricsRegistry::new();
+        reg2.counter("jobs").add(5);
+        reg2.gauge("depth").set(8);
+        reg2.histogram("wait", &[0.1, 1.0]).observe(0.5);
+        reg2.counter("extra").inc();
+        a.merge(&reg2.snapshot());
+        assert_eq!(a.counter("jobs"), Some(15), "counters add");
+        assert_eq!(a.gauge("depth"), Some(8), "gauges keep the max");
+        assert_eq!(a.histogram_count_sum("wait").unwrap().0, 2);
+        assert_eq!(a.counter("extra"), Some(1), "new names append");
+        let names: Vec<&str> = a.samples.iter().map(|s| s.name.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted, "merge keeps name order");
+    }
+
+    #[test]
+    fn json_and_prometheus_exposition_shapes() {
+        let reg = MetricsRegistry::new();
+        reg.counter("dqo_pool_jobs_total").add(3);
+        reg.gauge("dqo_pool_queue_depth").set(2);
+        let h = reg.histogram("dqo_admission_wait_seconds", &[0.001, 0.1]);
+        h.observe(0.0005);
+        h.observe(0.05);
+        h.observe(7.0);
+        let snap = reg.snapshot();
+
+        let json = snap.to_json();
+        assert!(json.contains("\"dqo_pool_jobs_total\": {\"type\": \"counter\", \"value\": 3}"));
+        assert!(json.contains("\"type\": \"gauge\", \"value\": 2"));
+        assert!(json.contains("\"le\": 0.001, \"count\": 1"));
+        assert!(json.contains("\"le\": 0.1, \"count\": 2"), "cumulative");
+        assert!(json.contains("\"le\": \"+Inf\", \"count\": 3"));
+
+        let prom = snap.to_prometheus();
+        assert!(prom.contains("# TYPE dqo_pool_jobs_total counter"));
+        assert!(prom.contains("dqo_pool_jobs_total 3"));
+        assert!(prom.contains("# TYPE dqo_admission_wait_seconds histogram"));
+        assert!(prom.contains("dqo_admission_wait_seconds_bucket{le=\"0.1\"} 2"));
+        assert!(prom.contains("dqo_admission_wait_seconds_bucket{le=\"+Inf\"} 3"));
+        assert!(prom.contains("dqo_admission_wait_seconds_count 3"));
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        // Race shakeout: many threads hammer one counter + histogram;
+        // totals must be exact (run under --test-threads 16 in CI).
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("c");
+        let h = reg.histogram("h", &DURATION_BUCKETS);
+        std::thread::scope(|scope| {
+            for t in 0..16 {
+                let c = c.clone();
+                let h = h.clone();
+                scope.spawn(move || {
+                    for i in 0..1_000 {
+                        c.inc();
+                        h.observe((t * 1_000 + i) as f64 * 1e-6);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 16_000);
+        assert_eq!(h.count(), 16_000);
+        let expected: f64 = (0..16_000).map(|v| v as f64 * 1e-6).sum();
+        assert!((h.sum() - expected).abs() < 1e-6);
+        match reg.snapshot().samples[1].value {
+            SampleValue::Histogram { ref counts, .. } => {
+                assert_eq!(counts.iter().sum::<u64>(), 16_000)
+            }
+            _ => panic!("h must be a histogram"),
+        }
+    }
+}

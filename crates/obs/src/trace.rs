@@ -1,0 +1,204 @@
+//! Per-query phase traces: monotonic spans from SQL text to result.
+//!
+//! A query's life is parse → bind → optimise → admission wait → execute.
+//! The SQL front-end starts a [`TraceBuilder`], times its phases, and
+//! hands the builder to the engine, which times its own phases against
+//! the *same* monotonic origin — so span start offsets are directly
+//! comparable and gaps (time spent outside any phase) are visible. The
+//! finished [`QueryProfile`] travels in the engine's `QueryResult`.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// A query-processing phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// SQL text → AST.
+    Parse,
+    /// AST → bound logical plan.
+    Bind,
+    /// Logical plan → costed physical plan.
+    Optimise,
+    /// Blocked in the admission controller's FIFO queue.
+    AdmissionWait,
+    /// Physical plan → result relation.
+    Execute,
+}
+
+impl Phase {
+    /// Stable lowercase name (used in rendering and tests).
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Parse => "parse",
+            Phase::Bind => "bind",
+            Phase::Optimise => "optimise",
+            Phase::AdmissionWait => "admission-wait",
+            Phase::Execute => "execute",
+        }
+    }
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One timed phase: a start offset from the trace origin (monotonic, so
+/// spans from different phases order and nest correctly) plus a duration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseSpan {
+    /// Which phase.
+    pub phase: Phase,
+    /// Offset from the trace origin at which the phase began.
+    pub start: Duration,
+    /// How long the phase ran.
+    pub duration: Duration,
+}
+
+/// The finished trace of one query, carried in `QueryResult`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QueryProfile {
+    /// Phase spans in the order they completed.
+    pub spans: Vec<PhaseSpan>,
+    /// Origin-to-finish wall time (covers every phase and the gaps).
+    pub total: Duration,
+}
+
+impl QueryProfile {
+    /// Total duration of `phase` (zero if it never ran).
+    pub fn phase(&self, phase: Phase) -> Duration {
+        self.spans
+            .iter()
+            .filter(|s| s.phase == phase)
+            .map(|s| s.duration)
+            .sum()
+    }
+
+    /// Whether `phase` was recorded at all.
+    pub fn has_phase(&self, phase: Phase) -> bool {
+        self.spans.iter().any(|s| s.phase == phase)
+    }
+}
+
+impl fmt::Display for QueryProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for s in &self.spans {
+            write!(f, "{}={:?} ", s.phase, s.duration)?;
+        }
+        write!(f, "total={:?}", self.total)
+    }
+}
+
+/// Accumulates phase spans against one monotonic origin. Threaded from
+/// the SQL front-end into the engine so both time against the same clock.
+#[derive(Debug)]
+pub struct TraceBuilder {
+    origin: Instant,
+    spans: Vec<PhaseSpan>,
+    enabled: bool,
+}
+
+impl TraceBuilder {
+    /// Start a trace now.
+    pub fn start() -> Self {
+        TraceBuilder {
+            origin: Instant::now(),
+            spans: Vec::new(),
+            enabled: true,
+        }
+    }
+
+    /// Start a disabled trace: `end` is a no-op and `finish` returns an
+    /// empty profile. The zero-overhead path for tracing turned off.
+    pub fn disabled() -> Self {
+        TraceBuilder {
+            origin: Instant::now(),
+            spans: Vec::new(),
+            enabled: false,
+        }
+    }
+
+    /// Whether spans are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Mark the beginning of a phase; pass the returned instant to
+    /// [`TraceBuilder::end`] when the phase completes.
+    pub fn begin(&self) -> Instant {
+        Instant::now()
+    }
+
+    /// Record a phase that began at `began` (from [`TraceBuilder::begin`])
+    /// and ends now. Returns the phase's duration either way, so callers
+    /// can reuse the measurement even when tracing is disabled.
+    pub fn end(&mut self, phase: Phase, began: Instant) -> Duration {
+        let duration = began.elapsed();
+        if self.enabled {
+            self.spans.push(PhaseSpan {
+                phase,
+                start: began.duration_since(self.origin),
+                duration,
+            });
+        }
+        duration
+    }
+
+    /// Finish the trace into a profile.
+    pub fn finish(self) -> QueryProfile {
+        QueryProfile {
+            total: self.origin.elapsed(),
+            spans: self.spans,
+        }
+    }
+}
+
+impl Default for TraceBuilder {
+    fn default() -> Self {
+        TraceBuilder::start()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_carry_monotonic_offsets() {
+        let mut t = TraceBuilder::start();
+        let p = t.begin();
+        std::thread::sleep(Duration::from_millis(2));
+        t.end(Phase::Parse, p);
+        let o = t.begin();
+        std::thread::sleep(Duration::from_millis(1));
+        t.end(Phase::Optimise, o);
+        let profile = t.finish();
+        assert_eq!(profile.spans.len(), 2);
+        assert!(profile.has_phase(Phase::Parse));
+        assert!(!profile.has_phase(Phase::Execute));
+        assert!(profile.phase(Phase::Parse) >= Duration::from_millis(2));
+        let (a, b) = (profile.spans[0], profile.spans[1]);
+        assert!(b.start >= a.start + a.duration, "phases do not overlap");
+        assert!(profile.total >= a.duration + b.duration);
+        let text = profile.to_string();
+        assert!(text.contains("parse="));
+        assert!(text.contains("total="));
+    }
+
+    #[test]
+    fn disabled_trace_records_nothing_but_still_measures() {
+        let mut t = TraceBuilder::disabled();
+        let p = t.begin();
+        let d = t.end(Phase::Execute, p);
+        assert!(d >= Duration::ZERO);
+        let profile = t.finish();
+        assert!(profile.spans.is_empty());
+    }
+
+    #[test]
+    fn phase_names_are_stable() {
+        assert_eq!(Phase::AdmissionWait.name(), "admission-wait");
+        assert_eq!(Phase::Bind.to_string(), "bind");
+    }
+}

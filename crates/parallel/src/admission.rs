@@ -17,7 +17,9 @@
 //! Determinism is unaffected: the morsel runtime produces bit-identical
 //! results at any DOP, so the clamp trades only latency, never answers.
 
+use dqo_obs::{names, Counter, Gauge, Histogram, MetricsRegistry, DURATION_BUCKETS};
 use std::sync::{Condvar, Mutex};
+use std::time::Instant;
 
 /// See the module docs. Cheap to share behind the pool it guards.
 #[derive(Debug)]
@@ -26,6 +28,14 @@ pub struct AdmissionController {
     pool_threads: usize,
     state: Mutex<AdmState>,
     cv: Condvar,
+    /// Queries admitted so far; its count always equals the wait
+    /// histogram's (every admission records exactly one wait).
+    admitted: Counter,
+    /// FIFO-queue wait per admission, in seconds.
+    wait: Histogram,
+    inflight_gauge: Gauge,
+    queued_gauge: Gauge,
+    peak_gauge: Gauge,
 }
 
 #[derive(Debug)]
@@ -60,6 +70,7 @@ impl Drop for AdmissionPermit<'_> {
     fn drop(&mut self) {
         let mut s = self.controller.state.lock().expect("admission state");
         s.inflight -= 1;
+        self.controller.inflight_gauge.set(s.inflight as u64);
         drop(s);
         self.controller.cv.notify_all();
     }
@@ -69,6 +80,47 @@ impl AdmissionController {
     /// A controller admitting at most `max_inflight` (clamped to ≥ 1)
     /// concurrent queries onto a pool of `pool_threads` workers.
     pub fn new(max_inflight: usize, pool_threads: usize) -> Self {
+        // Detached metrics (not registered anywhere): the controller
+        // still records, callers without a registry just never read them.
+        AdmissionController::with_metrics(
+            max_inflight,
+            pool_threads,
+            Counter::new(),
+            Histogram::new(&DURATION_BUCKETS),
+            Gauge::new(),
+            Gauge::new(),
+            Gauge::new(),
+        )
+    }
+
+    /// A controller whose counters/gauges/wait histogram are registered
+    /// in `registry` under the canonical `dqo_admission_*` names — how
+    /// [`crate::PersistentPool`] wires admission into pool observability.
+    pub fn with_registry(
+        max_inflight: usize,
+        pool_threads: usize,
+        registry: &MetricsRegistry,
+    ) -> Self {
+        AdmissionController::with_metrics(
+            max_inflight,
+            pool_threads,
+            registry.counter(names::ADMISSION_ADMITTED),
+            registry.histogram(names::ADMISSION_WAIT_SECONDS, &DURATION_BUCKETS),
+            registry.gauge(names::ADMISSION_INFLIGHT),
+            registry.gauge(names::ADMISSION_QUEUED),
+            registry.gauge(names::ADMISSION_PEAK_INFLIGHT),
+        )
+    }
+
+    fn with_metrics(
+        max_inflight: usize,
+        pool_threads: usize,
+        admitted: Counter,
+        wait: Histogram,
+        inflight_gauge: Gauge,
+        queued_gauge: Gauge,
+        peak_gauge: Gauge,
+    ) -> Self {
         AdmissionController {
             max_inflight: max_inflight.max(1),
             pool_threads: pool_threads.max(1),
@@ -79,15 +131,22 @@ impl AdmissionController {
                 peak_inflight: 0,
             }),
             cv: Condvar::new(),
+            admitted,
+            wait,
+            inflight_gauge,
+            queued_gauge,
+            peak_gauge,
         }
     }
 
     /// Block until admitted (FIFO), then return the permit carrying the
     /// granted DOP. Dropping the permit releases the slot.
     pub fn admit(&self, requested_dop: usize) -> AdmissionPermit<'_> {
+        let arrived = Instant::now();
         let mut s = self.state.lock().expect("admission state");
         let ticket = s.next_ticket;
         s.next_ticket += 1;
+        self.queued_gauge.set(s.next_ticket - s.serving);
         while !(s.serving == ticket && s.inflight < self.max_inflight) {
             s = self.cv.wait(s).expect("admission state");
         }
@@ -95,7 +154,12 @@ impl AdmissionController {
         s.inflight += 1;
         s.peak_inflight = s.peak_inflight.max(s.inflight);
         let dop = Self::granted_dop(requested_dop, self.pool_threads, s.inflight);
+        self.queued_gauge.set(s.next_ticket - s.serving);
+        self.inflight_gauge.set(s.inflight as u64);
+        self.peak_gauge.raise(s.peak_inflight as u64);
         drop(s);
+        self.admitted.inc();
+        self.wait.observe_duration(arrived.elapsed());
         // Another waiter may have been blocked purely on ticket order.
         self.cv.notify_all();
         AdmissionPermit {

@@ -73,7 +73,7 @@ pub use grouping::{parallel_grouping, GroupingStrategy};
 pub use join::{parallel_hash_join, parallel_sph_join};
 pub use morsel::{morsels, Morsel, DEFAULT_MORSEL_ROWS};
 pub use persistent::{default_threads, BatchHandle, PersistentPool};
-pub use pool::{PoolError, ThreadPool};
+pub use pool::{BatchObs, PoolError, ThreadPool};
 pub use sort::{
     parallel_argsort, parallel_sog, parallel_sort_index, parallel_sort_merge_join, RunSortMolecule,
 };

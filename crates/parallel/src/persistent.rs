@@ -33,6 +33,7 @@
 //! operators submit batches from the session thread only.
 
 use crate::pool::{PoolError, WorkQueues};
+use dqo_obs::{names, Counter, Gauge, MetricsRegistry, MetricsSnapshot};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -223,6 +224,39 @@ struct PoolSync {
     shutdown: bool,
 }
 
+/// Scheduler counters shared with the workers (handles into the pool's
+/// [`MetricsRegistry`]; incrementing is one relaxed atomic op).
+struct PoolMetrics {
+    /// Runner jobs executed.
+    jobs: Counter,
+    /// Runner jobs taken from another worker's deque.
+    steals: Counter,
+    /// Times a worker parked on the idle condvar.
+    parks: Counter,
+    /// Morsel batches completed (reported by [`crate::ThreadPool`]).
+    batches: Counter,
+    /// Tasks executed across all batches.
+    batch_tasks: Counter,
+    /// Intra-batch steals across runner slots.
+    batch_steals: Counter,
+    /// Refreshed from the queues at snapshot time.
+    queue_depth: Gauge,
+}
+
+impl PoolMetrics {
+    fn new(registry: &MetricsRegistry) -> Self {
+        PoolMetrics {
+            jobs: registry.counter(names::POOL_JOBS),
+            steals: registry.counter(names::POOL_STEALS),
+            parks: registry.counter(names::POOL_PARKS),
+            batches: registry.counter(names::POOL_BATCHES),
+            batch_tasks: registry.counter(names::POOL_BATCH_TASKS),
+            batch_steals: registry.counter(names::POOL_BATCH_STEALS),
+            queue_depth: registry.gauge(names::POOL_QUEUE_DEPTH),
+        }
+    }
+}
+
 /// State shared between the pool handle and its workers.
 struct PoolShared {
     /// Per-worker job deques: a worker pops its own from the front,
@@ -237,6 +271,8 @@ struct PoolShared {
     cv: Condvar,
     /// Round-robin cursor for spreading runners across worker deques.
     rr: AtomicUsize,
+    /// Scheduler counters (jobs, steals, parks, batch totals).
+    metrics: PoolMetrics,
 }
 
 impl PoolShared {
@@ -244,15 +280,19 @@ impl PoolShared {
     /// victim's deque. `None` means every queue was empty at scan time.
     fn find_job(&self, me: usize) -> Option<Job> {
         if let Some(job) = self.locals[me].lock().expect("local deque").pop_front() {
+            self.metrics.jobs.inc();
             return Some(job);
         }
         if let Some(job) = self.injector.lock().expect("injector").pop_front() {
+            self.metrics.jobs.inc();
             return Some(job);
         }
         let n = self.locals.len();
         for offset in 1..n {
             let victim = (me + offset) % n;
             if let Some(job) = self.locals[victim].lock().expect("victim deque").pop_back() {
+                self.metrics.jobs.inc();
+                self.metrics.steals.inc();
                 return Some(job);
             }
         }
@@ -282,6 +322,7 @@ fn worker_loop(shared: &PoolShared, me: usize) {
         }
         // Park. A submit bumps the generation under `sync` before
         // notifying, so the wakeup cannot be missed.
+        shared.metrics.parks.inc();
         drop(shared.cv.wait(guard).expect("pool sync"));
     }
 }
@@ -294,6 +335,9 @@ pub struct PersistentPool {
     admission: AdmissionController,
     threads: usize,
     workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    /// The pool's own metrics registry: scheduler counters plus the
+    /// embedded admission controller's, under the canonical `dqo_*` names.
+    registry: Arc<MetricsRegistry>,
 }
 
 impl PersistentPool {
@@ -309,6 +353,8 @@ impl PersistentPool {
     /// concurrent queries (FIFO beyond that; see [`AdmissionController`]).
     pub fn with_admission(threads: usize, max_inflight: usize) -> Self {
         let threads = threads.max(1);
+        let registry = Arc::new(MetricsRegistry::new());
+        registry.gauge(names::POOL_WORKERS).set(threads as u64);
         let shared = Arc::new(PoolShared {
             locals: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
             injector: Mutex::new(VecDeque::new()),
@@ -316,6 +362,7 @@ impl PersistentPool {
             sync: Mutex::new(PoolSync { shutdown: false }),
             cv: Condvar::new(),
             rr: AtomicUsize::new(0),
+            metrics: PoolMetrics::new(&registry),
         });
         let workers = (0..threads)
             .map(|w| {
@@ -328,9 +375,10 @@ impl PersistentPool {
             .collect();
         PersistentPool {
             shared,
-            admission: AdmissionController::new(max_inflight, threads),
+            admission: AdmissionController::with_registry(max_inflight, threads, &registry),
             threads,
             workers: Mutex::new(workers),
+            registry,
         }
     }
 
@@ -360,6 +408,29 @@ impl PersistentPool {
     /// work. A racy snapshot by design: queues move while it is read.
     pub fn queued_now(&self) -> usize {
         self.depth().iter().sum()
+    }
+
+    /// The pool's metrics registry (scheduler + admission counters).
+    pub fn metrics_registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
+    /// A point-in-time snapshot of the pool's metrics, with the queue
+    /// depth gauge refreshed from the live queues first.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.shared
+            .metrics
+            .queue_depth
+            .set(self.queued_now() as u64);
+        self.registry.snapshot()
+    }
+
+    /// Fold one completed morsel batch into the scheduler counters
+    /// (called by [`crate::ThreadPool`] after a batch drains).
+    pub(crate) fn record_batch(&self, tasks: u64, steals: u64) {
+        self.shared.metrics.batches.inc();
+        self.shared.metrics.batch_tasks.add(tasks);
+        self.shared.metrics.batch_steals.add(steals);
     }
 
     /// Per-queue snapshot of the scheduler's backlog: one entry per
@@ -650,6 +721,30 @@ mod tests {
         busy.join().unwrap();
         queued.join().unwrap();
         assert_eq!(pool.queued_now(), 0, "drained pool reports empty queues");
+    }
+
+    #[test]
+    fn metrics_snapshot_counts_jobs_and_admissions() {
+        let pool = PersistentPool::with_admission(2, 2);
+        let permit = pool.admission().admit(2);
+        drop(permit);
+        let p2 = pool.admission().admit(2);
+        drop(p2);
+        pool.submit(64, 2, |_| {}).join().unwrap();
+        let snap = pool.metrics_snapshot();
+        assert_eq!(snap.gauge(dqo_obs::names::POOL_WORKERS), Some(2));
+        assert!(snap.counter(dqo_obs::names::POOL_JOBS).unwrap() > 0);
+        let admitted = snap.counter(dqo_obs::names::ADMISSION_ADMITTED).unwrap();
+        assert_eq!(admitted, 2);
+        let (wait_count, _) = snap
+            .histogram_count_sum(dqo_obs::names::ADMISSION_WAIT_SECONDS)
+            .unwrap();
+        assert_eq!(
+            wait_count, admitted,
+            "every admission records exactly one wait"
+        );
+        assert_eq!(snap.gauge(dqo_obs::names::ADMISSION_INFLIGHT), Some(0));
+        assert_eq!(snap.gauge(dqo_obs::names::POOL_QUEUE_DEPTH), Some(0));
     }
 
     #[test]

@@ -29,6 +29,7 @@ use crate::morsel::{morsels, Morsel};
 use crate::persistent::{default_threads, panic_message, PersistentPool};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Scheduler failure surfaced to the submitting query.
@@ -55,12 +56,43 @@ impl From<PoolError> for dqo_exec::ExecError {
     }
 }
 
+/// Per-handle batch observation: how many batches this [`ThreadPool`]
+/// handle dispatched, how many morsel/partition tasks they executed, and
+/// how many times a runner slot stole work from a sibling. The executor
+/// attaches one per `Exchange` node (via [`ThreadPool::with_obs`]) so
+/// per-operator morsel/steal counts land in the query's plan metrics.
+#[derive(Debug, Default)]
+pub struct BatchObs {
+    batches: AtomicU64,
+    tasks: AtomicU64,
+    steals: AtomicU64,
+}
+
+impl BatchObs {
+    /// Batches dispatched.
+    pub fn batches(&self) -> u64 {
+        self.batches.load(Ordering::Relaxed)
+    }
+
+    /// Morsel/partition tasks executed across all batches.
+    pub fn tasks(&self) -> u64 {
+        self.tasks.load(Ordering::Relaxed)
+    }
+
+    /// Successful intra-batch steals (a runner taking tasks from a
+    /// sibling's deque).
+    pub fn steals(&self) -> u64 {
+        self.steals.load(Ordering::Relaxed)
+    }
+}
+
 /// Degree-of-parallelism handle onto a persistent pool: owns the batch
 /// configuration and runs morsel batches. Cheap to create and clone.
 #[derive(Debug, Clone)]
 pub struct ThreadPool {
     dop: usize,
     pool: Arc<PersistentPool>,
+    obs: Option<Arc<BatchObs>>,
 }
 
 impl ThreadPool {
@@ -77,7 +109,21 @@ impl ThreadPool {
         ThreadPool {
             dop: threads.max(1),
             pool,
+            obs: None,
         }
+    }
+
+    /// Attach a batch-observation sink: every batch this handle runs
+    /// reports its task and steal counts into `obs` (and clones of the
+    /// handle share the sink).
+    pub fn with_obs(mut self, obs: Arc<BatchObs>) -> Self {
+        self.obs = Some(obs);
+        self
+    }
+
+    /// The attached batch-observation sink, if any.
+    pub fn obs(&self) -> Option<&Arc<BatchObs>> {
+        self.obs.as_ref()
     }
 
     /// A handle at the default DOP (`DQO_THREADS` env override, else the
@@ -108,12 +154,16 @@ impl ThreadPool {
         }
         let workers = self.dop.min(tasks);
         if workers == 1 {
-            return catch_unwind(AssertUnwindSafe(|| {
+            let result = catch_unwind(AssertUnwindSafe(|| {
                 for t in 0..tasks {
                     f(0, t);
                 }
             }))
             .map_err(|p| PoolError::TaskPanicked(panic_message(p)));
+            if result.is_ok() {
+                self.record_batch(tasks as u64, 0);
+            }
+            return result;
         }
         let queues = WorkQueues::seeded(workers, tasks);
         // Slots 1..workers go to the pool; slot 0 is the caller thread,
@@ -126,10 +176,25 @@ impl ThreadPool {
         let join = unsafe { self.pool.spawn_borrowed(&queues, &f, 1..workers) };
         let caller = catch_unwind(AssertUnwindSafe(|| queues.drain(0, &f)));
         let runners = join.wait();
-        match caller {
+        let result = match caller {
             Err(p) => Err(PoolError::TaskPanicked(panic_message(p))),
             Ok(()) => runners,
+        };
+        if result.is_ok() {
+            self.record_batch(tasks as u64, queues.steals.load(Ordering::Relaxed));
         }
+        result
+    }
+
+    /// Fold one completed batch into the handle's observation sink (if
+    /// attached) and the pool's process-level batch counters.
+    fn record_batch(&self, tasks: u64, steals: u64) {
+        if let Some(obs) = &self.obs {
+            obs.batches.fetch_add(1, Ordering::Relaxed);
+            obs.tasks.fetch_add(tasks, Ordering::Relaxed);
+            obs.steals.fetch_add(steals, Ordering::Relaxed);
+        }
+        self.pool.record_batch(tasks, steals);
     }
 
     /// Map every morsel of `rows` through `f`, returning the per-morsel
@@ -224,6 +289,8 @@ pub(crate) struct WorkQueues {
     locals: Vec<Mutex<VecDeque<usize>>>,
     /// Batch-local overflow queue (tasks beyond the even split).
     injector: Mutex<VecDeque<usize>>,
+    /// Successful steals between runner slots in this batch.
+    steals: AtomicU64,
 }
 
 impl WorkQueues {
@@ -236,7 +303,11 @@ impl WorkQueues {
             locals.push(Mutex::new((w * per_worker..(w + 1) * per_worker).collect()));
         }
         let injector = Mutex::new((workers * per_worker..tasks).collect());
-        WorkQueues { locals, injector }
+        WorkQueues {
+            locals,
+            injector,
+            steals: AtomicU64::new(0),
+        }
     }
 
     /// Runner loop: own deque front → injector → steal half from the
@@ -276,6 +347,7 @@ impl WorkQueues {
             let take = available.div_ceil(2);
             let stolen: Vec<usize> = (0..take).filter_map(|_| deque.pop_back()).collect();
             drop(deque);
+            self.steals.fetch_add(1, Ordering::Relaxed);
             let mut mine = self.locals[thief].lock().expect("own deque");
             let first = stolen[0];
             for &t in &stolen[1..] {
@@ -365,6 +437,24 @@ mod tests {
         assert_eq!(tp.threads(), 4);
         let out = tp.map_tasks(50, |t| t + 1).unwrap();
         assert_eq!(out[49], 50);
+    }
+
+    #[test]
+    fn batch_obs_counts_every_task() {
+        let obs = Arc::new(BatchObs::default());
+        let pool = ThreadPool::new(4).with_obs(Arc::clone(&obs));
+        pool.map_tasks(100, |t| t).unwrap();
+        pool.map_morsels(10_000, 128, |m| m.len()).unwrap();
+        assert_eq!(obs.batches(), 2);
+        assert_eq!(obs.tasks(), 100 + 10_000usize.div_ceil(128) as u64);
+        // Steals are scheduling-dependent; the counter just must not
+        // exceed the work available.
+        assert!(obs.steals() <= obs.tasks());
+        // A handle without a sink records nothing extra (and still works).
+        let plain = ThreadPool::new(2);
+        assert!(plain.obs().is_none());
+        plain.map_tasks(10, |t| t).unwrap();
+        assert_eq!(obs.batches(), 2);
     }
 
     #[test]

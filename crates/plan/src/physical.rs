@@ -177,14 +177,53 @@ impl PhysicalPlan {
         }
     }
 
+    /// The plan's nodes in pre-order (self, then children left-to-right)
+    /// — the numbering shared by [`PhysicalPlan::explain`] lines and
+    /// per-operator runtime metrics, so index `i` in an
+    /// `EXPLAIN ANALYZE` metrics vector describes the `i`-th rendered
+    /// operator.
+    pub fn preorder(&self) -> Vec<&PhysicalPlan> {
+        let mut out = Vec::with_capacity(self.node_count());
+        self.collect_preorder(&mut out);
+        out
+    }
+
+    fn collect_preorder<'a>(&'a self, out: &mut Vec<&'a PhysicalPlan>) {
+        out.push(self);
+        for c in self.children() {
+            c.collect_preorder(out);
+        }
+    }
+
     /// Indented EXPLAIN rendering, molecule annotations included.
     pub fn explain(&self) -> String {
+        self.explain_annotated(&|_, _| None)
+    }
+
+    /// [`PhysicalPlan::explain`] with a per-node suffix: `annot` is called
+    /// with each node's pre-order index and the node, and whatever it
+    /// returns is appended to that node's line. This is how
+    /// `EXPLAIN ANALYZE` attaches actual rows / wall time / cardinality
+    /// deltas to the same tree the plain EXPLAIN renders.
+    pub fn explain_annotated(
+        &self,
+        annot: &dyn Fn(usize, &PhysicalPlan) -> Option<String>,
+    ) -> String {
         let mut s = String::new();
-        self.explain_into(&mut s, 0);
+        let mut next_id = 0usize;
+        self.explain_into(&mut s, 0, &mut next_id, annot);
         s
     }
 
-    fn explain_into(&self, out: &mut String, depth: usize) {
+    fn explain_into(
+        &self,
+        out: &mut String,
+        depth: usize,
+        next_id: &mut usize,
+        annot: &dyn Fn(usize, &PhysicalPlan) -> Option<String>,
+    ) {
+        let id = *next_id;
+        *next_id += 1;
         let pad = "  ".repeat(depth);
         let line = match self {
             PhysicalPlan::Scan { table } => format!("Scan {table}"),
@@ -227,9 +266,13 @@ impl PhysicalPlan {
         };
         out.push_str(&pad);
         out.push_str(&line);
+        if let Some(extra) = annot(id, self) {
+            out.push(' ');
+            out.push_str(&extra);
+        }
         out.push('\n');
         for c in self.children() {
-            c.explain_into(out, depth + 1);
+            c.explain_into(out, depth + 1, next_id, annot);
         }
     }
 }
@@ -310,6 +353,33 @@ mod tests {
     #[test]
     fn node_count() {
         assert_eq!(sphj_sphg_plan().node_count(), 4);
+    }
+
+    #[test]
+    fn preorder_matches_explain_line_order() {
+        let plan = PhysicalPlan::Exchange {
+            input: Box::new(sphj_sphg_plan()),
+            dop: 2,
+        };
+        let nodes = plan.preorder();
+        assert_eq!(nodes.len(), plan.node_count());
+        assert!(matches!(nodes[0], PhysicalPlan::Exchange { .. }));
+        assert!(matches!(nodes[1], PhysicalPlan::GroupBy { .. }));
+        assert!(matches!(nodes[2], PhysicalPlan::Join { .. }));
+        assert!(matches!(nodes[3], PhysicalPlan::Scan { .. }));
+        assert!(matches!(nodes[4], PhysicalPlan::Scan { .. }));
+        // The annotated renderer hands out the same ids: annotating node i
+        // with its index must land on line i.
+        let text = plan.explain_annotated(&|id, _| Some(format!("#{id}")));
+        for (i, line) in text.lines().enumerate() {
+            assert!(line.ends_with(&format!("#{i}")), "line {i}: {line}");
+        }
+    }
+
+    #[test]
+    fn explain_annotated_with_no_annotations_is_plain_explain() {
+        let plan = sphj_sphg_plan();
+        assert_eq!(plan.explain_annotated(&|_, _| None), plan.explain());
     }
 
     #[test]

@@ -39,7 +39,11 @@ pub use dqo_sql as sql;
 pub use dqo_storage as storage;
 
 pub use dqo_core::engine::QueryResult;
-pub use dqo_core::{AvBuildHandle, AvBuildStats, AvBuilder, Catalog, Engine, OptimizerMode};
+pub use dqo_core::{
+    AvBuildHandle, AvBuildStats, AvBuilder, Catalog, Engine, OptimizerMode, PlanRuntime,
+};
+pub use dqo_obs as obs;
+pub use dqo_obs::{MetricsRegistry, MetricsSnapshot, Phase, QueryProfile, TraceBuilder};
 pub use dqo_parallel::{AdmissionController, PersistentPool};
 pub use dqo_plan::LogicalPlan;
 pub use dqo_storage::Relation;
@@ -159,10 +163,38 @@ impl Dqo {
         )?)
     }
 
-    /// Compile, optimise and execute a SQL query.
+    /// Compile with parse and bind timed into `trace` — the front half of
+    /// the phase-timed query lifecycle ([`QueryProfile`] in the result).
+    fn compile_traced(
+        &self,
+        sql_text: &str,
+        trace: &mut TraceBuilder,
+    ) -> Result<Arc<LogicalPlan>, DqoError> {
+        let began = trace.begin();
+        let stmt = dqo_sql::parse(sql_text)?;
+        trace.end(Phase::Parse, began);
+        let began = trace.begin();
+        let logical = dqo_sql::bind(&stmt, &CatalogSchemas(self.engine.catalog()))?;
+        trace.end(Phase::Bind, began);
+        Ok(logical)
+    }
+
+    /// Start a trace honouring the engine's tracing knob.
+    fn trace(&self) -> TraceBuilder {
+        if self.engine.tracing() {
+            TraceBuilder::start()
+        } else {
+            TraceBuilder::disabled()
+        }
+    }
+
+    /// Compile, optimise and execute a SQL query. With tracing on (the
+    /// default), the result's [`QueryProfile`] spans the full statement
+    /// lifecycle: parse → bind → optimise → admission wait → execute.
     pub fn sql(&self, sql_text: &str) -> Result<QueryResult, DqoError> {
-        let logical = self.compile(sql_text)?;
-        Ok(self.engine.query(&logical)?)
+        let mut trace = self.trace();
+        let logical = self.compile_traced(sql_text, &mut trace)?;
+        Ok(self.engine.query_traced(&logical, trace)?)
     }
 
     /// EXPLAIN a SQL query under the current mode.
@@ -171,11 +203,20 @@ impl Dqo {
         Ok(self.engine.explain(&logical)?)
     }
 
-    /// EXPLAIN ANALYZE: plan, execute, and annotate the plan with actual
-    /// row counts, wall time, and pipeline-breaker statistics.
+    /// EXPLAIN ANALYZE: plan, execute, and annotate the plan tree with
+    /// per-operator actual rows, wall time, est-vs-actual cardinality
+    /// deltas and parallel-runtime detail, under a phase-timed header.
     pub fn explain_analyze(&self, sql_text: &str) -> Result<String, DqoError> {
-        let logical = self.compile(sql_text)?;
-        Ok(self.engine.explain_analyze(&logical)?)
+        let mut trace = self.trace();
+        let logical = self.compile_traced(sql_text, &mut trace)?;
+        let result = self.engine.query_traced(&logical, trace)?;
+        Ok(self.engine.render_analyzed(&result)?)
+    }
+
+    /// The combined engine + pool metrics snapshot (see
+    /// [`Engine::metrics`]).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.engine.metrics()
     }
 }
 
@@ -194,6 +235,44 @@ mod tests {
         assert_eq!(r.output.relation.rows(), 10);
         let keys = r.output.relation.column("key").unwrap().as_u32().unwrap();
         assert!(keys.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn sql_profile_spans_the_full_lifecycle() {
+        let mut db = Dqo::new();
+        db.engine_mut().set_tracing(true);
+        db.register_table("t", DatasetSpec::new(1_000, 10).relation().unwrap());
+        let r = db
+            .sql("SELECT key, COUNT(*) AS n FROM t GROUP BY key")
+            .unwrap();
+        for phase in [Phase::Parse, Phase::Bind, Phase::Optimise, Phase::Execute] {
+            assert!(r.profile.has_phase(phase), "missing {phase}");
+        }
+        // No shared pool → admission wait is still timed (as ~zero).
+        assert!(r.profile.has_phase(Phase::AdmissionWait));
+        assert_eq!(r.wall, r.queue_wait + r.exec_wall);
+        assert!(!r.ops.is_empty());
+    }
+
+    #[test]
+    fn explain_analyze_renders_annotated_tree() {
+        let mut db = Dqo::new();
+        db.engine_mut().set_tracing(true);
+        db.register_table(
+            "t",
+            DatasetSpec::new(5_000, 100)
+                .sorted(false)
+                .dense(true)
+                .relation()
+                .unwrap(),
+        );
+        let text = db
+            .explain_analyze("SELECT key, COUNT(*) AS n FROM t GROUP BY key")
+            .unwrap();
+        assert!(text.contains("phases: "), "{text}");
+        assert!(text.contains("parse="), "{text}");
+        assert!(text.contains("act="), "{text}");
+        assert!(text.contains("Δ="), "{text}");
     }
 
     #[test]

@@ -1,0 +1,205 @@
+//! End-to-end observability: the phase-timed query trace, the annotated
+//! EXPLAIN ANALYZE tree and the engine-wide metrics registry, exercised
+//! through the public `Dqo` facade the way an operator would use them.
+//!
+//! Three contracts are pinned here: (a) EXPLAIN ANALYZE annotates every
+//! operator of a parallel plan with estimated vs actual cardinality,
+//! wall time and parallel-runtime detail; (b) instrumentation is
+//! invisible to results — traced and untraced runs are bit-identical at
+//! every DOP; (c) the registry stays consistent under real concurrency
+//! (admission wait observations match admissions, gauges return to
+//! idle).
+
+use dqo::core::executor::sorted_rows;
+use dqo::obs::names;
+use dqo::storage::datagen::DatasetSpec;
+use dqo::storage::Value;
+use dqo::{Dqo, Engine, MetricsRegistry, PersistentPool, Phase};
+use std::sync::Arc;
+
+fn grouping_table(seed: u64) -> dqo::Relation {
+    DatasetSpec::new(300_000, 512)
+        .sorted(false)
+        .dense(true)
+        .seed(seed)
+        .relation()
+        .unwrap()
+}
+
+const SQL: &str = "SELECT key, COUNT(*) AS n, SUM(key) AS s FROM t \
+                   WHERE key < 400 GROUP BY key";
+
+fn run_sorted(db: &Dqo, sql: &str) -> Vec<Vec<Value>> {
+    sorted_rows(&db.sql(sql).expect("query runs").output.relation)
+}
+
+#[test]
+fn explain_analyze_annotates_every_operator_of_a_parallel_plan() {
+    let db = Dqo::with_engine(Engine::new().with_threads(4).with_tracing(true));
+    db.register_table("t", grouping_table(42));
+    let text = db.explain_analyze(SQL).expect("explain analyze runs");
+
+    // Header: the full phase-timed lifecycle, parse through execute.
+    assert!(text.contains("phases: "), "missing phase header:\n{text}");
+    for phase in [
+        "parse=",
+        "bind=",
+        "optimise=",
+        "admission-wait=",
+        "execute=",
+    ] {
+        assert!(text.contains(phase), "missing {phase} in header:\n{text}");
+    }
+    assert!(text.contains("actual rows:"), "{text}");
+    assert!(text.contains("wall time:"), "{text}");
+
+    // Every operator line carries est/act/Δ/wall — a filtered grouping
+    // plan has at least scan + filter + group-by.
+    let annotated: Vec<&str> = text.lines().filter(|l| l.contains("est=")).collect();
+    assert!(
+        annotated.len() >= 3,
+        "expected ≥3 annotated operators, got {}:\n{text}",
+        annotated.len()
+    );
+    for line in &annotated {
+        for field in ["act=", "Δ=", "wall="] {
+            assert!(line.contains(field), "missing {field} on line {line:?}");
+        }
+    }
+
+    // The Exchange subtree reports its parallel runtime: the clamped
+    // DOP and the morsel/steal counts from the batch that ran it.
+    assert!(text.contains("dop=4"), "missing parallel detail:\n{text}");
+    assert!(text.contains("morsels="), "{text}");
+    assert!(text.contains("steals="), "{text}");
+}
+
+#[test]
+fn plain_explain_is_untouched_by_instrumentation() {
+    let db = Dqo::with_engine(Engine::new().with_threads(4).with_tracing(true));
+    db.register_table("t", grouping_table(42));
+    let plain = db.explain(SQL).expect("explain runs");
+    for field in ["est=", "act=", "Δ=", "phases:"] {
+        assert!(
+            !plain.contains(field),
+            "plain EXPLAIN leaked runtime annotation {field}:\n{plain}"
+        );
+    }
+}
+
+#[test]
+fn tracing_is_invisible_to_results_at_every_dop() {
+    for dop in [1usize, 2, 8] {
+        let traced = Dqo::with_engine(Engine::new().with_threads(dop).with_tracing(true));
+        let plain = Dqo::with_engine(Engine::new().with_threads(dop).with_tracing(false));
+        traced.register_table("t", grouping_table(7));
+        plain.register_table("t", grouping_table(7));
+
+        let a = traced.sql(SQL).expect("traced query");
+        let b = plain.sql(SQL).expect("untraced query");
+        assert_eq!(
+            sorted_rows(&a.output.relation),
+            sorted_rows(&b.output.relation),
+            "dop={dop}: instrumentation changed the result"
+        );
+
+        // The traced run carries the full profile and per-operator
+        // runtime; the untraced run carries neither — but both always
+        // report the admission-wait/execution wall split.
+        for phase in [Phase::Parse, Phase::Optimise, Phase::Execute] {
+            assert!(a.profile.has_phase(phase), "dop={dop}: missing {phase}");
+        }
+        assert!(!a.ops.is_empty(), "dop={dop}: no operator metrics");
+        assert!(b.profile.spans.is_empty(), "dop={dop}: untraced spans");
+        assert!(b.ops.is_empty(), "dop={dop}: untraced operator metrics");
+        assert_eq!(a.wall, a.queue_wait + a.exec_wall);
+        assert_eq!(b.wall, b.queue_wait + b.exec_wall);
+    }
+}
+
+#[test]
+fn shared_pool_metrics_stay_consistent_under_concurrency() {
+    const SESSIONS: usize = 4;
+    const QUERIES_PER_SESSION: usize = 3;
+
+    let pool = Arc::new(PersistentPool::with_admission(4, 2));
+    let engine_registry = Arc::new(MetricsRegistry::new());
+    std::thread::scope(|scope| {
+        for i in 0..SESSIONS {
+            let pool = Arc::clone(&pool);
+            let registry = Arc::clone(&engine_registry);
+            scope.spawn(move || {
+                let db = Dqo::with_engine(
+                    Engine::with_shared_pool(pool).with_metrics_registry(registry),
+                );
+                db.register_table("t", grouping_table(100 + i as u64));
+                for _ in 0..QUERIES_PER_SESSION {
+                    run_sorted(&db, SQL);
+                }
+            });
+        }
+    });
+
+    let total = (SESSIONS * QUERIES_PER_SESSION) as u64;
+    let snap = pool.metrics_snapshot();
+
+    // Admission accounting: one admit and exactly one wait observation
+    // per query, and all permits released.
+    let admitted = snap.counter(names::ADMISSION_ADMITTED).unwrap();
+    assert_eq!(admitted, total);
+    let (wait_count, wait_sum) = snap
+        .histogram_count_sum(names::ADMISSION_WAIT_SECONDS)
+        .unwrap();
+    assert_eq!(
+        wait_count, admitted,
+        "wait observations must match admissions"
+    );
+    assert!(wait_sum >= 0.0);
+    assert_eq!(snap.gauge(names::ADMISSION_INFLIGHT), Some(0));
+    assert_eq!(snap.gauge(names::ADMISSION_QUEUED), Some(0));
+
+    // The pool actually ran parallel work and is idle again.
+    assert!(snap.counter(names::POOL_JOBS).unwrap() > 0);
+    assert_eq!(snap.gauge(names::POOL_QUEUE_DEPTH), Some(0));
+    assert_eq!(snap.gauge(names::POOL_WORKERS), Some(4));
+
+    // Engine-side accounting in the isolated registry: every query was
+    // counted, and the optimise/execute histograms saw each one.
+    let engine_snap = engine_registry.snapshot();
+    assert_eq!(engine_snap.counter(names::ENGINE_QUERIES).unwrap(), total);
+    let (opt_count, _) = engine_snap
+        .histogram_count_sum(names::OPTIMISE_SECONDS)
+        .unwrap();
+    let (exec_count, _) = engine_snap
+        .histogram_count_sum(names::EXEC_SECONDS)
+        .unwrap();
+    assert_eq!(opt_count, total);
+    assert_eq!(exec_count, total);
+}
+
+#[test]
+fn metrics_exposition_formats_cover_the_registry() {
+    let db = Dqo::with_engine(
+        Engine::new()
+            .with_threads(2)
+            .with_metrics_registry(Arc::new(MetricsRegistry::new())),
+    );
+    db.register_table("t", grouping_table(9));
+    db.sql(SQL).expect("query runs");
+
+    let snap = db.metrics();
+    let json = snap.to_json();
+    let prom = snap.to_prometheus();
+    for name in [
+        names::ENGINE_QUERIES,
+        names::OPTIMISE_SECONDS,
+        names::EXEC_SECONDS,
+    ] {
+        assert!(json.contains(name), "JSON exposition missing {name}");
+        assert!(prom.contains(name), "Prometheus exposition missing {name}");
+    }
+    assert!(
+        prom.contains("# TYPE"),
+        "Prometheus exposition lacks TYPE lines"
+    );
+}
