@@ -1,0 +1,117 @@
+//! Serving harness: M socket clients × K prepared-statement executions
+//! against a `dqo-server` over real TCP, closed- or open-loop, with
+//! optional connection churn; reports latency percentiles, throughput
+//! and plan-cache traffic, and exits non-zero if any response diverges
+//! from the in-process oracle or the cache never hit.
+//!
+//! ```text
+//! cargo run -p dqo-bench --release --bin serving                    # 8 clients, closed loop
+//! cargo run -p dqo-bench --release --bin serving -- --clients 16 --queries 100
+//! cargo run -p dqo-bench --release --bin serving -- --open-qps 200 --churn 25
+//! cargo run -p dqo-bench --release --bin serving -- --json --metrics-out serving-metrics.json
+//! ```
+
+use dqo_bench::report::Table;
+use dqo_bench::serving::{run, ServingConfig};
+use dqo_bench::Args;
+
+fn main() {
+    let args = Args::from_env();
+    let defaults = ServingConfig::default();
+    let cfg = ServingConfig {
+        rows: args.value("--rows").unwrap_or(defaults.rows),
+        groups: args.value("--groups").unwrap_or(defaults.groups),
+        clients: args.value("--clients").unwrap_or(defaults.clients),
+        queries_per_client: args
+            .value("--queries")
+            .unwrap_or(defaults.queries_per_client),
+        pool_threads: args.value("--threads").unwrap_or(defaults.pool_threads),
+        max_inflight: args
+            .value("--max-inflight")
+            .unwrap_or(defaults.max_inflight),
+        open_qps: args.value("--open-qps"),
+        churn_every: args.value("--churn"),
+    };
+    eprintln!(
+        "serving: {} clients x {} queries over TCP, {} rows/{} groups, pool {} workers, \
+         max {} in flight, {} arrival{}",
+        cfg.clients,
+        cfg.queries_per_client,
+        cfg.rows,
+        cfg.groups,
+        cfg.pool_threads,
+        cfg.max_inflight,
+        match cfg.open_qps {
+            Some(qps) => format!("open-loop {qps} qps"),
+            None => "closed-loop".into(),
+        },
+        match cfg.churn_every {
+            Some(n) => format!(", churn every {n}"),
+            None => String::new(),
+        },
+    );
+
+    let report = run(cfg);
+
+    let mut table = Table::new(&[
+        "clients",
+        "queries_per_client",
+        "pool_threads",
+        "max_inflight",
+        "p50_ms",
+        "p95_ms",
+        "p99_ms",
+        "p999_ms",
+        "throughput_qps",
+        "plan_cache_hits",
+        "plan_cache_misses",
+        "peak_inflight",
+        "oracle_ok",
+    ]);
+    table.row(vec![
+        report.config.clients.to_string(),
+        report.config.queries_per_client.to_string(),
+        report.config.pool_threads.to_string(),
+        report.config.max_inflight.to_string(),
+        format!("{:.3}", report.p50_ms),
+        format!("{:.3}", report.p95_ms),
+        format!("{:.3}", report.p99_ms),
+        format!("{:.3}", report.p999_ms),
+        format!("{:.1}", report.throughput_qps),
+        report.plan_cache_hits.to_string(),
+        report.plan_cache_misses.to_string(),
+        report.peak_inflight.to_string(),
+        report.oracle_ok.to_string(),
+    ]);
+    if args.flag("--json") {
+        print!("{}", table.to_json());
+    } else if args.flag("--csv") {
+        print!("{}", table.to_csv());
+    } else {
+        print!("{}", table.to_text());
+    }
+
+    if let Some(path) = args.value::<String>("--metrics-out") {
+        if let Err(e) = std::fs::write(&path, report.metrics.to_json()) {
+            eprintln!("FAIL: could not write metrics snapshot to {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("metrics snapshot written to {path}");
+    }
+
+    if !report.oracle_ok {
+        eprintln!("FAIL: a socket response diverged from the in-process oracle");
+        std::process::exit(1);
+    }
+    if report.plan_cache_hits == 0 {
+        eprintln!("FAIL: the repeated prepared workload never hit the plan cache");
+        std::process::exit(1);
+    }
+    if report.peak_inflight > report.config.max_inflight {
+        eprintln!(
+            "FAIL: admission bound violated ({} > {})",
+            report.peak_inflight, report.config.max_inflight
+        );
+        std::process::exit(1);
+    }
+}

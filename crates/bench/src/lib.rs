@@ -14,6 +14,7 @@
 //! | Parallel scaling (morsel-driven HJ/SPHG) | `scaling` | `scaling` |
 //! | Parallel sort subsystem (SORT/SOG/SOJ + queue pressure) | `sort_scaling` | — |
 //! | Inter-query concurrency (shared pool + admission) | `concurrency` | — |
+//! | Network serving (socket clients, prepared statements, plan cache) | `serving` | — |
 //! | Offline AV builds (per-kind speedup + queue pressure) | `av_build` | — |
 //!
 //! Binaries print the same rows/series the paper reports, plus `--csv`.
@@ -29,6 +30,7 @@ pub mod fig4;
 pub mod fig5;
 pub mod report;
 pub mod scaling;
+pub mod serving;
 pub mod sort_scaling;
 
 /// Parse `--key value` style arguments (plus boolean flags) very simply.

@@ -1,0 +1,281 @@
+//! Serving bench: M socket clients × K prepared-statement executions
+//! against a `dqo-server` front-end over real TCP.
+//!
+//! The closed-loop mode measures request latency back to back; the
+//! open-loop mode (`open_qps`) schedules intended send times at a fixed
+//! per-client arrival rate and measures latency from the *intended*
+//! start, so queueing delay is charged to the server rather than hidden
+//! by client back-pressure (coordinated omission). Optional connection
+//! churn reconnects (and re-prepares) every N queries, exercising the
+//! per-connection statement registry and the acceptor under turnover.
+//!
+//! Every result is compared **bit-identically** against an in-process
+//! serial oracle (the same [`dqo_server::WireResult`] encoding the
+//! server uses), and the run fails if the prepared path never hit the
+//! plan cache — the cache is the point of the serving architecture.
+
+use crate::concurrency::percentile;
+use dqo_core::Engine;
+use dqo_obs::{names, MetricsRegistry};
+use dqo_parallel::PersistentPool;
+use dqo_server::{Client, Server, WireResult};
+use dqo_sql::SchemaProvider;
+use dqo_storage::datagen::DatasetSpec;
+use dqo_storage::{Relation, Value};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Workload shape for one serving run.
+#[derive(Debug, Clone)]
+pub struct ServingConfig {
+    /// Rows in the (dense, unsorted) table.
+    pub rows: usize,
+    /// Distinct grouping keys.
+    pub groups: usize,
+    /// Concurrent socket clients.
+    pub clients: usize,
+    /// Prepared-statement executions per client.
+    pub queries_per_client: usize,
+    /// Workers in the shared pool behind the server.
+    pub pool_threads: usize,
+    /// Admission bound on concurrently executing queries.
+    pub max_inflight: usize,
+    /// `Some(qps)` = open-loop arrival at this per-client rate; `None` =
+    /// closed loop (fire the next request when the previous returns).
+    pub open_qps: Option<f64>,
+    /// Reconnect (and re-prepare) every N queries; `None` = one
+    /// connection per client for the whole run.
+    pub churn_every: Option<usize>,
+}
+
+impl Default for ServingConfig {
+    fn default() -> Self {
+        ServingConfig {
+            rows: 100_000,
+            groups: 64,
+            clients: 8,
+            queries_per_client: 50,
+            pool_threads: dqo_parallel::default_threads().max(2),
+            max_inflight: 4,
+            open_qps: None,
+            churn_every: None,
+        }
+    }
+}
+
+/// What one serving run measured.
+#[derive(Debug, Clone)]
+pub struct ServingReport {
+    /// The configuration that produced this report.
+    pub config: ServingConfig,
+    /// Median request latency, milliseconds (open loop: from intended
+    /// send time).
+    pub p50_ms: f64,
+    /// 95th percentile, milliseconds.
+    pub p95_ms: f64,
+    /// 99th percentile, milliseconds.
+    pub p99_ms: f64,
+    /// 99.9th percentile, milliseconds.
+    pub p999_ms: f64,
+    /// Completed requests per second over the whole run.
+    pub throughput_qps: f64,
+    /// Plan-cache hits across the run — must be positive on a repeated
+    /// prepared workload.
+    pub plan_cache_hits: u64,
+    /// Plan-cache misses (cold plans).
+    pub plan_cache_misses: u64,
+    /// High-water mark of concurrently admitted queries.
+    pub peak_inflight: usize,
+    /// Every socket result was bit-identical to the in-process oracle.
+    pub oracle_ok: bool,
+    /// The run's combined registry (engine + server + pool metrics).
+    pub metrics: dqo_obs::MetricsSnapshot,
+}
+
+/// The prepared workload: grouped counts under a parameterised filter.
+const PREPARED_SQL: &str =
+    "SELECT key, COUNT(*) AS n, SUM(key) AS s FROM t WHERE key < ? GROUP BY key ORDER BY key";
+
+struct CatalogSchemas<'a>(&'a dqo_core::Catalog);
+
+impl SchemaProvider for CatalogSchemas<'_> {
+    fn table_schema(&self, table: &str) -> Option<dqo_storage::Schema> {
+        self.0.get(table).ok().map(|e| e.relation.schema().clone())
+    }
+}
+
+fn table(cfg: &ServingConfig) -> Relation {
+    DatasetSpec::new(cfg.rows, cfg.groups)
+        .sorted(false)
+        .dense(true)
+        .seed(0xD0_5E11)
+        .relation()
+        .expect("datagen")
+}
+
+/// The parameter values the clients cycle through: a handful of bounds
+/// so the plan cache sees the same shape repeatedly.
+fn bounds(groups: usize) -> Vec<u32> {
+    let g = groups as u32;
+    vec![g / 8, g / 4, g / 2, g]
+        .into_iter()
+        .map(|b| b.max(1))
+        .collect()
+}
+
+/// Run the bench: serve an engine, fan out socket clients, verify every
+/// response against the serial in-process oracle.
+pub fn run(cfg: ServingConfig) -> ServingReport {
+    let rel = table(&cfg);
+    let bound_values = bounds(cfg.groups);
+
+    // Serial in-process oracle, one WireResult per distinct bound.
+    let serial = Engine::new().with_threads(1);
+    serial.register_table("t", rel.clone());
+    let mut oracle: HashMap<u32, WireResult> = HashMap::new();
+    for &b in &bound_values {
+        let sql = PREPARED_SQL.replace('?', &b.to_string());
+        let logical =
+            dqo_sql::compile(&sql, &CatalogSchemas(serial.catalog())).expect("oracle compile");
+        let result = serial.query(&logical).expect("oracle query");
+        oracle.insert(b, WireResult::from_relation(&result.output.relation));
+    }
+
+    let registry = Arc::new(MetricsRegistry::new());
+    let pool = Arc::new(PersistentPool::with_admission(
+        cfg.pool_threads,
+        cfg.max_inflight,
+    ));
+    let engine = Arc::new(
+        Engine::with_shared_pool(Arc::clone(&pool)).with_metrics_registry(Arc::clone(&registry)),
+    );
+    engine.register_table("t", rel);
+    let handle =
+        Server::start_with_registry(Arc::clone(&engine), "127.0.0.1:0", Arc::clone(&registry))
+            .expect("bind serving socket");
+    let addr = handle.addr();
+
+    let wall = Instant::now();
+    let mut latencies: Vec<f64> = Vec::with_capacity(cfg.clients * cfg.queries_per_client);
+    let mut oracle_ok = true;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for client_idx in 0..cfg.clients {
+            let oracle = &oracle;
+            let bound_values = bound_values.as_slice();
+            let cfg = &cfg;
+            handles.push(scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("client connect");
+                let mut stmt = client.prepare(PREPARED_SQL).expect("prepare");
+                let mut lats = Vec::with_capacity(cfg.queries_per_client);
+                let mut ok = true;
+                let open_period = cfg
+                    .open_qps
+                    .map(|qps| Duration::from_secs_f64(1.0 / qps.max(1e-9)));
+                let started = Instant::now();
+                for i in 0..cfg.queries_per_client {
+                    if let Some(every) = cfg.churn_every {
+                        if i > 0 && i % every.max(1) == 0 {
+                            client.close().expect("churn close");
+                            client = Client::connect(addr).expect("churn reconnect");
+                            stmt = client.prepare(PREPARED_SQL).expect("churn prepare");
+                        }
+                    }
+                    // Open loop: latency runs from the *intended* send
+                    // time; sleeping until it models a fixed arrival
+                    // process instead of client back-pressure.
+                    let intended = match open_period {
+                        Some(period) => {
+                            let at = period * i as u32;
+                            let now = started.elapsed();
+                            if at > now {
+                                std::thread::sleep(at - now);
+                            }
+                            at
+                        }
+                        None => started.elapsed(),
+                    };
+                    let bound = bound_values[(client_idx + i) % bound_values.len()];
+                    let got = client.execute(stmt, &[Value::U32(bound)]).expect("execute");
+                    let done = started.elapsed();
+                    lats.push((done - intended).as_secs_f64() * 1e3);
+                    ok &= oracle.get(&bound).expect("bound in oracle") == &got;
+                }
+                client.close().expect("clean close");
+                (lats, ok)
+            }));
+        }
+        for h in handles {
+            let (lats, ok) = h.join().expect("client thread");
+            latencies.extend(lats);
+            oracle_ok &= ok;
+        }
+    });
+    let wall_secs = wall.elapsed().as_secs_f64();
+    handle.shutdown();
+
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+    let total = latencies.len();
+    let mut metrics = registry.snapshot();
+    metrics.merge(&pool.metrics_snapshot());
+    ServingReport {
+        p50_ms: percentile(&latencies, 50.0),
+        p95_ms: percentile(&latencies, 95.0),
+        p99_ms: percentile(&latencies, 99.0),
+        p999_ms: percentile(&latencies, 99.9),
+        throughput_qps: total as f64 / wall_secs.max(1e-9),
+        plan_cache_hits: metrics.counter(names::PLAN_CACHE_HITS).unwrap_or(0),
+        plan_cache_misses: metrics.counter(names::PLAN_CACHE_MISSES).unwrap_or(0),
+        peak_inflight: pool.admission().peak_inflight(),
+        oracle_ok,
+        metrics,
+        config: cfg,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_loop_run_is_sound() {
+        let report = run(ServingConfig {
+            rows: 20_000,
+            groups: 32,
+            clients: 3,
+            queries_per_client: 6,
+            pool_threads: 2,
+            max_inflight: 2,
+            open_qps: None,
+            churn_every: None,
+        });
+        assert!(report.oracle_ok, "socket results diverged from the oracle");
+        assert!(report.plan_cache_hits > 0, "prepared workload must hit");
+        assert!(report.plan_cache_misses >= 1);
+        assert!(report.peak_inflight <= 2, "admission bound violated");
+        assert!(report.p999_ms >= report.p99_ms && report.p99_ms >= report.p50_ms);
+        assert!(report.throughput_qps > 0.0);
+        // 3 connections, 18 EXECUTEs, all through the server.
+        assert_eq!(report.metrics.counter(names::SERVER_CONNECTIONS), Some(3));
+        assert_eq!(report.metrics.counter(names::SERVER_QUERIES), Some(18));
+    }
+
+    #[test]
+    fn churn_and_open_loop_stay_correct() {
+        let report = run(ServingConfig {
+            rows: 10_000,
+            groups: 16,
+            clients: 2,
+            queries_per_client: 6,
+            pool_threads: 2,
+            max_inflight: 2,
+            open_qps: Some(500.0),
+            churn_every: Some(2),
+        });
+        assert!(report.oracle_ok);
+        // 2 clients × (1 initial + 2 churn reconnects) = 6 connections.
+        assert_eq!(report.metrics.counter(names::SERVER_CONNECTIONS), Some(6));
+        assert!(report.throughput_qps > 0.0);
+    }
+}

@@ -75,6 +75,15 @@ impl Catalog {
         self.tables.read().get(name).map(|e| e.generation)
     }
 
+    /// The catalog-wide DDL clock: advances on every `register` *and*
+    /// `drop_table` (including hidden `__av::` relations, so AV
+    /// materialisation and invalidation move it too). The plan cache
+    /// keys on this — two reads returning the same value guarantee no
+    /// registration changed in between.
+    pub fn current_generation(&self) -> u64 {
+        self.generations.load(Ordering::Relaxed)
+    }
+
     /// Look up a table.
     pub fn get(&self, name: &str) -> Result<Arc<TableEntry>> {
         self.tables
@@ -84,9 +93,15 @@ impl Catalog {
             .ok_or_else(|| CoreError::UnknownTable(name.to_owned()))
     }
 
-    /// Drop a table; returns whether it existed.
+    /// Drop a table; returns whether it existed. An actual removal bumps
+    /// the DDL clock (see [`Catalog::current_generation`]) so cached
+    /// plans referencing the table stop being served.
     pub fn drop_table(&self, name: &str) -> bool {
-        self.tables.write().remove(name).is_some()
+        let existed = self.tables.write().remove(name).is_some();
+        if existed {
+            self.generations.fetch_add(1, Ordering::Relaxed);
+        }
+        existed
     }
 
     /// Names of all registered tables (unordered).
@@ -158,6 +173,22 @@ mod tests {
         assert_eq!(cat.get("t").unwrap().relation.rows(), 1);
         assert!(cat.drop_table("t"));
         assert!(!cat.drop_table("t"));
+    }
+
+    #[test]
+    fn ddl_clock_moves_on_register_and_real_drops_only() {
+        let cat = Catalog::new();
+        let g0 = cat.current_generation();
+        cat.register("t", Relation::single_u32("key", vec![1]));
+        let g1 = cat.current_generation();
+        assert!(g1 > g0);
+        cat.register("t", Relation::single_u32("key", vec![2]));
+        let g2 = cat.current_generation();
+        assert!(g2 > g1, "replacement bumps the clock");
+        assert!(!cat.drop_table("missing"));
+        assert_eq!(cat.current_generation(), g2, "no-op drop does not bump");
+        assert!(cat.drop_table("t"));
+        assert!(cat.current_generation() > g2, "real drop bumps");
     }
 
     #[test]

@@ -12,6 +12,7 @@ use crate::catalog::Catalog;
 use crate::cost::TupleCostModel;
 use crate::executor::{execute_on_pool, execute_traced, execute_with_avs, ExecOutput};
 use crate::optimizer::{optimize_full_dop, OptimizerMode, PlannedQuery, PropertyModel};
+use crate::plan_cache::{plan_shape, PlanCache};
 use crate::profile::{render_annotated, PlanRuntime};
 use crate::Result;
 use dqo_obs::{
@@ -79,6 +80,25 @@ pub struct Engine {
     tracing: bool,
     /// Engine-level metric handles and the registry they live in.
     obs: EngineObs,
+    /// Cached plans for the prepared-statement path, keyed on (shape,
+    /// mode, property model, DOP) × catalog generation. Plain `query`
+    /// never consults it.
+    plan_cache: PlanCache,
+}
+
+/// A prepared statement handle from [`Engine::prepare`]: the normalised
+/// plan shape the plan cache keys on. Cheap to clone and independent of
+/// any parameter values.
+#[derive(Debug, Clone)]
+pub struct PreparedPlan {
+    shape: String,
+}
+
+impl PreparedPlan {
+    /// The normalised shape (constants masked out).
+    pub fn shape(&self) -> &str {
+        &self.shape
+    }
 }
 
 /// Engine-level observability: query counter and phase histograms,
@@ -116,6 +136,7 @@ impl Default for Engine {
     /// else the machine's available parallelism). No pool workers are
     /// spawned until a plan actually carries an Exchange node.
     fn default() -> Self {
+        let registry = MetricsRegistry::global();
         Engine {
             catalog: Arc::new(Catalog::default()),
             avs: Arc::new(AvCatalog::default()),
@@ -124,7 +145,8 @@ impl Default for Engine {
             threads: dqo_parallel::default_threads(),
             pool: None,
             tracing: tracing_default(),
-            obs: EngineObs::new(MetricsRegistry::global()),
+            plan_cache: PlanCache::new(crate::plan_cache::DEFAULT_CAPACITY, &registry),
+            obs: EngineObs::new(registry),
         }
     }
 }
@@ -193,6 +215,7 @@ impl Engine {
     /// process-global one — for tests and benches that assert on exact
     /// counts.
     pub fn with_metrics_registry(mut self, registry: Arc<MetricsRegistry>) -> Self {
+        self.plan_cache.rebind_metrics(&registry);
         self.obs = EngineObs::new(registry);
         self
     }
@@ -331,6 +354,21 @@ impl Engine {
         let optimise = trace.end(Phase::Optimise, began);
         self.obs.optimise.observe_duration(optimise);
 
+        let result = self.execute_planned(planned, trace, queue_wait);
+        drop(permit);
+        result
+    }
+
+    /// The shared back half of `query_traced` and
+    /// `execute_prepared_traced`: run an already-optimised plan, record
+    /// the execute phase and assemble the [`QueryResult`]. The caller
+    /// holds the admission permit across this call.
+    fn execute_planned(
+        &self,
+        planned: PlannedQuery,
+        mut trace: TraceBuilder,
+        queue_wait: Duration,
+    ) -> Result<QueryResult> {
         let began = trace.begin();
         let (output, ops) = if trace.is_enabled() {
             let (output, nodes) = execute_traced(
@@ -350,7 +388,6 @@ impl Engine {
         let exec_wall = trace.end(Phase::Execute, began);
         self.obs.exec.observe_duration(exec_wall);
         self.obs.queries.inc();
-        drop(permit);
         Ok(QueryResult {
             planned,
             output,
@@ -360,6 +397,82 @@ impl Engine {
             profile: trace.finish(),
             ops,
         })
+    }
+
+    /// Prepare a logical plan for repeated execution: computes the
+    /// normalised shape the plan cache keys on. The statement's physical
+    /// plan is optimised lazily — on the first `execute_prepared` at each
+    /// (catalog generation, granted DOP) — so preparation itself is
+    /// cheap and never blocks on admission.
+    pub fn prepare(&self, template: &LogicalPlan) -> PreparedPlan {
+        PreparedPlan {
+            shape: plan_shape(template),
+        }
+    }
+
+    /// Execute a prepared statement. `logical` is the template with the
+    /// current parameter values spliced in (same shape, different
+    /// constants). On a cache hit the cached physical plan is rebound to
+    /// the fresh constants and optimisation is skipped entirely; on a
+    /// miss the query plans cold and the result is cached. Results are
+    /// bit-identical either way: the runtime is deterministic across
+    /// plan choices, DOPs and steal orders.
+    pub fn execute_prepared(
+        &self,
+        prepared: &PreparedPlan,
+        logical: &LogicalPlan,
+    ) -> Result<QueryResult> {
+        let trace = if self.tracing {
+            TraceBuilder::start()
+        } else {
+            TraceBuilder::disabled()
+        };
+        self.execute_prepared_traced(prepared, logical, trace)
+    }
+
+    /// [`Engine::execute_prepared`] continuing an existing trace (the SQL
+    /// facade times parse-free statement dispatch into it).
+    pub fn execute_prepared_traced(
+        &self,
+        prepared: &PreparedPlan,
+        logical: &LogicalPlan,
+        mut trace: TraceBuilder,
+    ) -> Result<QueryResult> {
+        let began = trace.begin();
+        let permit = self
+            .pool
+            .as_ref()
+            .map(|pool| pool.admission().admit(self.threads));
+        let queue_wait = trace.end(Phase::AdmissionWait, began);
+        let dop = permit.as_ref().map_or(self.threads, |p| p.dop());
+
+        let began = trace.begin();
+        // The cache key folds in everything that changes the optimiser's
+        // answer besides the catalog: plan shape, session knobs, DOP.
+        let key = format!(
+            "{}#mode={:?}#pmodel={:?}#dop={dop}",
+            prepared.shape, self.mode, self.pmodel
+        );
+        let generation = self.catalog.current_generation();
+        let planned = match self.plan_cache.lookup(&key, generation, logical) {
+            Some(planned) => planned,
+            None => {
+                let planned = self.plan_with_dop(logical, dop)?;
+                self.plan_cache.insert(key, generation, &planned);
+                planned
+            }
+        };
+        let optimise = trace.end(Phase::Optimise, began);
+        self.obs.optimise.observe_duration(optimise);
+
+        let result = self.execute_planned(planned, trace, queue_wait);
+        drop(permit);
+        result
+    }
+
+    /// The session's plan cache (prepared-statement path only).
+    pub fn plan_cache(&self) -> &PlanCache {
+        &self.plan_cache
     }
 
     /// EXPLAIN: the chosen plan, annotated, without executing.

@@ -24,6 +24,9 @@
 //!   and optionally in the background, with per-build stats;
 //! * [`partial_av`] — partial AVs (§6): granules frozen offline with
 //!   named decisions left open for query time;
+//! * [`plan_cache`] — the prepared-statement plan cache: optimise a
+//!   query *shape* once, rebind parameter constants per execution,
+//!   invalidated by the catalog's registration-generation clock;
 //! * [`adaptive`] — runtime-adaptive AVs (§6): a cracking-style index
 //!   whose optimisation decisions are delegated to query time.
 //!
@@ -46,16 +49,18 @@ pub mod executor;
 pub mod molecule;
 pub mod optimizer;
 pub mod partial_av;
+pub mod plan_cache;
 pub mod profile;
 pub mod reopt;
 
 pub use av_build::{AvBuildHandle, AvBuildStats, AvBuilder};
 pub use catalog::Catalog;
 pub use cost::{CostModel, TupleCostModel};
-pub use engine::Engine;
+pub use engine::{Engine, PreparedPlan};
 pub use error::CoreError;
 pub use executor::{execute, ExecOutput};
 pub use optimizer::{optimize, OptimizerMode, PlannedQuery};
+pub use plan_cache::{plan_shape, PlanCache};
 pub use profile::PlanRuntime;
 
 /// Crate-wide result type.

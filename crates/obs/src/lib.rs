@@ -19,7 +19,7 @@
 //! recording is a handful of relaxed atomic operations, never a lock on
 //! a hot path, and nothing observes or perturbs query results.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(clippy::all)]
 
 pub mod metrics;
@@ -68,4 +68,53 @@ pub mod names {
     pub const AV_BUILD_BYTES: &str = "dqo_av_build_bytes_total";
     /// AV build wall time, admission excluded (histogram, s).
     pub const AV_BUILD_SECONDS: &str = "dqo_av_build_seconds";
+    /// Prepared executions served from the plan cache (counter).
+    pub const PLAN_CACHE_HITS: &str = "dqo_plan_cache_hits_total";
+    /// Prepared executions that had to plan cold (counter).
+    pub const PLAN_CACHE_MISSES: &str = "dqo_plan_cache_misses_total";
+    /// Cached plans dropped — LRU capacity or stale generation (counter).
+    pub const PLAN_CACHE_EVICTIONS: &str = "dqo_plan_cache_evictions_total";
+    /// Plans currently resident in the cache (gauge).
+    pub const PLAN_CACHE_ENTRIES: &str = "dqo_plan_cache_entries";
+    /// Connections accepted by the serving front-end (counter).
+    pub const SERVER_CONNECTIONS: &str = "dqo_server_connections_total";
+    /// Connections currently open, high-water across merges (gauge).
+    pub const SERVER_ACTIVE_CONNECTIONS: &str = "dqo_server_active_connections";
+    /// Malformed or out-of-protocol client frames (counter).
+    pub const SERVER_PROTOCOL_ERRORS: &str = "dqo_server_protocol_errors_total";
+    /// QUERY/EXECUTE frames answered with a result set (counter).
+    pub const SERVER_QUERIES: &str = "dqo_server_queries_total";
+
+    /// Every canonical metric name, in the order documented in
+    /// `docs/METRICS.md`. Doc-sync tests iterate this so a new metric
+    /// cannot ship without a docs entry (and vice versa).
+    pub const ALL: &[&str] = &[
+        POOL_JOBS,
+        POOL_STEALS,
+        POOL_PARKS,
+        POOL_QUEUE_DEPTH,
+        POOL_WORKERS,
+        POOL_BATCHES,
+        POOL_BATCH_TASKS,
+        POOL_BATCH_STEALS,
+        ADMISSION_ADMITTED,
+        ADMISSION_WAIT_SECONDS,
+        ADMISSION_INFLIGHT,
+        ADMISSION_QUEUED,
+        ADMISSION_PEAK_INFLIGHT,
+        ENGINE_QUERIES,
+        OPTIMISE_SECONDS,
+        EXEC_SECONDS,
+        AV_BUILDS,
+        AV_BUILD_BYTES,
+        AV_BUILD_SECONDS,
+        PLAN_CACHE_HITS,
+        PLAN_CACHE_MISSES,
+        PLAN_CACHE_EVICTIONS,
+        PLAN_CACHE_ENTRIES,
+        SERVER_CONNECTIONS,
+        SERVER_ACTIVE_CONNECTIONS,
+        SERVER_PROTOCOL_ERRORS,
+        SERVER_QUERIES,
+    ];
 }

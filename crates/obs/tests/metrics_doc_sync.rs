@@ -1,0 +1,58 @@
+//! Keeps `docs/METRICS.md` honest: the document must list exactly the
+//! canonical metric names in `dqo_obs::names::ALL` — a new metric
+//! cannot ship without a docs entry, and a rename cannot leave a stale
+//! one behind.
+
+use dqo_obs::names;
+use std::collections::BTreeSet;
+
+fn doc() -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../docs/METRICS.md");
+    std::fs::read_to_string(path).expect("docs/METRICS.md must exist")
+}
+
+/// Every backticked `dqo_*` token in the document.
+fn documented_names(doc: &str) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for chunk in doc.split('`').skip(1).step_by(2) {
+        if chunk.starts_with("dqo_")
+            && chunk
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+        {
+            names.insert(chunk.to_owned());
+        }
+    }
+    names
+}
+
+#[test]
+fn doc_lists_exactly_the_canonical_metric_names() {
+    let documented = documented_names(&doc());
+    let canonical: BTreeSet<String> = names::ALL.iter().map(|n| n.to_string()).collect();
+
+    let missing: Vec<&String> = canonical.difference(&documented).collect();
+    let stale: Vec<&String> = documented.difference(&canonical).collect();
+    assert!(
+        missing.is_empty() && stale.is_empty(),
+        "docs/METRICS.md disagrees with dqo_obs::names::ALL\n  \
+         missing from doc: {missing:?}\n  stale in doc: {stale:?}"
+    );
+}
+
+#[test]
+fn doc_lists_metrics_in_registry_order() {
+    let doc = doc();
+    let mut last = 0usize;
+    for name in names::ALL {
+        let pos = doc
+            .find(&format!("`{name}`"))
+            .unwrap_or_else(|| panic!("`{name}` not in docs/METRICS.md"));
+        assert!(
+            pos > last,
+            "`{name}` appears out of order in docs/METRICS.md (doc order \
+             must follow names::ALL)"
+        );
+        last = pos;
+    }
+}

@@ -10,7 +10,7 @@
 //! * **jobs** — the unit the pool schedules is a *runner*: one worker
 //!   slot of one batch. A batch at DOP `d` enqueues `d` runners (or
 //!   `d - 1` when the submitting thread participates), and each runner
-//!   drains the batch's own [`WorkQueues`] — so work stealing happens at
+//!   drains the batch's own `WorkQueues` — so work stealing happens at
 //!   two levels: runners across pool workers, morsels across runners.
 //! * **a global injector plus per-worker deques** — runners are
 //!   round-robined across the per-worker deques (overflow beyond the

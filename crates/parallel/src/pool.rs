@@ -7,7 +7,7 @@
 //! fixed batch of tasks (morsel or partition indices) at that DOP.
 //! Batch-internal scheduling is still the classic work-stealing triple:
 //!
-//! * **per-runner deques** ([`WorkQueues`]) — each runner slot pops from
+//! * **per-runner deques** (`WorkQueues`) — each runner slot pops from
 //!   the front of its own deque (LIFO-ish locality on its contiguous
 //!   task block);
 //! * **a batch injector** — overflow queue every runner falls back to;

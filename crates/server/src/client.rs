@@ -1,0 +1,194 @@
+//! A minimal blocking client for the wire protocol — enough for tests,
+//! benches and command-line poking; not a connection pool.
+
+use crate::protocol::{
+    encode_client_frame, read_frame, write_frame, ClientFrame, ErrorCode, ProtocolError,
+    ServerFrame, WireResult, CLOSE_SESSION, PROTOCOL_VERSION,
+};
+use dqo_storage::Value;
+use std::fmt;
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The socket failed.
+    Io(io::Error),
+    /// The server sent bytes the codec rejects.
+    Protocol(ProtocolError),
+    /// The server answered with an ERROR frame.
+    Server {
+        /// The wire error code.
+        code: ErrorCode,
+        /// The server's message.
+        message: String,
+    },
+    /// The server answered with a well-formed frame of the wrong kind.
+    Unexpected {
+        /// What arrived instead.
+        got: &'static str,
+    },
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io error: {e}"),
+            ClientError::Protocol(e) => write!(f, "protocol error: {e}"),
+            ClientError::Server { code, message } => {
+                write!(f, "server error {:?} ({}): {message}", code, code.code())
+            }
+            ClientError::Unexpected { got } => write!(f, "unexpected server frame: {got}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<ProtocolError> for ClientError {
+    fn from(e: ProtocolError) -> Self {
+        ClientError::Protocol(e)
+    }
+}
+
+/// A prepared statement on the server, scoped to the [`Client`] that
+/// prepared it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatementHandle {
+    /// Server-assigned id.
+    pub stmt_id: u32,
+    /// Number of `?` placeholders the statement takes.
+    pub params: u16,
+}
+
+/// A blocking connection to a `dqo-server`.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    negotiated: u16,
+}
+
+impl Client {
+    /// Connect and perform the HELLO/WELCOME handshake.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        Client::connect_as(addr, concat!("dqo-client/", env!("CARGO_PKG_VERSION")))
+    }
+
+    /// [`Client::connect`] with an explicit client identification string.
+    pub fn connect_as(addr: impl ToSocketAddrs, name: &str) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        let mut client = Client {
+            stream,
+            negotiated: 0,
+        };
+        let reply = client.round_trip(&ClientFrame::Hello {
+            version: PROTOCOL_VERSION,
+            client: name.to_owned(),
+        })?;
+        match reply {
+            ServerFrame::Welcome { version, .. } => {
+                client.negotiated = version;
+                Ok(client)
+            }
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// The protocol version agreed during the handshake.
+    pub fn negotiated_version(&self) -> u16 {
+        self.negotiated
+    }
+
+    /// Run a one-shot SQL query.
+    pub fn query(&mut self, sql: &str) -> Result<WireResult, ClientError> {
+        match self.round_trip(&ClientFrame::Query {
+            sql: sql.to_owned(),
+        })? {
+            ServerFrame::ResultSet(result) => Ok(result),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Prepare a statement (with `?` placeholders) for repeated
+    /// execution.
+    pub fn prepare(&mut self, sql: &str) -> Result<StatementHandle, ClientError> {
+        match self.round_trip(&ClientFrame::Prepare {
+            sql: sql.to_owned(),
+        })? {
+            ServerFrame::StmtReady { stmt_id, params } => Ok(StatementHandle { stmt_id, params }),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Execute a prepared statement with positional parameter values
+    /// (`?0` first; only `u32` and string values travel on the wire).
+    pub fn execute(
+        &mut self,
+        stmt: StatementHandle,
+        params: &[Value],
+    ) -> Result<WireResult, ClientError> {
+        match self.round_trip(&ClientFrame::Execute {
+            stmt_id: stmt.stmt_id,
+            params: params.to_vec(),
+        })? {
+            ServerFrame::ResultSet(result) => Ok(result),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Close a prepared statement (idempotent server-side).
+    pub fn close_statement(&mut self, stmt: StatementHandle) -> Result<(), ClientError> {
+        match self.round_trip(&ClientFrame::Close {
+            stmt_id: stmt.stmt_id,
+        })? {
+            ServerFrame::Ok => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Close the session cleanly (the server acknowledges, then hangs
+    /// up). Dropping the client without calling this is also fine — the
+    /// server treats EOF as a clean exit.
+    pub fn close(mut self) -> Result<(), ClientError> {
+        match self.round_trip(&ClientFrame::Close {
+            stmt_id: CLOSE_SESSION,
+        })? {
+            ServerFrame::Ok => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    fn round_trip(&mut self, frame: &ClientFrame) -> Result<ServerFrame, ClientError> {
+        let bytes = encode_client_frame(frame)?;
+        write_frame(&mut self.stream, &bytes)?;
+        let body = read_frame(&mut self.stream)?.ok_or_else(|| {
+            ClientError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server hung up",
+            ))
+        })?;
+        match crate::protocol::decode_server_frame(&body)? {
+            ServerFrame::Error { code, message } => Err(ClientError::Server { code, message }),
+            frame => Ok(frame),
+        }
+    }
+}
+
+fn unexpected(frame: ServerFrame) -> ClientError {
+    ClientError::Unexpected {
+        got: match frame {
+            ServerFrame::Welcome { .. } => "WELCOME",
+            ServerFrame::ResultSet(_) => "RESULT_SET",
+            ServerFrame::Error { .. } => "ERROR",
+            ServerFrame::StmtReady { .. } => "STMT_READY",
+            ServerFrame::Ok => "OK",
+        },
+    }
+}

@@ -1,0 +1,46 @@
+//! # dqo-server — the network serving front-end
+//!
+//! Exposes one shared [`dqo_core::Engine`] session over TCP with a
+//! minimal length-prefixed binary protocol (specified in
+//! `docs/PROTOCOL.md`):
+//!
+//! * [`protocol`] — the wire codec: pure functions over byte buffers,
+//!   hardened against truncation, corruption and hostile lengths;
+//! * [`server`] — a std-thread-per-connection acceptor whose queries
+//!   pass the shared pool's admission controller (the pool stays the
+//!   unit of concurrency; no async runtime);
+//! * [`client`] — a minimal blocking client for tests and benches.
+//!
+//! Prepared statements (`PREPARE`/`EXECUTE` with `?` placeholders) go
+//! through [`dqo_core::Engine::execute_prepared`] and therefore the
+//! engine's plan cache: the statement's shape is optimised once per
+//! (catalog generation, granted DOP) and re-executed with fresh
+//! parameter constants rebound into the cached physical plan.
+//!
+//! ```no_run
+//! use dqo_core::Engine;
+//! use dqo_server::{Client, Server};
+//! use std::sync::Arc;
+//!
+//! let engine = Arc::new(Engine::new());
+//! // ... register tables ...
+//! let handle = Server::start(engine, "127.0.0.1:0").unwrap();
+//! let mut client = Client::connect(handle.addr()).unwrap();
+//! let result = client.query("SELECT key, COUNT(*) AS n FROM t GROUP BY key").unwrap();
+//! assert!(result.rows > 0);
+//! handle.shutdown();
+//! ```
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use client::{Client, ClientError, StatementHandle};
+pub use protocol::{
+    ClientFrame, ErrorCode, ProtocolError, ServerFrame, WireColumn, WireData, WireResult,
+    MAX_FRAME, PROTOCOL_VERSION,
+};
+pub use server::{Server, ServerHandle};

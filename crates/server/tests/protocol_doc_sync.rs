@@ -1,0 +1,75 @@
+//! Keeps `docs/PROTOCOL.md` honest: the wire-constants table in the
+//! document must list exactly the constants `wire_constants()` exports,
+//! with the same values.
+
+use dqo_server::protocol::wire_constants;
+
+fn doc() -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../docs/PROTOCOL.md");
+    std::fs::read_to_string(path).expect("docs/PROTOCOL.md must exist")
+}
+
+/// Parse `| `NAME` | value |` table rows. Values are decimal or `0x`
+/// hex, matching how the document writes them.
+fn parse_constants_table(doc: &str) -> Vec<(String, u64)> {
+    let mut rows = Vec::new();
+    for line in doc.lines() {
+        let line = line.trim();
+        if !line.starts_with("| `") {
+            continue;
+        }
+        let mut cells = line.trim_matches('|').split('|').map(str::trim);
+        let (Some(name_cell), Some(value_cell)) = (cells.next(), cells.next()) else {
+            continue;
+        };
+        let Some(name) = name_cell
+            .strip_prefix('`')
+            .and_then(|n| n.strip_suffix('`'))
+        else {
+            continue;
+        };
+        // Only constant rows: SCREAMING_SNAKE names with numeric values.
+        if !name
+            .chars()
+            .all(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || c == '_')
+        {
+            continue;
+        }
+        let parsed = match value_cell.strip_prefix("0x") {
+            Some(hex) => u64::from_str_radix(hex, 16),
+            None => value_cell.parse::<u64>(),
+        };
+        if let Ok(value) = parsed {
+            rows.push((name.to_owned(), value));
+        }
+    }
+    rows
+}
+
+#[test]
+fn constants_table_matches_wire_constants_exactly() {
+    let documented = parse_constants_table(&doc());
+    let actual = wire_constants();
+    assert!(
+        !documented.is_empty(),
+        "no constants table found in docs/PROTOCOL.md"
+    );
+    let documented_pairs: Vec<(&str, u64)> =
+        documented.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+    assert_eq!(
+        documented_pairs, actual,
+        "docs/PROTOCOL.md constants table disagrees with \
+         dqo_server::protocol::wire_constants() — update them together"
+    );
+}
+
+#[test]
+fn doc_mentions_every_frame_opcode_by_name() {
+    let doc = doc();
+    for (name, _) in wire_constants() {
+        assert!(
+            doc.contains(name),
+            "docs/PROTOCOL.md never mentions `{name}`"
+        );
+    }
+}

@@ -96,6 +96,9 @@ pub enum Literal {
     Number(u64),
     /// String.
     Str(String),
+    /// A positional `?` placeholder (0-based, in lexical order). Only
+    /// valid in prepared statements; plain `bind` rejects it.
+    Param(usize),
 }
 
 /// `column <op> literal` conjunct.

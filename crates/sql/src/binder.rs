@@ -8,6 +8,7 @@
 
 use crate::ast::*;
 use crate::error::SqlError;
+use crate::prepare::ParamSlot;
 use crate::Result;
 use dqo_plan::expr::{AggExpr, AggFunc, Predicate};
 use dqo_plan::{CmpOp, LogicalPlan};
@@ -33,10 +34,30 @@ impl SchemaProvider for StaticSchemas {
     }
 }
 
-/// Bind a parsed statement into a logical plan.
+/// Bind a parsed statement into a logical plan. Statements containing
+/// `?` placeholders are rejected — prepare them instead.
 pub fn bind(stmt: &SelectStatement, provider: &dyn SchemaProvider) -> Result<Arc<LogicalPlan>> {
     let binder = Binder { provider };
-    binder.bind(stmt)
+    binder.bind(stmt, &mut None)
+}
+
+/// Bind a statement that may contain `?` placeholders, substituting a
+/// typed neutral value per slot and recording where each parameter lands
+/// (WHERE conjunct index, column, column type). The returned plan is the
+/// prepared *template*; `PreparedQuery::bind_params` splices real values
+/// into it per execution.
+pub(crate) fn bind_with_params(
+    stmt: &SelectStatement,
+    provider: &dyn SchemaProvider,
+) -> Result<(Arc<LogicalPlan>, Vec<ParamSlot>)> {
+    let binder = Binder { provider };
+    let mut slots = Some(Vec::new());
+    let plan = binder.bind(stmt, &mut slots)?;
+    let slots = slots.expect("slots survive binding");
+    // Placeholders are numbered in lexical order and only occur as WHERE
+    // conjunct right-hand sides, so recording order matches index order.
+    debug_assert!(slots.iter().enumerate().all(|(i, s)| s.index == i));
+    Ok((plan, slots))
 }
 
 struct Binder<'a> {
@@ -94,7 +115,11 @@ impl Scope {
 }
 
 impl Binder<'_> {
-    fn bind(&self, stmt: &SelectStatement) -> Result<Arc<LogicalPlan>> {
+    fn bind(
+        &self,
+        stmt: &SelectStatement,
+        slots: &mut Option<Vec<ParamSlot>>,
+    ) -> Result<Arc<LogicalPlan>> {
         // FROM + JOINs: build scope and left-deep join tree.
         let mut scope = Scope {
             tables: vec![(stmt.from.clone(), self.schema_of(&stmt.from)?)],
@@ -135,8 +160,8 @@ impl Binder<'_> {
         // so the executor never sees a cross-type comparison.
         if !stmt.predicates.is_empty() {
             let mut conjuncts = Vec::with_capacity(stmt.predicates.len());
-            for cmp in &stmt.predicates {
-                conjuncts.push(self.bind_predicate(&scope, cmp)?);
+            for (conjunct, cmp) in stmt.predicates.iter().enumerate() {
+                conjuncts.push(self.bind_predicate(&scope, cmp, conjunct, slots)?);
             }
             let predicate = if conjuncts.len() == 1 {
                 conjuncts.pop().expect("one conjunct")
@@ -248,8 +273,16 @@ impl Binder<'_> {
     /// Bind one WHERE conjunct, type-checking the literal against the
     /// column: string columns take string literals (and LIKE); numeric
     /// columns take numbers. Mismatches are binder errors, with the
-    /// column's real type in the message.
-    fn bind_predicate(&self, scope: &Scope, cmp: &Comparison) -> Result<Predicate> {
+    /// column's real type in the message. `?` placeholders bind to a
+    /// typed neutral value and record a [`ParamSlot`] when `slots` is
+    /// collecting (prepared mode); otherwise they are errors.
+    fn bind_predicate(
+        &self,
+        scope: &Scope,
+        cmp: &Comparison,
+        conjunct: usize,
+        slots: &mut Option<Vec<ParamSlot>>,
+    ) -> Result<Predicate> {
         let (column, dtype) = scope.resolve_typed(&cmp.column)?;
         if cmp.op == AstCmpOp::Like {
             if dtype != DataType::Str {
@@ -293,6 +326,24 @@ impl Binder<'_> {
                     )));
                 }
                 dqo_storage::Value::Str(s.clone())
+            }
+            Literal::Param(index) => {
+                let Some(slots) = slots.as_mut() else {
+                    return Err(SqlError::UnboundParam { index: *index });
+                };
+                slots.push(ParamSlot {
+                    index: *index,
+                    conjunct,
+                    column: column.clone(),
+                    dtype,
+                });
+                // A typed neutral value keeps the template well-formed;
+                // bind_params replaces it before any execution.
+                if dtype == DataType::Str {
+                    dqo_storage::Value::Str(String::new())
+                } else {
+                    dqo_storage::Value::U32(0)
+                }
             }
         };
         Ok(Predicate::Compare {

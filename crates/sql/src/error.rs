@@ -43,6 +43,30 @@ pub enum SqlError {
     /// Binder: semantic restriction violated (e.g. non-grouped column in
     /// an aggregate query).
     Semantic(String),
+    /// A `?` placeholder reached plain `bind` — prepared statements must
+    /// go through `PreparedQuery`.
+    UnboundParam {
+        /// 0-based placeholder position.
+        index: usize,
+    },
+    /// A prepared execution supplied the wrong number of parameters.
+    ParamCount {
+        /// Placeholders in the statement.
+        expected: usize,
+        /// Values supplied.
+        got: usize,
+    },
+    /// A prepared execution supplied a value of the wrong type.
+    ParamType {
+        /// 0-based placeholder position.
+        index: usize,
+        /// The column the placeholder compares against.
+        column: String,
+        /// The column's type.
+        expected: String,
+        /// The supplied value's type.
+        got: String,
+    },
 }
 
 impl fmt::Display for SqlError {
@@ -64,6 +88,24 @@ impl fmt::Display for SqlError {
             SqlError::UnknownTable(t) => write!(f, "unknown table: {t}"),
             SqlError::UnknownColumn(c) => write!(f, "unknown column: {c}"),
             SqlError::Semantic(msg) => write!(f, "semantic error: {msg}"),
+            SqlError::UnboundParam { index } => write!(
+                f,
+                "placeholder ?{} in a non-prepared statement (use prepare/execute)",
+                index + 1
+            ),
+            SqlError::ParamCount { expected, got } => {
+                write!(f, "statement takes {expected} parameter(s), got {got}")
+            }
+            SqlError::ParamType {
+                index,
+                column,
+                expected,
+                got,
+            } => write!(
+                f,
+                "parameter ?{} for {expected} column '{column}' has type {got}",
+                index + 1
+            ),
         }
     }
 }

@@ -45,6 +45,8 @@ pub enum TokenKind {
     Ge,
     /// `;`
     Semicolon,
+    /// `?` — a positional parameter placeholder (prepared statements).
+    Question,
     /// End of input.
     Eof,
 }
@@ -118,6 +120,13 @@ pub fn lex(sql: &str) -> Result<Vec<Token>> {
             ';' => {
                 tokens.push(Token {
                     kind: TokenKind::Semicolon,
+                    pos,
+                });
+                i += 1;
+            }
+            '?' => {
+                tokens.push(Token {
+                    kind: TokenKind::Question,
                     pos,
                 });
                 i += 1;
@@ -268,6 +277,13 @@ mod tests {
                 TokenKind::Eof,
             ]
         );
+    }
+
+    #[test]
+    fn question_marks_lex_as_placeholders() {
+        let k = kinds("a < ? AND b = ?");
+        assert_eq!(k[2], TokenKind::Question);
+        assert_eq!(k[6], TokenKind::Question);
     }
 
     #[test]

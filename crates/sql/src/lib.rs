@@ -26,10 +26,12 @@ pub mod binder;
 pub mod error;
 pub mod lexer;
 pub mod parser;
+pub mod prepare;
 
 pub use binder::{bind, SchemaProvider};
 pub use error::SqlError;
 pub use parser::parse;
+pub use prepare::{ParamSlot, PreparedQuery};
 
 /// Crate-wide result type.
 pub type Result<T> = std::result::Result<T, SqlError>;

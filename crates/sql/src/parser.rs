@@ -7,11 +7,15 @@
 //! agg      := COUNT '(' '*' ')' | (SUM|MIN|MAX|AVG) '(' colref ')'  [AS ident]
 //! join     := [INNER] JOIN ident ON colref '=' colref
 //! where    := WHERE cmp (AND cmp)*
-//! cmp      := colref op literal | colref LIKE string
+//! cmp      := colref op (literal | '?') | colref LIKE string
 //! group    := GROUP BY colref (',' colref)*
 //! order    := ORDER BY colref [ASC]
 //! colref   := ident ['.' ident]
 //! ```
+//!
+//! `?` placeholders are numbered 0-based in lexical order and are only
+//! accepted as the right-hand side of a WHERE comparison — not as LIKE
+//! patterns (the prefix is baked into the plan shape) and not in LIMIT.
 
 use crate::ast::*;
 use crate::error::SqlError;
@@ -21,7 +25,11 @@ use crate::Result;
 /// Parse one SELECT statement.
 pub fn parse(sql: &str) -> Result<SelectStatement> {
     let tokens = lex(sql)?;
-    let mut p = Parser { tokens, pos: 0 };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        params: 0,
+    };
     let stmt = p.select()?;
     p.eat_if(&TokenKind::Semicolon);
     let t = p.peek();
@@ -34,6 +42,8 @@ pub fn parse(sql: &str) -> Result<SelectStatement> {
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    /// `?` placeholders seen so far (assigns positional indices).
+    params: usize,
 }
 
 impl Parser {
@@ -298,6 +308,12 @@ impl Parser {
                 self.advance();
                 Literal::Str(s)
             }
+            TokenKind::Question => {
+                let index = self.params;
+                self.params += 1;
+                self.advance();
+                Literal::Param(index)
+            }
             _ => return Err(self.err("literal")),
         };
         Ok(Comparison {
@@ -405,6 +421,24 @@ mod tests {
         assert_eq!(stmt.predicates[0].op, AstCmpOp::Like);
         assert_eq!(stmt.predicates[0].literal, Literal::Str("ab%".into()));
         assert!(parse("SELECT a FROM t WHERE s LIKE 5").is_err());
+    }
+
+    #[test]
+    fn placeholders_numbered_in_lexical_order() {
+        let stmt = parse("SELECT a FROM t WHERE a < ? AND b = 3 AND c >= ?").unwrap();
+        assert_eq!(stmt.predicates[0].literal, Literal::Param(0));
+        assert_eq!(stmt.predicates[1].literal, Literal::Number(3));
+        assert_eq!(stmt.predicates[2].literal, Literal::Param(1));
+    }
+
+    #[test]
+    fn placeholders_rejected_outside_comparisons() {
+        // LIKE patterns shape the plan (the prefix is a plan constant).
+        assert!(parse("SELECT a FROM t WHERE s LIKE ?").is_err());
+        // LIMIT is a plan constant too.
+        assert!(parse("SELECT a FROM t LIMIT ?").is_err());
+        // Placeholders cannot stand for columns.
+        assert!(parse("SELECT ? FROM t").is_err());
     }
 
     #[test]

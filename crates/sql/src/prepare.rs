@@ -1,0 +1,287 @@
+//! Prepared statements: parse and bind once, execute many times with
+//! parameter values spliced into the bound plan.
+//!
+//! A [`PreparedQuery`] is the front-end half of the engine's
+//! prepared-statement path: it owns the bound logical *template* (with
+//! typed neutral values standing in for every `?`) plus one
+//! [`ParamSlot`] per placeholder recording where in the WHERE clause the
+//! value lands and what type it must have. [`PreparedQuery::bind_params`]
+//! produces a fresh logical plan per execution by rebuilding the tree
+//! with the slot values replaced — the tree *shape* never changes, which
+//! is what makes the plans cacheable downstream (the engine's plan cache
+//! keys on the shape with constants masked out).
+//!
+//! Placeholders are restricted to comparison right-hand sides: LIKE
+//! prefixes and LIMIT counts are plan *constants* (they shape candidate
+//! enumeration), so parameterising them would break shape-keyed caching.
+
+use crate::ast::SelectStatement;
+use crate::binder::{bind_with_params, SchemaProvider};
+use crate::error::SqlError;
+use crate::parser::parse;
+use crate::Result;
+use dqo_plan::expr::Predicate;
+use dqo_plan::LogicalPlan;
+use dqo_storage::{DataType, Value};
+use std::sync::Arc;
+
+/// Where one `?` placeholder lands in the bound plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParamSlot {
+    /// 0-based placeholder position (lexical order).
+    pub index: usize,
+    /// Which WHERE conjunct (AST order) the placeholder is the RHS of.
+    pub conjunct: usize,
+    /// The resolved column the placeholder compares against.
+    pub column: String,
+    /// The column's type — supplied values must match it.
+    pub dtype: DataType,
+}
+
+/// A parsed-and-bound statement with parameter slots, ready to execute
+/// repeatedly with different values.
+#[derive(Debug, Clone)]
+pub struct PreparedQuery {
+    stmt: SelectStatement,
+    template: Arc<LogicalPlan>,
+    slots: Vec<ParamSlot>,
+}
+
+impl PreparedQuery {
+    /// Parse and bind `sql`, recording a slot per `?` placeholder.
+    /// Statements without placeholders prepare fine (zero slots).
+    pub fn prepare(sql: &str, provider: &dyn SchemaProvider) -> Result<PreparedQuery> {
+        let stmt = parse(sql)?;
+        let (template, slots) = bind_with_params(&stmt, provider)?;
+        Ok(PreparedQuery {
+            stmt,
+            template,
+            slots,
+        })
+    }
+
+    /// Number of `?` placeholders.
+    pub fn param_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The recorded slots, in placeholder order.
+    pub fn slots(&self) -> &[ParamSlot] {
+        &self.slots
+    }
+
+    /// The bound template plan (placeholders hold typed neutral values).
+    /// Its *shape* — everything but the constants — is shared by every
+    /// execution of this statement.
+    pub fn template(&self) -> &Arc<LogicalPlan> {
+        &self.template
+    }
+
+    /// The parsed statement.
+    pub fn statement(&self) -> &SelectStatement {
+        &self.stmt
+    }
+
+    /// Build an executable logical plan with `params` spliced into the
+    /// template. Validates arity and types: string columns need
+    /// [`Value::Str`], numeric columns need [`Value::U32`] (or a
+    /// [`Value::U64`] that fits).
+    pub fn bind_params(&self, params: &[Value]) -> Result<Arc<LogicalPlan>> {
+        if params.len() != self.slots.len() {
+            return Err(SqlError::ParamCount {
+                expected: self.slots.len(),
+                got: params.len(),
+            });
+        }
+        if self.slots.is_empty() {
+            return Ok(Arc::clone(&self.template));
+        }
+        // conjunct index → coerced value, for the (unique) Filter node.
+        let mut by_conjunct: Vec<(usize, Value)> = Vec::with_capacity(self.slots.len());
+        for (slot, value) in self.slots.iter().zip(params) {
+            by_conjunct.push((slot.conjunct, coerce(slot, value)?));
+        }
+        Ok(substitute(&self.template, &by_conjunct))
+    }
+}
+
+/// Type-check and coerce one supplied value against its slot.
+fn coerce(slot: &ParamSlot, value: &Value) -> Result<Value> {
+    let mismatch = |got: &str| SqlError::ParamType {
+        index: slot.index,
+        column: slot.column.clone(),
+        expected: slot.dtype.to_string(),
+        got: got.to_owned(),
+    };
+    match (slot.dtype, value) {
+        (DataType::Str, Value::Str(s)) => Ok(Value::Str(s.clone())),
+        (DataType::Str, other) => Err(mismatch(&other.data_type().to_string())),
+        (_, Value::U32(v)) => Ok(Value::U32(*v)),
+        (_, Value::U64(v)) => u32::try_from(*v)
+            .map(Value::U32)
+            .map_err(|_| mismatch("u64 (out of u32 range)")),
+        (_, other) => Err(mismatch(&other.data_type().to_string())),
+    }
+}
+
+/// Rebuild the template with slot values replaced. The binder emits at
+/// most one Filter node (directly above the join tree), whose conjuncts
+/// are in AST order — single conjunct unwrapped, several under `And`.
+fn substitute(plan: &Arc<LogicalPlan>, values: &[(usize, Value)]) -> Arc<LogicalPlan> {
+    match plan.as_ref() {
+        LogicalPlan::Filter { input, predicate } => {
+            let predicate = match predicate {
+                Predicate::And(conjuncts) => Predicate::And(
+                    conjuncts
+                        .iter()
+                        .enumerate()
+                        .map(|(i, c)| replace_value(c, i, values))
+                        .collect(),
+                ),
+                single => replace_value(single, 0, values),
+            };
+            LogicalPlan::filter(Arc::clone(input), predicate)
+        }
+        LogicalPlan::Scan { .. } | LogicalPlan::Join { .. } => Arc::clone(plan),
+        LogicalPlan::GroupBy { input, keys, aggs } => Arc::new(LogicalPlan::GroupBy {
+            input: substitute(input, values),
+            keys: keys.clone(),
+            aggs: aggs.clone(),
+        }),
+        LogicalPlan::Project { input, columns } => {
+            LogicalPlan::project(substitute(input, values), columns.clone())
+        }
+        LogicalPlan::Sort { input, key } => {
+            LogicalPlan::sort(substitute(input, values), key.clone())
+        }
+        LogicalPlan::Limit { input, n } => LogicalPlan::limit(substitute(input, values), *n),
+    }
+}
+
+fn replace_value(conjunct: &Predicate, at: usize, values: &[(usize, Value)]) -> Predicate {
+    match values.iter().find(|(i, _)| *i == at) {
+        Some((_, value)) => match conjunct {
+            Predicate::Compare { column, op, .. } => Predicate::Compare {
+                column: column.clone(),
+                op: *op,
+                value: value.clone(),
+            },
+            // Slots only ever point at Compare conjuncts (LIKE rejects
+            // placeholders at parse time); keep anything else intact.
+            other => other.clone(),
+        },
+        None => conjunct.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binder::StaticSchemas;
+    use dqo_storage::{Field, Schema};
+
+    fn provider() -> StaticSchemas {
+        StaticSchemas(vec![(
+            "t".into(),
+            Schema::new(vec![
+                Field::new("k", DataType::U32),
+                Field::new("v", DataType::U32),
+                Field::new("s", DataType::Str),
+            ])
+            .unwrap(),
+        )])
+    }
+
+    #[test]
+    fn prepare_records_typed_slots() {
+        let p = PreparedQuery::prepare(
+            "SELECT k FROM t WHERE k < ? AND v = 3 AND s = ?",
+            &provider(),
+        )
+        .unwrap();
+        assert_eq!(p.param_count(), 2);
+        assert_eq!(p.slots()[0].conjunct, 0);
+        assert_eq!(p.slots()[0].dtype, DataType::U32);
+        assert_eq!(p.slots()[1].conjunct, 2);
+        assert_eq!(p.slots()[1].dtype, DataType::Str);
+        // The template carries neutral values for the placeholders and
+        // the real literal for the fixed conjunct.
+        let text = p.template().explain();
+        assert!(text.contains("k < 0"), "{text}");
+        assert!(text.contains("v = 3"), "{text}");
+        assert!(text.contains("s = ''"), "{text}");
+    }
+
+    #[test]
+    fn bind_params_splices_values() {
+        let p = PreparedQuery::prepare(
+            "SELECT k, COUNT(*) AS n FROM t WHERE k < ? AND s = ? GROUP BY k ORDER BY k",
+            &provider(),
+        )
+        .unwrap();
+        let plan = p
+            .bind_params(&[Value::U32(7), Value::Str("abc".into())])
+            .unwrap();
+        let text = plan.explain();
+        assert!(text.contains("k < 7"), "{text}");
+        assert!(text.contains("s = 'abc'"), "{text}");
+        // A second bind with different values does not disturb the first.
+        let plan2 = p
+            .bind_params(&[Value::U32(9), Value::Str("z".into())])
+            .unwrap();
+        assert!(plan2.explain().contains("k < 9"));
+        assert!(plan.explain().contains("k < 7"), "template reuse is pure");
+    }
+
+    #[test]
+    fn u64_params_coerce_when_in_range() {
+        let p = PreparedQuery::prepare("SELECT k FROM t WHERE k < ?", &provider()).unwrap();
+        let plan = p.bind_params(&[Value::U64(5)]).unwrap();
+        assert!(plan.explain().contains("k < 5"));
+        let err = p.bind_params(&[Value::U64(u64::MAX)]).unwrap_err();
+        assert!(matches!(err, SqlError::ParamType { .. }));
+    }
+
+    #[test]
+    fn arity_and_type_mismatches_error() {
+        let p =
+            PreparedQuery::prepare("SELECT k FROM t WHERE k < ? AND s = ?", &provider()).unwrap();
+        assert!(matches!(
+            p.bind_params(&[Value::U32(1)]),
+            Err(SqlError::ParamCount {
+                expected: 2,
+                got: 1
+            })
+        ));
+        let err = p
+            .bind_params(&[Value::Str("x".into()), Value::Str("y".into())])
+            .unwrap_err();
+        assert!(matches!(err, SqlError::ParamType { index: 0, .. }), "{err}");
+        let err = p.bind_params(&[Value::U32(1), Value::U32(2)]).unwrap_err();
+        assert!(matches!(err, SqlError::ParamType { index: 1, .. }), "{err}");
+    }
+
+    #[test]
+    fn zero_param_statements_prepare_and_share_the_template() {
+        let p = PreparedQuery::prepare("SELECT k FROM t WHERE k < 5", &provider()).unwrap();
+        assert_eq!(p.param_count(), 0);
+        let plan = p.bind_params(&[]).unwrap();
+        assert!(Arc::ptr_eq(&plan, p.template()));
+    }
+
+    #[test]
+    fn plain_bind_rejects_placeholders() {
+        let stmt = parse("SELECT k FROM t WHERE k < ?").unwrap();
+        let err = crate::binder::bind(&stmt, &provider()).unwrap_err();
+        assert!(matches!(err, SqlError::UnboundParam { index: 0 }), "{err}");
+    }
+
+    #[test]
+    fn single_conjunct_placeholder_substitutes_unwrapped() {
+        // One conjunct binds without an And wrapper — the substitution
+        // path must handle the unwrapped shape.
+        let p = PreparedQuery::prepare("SELECT k FROM t WHERE s = ?", &provider()).unwrap();
+        let plan = p.bind_params(&[Value::Str("q".into())]).unwrap();
+        assert!(plan.explain().contains("s = 'q'"));
+    }
+}

@@ -46,10 +46,11 @@ pub use dqo_obs as obs;
 pub use dqo_obs::{MetricsRegistry, MetricsSnapshot, Phase, QueryProfile, TraceBuilder};
 pub use dqo_parallel::{AdmissionController, PersistentPool};
 pub use dqo_plan::LogicalPlan;
-pub use dqo_storage::Relation;
+pub use dqo_server as server;
+pub use dqo_storage::{Relation, Value};
 
-use dqo_core::CoreError;
-use dqo_sql::{SchemaProvider, SqlError};
+use dqo_core::{CoreError, PreparedPlan};
+use dqo_sql::{PreparedQuery, SchemaProvider, SqlError};
 use std::fmt;
 use std::sync::Arc;
 
@@ -82,6 +83,29 @@ impl From<SqlError> for DqoError {
 impl From<CoreError> for DqoError {
     fn from(e: CoreError) -> Self {
         DqoError::Core(e)
+    }
+}
+
+/// A prepared statement: parsed, bound and shape-normalised once via
+/// [`Dqo::prepare`]. Each [`Dqo::execute_prepared`] splices the current
+/// parameter values into the bound template and runs it through the
+/// engine's plan cache — the statement's physical plan is optimised once
+/// per (catalog generation, granted DOP) and reused with fresh constants.
+#[derive(Debug, Clone)]
+pub struct Statement {
+    prepared: PreparedQuery,
+    plan: PreparedPlan,
+}
+
+impl Statement {
+    /// Number of `?` placeholders the statement takes.
+    pub fn param_count(&self) -> usize {
+        self.prepared.param_count()
+    }
+
+    /// The normalised plan shape the plan cache keys on.
+    pub fn shape(&self) -> &str {
+        self.plan.shape()
     }
 }
 
@@ -195,6 +219,27 @@ impl Dqo {
         let mut trace = self.trace();
         let logical = self.compile_traced(sql_text, &mut trace)?;
         Ok(self.engine.query_traced(&logical, trace)?)
+    }
+
+    /// Prepare a SQL statement (with optional `?` placeholders in WHERE
+    /// comparisons) for repeated execution.
+    pub fn prepare(&self, sql_text: &str) -> Result<Statement, DqoError> {
+        let prepared = PreparedQuery::prepare(sql_text, &CatalogSchemas(self.engine.catalog()))?;
+        let plan = self.engine.prepare(prepared.template());
+        Ok(Statement { prepared, plan })
+    }
+
+    /// Execute a prepared statement with positional parameter values
+    /// (`?0` first). Results are bit-identical to running the statement
+    /// with the values inlined — on a plan-cache hit the cached physical
+    /// plan is rebound to the fresh constants; on a miss it plans cold.
+    pub fn execute_prepared(
+        &self,
+        stmt: &Statement,
+        params: &[Value],
+    ) -> Result<QueryResult, DqoError> {
+        let logical = stmt.prepared.bind_params(params)?;
+        Ok(self.engine.execute_prepared(&stmt.plan, &logical)?)
     }
 
     /// EXPLAIN a SQL query under the current mode.
