@@ -1,0 +1,112 @@
+//! Mixed read/write harness: socket clients interleave INSERT frames
+//! with prepared executions against a served engine whose AVs are
+//! incrementally maintained; sweeps the write ratio and reports per-op
+//! latency percentiles, maintenance counters and the policy's backlog.
+//! Exits non-zero if any acknowledged insert is missing from the final
+//! counts or any maintained AV diverges from a from-scratch rebuild.
+//!
+//! ```text
+//! cargo run -p dqo-bench --release --bin mixed_rw                     # ratio sweep 0/10/30/50
+//! cargo run -p dqo-bench --release --bin mixed_rw -- --write-pct 25   # one ratio
+//! cargo run -p dqo-bench --release --bin mixed_rw -- --clients 16 --ops 200 --json
+//! ```
+
+use dqo_bench::mixed_rw::{run, MixedRwConfig};
+use dqo_bench::report::Table;
+use dqo_bench::Args;
+
+fn main() {
+    let args = Args::from_env();
+    let defaults = MixedRwConfig::default();
+    let base = MixedRwConfig {
+        rows: args.value("--rows").unwrap_or(defaults.rows),
+        groups: args.value("--groups").unwrap_or(defaults.groups),
+        clients: args.value("--clients").unwrap_or(defaults.clients),
+        ops_per_client: args.value("--ops").unwrap_or(defaults.ops_per_client),
+        write_pct: defaults.write_pct,
+        batch: args.value("--batch").unwrap_or(defaults.batch),
+        pool_threads: args.value("--threads").unwrap_or(defaults.pool_threads),
+        max_inflight: args
+            .value("--max-inflight")
+            .unwrap_or(defaults.max_inflight),
+    };
+    let ratios: Vec<u32> = match args.value::<u32>("--write-pct") {
+        Some(pct) => vec![pct.min(100)],
+        None => vec![0, 10, 30, 50],
+    };
+    eprintln!(
+        "mixed_rw: {} clients x {} ops over TCP, {} rows/{} groups, batch {}, \
+         pool {} workers, max {} in flight, write-pct sweep {ratios:?}",
+        base.clients,
+        base.ops_per_client,
+        base.rows,
+        base.groups,
+        base.batch,
+        base.pool_threads,
+        base.max_inflight,
+    );
+
+    let mut table = Table::new(&[
+        "write_pct",
+        "inserts",
+        "queries",
+        "query_p50_ms",
+        "query_p99_ms",
+        "query_p999_ms",
+        "insert_p50_ms",
+        "insert_p99_ms",
+        "insert_p999_ms",
+        "throughput_ops",
+        "delta_merges",
+        "delta_compactions",
+        "delta_rebuilds",
+        "backlog_rows",
+        "count_ok",
+        "av_ok",
+    ]);
+    let mut failed = false;
+    for pct in ratios {
+        let report = run(MixedRwConfig {
+            write_pct: pct,
+            ..base.clone()
+        });
+        table.row(vec![
+            pct.to_string(),
+            report.inserts.to_string(),
+            report.queries.to_string(),
+            format!("{:.3}", report.query_p50_ms),
+            format!("{:.3}", report.query_p99_ms),
+            format!("{:.3}", report.query_p999_ms),
+            format!("{:.3}", report.insert_p50_ms),
+            format!("{:.3}", report.insert_p99_ms),
+            format!("{:.3}", report.insert_p999_ms),
+            format!("{:.1}", report.throughput_ops),
+            report.delta_merges.to_string(),
+            report.delta_compactions.to_string(),
+            report.delta_rebuilds.to_string(),
+            report.backlog_rows.to_string(),
+            report.count_ok.to_string(),
+            report.av_ok.to_string(),
+        ]);
+        if !report.count_ok {
+            eprintln!("FAIL: write-pct {pct}: acknowledged inserts missing from final counts");
+            failed = true;
+        }
+        if !report.av_ok {
+            eprintln!("FAIL: write-pct {pct}: a maintained AV diverged from a rebuild");
+            failed = true;
+        }
+    }
+
+    if args.flag("--json") {
+        print!("{}", table.to_json());
+    } else if args.flag("--csv") {
+        print!("{}", table.to_csv());
+    } else {
+        print!("{}", table.to_text());
+    }
+
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -15,6 +15,7 @@
 //! | Parallel sort subsystem (SORT/SOG/SOJ + queue pressure) | `sort_scaling` | — |
 //! | Inter-query concurrency (shared pool + admission) | `concurrency` | — |
 //! | Network serving (socket clients, prepared statements, plan cache) | `serving` | — |
+//! | Mixed read/write serving (INSERT + incremental AV maintenance) | `mixed_rw` | — |
 //! | Offline AV builds (per-kind speedup + queue pressure) | `av_build` | — |
 //!
 //! Binaries print the same rows/series the paper reports, plus `--csv`.
@@ -28,6 +29,7 @@ pub mod av_build;
 pub mod concurrency;
 pub mod fig4;
 pub mod fig5;
+pub mod mixed_rw;
 pub mod report;
 pub mod scaling;
 pub mod serving;

@@ -1,0 +1,365 @@
+//! Mixed read/write bench: N socket clients interleave `INSERT` frames
+//! with prepared executions against a served engine whose AVs (all
+//! three kinds) were materialised up front — so every append exercises
+//! the incremental maintenance path (delta-merge, run-merge/compaction,
+//! CSR patch) while concurrent readers observe the moving table.
+//!
+//! The write ratio is the sweep axis: the binary runs a row per ratio so
+//! the latency cost of maintenance (and the backlog the policy carries)
+//! is visible as the append share grows. Two soundness gates make it a
+//! regression test rather than a stopwatch:
+//!
+//! * **count check** — after the run, a grouped count over the wire must
+//!   account for every seed row plus every acknowledged insert;
+//! * **AV oracle** — every maintained artifact must be bit-identical to
+//!   a from-scratch rebuild over the final table (the
+//!   `tests/mutation_oracle.rs` invariant, re-checked under real
+//!   concurrency).
+
+use crate::concurrency::percentile;
+use dqo_core::av::{materialise_av, AvArtifact, AvKind, AvSignature};
+use dqo_core::{Catalog, Engine};
+use dqo_obs::{names, MetricsRegistry};
+use dqo_parallel::PersistentPool;
+use dqo_server::{Client, Server, WireData};
+use dqo_storage::datagen::DatasetSpec;
+use dqo_storage::{Column, DataType, Dictionary, Field, Relation, Schema, Value};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Distinct `city` values in the generated table (and in inserts).
+const CITIES: usize = 8;
+
+/// The read side: grouped counts under a parameterised filter.
+const PREPARED_SQL: &str =
+    "SELECT key, COUNT(*) AS n FROM t WHERE key < ? GROUP BY key ORDER BY key";
+
+/// The final accounting query.
+const COUNT_SQL: &str = "SELECT key, COUNT(*) AS n FROM t GROUP BY key ORDER BY key";
+
+/// Workload shape for one mixed read/write run.
+#[derive(Debug, Clone)]
+pub struct MixedRwConfig {
+    /// Seed rows in the (dense, unsorted) table.
+    pub rows: usize,
+    /// Distinct grouping keys (the dense key domain).
+    pub groups: usize,
+    /// Concurrent socket clients.
+    pub clients: usize,
+    /// Operations (insert or execute) per client.
+    pub ops_per_client: usize,
+    /// Percentage of operations that are INSERTs (0–100).
+    pub write_pct: u32,
+    /// Rows per INSERT statement.
+    pub batch: usize,
+    /// Workers in the shared pool behind the server.
+    pub pool_threads: usize,
+    /// Admission bound on concurrently executing queries.
+    pub max_inflight: usize,
+}
+
+impl Default for MixedRwConfig {
+    fn default() -> Self {
+        MixedRwConfig {
+            rows: 100_000,
+            groups: 64,
+            clients: 8,
+            ops_per_client: 50,
+            write_pct: 20,
+            batch: 16,
+            pool_threads: dqo_parallel::default_threads().max(2),
+            max_inflight: 4,
+        }
+    }
+}
+
+/// What one mixed read/write run measured.
+#[derive(Debug, Clone)]
+pub struct MixedRwReport {
+    /// The configuration that produced this report.
+    pub config: MixedRwConfig,
+    /// Completed INSERT statements (each `config.batch` rows).
+    pub inserts: usize,
+    /// Completed prepared executions.
+    pub queries: usize,
+    /// Query latency percentiles, milliseconds.
+    pub query_p50_ms: f64,
+    /// 99th percentile query latency.
+    pub query_p99_ms: f64,
+    /// 99.9th percentile query latency.
+    pub query_p999_ms: f64,
+    /// INSERT latency percentiles, milliseconds (includes inline AV
+    /// maintenance — the reply only lands after merge maintenance ran).
+    pub insert_p50_ms: f64,
+    /// 99th percentile INSERT latency.
+    pub insert_p99_ms: f64,
+    /// 99.9th percentile INSERT latency.
+    pub insert_p999_ms: f64,
+    /// Completed operations per second over the whole run.
+    pub throughput_ops: f64,
+    /// `dqo_av_delta_merges` across the run.
+    pub delta_merges: u64,
+    /// `dqo_av_delta_compactions` across the run.
+    pub delta_compactions: u64,
+    /// `dqo_av_delta_rebuilds` across the run.
+    pub delta_rebuilds: u64,
+    /// `dqo_av_delta_backlog_rows` at the end of the run — the sorted
+    /// projections' un-compacted tail rows the policy is carrying.
+    pub backlog_rows: u64,
+    /// Every acknowledged insert is visible in the final grouped count.
+    pub count_ok: bool,
+    /// Every maintained AV matched a from-scratch rebuild bit-for-bit.
+    pub av_ok: bool,
+    /// The run's combined registry (engine + server + pool metrics).
+    pub metrics: dqo_obs::MetricsSnapshot,
+}
+
+fn table(cfg: &MixedRwConfig) -> Relation {
+    let keys = DatasetSpec::new(cfg.rows, cfg.groups)
+        .sorted(false)
+        .dense(true)
+        .seed(0xA11_5E11)
+        .generate()
+        .expect("datagen");
+    let cities: Vec<String> = keys
+        .iter()
+        .map(|k| format!("c{}", k % CITIES as u32))
+        .collect();
+    let city_refs: Vec<&str> = cities.iter().map(String::as_str).collect();
+    let (dict, codes) = Dictionary::encode_all(&city_refs);
+    let schema = Schema::new(vec![
+        Field::new("key", DataType::U32),
+        Field::new("city", DataType::Str),
+    ])
+    .expect("schema");
+    Relation::new(schema, vec![Column::U32(keys), Column::Str(codes)])
+        .expect("relation")
+        .with_dictionary("city", Arc::new(dict))
+        .expect("dictionary")
+}
+
+/// xorshift64 — per-client deterministic op sequence.
+fn next(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// The AV oracle re-check over the final table (see module docs).
+fn avs_match_rebuild(engine: &Engine) -> bool {
+    let combined = Arc::clone(&engine.catalog().get("t").expect("t").relation);
+    let scratch = Catalog::new();
+    scratch.register("t", (*combined).clone());
+    for kind in [
+        AvKind::SortedProjection,
+        AvKind::SphIndex,
+        AvKind::MaterialisedGrouping,
+    ] {
+        let sig = AvSignature::new("t", "key", kind);
+        let Some(maintained) = engine.avs().get(&sig) else {
+            return false;
+        };
+        let fresh = materialise_av(&scratch, &sig).expect("rebuild");
+        let same = match (maintained.artifact.as_ref(), fresh.artifact.as_ref()) {
+            (Some(AvArtifact::SortedProjection(m)), Some(AvArtifact::SortedProjection(f)))
+            | (
+                Some(AvArtifact::MaterialisedGrouping(m)),
+                Some(AvArtifact::MaterialisedGrouping(f)),
+            ) => {
+                m.rows() == f.rows()
+                    && (0..f.schema().width()).all(|c| {
+                        format!("{:?}", m.column_at(c).unwrap())
+                            == format!("{:?}", f.column_at(c).unwrap())
+                    })
+            }
+            (Some(AvArtifact::SphIndex(m)), Some(AvArtifact::SphIndex(f))) => m == f,
+            _ => false,
+        };
+        if !same {
+            return false;
+        }
+    }
+    true
+}
+
+/// Run the bench: serve an engine with materialised AVs, fan out socket
+/// clients interleaving INSERT and prepared-execute frames, then gate on
+/// the count check and the AV rebuild oracle.
+pub fn run(cfg: MixedRwConfig) -> MixedRwReport {
+    let registry = Arc::new(MetricsRegistry::new());
+    let pool = Arc::new(PersistentPool::with_admission(
+        cfg.pool_threads,
+        cfg.max_inflight,
+    ));
+    let engine = Arc::new(
+        Engine::with_shared_pool(Arc::clone(&pool)).with_metrics_registry(Arc::clone(&registry)),
+    );
+    engine.register_table("t", table(&cfg));
+    let sigs: Vec<AvSignature> = [
+        AvKind::SortedProjection,
+        AvKind::SphIndex,
+        AvKind::MaterialisedGrouping,
+    ]
+    .iter()
+    .map(|&kind| AvSignature::new("t", "key", kind))
+    .collect();
+    engine.av_builder().build_batch(&sigs).expect("AV build");
+
+    let handle =
+        Server::start_with_registry(Arc::clone(&engine), "127.0.0.1:0", Arc::clone(&registry))
+            .expect("bind mixed-rw socket");
+    let addr = handle.addr();
+
+    // One INSERT statement shape per run: `batch` rows of (?, ?).
+    let insert_sql = format!(
+        "INSERT INTO t VALUES {}",
+        vec!["(?, ?)"; cfg.batch.max(1)].join(", ")
+    );
+    let bounds: Vec<u32> = [1, 2, 4, 8]
+        .iter()
+        .map(|d| (cfg.groups as u32 / d).max(1))
+        .collect();
+
+    let wall = Instant::now();
+    let mut query_lats: Vec<f64> = Vec::new();
+    let mut insert_lats: Vec<f64> = Vec::new();
+    let mut rows_acknowledged = 0u64;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for client_idx in 0..cfg.clients {
+            let cfg = &cfg;
+            let insert_sql = insert_sql.as_str();
+            let bounds = bounds.as_slice();
+            handles.push(scope.spawn(move || {
+                let mut state = 0x9e3779b97f4a7c15 ^ (client_idx as u64 + 1);
+                let mut client = Client::connect(addr).expect("client connect");
+                let stmt = client.prepare(PREPARED_SQL).expect("prepare");
+                let mut q_lats = Vec::new();
+                let mut i_lats = Vec::new();
+                let mut acknowledged = 0u64;
+                for i in 0..cfg.ops_per_client {
+                    if next(&mut state) % 100 < u64::from(cfg.write_pct) {
+                        let mut params = Vec::with_capacity(cfg.batch.max(1) * 2);
+                        for _ in 0..cfg.batch.max(1) {
+                            let key = next(&mut state) as u32 % cfg.groups as u32;
+                            params.push(Value::U32(key));
+                            params.push(Value::Str(format!("c{}", key % CITIES as u32)));
+                        }
+                        let began = Instant::now();
+                        let rows = client.insert(insert_sql, &params).expect("insert");
+                        i_lats.push(began.elapsed().as_secs_f64() * 1e3);
+                        acknowledged += rows;
+                    } else {
+                        let bound = bounds[(client_idx + i) % bounds.len()];
+                        let began = Instant::now();
+                        client.execute(stmt, &[Value::U32(bound)]).expect("execute");
+                        q_lats.push(began.elapsed().as_secs_f64() * 1e3);
+                    }
+                }
+                client.close().expect("clean close");
+                (q_lats, i_lats, acknowledged)
+            }));
+        }
+        for h in handles {
+            let (q, i, acked) = h.join().expect("client thread");
+            query_lats.extend(q);
+            insert_lats.extend(i);
+            rows_acknowledged += acked;
+        }
+    });
+    let wall_secs = wall.elapsed().as_secs_f64();
+
+    // Accounting pass over the wire: every acknowledged row must be in
+    // the grouped counts (appends publish before the reply).
+    let mut checker = Client::connect(addr).expect("checker connect");
+    let counts = checker.query(COUNT_SQL).expect("count query");
+    let total: u64 = counts
+        .columns
+        .iter()
+        .find(|c| c.name == "n")
+        .map(|c| match &c.data {
+            WireData::U64(v) => v.iter().sum(),
+            _ => 0,
+        })
+        .unwrap_or(0);
+    let count_ok = total == cfg.rows as u64 + rows_acknowledged;
+    checker.close().expect("checker close");
+    handle.shutdown();
+
+    let av_ok = avs_match_rebuild(&engine);
+    let sortf = |v: &mut Vec<f64>| v.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+    sortf(&mut query_lats);
+    sortf(&mut insert_lats);
+    let ops = query_lats.len() + insert_lats.len();
+    let mut metrics = registry.snapshot();
+    metrics.merge(&pool.metrics_snapshot());
+    MixedRwReport {
+        inserts: insert_lats.len(),
+        queries: query_lats.len(),
+        query_p50_ms: percentile(&query_lats, 50.0),
+        query_p99_ms: percentile(&query_lats, 99.0),
+        query_p999_ms: percentile(&query_lats, 99.9),
+        insert_p50_ms: percentile(&insert_lats, 50.0),
+        insert_p99_ms: percentile(&insert_lats, 99.0),
+        insert_p999_ms: percentile(&insert_lats, 99.9),
+        throughput_ops: ops as f64 / wall_secs.max(1e-9),
+        delta_merges: metrics.counter(names::AV_DELTA_MERGES).unwrap_or(0),
+        delta_compactions: metrics.counter(names::AV_DELTA_COMPACTIONS).unwrap_or(0),
+        delta_rebuilds: metrics.counter(names::AV_DELTA_REBUILDS).unwrap_or(0),
+        backlog_rows: metrics.gauge(names::AV_DELTA_BACKLOG_ROWS).unwrap_or(0),
+        count_ok,
+        av_ok,
+        metrics,
+        config: cfg,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixed_run_is_sound() {
+        let report = run(MixedRwConfig {
+            rows: 20_000,
+            groups: 32,
+            clients: 3,
+            ops_per_client: 12,
+            write_pct: 50,
+            batch: 8,
+            pool_threads: 2,
+            max_inflight: 2,
+        });
+        assert!(report.count_ok, "acknowledged inserts missing from counts");
+        assert!(report.av_ok, "a maintained AV diverged from a rebuild");
+        assert!(report.inserts > 0, "write_pct=50 must produce inserts");
+        assert!(report.queries > 0, "write_pct=50 must produce queries");
+        assert_eq!(report.inserts + report.queries, 36);
+        assert!(report.delta_merges > 0, "inserts must drive maintenance");
+        assert!(report.throughput_ops > 0.0);
+        assert!(report.insert_p999_ms >= report.insert_p50_ms);
+        assert!(report.query_p999_ms >= report.query_p50_ms);
+    }
+
+    #[test]
+    fn read_only_run_never_maintains() {
+        let report = run(MixedRwConfig {
+            rows: 10_000,
+            groups: 16,
+            clients: 2,
+            ops_per_client: 6,
+            write_pct: 0,
+            batch: 4,
+            pool_threads: 2,
+            max_inflight: 2,
+        });
+        assert_eq!(report.inserts, 0);
+        assert_eq!(report.queries, 12);
+        assert_eq!(report.delta_merges, 0);
+        assert_eq!(report.backlog_rows, 0);
+        assert!(report.count_ok && report.av_ok);
+    }
+}

@@ -21,7 +21,7 @@ use dqo_parallel::PersistentPool;
 use dqo_server::{Client, Server, WireResult};
 use dqo_sql::SchemaProvider;
 use dqo_storage::datagen::DatasetSpec;
-use dqo_storage::{Relation, Value};
+use dqo_storage::{Column, DataType, Dictionary, Field, Relation, Schema, Value};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -97,6 +97,14 @@ pub struct ServingReport {
 const PREPARED_SQL: &str =
     "SELECT key, COUNT(*) AS n, SUM(key) AS s FROM t WHERE key < ? GROUP BY key ORDER BY key";
 
+/// The second prepared shape: a string `?` parameter, dictionary-coded
+/// server-side, so `Str` parameters travel the wire end-to-end.
+const PREPARED_STR_SQL: &str =
+    "SELECT key, COUNT(*) AS n FROM t WHERE city = ? GROUP BY key ORDER BY key";
+
+/// Distinct `city` values in the generated table.
+const CITIES: usize = 8;
+
 struct CatalogSchemas<'a>(&'a dqo_core::Catalog);
 
 impl SchemaProvider for CatalogSchemas<'_> {
@@ -106,12 +114,29 @@ impl SchemaProvider for CatalogSchemas<'_> {
 }
 
 fn table(cfg: &ServingConfig) -> Relation {
-    DatasetSpec::new(cfg.rows, cfg.groups)
+    let keys = DatasetSpec::new(cfg.rows, cfg.groups)
         .sorted(false)
         .dense(true)
         .seed(0xD0_5E11)
-        .relation()
-        .expect("datagen")
+        .generate()
+        .expect("datagen");
+    // A low-cardinality string attribute derived from the key, so the
+    // string-parameter shape filters to a deterministic subset.
+    let cities: Vec<String> = keys
+        .iter()
+        .map(|k| format!("c{}", k % CITIES as u32))
+        .collect();
+    let city_refs: Vec<&str> = cities.iter().map(String::as_str).collect();
+    let (dict, codes) = Dictionary::encode_all(&city_refs);
+    let schema = Schema::new(vec![
+        Field::new("key", DataType::U32),
+        Field::new("city", DataType::Str),
+    ])
+    .expect("schema");
+    Relation::new(schema, vec![Column::U32(keys), Column::Str(codes)])
+        .expect("relation")
+        .with_dictionary("city", Arc::new(dict))
+        .expect("dictionary")
 }
 
 /// The parameter values the clients cycle through: a handful of bounds
@@ -129,8 +154,11 @@ fn bounds(groups: usize) -> Vec<u32> {
 pub fn run(cfg: ServingConfig) -> ServingReport {
     let rel = table(&cfg);
     let bound_values = bounds(cfg.groups);
+    let city_values: Vec<String> = (0..CITIES.min(cfg.groups.max(1)))
+        .map(|i| format!("c{i}"))
+        .collect();
 
-    // Serial in-process oracle, one WireResult per distinct bound.
+    // Serial in-process oracle, one WireResult per distinct parameter.
     let serial = Engine::new().with_threads(1);
     serial.register_table("t", rel.clone());
     let mut oracle: HashMap<u32, WireResult> = HashMap::new();
@@ -140,6 +168,17 @@ pub fn run(cfg: ServingConfig) -> ServingReport {
             dqo_sql::compile(&sql, &CatalogSchemas(serial.catalog())).expect("oracle compile");
         let result = serial.query(&logical).expect("oracle query");
         oracle.insert(b, WireResult::from_relation(&result.output.relation));
+    }
+    let mut oracle_str: HashMap<String, WireResult> = HashMap::new();
+    for city in &city_values {
+        let sql = PREPARED_STR_SQL.replace('?', &format!("'{city}'"));
+        let logical =
+            dqo_sql::compile(&sql, &CatalogSchemas(serial.catalog())).expect("oracle compile");
+        let result = serial.query(&logical).expect("oracle query");
+        oracle_str.insert(
+            city.clone(),
+            WireResult::from_relation(&result.output.relation),
+        );
     }
 
     let registry = Arc::new(MetricsRegistry::new());
@@ -163,11 +202,14 @@ pub fn run(cfg: ServingConfig) -> ServingReport {
         let mut handles = Vec::new();
         for client_idx in 0..cfg.clients {
             let oracle = &oracle;
+            let oracle_str = &oracle_str;
             let bound_values = bound_values.as_slice();
+            let city_values = city_values.as_slice();
             let cfg = &cfg;
             handles.push(scope.spawn(move || {
                 let mut client = Client::connect(addr).expect("client connect");
                 let mut stmt = client.prepare(PREPARED_SQL).expect("prepare");
+                let mut stmt_str = client.prepare(PREPARED_STR_SQL).expect("prepare str");
                 let mut lats = Vec::with_capacity(cfg.queries_per_client);
                 let mut ok = true;
                 let open_period = cfg
@@ -180,6 +222,7 @@ pub fn run(cfg: ServingConfig) -> ServingReport {
                             client.close().expect("churn close");
                             client = Client::connect(addr).expect("churn reconnect");
                             stmt = client.prepare(PREPARED_SQL).expect("churn prepare");
+                            stmt_str = client.prepare(PREPARED_STR_SQL).expect("churn prepare str");
                         }
                     }
                     // Open loop: latency runs from the *intended* send
@@ -196,11 +239,23 @@ pub fn run(cfg: ServingConfig) -> ServingReport {
                         }
                         None => started.elapsed(),
                     };
-                    let bound = bound_values[(client_idx + i) % bound_values.len()];
-                    let got = client.execute(stmt, &[Value::U32(bound)]).expect("execute");
-                    let done = started.elapsed();
-                    lats.push((done - intended).as_secs_f64() * 1e3);
-                    ok &= oracle.get(&bound).expect("bound in oracle") == &got;
+                    // Alternate the two prepared shapes so every client
+                    // sends both u32 and string parameters on the wire.
+                    if i % 2 == 0 {
+                        let bound = bound_values[(client_idx + i) % bound_values.len()];
+                        let got = client.execute(stmt, &[Value::U32(bound)]).expect("execute");
+                        let done = started.elapsed();
+                        lats.push((done - intended).as_secs_f64() * 1e3);
+                        ok &= oracle.get(&bound).expect("bound in oracle") == &got;
+                    } else {
+                        let city = &city_values[(client_idx + i) % city_values.len()];
+                        let got = client
+                            .execute(stmt_str, &[Value::Str(city.clone())])
+                            .expect("execute str");
+                        let done = started.elapsed();
+                        lats.push((done - intended).as_secs_f64() * 1e3);
+                        ok &= oracle_str.get(city).expect("city in oracle") == &got;
+                    }
                 }
                 client.close().expect("clean close");
                 (lats, ok)

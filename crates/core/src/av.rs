@@ -270,8 +270,13 @@ pub fn plan_av(catalog: &Catalog, sig: &AvSignature) -> Result<Av> {
 }
 
 /// Assemble the `(key, count, sum)` relation a materialised-grouping AV
-/// stores, from a key-sorted grouping result.
-fn grouping_relation(sig: &AvSignature, g: GroupedResult<CountSumState>) -> Result<Relation> {
+/// stores, from a key-sorted grouping result. Shared with the
+/// incremental maintainer ([`crate::av_delta`]), which must emit the
+/// exact schema a rebuild would.
+pub(crate) fn grouping_relation(
+    sig: &AvSignature,
+    g: GroupedResult<CountSumState>,
+) -> Result<Relation> {
     let counts: Vec<u64> = g.states.iter().map(|s| s.count).collect();
     let sums: Vec<u64> = g.states.iter().map(|s| s.sum).collect();
     Ok(Relation::new(

@@ -126,17 +126,33 @@ impl AvBuilder {
     /// [`AvBuildStats::superseded`].
     pub fn build(&self, sig: &AvSignature) -> Result<AvBuildStats> {
         let (rows, shape) = self.shape_of(sig)?;
-        let generation = self.catalog.generation_of(&sig.table);
         let permit = self.pool.admission().admit(self.requested_dop);
+        // Serialise against writers: the materialiser registers the
+        // hidden `__av::` relation mid-build and a superseded build
+        // drops it, either of which could clobber an artifact the
+        // incremental maintainer (`av_delta`) just published for the
+        // same table. The lock is taken *after* admission (a writer
+        // never waits behind the admission queue's view of this build)
+        // and before the clock snapshot, so a build that waited out an
+        // insert sees the post-insert clocks and publishes cleanly.
+        let table_lock = self.catalog.mutation_lock(&sig.table);
+        let _write_guard = table_lock.lock();
+        let generation = self.catalog.generation_of(&sig.table);
+        let data_generation = self.catalog.data_generation_of(&sig.table);
         let granted_dop = permit.dop();
         let tp = ThreadPool::with_pool(granted_dop, Arc::clone(&self.pool));
         let start = Instant::now();
         let av = materialise_av_on(&self.catalog, sig, &tp)?;
         let wall = start.elapsed();
         let bytes = av.byte_size;
+        // Both clocks must be still: a table replaced (DDL) *or* appended
+        // to (data) mid-build would leave this artifact stale.
         let published = self
             .avs
-            .register_if(av, || self.catalog.generation_of(&sig.table) == generation)
+            .register_if(av, || {
+                self.catalog.generation_of(&sig.table) == generation
+                    && self.catalog.data_generation_of(&sig.table) == data_generation
+            })
             .is_some();
         if !published {
             // The base table moved mid-build: the hidden relation the

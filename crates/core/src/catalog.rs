@@ -7,7 +7,7 @@
 use crate::error::CoreError;
 use crate::Result;
 use dqo_storage::{stats, DataProps, DataType, Relation};
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -24,10 +24,16 @@ pub struct TableEntry {
     /// build) can detect that the table it read from has since been
     /// replaced.
     pub generation: u64,
+    /// Data generation: bumps on every [`Catalog::replace_data`] (the
+    /// append path) while the registration generation — and therefore the
+    /// catalog-wide DDL clock — stays put. The pair `(generation,
+    /// data_generation)` changes whenever the rows a consumer snapshotted
+    /// are no longer current, for any reason.
+    pub data_generation: u64,
 }
 
 impl TableEntry {
-    fn from_relation(relation: Arc<Relation>, generation: u64) -> Self {
+    fn from_relation(relation: Arc<Relation>, generation: u64, data_generation: u64) -> Self {
         let mut column_props = HashMap::new();
         for field in relation.schema().fields() {
             if matches!(field.data_type, DataType::U32 | DataType::Str) {
@@ -42,6 +48,7 @@ impl TableEntry {
             relation,
             column_props,
             generation,
+            data_generation,
         }
     }
 }
@@ -52,6 +59,9 @@ pub struct Catalog {
     tables: RwLock<HashMap<String, Arc<TableEntry>>>,
     /// Source of [`TableEntry::generation`] stamps.
     generations: AtomicU64,
+    /// Per-table writer locks handed out by [`Catalog::mutation_lock`];
+    /// lazily created, never removed (table names are few).
+    mutation_locks: Mutex<HashMap<String, Arc<Mutex<()>>>>,
 }
 
 impl Catalog {
@@ -63,9 +73,30 @@ impl Catalog {
     /// Register (or replace) a table, computing exact column statistics.
     pub fn register(&self, name: impl Into<String>, relation: Relation) -> Arc<TableEntry> {
         let generation = self.generations.fetch_add(1, Ordering::Relaxed);
-        let entry = Arc::new(TableEntry::from_relation(Arc::new(relation), generation));
+        let entry = Arc::new(TableEntry::from_relation(Arc::new(relation), generation, 0));
         self.tables.write().insert(name.into(), Arc::clone(&entry));
         entry
+    }
+
+    /// Swap a table's rows in place — the append path. Statistics are
+    /// recomputed and the per-table **data generation** bumps, but the
+    /// registration generation and the catalog-wide DDL clock do **not**
+    /// move: the table is still the same table, so cached plans that scan
+    /// it stay valid and simply observe the new rows at their next
+    /// execution. Atomic per entry — a concurrent reader sees either the
+    /// old snapshot or the new one, never a mix.
+    pub fn replace_data(&self, name: &str, relation: Relation) -> Result<Arc<TableEntry>> {
+        let mut tables = self.tables.write();
+        let old = tables
+            .get(name)
+            .ok_or_else(|| CoreError::UnknownTable(name.to_owned()))?;
+        let entry = Arc::new(TableEntry::from_relation(
+            Arc::new(relation),
+            old.generation,
+            old.data_generation + 1,
+        ));
+        tables.insert(name.to_owned(), Arc::clone(&entry));
+        Ok(entry)
     }
 
     /// The registration generation of `name`'s current entry, if it
@@ -73,6 +104,27 @@ impl Catalog {
     /// the table was replaced in between.
     pub fn generation_of(&self, name: &str) -> Option<u64> {
         self.tables.read().get(name).map(|e| e.generation)
+    }
+
+    /// The data generation of `name`'s current entry (see
+    /// [`TableEntry::data_generation`]). Pair with
+    /// [`Catalog::generation_of`] to detect *any* change to a table's
+    /// rows, whether from DDL or from appends.
+    pub fn data_generation_of(&self, name: &str) -> Option<u64> {
+        self.tables.read().get(name).map(|e| e.data_generation)
+    }
+
+    /// The writer lock for `name`: mutation paths (append + incremental
+    /// view maintenance) hold it for the whole read-modify-publish cycle
+    /// so concurrent INSERTs into one table serialise. Readers never take
+    /// it — they see per-entry-atomic snapshots.
+    pub fn mutation_lock(&self, name: &str) -> Arc<Mutex<()>> {
+        Arc::clone(
+            self.mutation_locks
+                .lock()
+                .entry(name.to_owned())
+                .or_default(),
+        )
     }
 
     /// The catalog-wide DDL clock: advances on every `register` *and*
@@ -189,6 +241,44 @@ mod tests {
         assert_eq!(cat.current_generation(), g2, "no-op drop does not bump");
         assert!(cat.drop_table("t"));
         assert!(cat.current_generation() > g2, "real drop bumps");
+    }
+
+    #[test]
+    fn replace_data_bumps_data_clock_but_not_ddl_clock() {
+        let cat = Catalog::new();
+        cat.register("t", Relation::single_u32("key", vec![1, 2]));
+        let ddl = cat.current_generation();
+        let reg = cat.generation_of("t").unwrap();
+        assert_eq!(cat.data_generation_of("t"), Some(0));
+        let entry = cat
+            .replace_data("t", Relation::single_u32("key", vec![1, 2, 3]))
+            .unwrap();
+        assert_eq!(entry.relation.rows(), 3);
+        // Stats are refreshed against the new rows…
+        assert_eq!(cat.column_props("t", "key").unwrap().rows, 3);
+        // …the data clock moved…
+        assert_eq!(cat.data_generation_of("t"), Some(1));
+        // …but neither the registration generation nor the DDL clock did,
+        // so cached plans over "t" keep being served.
+        assert_eq!(cat.generation_of("t"), Some(reg));
+        assert_eq!(cat.current_generation(), ddl);
+        // A real re-register resets the data clock and bumps both others.
+        cat.register("t", Relation::single_u32("key", vec![9]));
+        assert_eq!(cat.data_generation_of("t"), Some(0));
+        assert!(cat.current_generation() > ddl);
+        assert!(cat
+            .replace_data("missing", Relation::single_u32("k", vec![]))
+            .is_err());
+    }
+
+    #[test]
+    fn mutation_lock_is_per_table_and_stable() {
+        let cat = Catalog::new();
+        let a1 = cat.mutation_lock("a");
+        let a2 = cat.mutation_lock("a");
+        let b = cat.mutation_lock("b");
+        assert!(Arc::ptr_eq(&a1, &a2), "one lock per table");
+        assert!(!Arc::ptr_eq(&a1, &b), "distinct tables, distinct locks");
     }
 
     #[test]

@@ -7,6 +7,7 @@
 
 use crate::av::AvCatalog;
 use crate::av_build::{AvBuildHandle, AvBuilder};
+use crate::av_delta::{MaintenanceReport, ViewMaintainer};
 use crate::avsp::{self, AvspSolution, Solver, WorkloadQuery};
 use crate::catalog::Catalog;
 use crate::cost::TupleCostModel;
@@ -19,9 +20,9 @@ use dqo_obs::{
     names, Counter, Histogram, MetricsRegistry, MetricsSnapshot, Phase, QueryProfile, TraceBuilder,
     DURATION_BUCKETS,
 };
-use dqo_parallel::PersistentPool;
+use dqo_parallel::{PersistentPool, ThreadPool};
 use dqo_plan::LogicalPlan;
-use dqo_storage::Relation;
+use dqo_storage::{Relation, Value};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -84,6 +85,28 @@ pub struct Engine {
     /// mode, property model, DOP) × catalog generation. Plain `query`
     /// never consults it.
     plan_cache: PlanCache,
+    /// Incremental AV maintenance for the write path ([`Engine::insert`]).
+    maintainer: ViewMaintainer,
+}
+
+/// What one [`Engine::insert`] did: rows appended plus how every
+/// materialised AV on the table was maintained.
+#[derive(Debug)]
+pub struct InsertReport {
+    /// Rows appended to the base table.
+    pub rows_inserted: u64,
+    /// Per-AV maintenance outcomes (empty when the table has no
+    /// materialised views).
+    pub maintenance: MaintenanceReport,
+}
+
+impl InsertReport {
+    /// Block until any background AV rebuilds this insert triggered have
+    /// published — tests and benchmarks use this to make insert → query
+    /// sequences deterministic.
+    pub fn wait_for_rebuilds(&mut self) -> Result<()> {
+        self.maintenance.wait_for_rebuilds()
+    }
 }
 
 /// A prepared statement handle from [`Engine::prepare`]: the normalised
@@ -146,6 +169,7 @@ impl Default for Engine {
             pool: None,
             tracing: tracing_default(),
             plan_cache: PlanCache::new(crate::plan_cache::DEFAULT_CAPACITY, &registry),
+            maintainer: ViewMaintainer::new(&registry),
             obs: EngineObs::new(registry),
         }
     }
@@ -216,6 +240,7 @@ impl Engine {
     /// counts.
     pub fn with_metrics_registry(mut self, registry: Arc<MetricsRegistry>) -> Self {
         self.plan_cache.rebind_metrics(&registry);
+        self.maintainer.rebind_metrics(&registry);
         self.obs = EngineObs::new(registry);
         self
     }
@@ -296,6 +321,54 @@ impl Engine {
         for sig in self.avs.invalidate_table(table) {
             self.catalog.drop_table(&sig.av_table_name());
         }
+        self.maintainer.forget_table(table);
+    }
+
+    /// Append `rows` to `table` (schema-ordered values per row),
+    /// incrementally maintaining every materialised AV built from it.
+    ///
+    /// The whole read-modify-publish cycle holds the table's
+    /// [mutation lock](Catalog::mutation_lock), so concurrent inserts
+    /// into one table serialise; readers never block. The base table
+    /// publishes **first** through [`Catalog::replace_data`] — the data
+    /// clock bumps but the DDL clock does not, so prepared plans stay
+    /// cached and simply observe the new rows — and only then are the
+    /// views maintained (see [`crate::av_delta`] for why that order
+    /// defuses the race with background AV builds). Between the two
+    /// steps a concurrent query may observe new base rows with a
+    /// not-yet-maintained view; the window is bounded by this call.
+    pub fn insert(&self, table: &str, rows: &[Vec<Value>]) -> Result<InsertReport> {
+        let lock = self.catalog.mutation_lock(table);
+        let guard = lock.lock();
+        let entry = self.catalog.get(table)?;
+        let first_row = entry.relation.rows();
+        let appended = entry.relation.append_rows(rows)?;
+        let combined = Arc::new(appended.combined);
+        self.catalog.replace_data(table, (*combined).clone())?;
+        // Maintenance kernels (run merges, rebuild gathers) go through
+        // the session pool only when this session is parallel at all.
+        let tp;
+        let pool_ref = if self.threads > 1 {
+            tp = ThreadPool::with_pool(self.threads, self.pool());
+            Some(&tp)
+        } else {
+            None
+        };
+        let maintenance = self.maintainer.maintain_table(
+            &self.catalog,
+            &self.avs,
+            &self.av_builder(),
+            table,
+            &combined,
+            &appended.delta,
+            first_row,
+            pool_ref,
+        )?;
+        drop(guard);
+        Ok(InsertReport {
+            rows_inserted: rows.len() as u64,
+            maintenance,
+        })
     }
 
     /// Optimise a logical plan (no execution). Plans at the session's
@@ -987,6 +1060,49 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn insert_maintains_grouping_av_and_keeps_plans_cached() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let engine = engine_with_table(false, true).with_metrics_registry(Arc::clone(&registry));
+        let q = count_sum_query();
+        let workload = vec![WorkloadQuery::new(q.clone(), 100.0)];
+        engine
+            .select_and_materialise_avs(&workload, usize::MAX, Solver::Greedy)
+            .unwrap();
+        let prepared = engine.prepare(&q);
+        let before = engine.execute_prepared(&prepared, &q).unwrap();
+        assert_eq!(before.output.relation.rows(), 64);
+
+        // Append rows for key 0 and a plan-cache-visible re-execution.
+        let report = engine
+            .insert("t", &[vec![Value::U32(0)], vec![Value::U32(0)]])
+            .unwrap();
+        assert_eq!(report.rows_inserted, 2);
+        assert!(!report.maintenance.outcomes.is_empty());
+        let after = engine.execute_prepared(&prepared, &q).unwrap();
+        let counts = after
+            .output
+            .relation
+            .column("count")
+            .unwrap()
+            .as_u64()
+            .unwrap();
+        assert_eq!(counts.iter().sum::<u64>(), 5_002);
+
+        // The data clock is not the DDL clock: the second execution hit
+        // the cached plan even though the table's rows changed.
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter(names::PLAN_CACHE_HITS), Some(1));
+        assert_eq!(snap.counter(names::PLAN_CACHE_MISSES), Some(1));
+        assert!(snap.counter(names::AV_DELTA_MERGES).unwrap_or(0) >= 1);
+    }
+
+    #[test]
+    fn insert_into_unknown_table_errors() {
+        let engine = Engine::new();
+        assert!(engine.insert("missing", &[vec![Value::U32(1)]]).is_err());
     }
 
     #[test]

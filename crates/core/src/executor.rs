@@ -887,6 +887,17 @@ fn eval_predicate_range(
             let table = dict.match_table(|s| s.starts_with(prefix.as_str()));
             mask_by_code_table(col.as_u32()?, &table, start, end, column)
         }
+        Predicate::Like { column, pattern } => {
+            let col = rel.column(column)?;
+            if col.data_type() != DataType::Str {
+                return Err(CoreError::Unsupported(format!(
+                    "LIKE on non-string column '{column}'"
+                )));
+            }
+            let dict = str_dictionary(rel, column)?;
+            let table = dict.match_table(|s| dqo_plan::like_match(pattern, s));
+            mask_by_code_table(col.as_u32()?, &table, start, end, column)
+        }
     }
 }
 

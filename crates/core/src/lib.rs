@@ -22,6 +22,10 @@
 //! * [`av_build`] — the offline AV build service: batch-materialises an
 //!   AVSP solution on the shared persistent pool, admission-controlled
 //!   and optionally in the background, with per-build stats;
+//! * [`av_delta`] — incremental AV maintenance on the write path:
+//!   appends delta-merge groupings, run-merge sorted projections and
+//!   patch SPH indexes (or fall back to rebuilds), keeping every
+//!   maintained artifact bit-identical to a from-scratch build;
 //! * [`partial_av`] — partial AVs (§6): granules frozen offline with
 //!   named decisions left open for query time;
 //! * [`plan_cache`] — the prepared-statement plan cache: optimise a
@@ -39,6 +43,7 @@
 pub mod adaptive;
 pub mod av;
 pub mod av_build;
+pub mod av_delta;
 pub mod avsp;
 pub mod catalog;
 pub mod cost;
@@ -54,9 +59,12 @@ pub mod profile;
 pub mod reopt;
 
 pub use av_build::{AvBuildHandle, AvBuildStats, AvBuilder};
+pub use av_delta::{
+    DeltaAction, DeltaPolicy, MaintenanceOutcome, MaintenanceReport, ViewMaintainer,
+};
 pub use catalog::Catalog;
 pub use cost::{CostModel, TupleCostModel};
-pub use engine::{Engine, PreparedPlan};
+pub use engine::{Engine, InsertReport, PreparedPlan};
 pub use error::CoreError;
 pub use executor::{execute, ExecOutput};
 pub use optimizer::{optimize, OptimizerMode, PlannedQuery};

@@ -1046,6 +1046,16 @@ pub(crate) fn estimate_selectivity(pred: &Predicate, props: &PlanProps) -> f64 {
             1 => 0.25,
             _ => 0.1,
         },
+        // General wildcard patterns are unanchored; charge by how much
+        // literal text the pattern pins down (a contains-match with a
+        // long needle filters about as hard as a long prefix).
+        Predicate::Like { pattern, .. } => {
+            match pattern.chars().filter(|&c| c != '%' && c != '_').count() {
+                0 => 1.0,
+                1 => 0.5,
+                _ => 0.2,
+            }
+        }
         Predicate::Compare { op, value, .. } => match op {
             CmpOp::Eq => 1.0 / props.distinct.unwrap_or(10).max(1) as f64,
             CmpOp::Ne => 1.0 - 1.0 / props.distinct.unwrap_or(10).max(1) as f64,

@@ -239,6 +239,7 @@ fn predicate_shape(p: &Predicate) -> String {
     match p {
         Predicate::Compare { column, op, .. } => format!("{column} {op} ?"),
         Predicate::Prefix { column, prefix } => format!("{column} LIKE '{prefix}%'"),
+        Predicate::Like { column, pattern } => format!("{column} LIKE '{pattern}'"),
         Predicate::And(ps) => ps
             .iter()
             .map(predicate_shape)

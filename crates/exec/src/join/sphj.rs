@@ -116,6 +116,57 @@ impl SphIndex {
     pub fn byte_size(&self) -> usize {
         (self.offsets.len() + self.rows.len()) * std::mem::size_of::<u32>()
     }
+
+    /// Incrementally extend the index with `delta_keys`, the keys of rows
+    /// appended to the build side starting at row id `first_row`. The
+    /// domain is fixed at build time: a delta key outside `[min, min +
+    /// domain)` is an error, and the caller falls back to a full rebuild
+    /// (the append may have widened the dense domain).
+    ///
+    /// The result is **bit-identical** to
+    /// [`SphIndex::build`]`(base ++ delta, min, max)`: `build` fills each
+    /// bucket's postings in ascending scan order, and every old row id is
+    /// smaller than every appended one, so "old postings then delta
+    /// postings" per bucket *is* the from-scratch order.
+    pub fn patch(&self, delta_keys: &[u32], first_row: u32) -> Result<Self> {
+        let domain = self.offsets.len() - 1;
+        // Count pass over the delta (validates the domain up front, before
+        // any allocation proportional to the data).
+        let mut delta_counts = vec![0u32; domain];
+        for &k in delta_keys {
+            let off = slot(k, self.min, domain)
+                .ok_or_else(|| domain_violation(k, self.min, self.min + (domain as u32 - 1)))?;
+            delta_counts[off] += 1;
+        }
+        let mut offsets = Vec::with_capacity(domain + 1);
+        offsets.push(0u32);
+        let mut total = 0u32;
+        for (w, &dc) in self.offsets.windows(2).zip(&delta_counts) {
+            total += (w[1] - w[0]) + dc;
+            offsets.push(total);
+        }
+        let mut rows = vec![0u32; self.rows.len() + delta_keys.len()];
+        // Old postings first: bucket-wise copy into the widened layout.
+        for (w, &dst) in self.offsets.windows(2).zip(&offsets) {
+            let (lo, hi) = (w[0] as usize, w[1] as usize);
+            let dst = dst as usize;
+            rows[dst..dst + (hi - lo)].copy_from_slice(&self.rows[lo..hi]);
+        }
+        // Delta postings after them, in delta scan order.
+        let mut cursor: Vec<u32> = (0..domain)
+            .map(|g| offsets[g] + (self.offsets[g + 1] - self.offsets[g]))
+            .collect();
+        for (i, &k) in delta_keys.iter().enumerate() {
+            let off = slot(k, self.min, domain).expect("validated in count pass");
+            rows[cursor[off] as usize] = first_row + i as u32;
+            cursor[off] += 1;
+        }
+        Ok(SphIndex {
+            min: self.min,
+            offsets,
+            rows,
+        })
+    }
 }
 
 /// SPH join: dense build side `left_keys` over domain `[min, max]`,
@@ -264,6 +315,40 @@ mod index_tests {
         assert!(SphIndex::from_csr(0, vec![0, 2, 1], vec![0, 1]).is_err());
         // End offset disagrees with the row count.
         assert!(SphIndex::from_csr(0, vec![0, 2], vec![0]).is_err());
+    }
+
+    #[test]
+    fn patch_is_bit_identical_to_rebuild() {
+        // Several shapes: empty base, empty delta, duplicates, all-one-key.
+        let cases: &[(&[u32], &[u32], u32, u32)] = &[
+            (&[0, 3, 1, 3, 2], &[3, 0, 4, 4], 0, 4),
+            (&[], &[2, 2, 1], 0, 4),
+            (&[5, 7, 6], &[], 5, 7),
+            (&[9, 9, 9], &[9, 9], 9, 9),
+            (&[100, 102], &[101, 100, 102], 100, 102),
+        ];
+        for &(base, delta, min, max) in cases {
+            let built = SphIndex::build(base, min, max).unwrap();
+            let patched = built.patch(delta, base.len() as u32).unwrap();
+            let combined: Vec<u32> = base.iter().chain(delta).copied().collect();
+            let rebuilt = SphIndex::build(&combined, min, max).unwrap();
+            assert_eq!(patched, rebuilt, "base={base:?} delta={delta:?}");
+        }
+    }
+
+    #[test]
+    fn patch_rejects_delta_keys_outside_domain() {
+        let built = SphIndex::build(&[1u32, 2], 1, 3).unwrap();
+        assert!(matches!(
+            built.patch(&[4], 2),
+            Err(ExecError::PreconditionViolated {
+                algorithm: "SPHJ",
+                ..
+            })
+        ));
+        assert!(built.patch(&[0], 2).is_err(), "below min rejected too");
+        // The original index is untouched by a failed patch.
+        assert_eq!(built.probe(&[1, 2]).len(), 2);
     }
 
     #[test]

@@ -67,13 +67,22 @@ pub enum Predicate {
         value: Value,
     },
     /// `column LIKE 'prefix%'` on a dictionary-encoded string column —
-    /// the supported subset of LIKE (one trailing `%`, no other
-    /// wildcards). Evaluated per dictionary *code*, not per row.
+    /// the fast LIKE shape (one trailing `%`, no other wildcards),
+    /// evaluated as `starts_with` per dictionary *code*, not per row.
     Prefix {
         /// Column name.
         column: String,
         /// The literal prefix (the pattern minus its trailing `%`).
         prefix: String,
+    },
+    /// `column LIKE pattern` with arbitrary `%` (any run) and `_` (one
+    /// character) wildcards — `'%x%'`, `'x%y'`, `'a_c'` and friends.
+    /// Still evaluated once per dictionary *code* via [`like_match`].
+    Like {
+        /// Column name.
+        column: String,
+        /// The full LIKE pattern, wildcards included.
+        pattern: String,
     },
     /// Conjunction of predicates.
     And(Vec<Predicate>),
@@ -97,14 +106,57 @@ impl Predicate {
         }
     }
 
+    /// Convenience constructor for a general wildcard match.
+    pub fn like(column: impl Into<String>, pattern: impl Into<String>) -> Self {
+        Predicate::Like {
+            column: column.into(),
+            pattern: pattern.into(),
+        }
+    }
+
     /// All columns the predicate touches.
     pub fn columns(&self) -> Vec<&str> {
         match self {
             Predicate::Compare { column, .. } => vec![column.as_str()],
             Predicate::Prefix { column, .. } => vec![column.as_str()],
+            Predicate::Like { column, .. } => vec![column.as_str()],
             Predicate::And(ps) => ps.iter().flat_map(|p| p.columns()).collect(),
         }
     }
+}
+
+/// SQL LIKE semantics: `%` matches any (possibly empty) run of
+/// characters, `_` matches exactly one character; everything else is
+/// literal. Character-based, so multi-byte UTF-8 counts as one `_`.
+///
+/// Greedy two-pointer with backtracking to the last `%` — linear in
+/// practice, worst case `O(|pattern|·|s|)`, and allocation-free.
+pub fn like_match(pattern: &str, s: &str) -> bool {
+    let p: Vec<char> = pattern.chars().collect();
+    let t: Vec<char> = s.chars().collect();
+    let (mut pi, mut ti) = (0usize, 0usize);
+    // Position of the last `%` seen, and where its match currently ends.
+    let mut star: Option<usize> = None;
+    let mut mark = 0usize;
+    while ti < t.len() {
+        if pi < p.len() && (p[pi] == '_' || p[pi] == t[ti]) {
+            pi += 1;
+            ti += 1;
+        } else if pi < p.len() && p[pi] == '%' {
+            star = Some(pi);
+            mark = ti;
+            pi += 1;
+        } else if let Some(sp) = star {
+            // Extend the last `%` by one character and retry.
+            pi = sp + 1;
+            mark += 1;
+            ti = mark;
+        } else {
+            return false;
+        }
+    }
+    // Only trailing `%` may remain.
+    p[pi..].iter().all(|&c| c == '%')
 }
 
 impl fmt::Display for Predicate {
@@ -112,6 +164,7 @@ impl fmt::Display for Predicate {
         match self {
             Predicate::Compare { column, op, value } => write!(f, "{column} {op} {value}"),
             Predicate::Prefix { column, prefix } => write!(f, "{column} LIKE '{prefix}%'"),
+            Predicate::Like { column, pattern } => write!(f, "{column} LIKE '{pattern}'"),
             Predicate::And(ps) => {
                 for (i, p) in ps.iter().enumerate() {
                     if i > 0 {
@@ -233,6 +286,43 @@ mod tests {
         let p = Predicate::prefix("name", "ab");
         assert_eq!(p.to_string(), "name LIKE 'ab%'");
         assert_eq!(p.columns(), vec!["name"]);
+        let l = Predicate::like("name", "%ab_c%");
+        assert_eq!(l.to_string(), "name LIKE '%ab_c%'");
+        assert_eq!(l.columns(), vec!["name"]);
+    }
+
+    #[test]
+    fn like_match_wildcard_semantics() {
+        // Contains.
+        assert!(like_match("%bc%", "abcd"));
+        assert!(like_match("%bc%", "bc"));
+        assert!(!like_match("%bc%", "bdc"));
+        // Infix anchor both ends.
+        assert!(like_match("a%d", "ad"));
+        assert!(like_match("a%d", "abcd"));
+        assert!(!like_match("a%d", "abce"));
+        // Single-character wildcard.
+        assert!(like_match("a_c", "abc"));
+        assert!(!like_match("a_c", "ac"));
+        assert!(!like_match("a_c", "abbc"));
+        // Mixed.
+        assert!(like_match("a_c%", "abcdef"));
+        assert!(like_match("%_", "x"));
+        assert!(!like_match("%_", ""));
+        // Multiple percent runs and backtracking.
+        assert!(like_match("a%b%c", "axxbyybzc"));
+        assert!(!like_match("a%b%c", "axxc"));
+        // Literal-only pattern is exact equality.
+        assert!(like_match("abc", "abc"));
+        assert!(!like_match("abc", "abcd"));
+        // Empty pattern and match-everything.
+        assert!(like_match("", ""));
+        assert!(!like_match("", "a"));
+        assert!(like_match("%", ""));
+        assert!(like_match("%%", "anything"));
+        // `_` counts characters, not bytes.
+        assert!(like_match("_", "ü"));
+        assert!(like_match("m_nchen", "münchen"));
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub use algorithms::{
     GroupingImpl, HashFnMolecule, JoinImpl, LoopMolecule, SortMolecule, TableMolecule,
 };
 pub use deep::{DeepPlan, Granule};
-pub use expr::{AggExpr, AggFunc, CmpOp, Predicate};
+pub use expr::{like_match, AggExpr, AggFunc, CmpOp, Predicate};
 pub use granule::Granularity;
 pub use logical::LogicalPlan;
 pub use physical::PhysicalPlan;

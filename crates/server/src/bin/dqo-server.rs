@@ -1,0 +1,178 @@
+//! `dqo-server` — the standalone serving binary.
+//!
+//! Binds a TCP listener in front of one shared engine session seeded
+//! with a generated demo table `t(key u32, city str)` (the catalog has
+//! no persistent storage; `INSERT INTO t VALUES …` mutates it live).
+//!
+//! ```text
+//! dqo-server [--bind ADDR] [--threads N] [--admission N]
+//!            [--rows N] [--groups N]
+//! ```
+//!
+//! * `--bind` — listen address (default `127.0.0.1:7878`);
+//! * `--threads` — workers in the shared pool (default: hardware);
+//! * `--admission` — max concurrently executing queries (default 2×threads);
+//! * `--rows`, `--groups` — shape of the demo table (default 100000 / 64).
+//!
+//! SIGTERM and SIGINT drain gracefully: the acceptor stops, every
+//! connection finishes its in-flight request, and the process exits 0.
+
+use dqo_core::Engine;
+use dqo_server::Server;
+use dqo_storage::datagen::DatasetSpec;
+use dqo_storage::{Column, DataType, Dictionary, Field, Relation, Schema};
+use std::os::raw::c_int;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const SIGINT: c_int = 2;
+const SIGTERM: c_int = 15;
+
+static STOP: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_sig: c_int) {
+    // Async-signal-safe: just flip the flag; the main loop drains.
+    STOP.store(true, Ordering::SeqCst);
+}
+
+extern "C" {
+    // libc's signal(2); avoids a dependency for two handlers.
+    fn signal(signum: c_int, handler: extern "C" fn(c_int)) -> usize;
+}
+
+struct Options {
+    bind: String,
+    threads: usize,
+    admission: usize,
+    rows: usize,
+    groups: usize,
+}
+
+impl Options {
+    fn defaults() -> Options {
+        let threads = dqo_parallel::default_threads().max(2);
+        Options {
+            bind: "127.0.0.1:7878".to_owned(),
+            threads,
+            admission: threads * 2,
+            rows: 100_000,
+            groups: 64,
+        }
+    }
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options::defaults();
+    let mut admission_set = false;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--bind" => opts.bind = value("--bind")?,
+            "--threads" => {
+                opts.threads = parse_count(&value("--threads")?, "--threads")?;
+                if !admission_set {
+                    opts.admission = opts.threads * 2;
+                }
+            }
+            "--admission" => {
+                opts.admission = parse_count(&value("--admission")?, "--admission")?;
+                admission_set = true;
+            }
+            "--rows" => opts.rows = parse_count(&value("--rows")?, "--rows")?,
+            "--groups" => opts.groups = parse_count(&value("--groups")?, "--groups")?,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: dqo-server [--bind ADDR] [--threads N] [--admission N] \
+                     [--rows N] [--groups N]"
+                        .to_owned(),
+                )
+            }
+            other => return Err(format!("unknown flag {other} (try --help)")),
+        }
+    }
+    Ok(opts)
+}
+
+fn parse_count(s: &str, flag: &str) -> Result<usize, String> {
+    match s.parse::<usize>() {
+        Ok(n) if n > 0 => Ok(n),
+        _ => Err(format!("{flag} needs a positive integer, got {s:?}")),
+    }
+}
+
+/// The demo table: dense uniform keys plus a derived low-cardinality
+/// string attribute, mirroring the serving bench workload.
+fn demo_table(rows: usize, groups: usize) -> Relation {
+    let keys = DatasetSpec::new(rows, groups)
+        .sorted(false)
+        .dense(true)
+        .seed(0xD0_5E11)
+        .generate()
+        .expect("datagen");
+    let cities: Vec<String> = keys.iter().map(|k| format!("c{}", k % 8)).collect();
+    let city_refs: Vec<&str> = cities.iter().map(String::as_str).collect();
+    let (dict, codes) = Dictionary::encode_all(&city_refs);
+    let schema = Schema::new(vec![
+        Field::new("key", DataType::U32),
+        Field::new("city", DataType::Str),
+    ])
+    .expect("schema");
+    Relation::new(schema, vec![Column::U32(keys), Column::Str(codes)])
+        .expect("relation")
+        .with_dictionary("city", Arc::new(dict))
+        .expect("dictionary")
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(opts) => opts,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let pool = Arc::new(dqo_parallel::PersistentPool::with_admission(
+        opts.threads,
+        opts.admission,
+    ));
+    let engine = Arc::new(Engine::with_shared_pool(Arc::clone(&pool)));
+    engine.register_table("t", demo_table(opts.rows, opts.groups));
+
+    let handle = match Server::start(Arc::clone(&engine), &opts.bind) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("failed to bind {}: {e}", opts.bind);
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "dqo-server listening on {} ({} pool threads, {} max in-flight, \
+         demo table t: {} rows / {} groups)",
+        handle.addr(),
+        opts.threads,
+        opts.admission,
+        opts.rows,
+        opts.groups
+    );
+
+    unsafe {
+        signal(SIGTERM, on_signal);
+        signal(SIGINT, on_signal);
+    }
+    while !STOP.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    println!("signal received, draining connections");
+    handle.shutdown();
+    println!("drained, bye");
+    ExitCode::SUCCESS
+}

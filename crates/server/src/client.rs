@@ -143,6 +143,19 @@ impl Client {
         }
     }
 
+    /// Run an `INSERT INTO … VALUES …` statement; `?` placeholders are
+    /// spliced from `params` (`?0` first; only `u32` and string values
+    /// travel on the wire). Returns the number of rows appended.
+    pub fn insert(&mut self, sql: &str, params: &[Value]) -> Result<u64, ClientError> {
+        match self.round_trip(&ClientFrame::Insert {
+            sql: sql.to_owned(),
+            params: params.to_vec(),
+        })? {
+            ServerFrame::RowsAffected { rows } => Ok(rows),
+            other => Err(unexpected(other)),
+        }
+    }
+
     /// Close a prepared statement (idempotent server-side).
     pub fn close_statement(&mut self, stmt: StatementHandle) -> Result<(), ClientError> {
         match self.round_trip(&ClientFrame::Close {
@@ -189,6 +202,7 @@ fn unexpected(frame: ServerFrame) -> ClientError {
             ServerFrame::Error { .. } => "ERROR",
             ServerFrame::StmtReady { .. } => "STMT_READY",
             ServerFrame::Ok => "OK",
+            ServerFrame::RowsAffected { .. } => "ROWS_AFFECTED",
         },
     }
 }

@@ -43,6 +43,10 @@ pub const OP_EXECUTE: u8 = 0x04;
 /// CLOSE (client → server): `{stmt_id: u32}`; [`CLOSE_SESSION`] ends the
 /// whole session.
 pub const OP_CLOSE: u8 = 0x05;
+/// INSERT (client → server): `{sql: String, params}` — an
+/// `INSERT INTO … VALUES …` statement, with `?` placeholders spliced
+/// from the tagged parameter list (same encoding as EXECUTE).
+pub const OP_INSERT: u8 = 0x06;
 /// WELCOME (server → client): `{version: u16, server: String}`.
 pub const OP_WELCOME: u8 = 0x81;
 /// RESULT_SET (server → client): a typed, column-major relation.
@@ -53,6 +57,8 @@ pub const OP_ERROR: u8 = 0x83;
 pub const OP_STMT_READY: u8 = 0x84;
 /// OK (server → client): empty acknowledgement (CLOSE).
 pub const OP_OK: u8 = 0x85;
+/// ROWS_AFFECTED (server → client): `{rows: u64}` — an INSERT landed.
+pub const OP_ROWS_AFFECTED: u8 = 0x86;
 
 /// `stmt_id` sentinel in CLOSE meaning "close the session".
 pub const CLOSE_SESSION: u32 = 0xFFFF_FFFF;
@@ -125,11 +131,13 @@ pub fn wire_constants() -> Vec<(&'static str, u64)> {
         ("OP_PREPARE", u64::from(OP_PREPARE)),
         ("OP_EXECUTE", u64::from(OP_EXECUTE)),
         ("OP_CLOSE", u64::from(OP_CLOSE)),
+        ("OP_INSERT", u64::from(OP_INSERT)),
         ("OP_WELCOME", u64::from(OP_WELCOME)),
         ("OP_RESULT_SET", u64::from(OP_RESULT_SET)),
         ("OP_ERROR", u64::from(OP_ERROR)),
         ("OP_STMT_READY", u64::from(OP_STMT_READY)),
         ("OP_OK", u64::from(OP_OK)),
+        ("OP_ROWS_AFFECTED", u64::from(OP_ROWS_AFFECTED)),
         ("CLOSE_SESSION", u64::from(CLOSE_SESSION)),
         ("PARAM_U32", u64::from(PARAM_U32)),
         ("PARAM_STR", u64::from(PARAM_STR)),
@@ -246,6 +254,13 @@ pub enum ClientFrame {
         /// Statement id, or [`CLOSE_SESSION`].
         stmt_id: u32,
     },
+    /// An `INSERT INTO … VALUES …` mutation.
+    Insert {
+        /// The statement text (may contain `?` placeholders).
+        sql: String,
+        /// Positional parameter values, `?0` first.
+        params: Vec<Value>,
+    },
 }
 
 /// A frame the server sends.
@@ -276,6 +291,11 @@ pub enum ServerFrame {
     },
     /// Empty acknowledgement (CLOSE).
     Ok,
+    /// An INSERT landed: how many rows it appended.
+    RowsAffected {
+        /// Rows appended by the statement.
+        rows: u64,
+    },
 }
 
 /// A result set as it travels on the wire: named, typed, column-major.
@@ -490,30 +510,57 @@ pub fn encode_client_frame(frame: &ClientFrame) -> Result<Vec<u8>, ProtocolError
         ClientFrame::Execute { stmt_id, params } => {
             body.push(OP_EXECUTE);
             body.extend_from_slice(&stmt_id.to_le_bytes());
-            body.extend_from_slice(&(params.len() as u16).to_le_bytes());
-            for p in params {
-                match p {
-                    Value::U32(v) => {
-                        body.push(PARAM_U32);
-                        body.extend_from_slice(&v.to_le_bytes());
-                    }
-                    Value::Str(s) => {
-                        body.push(PARAM_STR);
-                        put_string(&mut body, s);
-                    }
-                    Value::U64(_) => return Err(ProtocolError::UnsupportedParam("u64")),
-                    Value::I64(_) => return Err(ProtocolError::UnsupportedParam("i64")),
-                    Value::F64(_) => return Err(ProtocolError::UnsupportedParam("f64")),
-                    Value::Bool(_) => return Err(ProtocolError::UnsupportedParam("bool")),
-                }
-            }
+            put_params(&mut body, params)?;
         }
         ClientFrame::Close { stmt_id } => {
             body.push(OP_CLOSE);
             body.extend_from_slice(&stmt_id.to_le_bytes());
         }
+        ClientFrame::Insert { sql, params } => {
+            body.push(OP_INSERT);
+            put_string(&mut body, sql);
+            put_params(&mut body, params)?;
+        }
     }
     Ok(finish_frame(body))
+}
+
+/// Encode a tagged parameter list: `[n: u16]` then `n` tagged values
+/// (shared by EXECUTE and INSERT).
+fn put_params(body: &mut Vec<u8>, params: &[Value]) -> Result<(), ProtocolError> {
+    body.extend_from_slice(&(params.len() as u16).to_le_bytes());
+    for p in params {
+        match p {
+            Value::U32(v) => {
+                body.push(PARAM_U32);
+                body.extend_from_slice(&v.to_le_bytes());
+            }
+            Value::Str(s) => {
+                body.push(PARAM_STR);
+                put_string(body, s);
+            }
+            Value::U64(_) => return Err(ProtocolError::UnsupportedParam("u64")),
+            Value::I64(_) => return Err(ProtocolError::UnsupportedParam("i64")),
+            Value::F64(_) => return Err(ProtocolError::UnsupportedParam("f64")),
+            Value::Bool(_) => return Err(ProtocolError::UnsupportedParam("bool")),
+        }
+    }
+    Ok(())
+}
+
+/// Decode a tagged parameter list (see [`put_params`]).
+fn take_params(r: &mut Reader<'_>, what: &'static str) -> Result<Vec<Value>, ProtocolError> {
+    let count = r.u16(what)?;
+    let mut params = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let tag = r.u8("param_tag")?;
+        params.push(match tag {
+            PARAM_U32 => Value::U32(r.u32("param_u32")?),
+            PARAM_STR => Value::Str(r.string("param_str")?),
+            other => return Err(ProtocolError::BadParamTag(other)),
+        });
+    }
+    Ok(params)
 }
 
 /// Decode a client frame body (opcode + payload, no length prefix).
@@ -533,21 +580,17 @@ pub fn decode_client_frame(body: &[u8]) -> Result<ClientFrame, ProtocolError> {
         },
         OP_EXECUTE => {
             let stmt_id = r.u32("execute.stmt_id")?;
-            let count = r.u16("execute.param_count")?;
-            let mut params = Vec::with_capacity(count as usize);
-            for _ in 0..count {
-                let tag = r.u8("execute.param_tag")?;
-                params.push(match tag {
-                    PARAM_U32 => Value::U32(r.u32("execute.param_u32")?),
-                    PARAM_STR => Value::Str(r.string("execute.param_str")?),
-                    other => return Err(ProtocolError::BadParamTag(other)),
-                });
-            }
+            let params = take_params(&mut r, "execute.param_count")?;
             ClientFrame::Execute { stmt_id, params }
         }
         OP_CLOSE => ClientFrame::Close {
             stmt_id: r.u32("close.stmt_id")?,
         },
+        OP_INSERT => {
+            let sql = r.string("insert.sql")?;
+            let params = take_params(&mut r, "insert.param_count")?;
+            ClientFrame::Insert { sql, params }
+        }
         other => return Err(ProtocolError::BadOpcode(other)),
     };
     r.finish()?;
@@ -622,6 +665,10 @@ pub fn encode_server_frame(frame: &ServerFrame) -> Vec<u8> {
             body.extend_from_slice(&params.to_le_bytes());
         }
         ServerFrame::Ok => body.push(OP_OK),
+        ServerFrame::RowsAffected { rows } => {
+            body.push(OP_ROWS_AFFECTED);
+            body.extend_from_slice(&rows.to_le_bytes());
+        }
     }
     finish_frame(body)
 }
@@ -722,6 +769,9 @@ pub fn decode_server_frame(body: &[u8]) -> Result<ServerFrame, ProtocolError> {
             params: r.u16("stmt_ready.params")?,
         },
         OP_OK => ServerFrame::Ok,
+        OP_ROWS_AFFECTED => ServerFrame::RowsAffected {
+            rows: r.u64("rows_affected.rows")?,
+        },
         other => return Err(ProtocolError::BadOpcode(other)),
     };
     r.finish()?;
@@ -822,6 +872,14 @@ mod tests {
             ClientFrame::Close {
                 stmt_id: CLOSE_SESSION,
             },
+            ClientFrame::Insert {
+                sql: "INSERT INTO t VALUES (1), (?)".into(),
+                params: vec![Value::U32(9), Value::Str("ber".into())],
+            },
+            ClientFrame::Insert {
+                sql: "INSERT INTO t VALUES (2)".into(),
+                params: vec![],
+            },
         ]
     }
 
@@ -845,6 +903,8 @@ mod tests {
                 params: 2,
             },
             ServerFrame::Ok,
+            ServerFrame::RowsAffected { rows: u64::MAX },
+            ServerFrame::RowsAffected { rows: 0 },
         ]
     }
 

@@ -308,6 +308,10 @@ impl Connection {
                 self.statements.remove(&stmt_id);
                 Dispatch::Reply(ServerFrame::Ok)
             }
+            ClientFrame::Insert { sql, params } => {
+                self.obs.queries.inc();
+                Dispatch::Reply(self.run_insert(&sql, &params))
+            }
         }
     }
 
@@ -355,6 +359,36 @@ impl Connection {
             Ok(result) => {
                 ServerFrame::ResultSet(WireResult::from_relation(&result.output.relation))
             }
+            Err(e) => ServerFrame::Error {
+                code: ErrorCode::Engine,
+                message: e.to_string(),
+            },
+        }
+    }
+
+    fn run_insert(&self, sql: &str, params: &[dqo_storage::Value]) -> ServerFrame {
+        let stmt = match dqo_sql::parse_statement(sql) {
+            Ok(dqo_sql::Statement::Insert(stmt)) => stmt,
+            Ok(dqo_sql::Statement::Select(_)) => {
+                return ServerFrame::Error {
+                    code: ErrorCode::Sql,
+                    message: "INSERT frame carried a SELECT statement (use QUERY)".into(),
+                }
+            }
+            Err(e) => return sql_error(&e),
+        };
+        let rows = match dqo_sql::bind_insert(&stmt, &CatalogSchemas(self.engine.catalog()), params)
+        {
+            Ok(rows) => rows,
+            Err(e) => return sql_error(&e),
+        };
+        match self.engine.insert(&stmt.table, &rows) {
+            // Background AV rebuilds (if the delta policy chose any)
+            // finish on the builder's own threads; the client only waits
+            // for the base table and merge-maintained views.
+            Ok(report) => ServerFrame::RowsAffected {
+                rows: report.rows_inserted,
+            },
             Err(e) => ServerFrame::Error {
                 code: ErrorCode::Engine,
                 message: e.to_string(),

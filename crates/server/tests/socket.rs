@@ -137,6 +137,65 @@ fn reregistering_the_table_invalidates_cached_plans() {
     handle.shutdown();
 }
 
+/// The headline mutation criterion at the wire level: an INSERT frame
+/// is visible to subsequent prepared executions *without* a plan-cache
+/// flush — appends bump the data generation, not the DDL generation.
+#[test]
+fn insert_over_the_wire_is_visible_without_plan_cache_flush() {
+    let (_engine, handle, registry) = serve(10_000, 8);
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let stmt = client
+        .prepare("SELECT key, COUNT(*) AS n FROM t WHERE key < ? GROUP BY key ORDER BY key")
+        .expect("prepare");
+
+    let count_sum = |result: &WireResult| match result.column("n") {
+        Some(WireData::U64(counts)) => counts.iter().sum::<u64>(),
+        other => panic!("count column missing or mistyped: {other:?}"),
+    };
+
+    // Warm the plan cache: first execution is the cold plan.
+    let before = client.execute(stmt, &[Value::U32(8)]).expect("execute");
+    assert_eq!(count_sum(&before), 10_000);
+    let warm = registry.snapshot();
+    let misses_before = warm.counter(names::PLAN_CACHE_MISSES).unwrap_or(0);
+
+    // Two appended rows, one via a `?` placeholder.
+    let rows = client
+        .insert("INSERT INTO t VALUES (0), (?)", &[Value::U32(3)])
+        .expect("insert");
+    assert_eq!(rows, 2);
+
+    // The cached plan sees the new rows on its next execution.
+    let after = client.execute(stmt, &[Value::U32(8)]).expect("execute");
+    assert_eq!(count_sum(&after), 10_002, "insert not visible");
+    let snap = registry.snapshot();
+    assert_eq!(
+        snap.counter(names::PLAN_CACHE_MISSES).unwrap_or(0),
+        misses_before,
+        "INSERT must not flush the plan cache"
+    );
+    assert!(snap.counter(names::PLAN_CACHE_HITS).unwrap_or(0) >= 1);
+
+    // Bad inserts are typed, session-recoverable errors.
+    match client.insert("INSERT INTO nope VALUES (1)", &[]) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::Sql),
+        other => panic!("expected SQL error, got {other:?}"),
+    }
+    match client.insert("SELECT key FROM t", &[]) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::Sql),
+        other => panic!("expected SQL error, got {other:?}"),
+    }
+    match client.insert("INSERT INTO t VALUES (1, 2)", &[]) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::Sql),
+        other => panic!("expected SQL error, got {other:?}"),
+    }
+    // The session survived and still serves.
+    let still = client.execute(stmt, &[Value::U32(8)]).expect("execute");
+    assert_eq!(count_sum(&still), 10_002);
+    client.close().expect("clean close");
+    handle.shutdown();
+}
+
 #[test]
 fn a_client_dying_mid_query_does_not_poison_the_server() {
     let (engine, handle, _) = serve(50_000, 64);

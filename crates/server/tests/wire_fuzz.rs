@@ -1,0 +1,214 @@
+//! Wire-level fuzz against a **live socket**: random bytes, corrupted
+//! frames, truncated frames and oversized length prefixes must never
+//! panic the server, poison the shared pool, or elicit a malformed
+//! reply. After every hostile connection a fresh well-behaved client
+//! must still get correct answers — the "never poison" property the
+//! protocol hardening promises.
+//!
+//! The case count is bounded (default 48, `WIRE_FUZZ_CASES` overrides)
+//! so the sweep stays cheap enough for every CI leg; seeds are pinned by
+//! the proptest shim, so failures reproduce exactly.
+
+use dqo_core::Engine;
+use dqo_parallel::PersistentPool;
+use dqo_server::protocol::{self, encode_client_frame};
+use dqo_server::{Client, ClientFrame, Server, ServerHandle, MAX_FRAME, PROTOCOL_VERSION};
+use dqo_storage::datagen::DatasetSpec;
+use dqo_storage::Value;
+use proptest::prelude::*;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+/// One server shared by every fuzz case — the point is precisely that
+/// hostile connections must not damage it for later ones.
+static SERVER: OnceLock<(Arc<Engine>, ServerHandle)> = OnceLock::new();
+
+fn server_addr() -> SocketAddr {
+    let (_, handle) = SERVER.get_or_init(|| {
+        let pool = Arc::new(PersistentPool::with_admission(2, 2));
+        let engine = Arc::new(Engine::with_shared_pool(pool));
+        engine.register_table(
+            "t",
+            DatasetSpec::new(5_000, 32)
+                .sorted(false)
+                .dense(true)
+                .seed(3)
+                .relation()
+                .expect("datagen"),
+        );
+        let handle = Server::start(Arc::clone(&engine), "127.0.0.1:0").expect("bind");
+        (engine, handle)
+    });
+    handle.addr()
+}
+
+fn cases() -> u32 {
+    std::env::var("WIRE_FUZZ_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(48)
+}
+
+/// Well-formed frames the mutators start from — one per opcode.
+fn corpus() -> Vec<Vec<u8>> {
+    [
+        ClientFrame::Hello {
+            version: PROTOCOL_VERSION,
+            client: "fuzz".into(),
+        },
+        ClientFrame::Query {
+            sql: "SELECT key, COUNT(*) AS n FROM t GROUP BY key".into(),
+        },
+        ClientFrame::Prepare {
+            sql: "SELECT key FROM t WHERE key < ?".into(),
+        },
+        ClientFrame::Execute {
+            stmt_id: 0,
+            params: vec![Value::U32(7)],
+        },
+        ClientFrame::Insert {
+            sql: "INSERT INTO t VALUES (?)".into(),
+            params: vec![Value::U32(3)],
+        },
+        ClientFrame::Close { stmt_id: 0 },
+    ]
+    .iter()
+    .map(|f| encode_client_frame(f).expect("corpus encodes"))
+    .collect()
+}
+
+/// Drain the server's replies off `stream` until it stops talking.
+/// Every complete frame that arrives must be a well-formed server frame
+/// with a sane length prefix — garbage in, *typed* frames out.
+fn drain_replies(stream: &mut TcpStream) {
+    stream
+        .set_read_timeout(Some(Duration::from_millis(400)))
+        .expect("timeout");
+    loop {
+        let mut len_buf = [0u8; 4];
+        match stream.read_exact(&mut len_buf) {
+            Ok(()) => {}
+            Err(_) => return, // EOF or timeout: the server hung up.
+        }
+        let len = u32::from_le_bytes(len_buf);
+        assert!(
+            len <= MAX_FRAME,
+            "server advertised an oversized frame: {len}"
+        );
+        let mut body = vec![0u8; len as usize];
+        if stream.read_exact(&mut body).is_err() {
+            return;
+        }
+        protocol::decode_server_frame(&body).expect("server sent a frame its own decoder rejects");
+    }
+}
+
+/// The liveness probe: a fresh, well-behaved session must still be
+/// served correctly after whatever the hostile connection did.
+fn assert_server_still_serves(addr: SocketAddr) {
+    let mut client = Client::connect(addr).expect("server no longer accepts connections");
+    let result = client
+        .query("SELECT key, COUNT(*) AS n FROM t GROUP BY key ORDER BY key")
+        .expect("server no longer answers queries");
+    assert_eq!(result.rows, 32);
+    client.close().expect("clean close");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases()))]
+
+    #[test]
+    fn hostile_bytes_never_kill_the_server(
+        mode in any::<u8>(),
+        bytes in proptest::collection::vec(any::<u8>(), 0..256),
+        pick in any::<u8>(),
+        cut in any::<u16>(),
+    ) {
+        let addr = server_addr();
+        let corpus = corpus();
+        let frame = &corpus[pick as usize % corpus.len()];
+        let payload: Vec<u8> = match mode % 5 {
+            // Raw noise, no framing at all.
+            0 => bytes.clone(),
+            // A self-consistent header (honest length) over a random
+            // body with a random opcode — exercises every decoder arm
+            // with hostile payloads.
+            1 => {
+                let mut buf = (bytes.len() as u32 + 1).to_le_bytes().to_vec();
+                buf.push(pick);
+                buf.extend_from_slice(&bytes);
+                buf
+            }
+            // A valid frame truncated mid-flight, connection dropped.
+            2 => frame[..cut as usize % (frame.len() + 1)].to_vec(),
+            // A valid frame with one byte corrupted.
+            3 => {
+                let mut buf = frame.clone();
+                let at = cut as usize % buf.len();
+                buf[at] ^= 1 + (pick % 255);
+                buf
+            }
+            // A length prefix past MAX_FRAME (and u32 extremes).
+            _ => {
+                let len = if pick % 2 == 0 { u32::MAX } else { MAX_FRAME + 1 };
+                let mut buf = len.to_le_bytes().to_vec();
+                buf.extend_from_slice(&bytes);
+                buf
+            }
+        };
+
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        // The server may close mid-write on garbage; a broken pipe is a
+        // legitimate server reaction, not a fuzzer failure.
+        let _ = stream.write_all(&payload);
+        let _ = stream.flush();
+        drain_replies(&mut stream);
+        drop(stream);
+
+        assert_server_still_serves(addr);
+    }
+}
+
+/// Pinned non-random hostile sequences: a half-written length prefix, a
+/// zero-length frame, an empty connection, and interleaving garbage with
+/// a valid session on the *same* connection after a recoverable error.
+#[test]
+fn pinned_hostile_sequences() {
+    let addr = server_addr();
+
+    // Half a length prefix, then hangup.
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.write_all(&[0x10, 0x00]).expect("write");
+    drop(s);
+    assert_server_still_serves(addr);
+
+    // A zero-length frame (no opcode at all).
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.write_all(&0u32.to_le_bytes()).expect("write");
+    drain_replies(&mut s);
+    drop(s);
+    assert_server_still_serves(addr);
+
+    // Connect and say nothing.
+    let s = TcpStream::connect(addr).expect("connect");
+    drop(s);
+    assert_server_still_serves(addr);
+
+    // A session that errors (unknown statement id) must stay usable —
+    // recoverable errors never tear down the connection.
+    let mut client = Client::connect(addr).expect("connect");
+    let err = client.execute(
+        dqo_server::StatementHandle {
+            stmt_id: 9_999,
+            params: 0,
+        },
+        &[],
+    );
+    assert!(err.is_err(), "executing an unknown statement must fail");
+    let result = client
+        .query("SELECT key, COUNT(*) AS n FROM t GROUP BY key")
+        .expect("session survives a recoverable error");
+    assert_eq!(result.rows, 32);
+}

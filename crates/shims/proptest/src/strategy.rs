@@ -148,3 +148,5 @@ impl_tuple_strategy!(A / a);
 impl_tuple_strategy!(A / a, B / b);
 impl_tuple_strategy!(A / a, B / b, C / c);
 impl_tuple_strategy!(A / a, B / b, C / c, D / d);
+impl_tuple_strategy!(A / a, B / b, C / c, D / d, E / e);
+impl_tuple_strategy!(A / a, B / b, C / c, D / d, E / e, F / f);

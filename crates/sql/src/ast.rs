@@ -142,6 +142,25 @@ pub struct SelectStatement {
     pub limit: Option<u64>,
 }
 
+/// A parsed `INSERT INTO t VALUES (…), (…)` statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InsertStatement {
+    /// Target table.
+    pub table: String,
+    /// Value rows, each in schema column order. Cells may be `?`
+    /// placeholders ([`Literal::Param`], numbered in lexical order).
+    pub rows: Vec<Vec<Literal>>,
+}
+
+/// Any supported SQL statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Statement {
+    /// A query.
+    Select(SelectStatement),
+    /// A mutation.
+    Insert(InsertStatement),
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

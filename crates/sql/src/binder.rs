@@ -12,7 +12,7 @@ use crate::prepare::ParamSlot;
 use crate::Result;
 use dqo_plan::expr::{AggExpr, AggFunc, Predicate};
 use dqo_plan::{CmpOp, LogicalPlan};
-use dqo_storage::{DataType, Schema};
+use dqo_storage::{DataType, Schema, Value};
 use std::sync::Arc;
 
 /// Resolves table names to schemas (implemented by the engine's catalog).
@@ -58,6 +58,100 @@ pub(crate) fn bind_with_params(
     // conjunct right-hand sides, so recording order matches index order.
     debug_assert!(slots.iter().enumerate().all(|(i, s)| s.index == i));
     Ok((plan, slots))
+}
+
+/// Bind an INSERT: resolve the table, type-check every cell against the
+/// schema (in column order — the supported form lists all columns), and
+/// splice `params` into `?` placeholders. Returns the value rows ready
+/// for the engine's append path.
+///
+/// Numbers coerce to the column's numeric type (`u32` range-checked,
+/// `u64`/`i64`/`f64` widened); string columns take string literals.
+/// `?` cells draw from `params` by lexical index with the same typing
+/// rules, so one prepared INSERT shape serves any values — including
+/// `Str` parameters, which dictionary-encode on append.
+pub fn bind_insert(
+    stmt: &InsertStatement,
+    provider: &dyn SchemaProvider,
+    params: &[Value],
+) -> Result<Vec<Vec<Value>>> {
+    let schema = provider
+        .table_schema(&stmt.table)
+        .ok_or_else(|| SqlError::UnknownTable(stmt.table.clone()))?;
+    let fields = schema.fields();
+    let mut expected_params = 0usize;
+    let mut rows = Vec::with_capacity(stmt.rows.len());
+    for row in &stmt.rows {
+        if row.len() != fields.len() {
+            return Err(SqlError::Semantic(format!(
+                "INSERT row has {} values but table '{}' has {} columns",
+                row.len(),
+                stmt.table,
+                fields.len()
+            )));
+        }
+        let mut values = Vec::with_capacity(row.len());
+        for (cell, field) in row.iter().zip(fields) {
+            let value = match cell {
+                Literal::Param(index) => {
+                    expected_params = expected_params.max(index + 1);
+                    let supplied = params.get(*index).ok_or(SqlError::ParamCount {
+                        expected: expected_params,
+                        got: params.len(),
+                    })?;
+                    coerce_insert_value(&stmt.table, &field.name, field.data_type, supplied)?
+                }
+                Literal::Number(n) => {
+                    coerce_insert_value(&stmt.table, &field.name, field.data_type, &Value::U64(*n))?
+                }
+                Literal::Str(s) => coerce_insert_value(
+                    &stmt.table,
+                    &field.name,
+                    field.data_type,
+                    &Value::Str(s.clone()),
+                )?,
+            };
+            values.push(value);
+        }
+        rows.push(values);
+    }
+    if params.len() != expected_params {
+        return Err(SqlError::ParamCount {
+            expected: expected_params,
+            got: params.len(),
+        });
+    }
+    Ok(rows)
+}
+
+/// Coerce one INSERT cell to its column's type, erroring with the column
+/// name and real type on a mismatch.
+fn coerce_insert_value(table: &str, column: &str, dtype: DataType, value: &Value) -> Result<Value> {
+    let mismatch = |got: &Value| {
+        SqlError::Semantic(format!(
+            "type mismatch inserting into {table}.{column} ({dtype}): got {}",
+            got.data_type()
+        ))
+    };
+    match (dtype, value) {
+        (DataType::Str, Value::Str(s)) => Ok(Value::Str(s.clone())),
+        (DataType::Str, other) => Err(mismatch(other)),
+        (DataType::U32, Value::U32(v)) => Ok(Value::U32(*v)),
+        (DataType::U32, Value::U64(v)) => u32::try_from(*v).map(Value::U32).map_err(|_| {
+            SqlError::Semantic(format!("value {v} overflows u32 column {table}.{column}"))
+        }),
+        (DataType::U64, Value::U32(v)) => Ok(Value::U64(u64::from(*v))),
+        (DataType::U64, Value::U64(v)) => Ok(Value::U64(*v)),
+        (DataType::I64, Value::U32(v)) => Ok(Value::I64(i64::from(*v))),
+        (DataType::I64, Value::U64(v)) => i64::try_from(*v).map(Value::I64).map_err(|_| {
+            SqlError::Semantic(format!("value {v} overflows i64 column {table}.{column}"))
+        }),
+        (DataType::I64, Value::I64(v)) => Ok(Value::I64(*v)),
+        (DataType::F64, Value::U32(v)) => Ok(Value::F64(f64::from(*v))),
+        (DataType::F64, Value::U64(v)) => Ok(Value::F64(*v as f64)),
+        (DataType::F64, Value::F64(v)) => Ok(Value::F64(*v)),
+        (_, other) => Err(mismatch(other)),
+    }
 }
 
 struct Binder<'a> {
@@ -293,19 +387,19 @@ impl Binder<'_> {
             let Literal::Str(pattern) = &cmp.literal else {
                 return Err(SqlError::Semantic("LIKE needs a string pattern".to_owned()));
             };
-            let Some(prefix) = pattern.strip_suffix('%') else {
-                return Err(SqlError::Semantic(format!(
-                    "unsupported LIKE pattern '{pattern}': only prefix patterns \
-                     ('abc%') are supported"
-                )));
-            };
-            if prefix.contains('%') || prefix.contains('_') {
-                return Err(SqlError::Semantic(format!(
-                    "unsupported LIKE pattern '{pattern}': only one trailing '%' \
-                     wildcard is supported"
-                )));
+            // Classify by pattern shape, cheapest evaluation first:
+            // no wildcards → plain equality; literal text plus a single
+            // trailing `%` → prefix match; anything else → the general
+            // wildcard matcher.
+            if !pattern.contains('%') && !pattern.contains('_') {
+                return Ok(Predicate::cmp(column, CmpOp::Eq, pattern.as_str()));
             }
-            return Ok(Predicate::prefix(column, prefix));
+            if let Some(prefix) = pattern.strip_suffix('%') {
+                if !prefix.contains('%') && !prefix.contains('_') {
+                    return Ok(Predicate::prefix(column, prefix));
+                }
+            }
+            return Ok(Predicate::like(column, pattern.clone()));
         }
         let value = match &cmp.literal {
             Literal::Number(n) => {
@@ -409,7 +503,7 @@ fn convert_op(op: AstCmpOp) -> CmpOp {
         AstCmpOp::Le => CmpOp::Le,
         AstCmpOp::Gt => CmpOp::Gt,
         AstCmpOp::Ge => CmpOp::Ge,
-        AstCmpOp::Like => unreachable!("LIKE binds to Predicate::Prefix"),
+        AstCmpOp::Like => unreachable!("LIKE binds to Predicate::Eq/Prefix/Like"),
     }
 }
 
@@ -646,14 +740,136 @@ mod tests {
     }
 
     #[test]
-    fn non_prefix_like_patterns_rejected() {
-        for pattern in ["%abc", "a%b%", "a_c%", "abc"] {
+    fn like_patterns_classify_by_shape() {
+        // No wildcards → plain equality on the string column.
+        let plan = compile_str("SELECT k FROM t WHERE s LIKE 'abc'").unwrap();
+        assert!(plan.explain().contains("s = 'abc'"), "{}", plan.explain());
+        // Literal text + one trailing '%' → prefix match.
+        let plan = compile_str("SELECT k FROM t WHERE s LIKE 'ab%'").unwrap();
+        assert!(
+            plan.explain().contains("s LIKE 'ab%'"),
+            "{}",
+            plan.explain()
+        );
+        // The bare-'%' pattern is the match-everything prefix.
+        let plan = compile_str("SELECT k FROM t WHERE s LIKE '%'").unwrap();
+        assert!(plan.explain().contains("s LIKE '%'"), "{}", plan.explain());
+        // Everything else → the general wildcard matcher.
+        for pattern in ["%abc", "%abc%", "a%b%", "a_c%", "a_c", "_b%c_"] {
             let sql = format!("SELECT k FROM t WHERE s LIKE '{pattern}'");
-            let err = compile_str(&sql).unwrap_err();
-            assert!(err.to_string().contains("LIKE"), "pattern {pattern}: {err}");
+            let plan = compile_str(&sql).unwrap();
+            assert!(
+                plan.explain().contains(&format!("s LIKE '{pattern}'")),
+                "pattern {pattern}: {}",
+                plan.explain()
+            );
         }
-        // The bare-'%' pattern is a valid (match-everything) prefix.
-        assert!(compile_str("SELECT k FROM t WHERE s LIKE '%'").is_ok());
+        // Still only valid on string columns.
+        let err = compile_str("SELECT k FROM t WHERE k LIKE '%x%'").unwrap_err();
+        assert!(err.to_string().contains("string column"), "{err}");
+    }
+
+    fn parse_insert(sql: &str) -> InsertStatement {
+        match crate::parser::parse_statement(sql).unwrap() {
+            crate::ast::Statement::Insert(stmt) => stmt,
+            other => panic!("expected INSERT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn insert_binds_typed_rows() {
+        let stmt = parse_insert("INSERT INTO t VALUES (1, 2, 'x'), (3, 4, 'y')");
+        let rows = bind_insert(&stmt, &str_provider(), &[]).unwrap();
+        assert_eq!(
+            rows,
+            vec![
+                vec![Value::U32(1), Value::U32(2), Value::Str("x".into())],
+                vec![Value::U32(3), Value::U32(4), Value::Str("y".into())],
+            ]
+        );
+    }
+
+    #[test]
+    fn insert_params_splice_including_strings() {
+        let stmt = parse_insert("INSERT INTO t VALUES (?, 9, ?)");
+        let rows = bind_insert(
+            &stmt,
+            &str_provider(),
+            &[Value::U32(5), Value::Str("hello".into())],
+        )
+        .unwrap();
+        assert_eq!(
+            rows,
+            vec![vec![
+                Value::U32(5),
+                Value::U32(9),
+                Value::Str("hello".into())
+            ]]
+        );
+        // Arity is checked both ways.
+        assert!(matches!(
+            bind_insert(&stmt, &str_provider(), &[Value::U32(5)]),
+            Err(SqlError::ParamCount {
+                expected: 2,
+                got: 1
+            })
+        ));
+        assert!(matches!(
+            bind_insert(
+                &stmt,
+                &str_provider(),
+                &[Value::U32(5), Value::Str("x".into()), Value::U32(7)]
+            ),
+            Err(SqlError::ParamCount { .. })
+        ));
+    }
+
+    #[test]
+    fn insert_type_and_width_mismatches_error() {
+        let err = bind_insert(
+            &parse_insert("INSERT INTO t VALUES (1, 2)"),
+            &str_provider(),
+            &[],
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("3 columns"), "{err}");
+        let err = bind_insert(
+            &parse_insert("INSERT INTO t VALUES ('oops', 2, 'x')"),
+            &str_provider(),
+            &[],
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("type mismatch"), "{err}");
+        let err = bind_insert(
+            &parse_insert("INSERT INTO t VALUES (1, 2, 3)"),
+            &str_provider(),
+            &[],
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("t.s"), "{err}");
+        let err = bind_insert(
+            &parse_insert("INSERT INTO t VALUES (99999999999, 2, 'x')"),
+            &str_provider(),
+            &[],
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("overflows u32"), "{err}");
+        assert!(matches!(
+            bind_insert(
+                &parse_insert("INSERT INTO missing VALUES (1)"),
+                &str_provider(),
+                &[]
+            ),
+            Err(SqlError::UnknownTable(_))
+        ));
+    }
+
+    #[test]
+    fn insert_param_type_mismatch_errors() {
+        let stmt = parse_insert("INSERT INTO t VALUES (?, 1, 'x')");
+        let err =
+            bind_insert(&stmt, &str_provider(), &[Value::Str("not a number".into())]).unwrap_err();
+        assert!(err.to_string().contains("type mismatch"), "{err}");
     }
 
     #[test]

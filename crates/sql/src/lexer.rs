@@ -67,7 +67,7 @@ impl TokenKind {
 /// SQL keywords (recognised case-insensitively, stored upper-case).
 const KEYWORDS: &[&str] = &[
     "SELECT", "FROM", "WHERE", "GROUP", "ORDER", "BY", "JOIN", "ON", "AND", "AS", "COUNT", "SUM",
-    "MIN", "MAX", "AVG", "ASC", "INNER", "LIMIT", "LIKE",
+    "MIN", "MAX", "AVG", "ASC", "INNER", "LIMIT", "LIKE", "INSERT", "INTO", "VALUES",
 ];
 
 /// Tokenise `sql`. The final token is always [`TokenKind::Eof`].

@@ -28,9 +28,10 @@ pub mod lexer;
 pub mod parser;
 pub mod prepare;
 
-pub use binder::{bind, SchemaProvider};
+pub use ast::{InsertStatement, Statement};
+pub use binder::{bind, bind_insert, SchemaProvider};
 pub use error::SqlError;
-pub use parser::parse;
+pub use parser::{parse, parse_statement};
 pub use prepare::{ParamSlot, PreparedQuery};
 
 /// Crate-wide result type.

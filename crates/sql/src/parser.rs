@@ -15,7 +15,15 @@
 //!
 //! `?` placeholders are numbered 0-based in lexical order and are only
 //! accepted as the right-hand side of a WHERE comparison — not as LIKE
-//! patterns (the prefix is baked into the plan shape) and not in LIMIT.
+//! patterns (the pattern is baked into the plan shape) and not in LIMIT.
+//!
+//! The mutation grammar rides alongside:
+//!
+//! ```text
+//! insert   := INSERT INTO ident VALUES row (',' row)* ';'? EOF
+//! row      := '(' cell (',' cell)* ')'
+//! cell     := number | string | '?'
+//! ```
 
 use crate::ast::*;
 use crate::error::SqlError;
@@ -24,13 +32,27 @@ use crate::Result;
 
 /// Parse one SELECT statement.
 pub fn parse(sql: &str) -> Result<SelectStatement> {
+    match parse_statement(sql)? {
+        Statement::Select(stmt) => Ok(stmt),
+        Statement::Insert(_) => Err(SqlError::Semantic(
+            "expected a SELECT statement, got INSERT".to_owned(),
+        )),
+    }
+}
+
+/// Parse any supported statement (SELECT or INSERT).
+pub fn parse_statement(sql: &str) -> Result<Statement> {
     let tokens = lex(sql)?;
     let mut p = Parser {
         tokens,
         pos: 0,
         params: 0,
     };
-    let stmt = p.select()?;
+    let stmt = if p.at_keyword("INSERT") {
+        Statement::Insert(p.insert()?)
+    } else {
+        Statement::Select(p.select()?)
+    };
     p.eat_if(&TokenKind::Semicolon);
     let t = p.peek();
     if t.kind != TokenKind::Eof {
@@ -268,6 +290,57 @@ impl Parser {
         }
     }
 
+    fn insert(&mut self) -> Result<InsertStatement> {
+        self.keyword("INSERT")?;
+        self.keyword("INTO")?;
+        let table = self.identifier("table name after INTO")?;
+        self.keyword("VALUES")?;
+        let mut rows = vec![self.value_row()?];
+        while self.eat_if(&TokenKind::Comma) {
+            rows.push(self.value_row()?);
+        }
+        let width = rows[0].len();
+        if let Some(bad) = rows.iter().find(|r| r.len() != width) {
+            return Err(SqlError::Semantic(format!(
+                "VALUES rows disagree on width: {width} vs {}",
+                bad.len()
+            )));
+        }
+        Ok(InsertStatement { table, rows })
+    }
+
+    fn value_row(&mut self) -> Result<Vec<Literal>> {
+        self.expect(TokenKind::LParen, "'(' starting a VALUES row")?;
+        let mut cells = vec![self.value_cell()?];
+        while self.eat_if(&TokenKind::Comma) {
+            cells.push(self.value_cell()?);
+        }
+        self.expect(TokenKind::RParen, "')' closing a VALUES row")?;
+        Ok(cells)
+    }
+
+    fn value_cell(&mut self) -> Result<Literal> {
+        match &self.peek().kind {
+            TokenKind::Number(n) => {
+                let n = *n;
+                self.advance();
+                Ok(Literal::Number(n))
+            }
+            TokenKind::Str(s) => {
+                let s = s.clone();
+                self.advance();
+                Ok(Literal::Str(s))
+            }
+            TokenKind::Question => {
+                let index = self.params;
+                self.params += 1;
+                self.advance();
+                Ok(Literal::Param(index))
+            }
+            _ => Err(self.err("literal or '?' in VALUES row")),
+        }
+    }
+
     fn comparison(&mut self) -> Result<Comparison> {
         let column = self.column_ref()?;
         let op = match &self.peek().kind {
@@ -452,6 +525,54 @@ mod tests {
     #[test]
     fn count_requires_star() {
         assert!(parse("SELECT COUNT(a) FROM t").is_err());
+    }
+
+    #[test]
+    fn insert_parses_multi_row_values() {
+        let Statement::Insert(stmt) =
+            parse_statement("INSERT INTO t VALUES (1, 'a'), (2, 'b');").unwrap()
+        else {
+            panic!("expected INSERT")
+        };
+        assert_eq!(stmt.table, "t");
+        assert_eq!(
+            stmt.rows,
+            vec![
+                vec![Literal::Number(1), Literal::Str("a".into())],
+                vec![Literal::Number(2), Literal::Str("b".into())],
+            ]
+        );
+    }
+
+    #[test]
+    fn insert_placeholders_numbered_lexically() {
+        let Statement::Insert(stmt) =
+            parse_statement("INSERT INTO t VALUES (?, 'x', ?), (3, ?, ?)").unwrap()
+        else {
+            panic!("expected INSERT")
+        };
+        assert_eq!(stmt.rows[0][0], Literal::Param(0));
+        assert_eq!(stmt.rows[0][2], Literal::Param(1));
+        assert_eq!(stmt.rows[1][1], Literal::Param(2));
+        assert_eq!(stmt.rows[1][2], Literal::Param(3));
+    }
+
+    #[test]
+    fn insert_rejects_ragged_rows_and_junk() {
+        assert!(parse_statement("INSERT INTO t VALUES (1, 2), (3)").is_err());
+        assert!(parse_statement("INSERT INTO t VALUES ()").is_err());
+        assert!(parse_statement("INSERT INTO t VALUES (a)").is_err());
+        assert!(parse_statement("INSERT t VALUES (1)").is_err());
+        assert!(parse_statement("INSERT INTO t VALUES (1) extra").is_err());
+    }
+
+    #[test]
+    fn parse_rejects_insert_and_parse_statement_accepts_select() {
+        assert!(parse("INSERT INTO t VALUES (1)").is_err());
+        assert!(matches!(
+            parse_statement("SELECT a FROM t"),
+            Ok(Statement::Select(_))
+        ));
     }
 }
 

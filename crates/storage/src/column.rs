@@ -210,6 +210,26 @@ impl Column {
     pub fn byte_size(&self) -> usize {
         self.len() * self.data_type().byte_width()
     }
+
+    /// Push one [`Value`], widening losslessly (`u32` into `u64`/`i64`
+    /// columns, any numeric into `f64`). `Str` columns store dictionary
+    /// codes, so pushing a decoded string here is a type error — encode it
+    /// first (see `Relation::append_rows`).
+    pub fn push_value(&mut self, v: &Value) -> Result<()> {
+        let mismatch = |expected: DataType| StorageError::TypeMismatch {
+            expected,
+            found: v.data_type(),
+        };
+        match self {
+            Column::U32(col) => col.push(v.as_u32().ok_or(mismatch(DataType::U32))?),
+            Column::U64(col) => col.push(v.as_u64().ok_or(mismatch(DataType::U64))?),
+            Column::I64(col) => col.push(v.as_i64().ok_or(mismatch(DataType::I64))?),
+            Column::F64(col) => col.push(v.as_f64().ok_or(mismatch(DataType::F64))?),
+            Column::Bool(col) => col.push(v.as_bool().ok_or(mismatch(DataType::Bool))?),
+            Column::Str(_) => return Err(mismatch(DataType::Str)),
+        }
+        Ok(())
+    }
 }
 
 impl From<Vec<u32>> for Column {

@@ -37,7 +37,7 @@ pub use datagen::{DatasetSpec, ForeignKeySpec};
 pub use dictionary::Dictionary;
 pub use error::StorageError;
 pub use properties::{DataProps, Density, Sortedness};
-pub use relation::Relation;
+pub use relation::{AppendedRelation, Relation};
 pub use schema::{Field, Schema};
 pub use stats::ColumnStats;
 pub use value::{DataType, Value};

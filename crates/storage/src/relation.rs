@@ -240,6 +240,96 @@ impl Relation {
     pub fn byte_size(&self) -> usize {
         self.columns.iter().map(|c| c.byte_size()).sum()
     }
+
+    /// Append `rows` (schema-ordered values) and return both the combined
+    /// relation and the appended slice as its own relation.
+    ///
+    /// Relations are immutable, so this is copy-on-append: every column
+    /// buffer is cloned and extended. `Str` cells extend the column's
+    /// dictionary — existing codes are never renumbered, so readers of the
+    /// old snapshot (and views built over it) stay valid; new strings get
+    /// fresh codes at the end. The returned `delta` shares the **combined**
+    /// dictionaries, which is what incremental view maintenance needs: its
+    /// codes are directly comparable with the combined column's.
+    ///
+    /// Values widen losslessly (`u32` into a `u64` column, numerics into
+    /// `f64`); anything else is a [`StorageError::TypeMismatch`]. A row of
+    /// the wrong width is a [`StorageError::ColumnLengthMismatch`].
+    pub fn append_rows(&self, rows: &[Vec<Value>]) -> Result<AppendedRelation> {
+        let width = self.schema.width();
+        for row in rows {
+            if row.len() != width {
+                return Err(StorageError::ColumnLengthMismatch {
+                    expected: width,
+                    found: row.len(),
+                });
+            }
+        }
+        let mut combined_cols = Vec::with_capacity(width);
+        let mut delta_cols = Vec::with_capacity(width);
+        let mut dictionaries = Vec::with_capacity(width);
+        for (idx, field) in self.schema.fields().iter().enumerate() {
+            let (combined, delta, dict) = match field.data_type {
+                DataType::Str => {
+                    let mut dict = match &self.dictionaries[idx] {
+                        Some(d) => (**d).clone(),
+                        None => Dictionary::new(),
+                    };
+                    let mut codes = Vec::with_capacity(rows.len());
+                    for row in rows {
+                        match &row[idx] {
+                            Value::Str(s) => codes.push(dict.encode(s)),
+                            other => {
+                                return Err(StorageError::TypeMismatch {
+                                    expected: DataType::Str,
+                                    found: other.data_type(),
+                                })
+                            }
+                        }
+                    }
+                    let mut full = self.columns[idx].as_u32()?.to_vec();
+                    full.extend_from_slice(&codes);
+                    (Column::Str(full), Column::Str(codes), Some(Arc::new(dict)))
+                }
+                dt => {
+                    let mut delta = Column::empty(dt);
+                    for row in rows {
+                        delta.push_value(&row[idx])?;
+                    }
+                    let mut full = (*self.columns[idx]).clone();
+                    full.append(&delta)?;
+                    (full, delta, self.dictionaries[idx].clone())
+                }
+            };
+            combined_cols.push(Arc::new(combined));
+            delta_cols.push(Arc::new(delta));
+            dictionaries.push(dict);
+        }
+        let combined = Relation {
+            schema: self.schema.clone(),
+            columns: combined_cols,
+            dictionaries: dictionaries.clone(),
+            rows: self.rows + rows.len(),
+        };
+        let delta = Relation {
+            schema: self.schema.clone(),
+            columns: delta_cols,
+            dictionaries,
+            rows: rows.len(),
+        };
+        Ok(AppendedRelation { combined, delta })
+    }
+}
+
+/// Result of [`Relation::append_rows`]: the full relation after the append
+/// and the appended rows alone, sharing the combined dictionaries.
+#[derive(Debug, Clone)]
+pub struct AppendedRelation {
+    /// The original rows followed by the appended rows.
+    pub combined: Relation,
+    /// Just the appended rows, with `Str` codes from the combined
+    /// dictionaries.
+    pub delta: Relation,
 }
 
 impl fmt::Display for Relation {
@@ -365,6 +455,71 @@ mod tests {
         let r = Relation::empty(Schema::new(vec![Field::new("a", DataType::U32)]).unwrap());
         assert!(r.is_empty());
         assert_eq!(r.byte_size(), 0);
+    }
+
+    #[test]
+    fn append_rows_extends_columns_and_dictionary() {
+        let (dict, codes) = Dictionary::encode_all(&["x", "y"]);
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::U32),
+            Field::new("s", DataType::Str),
+        ])
+        .unwrap();
+        let base = Relation::new(schema, vec![Column::U32(vec![1, 2]), Column::Str(codes)])
+            .unwrap()
+            .with_dictionary("s", Arc::new(dict))
+            .unwrap();
+        let appended = base
+            .append_rows(&[
+                vec![Value::U32(3), Value::Str("y".into())],
+                vec![Value::U32(4), Value::Str("z".into())],
+            ])
+            .unwrap();
+        let combined = &appended.combined;
+        assert_eq!(combined.rows(), 4);
+        assert_eq!(
+            combined.column("k").unwrap().as_u32().unwrap(),
+            &[1, 2, 3, 4]
+        );
+        // Existing codes survive; the new string gets the next code.
+        assert_eq!(
+            combined.column("s").unwrap().as_u32().unwrap(),
+            &[0, 1, 1, 2]
+        );
+        assert_eq!(combined.value_at(3, "s").unwrap(), Value::Str("z".into()));
+        // The base snapshot is untouched (copy-on-append).
+        assert_eq!(base.rows(), 2);
+        assert_eq!(base.dictionary("s").unwrap().unwrap().len(), 2);
+        // The delta shares the combined dictionary.
+        let delta = &appended.delta;
+        assert_eq!(delta.rows(), 2);
+        assert_eq!(delta.column("s").unwrap().as_u32().unwrap(), &[1, 2]);
+        assert!(Arc::ptr_eq(
+            combined.dictionary("s").unwrap().unwrap(),
+            delta.dictionary("s").unwrap().unwrap()
+        ));
+    }
+
+    #[test]
+    fn append_rows_checks_width_and_types() {
+        let base = sample();
+        assert!(matches!(
+            base.append_rows(&[vec![Value::U32(1)]]),
+            Err(StorageError::ColumnLengthMismatch { .. })
+        ));
+        assert!(matches!(
+            base.append_rows(&[vec![Value::Str("no".into()), Value::F64(1.0)]]),
+            Err(StorageError::TypeMismatch { .. })
+        ));
+        // Lossless widening into the f64 column is fine.
+        let ok = base
+            .append_rows(&[vec![Value::U32(9), Value::U32(2)]])
+            .unwrap();
+        assert_eq!(ok.combined.value_at(3, "v").unwrap(), Value::F64(2.0));
+        // Empty appends are identity-shaped.
+        let empty = base.append_rows(&[]).unwrap();
+        assert_eq!(empty.combined.rows(), 3);
+        assert_eq!(empty.delta.rows(), 0);
     }
 
     #[test]

@@ -40,7 +40,8 @@ pub use dqo_storage as storage;
 
 pub use dqo_core::engine::QueryResult;
 pub use dqo_core::{
-    AvBuildHandle, AvBuildStats, AvBuilder, Catalog, Engine, OptimizerMode, PlanRuntime,
+    AvBuildHandle, AvBuildStats, AvBuilder, Catalog, Engine, InsertReport, OptimizerMode,
+    PlanRuntime,
 };
 pub use dqo_obs as obs;
 pub use dqo_obs::{MetricsRegistry, MetricsSnapshot, Phase, QueryProfile, TraceBuilder};
@@ -242,6 +243,25 @@ impl Dqo {
         Ok(self.engine.execute_prepared(&stmt.plan, &logical)?)
     }
 
+    /// Execute an `INSERT INTO t VALUES (…), (…)` statement, appending
+    /// the rows and incrementally maintaining every materialised AV on
+    /// the table (see [`Engine::insert`]). `?` placeholders draw from
+    /// `params` by lexical position — string parameters included, which
+    /// dictionary-encode on append. Returns rows appended plus the
+    /// per-view maintenance outcomes.
+    pub fn insert(&self, sql_text: &str, params: &[Value]) -> Result<InsertReport, DqoError> {
+        match dqo_sql::parse_statement(sql_text)? {
+            dqo_sql::Statement::Insert(stmt) => {
+                let rows =
+                    dqo_sql::bind_insert(&stmt, &CatalogSchemas(self.engine.catalog()), params)?;
+                Ok(self.engine.insert(&stmt.table, &rows)?)
+            }
+            dqo_sql::Statement::Select(_) => Err(DqoError::Sql(SqlError::Semantic(
+                "expected an INSERT statement, got SELECT (use Dqo::sql)".to_owned(),
+            ))),
+        }
+    }
+
     /// EXPLAIN a SQL query under the current mode.
     pub fn explain(&self, sql_text: &str) -> Result<String, DqoError> {
         let logical = self.compile(sql_text)?;
@@ -318,6 +338,24 @@ mod tests {
         assert!(text.contains("parse="), "{text}");
         assert!(text.contains("act="), "{text}");
         assert!(text.contains("Δ="), "{text}");
+    }
+
+    #[test]
+    fn sql_insert_end_to_end() {
+        let db = Dqo::new();
+        db.register_table("t", DatasetSpec::new(1_000, 10).relation().unwrap());
+        let report = db
+            .insert("INSERT INTO t VALUES (3), (?)", &[Value::U32(5)])
+            .unwrap();
+        assert_eq!(report.rows_inserted, 2);
+        let r = db
+            .sql("SELECT key, COUNT(*) AS n FROM t GROUP BY key")
+            .unwrap();
+        let counts = r.output.relation.column("n").unwrap().as_u64().unwrap();
+        assert_eq!(counts.iter().sum::<u64>(), 1_002);
+        // Statement-kind mix-ups are clear errors.
+        assert!(db.insert("SELECT key FROM t", &[]).is_err());
+        assert!(db.sql("INSERT INTO t VALUES (1)").is_err());
     }
 
     #[test]

@@ -1,0 +1,373 @@
+//! Mutation oracle: every incrementally maintained AV must be
+//! **bit-identical** to a from-scratch rebuild over the same combined
+//! data — at DOP 1, 2 and 8, under randomised append/query
+//! interleavings, and across every [`DeltaAction`] the policy can take
+//! (delta-merge, run-merge, compaction, inline rebuild, background SPH
+//! rebuild after a domain widening).
+//!
+//! The oracle is [`materialise_av`] against a scratch catalog holding a
+//! copy of the current combined table: whatever the maintainer published
+//! must match what a cold build would have produced, column for column
+//! (relations) or structurally (`SphIndex` is `PartialEq`). The hidden
+//! `__av::` relation registered for plan scans is checked against the
+//! artifact too, so a publish that updates one but not the other fails.
+//!
+//! Interleaved queries run through **prepared executions** so the run
+//! doubles as the plan-cache acceptance check: appends move the data
+//! clock, not the DDL clock, so across the whole interleaving exactly
+//! one plan-cache miss is allowed.
+
+use dqo::core::av::{materialise_av, AvArtifact, AvKind, AvSignature};
+use dqo::core::{Catalog, DeltaAction, Engine};
+use dqo::obs::{names, MetricsRegistry};
+use dqo::plan::expr::AggExpr;
+use dqo::plan::{AggFunc, LogicalPlan};
+use dqo::storage::{Column, DataType, Field, Relation, Schema, Value};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+const ALL_KINDS: [AvKind; 3] = [
+    AvKind::SortedProjection,
+    AvKind::SphIndex,
+    AvKind::MaterialisedGrouping,
+];
+
+/// t(key dense u32 in 0..=max_key, v u32) with every key present — the
+/// shape all three AV kinds (including the dense-domain SPH index)
+/// materialise on.
+fn dense_table(rows: &[(u32, u32)]) -> Relation {
+    Relation::new(
+        Schema::new(vec![
+            Field::new("key", DataType::U32),
+            Field::new("v", DataType::U32),
+        ])
+        .unwrap(),
+        vec![
+            Column::U32(rows.iter().map(|(k, _)| *k).collect()),
+            Column::U32(rows.iter().map(|(_, v)| *v).collect()),
+        ],
+    )
+    .unwrap()
+}
+
+fn seed_rows(n: usize, domain: u32, state: &mut u64) -> Vec<(u32, u32)> {
+    // Every key in 0..domain occurs at least once (dense), the rest random.
+    let mut rows: Vec<(u32, u32)> = (0..domain).map(|k| (k, k * 7)).collect();
+    while rows.len() < n {
+        rows.push((next(state) as u32 % domain, next(state) as u32 % 1_000));
+    }
+    rows
+}
+
+/// xorshift64 — deterministic, seedable, no external crates.
+fn next(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// Engine with `t` registered and all three AV kinds materialised.
+fn engine_with_avs(rows: &[(u32, u32)], dop: usize) -> (Engine, Arc<MetricsRegistry>) {
+    let registry = Arc::new(MetricsRegistry::new());
+    let engine = Engine::new()
+        .with_threads(dop)
+        .with_metrics_registry(Arc::clone(&registry));
+    engine.register_table("t", dense_table(rows));
+    let sigs: Vec<AvSignature> = ALL_KINDS
+        .iter()
+        .map(|&kind| AvSignature::new("t", "key", kind))
+        .collect();
+    engine.av_builder().build_batch(&sigs).expect("AV build");
+    (engine, registry)
+}
+
+/// The oracle: every maintained artifact equals a from-scratch rebuild
+/// over a copy of the current combined table, and the hidden `__av::`
+/// relation agrees with the published artifact.
+fn assert_matches_rebuild(engine: &Engine, ctx: &str) {
+    let combined = Arc::clone(&engine.catalog().get("t").expect("t").relation);
+    let scratch = Catalog::new();
+    scratch.register("t", (*combined).clone());
+    for kind in ALL_KINDS {
+        let sig = AvSignature::new("t", "key", kind);
+        let maintained = engine
+            .avs()
+            .get(&sig)
+            .unwrap_or_else(|| panic!("{ctx}: {sig} missing from catalog"));
+        let fresh = materialise_av(&scratch, &sig).expect("rebuild");
+        match (
+            maintained.artifact.as_ref().expect("materialised"),
+            fresh.artifact.as_ref().expect("materialised"),
+        ) {
+            (AvArtifact::SortedProjection(m), AvArtifact::SortedProjection(f))
+            | (AvArtifact::MaterialisedGrouping(m), AvArtifact::MaterialisedGrouping(f)) => {
+                assert_relations_eq(m, f, &format!("{ctx}: {sig}"));
+                // The hidden relation plans scan must be the artifact.
+                let hidden = Arc::clone(
+                    &engine
+                        .catalog()
+                        .get(&sig.av_table_name())
+                        .expect("hidden relation")
+                        .relation,
+                );
+                assert_relations_eq(&hidden, m, &format!("{ctx}: {sig} hidden relation"));
+            }
+            (AvArtifact::SphIndex(m), AvArtifact::SphIndex(f)) => {
+                assert_eq!(m, f, "{ctx}: {sig} CSR diverged from rebuild");
+            }
+            other => panic!("{ctx}: {sig} artifact kinds diverged: {other:?}"),
+        }
+    }
+}
+
+fn assert_relations_eq(a: &Relation, b: &Relation, ctx: &str) {
+    assert_eq!(a.rows(), b.rows(), "{ctx}: row counts");
+    assert_eq!(a.schema().width(), b.schema().width(), "{ctx}: widths");
+    for c in 0..a.schema().width() {
+        assert_eq!(
+            format!("{:?}", a.column_at(c).unwrap()),
+            format!("{:?}", b.column_at(c).unwrap()),
+            "{ctx}: column {c}"
+        );
+    }
+}
+
+fn count_sum_query() -> Arc<LogicalPlan> {
+    LogicalPlan::group_by(
+        LogicalPlan::scan("t"),
+        "key",
+        vec![
+            AggExpr::count_star("count"),
+            AggExpr::on(AggFunc::Sum, "key", "sum"),
+        ],
+    )
+}
+
+/// Aggregate the mirror exactly as the query would.
+fn mirror_groups(mirror: &[(u32, u32)]) -> BTreeMap<u32, (u64, u64)> {
+    let mut groups: BTreeMap<u32, (u64, u64)> = BTreeMap::new();
+    for (k, _) in mirror {
+        let e = groups.entry(*k).or_insert((0, 0));
+        e.0 += 1;
+        e.1 += u64::from(*k);
+    }
+    groups
+}
+
+fn result_groups(rel: &Relation) -> BTreeMap<u32, (u64, u64)> {
+    let keys = rel.column("key").unwrap().as_u32().unwrap();
+    let counts = rel.column("count").unwrap().as_u64().unwrap();
+    let sums = rel.column("sum").unwrap().as_u64().unwrap();
+    keys.iter()
+        .zip(counts.iter().zip(sums))
+        .map(|(k, (c, s))| (*k, (*c, *s)))
+        .collect()
+}
+
+/// The headline test: randomised append/query interleavings at DOP
+/// {1, 2, 8}. After every append (including domain widenings that force
+/// the SPH background rebuild) all three artifacts must equal a cold
+/// rebuild; every interleaved prepared query must agree with the mirror;
+/// and the whole run is allowed exactly one plan-cache miss.
+#[test]
+fn randomized_interleavings_stay_bit_identical_at_all_dops() {
+    for dop in [1usize, 2, 8] {
+        for round in 0..2u64 {
+            let mut state = 0x9e3779b97f4a7c15 ^ (dop as u64) << 32 ^ (round + 1);
+            let mut domain = 32u32;
+            let mut mirror = seed_rows(800, domain, &mut state);
+            let (engine, registry) = engine_with_avs(&mirror, dop);
+            let ctx = |op: usize| format!("dop={dop} round={round} op={op}");
+
+            let q = count_sum_query();
+            let prepared = engine.prepare(&q);
+            let mut queries = 0u64;
+            let mut run_query = |engine: &Engine, mirror: &[(u32, u32)], ctx: &str| {
+                let out = engine.execute_prepared(&prepared, &q).expect("query");
+                assert_eq!(
+                    result_groups(&out.output.relation),
+                    mirror_groups(mirror),
+                    "{ctx}: prepared query diverged from mirror"
+                );
+                queries += 1;
+            };
+
+            run_query(&engine, &mirror, &ctx(0));
+            for op in 1..=14usize {
+                match next(&mut state) % 4 {
+                    0 | 1 => {
+                        // Plain append inside the current dense domain.
+                        let batch = 1 + (next(&mut state) as usize % 48);
+                        let rows: Vec<(u32, u32)> = (0..batch)
+                            .map(|_| {
+                                (
+                                    next(&mut state) as u32 % domain,
+                                    next(&mut state) as u32 % 1_000,
+                                )
+                            })
+                            .collect();
+                        insert(&engine, &mut mirror, &rows);
+                        assert_matches_rebuild(&engine, &ctx(op));
+                    }
+                    2 => {
+                        // Widening append: key = old max + 1 breaks the
+                        // CSR domain, forcing the SPH patch to fall back
+                        // to a background rebuild.
+                        let rows = vec![(domain, next(&mut state) as u32 % 1_000)];
+                        domain += 1;
+                        insert(&engine, &mut mirror, &rows);
+                        assert_matches_rebuild(&engine, &ctx(op));
+                    }
+                    _ => run_query(&engine, &mirror, &ctx(op)),
+                }
+            }
+            run_query(&engine, &mirror, &ctx(15));
+
+            // Data clock, not DDL clock: the appends never flushed the
+            // cached plan.
+            let snap = registry.snapshot();
+            assert_eq!(
+                snap.counter(names::PLAN_CACHE_MISSES),
+                Some(1),
+                "dop={dop} round={round}: appends must not flush the plan cache"
+            );
+            assert_eq!(snap.counter(names::PLAN_CACHE_HITS), Some(queries - 1));
+            assert!(snap.counter(names::AV_DELTA_MERGES).unwrap_or(0) >= 1);
+        }
+    }
+}
+
+fn insert(engine: &Engine, mirror: &mut Vec<(u32, u32)>, rows: &[(u32, u32)]) {
+    let values: Vec<Vec<Value>> = rows
+        .iter()
+        .map(|(k, v)| vec![Value::U32(*k), Value::U32(*v)])
+        .collect();
+    let mut report = engine.insert("t", &values).expect("insert");
+    report.wait_for_rebuilds().expect("background rebuild");
+    mirror.extend_from_slice(rows);
+}
+
+/// Repeated small appends outgrow the sorted projection's tail run and
+/// trigger a compaction (tail promoted into the base); the artifact must
+/// stay bit-identical through merge *and* compact steps.
+#[test]
+fn compaction_promotes_tail_and_stays_bit_identical() {
+    let mut state = 42u64;
+    let mut mirror = seed_rows(240, 16, &mut state);
+    let (engine, _) = engine_with_avs(&mirror, 1);
+    let sorted_sig = AvSignature::new("t", "key", AvKind::SortedProjection);
+
+    let mut actions = Vec::new();
+    for step in 0..4 {
+        let rows: Vec<(u32, u32)> = (0..30)
+            .map(|_| (next(&mut state) as u32 % 16, next(&mut state) as u32))
+            .collect();
+        let values: Vec<Vec<Value>> = rows
+            .iter()
+            .map(|(k, v)| vec![Value::U32(*k), Value::U32(*v)])
+            .collect();
+        let report = engine.insert("t", &values).expect("insert");
+        mirror.extend_from_slice(&rows);
+        let outcome = report
+            .maintenance
+            .outcomes
+            .iter()
+            .find(|o| o.signature == sorted_sig)
+            .expect("sorted projection maintained");
+        actions.push(outcome.action);
+        assert_matches_rebuild(&engine, &format!("compaction step {step}"));
+    }
+    assert!(
+        actions.contains(&DeltaAction::Merge) && actions.contains(&DeltaAction::Compact),
+        "4 × 30 rows on a 240-row base must both merge and compact (0.25 ratio): {actions:?}"
+    );
+}
+
+/// A delta larger than half the table makes the policy rebuild the
+/// sorted projection inline instead of merging.
+#[test]
+fn oversized_delta_rebuilds_sorted_projection_inline() {
+    let mut state = 7u64;
+    let mirror = seed_rows(100, 8, &mut state);
+    let (engine, _) = engine_with_avs(&mirror, 1);
+
+    let rows: Vec<(u32, u32)> = (0..120)
+        .map(|_| (next(&mut state) as u32 % 8, next(&mut state) as u32))
+        .collect();
+    let values: Vec<Vec<Value>> = rows
+        .iter()
+        .map(|(k, v)| vec![Value::U32(*k), Value::U32(*v)])
+        .collect();
+    let report = engine.insert("t", &values).expect("insert");
+    let outcome = report
+        .maintenance
+        .outcomes
+        .iter()
+        .find(|o| o.signature == AvSignature::new("t", "key", AvKind::SortedProjection))
+        .expect("sorted projection maintained");
+    assert_eq!(
+        outcome.action,
+        DeltaAction::Rebuild,
+        "120 delta rows over a 100-row base exceed rebuild_ratio"
+    );
+    assert_matches_rebuild(&engine, "oversized delta");
+}
+
+/// Widening the dense key domain breaks the CSR patch: the stale index
+/// must disappear immediately (never serve wrong joins) and come back
+/// via the background rebuild, equal to a cold build.
+#[test]
+fn sph_domain_widening_rebuilds_in_background() {
+    let mut state = 11u64;
+    let mirror = seed_rows(500, 32, &mut state);
+    let (engine, registry) = engine_with_avs(&mirror, 2);
+    let sph_sig = AvSignature::new("t", "key", AvKind::SphIndex);
+
+    let mut report = engine
+        .insert("t", &[vec![Value::U32(32), Value::U32(9)]])
+        .expect("insert");
+    let outcome = report
+        .maintenance
+        .outcomes
+        .iter()
+        .find(|o| o.signature == sph_sig)
+        .expect("SPH maintained");
+    assert_eq!(outcome.action, DeltaAction::Rebuild);
+    report.wait_for_rebuilds().expect("background rebuild");
+    assert!(
+        engine.avs().get(&sph_sig).is_some(),
+        "rebuilt index must re-register"
+    );
+    assert_matches_rebuild(&engine, "post-widening");
+    let snap = registry.snapshot();
+    assert!(snap.counter(names::AV_DELTA_REBUILDS).unwrap_or(0) >= 1);
+}
+
+/// In-domain appends take the CSR patch path (no rebuild) and still
+/// match a cold build — the two-pass widen is exact, not approximate.
+#[test]
+fn sph_patch_path_is_exact_for_in_domain_appends() {
+    let mut state = 13u64;
+    let mirror = seed_rows(400, 16, &mut state);
+    let (engine, _) = engine_with_avs(&mirror, 1);
+    let sph_sig = AvSignature::new("t", "key", AvKind::SphIndex);
+
+    for step in 0..3 {
+        let rows: Vec<Vec<Value>> = (0..10)
+            .map(|_| vec![Value::U32(next(&mut state) as u32 % 16), Value::U32(1)])
+            .collect();
+        let report = engine.insert("t", &rows).expect("insert");
+        let outcome = report
+            .maintenance
+            .outcomes
+            .iter()
+            .find(|o| o.signature == sph_sig)
+            .expect("SPH maintained");
+        assert_eq!(outcome.action, DeltaAction::Merge, "step {step}");
+        assert!(outcome.rebuild.is_none(), "patch must not spawn a rebuild");
+        assert_matches_rebuild(&engine, &format!("patch step {step}"));
+    }
+}

@@ -15,6 +15,7 @@
 //! and machines (failing cases are printed as generated). The case count
 //! is bounded and overridable via `QUERY_FUZZ_CASES` for the CI matrix.
 
+use dqo::core::av::{AvKind, AvSignature};
 use dqo::core::avsp::{Solver, WorkloadQuery};
 use dqo::core::executor::{execute, naive_eval, sorted_rows};
 use dqo::plan::PhysicalPlan;
@@ -30,6 +31,13 @@ const WORDS: &[&str] = &[
 ];
 
 const PREFIXES: &[&str] = &["a", "al", "b", "br", "ch", "de", "e", "zzz", ""];
+
+/// General LIKE shapes beyond the prefix fast path: contains, anchored
+/// both ends, `_` single-char wildcards, and patterns that force the
+/// matcher to backtrack over the shared-prefix word pool.
+const LIKE_PATTERNS: &[&str] = &[
+    "%a%", "a%a", "b_a%", "%t_", "_e%", "%lp%", "%o", "c_a%", "%e_%", "____",
+];
 
 fn fuzz_cases() -> u32 {
     std::env::var("QUERY_FUZZ_CASES")
@@ -99,14 +107,18 @@ fn build_query(shape: u8, preds: &[(u8, u8)], aggs_pick: u8, order: bool) -> Str
     let mut conjuncts: Vec<String> = Vec::new();
     for &(kind, param) in preds {
         let word = WORDS[param as usize % WORDS.len()];
-        match kind % 5 {
+        match kind % 6 {
             0 => conjuncts.push(format!("k < {}", param % 40)),
             1 => conjuncts.push(format!("s = '{word}'")),
             2 => conjuncts.push(format!("s < '{word}'")),
             3 => conjuncts.push(format!("s > '{word}'")),
-            _ => conjuncts.push(format!(
+            4 => conjuncts.push(format!(
                 "s LIKE '{}%'",
                 PREFIXES[param as usize % PREFIXES.len()]
+            )),
+            _ => conjuncts.push(format!(
+                "s LIKE '{}'",
+                LIKE_PATTERNS[param as usize % LIKE_PATTERNS.len()]
             )),
         }
     }
@@ -263,6 +275,117 @@ fn check_differential(rel: Relation, sql: &str) -> std::result::Result<(), Strin
     Ok(())
 }
 
+/// One interleaved op: `(is_insert, rows, shape, preds, aggs_pick, order)`.
+/// Inserts splice the raw draws through the same `(k, v, s)` mapping as
+/// [`build_table`]; queries go through [`build_query`].
+type RwOp = (bool, Vec<(u32, u32, u8)>, u8, Vec<(u8, u8)>, u8, bool);
+
+/// Send one multi-row parameterised INSERT (u32 and Str `?` params) to
+/// `db`, blocking on any background AV rebuild it triggered.
+fn apply_insert(
+    db: &Dqo,
+    rows: &[(u32, u32, u8)],
+    k_groups: u32,
+) -> std::result::Result<(), String> {
+    let mut sql = String::from("INSERT INTO t VALUES ");
+    let mut params = Vec::with_capacity(rows.len() * 3);
+    for (i, (a, b, c)) in rows.iter().enumerate() {
+        if i > 0 {
+            sql.push_str(", ");
+        }
+        sql.push_str("(?, ?, ?)");
+        params.push(Value::U32(a % k_groups));
+        params.push(Value::U32(b % 1_000));
+        params.push(Value::Str(WORDS[*c as usize % WORDS.len()].to_string()));
+    }
+    let mut report = db
+        .insert(&sql, &params)
+        .map_err(|e| format!("{sql}: {e}"))?;
+    report
+        .wait_for_rebuilds()
+        .map_err(|e| format!("rebuild after {sql}: {e}"))?;
+    Ok(())
+}
+
+/// The mixed read/write differential: one identical insert/query op
+/// sequence applied to the naive reference (DOP 1), the planned engine
+/// at DOP 2 and 8, and an AV-backed engine whose views were
+/// materialised *before* the writes — so every insert exercises the
+/// delta maintenance of all three AV kinds mid-workload. Every query in
+/// the interleaving must agree with the naive evaluator over the
+/// reference engine's live catalog.
+fn check_mixed_rw(
+    raw: &[(u32, u32, u8)],
+    k_groups: u32,
+    sorted_dict: bool,
+    ops: &[RwOp],
+) -> std::result::Result<(), String> {
+    let rel = build_table(raw, k_groups, sorted_dict);
+    let reference_db = Dqo::with_engine(Engine::new().with_threads(1));
+    reference_db.register_table("t", rel.clone());
+    let parallel_dbs: Vec<(usize, Dqo)> = [2usize, 8]
+        .into_iter()
+        .map(|threads| {
+            let db = Dqo::with_engine(Engine::new().with_threads(threads));
+            db.register_table("t", rel.clone());
+            (threads, db)
+        })
+        .collect();
+
+    // AV-backed engine: all three kinds on `k`, built before any write.
+    let av_db = Dqo::with_engine(Engine::new().with_threads(2));
+    av_db.register_table("t", rel);
+    let builder = av_db.engine().av_builder();
+    for kind in [
+        AvKind::SortedProjection,
+        AvKind::SphIndex,
+        AvKind::MaterialisedGrouping,
+    ] {
+        builder
+            .build(&AvSignature::new("t", "k", kind))
+            .map_err(|e| format!("AV build {kind}: {e}"))?;
+    }
+
+    for (op_idx, (is_insert, rows, shape, preds, aggs_pick, order)) in ops.iter().enumerate() {
+        if *is_insert {
+            apply_insert(&reference_db, rows, k_groups)?;
+            for (_, db) in &parallel_dbs {
+                apply_insert(db, rows, k_groups)?;
+            }
+            apply_insert(&av_db, rows, k_groups)?;
+            continue;
+        }
+        let sql = build_query(*shape, preds, *aggs_pick, *order);
+        let logical = reference_db
+            .compile(&sql)
+            .map_err(|e| format!("op {op_idx} compile {sql}: {e}"))?;
+        let naive = naive_eval(&logical, reference_db.engine().catalog())
+            .map_err(|e| format!("op {op_idx} naive {sql}: {e}"))?;
+        let expect = sorted_rows(&naive);
+        for (threads, db) in &parallel_dbs {
+            let out = db
+                .sql(&sql)
+                .map_err(|e| format!("op {op_idx} threads={threads} {sql}: {e}"))?;
+            if sorted_rows(&out.output.relation) != expect {
+                return Err(format!(
+                    "op {op_idx} threads={threads} diverges after writes for {sql}\nplan:\n{}",
+                    out.planned.plan.explain()
+                ));
+            }
+        }
+        let out = av_db
+            .sql(&sql)
+            .map_err(|e| format!("op {op_idx} av-backed {sql}: {e}"))?;
+        if sorted_rows(&out.output.relation) != expect {
+            return Err(format!(
+                "op {op_idx} AV-backed diverges after writes for {sql}\nplan:\n{}",
+                out.planned.plan.explain()
+            ));
+        }
+    }
+    Ok(())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(fuzz_cases()))]
 
@@ -279,6 +402,26 @@ proptest! {
         let rel = build_table(&raw, k_groups, sorted_dict);
         let sql = build_query(shape, &preds, aggs_pick, order);
         check_differential(rel, &sql)?;
+    }
+
+    #[test]
+    fn random_insert_query_interleavings_agree(
+        raw in proptest::collection::vec((any::<u32>(), any::<u32>(), any::<u8>()), 1..200),
+        k_groups in 1u32..24,
+        sorted_dict in any::<bool>(),
+        ops in proptest::collection::vec(
+            (
+                any::<bool>(),
+                proptest::collection::vec((any::<u32>(), any::<u32>(), any::<u8>()), 1..12),
+                any::<u8>(),
+                proptest::collection::vec((any::<u8>(), any::<u8>()), 0..3),
+                any::<u8>(),
+                any::<bool>(),
+            ),
+            1..6,
+        ),
+    ) {
+        check_mixed_rw(&raw, k_groups, sorted_dict, &ops)?;
     }
 }
 
