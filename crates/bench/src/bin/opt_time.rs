@@ -1,0 +1,62 @@
+//! Optimisation-latency smoke bin: planning cost on the three serving
+//! tiers — cold (fresh memo per call), persistent memo (winner-table
+//! reuse) and plan-cache hit (shape lookup + rebind) — with p50/p99 per
+//! tier and the memo's group/candidate population.
+//!
+//! ```text
+//! cargo run -p dqo-bench --release --bin opt_time
+//! cargo run -p dqo-bench --release --bin opt_time -- --reps 500 --json
+//! ```
+//!
+//! `DQO_THREADS` sets the planned DOP (default: available parallelism),
+//! so CI's matrix legs measure genuinely different plan searches.
+
+use dqo_bench::opt_time::{run, table};
+use dqo_bench::Args;
+
+fn main() {
+    let args = Args::from_env();
+    let rows: usize = args.value("--rows").unwrap_or(100_000);
+    let reps: usize = args.value("--reps").unwrap_or(200);
+    let dop = std::env::var("DQO_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&t| t >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+
+    let results = run(rows, reps, dop);
+    let t = table(&results, dop);
+    if args.flag("--json") {
+        print!("{}", t.to_json());
+    } else if args.flag("--csv") {
+        print!("{}", t.to_csv());
+    } else {
+        print!("{}", t.to_text());
+    }
+
+    // Sanity floor: the memoised and cached tiers must beat cold — if
+    // reuse ever regresses past parity, fail the smoke run.
+    for query in ["join-group-4.3", "filter-group"] {
+        let mean = |tier: &str| {
+            results
+                .iter()
+                .find(|r| r.query == query && r.tier == tier)
+                .map(|r| r.mean_us)
+                .expect("tier measured")
+        };
+        if mean("memo") > mean("cold") || mean("plan-cache") > mean("cold") {
+            eprintln!(
+                "FAIL: reuse slower than cold planning on {query}: \
+                 cold={:.2}us memo={:.2}us plan-cache={:.2}us",
+                mean("cold"),
+                mean("memo"),
+                mean("plan-cache")
+            );
+            std::process::exit(1);
+        }
+    }
+}

@@ -516,6 +516,11 @@ fn composite_grouping_relation(
 pub struct AvCatalog {
     views: RwLock<HashMap<AvSignature, Arc<Av>>>,
     partials: RwLock<HashMap<(String, String), Arc<crate::partial_av::PartialAv>>>,
+    /// Bumps on every registration, removal or invalidation — the AV
+    /// half of the optimiser memo's staleness stamp (the set of scan/
+    /// grouping alternatives a memoised group enumerated depends on
+    /// which AVs existed at the time).
+    generation: std::sync::atomic::AtomicU64,
 }
 
 impl AvCatalog {
@@ -524,12 +529,25 @@ impl AvCatalog {
         AvCatalog::default()
     }
 
+    fn bump(&self) {
+        self.generation
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// The AV catalog's change clock: two reads returning the same value
+    /// guarantee the set of registered AVs and partials did not change in
+    /// between — the optimiser memo's invalidation signal.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
     /// Register a (planned or materialised) AV.
     pub fn register(&self, av: Av) -> Arc<Av> {
         let av = Arc::new(av);
         self.views
             .write()
             .insert(av.signature.clone(), Arc::clone(&av));
+        self.bump();
         av
     }
 
@@ -546,12 +564,17 @@ impl AvCatalog {
         }
         let av = Arc::new(av);
         views.insert(av.signature.clone(), Arc::clone(&av));
+        self.bump();
         Some(av)
     }
 
     /// Remove an AV; returns whether it existed.
     pub fn remove(&self, sig: &AvSignature) -> bool {
-        self.views.write().remove(sig).is_some()
+        let existed = self.views.write().remove(sig).is_some();
+        if existed {
+            self.bump();
+        }
+        existed
     }
 
     /// Drop every AV and partial AV built from `table`, returning the
@@ -573,6 +596,7 @@ impl AvCatalog {
             }
         });
         self.partials.write().retain(|(t, _), _| t != table);
+        self.bump();
         removed
     }
 
@@ -614,6 +638,7 @@ impl AvCatalog {
         self.partials
             .write()
             .insert((table.into(), column.into()), Arc::new(pav));
+        self.bump();
     }
 
     /// Look up the partial AV for `(table, column)`.

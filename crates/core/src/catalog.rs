@@ -59,6 +59,8 @@ pub struct Catalog {
     tables: RwLock<HashMap<String, Arc<TableEntry>>>,
     /// Source of [`TableEntry::generation`] stamps.
     generations: AtomicU64,
+    /// The statistics clock (see [`Catalog::stats_generation`]).
+    stats_generations: AtomicU64,
     /// Per-table writer locks handed out by [`Catalog::mutation_lock`];
     /// lazily created, never removed (table names are few).
     mutation_locks: Mutex<HashMap<String, Arc<Mutex<()>>>>,
@@ -73,6 +75,7 @@ impl Catalog {
     /// Register (or replace) a table, computing exact column statistics.
     pub fn register(&self, name: impl Into<String>, relation: Relation) -> Arc<TableEntry> {
         let generation = self.generations.fetch_add(1, Ordering::Relaxed);
+        self.stats_generations.fetch_add(1, Ordering::Relaxed);
         let entry = Arc::new(TableEntry::from_relation(Arc::new(relation), generation, 0));
         self.tables.write().insert(name.into(), Arc::clone(&entry));
         entry
@@ -96,6 +99,7 @@ impl Catalog {
             old.data_generation + 1,
         ));
         tables.insert(name.to_owned(), Arc::clone(&entry));
+        self.stats_generations.fetch_add(1, Ordering::Relaxed);
         Ok(entry)
     }
 
@@ -136,6 +140,27 @@ impl Catalog {
         self.generations.load(Ordering::Relaxed)
     }
 
+    /// The catalog-wide **statistics clock**: advances whenever any
+    /// table's statistics may have changed — on `register`, on a real
+    /// `drop_table`, *and* on [`Catalog::replace_data`] (which the DDL
+    /// clock deliberately ignores). The optimiser memo stamps itself
+    /// with this value: two reads returning the same number guarantee
+    /// every cardinality and property a memoised group derived is still
+    /// current.
+    pub fn stats_generation(&self) -> u64 {
+        self.stats_generations.load(Ordering::Relaxed)
+    }
+
+    /// The pair `(registration generation, data generation)` of `name`'s
+    /// current entry — the per-table statistics version the feedback
+    /// store keys corrections on. `None` for unknown tables.
+    pub fn table_stats_version(&self, name: &str) -> Option<(u64, u64)> {
+        self.tables
+            .read()
+            .get(name)
+            .map(|e| (e.generation, e.data_generation))
+    }
+
     /// Look up a table.
     pub fn get(&self, name: &str) -> Result<Arc<TableEntry>> {
         self.tables
@@ -152,6 +177,7 @@ impl Catalog {
         let existed = self.tables.write().remove(name).is_some();
         if existed {
             self.generations.fetch_add(1, Ordering::Relaxed);
+            self.stats_generations.fetch_add(1, Ordering::Relaxed);
         }
         existed
     }
@@ -269,6 +295,31 @@ mod tests {
         assert!(cat
             .replace_data("missing", Relation::single_u32("k", vec![]))
             .is_err());
+    }
+
+    #[test]
+    fn stats_clock_moves_on_every_statistics_change() {
+        let cat = Catalog::new();
+        let s0 = cat.stats_generation();
+        cat.register("t", Relation::single_u32("key", vec![1, 2]));
+        let s1 = cat.stats_generation();
+        assert!(s1 > s0, "register bumps the stats clock");
+        let ddl = cat.current_generation();
+        cat.replace_data("t", Relation::single_u32("key", vec![1, 2, 3]))
+            .unwrap();
+        let s2 = cat.stats_generation();
+        assert!(s2 > s1, "replace_data bumps the stats clock");
+        assert_eq!(
+            cat.current_generation(),
+            ddl,
+            "…while the DDL clock stays put"
+        );
+        assert_eq!(cat.table_stats_version("t").map(|(_, d)| d), Some(1));
+        assert!(!cat.drop_table("missing"));
+        assert_eq!(cat.stats_generation(), s2, "no-op drop does not bump");
+        assert!(cat.drop_table("t"));
+        assert!(cat.stats_generation() > s2, "real drop bumps");
+        assert_eq!(cat.table_stats_version("t"), None);
     }
 
     #[test]

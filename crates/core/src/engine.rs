@@ -12,17 +12,20 @@ use crate::avsp::{self, AvspSolution, Solver, WorkloadQuery};
 use crate::catalog::Catalog;
 use crate::cost::TupleCostModel;
 use crate::executor::{execute_on_pool, execute_traced, execute_with_avs, ExecOutput};
-use crate::optimizer::{optimize_full_dop, OptimizerMode, PlannedQuery, PropertyModel};
+use crate::feedback::FeedbackStore;
+use crate::memo::{Memo, MemoOptimizer, MemoStamp, MemoStats};
+use crate::optimizer::{OptimizerMode, PlannedQuery, PropertyModel};
 use crate::plan_cache::{plan_shape, PlanCache};
-use crate::profile::{render_annotated, PlanRuntime};
+use crate::profile::{render_annotated_with, PlanRuntime};
 use crate::Result;
 use dqo_obs::{
-    names, Counter, Histogram, MetricsRegistry, MetricsSnapshot, Phase, QueryProfile, TraceBuilder,
-    DURATION_BUCKETS,
+    names, Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot, Phase, QueryProfile,
+    TraceBuilder, DURATION_BUCKETS,
 };
 use dqo_parallel::{PersistentPool, ThreadPool};
 use dqo_plan::LogicalPlan;
 use dqo_storage::{Relation, Value};
+use parking_lot::Mutex;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -83,8 +86,17 @@ pub struct Engine {
     obs: EngineObs,
     /// Cached plans for the prepared-statement path, keyed on (shape,
     /// mode, property model, DOP) × catalog generation. Plain `query`
-    /// never consults it.
+    /// never consults it — but both paths share the memo below, so a
+    /// cold prepared plan is a winner extraction, not a fresh search.
     plan_cache: PlanCache,
+    /// The session's persistent optimiser memo. Winner tables survive
+    /// across queries while the [`MemoStamp`] (statistics clock, AV
+    /// clock, feedback epoch) holds; any movement empties the memo
+    /// before the next optimisation.
+    memo: Mutex<Memo>,
+    /// Learned selectivity corrections, mined from traced executions and
+    /// fed to the memo's coster on every optimisation.
+    feedback: Arc<FeedbackStore>,
     /// Incremental AV maintenance for the write path ([`Engine::insert`]).
     maintainer: ViewMaintainer,
 }
@@ -133,6 +145,16 @@ struct EngineObs {
     queries: Counter,
     optimise: Histogram,
     exec: Histogram,
+    opt_groups: Gauge,
+    opt_group_exprs: Gauge,
+    opt_rules_fired: Counter,
+    opt_winner_hits: Counter,
+    opt_feedback_applied: Counter,
+    opt_feedback_corrections: Counter,
+    /// The memo totals already pushed into the counters above; memo
+    /// stats are cumulative, counters only move forward, so each publish
+    /// adds the delta since the last one.
+    opt_published: Mutex<MemoStats>,
 }
 
 impl EngineObs {
@@ -141,8 +163,35 @@ impl EngineObs {
             queries: registry.counter(names::ENGINE_QUERIES),
             optimise: registry.histogram(names::OPTIMISE_SECONDS, &DURATION_BUCKETS),
             exec: registry.histogram(names::EXEC_SECONDS, &DURATION_BUCKETS),
+            opt_groups: registry.gauge(names::OPT_GROUPS),
+            opt_group_exprs: registry.gauge(names::OPT_GROUP_EXPRS),
+            opt_rules_fired: registry.counter(names::OPT_RULES_FIRED),
+            opt_winner_hits: registry.counter(names::OPT_WINNER_HITS),
+            opt_feedback_applied: registry.counter(names::OPT_FEEDBACK_APPLIED),
+            opt_feedback_corrections: registry.counter(names::OPT_FEEDBACK_CORRECTIONS),
+            opt_published: Mutex::new(MemoStats::default()),
             registry,
         }
+    }
+
+    /// Push the memo's current state into the `dqo_opt_*` metrics:
+    /// gauges track the live group/candidate population, counters absorb
+    /// the stats delta since the previous publish.
+    fn publish_memo(&self, memo: &Memo) {
+        self.opt_groups.set(memo.group_count() as u64);
+        self.opt_group_exprs.set(memo.candidate_count() as u64);
+        let stats = memo.stats();
+        let mut published = self.opt_published.lock();
+        self.opt_rules_fired
+            .add(stats.rules_fired.saturating_sub(published.rules_fired));
+        self.opt_winner_hits
+            .add(stats.winner_hits.saturating_sub(published.winner_hits));
+        self.opt_feedback_applied.add(
+            stats
+                .feedback_applied
+                .saturating_sub(published.feedback_applied),
+        );
+        *published = stats;
     }
 }
 
@@ -169,6 +218,8 @@ impl Default for Engine {
             pool: None,
             tracing: tracing_default(),
             plan_cache: PlanCache::new(crate::plan_cache::DEFAULT_CAPACITY, &registry),
+            memo: Mutex::new(Memo::new()),
+            feedback: Arc::new(FeedbackStore::new()),
             maintainer: ViewMaintainer::new(&registry),
             obs: EngineObs::new(registry),
         }
@@ -379,15 +430,40 @@ impl Engine {
     }
 
     fn plan_with_dop(&self, logical: &LogicalPlan, dop: usize) -> Result<PlannedQuery> {
-        optimize_full_dop(
-            logical,
+        let mut memo = self.memo.lock();
+        memo.ensure_stamp(MemoStamp::current(
+            &self.catalog,
+            Some(&self.avs),
+            Some(&self.feedback),
+        ));
+        let planned = MemoOptimizer::new(
+            &mut memo,
             &self.catalog,
             self.mode,
             &TupleCostModel,
             Some(&self.avs),
             self.pmodel,
             dop,
+            Some(&self.feedback),
         )
+        .optimize(logical);
+        self.obs.publish_memo(&memo);
+        planned
+    }
+
+    /// The session memo's operational counters (rules fired, winner-table
+    /// hits, feedback applications) plus its live group / candidate
+    /// population — the numbers behind the `dqo_opt_*` metrics.
+    pub fn memo_stats(&self) -> (MemoStats, usize, usize) {
+        let memo = self.memo.lock();
+        (memo.stats(), memo.group_count(), memo.candidate_count())
+    }
+
+    /// The session's adaptive-feedback store: selectivity corrections
+    /// learned from traced executions, consumed by the optimiser on
+    /// every subsequent plan.
+    pub fn feedback(&self) -> &FeedbackStore {
+        &self.feedback
     }
 
     /// Optimise and execute. In shared-pool mode this blocks in the
@@ -461,6 +537,17 @@ impl Engine {
         let exec_wall = trace.end(Phase::Execute, began);
         self.obs.exec.observe_duration(exec_wall);
         self.obs.queries.inc();
+        // Close the adaptive loop: mine the traced per-operator actuals
+        // for mis-estimated filters. Recording bumps the feedback epoch,
+        // so the next optimisation re-costs with corrected selectivities.
+        if !ops.is_empty() {
+            let corrections = self
+                .feedback
+                .observe_runtime(&planned.plan, &ops, &self.catalog);
+            if corrections > 0 {
+                self.obs.opt_feedback_corrections.add(corrections as u64);
+            }
+        }
         Ok(QueryResult {
             planned,
             output,
@@ -594,7 +681,12 @@ wall time: {:?} (queue {:?} + exec {:?})
             result.exec_wall,
             phases,
             result.output.pipeline,
-            render_annotated(&result.planned.plan, &self.catalog, &result.ops)
+            render_annotated_with(
+                &result.planned.plan,
+                &self.catalog,
+                &result.ops,
+                Some(&self.feedback)
+            )
         ))
     }
 
@@ -803,6 +895,50 @@ mod tests {
             .histogram_count_sum(names::ADMISSION_WAIT_SECONDS)
             .unwrap();
         assert_eq!(wait_count, 3);
+    }
+
+    #[test]
+    fn session_memo_reuses_winners_and_invalidates_on_ddl() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let engine = engine_with_table(false, true).with_metrics_registry(Arc::clone(&registry));
+        let q = count_sum_query();
+        let p1 = engine.plan(&q).unwrap();
+        let (stats, groups, candidates) = engine.memo_stats();
+        assert!(groups > 0 && candidates > 0);
+        assert_eq!(stats.winner_hits, 0, "cold plan fires rules");
+        let p2 = engine.plan(&q).unwrap();
+        assert_eq!(p1.plan.explain(), p2.plan.explain());
+        let (stats2, _, _) = engine.memo_stats();
+        assert!(stats2.winner_hits > 0, "re-plan answers from the memo");
+        assert_eq!(
+            stats2.rules_fired, stats.rules_fired,
+            "no rule re-fires on a warm memo"
+        );
+        // The dqo_opt_* metrics mirror the memo.
+        let snap = registry.snapshot();
+        assert_eq!(snap.gauge(names::OPT_GROUPS), Some(groups as u64));
+        assert_eq!(
+            snap.counter(names::OPT_RULES_FIRED),
+            Some(stats2.rules_fired)
+        );
+        assert_eq!(
+            snap.counter(names::OPT_WINNER_HITS),
+            Some(stats2.winner_hits)
+        );
+
+        // DDL moves the statistics clock → the next plan starts from an
+        // emptied memo (groups re-derive; counters keep counting).
+        engine.register_table(
+            "t",
+            DatasetSpec::new(5_000, 64).dense(true).relation().unwrap(),
+        );
+        engine.plan(&q).unwrap();
+        let (stats3, groups3, _) = engine.memo_stats();
+        assert!(groups3 > 0);
+        assert!(
+            stats3.rules_fired > stats2.rules_fired,
+            "post-DDL plan must re-derive, not reuse stale winners"
+        );
     }
 
     #[test]

@@ -1,0 +1,256 @@
+//! Adaptive cardinality feedback — closing the loop §6 leaves open.
+//!
+//! `EXPLAIN ANALYZE` (PR 6) already measures, for every executed plan
+//! node, estimated-vs-actual rows; until now the signal stopped at the
+//! terminal. The [`FeedbackStore`] persists it where the optimiser can
+//! eat it: per **(table, predicate shape)** selectivity *correction
+//! factors*, derived from a [`PlanRuntime`]
+//! whenever a filter's actual selectivity deviates from the textbook
+//! estimate by at least [`DEVIATION_THRESHOLD`]×.
+//!
+//! Corrections are stamped with the table's **statistics version** (the
+//! `(registration generation, data generation)` pair): a correction
+//! learned against one snapshot of the data is never applied to another.
+//! The memo's coster ([`crate::property_builder::PropertyBuilder`])
+//! multiplies the stored factor into the base estimate; recording always
+//! compares actuals against the *uncorrected* base estimate, so factors
+//! converge instead of compounding.
+//!
+//! The store has an **epoch** clock that bumps whenever a correction is
+//! added or materially changed — part of the optimiser memo's staleness
+//! stamp, so a learned correction invalidates memoised winners and the
+//! next optimisation of the same shape re-costs with corrected
+//! cardinalities. The prepared-statement plan cache is deliberately
+//! *not* invalidated by the epoch: cached winners keep their bit-identical
+//! rebind guarantee and pick up corrections on their next cold plan
+//! (DDL-clock movement), keeping PR 7's serving semantics intact.
+
+use crate::catalog::Catalog;
+use crate::profile::PlanRuntime;
+use crate::property_builder::PropertyBuilder;
+use dqo_plan::PhysicalPlan;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Minimum estimated-vs-actual selectivity deviation (as a ratio, larger
+/// side over smaller) before a correction is recorded. Well-estimated
+/// predicates never enter the store, so plans over uniform data are
+/// bit-identical with feedback enabled or disabled.
+pub const DEVIATION_THRESHOLD: f64 = 4.0;
+
+/// One learned selectivity correction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Correction {
+    /// Multiply the base selectivity estimate by this factor.
+    pub factor: f64,
+    /// The table's `(generation, data_generation)` when learned; the
+    /// correction only applies while this is still current.
+    pub stats_version: (u64, u64),
+}
+
+/// A concurrent store of per-(table, predicate-shape) selectivity
+/// corrections. See the module docs for the data flow.
+#[derive(Debug, Default)]
+pub struct FeedbackStore {
+    corrections: Mutex<HashMap<(String, String), Correction>>,
+    /// Bumps whenever a correction is added or materially changed.
+    epoch: AtomicU64,
+}
+
+impl FeedbackStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        FeedbackStore::default()
+    }
+
+    /// The store's change clock (see module docs).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed)
+    }
+
+    /// Number of stored corrections.
+    pub fn len(&self) -> usize {
+        self.corrections.lock().len()
+    }
+
+    /// Whether no corrections are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Record a correction for `(table, shape)`. Returns `true` (and
+    /// bumps the epoch) when the entry is new or its factor materially
+    /// changed; re-recording the same factor is a no-op so steady-state
+    /// serving does not churn the memo.
+    pub fn record(&self, table: &str, shape: &str, factor: f64, stats_version: (u64, u64)) -> bool {
+        if !factor.is_finite() || factor <= 0.0 {
+            return false;
+        }
+        let factor = factor.clamp(1e-6, 1e6);
+        let mut map = self.corrections.lock();
+        let key = (table.to_owned(), shape.to_owned());
+        let changed = match map.get(&key) {
+            Some(existing) if existing.stats_version == stats_version => {
+                (existing.factor / factor - 1.0).abs() > 0.01
+            }
+            _ => true,
+        };
+        if changed {
+            map.insert(
+                key,
+                Correction {
+                    factor,
+                    stats_version,
+                },
+            );
+            self.epoch.fetch_add(1, Ordering::Relaxed);
+        }
+        changed
+    }
+
+    /// The correction factor for `(table, shape)`, if one was learned
+    /// against the table's *current* statistics version.
+    pub fn correction(&self, table: &str, shape: &str, stats_version: (u64, u64)) -> Option<f64> {
+        let map = self.corrections.lock();
+        map.get(&(table.to_owned(), shape.to_owned()))
+            .filter(|c| c.stats_version == stats_version)
+            .map(|c| c.factor)
+    }
+
+    /// Drop every correction (the epoch bumps once if anything was
+    /// stored).
+    pub fn clear(&self) {
+        let mut map = self.corrections.lock();
+        if !map.is_empty() {
+            map.clear();
+            self.epoch.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Mine an executed plan's runtime profile for mis-estimated filters
+    /// and record corrections. `runtime` is the traced per-node metrics
+    /// in plan pre-order; estimates are recomputed *without* feedback so
+    /// stored factors are always relative to the base estimate (no
+    /// compounding). Returns how many corrections were recorded or
+    /// updated.
+    pub fn observe_runtime(
+        &self,
+        plan: &PhysicalPlan,
+        runtime: &PlanRuntime,
+        catalog: &Catalog,
+    ) -> usize {
+        if runtime.is_empty() {
+            return 0;
+        }
+        let base_est = PropertyBuilder::new(catalog).estimate_rows(plan);
+        let mut nodes = Vec::new();
+        preorder(plan, &mut nodes);
+        let mut recorded = 0;
+        for (idx, node) in nodes.iter().enumerate() {
+            let PhysicalPlan::Filter { input, predicate } = node else {
+                continue;
+            };
+            // In pre-order the filter's input subtree starts right after
+            // the filter itself.
+            let (Some(&est_out), Some(&est_in)) = (base_est.get(idx), base_est.get(idx + 1)) else {
+                continue;
+            };
+            let (Some(act_out), Some(act_in)) = (
+                runtime.node(idx).map(|m| m.rows_out),
+                runtime.node(idx + 1).map(|m| m.rows_out),
+            ) else {
+                continue;
+            };
+            if est_in == 0 || act_in == 0 {
+                continue;
+            }
+            let Some(table) = base_table_below(input) else {
+                continue; // multi-table input: no single stats owner
+            };
+            let est_sel = (est_out.max(1) as f64) / (est_in as f64);
+            let act_sel = (act_out.max(1) as f64) / (act_in as f64);
+            let factor = act_sel / est_sel;
+            let deviation = factor.max(1.0 / factor);
+            if deviation < DEVIATION_THRESHOLD {
+                continue;
+            }
+            let Some(stats_version) = catalog.table_stats_version(table) else {
+                continue;
+            };
+            if self.record(table, &predicate.shape(), factor, stats_version) {
+                recorded += 1;
+            }
+        }
+        recorded
+    }
+}
+
+/// Flatten a physical plan to pre-order node references (the order
+/// [`PlanRuntime`] and estimate vectors are indexed in).
+fn preorder<'a>(plan: &'a PhysicalPlan, out: &mut Vec<&'a PhysicalPlan>) {
+    out.push(plan);
+    for child in plan.children() {
+        preorder(child, out);
+    }
+}
+
+/// The single base table beneath `plan`, walking the single-child spine;
+/// `None` once a join makes ownership ambiguous.
+fn base_table_below(plan: &PhysicalPlan) -> Option<&str> {
+    match plan {
+        PhysicalPlan::Scan { table } => Some(table),
+        PhysicalPlan::Join { .. } => None,
+        _ => plan.children().first().and_then(|c| base_table_below(c)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_lookup_respect_stats_version() {
+        let store = FeedbackStore::new();
+        assert_eq!(store.epoch(), 0);
+        assert!(store.record("t", "key = ?", 25.0, (3, 1)));
+        assert_eq!(store.epoch(), 1);
+        assert_eq!(store.correction("t", "key = ?", (3, 1)), Some(25.0));
+        // Wrong stats version: the correction is invisible.
+        assert_eq!(store.correction("t", "key = ?", (3, 2)), None);
+        assert_eq!(store.correction("t", "key = ?", (4, 0)), None);
+        // Unknown shape or table: nothing.
+        assert_eq!(store.correction("t", "key < ?", (3, 1)), None);
+        assert_eq!(store.correction("u", "key = ?", (3, 1)), None);
+    }
+
+    #[test]
+    fn rerecording_same_factor_does_not_churn_the_epoch() {
+        let store = FeedbackStore::new();
+        assert!(store.record("t", "key = ?", 25.0, (3, 1)));
+        let e = store.epoch();
+        assert!(!store.record("t", "key = ?", 25.1, (3, 1)), "within 1%");
+        assert_eq!(store.epoch(), e);
+        assert!(
+            store.record("t", "key = ?", 50.0, (3, 1)),
+            "material change"
+        );
+        assert!(store.epoch() > e);
+        // A new stats version always re-records (fresh snapshot).
+        assert!(store.record("t", "key = ?", 50.0, (3, 2)));
+    }
+
+    #[test]
+    fn degenerate_factors_are_rejected_and_clamped() {
+        let store = FeedbackStore::new();
+        assert!(!store.record("t", "s", 0.0, (0, 0)));
+        assert!(!store.record("t", "s", -3.0, (0, 0)));
+        assert!(!store.record("t", "s", f64::NAN, (0, 0)));
+        assert!(!store.record("t", "s", f64::INFINITY, (0, 0)));
+        assert!(store.is_empty());
+        assert!(store.record("t", "s", 1e12, (0, 0)));
+        assert_eq!(store.correction("t", "s", (0, 0)), Some(1e6));
+        store.clear();
+        assert!(store.is_empty());
+    }
+}

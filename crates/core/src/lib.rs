@@ -6,11 +6,20 @@
 //!   (sortedness, density, distinct counts per key column);
 //! * [`cost`] — the Table 2 cost models (tuple-operation based) and a
 //!   calibrated nanosecond model for estimated-vs-measured studies;
-//! * [`optimizer`] — **one** property-annotated dynamic program that is
-//!   SQO or DQO depending on how much of the property vector it is allowed
-//!   to see (§4.3: SQO tracks sortedness only; DQO adds density and
-//!   friends), with sort enforcers, implementation choice at the organelle
-//!   level and molecule decisions below it;
+//! * [`optimizer`] — the public optimiser API: **one** property-annotated
+//!   optimiser that is SQO or DQO depending on how much of the property
+//!   vector it is allowed to see (§4.3: SQO tracks sortedness only; DQO
+//!   adds density and friends), with sort enforcers, implementation
+//!   choice at the organelle level and molecule decisions below it;
+//! * [`memo`] — the Cascades-style memo behind it: groups keyed by
+//!   logical subtree, derived properties, per-group winner tables, and
+//!   uniform implementation / enforcer / parallel-twin rule application;
+//! * [`property_builder`] — the one place logical properties (rows,
+//!   distinct counts, selectivities) are derived, shared by the memo's
+//!   coster and `EXPLAIN ANALYZE`;
+//! * [`feedback`] — adaptive cardinality feedback: per-(table,
+//!   predicate-shape) selectivity corrections learned from executed
+//!   plans' est-vs-actual deltas, consumed by the memo's coster;
 //! * [`executor`] — runs the chosen `PhysicalPlan` on `dqo-exec`,
 //!   returning results plus pipeline statistics;
 //! * [`av`] — **Algorithmic Views** (§3): precomputed granules (sorted
@@ -51,12 +60,16 @@ pub mod deep_exec;
 pub mod engine;
 pub mod error;
 pub mod executor;
+pub mod feedback;
+pub mod memo;
 pub mod molecule;
 pub mod optimizer;
 pub mod partial_av;
 pub mod plan_cache;
 pub mod profile;
+pub mod property_builder;
 pub mod reopt;
+mod rules;
 
 pub use av_build::{AvBuildHandle, AvBuildStats, AvBuilder};
 pub use av_delta::{
@@ -67,6 +80,8 @@ pub use cost::{CostModel, TupleCostModel};
 pub use engine::{Engine, InsertReport, PreparedPlan};
 pub use error::CoreError;
 pub use executor::{execute, ExecOutput};
+pub use feedback::FeedbackStore;
+pub use memo::{Memo, MemoOptimizer, MemoStamp, MemoStats};
 pub use optimizer::{optimize, OptimizerMode, PlannedQuery};
 pub use plan_cache::{plan_shape, PlanCache};
 pub use profile::PlanRuntime;

@@ -1,0 +1,476 @@
+//! The optimiser memo: groups, group expressions, derived properties and
+//! per-group winner tables.
+//!
+//! PR 9 refactors the property-annotated dynamic program into a
+//! Cascades-style **memo**. Each logical subtree is interned into a
+//! [`Group`] — an equivalence class holding the representative logical
+//! expression (children referenced by [`GroupId`], so shared subtrees
+//! share groups), the subtree's normalised *shape* (constants masked; the
+//! key the winner-extraction plan cache uses), and a **winner table**:
+//! the pruned candidate set per `(focus column, optimiser mode, property
+//! model, granted DOP)` — one cheapest [`Candidate`] per interesting
+//! property class, exactly what the DP's `prune` kept.
+//!
+//! Group *identity* is the fully rendered logical subtree **including
+//! constants**: costs depend on predicate selectivities, so two queries
+//! differing only in a literal are distinct groups. Cross-constant reuse
+//! is the plan cache's job (structural rebind over equal shapes); the
+//! memo's job is exact-cost reuse *within* and *across* identical
+//! queries.
+//!
+//! The memo is incremental across queries: the engine keeps one per
+//! session and re-uses winner tables whenever the [`MemoStamp`] — the
+//! catalog's statistics clock, the AV catalog's change clock and the
+//! feedback store's epoch — still matches. Any statistics change, AV
+//! (de)registration or newly learned cardinality correction moves the
+//! stamp and empties the memo, so no winner ever outlives the facts it
+//! was costed from.
+//!
+//! Rule application lives in `crate::rules`: implementation rules
+//! (Scan → AV-backed scan, GroupBy → {HG, SPHG, OG, SOG, BSG, composite},
+//! Join → {HJ, SPHJ, OJ, SOJ, BSJ}), enforcer rules (Sort) and
+//! parallel-twin rules (`Exchange{dop}`) — fired in the same order the
+//! DP enumerated, feeding the same pruning, so winning plans are
+//! bit-identical to the pre-memo optimiser.
+
+use crate::av::AvCatalog;
+use crate::catalog::Catalog;
+use crate::cost::CostModel;
+use crate::error::CoreError;
+use crate::feedback::FeedbackStore;
+use crate::optimizer::{candidate_order, Candidate, OptimizerMode, PlannedQuery, PropertyModel};
+use crate::property_builder::PropertyBuilder;
+use crate::Result;
+use dqo_plan::LogicalPlan;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+/// Index of a [`Group`] within its [`Memo`].
+pub type GroupId = usize;
+
+/// The staleness stamp a memo's winners are valid under. Any component
+/// moving means previously derived properties or costs may be wrong.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoStamp {
+    /// [`Catalog::stats_generation`] — moves on any statistics change.
+    pub stats_generation: u64,
+    /// [`AvCatalog::generation`] — moves on any AV (de)registration.
+    pub av_generation: u64,
+    /// [`FeedbackStore::epoch`] — moves on any learned correction.
+    pub feedback_epoch: u64,
+}
+
+impl MemoStamp {
+    /// The current stamp for a catalog + optional AV catalog + optional
+    /// feedback store.
+    pub fn current(
+        catalog: &Catalog,
+        avs: Option<&AvCatalog>,
+        feedback: Option<&FeedbackStore>,
+    ) -> Self {
+        MemoStamp {
+            stats_generation: catalog.stats_generation(),
+            av_generation: avs.map(AvCatalog::generation).unwrap_or(0),
+            feedback_epoch: feedback.map(FeedbackStore::epoch).unwrap_or(0),
+        }
+    }
+}
+
+/// Counters the memo keeps about its own operation, surfaced as
+/// `dqo_opt_*` metrics by the engine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoStats {
+    /// Total rule applications that produced at least one candidate.
+    pub rules_fired: u64,
+    /// Winner-table lookups answered from the memo without re-deriving.
+    pub winner_hits: u64,
+    /// Feedback corrections folded into selectivity estimates.
+    pub feedback_applied: u64,
+}
+
+/// Key of one winner-table entry: the physical context a candidate set
+/// was derived under.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct WinnerKey {
+    /// The column the parent consumes this output by (drives which base
+    /// properties a scan exposes and which orders are interesting).
+    focus: Option<String>,
+    mode: OptimizerMode,
+    pmodel: PropertyModel,
+    dop: usize,
+}
+
+/// One equivalence class of logical plans. See the module docs.
+#[derive(Debug)]
+pub struct Group {
+    logical: Arc<LogicalPlan>,
+    shape: String,
+    children: Vec<GroupId>,
+    winners: HashMap<WinnerKey, Arc<Vec<Candidate>>>,
+}
+
+impl Group {
+    /// The representative logical expression.
+    pub fn logical(&self) -> &Arc<LogicalPlan> {
+        &self.logical
+    }
+
+    /// The subtree's normalised shape (constants masked) — the derived
+    /// attribute shared with the plan cache's rebind layer.
+    pub fn shape(&self) -> &str {
+        &self.shape
+    }
+
+    /// Child groups, in operator order.
+    pub fn children(&self) -> &[GroupId] {
+        &self.children
+    }
+
+    /// Number of retained physical candidates across all winner tables.
+    pub fn candidate_count(&self) -> usize {
+        self.winners.values().map(|w| w.len()).sum()
+    }
+}
+
+/// The memo proper: interned groups plus the stamp and statistics.
+#[derive(Debug, Default)]
+pub struct Memo {
+    groups: Vec<Group>,
+    index: HashMap<String, GroupId>,
+    stamp: Option<MemoStamp>,
+    stats: MemoStats,
+    rule_counts: BTreeMap<&'static str, u64>,
+}
+
+impl Memo {
+    /// An empty memo.
+    pub fn new() -> Self {
+        Memo::default()
+    }
+
+    /// Intern a logical subtree (children first), returning its group.
+    /// Re-interning an already known subtree returns the existing group.
+    pub fn intern(&mut self, node: &Arc<LogicalPlan>) -> GroupId {
+        let identity = format!("{node}");
+        if let Some(&gid) = self.index.get(&identity) {
+            return gid;
+        }
+        let children = node
+            .children()
+            .into_iter()
+            .map(|c| self.intern(c))
+            .collect();
+        let gid = self.groups.len();
+        self.groups.push(Group {
+            logical: Arc::clone(node),
+            shape: node.shape(),
+            children,
+            winners: HashMap::new(),
+        });
+        self.index.insert(identity, gid);
+        gid
+    }
+
+    /// Intern from a borrowed root (clones one node; children stay
+    /// shared `Arc`s).
+    pub fn intern_root(&mut self, node: &LogicalPlan) -> GroupId {
+        let identity = format!("{node}");
+        if let Some(&gid) = self.index.get(&identity) {
+            return gid;
+        }
+        self.intern(&Arc::new(node.clone()))
+    }
+
+    /// The group at `gid`. Panics on an invalid id (memo ids are only
+    /// produced by [`Memo::intern`]).
+    pub fn group(&self, gid: GroupId) -> &Group {
+        &self.groups[gid]
+    }
+
+    /// Look up the group a logical subtree was interned into.
+    pub fn find(&self, node: &LogicalPlan) -> Option<GroupId> {
+        self.index.get(&format!("{node}")).copied()
+    }
+
+    /// Number of groups.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Retained physical candidates across all groups' winner tables —
+    /// the memo's "group expressions" gauge.
+    pub fn candidate_count(&self) -> usize {
+        self.groups.iter().map(Group::candidate_count).sum()
+    }
+
+    /// Operational counters (cumulative over the memo's lifetime; they
+    /// survive stamp-driven clears so metric deltas stay monotone).
+    pub fn stats(&self) -> MemoStats {
+        self.stats
+    }
+
+    /// Per-rule firing counts, in rule-name order.
+    pub fn rule_counts(&self) -> Vec<(&'static str, u64)> {
+        self.rule_counts.iter().map(|(k, v)| (*k, *v)).collect()
+    }
+
+    /// The stamp the current contents were derived under.
+    pub fn stamp(&self) -> Option<MemoStamp> {
+        self.stamp
+    }
+
+    /// Make the memo valid for `stamp`: if the current contents were
+    /// derived under a different stamp they are dropped. Returns `true`
+    /// when the memo was cleared.
+    pub fn ensure_stamp(&mut self, stamp: MemoStamp) -> bool {
+        if self.stamp == Some(stamp) {
+            return false;
+        }
+        let had_content = !self.groups.is_empty();
+        self.clear_groups();
+        self.stamp = Some(stamp);
+        had_content
+    }
+
+    /// Adopt `stamp` *without* dropping contents — only sound when the
+    /// caller knows the stamp movement cannot have invalidated existing
+    /// groups (e.g. registering a brand-new table no group refers to,
+    /// as re-optimisation does for its observed intermediate).
+    pub fn adopt_stamp(&mut self, stamp: MemoStamp) {
+        self.stamp = Some(stamp);
+    }
+
+    /// Drop all groups and winner tables (statistics keep counting).
+    pub fn clear_groups(&mut self) {
+        self.groups.clear();
+        self.index.clear();
+    }
+}
+
+/// The rule-application engine: explores groups of a [`Memo`] under one
+/// optimisation context (catalog, cost model, AVs, mode, property model,
+/// DOP, feedback), memoising each group's pruned candidate set in its
+/// winner table.
+pub struct MemoOptimizer<'a> {
+    pub(crate) memo: &'a mut Memo,
+    pub(crate) catalog: &'a Catalog,
+    pub(crate) mode: OptimizerMode,
+    pub(crate) model: &'a dyn CostModel,
+    pub(crate) avs: Option<&'a AvCatalog>,
+    pub(crate) pmodel: PropertyModel,
+    pub(crate) dop: usize,
+    pub(crate) props: PropertyBuilder<'a>,
+}
+
+impl<'a> MemoOptimizer<'a> {
+    /// Bind a memo to an optimisation context.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        memo: &'a mut Memo,
+        catalog: &'a Catalog,
+        mode: OptimizerMode,
+        model: &'a dyn CostModel,
+        avs: Option<&'a AvCatalog>,
+        pmodel: PropertyModel,
+        dop: usize,
+        feedback: Option<&'a FeedbackStore>,
+    ) -> Self {
+        MemoOptimizer {
+            memo,
+            catalog,
+            mode,
+            model,
+            avs,
+            pmodel,
+            dop: dop.max(1),
+            props: PropertyBuilder::with_feedback(catalog, feedback),
+        }
+    }
+
+    /// Optimise a logical plan: intern it, explore its group, return the
+    /// cheapest candidate as the final answer.
+    pub fn optimize(&mut self, logical: &LogicalPlan) -> Result<PlannedQuery> {
+        let mode = self.mode;
+        let best = self
+            .candidates(logical)?
+            .into_iter()
+            .min_by(candidate_order)
+            .ok_or_else(|| CoreError::NoPlanFound(format!("{logical}")))?;
+        Ok(PlannedQuery {
+            plan: best.plan,
+            est_cost: best.cost,
+            props: best.props,
+            mode,
+        })
+    }
+
+    /// The full pruned candidate set of a logical plan's root group.
+    pub fn candidates(&mut self, logical: &LogicalPlan) -> Result<Vec<Candidate>> {
+        let gid = self.memo.intern_root(logical);
+        let cands = self.explore(gid, None)?;
+        let out = cands.as_ref().clone();
+        self.memo.stats.feedback_applied += self.props.take_applied();
+        Ok(out)
+    }
+
+    /// Explore one group under a focus column: answer from the winner
+    /// table when present, otherwise fire the group's rules and memoise
+    /// the pruned result.
+    pub(crate) fn explore(
+        &mut self,
+        gid: GroupId,
+        focus: Option<&str>,
+    ) -> Result<Arc<Vec<Candidate>>> {
+        let key = WinnerKey {
+            focus: focus.map(str::to_owned),
+            mode: self.mode,
+            pmodel: self.pmodel,
+            dop: self.dop,
+        };
+        if let Some(winners) = self.memo.groups[gid].winners.get(&key) {
+            self.memo.stats.winner_hits += 1;
+            return Ok(Arc::clone(winners));
+        }
+        let cands = Arc::new(crate::rules::apply(self, gid, focus)?);
+        self.memo.groups[gid]
+            .winners
+            .insert(key, Arc::clone(&cands));
+        Ok(cands)
+    }
+
+    /// Record one rule application that produced candidates.
+    pub(crate) fn fire(&mut self, rule: &'static str) {
+        self.memo.stats.rules_fired += 1;
+        *self.memo.rule_counts.entry(rule).or_insert(0) += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::TupleCostModel;
+    use dqo_plan::expr::AggExpr;
+    use dqo_storage::datagen::DatasetSpec;
+
+    fn catalog() -> Catalog {
+        let cat = Catalog::new();
+        cat.register(
+            "t",
+            DatasetSpec::new(10_000, 100)
+                .dense(true)
+                .relation()
+                .unwrap(),
+        );
+        cat
+    }
+
+    fn query() -> Arc<LogicalPlan> {
+        LogicalPlan::group_by(
+            LogicalPlan::scan("t"),
+            "key",
+            vec![AggExpr::count_star("n")],
+        )
+    }
+
+    fn optimize_in(memo: &mut Memo, cat: &Catalog, q: &LogicalPlan) -> PlannedQuery {
+        MemoOptimizer::new(
+            memo,
+            cat,
+            OptimizerMode::Deep,
+            &TupleCostModel,
+            None,
+            PropertyModel::AttributeStrict,
+            1,
+            None,
+        )
+        .optimize(q)
+        .unwrap()
+    }
+
+    #[test]
+    fn shared_subtrees_share_groups() {
+        let mut memo = Memo::new();
+        let gb = query();
+        let sort = LogicalPlan::sort(LogicalPlan::scan("t"), "key");
+        let g1 = memo.intern(&gb);
+        let g2 = memo.intern(&sort);
+        assert_ne!(g1, g2);
+        // GroupBy, Sort and ONE shared Scan group.
+        assert_eq!(memo.group_count(), 3);
+        assert_eq!(memo.group(g1).children(), memo.group(g2).children());
+        // Shapes mask constants; identities do not.
+        let f30 = LogicalPlan::filter(
+            LogicalPlan::scan("t"),
+            dqo_plan::expr::Predicate::cmp("key", dqo_plan::CmpOp::Lt, 30u32),
+        );
+        let f70 = LogicalPlan::filter(
+            LogicalPlan::scan("t"),
+            dqo_plan::expr::Predicate::cmp("key", dqo_plan::CmpOp::Lt, 70u32),
+        );
+        let gf30 = memo.intern(&f30);
+        let gf70 = memo.intern(&f70);
+        assert_ne!(gf30, gf70, "different constants are different groups");
+        assert_eq!(memo.group(gf30).shape(), memo.group(gf70).shape());
+        assert_eq!(memo.intern(&f30), gf30, "re-interning is idempotent");
+    }
+
+    #[test]
+    fn repeated_optimisation_answers_from_winner_tables() {
+        let cat = catalog();
+        let mut memo = Memo::new();
+        memo.ensure_stamp(MemoStamp::current(&cat, None, None));
+        let q = query();
+        let first = optimize_in(&mut memo, &cat, &q);
+        let fired = memo.stats().rules_fired;
+        assert!(fired > 0);
+        assert_eq!(memo.stats().winner_hits, 0);
+        let second = optimize_in(&mut memo, &cat, &q);
+        assert_eq!(first.plan.explain(), second.plan.explain());
+        assert_eq!(first.est_cost.to_bits(), second.est_cost.to_bits());
+        assert!(memo.stats().winner_hits > 0, "second run must be memoised");
+        assert_eq!(
+            memo.stats().rules_fired,
+            fired,
+            "no rule re-fires on a warm memo"
+        );
+    }
+
+    #[test]
+    fn stamp_movement_clears_groups_but_counters_survive() {
+        let cat = catalog();
+        let mut memo = Memo::new();
+        let stamp = MemoStamp::current(&cat, None, None);
+        assert!(!memo.ensure_stamp(stamp), "empty memo: nothing to clear");
+        optimize_in(&mut memo, &cat, &query());
+        assert!(memo.group_count() > 0);
+        assert!(!memo.ensure_stamp(stamp), "same stamp: contents survive");
+        assert!(memo.group_count() > 0);
+
+        // Any statistics change moves the stamp and empties the memo.
+        cat.register(
+            "u",
+            DatasetSpec::new(100, 10).dense(true).relation().unwrap(),
+        );
+        let moved = MemoStamp::current(&cat, None, None);
+        assert_ne!(stamp, moved);
+        let fired = memo.stats().rules_fired;
+        assert!(memo.ensure_stamp(moved), "stale contents must drop");
+        assert_eq!(memo.group_count(), 0);
+        assert_eq!(memo.candidate_count(), 0);
+        assert_eq!(memo.stats().rules_fired, fired, "counters are cumulative");
+    }
+
+    #[test]
+    fn rule_counts_name_the_fired_rules() {
+        let cat = catalog();
+        let mut memo = Memo::new();
+        optimize_in(&mut memo, &cat, &query());
+        let counts = memo.rule_counts();
+        let names: Vec<&str> = counts.iter().map(|(n, _)| *n).collect();
+        assert!(names.contains(&"scan-impl"), "{names:?}");
+        assert!(names.contains(&"group-by-impl"), "{names:?}");
+        assert!(counts.iter().all(|&(_, c)| c > 0));
+        let total: u64 = counts.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, memo.stats().rules_fired);
+    }
+}

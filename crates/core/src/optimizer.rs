@@ -19,18 +19,21 @@
 //! [`PlanProps::shallow`], which forgets density and key ranges — so the
 //! SPH-based implementations simply never qualify. Running the *same* DP
 //! under both modes yields Figure 5's improvement factors.
+//!
+//! Since PR 9 the enumeration itself lives in the memo engine
+//! ([`crate::memo`] + `crate::rules`): every entry point below interns
+//! the query into a fresh [`crate::memo::Memo`] and fires the uniform
+//! rule set. This file keeps the public API, the candidate/pruning
+//! vocabulary, and the estimation arithmetic the rules share.
 
-use crate::av::{AvCatalog, AvKind};
+use crate::av::AvCatalog;
 use crate::catalog::Catalog;
 use crate::cost::{CostModel, TupleCostModel};
-use crate::error::CoreError;
-use crate::molecule::{refine_grouping_molecules, MoleculeCosts};
+use crate::memo::{Memo, MemoOptimizer};
 use crate::Result;
 use dqo_plan::expr::Predicate;
-use dqo_plan::physical::GroupingMolecules;
 use dqo_plan::properties::PropKey;
-use dqo_plan::{CmpOp, GroupingImpl, JoinImpl, LogicalPlan, PhysicalPlan, PlanProps, SortMolecule};
-use dqo_storage::{Density, Sortedness};
+use dqo_plan::{CmpOp, GroupingImpl, JoinImpl, LogicalPlan, PhysicalPlan, PlanProps};
 use std::collections::HashMap;
 
 /// Shallow (SQO) vs deep (DQO) optimisation.
@@ -45,7 +48,7 @@ pub enum OptimizerMode {
 
 impl OptimizerMode {
     /// Apply the mode's property visibility.
-    fn project(self, props: PlanProps) -> PlanProps {
+    pub(crate) fn project(self, props: PlanProps) -> PlanProps {
         match self {
             OptimizerMode::Shallow => props.shallow(),
             OptimizerMode::Deep => props,
@@ -199,25 +202,12 @@ pub fn optimize_full_dop(
     pmodel: PropertyModel,
     dop: usize,
 ) -> Result<PlannedQuery> {
-    let opt = Optimizer {
-        catalog,
-        mode,
-        model,
-        avs,
-        pmodel,
-        dop: dop.max(1),
-    };
-    let cands = opt.enumerate(logical, None)?;
-    let best = cands
-        .into_iter()
-        .min_by(candidate_order)
-        .ok_or_else(|| CoreError::NoPlanFound(format!("{logical}")))?;
-    Ok(PlannedQuery {
-        plan: best.plan,
-        est_cost: best.cost,
-        props: best.props,
-        mode,
-    })
+    // Free entry points build a fresh memo per call: callers may pass
+    // arbitrary cost models or hypothetical AV catalogs (the AVSP
+    // advisor does), so no state can be shared safely. The engine keeps
+    // a persistent memo for session queries.
+    let mut memo = Memo::new();
+    MemoOptimizer::new(&mut memo, catalog, mode, model, avs, pmodel, dop, None).optimize(logical)
 }
 
 /// Expose the full (pruned) candidate set of the root — used by tests and
@@ -227,756 +217,25 @@ pub fn enumerate_candidates(
     catalog: &Catalog,
     mode: OptimizerMode,
 ) -> Result<Vec<Candidate>> {
-    let opt = Optimizer {
+    let mut memo = Memo::new();
+    MemoOptimizer::new(
+        &mut memo,
         catalog,
         mode,
-        model: &TupleCostModel,
-        avs: None,
-        pmodel: PropertyModel::PaperStream,
-        dop: 1,
-    };
-    opt.enumerate(logical, None)
-}
-
-struct Optimizer<'a> {
-    catalog: &'a Catalog,
-    mode: OptimizerMode,
-    model: &'a dyn CostModel,
-    avs: Option<&'a AvCatalog>,
-    pmodel: PropertyModel,
-    /// Maximum degree of parallelism Exchange candidates may use (1 =
-    /// serial-only planning).
-    dop: usize,
-}
-
-impl Optimizer<'_> {
-    /// Enumerate candidates for `node`. `focus` is the column by which the
-    /// parent will consume this sub-plan's output (join key / grouping
-    /// key); it determines which column's base properties a scan exposes.
-    fn enumerate(&self, node: &LogicalPlan, focus: Option<&str>) -> Result<Vec<Candidate>> {
-        match node {
-            LogicalPlan::Scan { table } => self.enumerate_scan(table, focus),
-            LogicalPlan::Filter { input, predicate } => {
-                self.enumerate_filter(input, predicate, focus)
-            }
-            LogicalPlan::Sort { input, key } => {
-                let inputs = self.enumerate(input, Some(key))?;
-                // Interesting-order payoff: an input that is already
-                // sorted on the key satisfies the Sort for free — this is
-                // what makes sorted-output groupings (SPHG/SOG/BSG) win
-                // under a final ORDER BY. Unsorted inputs enumerate the
-                // serial enforcer plus its morsel-parallel twin.
-                Ok(prune(inputs.into_iter().flat_map(|c| {
-                    if self.is_sorted_on(&c, key) {
-                        vec![c]
-                    } else {
-                        self.sort_enforcer_candidates(c, key)
-                    }
-                })))
-            }
-            LogicalPlan::Project { input, columns } => {
-                let inputs = self.enumerate(input, focus)?;
-                Ok(prune(inputs.into_iter().map(|c| Candidate {
-                    plan: PhysicalPlan::Project {
-                        input: Box::new(c.plan),
-                        columns: columns.clone(),
-                    },
-                    cost: c.cost, // columnar projection is free
-                    props: c.props,
-                    sort_col: c.sort_col,
-                })))
-            }
-            LogicalPlan::Limit { input, n } => {
-                let inputs = self.enumerate(input, focus)?;
-                Ok(prune(inputs.into_iter().map(|c| {
-                    let mut props = c.props;
-                    props.rows = props.rows.min(*n);
-                    Candidate {
-                        plan: PhysicalPlan::Limit {
-                            input: Box::new(c.plan),
-                            n: *n,
-                        },
-                        cost: c.cost, // truncation is free in a columnar store
-                        props,
-                        sort_col: c.sort_col,
-                    }
-                })))
-            }
-            LogicalPlan::Join {
-                left,
-                right,
-                left_key,
-                right_key,
-            } => self.enumerate_join(node, left, right, left_key, right_key),
-            LogicalPlan::GroupBy { input, keys, aggs } => {
-                self.enumerate_group_by(node, input, keys, aggs)
-            }
-        }
-    }
-
-    fn enumerate_scan(&self, table: &str, focus: Option<&str>) -> Result<Vec<Candidate>> {
-        let entry = self.catalog.get(table)?;
-        let rows = entry.relation.rows() as u64;
-        let props = match focus {
-            Some(col) => match entry.column_props.get(col) {
-                Some(p) => PlanProps::from_data(p),
-                None => PlanProps::unknown(rows),
-            },
-            None => PlanProps::unknown(rows),
-        };
-        let projected = self.mode.project(props);
-        let mut out = vec![Candidate {
-            plan: PhysicalPlan::Scan {
-                table: table.to_owned(),
-            },
-            cost: 0.0, // scans are the common baseline of every plan
-            sort_col: (projected.sortedness == Sortedness::Ascending)
-                .then(|| focus.unwrap_or_default().to_owned())
-                .filter(|c| !c.is_empty()),
-            props: projected,
-        }];
-        // AV alternative: a sorted projection provides the `sorted`
-        // property at zero query-time cost (its build cost was paid
-        // offline — the §3 trade-off).
-        if let (Some(avs), Some(col)) = (self.avs, focus) {
-            if let Some(av) = avs.lookup(table, col, AvKind::SortedProjection) {
-                out.push(Candidate {
-                    plan: PhysicalPlan::Scan {
-                        table: av.signature.av_table_name(),
-                    },
-                    cost: 0.0,
-                    props: self.mode.project(av.provides),
-                    sort_col: Some(col.to_owned()),
-                });
-            }
-        }
-        Ok(out)
-    }
-
-    fn enumerate_filter(
-        &self,
-        input: &LogicalPlan,
-        predicate: &Predicate,
-        focus: Option<&str>,
-    ) -> Result<Vec<Candidate>> {
-        let inputs = self.enumerate(input, focus)?;
-        Ok(prune(inputs.into_iter().flat_map(|c| {
-            let selectivity = estimate_selectivity(predicate, &c.props);
-            let out_rows = ((c.props.rows as f64) * selectivity).ceil() as u64;
-            let mut props = c.props;
-            props.rows = out_rows;
-            // Filtering preserves order/partitioning but may punch holes
-            // into a dense domain — density degrades to unknown.
-            props.density = Density::Unknown;
-            props.key_range = None;
-            props.distinct = props.distinct.map(|d| {
-                (((d as f64) * selectivity).ceil() as u64)
-                    .max(1)
-                    .min(out_rows.max(1))
-            });
-            let props = self.mode.project(props);
-            let serial = Candidate {
-                cost: c.cost + self.model.scan(c.props.rows as f64),
-                plan: PhysicalPlan::Filter {
-                    input: Box::new(c.plan),
-                    predicate: predicate.clone(),
-                },
-                props,
-                sort_col: c.sort_col.clone(),
-            };
-            let mut out = vec![serial];
-            // Morsel-parallel twin: same properties (mask concatenation
-            // preserves row order), cheaper only past the startup cost.
-            if self.dop > 1 {
-                out.push(Candidate {
-                    cost: c.cost + self.model.parallel_scan(c.props.rows as f64, self.dop),
-                    plan: PhysicalPlan::Exchange {
-                        input: Box::new(out[0].plan.clone()),
-                        dop: self.dop,
-                    },
-                    props,
-                    sort_col: c.sort_col,
-                });
-            }
-            out
-        })))
-    }
-
-    /// Wrap a candidate in an explicit sort enforcer on `key`.
-    fn add_sort(&self, c: Candidate, key: &str) -> Candidate {
-        let mut props = c.props;
-        props.sortedness = Sortedness::Ascending;
-        props.partitioned = true;
-        Candidate {
-            cost: c.cost + self.model.sort(c.props.rows as f64),
-            plan: PhysicalPlan::Sort {
-                input: Box::new(c.plan),
-                key: key.to_owned(),
-                molecule: SortMolecule::Comparison,
-            },
-            props,
-            sort_col: Some(key.to_owned()),
-        }
-    }
-
-    /// The sort-enforcer alternatives for an unsorted candidate: the
-    /// serial enforcer plus, at `dop > 1`, its Exchange-wrapped twin
-    /// (morsel-parallel run formation + Merge Path merge). The parallel
-    /// sort is stable by construction, so both provide the identical
-    /// ascending-order property.
-    fn sort_enforcer_candidates(&self, c: Candidate, key: &str) -> Vec<Candidate> {
-        let mut out = Vec::with_capacity(2);
-        if self.dop > 1 {
-            let mut props = c.props;
-            props.sortedness = Sortedness::Ascending;
-            props.partitioned = true;
-            out.push(Candidate {
-                cost: c.cost + self.model.parallel_sort(c.props.rows as f64, self.dop),
-                plan: PhysicalPlan::Exchange {
-                    input: Box::new(PhysicalPlan::Sort {
-                        input: Box::new(c.plan.clone()),
-                        key: key.to_owned(),
-                        molecule: SortMolecule::Comparison,
-                    }),
-                    dop: self.dop,
-                },
-                props,
-                sort_col: Some(key.to_owned()),
-            });
-        }
-        out.push(self.add_sort(c, key));
-        out
-    }
-
-    /// Is this candidate's output usable as "sorted by `key`" under the
-    /// active property model?
-    fn is_sorted_on(&self, c: &Candidate, key: &str) -> bool {
-        // Order-based operators consume *ascending* runs; a descending
-        // input would need an (unmodelled) reversal, so it does not
-        // qualify.
-        let asc = c.props.sortedness == Sortedness::Ascending;
-        match self.pmodel {
-            PropertyModel::PaperStream => asc,
-            PropertyModel::AttributeStrict => asc && c.sort_col.as_deref() == Some(key),
-        }
-    }
-
-    /// Input candidates plus, for each one not sorted on `key`, the
-    /// sort-enforced twins (serial, and parallel at `dop > 1`).
-    fn with_sort_enforcers(&self, cands: Vec<Candidate>, key: &str) -> Vec<Candidate> {
-        let mut out = Vec::with_capacity(cands.len() * 2);
-        for c in cands {
-            if !self.is_sorted_on(&c, key) {
-                out.extend(self.sort_enforcer_candidates(c.clone(), key));
-            }
-            out.push(c);
-        }
-        out
-    }
-
-    fn enumerate_join(
-        &self,
-        node: &LogicalPlan,
-        left: &LogicalPlan,
-        right: &LogicalPlan,
-        left_key: &str,
-        right_key: &str,
-    ) -> Result<Vec<Candidate>> {
-        let left_cands = self.with_sort_enforcers(self.enumerate(left, Some(left_key))?, left_key);
-        let right_cands =
-            self.with_sort_enforcers(self.enumerate(right, Some(right_key))?, right_key);
-
-        // Join-key distinct counts for cardinality estimation and BSJ depth.
-        let left_tables: Vec<&str> = left.tables();
-        let right_tables: Vec<&str> = right.tables();
-        let d_left = self
-            .catalog
-            .resolve_column(left_tables.iter().copied(), left_key)
-            .ok()
-            .map(|(_, p)| p.distinct);
-        let d_right = self
-            .catalog
-            .resolve_column(right_tables.iter().copied(), right_key)
-            .ok()
-            .map(|(_, p)| p.distinct);
-
-        let mut out: Vec<Candidate> = Vec::new();
-        for lc in &left_cands {
-            for rc in &right_cands {
-                let out_rows = estimate_join_rows(lc.props.rows, rc.props.rows, d_left, d_right);
-                // Enumerate in preference order: on exact cost ties the
-                // order-based plan wins (the paper's both-sorted cell).
-                for algo in [
-                    JoinImpl::Oj,
-                    JoinImpl::Sphj,
-                    JoinImpl::Bsj,
-                    JoinImpl::Hj,
-                    JoinImpl::Soj,
-                ] {
-                    if !self.join_applicable(algo, lc, rc, left_key, right_key) {
-                        continue;
-                    }
-                    let build_groups = d_left.unwrap_or(lc.props.rows).max(1) as f64;
-                    let mut join_cost = self.model.join(
-                        algo,
-                        lc.props.rows as f64,
-                        rc.props.rows as f64,
-                        build_groups,
-                    );
-                    // AV alternative: a prebuilt SPH index over the build
-                    // side removes the build pass — probe cost only.
-                    if algo == JoinImpl::Sphj && self.sph_index_av(&lc.plan, left_key) {
-                        join_cost = self.model.scan(rc.props.rows as f64);
-                    }
-                    let cost = lc.cost + rc.cost + join_cost;
-                    let props = self.join_output_props(algo, node, lc, rc, out_rows);
-                    let plan = PhysicalPlan::Join {
-                        left: Box::new(lc.plan.clone()),
-                        right: Box::new(rc.plan.clone()),
-                        left_key: left_key.to_owned(),
-                        right_key: right_key.to_owned(),
-                        algo,
-                    };
-                    // Parallel twin for the partition-parallel joins: the
-                    // partitioned HJ, the parallel-probe SPHJ, and the
-                    // parallel-sort + range-partitioned-merge SOJ. (A
-                    // prebuilt AV index already removed the build pass;
-                    // re-partitioning it would forfeit the AV, so AV
-                    // probes stay serial.)
-                    let parallelisable =
-                        matches!(algo, JoinImpl::Hj | JoinImpl::Sphj | JoinImpl::Soj)
-                            && !(algo == JoinImpl::Sphj && self.sph_index_av(&lc.plan, left_key));
-                    if self.dop > 1 && parallelisable {
-                        out.push(Candidate {
-                            plan: PhysicalPlan::Exchange {
-                                input: Box::new(plan.clone()),
-                                dop: self.dop,
-                            },
-                            cost: lc.cost
-                                + rc.cost
-                                + self.model.parallel_join(
-                                    algo,
-                                    lc.props.rows as f64,
-                                    rc.props.rows as f64,
-                                    build_groups,
-                                    self.dop,
-                                ),
-                            props,
-                            // Parallel SOJ concatenates partitions in key
-                            // order, keeping the order-based property.
-                            sort_col: algo.produces_sorted_output().then(|| left_key.to_owned()),
-                        });
-                    }
-                    out.push(Candidate {
-                        plan,
-                        cost,
-                        props,
-                        // Order-based joins emit in join-key order.
-                        sort_col: algo.produces_sorted_output().then(|| left_key.to_owned()),
-                    });
-                }
-            }
-        }
-        if out.is_empty() {
-            return Err(CoreError::NoPlanFound(format!("{node}")));
-        }
-        Ok(prune(out.into_iter()))
-    }
-
-    /// Is there a materialisable SPH-index AV for this build side?
-    /// Only a bare base-table scan can reuse a prebuilt row index.
-    fn sph_index_av(&self, build_plan: &PhysicalPlan, key: &str) -> bool {
-        match (self.avs, build_plan) {
-            (Some(avs), PhysicalPlan::Scan { table }) => {
-                avs.lookup(table, key, AvKind::SphIndex).is_some()
-            }
-            _ => false,
-        }
-    }
-
-    fn join_applicable(
-        &self,
-        algo: JoinImpl,
-        lc: &Candidate,
-        rc: &Candidate,
-        left_key: &str,
-        right_key: &str,
-    ) -> bool {
-        match algo {
-            JoinImpl::Oj => self.is_sorted_on(lc, left_key) && self.is_sorted_on(rc, right_key),
-            // SPHJ builds over the left side: needs a provably dense domain
-            // — invisible in shallow mode by construction.
-            JoinImpl::Sphj => lc.props.admits_sph(),
-            JoinImpl::Bsj => lc.props.distinct.is_some(),
-            JoinImpl::Hj | JoinImpl::Soj => true,
-        }
-    }
-
-    fn join_output_props(
-        &self,
-        algo: JoinImpl,
-        _node: &LogicalPlan,
-        lc: &Candidate,
-        rc: &Candidate,
-        out_rows: u64,
-    ) -> PlanProps {
-        // The paper's simplified stream model: order-based joins produce
-        // "sorted" output; everything else is unordered (a black-box hash
-        // table's order must be assumed unknown, §2.1).
-        let sorted = algo.produces_sorted_output();
-        let props = PlanProps {
-            sortedness: if sorted {
-                Sortedness::Ascending
-            } else {
-                Sortedness::Unsorted
-            },
-            partitioned: sorted,
-            // Join output density/distinct refer to the downstream
-            // grouping key and are resolved from the catalog at the
-            // GroupBy node; the stream itself carries no density claim.
-            density: Density::Unknown,
-            distinct: None,
-            key_range: None,
-            rows: out_rows,
-            layout: lc.props.layout,
-        };
-        let _ = rc;
-        self.mode.project(props)
-    }
-
-    fn enumerate_group_by(
-        &self,
-        node: &LogicalPlan,
-        input: &LogicalPlan,
-        keys: &[String],
-        aggs: &[dqo_plan::AggExpr],
-    ) -> Result<Vec<Candidate>> {
-        if keys.len() > 1 {
-            return self.enumerate_group_by_composite(node, input, keys, aggs);
-        }
-        let key = keys[0].as_str();
-        let input_cands = self.with_sort_enforcers(self.enumerate(input, Some(key))?, key);
-
-        // AV alternative: a materialised grouping answers the whole node
-        // with a scan of the precomputed result — the boundary case where
-        // an AV degenerates into a classic materialised view (§3). Only
-        // matches the canonical (key, count, sum) shape so no renaming
-        // machinery is needed.
-        let mut av_candidates: Vec<Candidate> = Vec::new();
-        if let (Some(avs), LogicalPlan::Scan { table }) = (self.avs, input) {
-            let shape_ok = aggs.iter().all(|a| {
-                matches!(
-                    (&a.func, a.alias.as_str()),
-                    (dqo_plan::AggFunc::CountStar, "count") | (dqo_plan::AggFunc::Sum, "sum")
-                )
-            });
-            if shape_ok {
-                if let Some(av) = avs.lookup(table, key, AvKind::MaterialisedGrouping) {
-                    av_candidates.push(Candidate {
-                        plan: PhysicalPlan::Scan {
-                            table: av.signature.av_table_name(),
-                        },
-                        cost: self.model.scan(av.provides.rows as f64),
-                        props: self.mode.project(av.provides),
-                        sort_col: Some(key.to_owned()),
-                    });
-                }
-            }
-        }
-
-        // Resolve the grouping key's base statistics (density, distinct,
-        // range) from its source table — the §4.3 move: DQO knows R.a is
-        // dense even downstream of a join.
-        let key_stats = self
-            .catalog
-            .resolve_column(node.tables(), key)
-            .ok()
-            .map(|(_, p)| self.mode.project(PlanProps::from_data(&p)));
-
-        let groups = key_stats.and_then(|p| p.distinct);
-        let key_dense = key_stats.map(|p| p.admits_sph()).unwrap_or(false);
-        let key_range = key_stats.and_then(|p| p.key_range);
-
-        let mut out = av_candidates;
-        for ic in &input_cands {
-            for algo in [
-                GroupingImpl::Og,
-                GroupingImpl::Sphg,
-                GroupingImpl::Bsg,
-                GroupingImpl::Hg,
-                GroupingImpl::Sog,
-            ] {
-                let applicable = match algo {
-                    GroupingImpl::Og => self.is_sorted_on(ic, key),
-                    GroupingImpl::Sphg => key_dense,
-                    GroupingImpl::Bsg => groups.is_some(),
-                    GroupingImpl::Hg | GroupingImpl::Sog => true,
-                };
-                if !applicable {
-                    continue;
-                }
-                let g = groups.unwrap_or(ic.props.rows).max(1) as f64;
-                let cost = ic.cost + self.model.grouping(algo, ic.props.rows as f64, g);
-                let out_rows = groups.unwrap_or(ic.props.rows);
-                let sorted = algo.produces_sorted_output()
-                    || (algo == GroupingImpl::Og && ic.props.sortedness.is_sorted());
-                let props = self.mode.project(PlanProps {
-                    sortedness: if sorted {
-                        Sortedness::Ascending
-                    } else {
-                        Sortedness::Unsorted
-                    },
-                    partitioned: true, // one row per group
-                    density: if key_dense {
-                        Density::Dense
-                    } else {
-                        Density::Unknown
-                    },
-                    distinct: groups,
-                    key_range,
-                    rows: out_rows,
-                    layout: ic.props.layout,
-                });
-                // Molecule refinement is the step Table 1 adds: in deep
-                // mode the optimiser decides the table/hash/loop molecules
-                // from input properties; shallow mode ships the developer
-                // defaults behind the organelle name. A registered partial
-                // AV (§6) overrides: its frozen decisions stand, and only
-                // its open decisions are completed here.
-                let molecules = match self.mode {
-                    OptimizerMode::Deep => {
-                        let mut ref_props = key_stats.unwrap_or(ic.props);
-                        ref_props.rows = ic.props.rows;
-                        let partial = match (self.avs, input) {
-                            (Some(avs), LogicalPlan::Scan { table }) => avs.partial_for(table, key),
-                            _ => None,
-                        };
-                        match partial {
-                            Some(pav) if algo == GroupingImpl::Hg => pav.complete(&ref_props),
-                            _ => refine_grouping_molecules(
-                                algo,
-                                &ref_props,
-                                &MoleculeCosts::default(),
-                            ),
-                        }
-                    }
-                    OptimizerMode::Shallow => GroupingMolecules::defaults_for(algo),
-                };
-                let plan = PhysicalPlan::GroupBy {
-                    input: Box::new(ic.plan.clone()),
-                    keys: vec![key.to_owned()],
-                    aggs: aggs.to_vec(),
-                    algo,
-                    molecules,
-                };
-                // Parallel twin for the groupings with a parallel
-                // implementation: thread-local aggregation (HG, SPHG)
-                // and the parallel-sort + boundary-stitch SOG. Requires
-                // decomposable aggregates — COUNT/SUM/MIN/MAX/AVG all
-                // are. The deterministic merges emit ascending keys, so
-                // the parallel plan *gains* the sorted property serial
-                // HG lacks.
-                if self.dop > 1
-                    && matches!(
-                        algo,
-                        GroupingImpl::Hg | GroupingImpl::Sphg | GroupingImpl::Sog
-                    )
-                {
-                    let mut par_props = props;
-                    par_props.sortedness = Sortedness::Ascending;
-                    par_props.partitioned = true;
-                    // The load loop *is* the parallel molecule decision
-                    // (Figure 3(e)): record it in the plan.
-                    let mut par_molecules = molecules;
-                    par_molecules.load_loop = Some(dqo_plan::LoopMolecule::Parallel);
-                    out.push(Candidate {
-                        plan: PhysicalPlan::Exchange {
-                            input: Box::new(PhysicalPlan::GroupBy {
-                                input: Box::new(ic.plan.clone()),
-                                keys: vec![key.to_owned()],
-                                aggs: aggs.to_vec(),
-                                algo,
-                                molecules: par_molecules,
-                            }),
-                            dop: self.dop,
-                        },
-                        cost: ic.cost
-                            + self
-                                .model
-                                .parallel_grouping(algo, ic.props.rows as f64, g, self.dop),
-                        sort_col: Some(key.to_owned()),
-                        props: self.mode.project(par_props),
-                    });
-                }
-                out.push(Candidate {
-                    plan,
-                    cost,
-                    sort_col: sorted.then(|| key.to_owned()),
-                    props,
-                });
-            }
-        }
-        if out.is_empty() {
-            return Err(CoreError::NoPlanFound(format!("{node}")));
-        }
-        Ok(prune(out.into_iter()))
-    }
-
-    /// Enumerate a **composite** (multi-column) grouping. The executor
-    /// runs these on the 64-bit packed-value domain where the per-column
-    /// widths allow, so the Table-2 arithmetic carries over with one
-    /// extension: a normalise-and-pack pass per extra key column
-    /// ([`CostModel::composite_key_pack`]). Applicable organelles are the
-    /// ones with packed serial kernels *and* parallel twins — HG, SPHG
-    /// (when the composite domain is provably dense and bounded) and SOG;
-    /// order-based and binary-search variants stay single-key for now.
-    fn enumerate_group_by_composite(
-        &self,
-        node: &LogicalPlan,
-        input: &LogicalPlan,
-        keys: &[String],
-        aggs: &[dqo_plan::AggExpr],
-    ) -> Result<Vec<Candidate>> {
-        // SOG/HG/SPHG need no input order, so no sort enforcers here;
-        // the first key is the focus column for scan properties.
-        let input_cands = self.enumerate(input, Some(&keys[0]))?;
-        let key_stats = self.composite_key_stats(node, keys);
-        let groups = key_stats.and_then(|p| p.distinct);
-        let key_dense = key_stats.map(|p| p.admits_sph()).unwrap_or(false);
-        let key_range = key_stats.and_then(|p| p.key_range);
-
-        // AV alternative: a composite materialised grouping (registered
-        // under the canonical `a+b` key name) answers the node by scan.
-        // The artifact's schema is exactly (keys…, count, sum-of-first-
-        // key), so the aggregate list must be exactly that shape — looser
-        // matches would surface the artifact's extra columns.
-        let mut out: Vec<Candidate> = Vec::new();
-        if let (Some(avs), LogicalPlan::Scan { table }) = (self.avs, input) {
-            let shape_ok = aggs.len() == 2
-                && aggs[0].func == dqo_plan::AggFunc::CountStar
-                && aggs[0].alias == "count"
-                && aggs[1].func == dqo_plan::AggFunc::Sum
-                && aggs[1].alias == "sum"
-                && aggs[1].column.as_deref() == Some(keys[0].as_str());
-            if shape_ok {
-                let composite = crate::av::composite_column_name(keys);
-                if let Some(av) = avs.lookup(table, &composite, AvKind::MaterialisedGrouping) {
-                    out.push(Candidate {
-                        plan: PhysicalPlan::Scan {
-                            table: av.signature.av_table_name(),
-                        },
-                        cost: self.model.scan(av.provides.rows as f64),
-                        props: self.mode.project(av.provides),
-                        sort_col: Some(keys[0].clone()),
-                    });
-                }
-            }
-        }
-
-        for ic in &input_cands {
-            for algo in [GroupingImpl::Sphg, GroupingImpl::Hg, GroupingImpl::Sog] {
-                if algo == GroupingImpl::Sphg && !key_dense {
-                    continue;
-                }
-                let rows = ic.props.rows as f64;
-                let g = groups.unwrap_or(ic.props.rows).max(1) as f64;
-                let pack = self.model.composite_key_pack(rows, keys.len());
-                let cost = ic.cost + pack + self.model.grouping(algo, rows, g);
-                let out_rows = groups.unwrap_or(ic.props.rows);
-                // Packed outputs are normalised to ascending packed-code
-                // order (lexicographic tuple order), so every composite
-                // grouping emits sorted-by-first-key output.
-                let props = self.mode.project(PlanProps {
-                    sortedness: Sortedness::Ascending,
-                    partitioned: true,
-                    density: if key_dense {
-                        Density::Dense
-                    } else {
-                        Density::Unknown
-                    },
-                    distinct: groups,
-                    key_range,
-                    rows: out_rows,
-                    layout: ic.props.layout,
-                });
-                let molecules = match self.mode {
-                    OptimizerMode::Deep => {
-                        let mut ref_props = key_stats.unwrap_or(ic.props);
-                        ref_props.rows = ic.props.rows;
-                        refine_grouping_molecules(algo, &ref_props, &MoleculeCosts::default())
-                    }
-                    OptimizerMode::Shallow => GroupingMolecules::defaults_for(algo),
-                };
-                let plan = PhysicalPlan::GroupBy {
-                    input: Box::new(ic.plan.clone()),
-                    keys: keys.to_vec(),
-                    aggs: aggs.to_vec(),
-                    algo,
-                    molecules,
-                };
-                if self.dop > 1 {
-                    let mut par_molecules = molecules;
-                    par_molecules.load_loop = Some(dqo_plan::LoopMolecule::Parallel);
-                    out.push(Candidate {
-                        plan: PhysicalPlan::Exchange {
-                            input: Box::new(PhysicalPlan::GroupBy {
-                                input: Box::new(ic.plan.clone()),
-                                keys: keys.to_vec(),
-                                aggs: aggs.to_vec(),
-                                algo,
-                                molecules: par_molecules,
-                            }),
-                            dop: self.dop,
-                        },
-                        // The pack pass stays serial; only the grouping
-                        // itself divides.
-                        cost: ic.cost
-                            + pack
-                            + self.model.parallel_grouping(algo, rows, g, self.dop),
-                        sort_col: Some(keys[0].clone()),
-                        props,
-                    });
-                }
-                out.push(Candidate {
-                    plan,
-                    cost,
-                    sort_col: Some(keys[0].clone()),
-                    props,
-                });
-            }
-        }
-        if out.is_empty() {
-            return Err(CoreError::NoPlanFound(format!("{node}")));
-        }
-        Ok(prune(out.into_iter()))
-    }
-
-    /// The composite key's plan properties, derived from the per-column
-    /// catalog statistics through the same
-    /// [`crate::av::combine_composite_props`] bundle AV planning uses
-    /// (one derivation, no drift). `None` when any key column has no
-    /// statistics.
-    fn composite_key_stats(&self, node: &LogicalPlan, keys: &[String]) -> Option<PlanProps> {
-        let tables = node.tables();
-        let cols: Option<Vec<dqo_storage::DataProps>> = keys
-            .iter()
-            .map(|key| {
-                self.catalog
-                    .resolve_column(tables.iter().copied(), key)
-                    .ok()
-                    .map(|(_, p)| p)
-            })
-            .collect();
-        let combined = crate::av::combine_composite_props(&cols?);
-        Some(self.mode.project(PlanProps::from_data(&combined)))
-    }
+        &TupleCostModel,
+        None,
+        PropertyModel::PaperStream,
+        1,
+        None,
+    )
+    .candidates(logical)
 }
 
 /// Interesting-property pruning: keep the cheapest candidate per property
 /// class; exact cost ties break toward order-based implementations (the
 /// paper's both-sorted cell: "the order-based implementations achieve the
 /// cheapest plans").
-fn prune(cands: impl Iterator<Item = Candidate>) -> Vec<Candidate> {
+pub(crate) fn prune(cands: impl Iterator<Item = Candidate>) -> Vec<Candidate> {
     let mut best: HashMap<PropKey, Candidate> = HashMap::new();
     for c in cands {
         let key = c.props.memo_key();
@@ -994,7 +253,7 @@ fn prune(cands: impl Iterator<Item = Candidate>) -> Vec<Candidate> {
 
 /// Total order on candidates: cost first, then the order-based preference
 /// rank, then the rendered plan (full determinism).
-fn candidate_order(a: &Candidate, b: &Candidate) -> std::cmp::Ordering {
+pub(crate) fn candidate_order(a: &Candidate, b: &Candidate) -> std::cmp::Ordering {
     a.cost
         .total_cmp(&b.cost)
         .then_with(|| plan_rank(&a.plan).cmp(&plan_rank(&b.plan)))
@@ -1080,8 +339,10 @@ pub(crate) fn estimate_selectivity(pred: &Predicate, props: &PlanProps) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::CoreError;
     use dqo_plan::expr::AggExpr;
     use dqo_storage::datagen::{DatasetSpec, ForeignKeySpec};
+    use dqo_storage::Sortedness;
 
     fn fig4_catalog(sorted: bool, dense: bool) -> Catalog {
         let cat = Catalog::new();

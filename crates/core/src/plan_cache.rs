@@ -34,7 +34,6 @@ use dqo_plan::expr::Predicate;
 use dqo_plan::{LogicalPlan, PhysicalPlan};
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::fmt::Write as _;
 use std::sync::Arc;
 
 /// Default maximum number of cached plans per engine session.
@@ -179,73 +178,17 @@ impl PlanCache {
 /// Render a logical plan's *shape*: the tree with every comparison
 /// constant masked as `?`. LIKE prefixes and LIMIT counts stay — they are
 /// plan constants (they shape candidate enumeration), and the prepared
-/// path never parameterises them.
+/// path never parameterises them. Delegates to [`LogicalPlan::shape`] —
+/// the same renderer the optimiser memo uses, so the cache and the memo
+/// can never disagree about what "the same statement" means.
 pub fn plan_shape(plan: &LogicalPlan) -> String {
-    let mut out = String::new();
-    shape_into(plan, &mut out);
-    out
-}
-
-fn shape_into(plan: &LogicalPlan, out: &mut String) {
-    match plan {
-        LogicalPlan::Scan { table } => {
-            let _ = write!(out, "Scan({table})");
-        }
-        LogicalPlan::Filter { input, predicate } => {
-            let _ = write!(out, "Filter[{}](", predicate_shape(predicate));
-            shape_into(input, out);
-            out.push(')');
-        }
-        LogicalPlan::Join {
-            left,
-            right,
-            left_key,
-            right_key,
-        } => {
-            let _ = write!(out, "Join[{left_key}={right_key}](");
-            shape_into(left, out);
-            out.push(',');
-            shape_into(right, out);
-            out.push(')');
-        }
-        LogicalPlan::GroupBy { input, keys, aggs } => {
-            let aggs: Vec<String> = aggs.iter().map(|a| a.to_string()).collect();
-            let _ = write!(out, "GroupBy[{};{}](", keys.join(","), aggs.join(","));
-            shape_into(input, out);
-            out.push(')');
-        }
-        LogicalPlan::Project { input, columns } => {
-            let _ = write!(out, "Project[{}](", columns.join(","));
-            shape_into(input, out);
-            out.push(')');
-        }
-        LogicalPlan::Sort { input, key } => {
-            let _ = write!(out, "Sort[{key}](");
-            shape_into(input, out);
-            out.push(')');
-        }
-        LogicalPlan::Limit { input, n } => {
-            let _ = write!(out, "Limit[{n}](");
-            shape_into(input, out);
-            out.push(')');
-        }
-    }
+    plan.shape()
 }
 
 /// A predicate with comparison constants masked (`k < ?`), conjuncts in
-/// order. Two predicates with equal shapes differ only in `Compare`
-/// values.
+/// order (see [`Predicate::shape`]).
 fn predicate_shape(p: &Predicate) -> String {
-    match p {
-        Predicate::Compare { column, op, .. } => format!("{column} {op} ?"),
-        Predicate::Prefix { column, prefix } => format!("{column} LIKE '{prefix}%'"),
-        Predicate::Like { column, pattern } => format!("{column} LIKE '{pattern}'"),
-        Predicate::And(ps) => ps
-            .iter()
-            .map(predicate_shape)
-            .collect::<Vec<_>>()
-            .join(" AND "),
-    }
+    p.shape()
 }
 
 /// Rebind `fresh`'s filter predicates into a cached physical plan. The

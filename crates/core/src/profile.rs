@@ -9,9 +9,10 @@
 //! on `Exchange` nodes — granted DOP, morsels dispatched, and steals.
 
 use crate::catalog::Catalog;
-use crate::optimizer::{estimate_join_rows, estimate_selectivity};
+use crate::feedback::FeedbackStore;
+use crate::property_builder::PropertyBuilder;
 use dqo_exec::pipeline::OperatorMetrics;
-use dqo_plan::{PhysicalPlan, PlanProps};
+use dqo_plan::PhysicalPlan;
 use std::time::Duration;
 
 /// The runtime profile of one executed plan: per-node metrics in
@@ -44,81 +45,20 @@ impl PlanRuntime {
 /// joins, textbook predicate selectivities, distinct-count grouping).
 /// A table or column missing from the catalog degrades that node's
 /// estimate to a pass-through instead of failing — EXPLAIN ANALYZE must
-/// render for any plan the executor accepts.
+/// render for any plan the executor accepts. The arithmetic lives in
+/// [`PropertyBuilder`], shared with the optimiser memo's coster.
 pub fn estimate_rows(plan: &PhysicalPlan, catalog: &Catalog) -> Vec<u64> {
-    let mut out = Vec::with_capacity(plan.node_count());
-    est_node(plan, catalog, &mut out);
-    out
+    PropertyBuilder::new(catalog).estimate_rows(plan)
 }
 
-fn est_node(plan: &PhysicalPlan, catalog: &Catalog, out: &mut Vec<u64>) -> u64 {
-    let idx = out.len();
-    out.push(0);
-    let rows = match plan {
-        PhysicalPlan::Scan { table } => catalog
-            .get(table)
-            .map(|t| t.relation.rows() as u64)
-            .unwrap_or(0),
-        PhysicalPlan::Filter { input, predicate } => {
-            let child = est_node(input, catalog, out);
-            let props = predicate
-                .columns()
-                .first()
-                .and_then(|col| column_props_below(input, col, catalog))
-                .unwrap_or_else(|| PlanProps::unknown(child));
-            ((child as f64) * estimate_selectivity(predicate, &props)).ceil() as u64
-        }
-        PhysicalPlan::Sort { input, .. }
-        | PhysicalPlan::Project { input, .. }
-        | PhysicalPlan::Exchange { input, .. } => est_node(input, catalog, out),
-        PhysicalPlan::Limit { input, n } => est_node(input, catalog, out).min(*n),
-        PhysicalPlan::Join {
-            left,
-            right,
-            left_key,
-            right_key,
-            ..
-        } => {
-            let l = est_node(left, catalog, out);
-            let r = est_node(right, catalog, out);
-            let d_l = column_props_below(left, left_key, catalog).and_then(|p| p.distinct);
-            let d_r = column_props_below(right, right_key, catalog).and_then(|p| p.distinct);
-            estimate_join_rows(l, r, d_l, d_r)
-        }
-        PhysicalPlan::GroupBy { input, keys, .. } => {
-            let child = est_node(input, catalog, out);
-            // Output rows = distinct key combinations; assume key
-            // independence (product of per-column distincts) and cap by
-            // the input cardinality.
-            let mut groups: u64 = 1;
-            for key in keys {
-                let d = column_props_below(input, key, catalog)
-                    .and_then(|p| p.distinct)
-                    .unwrap_or(child);
-                groups = groups.saturating_mul(d.max(1));
-            }
-            groups.min(child)
-        }
-    };
-    out[idx] = rows;
-    rows
-}
-
-/// Resolve a column's base-table statistics by walking down the
-/// single-child spine beneath `plan` to its `Scan`. Joins and missing
-/// columns yield `None` (the estimate falls back to unknown props).
-fn column_props_below(plan: &PhysicalPlan, column: &str, catalog: &Catalog) -> Option<PlanProps> {
-    match plan {
-        PhysicalPlan::Scan { table } => catalog
-            .column_props(table, column)
-            .ok()
-            .map(|d| PlanProps::from_data(&d)),
-        PhysicalPlan::Join { .. } => None,
-        _ => plan
-            .children()
-            .first()
-            .and_then(|c| column_props_below(c, column, catalog)),
-    }
+/// [`estimate_rows`] with adaptive-feedback corrections folded in — the
+/// estimates the memo would use when re-planning this shape.
+pub fn estimate_rows_with(
+    plan: &PhysicalPlan,
+    catalog: &Catalog,
+    feedback: Option<&FeedbackStore>,
+) -> Vec<u64> {
+    PropertyBuilder::with_feedback(catalog, feedback).estimate_rows(plan)
 }
 
 /// Render the annotated `EXPLAIN ANALYZE` tree: the plain explain lines
@@ -126,10 +66,22 @@ fn column_props_below(plan: &PhysicalPlan, column: &str, catalog: &Catalog) -> O
 /// detail on `Exchange` nodes. Empty runtimes (untraced execution) render
 /// the plain tree.
 pub fn render_annotated(plan: &PhysicalPlan, catalog: &Catalog, runtime: &PlanRuntime) -> String {
+    render_annotated_with(plan, catalog, runtime, None)
+}
+
+/// [`render_annotated`] with feedback-corrected estimates (the engine's
+/// `EXPLAIN ANALYZE` path, so the est column reflects what the optimiser
+/// actually believed when the plan was costed under feedback).
+pub fn render_annotated_with(
+    plan: &PhysicalPlan,
+    catalog: &Catalog,
+    runtime: &PlanRuntime,
+    feedback: Option<&FeedbackStore>,
+) -> String {
     if runtime.is_empty() {
         return plan.explain();
     }
-    let est = estimate_rows(plan, catalog);
+    let est = estimate_rows_with(plan, catalog, feedback);
     plan.explain_annotated(&|id, node| {
         let m = runtime.node(id)?;
         let e = est.get(id).copied().unwrap_or(0);

@@ -13,11 +13,22 @@
 //! not prove, the grouping implementation is upgraded (e.g. HG → OG or
 //! SPHG) *after* the pipeline breaker that materialised it — the cheapest
 //! possible reoptimisation point.
+//!
+//! All three planning calls (static comparison plan, input sub-plan,
+//! re-grouped remainder) share **one memo**: the input sub-plan's groups
+//! and winner tables are built once and answered from the memo
+//! thereafter, and stage 3 only pays for the two new groups over the
+//! observed intermediate — registering that brand-new table moves the
+//! catalog's statistics clock, but cannot invalidate any existing group,
+//! so the memo [adopts](Memo::adopt_stamp) the new stamp instead of
+//! clearing. Before the memo, every stage re-ran the full dynamic
+//! program from scratch.
 
 use crate::catalog::Catalog;
 use crate::cost::TupleCostModel;
 use crate::executor::{execute_with_avs, ExecOutput};
-use crate::optimizer::{optimize_full, OptimizerMode, PropertyModel};
+use crate::memo::{Memo, MemoOptimizer, MemoStamp};
+use crate::optimizer::{OptimizerMode, PlannedQuery, PropertyModel};
 use crate::Result;
 use dqo_plan::{LogicalPlan, PhysicalPlan};
 
@@ -32,6 +43,34 @@ pub struct ReoptReport {
     pub changed: bool,
     /// Observed properties of the intermediate (display form).
     pub observed: String,
+    /// Groups added when re-planning the grouping over the observed
+    /// intermediate — the only optimisation work stage 3 pays for now
+    /// that the stages share a memo (zero for non-grouping fallbacks).
+    pub regroup_groups_added: usize,
+    /// Winner-table lookups answered from the shared memo across all
+    /// planning stages.
+    pub memo_winner_hits: u64,
+}
+
+/// Plan `logical` inside the shared reoptimisation memo (serial DOP, no
+/// AVs, strict property model — the reopt configuration).
+fn plan_shared(
+    memo: &mut Memo,
+    logical: &LogicalPlan,
+    catalog: &Catalog,
+    mode: OptimizerMode,
+) -> Result<PlannedQuery> {
+    MemoOptimizer::new(
+        memo,
+        catalog,
+        mode,
+        &TupleCostModel,
+        None,
+        PropertyModel::AttributeStrict,
+        1,
+        None,
+    )
+    .optimize(logical)
 }
 
 /// Execute `GroupBy(input)` adaptively: run `input`, observe, re-plan the
@@ -41,15 +80,11 @@ pub fn execute_adaptively(
     catalog: &Catalog,
     mode: OptimizerMode,
 ) -> Result<(ExecOutput, ReoptReport)> {
+    let mut memo = Memo::new();
+    memo.ensure_stamp(MemoStamp::current(catalog, None, None));
+
     let LogicalPlan::GroupBy { input, keys, aggs } = logical else {
-        let planned = optimize_full(
-            logical,
-            catalog,
-            mode,
-            &TupleCostModel,
-            None,
-            PropertyModel::AttributeStrict,
-        )?;
+        let planned = plan_shared(&mut memo, logical, catalog, mode)?;
         let out = execute_with_avs(&planned.plan, catalog, None)?;
         let sig = planned.plan.algo_signature();
         return Ok((
@@ -59,19 +94,15 @@ pub fn execute_adaptively(
                 adaptive_choice: sig,
                 changed: false,
                 observed: "(no reoptimisation point)".into(),
+                regroup_groups_added: 0,
+                memo_winner_hits: memo.stats().winner_hits,
             },
         ));
     };
 
-    // The static plan for comparison.
-    let static_planned = optimize_full(
-        logical,
-        catalog,
-        mode,
-        &TupleCostModel,
-        None,
-        PropertyModel::AttributeStrict,
-    )?;
+    // The static plan for comparison. This also interns and explores the
+    // input sub-plan's groups — stage 1 reads them back from the memo.
+    let static_planned = plan_shared(&mut memo, logical, catalog, mode)?;
     let static_grouping: Vec<&'static str> = static_planned
         .plan
         .algo_signature()
@@ -80,14 +111,7 @@ pub fn execute_adaptively(
         .collect();
 
     // Stage 1: plan + execute the input sub-plan.
-    let input_planned = optimize_full(
-        input,
-        catalog,
-        mode,
-        &TupleCostModel,
-        None,
-        PropertyModel::AttributeStrict,
-    )?;
+    let input_planned = plan_shared(&mut memo, input, catalog, mode)?;
     let intermediate = execute_with_avs(&input_planned.plan, catalog, None)?;
 
     // Stage 2: register the materialised intermediate; its registration
@@ -106,16 +130,16 @@ pub fn execute_adaptively(
         .collect::<Vec<_>>()
         .join("; ");
 
-    // Stage 3: re-plan just the grouping over the observed table.
+    // Stage 3: re-plan **only** the remaining grouping group against the
+    // observed table. Registering `tmp` moved the statistics clock, but a
+    // brand-new table invalidates nothing the memo holds, so adopt the
+    // stamp instead of clearing — the join/scan winner tables from the
+    // static plan stay warm and only the grouping is re-costed.
+    memo.adopt_stamp(MemoStamp::current(catalog, None, None));
+    let groups_before = memo.group_count();
     let regroup = LogicalPlan::group_by_multi(LogicalPlan::scan(tmp), keys.clone(), aggs.clone());
-    let replanned = optimize_full(
-        &regroup,
-        catalog,
-        mode,
-        &TupleCostModel,
-        None,
-        PropertyModel::AttributeStrict,
-    )?;
+    let replanned = plan_shared(&mut memo, &regroup, catalog, mode)?;
+    let regroup_groups_added = memo.group_count() - groups_before;
     let out = execute_with_avs(&replanned.plan, catalog, None);
     catalog.drop_table(tmp);
     let mut out = out?;
@@ -137,6 +161,8 @@ pub fn execute_adaptively(
             adaptive_choice: adaptive_grouping,
             changed,
             observed,
+            regroup_groups_added,
+            memo_winner_hits: memo.stats().winner_hits,
         },
     ))
 }
@@ -212,6 +238,19 @@ mod tests {
         // And the result is still correct.
         let naive = naive_eval(&q, &catalog).unwrap();
         assert_eq!(sorted_rows(&out.relation), sorted_rows(&naive));
+        // The stages shared one memo: planning the input sub-plan reused
+        // winner tables the static plan built, and re-planning after the
+        // pipeline breaker only added the two groups over the observed
+        // intermediate (Scan + GroupBy) instead of re-running the full
+        // dynamic program.
+        assert!(
+            report.memo_winner_hits > 0,
+            "input planning must hit the static plan's winner tables"
+        );
+        assert_eq!(
+            report.regroup_groups_added, 2,
+            "stage 3 must only intern the observed Scan and the GroupBy"
+        );
     }
 
     #[test]

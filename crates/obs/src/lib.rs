@@ -96,6 +96,18 @@ pub mod names {
     pub const AV_DELTA_BACKLOG_ROWS: &str = "dqo_av_delta_backlog_rows";
     /// Wall time of one AV's maintenance step on append (histogram, s).
     pub const AV_DELTA_SECONDS: &str = "dqo_av_delta_seconds";
+    /// Logical groups interned in the session's optimiser memo (gauge).
+    pub const OPT_GROUPS: &str = "dqo_opt_groups";
+    /// Retained physical candidates across memo winner tables (gauge).
+    pub const OPT_GROUP_EXPRS: &str = "dqo_opt_group_exprs";
+    /// Optimiser rule applications that produced candidates (counter).
+    pub const OPT_RULES_FIRED: &str = "dqo_opt_rules_fired_total";
+    /// Group explorations answered from a memo winner table (counter).
+    pub const OPT_WINNER_HITS: &str = "dqo_opt_winner_hits_total";
+    /// Feedback corrections folded into cardinality estimates (counter).
+    pub const OPT_FEEDBACK_APPLIED: &str = "dqo_opt_feedback_applied_total";
+    /// Selectivity corrections learned from executed plans (counter).
+    pub const OPT_FEEDBACK_CORRECTIONS: &str = "dqo_opt_feedback_corrections_total";
 
     /// Every canonical metric name, in the order documented in
     /// `docs/METRICS.md`. Doc-sync tests iterate this so a new metric
@@ -134,5 +146,11 @@ pub mod names {
         AV_DELTA_ROWS,
         AV_DELTA_BACKLOG_ROWS,
         AV_DELTA_SECONDS,
+        OPT_GROUPS,
+        OPT_GROUP_EXPRS,
+        OPT_RULES_FIRED,
+        OPT_WINNER_HITS,
+        OPT_FEEDBACK_APPLIED,
+        OPT_FEEDBACK_CORRECTIONS,
     ];
 }

@@ -114,6 +114,25 @@ impl Predicate {
         }
     }
 
+    /// The predicate's *shape*: comparison constants masked as `?`,
+    /// conjuncts in order. Two predicates with equal shapes differ only
+    /// in `Compare` values — the invariant the plan cache's structural
+    /// rebind and the optimiser's feedback keys both rely on. LIKE
+    /// prefixes/patterns stay: they shape candidate enumeration and are
+    /// never parameterised.
+    pub fn shape(&self) -> String {
+        match self {
+            Predicate::Compare { column, op, .. } => format!("{column} {op} ?"),
+            Predicate::Prefix { column, prefix } => format!("{column} LIKE '{prefix}%'"),
+            Predicate::Like { column, pattern } => format!("{column} LIKE '{pattern}'"),
+            Predicate::And(ps) => ps
+                .iter()
+                .map(Predicate::shape)
+                .collect::<Vec<_>>()
+                .join(" AND "),
+        }
+    }
+
     /// All columns the predicate touches.
     pub fn columns(&self) -> Vec<&str> {
         match self {

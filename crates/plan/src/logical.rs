@@ -156,6 +156,65 @@ impl LogicalPlan {
             .sum::<usize>()
     }
 
+    /// The plan's normalised *shape*: the tree rendered with every
+    /// comparison constant masked as `?` (see [`Predicate::shape`]).
+    /// This is the equivalence key shared by the optimiser memo's
+    /// winner-extraction layer (the plan cache) and prepared-statement
+    /// serving: two plans with equal shapes differ only in filter
+    /// constants, so a cached winner rebinds structurally.
+    pub fn shape(&self) -> String {
+        let mut out = String::new();
+        self.shape_into(&mut out);
+        out
+    }
+
+    fn shape_into(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        match self {
+            LogicalPlan::Scan { table } => {
+                let _ = write!(out, "Scan({table})");
+            }
+            LogicalPlan::Filter { input, predicate } => {
+                let _ = write!(out, "Filter[{}](", predicate.shape());
+                input.shape_into(out);
+                out.push(')');
+            }
+            LogicalPlan::Join {
+                left,
+                right,
+                left_key,
+                right_key,
+            } => {
+                let _ = write!(out, "Join[{left_key}={right_key}](");
+                left.shape_into(out);
+                out.push(',');
+                right.shape_into(out);
+                out.push(')');
+            }
+            LogicalPlan::GroupBy { input, keys, aggs } => {
+                let aggs: Vec<String> = aggs.iter().map(|a| a.to_string()).collect();
+                let _ = write!(out, "GroupBy[{};{}](", keys.join(","), aggs.join(","));
+                input.shape_into(out);
+                out.push(')');
+            }
+            LogicalPlan::Project { input, columns } => {
+                let _ = write!(out, "Project[{}](", columns.join(","));
+                input.shape_into(out);
+                out.push(')');
+            }
+            LogicalPlan::Sort { input, key } => {
+                let _ = write!(out, "Sort[{key}](");
+                input.shape_into(out);
+                out.push(')');
+            }
+            LogicalPlan::Limit { input, n } => {
+                let _ = write!(out, "Limit[{n}](");
+                input.shape_into(out);
+                out.push(')');
+            }
+        }
+    }
+
     /// Indented EXPLAIN-style rendering.
     pub fn explain(&self) -> String {
         let mut out = String::new();

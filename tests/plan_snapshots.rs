@@ -1,0 +1,198 @@
+//! Golden plan snapshots: the optimiser's chosen plan (EXPLAIN tree +
+//! estimated cost) for a corpus of queries, pinned at DOP 1 and 4.
+//!
+//! Any change to enumeration order, costing, property derivation or the
+//! memo that moves a winning plan shows up here as a readable diff. To
+//! regenerate after an *intentional* optimiser change:
+//!
+//! ```text
+//! DQO_UPDATE_SNAPSHOTS=1 cargo test --test plan_snapshots
+//! git diff tests/snapshots/plans.txt   # review every moved plan!
+//! ```
+
+use dqo::core::catalog::Catalog;
+use dqo::core::cost::TupleCostModel;
+use dqo::core::optimizer::{optimize_full_dop, OptimizerMode, PropertyModel};
+use dqo::plan::expr::{AggExpr, CmpOp, Predicate};
+use dqo::plan::LogicalPlan;
+use dqo::storage::datagen::{DatasetSpec, ForeignKeySpec};
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/snapshots/plans.txt");
+
+fn corpus_catalog() -> Catalog {
+    let cat = Catalog::new();
+    for (name, sorted, dense) in [
+        ("t_ud", false, true),
+        ("t_us", false, false),
+        ("t_sd", true, true),
+        ("t_ss", true, false),
+    ] {
+        cat.register(
+            name,
+            DatasetSpec::new(10_000, 100)
+                .sorted(sorted)
+                .dense(dense)
+                .relation()
+                .unwrap(),
+        );
+    }
+    cat.register(
+        "big",
+        DatasetSpec::new(300_000, 512)
+            .dense(true)
+            .relation()
+            .unwrap(),
+    );
+    let (r, s) = ForeignKeySpec::default().generate().unwrap();
+    cat.register("R", r);
+    cat.register("S", s);
+    cat
+}
+
+fn corpus_queries() -> Vec<(&'static str, Arc<LogicalPlan>)> {
+    let count = || vec![AggExpr::count_star("n")];
+    let q43 = dqo::plan::logical::example_query_4_3;
+    vec![
+        (
+            "group-by unsorted dense",
+            LogicalPlan::group_by(LogicalPlan::scan("t_ud"), "key", count()),
+        ),
+        (
+            "group-by unsorted sparse",
+            LogicalPlan::group_by(LogicalPlan::scan("t_us"), "key", count()),
+        ),
+        (
+            "group-by sorted dense",
+            LogicalPlan::group_by(LogicalPlan::scan("t_sd"), "key", count()),
+        ),
+        (
+            "group-by sorted sparse",
+            LogicalPlan::group_by(LogicalPlan::scan("t_ss"), "key", count()),
+        ),
+        (
+            "sort unsorted",
+            LogicalPlan::sort(LogicalPlan::scan("t_ud"), "key"),
+        ),
+        (
+            "sort already-sorted",
+            LogicalPlan::sort(LogicalPlan::scan("t_sd"), "key"),
+        ),
+        (
+            "filter-lt then sort",
+            LogicalPlan::sort(
+                LogicalPlan::filter(
+                    LogicalPlan::scan("t_ud"),
+                    Predicate::cmp("key", CmpOp::Lt, 30u32),
+                ),
+                "key",
+            ),
+        ),
+        (
+            "filter-eq then group-by",
+            LogicalPlan::group_by(
+                LogicalPlan::filter(
+                    LogicalPlan::scan("t_ud"),
+                    Predicate::cmp("key", CmpOp::Eq, 5u32),
+                ),
+                "key",
+                count(),
+            ),
+        ),
+        (
+            "project and limit over group-by",
+            LogicalPlan::limit(
+                LogicalPlan::project(
+                    LogicalPlan::group_by(LogicalPlan::scan("t_ud"), "key", count()),
+                    vec!["key".into()],
+                ),
+                7,
+            ),
+        ),
+        ("join-group (example 4.3)", q43()),
+        ("sort over join-group", LogicalPlan::sort(q43(), "a")),
+        (
+            "filtered probe side join-group",
+            LogicalPlan::group_by(
+                LogicalPlan::join(
+                    LogicalPlan::scan("R"),
+                    LogicalPlan::filter(
+                        LogicalPlan::scan("S"),
+                        Predicate::cmp("payload", CmpOp::Lt, 500u32),
+                    ),
+                    "id",
+                    "r_id",
+                ),
+                "a",
+                count(),
+            ),
+        ),
+        (
+            "composite group-by",
+            LogicalPlan::group_by_multi(
+                LogicalPlan::scan("R"),
+                vec!["id".into(), "a".into()],
+                count(),
+            ),
+        ),
+        (
+            "large group-by",
+            LogicalPlan::group_by(LogicalPlan::scan("big"), "key", count()),
+        ),
+        (
+            "large filter then group-by",
+            LogicalPlan::group_by(
+                LogicalPlan::filter(
+                    LogicalPlan::scan("big"),
+                    Predicate::cmp("key", CmpOp::Lt, 400u32),
+                ),
+                "key",
+                count(),
+            ),
+        ),
+        (
+            "large sort",
+            LogicalPlan::sort(LogicalPlan::scan("big"), "key"),
+        ),
+    ]
+}
+
+fn render_snapshot() -> String {
+    let cat = corpus_catalog();
+    let mut out = String::new();
+    for (name, q) in corpus_queries() {
+        for dop in [1usize, 4] {
+            let planned = optimize_full_dop(
+                &q,
+                &cat,
+                OptimizerMode::Deep,
+                &TupleCostModel,
+                None,
+                PropertyModel::AttributeStrict,
+                dop,
+            )
+            .unwrap();
+            writeln!(out, "== {name} | dop={dop} | cost={}", planned.est_cost).unwrap();
+            out.push_str(planned.plan.explain().trim_end());
+            out.push_str("\n\n");
+        }
+    }
+    out
+}
+
+#[test]
+fn plans_match_golden_snapshots() {
+    let actual = render_snapshot();
+    if std::env::var("DQO_UPDATE_SNAPSHOTS").as_deref() == Ok("1") {
+        std::fs::write(GOLDEN_PATH, &actual).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("golden file missing — run with DQO_UPDATE_SNAPSHOTS=1 to create it");
+    assert_eq!(
+        actual, golden,
+        "winning plans moved; if intentional, regenerate with \
+         DQO_UPDATE_SNAPSHOTS=1 and review the diff"
+    );
+}
