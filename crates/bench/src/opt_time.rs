@@ -172,12 +172,12 @@ pub fn run(rows: usize, reps: usize, dop: usize) -> Vec<TierResult> {
         let planned = cold_once();
         cache.insert(key.clone(), 0, &planned);
         for _ in 0..warmup {
-            std::hint::black_box(cache.lookup(&key, 0, q).expect("cached"));
+            std::hint::black_box(cache.lookup(&key, 0, q, &catalog, true).expect("cached"));
         }
         let mut samples = Vec::with_capacity(reps);
         for _ in 0..reps {
             let t = Instant::now();
-            std::hint::black_box(cache.lookup(&key, 0, q).expect("cached"));
+            std::hint::black_box(cache.lookup(&key, 0, q, &catalog, true).expect("cached"));
             samples.push(t.elapsed().as_nanos() as f64);
         }
         out.push(summarise(name, "plan-cache", &mut samples, None));

@@ -7,10 +7,11 @@ use dqo_exec::composite::KeyPacker;
 use dqo_exec::grouping::{execute_grouping, GroupingAlgorithm, GroupingHints};
 use dqo_exec::join::hj::hash_join;
 use dqo_parallel::{
-    parallel_grouping, parallel_hash_join, GroupingStrategy, PersistentPool, ThreadPool,
-    DEFAULT_MORSEL_ROWS,
+    parallel_grouping, parallel_grouping_segmented, parallel_hash_join, GroupingStrategy,
+    PersistentPool, ThreadPool, DEFAULT_MORSEL_ROWS,
 };
 use dqo_storage::datagen::{DatasetSpec, ForeignKeySpec};
+use dqo_storage::{PartitionSpec, PartitionedRelation, Relation};
 use std::time::Instant;
 
 /// One measured configuration.
@@ -163,6 +164,75 @@ pub fn run(rows: usize, groups: usize, threads: &[usize], reps: usize) -> Vec<Sc
         });
     }
 
+    // --- PART-SPHG: the same dense grouping over a range-partitioned
+    // base, seeded partition-natively (one segment per partition, no
+    // morsel crossing a partition boundary). Measures the cost of
+    // partition-respecting seeding against the serial kernel over the
+    // identical partition-major row layout. ---
+    let part_count = 8usize.min(groups.max(1));
+    let bounds_vals: Vec<u32> = (1..part_count)
+        .map(|i| (groups as u64 * i as u64 / part_count as u64) as u32)
+        .collect();
+    let pr = PartitionedRelation::new(
+        Relation::single_u32("key", keys.clone()),
+        PartitionSpec::range("key", bounds_vals),
+    )
+    .expect("partitioned relation");
+    let part_keys = pr
+        .flat()
+        .column("key")
+        .expect("key")
+        .as_u32()
+        .expect("u32")
+        .to_vec();
+    let all_parts: Vec<usize> = (0..pr.partitioning().part_count()).collect();
+    let segments = pr.partitioning().flat_order_segments(&all_parts);
+    let mut seg_bounds: Vec<usize> = Vec::with_capacity(segments.len() + 1);
+    seg_bounds.push(0);
+    for (_, end) in &segments {
+        seg_bounds.push(*end);
+    }
+    let serial_ms = best_of(reps, || {
+        execute_grouping(
+            GroupingAlgorithm::StaticPerfectHash,
+            &part_keys,
+            &part_keys,
+            CountSum,
+            &hints,
+        )
+        .expect("serial SPHG over partitioned layout")
+        .len() as u64
+    });
+    out.push(ScalingPoint {
+        workload: "PART-SPHG",
+        threads: 0,
+        millis: serial_ms,
+        speedup: 1.0,
+    });
+    for &t in threads {
+        let pool = ThreadPool::with_pool(t, std::sync::Arc::new(PersistentPool::new(t)));
+        let ms = best_of(reps, || {
+            parallel_grouping_segmented(
+                &pool,
+                &part_keys,
+                &part_keys,
+                CountSum,
+                GroupingStrategy::StaticPerfectHash { min: 0, max },
+                &seg_bounds,
+                DEFAULT_MORSEL_ROWS,
+            )
+            .expect("partition-native SPHG")
+            .0
+            .len() as u64
+        });
+        out.push(ScalingPoint {
+            workload: "PART-SPHG",
+            threads: t,
+            millis: ms,
+            speedup: serial_ms / ms,
+        });
+    }
+
     // --- HJ: FK join, |S| = rows, |R| = rows / 4 ---
     let (r, s) = ForeignKeySpec {
         r_rows: (rows / 4).max(1),
@@ -215,9 +285,9 @@ mod tests {
     #[test]
     fn produces_points_for_every_configuration() {
         let points = run(20_000, 64, &[1, 2], 1);
-        // Per workload (SPHG, SPHG-2COL, HJ): serial baseline + 2 thread
-        // counts.
-        assert_eq!(points.len(), 9);
+        // Per workload (SPHG, SPHG-2COL, PART-SPHG, HJ): serial baseline
+        // + 2 thread counts.
+        assert_eq!(points.len(), 12);
         assert!(points
             .iter()
             .all(|p| p.millis.is_finite() && p.millis >= 0.0));
@@ -227,6 +297,9 @@ mod tests {
         assert!(points
             .iter()
             .any(|p| p.workload == "SPHG-2COL" && p.threads == 2));
+        assert!(points
+            .iter()
+            .any(|p| p.workload == "PART-SPHG" && p.threads == 2));
         assert!(points.iter().any(|p| p.workload == "HJ" && p.threads == 2));
     }
 }

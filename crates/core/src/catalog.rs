@@ -6,7 +6,7 @@
 
 use crate::error::CoreError;
 use crate::Result;
-use dqo_storage::{stats, DataProps, DataType, Relation};
+use dqo_storage::{stats, DataProps, DataType, PartitionedRelation, Partitioning, Relation};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -30,6 +30,11 @@ pub struct TableEntry {
     /// data_generation)` changes whenever the rows a consumer snapshotted
     /// are no longer current, for any reason.
     pub data_generation: u64,
+    /// For partitioned tables: the partition map over `relation` (which
+    /// then holds the partitions' rows concatenated). `None` for flat
+    /// tables. Kept alongside the relation so a reader's snapshot of the
+    /// entry is always internally consistent.
+    pub partitioning: Option<Arc<Partitioning>>,
 }
 
 impl TableEntry {
@@ -49,7 +54,13 @@ impl TableEntry {
             column_props,
             generation,
             data_generation,
+            partitioning: None,
         }
+    }
+
+    fn with_partitioning(mut self, partitioning: Option<Arc<Partitioning>>) -> Self {
+        self.partitioning = partitioning;
+        self
     }
 }
 
@@ -81,6 +92,26 @@ impl Catalog {
         entry
     }
 
+    /// Register (or replace) a **partitioned** table. The flat relation
+    /// stored in the entry is the partition-major concatenation inside
+    /// `partitioned`; every consumer that ignores partitioning sees an
+    /// ordinary table. Bumps the same clocks as [`Catalog::register`].
+    pub fn register_partitioned(
+        &self,
+        name: impl Into<String>,
+        partitioned: PartitionedRelation,
+    ) -> Arc<TableEntry> {
+        let generation = self.generations.fetch_add(1, Ordering::Relaxed);
+        self.stats_generations.fetch_add(1, Ordering::Relaxed);
+        let partitioning = Arc::new(partitioned.partitioning().clone());
+        let entry = Arc::new(
+            TableEntry::from_relation(Arc::new(partitioned.flat().clone()), generation, 0)
+                .with_partitioning(Some(partitioning)),
+        );
+        self.tables.write().insert(name.into(), Arc::clone(&entry));
+        entry
+    }
+
     /// Swap a table's rows in place — the append path. Statistics are
     /// recomputed and the per-table **data generation** bumps, but the
     /// registration generation and the catalog-wide DDL clock do **not**
@@ -93,14 +124,49 @@ impl Catalog {
         let old = tables
             .get(name)
             .ok_or_else(|| CoreError::UnknownTable(name.to_owned()))?;
-        let entry = Arc::new(TableEntry::from_relation(
-            Arc::new(relation),
-            old.generation,
-            old.data_generation + 1,
-        ));
+        let partitioning = match &old.partitioning {
+            None => None,
+            Some(part) => Some(Arc::new(Self::refresh_partitioning(
+                part,
+                &relation,
+                old.relation.rows(),
+            )?)),
+        };
+        let entry = Arc::new(
+            TableEntry::from_relation(Arc::new(relation), old.generation, old.data_generation + 1)
+                .with_partitioning(partitioning),
+        );
         tables.insert(name.to_owned(), Arc::clone(&entry));
         self.stats_generations.fetch_add(1, Ordering::Relaxed);
         Ok(entry)
+    }
+
+    /// Re-derive a partitioned table's map for `replace_data`. When the
+    /// new relation grew (the append path — the only writer today), rows
+    /// `[old_rows..)` are routed as a tail delta: only partitions that
+    /// received rows move their data generation. Anything else (shrink or
+    /// rewrite) re-routes every row in place and bumps every partition's
+    /// generation past its old value — conservative, but per-partition
+    /// consumers can never see stale placement.
+    fn refresh_partitioning(
+        old: &Partitioning,
+        relation: &Relation,
+        old_rows: usize,
+    ) -> Result<Partitioning> {
+        let col = relation.column(&old.spec().column)?.as_u32()?;
+        if relation.rows() >= old_rows {
+            Ok(old.extend_for_append(col, old_rows))
+        } else {
+            let rebuilt = Partitioning::build(old.spec().clone(), col)?;
+            let next_gen = old
+                .parts()
+                .iter()
+                .map(|m| m.data_generation)
+                .max()
+                .unwrap_or(0)
+                + 1;
+            Ok(rebuilt.with_data_generations(next_gen))
+        }
     }
 
     /// The registration generation of `name`'s current entry, if it
@@ -159,6 +225,33 @@ impl Catalog {
             .read()
             .get(name)
             .map(|e| (e.generation, e.data_generation))
+    }
+
+    /// The partition map of `name`, if it is a partitioned table.
+    pub fn partitioning_of(&self, name: &str) -> Option<Arc<Partitioning>> {
+        self.tables
+            .read()
+            .get(name)
+            .and_then(|e| e.partitioning.clone())
+    }
+
+    /// The statistics version feedback corrections should be stamped
+    /// with. For a flat table — or when no partition subset is given —
+    /// this is [`Catalog::table_stats_version`]. For a partitioned scan
+    /// restricted to `parts`, the data-generation half is replaced by a
+    /// fingerprint of the *surviving* partitions' generations: appends to
+    /// pruned partitions leave it untouched (the correction keeps
+    /// applying), while any append to a scanned partition — or a change
+    /// of survivor set — moves it.
+    pub fn stats_version_for(&self, name: &str, parts: Option<&[usize]>) -> Option<(u64, u64)> {
+        let tables = self.tables.read();
+        let entry = tables.get(name)?;
+        match (parts, &entry.partitioning) {
+            (Some(parts), Some(partitioning)) => {
+                Some((entry.generation, partitioning.generation_fingerprint(parts)))
+            }
+            _ => Some((entry.generation, entry.data_generation)),
+        }
     }
 
     /// Look up a table.
@@ -341,6 +434,76 @@ mod tests {
         assert_eq!(t, "s");
         assert_eq!(p.rows, 1);
         assert!(cat.resolve_column(["r", "s"], "zzz").is_err());
+    }
+
+    #[test]
+    fn register_partitioned_stores_map_and_flat_relation() {
+        use dqo_storage::{PartitionSpec, PartitionedRelation};
+        let cat = Catalog::new();
+        let rel = Relation::single_u32("key", vec![25, 3, 17, 8]);
+        let pr = PartitionedRelation::new(rel, PartitionSpec::range("key", vec![10, 20])).unwrap();
+        cat.register_partitioned("t", pr);
+        let entry = cat.get("t").unwrap();
+        // Flat relation is partition-major …
+        assert_eq!(
+            entry.relation.column("key").unwrap().as_u32().unwrap(),
+            &[3, 8, 17, 25]
+        );
+        // … with column props over the reordered data.
+        assert_eq!(cat.column_props("t", "key").unwrap().rows, 4);
+        let p = cat.partitioning_of("t").unwrap();
+        assert_eq!(p.part_count(), 3);
+        assert!(cat.partitioning_of("missing").is_none());
+        // Flat tables report no partitioning.
+        cat.register("f", Relation::single_u32("key", vec![1]));
+        assert!(cat.partitioning_of("f").is_none());
+    }
+
+    #[test]
+    fn replace_data_extends_partitioning_on_append() {
+        use dqo_storage::{PartitionSpec, PartitionedRelation, Value};
+        let cat = Catalog::new();
+        let rel = Relation::single_u32("key", vec![5, 15, 25]);
+        let pr = PartitionedRelation::new(rel, PartitionSpec::range("key", vec![10, 20])).unwrap();
+        cat.register_partitioned("t", pr);
+        let v_all = cat.stats_version_for("t", None).unwrap();
+        let v01 = cat.stats_version_for("t", Some(&[0, 1])).unwrap();
+        let v12 = cat.stats_version_for("t", Some(&[1, 2])).unwrap();
+        assert_ne!(v01, v12, "distinct survivor sets have distinct versions");
+        // Append one row into partition 2 only.
+        let entry = cat.get("t").unwrap();
+        let appended = entry.relation.append_rows(&[vec![Value::U32(30)]]).unwrap();
+        cat.replace_data("t", appended.combined).unwrap();
+        let p = cat.partitioning_of("t").unwrap();
+        assert_eq!(p.parts()[2].ranges, vec![(2, 4)]);
+        assert_eq!(p.parts()[2].data_generation, 1);
+        assert_eq!(p.parts()[0].data_generation, 0);
+        // Table-level version moved; the untouched-partition version did not.
+        assert_ne!(cat.stats_version_for("t", None), Some(v_all));
+        assert_eq!(cat.stats_version_for("t", Some(&[0, 1])), Some(v01));
+        assert_ne!(cat.stats_version_for("t", Some(&[1, 2])), Some(v12));
+        // Flat-table parts request falls back to the table version.
+        cat.register("f", Relation::single_u32("key", vec![1]));
+        assert_eq!(
+            cat.stats_version_for("f", Some(&[0])),
+            cat.table_stats_version("f")
+        );
+    }
+
+    #[test]
+    fn replace_data_shrink_reroutes_and_bumps_all_partitions() {
+        use dqo_storage::{PartitionSpec, PartitionedRelation};
+        let cat = Catalog::new();
+        let rel = Relation::single_u32("key", vec![5, 15, 25]);
+        let pr = PartitionedRelation::new(rel, PartitionSpec::range("key", vec![10, 20])).unwrap();
+        cat.register_partitioned("t", pr);
+        cat.replace_data("t", Relation::single_u32("key", vec![25, 5]))
+            .unwrap();
+        let p = cat.partitioning_of("t").unwrap();
+        assert_eq!(p.parts()[0].ranges, vec![(1, 2)]);
+        assert_eq!(p.parts()[1].ranges, Vec::<(usize, usize)>::new());
+        assert_eq!(p.parts()[2].ranges, vec![(0, 1)]);
+        assert!(p.parts().iter().all(|m| m.data_generation == 1));
     }
 
     #[test]

@@ -23,8 +23,8 @@ use dqo_obs::{
     TraceBuilder, DURATION_BUCKETS,
 };
 use dqo_parallel::{PersistentPool, ThreadPool};
-use dqo_plan::LogicalPlan;
-use dqo_storage::{Relation, Value};
+use dqo_plan::{LogicalPlan, PhysicalPlan};
+use dqo_storage::{PartitionedRelation, Relation, Value};
 use parking_lot::Mutex;
 use std::sync::Arc;
 use std::time::Duration;
@@ -82,6 +82,11 @@ pub struct Engine {
     /// Phase traces + per-operator metrics on every `query` when true
     /// (default from `DQO_OBS`, on unless `off`/`0`/`false`).
     tracing: bool,
+    /// Plan-time partition pruning on partitioned tables (default from
+    /// `DQO_PRUNE`, on unless `off`/`0`/`false`). Folded into both the
+    /// memo's winner keys and the plan-cache key, so toggling it never
+    /// serves a plan derived under the other setting.
+    pruning: bool,
     /// Engine-level metric handles and the registry they live in.
     obs: EngineObs,
     /// Cached plans for the prepared-statement path, keyed on (shape,
@@ -151,6 +156,9 @@ struct EngineObs {
     opt_winner_hits: Counter,
     opt_feedback_applied: Counter,
     opt_feedback_corrections: Counter,
+    part_pruned: Counter,
+    part_scanned: Counter,
+    part_total: Counter,
     /// The memo totals already pushed into the counters above; memo
     /// stats are cumulative, counters only move forward, so each publish
     /// adds the delta since the last one.
@@ -169,6 +177,9 @@ impl EngineObs {
             opt_winner_hits: registry.counter(names::OPT_WINNER_HITS),
             opt_feedback_applied: registry.counter(names::OPT_FEEDBACK_APPLIED),
             opt_feedback_corrections: registry.counter(names::OPT_FEEDBACK_CORRECTIONS),
+            part_pruned: registry.counter(names::PART_PRUNED),
+            part_scanned: registry.counter(names::PART_SCANNED),
+            part_total: registry.counter(names::PART_TOTAL),
             opt_published: Mutex::new(MemoStats::default()),
             registry,
         }
@@ -192,6 +203,21 @@ impl EngineObs {
                 .saturating_sub(published.feedback_applied),
         );
         *published = stats;
+    }
+
+    /// Record the per-query partition accounting: for every
+    /// `PartitionedScan` in the executed plan, how many partitions were
+    /// scanned versus pruned away at plan time.
+    fn record_partitions(&self, plan: &PhysicalPlan) {
+        let mut stack = vec![plan];
+        while let Some(node) = stack.pop() {
+            if let PhysicalPlan::PartitionedScan { parts, total, .. } = node {
+                self.part_scanned.add(parts.len() as u64);
+                self.part_pruned.add((total - parts.len()) as u64);
+                self.part_total.add(*total as u64);
+            }
+            stack.extend(node.children());
+        }
     }
 }
 
@@ -217,6 +243,7 @@ impl Default for Engine {
             threads: dqo_parallel::default_threads(),
             pool: None,
             tracing: tracing_default(),
+            pruning: crate::partition_prune::prune_default(),
             plan_cache: PlanCache::new(crate::plan_cache::DEFAULT_CAPACITY, &registry),
             memo: Mutex::new(Memo::new()),
             feedback: Arc::new(FeedbackStore::new()),
@@ -283,6 +310,27 @@ impl Engine {
     /// Whether `query` records phase traces and per-operator metrics.
     pub fn tracing(&self) -> bool {
         self.tracing
+    }
+
+    /// Builder: enable or disable plan-time partition pruning. The
+    /// initial value comes from `DQO_PRUNE` (on unless `off`/`0`/`false`);
+    /// this knob overrides it programmatically — tests use it instead of
+    /// racing on the process environment.
+    pub fn with_pruning(mut self, pruning: bool) -> Self {
+        self.set_pruning(pruning);
+        self
+    }
+
+    /// Enable or disable plan-time partition pruning (see
+    /// [`Engine::with_pruning`]). Memo winners and cached plans are both
+    /// keyed on the flag, so no invalidation is needed on toggle.
+    pub fn set_pruning(&mut self, pruning: bool) {
+        self.pruning = pruning;
+    }
+
+    /// Whether plan-time partition pruning is enabled.
+    pub fn pruning(&self) -> bool {
+        self.pruning
     }
 
     /// Builder: register this engine's metrics (queries, optimise/exec
@@ -353,6 +401,22 @@ impl Engine {
     pub fn register_table(&self, name: impl Into<String>, relation: Relation) {
         let name = name.into();
         self.catalog.register(name.clone(), relation);
+        self.invalidate_avs_of(&name);
+    }
+
+    /// Register (or replace) a **partitioned** table: the catalog keeps
+    /// the partition spec and per-partition placement alongside the flat
+    /// relation, queries against it plan `PartitionedScan` nodes (pruned
+    /// at plan time when a predicate binds the partition column) and
+    /// parallel operators seed partition-native morsels. Same AV
+    /// invalidation contract as [`Engine::register_table`].
+    pub fn register_table_partitioned(
+        &self,
+        name: impl Into<String>,
+        partitioned: PartitionedRelation,
+    ) {
+        let name = name.into();
+        self.catalog.register_partitioned(name.clone(), partitioned);
         self.invalidate_avs_of(&name);
     }
 
@@ -446,6 +510,7 @@ impl Engine {
             dop,
             Some(&self.feedback),
         )
+        .with_pruning(self.pruning)
         .optimize(logical);
         self.obs.publish_memo(&memo);
         planned
@@ -537,6 +602,7 @@ impl Engine {
         let exec_wall = trace.end(Phase::Execute, began);
         self.obs.exec.observe_duration(exec_wall);
         self.obs.queries.inc();
+        self.obs.record_partitions(&planned.plan);
         // Close the adaptive loop: mine the traced per-operator actuals
         // for mis-estimated filters. Recording bumps the feedback epoch,
         // so the next optimisation re-costs with corrected selectivities.
@@ -610,18 +676,22 @@ impl Engine {
         // The cache key folds in everything that changes the optimiser's
         // answer besides the catalog: plan shape, session knobs, DOP.
         let key = format!(
-            "{}#mode={:?}#pmodel={:?}#dop={dop}",
-            prepared.shape, self.mode, self.pmodel
+            "{}#mode={:?}#pmodel={:?}#dop={dop}#prune={}",
+            prepared.shape, self.mode, self.pmodel, self.pruning
         );
         let generation = self.catalog.current_generation();
-        let planned = match self.plan_cache.lookup(&key, generation, logical) {
-            Some(planned) => planned,
-            None => {
-                let planned = self.plan_with_dop(logical, dop)?;
-                self.plan_cache.insert(key, generation, &planned);
-                planned
-            }
-        };
+        let planned =
+            match self
+                .plan_cache
+                .lookup(&key, generation, logical, &self.catalog, self.pruning)
+            {
+                Some(planned) => planned,
+                None => {
+                    let planned = self.plan_with_dop(logical, dop)?;
+                    self.plan_cache.insert(key, generation, &planned);
+                    planned
+                }
+            };
         let optimise = trace.end(Phase::Optimise, began);
         self.obs.optimise.observe_duration(optimise);
 

@@ -195,6 +195,29 @@ fn exec_node_inner(
             stats.record(Blocking::Pipelined, rel.rows() as u64);
             Ok(rel)
         }
+        PhysicalPlan::PartitionedScan { table, parts, .. } => {
+            let entry = catalog.get(table)?;
+            let rel = entry.relation.as_ref();
+            // Surviving ranges are gathered in flat row order, so a scan
+            // of all partitions is bit-identical to the flat scan — and a
+            // pruned scan is the flat scan minus the pruned rows, order
+            // preserved. Without a partition map (spec dropped by a
+            // re-register) the scan degrades to the full flat scan,
+            // which is always sound.
+            let rel = match &entry.partitioning {
+                Some(p) if parts.len() < p.part_count() => {
+                    let idx: Vec<usize> = p
+                        .flat_order_ranges(parts)
+                        .into_iter()
+                        .flat_map(|(s, e)| s..e)
+                        .collect();
+                    rel.gather(&idx)
+                }
+                _ => rel.clone(),
+            };
+            stats.record(Blocking::Pipelined, rel.rows() as u64);
+            Ok(rel)
+        }
         PhysicalPlan::Filter { input, predicate } => {
             let rel = exec_node(input, catalog, avs, pool, stats, obs)?;
             let mask = eval_predicate(&rel, predicate)?;
@@ -295,8 +318,9 @@ fn exec_node_inner(
                     GroupingImpl::Hg | GroupingImpl::Sphg | GroupingImpl::Sog
                 ) =>
                 {
+                    let seg = partition_bounds(child, catalog);
                     let rel = exec_node(child, catalog, avs, pool, stats, obs)?;
-                    exec_group_by_parallel(&rel, keys, aggs, *algo, &tp, stats)
+                    exec_group_by_parallel(&rel, keys, aggs, *algo, &tp, seg.as_deref(), stats)
                 }
                 PhysicalPlan::Join {
                     left,
@@ -305,24 +329,37 @@ fn exec_node_inner(
                     right_key,
                     algo,
                 } if matches!(algo, JoinImpl::Hj | JoinImpl::Sphj | JoinImpl::Soj) => {
+                    // Partition-native seeding applies to the build side.
+                    let seg = partition_bounds(left, catalog);
                     let l = exec_node(left, catalog, avs, pool, stats, obs)?;
                     let r = exec_node(right, catalog, avs, pool, stats, obs)?;
-                    exec_join_parallel(&l, &r, left_key, right_key, *algo, &tp, stats)
+                    exec_join_parallel(
+                        &l,
+                        &r,
+                        left_key,
+                        right_key,
+                        *algo,
+                        &tp,
+                        seg.as_deref(),
+                        stats,
+                    )
                 }
                 PhysicalPlan::Sort {
                     input: child,
                     key,
                     molecule,
                 } => {
+                    let seg = partition_bounds(child, catalog);
                     let rel = exec_node(child, catalog, avs, pool, stats, obs)?;
-                    exec_sort_parallel(&rel, key, *molecule, &tp, stats)
+                    exec_sort_parallel(&rel, key, *molecule, &tp, seg.as_deref(), stats)
                 }
                 PhysicalPlan::Filter {
                     input: child,
                     predicate,
                 } => {
+                    let seg = partition_bounds(child, catalog);
                     let rel = exec_node(child, catalog, avs, pool, stats, obs)?;
-                    exec_filter_parallel(&rel, predicate, &tp, stats)
+                    exec_filter_parallel(&rel, predicate, &tp, seg.as_deref(), stats)
                 }
                 // Anything the parallel runtime does not cover degrades
                 // gracefully to the serial executor.
@@ -349,6 +386,25 @@ fn exec_node_inner(
             Ok(rel)
         }
     }
+}
+
+/// Segment offsets, in the scan's **output** row coordinates, of a
+/// partitioned scan's surviving ranges: `[0, l1, l1+l2, …, rows]`, one
+/// segment per per-partition range in flat order. The parallel runtime
+/// seeds one sort run / morsel block per segment, so parallel work over
+/// the scan never crosses a partition boundary. `None` for any other
+/// node — the partition-native seeding only fires when the parallel
+/// operator reads a `PartitionedScan` directly.
+fn partition_bounds(plan: &PhysicalPlan, catalog: &Catalog) -> Option<Vec<usize>> {
+    let PhysicalPlan::PartitionedScan { table, parts, .. } = plan else {
+        return None;
+    };
+    let partitioning = catalog.get(table).ok()?.partitioning.clone()?;
+    let mut bounds = vec![0usize];
+    for (s, e) in partitioning.flat_order_segments(parts) {
+        bounds.push(bounds.last().expect("non-empty") + (e - s));
+    }
+    Some(bounds)
 }
 
 /// First `n` rows of a relation.
@@ -576,11 +632,17 @@ fn exec_sort_parallel(
     key: &str,
     molecule: dqo_plan::SortMolecule,
     pool: &ThreadPool,
+    seg: Option<&[usize]>,
     stats: &mut PipelineStats,
 ) -> Result<Relation> {
     let keys = rel.column(key)?.as_u32()?;
-    let (order, par_stats) = dqo_parallel::parallel_argsort(pool, keys, to_run_molecule(molecule))
-        .map_err(dqo_exec::ExecError::from)?;
+    let (order, par_stats) = match seg {
+        Some(bounds) => {
+            dqo_parallel::parallel_argsort_segmented(pool, keys, to_run_molecule(molecule), bounds)
+        }
+        None => dqo_parallel::parallel_argsort(pool, keys, to_run_molecule(molecule)),
+    }
+    .map_err(dqo_exec::ExecError::from)?;
     stats.merge(&par_stats);
     let order: Vec<usize> = order.into_iter().map(|i| i as usize).collect();
     Ok(rel.gather(&order))
@@ -600,6 +662,7 @@ fn exec_group_by_parallel(
     aggs: &[AggExpr],
     algo: GroupingImpl,
     pool: &ThreadPool,
+    seg: Option<&[usize]>,
     stats: &mut PipelineStats,
 ) -> Result<Relation> {
     let layouts = key_layouts(rel, keys)?;
@@ -632,13 +695,13 @@ fn exec_group_by_parallel(
     };
 
     let result = if algo == GroupingImpl::Sog {
-        let (result, par_stats) = dqo_parallel::parallel_sog(
-            pool,
-            data,
-            values,
-            FullAgg,
-            dqo_parallel::RunSortMolecule::Comparison,
-        )?;
+        let molecule = dqo_parallel::RunSortMolecule::Comparison;
+        let (result, par_stats) = match seg {
+            Some(bounds) => {
+                dqo_parallel::parallel_sog_segmented(pool, data, values, FullAgg, molecule, bounds)?
+            }
+            None => dqo_parallel::parallel_sog(pool, data, values, FullAgg, molecule)?,
+        };
         stats.merge(&par_stats);
         result
     } else {
@@ -649,14 +712,25 @@ fn exec_group_by_parallel(
             }
             _ => GroupingStrategy::Hash,
         };
-        let (result, par_stats) = dqo_parallel::parallel_grouping(
-            pool,
-            data,
-            values,
-            FullAgg,
-            strategy,
-            DEFAULT_MORSEL_ROWS,
-        )?;
+        let (result, par_stats) = match seg {
+            Some(bounds) => dqo_parallel::parallel_grouping_segmented(
+                pool,
+                data,
+                values,
+                FullAgg,
+                strategy,
+                bounds,
+                DEFAULT_MORSEL_ROWS,
+            )?,
+            None => dqo_parallel::parallel_grouping(
+                pool,
+                data,
+                values,
+                FullAgg,
+                strategy,
+                DEFAULT_MORSEL_ROWS,
+            )?,
+        };
         stats.merge(&par_stats);
         result
     };
@@ -672,6 +746,7 @@ fn exec_group_by_parallel(
 /// Morsel-parallel join (dispatched from an `Exchange` node): partitioned
 /// parallel HJ, parallel-probe SPHJ, or parallel-sort SOJ on the key
 /// columns, then the usual gather-based output assembly.
+#[allow(clippy::too_many_arguments)]
 fn exec_join_parallel(
     l: &Relation,
     r: &Relation,
@@ -679,17 +754,19 @@ fn exec_join_parallel(
     right_key: &str,
     algo: JoinImpl,
     pool: &ThreadPool,
+    seg: Option<&[usize]>,
     stats: &mut PipelineStats,
 ) -> Result<Relation> {
     let lk = l.column(left_key)?.as_u32()?;
     let rk = r.column(right_key)?.as_u32()?;
+    let molecule = dqo_parallel::RunSortMolecule::Comparison;
     let (result, par_stats) = match algo {
-        JoinImpl::Soj => dqo_parallel::parallel_sort_merge_join(
-            pool,
-            lk,
-            rk,
-            dqo_parallel::RunSortMolecule::Comparison,
-        )?,
+        JoinImpl::Soj => match seg {
+            Some(bounds) => {
+                dqo_parallel::parallel_sort_merge_join_segmented(pool, lk, rk, molecule, bounds)?
+            }
+            None => dqo_parallel::parallel_sort_merge_join(pool, lk, rk, molecule)?,
+        },
         JoinImpl::Sphj => match (lk.iter().copied().min(), lk.iter().copied().max()) {
             (Some(min), Some(max)) => {
                 dqo_parallel::parallel_sph_join(pool, lk, rk, min, max, DEFAULT_MORSEL_ROWS)?
@@ -700,7 +777,16 @@ fn exec_join_parallel(
                 PipelineStats::default(),
             ),
         },
-        _ => dqo_parallel::parallel_hash_join(pool, lk, rk, DEFAULT_MORSEL_ROWS)?,
+        _ => match seg {
+            Some(bounds) => dqo_parallel::parallel_hash_join_segmented(
+                pool,
+                lk,
+                rk,
+                bounds,
+                DEFAULT_MORSEL_ROWS,
+            )?,
+            None => dqo_parallel::parallel_hash_join(pool, lk, rk, DEFAULT_MORSEL_ROWS)?,
+        },
     };
     stats.merge(&par_stats);
     assemble_join_output(l, r, &result)
@@ -712,9 +798,14 @@ fn exec_filter_parallel(
     rel: &Relation,
     predicate: &Predicate,
     pool: &ThreadPool,
+    seg: Option<&[usize]>,
     stats: &mut PipelineStats,
 ) -> Result<Relation> {
-    let chunks = pool.map_morsels(rel.rows(), DEFAULT_MORSEL_ROWS, |m| {
+    let ms = match seg {
+        Some(bounds) => dqo_parallel::morsels_within(bounds, DEFAULT_MORSEL_ROWS),
+        None => dqo_parallel::morsels(rel.rows(), DEFAULT_MORSEL_ROWS),
+    };
+    let chunks = pool.map_morsel_list(&ms, |m| {
         eval_predicate_range(rel, predicate, m.start, m.end)
     })?;
     let mut mask = Vec::with_capacity(rel.rows());

@@ -9,8 +9,10 @@
 //! estimate by at least [`DEVIATION_THRESHOLD`]×.
 //!
 //! Corrections are stamped with the table's **statistics version** (the
-//! `(registration generation, data generation)` pair): a correction
-//! learned against one snapshot of the data is never applied to another.
+//! `(registration generation, data generation)` pair — or, for a filter
+//! over a pruned partitioned scan, the *surviving partitions'* version
+//! from [`Catalog::stats_version_for`]): a correction learned against
+//! one snapshot of the data is never applied to another.
 //! The memo's coster ([`crate::property_builder::PropertyBuilder`])
 //! multiplies the stored factor into the base estimate; recording always
 //! compares actuals against the *uncorrected* base estimate, so factors
@@ -165,7 +167,7 @@ impl FeedbackStore {
             if est_in == 0 || act_in == 0 {
                 continue;
             }
-            let Some(table) = base_table_below(input) else {
+            let Some((table, parts)) = crate::property_builder::scan_target_below(input) else {
                 continue; // multi-table input: no single stats owner
             };
             let est_sel = (est_out.max(1) as f64) / (est_in as f64);
@@ -175,7 +177,10 @@ impl FeedbackStore {
             if deviation < DEVIATION_THRESHOLD {
                 continue;
             }
-            let Some(stats_version) = catalog.table_stats_version(table) else {
+            // Partitioned scans stamp the *survivors'* stats version, so
+            // appends to pruned-away partitions don't invalidate (or
+            // wrongly validate) the correction.
+            let Some(stats_version) = catalog.stats_version_for(table, parts) else {
                 continue;
             };
             if self.record(table, &predicate.shape(), factor, stats_version) {
@@ -192,16 +197,6 @@ fn preorder<'a>(plan: &'a PhysicalPlan, out: &mut Vec<&'a PhysicalPlan>) {
     out.push(plan);
     for child in plan.children() {
         preorder(child, out);
-    }
-}
-
-/// The single base table beneath `plan`, walking the single-child spine;
-/// `None` once a join makes ownership ambiguous.
-fn base_table_below(plan: &PhysicalPlan) -> Option<&str> {
-    match plan {
-        PhysicalPlan::Scan { table } => Some(table),
-        PhysicalPlan::Join { .. } => None,
-        _ => plan.children().first().and_then(|c| base_table_below(c)),
     }
 }
 

@@ -65,6 +65,7 @@ pub mod memo;
 pub mod molecule;
 pub mod optimizer;
 pub mod partial_av;
+pub mod partition_prune;
 pub mod plan_cache;
 pub mod profile;
 pub mod property_builder;
@@ -83,6 +84,7 @@ pub use executor::{execute, ExecOutput};
 pub use feedback::FeedbackStore;
 pub use memo::{Memo, MemoOptimizer, MemoStamp, MemoStats};
 pub use optimizer::{optimize, OptimizerMode, PlannedQuery};
+pub use partition_prune::{prune_default, prune_partitions};
 pub use plan_cache::{plan_shape, PlanCache};
 pub use profile::PlanRuntime;
 

@@ -98,6 +98,9 @@ struct WinnerKey {
     mode: OptimizerMode,
     pmodel: PropertyModel,
     dop: usize,
+    /// Whether plan-time partition pruning was enabled — pruned and
+    /// unpruned winners are different physical plans.
+    pruning: bool,
 }
 
 /// One equivalence class of logical plans. See the module docs.
@@ -259,6 +262,7 @@ pub struct MemoOptimizer<'a> {
     pub(crate) avs: Option<&'a AvCatalog>,
     pub(crate) pmodel: PropertyModel,
     pub(crate) dop: usize,
+    pub(crate) pruning: bool,
     pub(crate) props: PropertyBuilder<'a>,
 }
 
@@ -283,8 +287,16 @@ impl<'a> MemoOptimizer<'a> {
             avs,
             pmodel,
             dop: dop.max(1),
+            pruning: crate::partition_prune::prune_default(),
             props: PropertyBuilder::with_feedback(catalog, feedback),
         }
+    }
+
+    /// Override whether the partition-pruning rule fires (default: the
+    /// `DQO_PRUNE` environment knob).
+    pub fn with_pruning(mut self, pruning: bool) -> Self {
+        self.pruning = pruning;
+        self
     }
 
     /// Optimise a logical plan: intern it, explore its group, return the
@@ -326,6 +338,7 @@ impl<'a> MemoOptimizer<'a> {
             mode: self.mode,
             pmodel: self.pmodel,
             dop: self.dop,
+            pruning: self.pruning,
         };
         if let Some(winners) = self.memo.groups[gid].winners.get(&key) {
             self.memo.stats.winner_hits += 1;

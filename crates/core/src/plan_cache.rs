@@ -28,7 +28,9 @@
 //! engine's metrics registry under the canonical `dqo_plan_cache_*`
 //! names.
 
+use crate::catalog::Catalog;
 use crate::optimizer::PlannedQuery;
+use crate::partition_prune::prune_partitions;
 use dqo_obs::{names, Counter, Gauge, MetricsRegistry};
 use dqo_plan::expr::Predicate;
 use dqo_plan::{LogicalPlan, PhysicalPlan};
@@ -90,7 +92,23 @@ impl PlanCache {
     /// the cached physical plan. Counts a hit only when the rebind
     /// succeeds; a missing entry *or* a failed rebind is a miss (the
     /// caller plans cold either way).
-    pub fn lookup(&self, key: &str, generation: u64, fresh: &LogicalPlan) -> Option<PlannedQuery> {
+    ///
+    /// `catalog`/`pruning` drive **re-pruning on rebind**: a cached plan
+    /// that pruned a partitioned scan did so against the *previous*
+    /// execution's constants, so serving it verbatim would scan the wrong
+    /// survivor set. The rebind recomputes the survivors from the fresh
+    /// predicate (see [`rebind_node`]); partition specs only change via
+    /// re-registration, which moves the DDL clock and makes the entry
+    /// unreachable, so the spec consulted here is always the one the plan
+    /// was built against.
+    pub fn lookup(
+        &self,
+        key: &str,
+        generation: u64,
+        fresh: &LogicalPlan,
+        catalog: &Catalog,
+        pruning: bool,
+    ) -> Option<PlannedQuery> {
         let cached = {
             let mut inner = self.inner.lock();
             inner.tick += 1;
@@ -104,7 +122,7 @@ impl PlanCache {
             }
         };
         let rebound = cached.and_then(|planned| {
-            rebind_plan(&planned.plan, fresh).map(|plan| PlannedQuery {
+            rebind_plan(&planned.plan, fresh, catalog, pruning).map(|plan| PlannedQuery {
                 plan,
                 ..(*planned).clone()
             })
@@ -197,12 +215,28 @@ fn predicate_shape(p: &Predicate) -> String {
 /// preorder filter sequences correspond one to one — when they do not
 /// (e.g. an AV rewrite absorbed the filter), returns `None` and the
 /// caller plans cold.
-fn rebind_plan(cached: &PhysicalPlan, fresh: &LogicalPlan) -> Option<PhysicalPlan> {
+fn rebind_plan(
+    cached: &PhysicalPlan,
+    fresh: &LogicalPlan,
+    catalog: &Catalog,
+    pruning: bool,
+) -> Option<PhysicalPlan> {
     let mut predicates = Vec::new();
     collect_predicates(fresh, &mut predicates);
     let mut next = 0usize;
-    let rebound = rebind_node(cached, &predicates, &mut next)?;
+    let cx = RebindCx {
+        predicates: &predicates,
+        catalog,
+        pruning,
+    };
+    let rebound = rebind_node(cached, &cx, &mut next)?;
     (next == predicates.len()).then_some(rebound)
+}
+
+struct RebindCx<'a> {
+    predicates: &'a [&'a Predicate],
+    catalog: &'a Catalog,
+    pruning: bool,
 }
 
 fn collect_predicates<'a>(plan: &'a LogicalPlan, out: &mut Vec<&'a Predicate>) {
@@ -214,30 +248,54 @@ fn collect_predicates<'a>(plan: &'a LogicalPlan, out: &mut Vec<&'a Predicate>) {
     }
 }
 
-fn rebind_node(
-    plan: &PhysicalPlan,
-    predicates: &[&Predicate],
-    next: &mut usize,
-) -> Option<PhysicalPlan> {
+fn rebind_node(plan: &PhysicalPlan, cx: &RebindCx<'_>, next: &mut usize) -> Option<PhysicalPlan> {
     match plan {
         PhysicalPlan::Filter { input, predicate } => {
-            let fresh = predicates.get(*next)?;
+            let fresh = cx.predicates.get(*next)?;
             if predicate_shape(predicate) != predicate_shape(fresh) {
                 return None;
             }
             *next += 1;
+            // Re-prune a partitioned scan directly beneath this filter
+            // against the *fresh* constants — the cached survivor set was
+            // computed for the previous execution's values.
+            let input = match input.as_ref() {
+                PhysicalPlan::PartitionedScan { table, total, .. } => {
+                    let partitioning = cx.catalog.partitioning_of(table)?;
+                    if partitioning.part_count() != *total {
+                        return None;
+                    }
+                    let parts = if cx.pruning {
+                        prune_partitions(partitioning.spec(), fresh)
+                    } else {
+                        (0..*total).collect()
+                    };
+                    PhysicalPlan::PartitionedScan {
+                        table: table.clone(),
+                        parts,
+                        total: *total,
+                    }
+                }
+                other => rebind_node(other, cx, next)?,
+            };
             Some(PhysicalPlan::Filter {
-                input: Box::new(rebind_node(input, predicates, next)?),
+                input: Box::new(input),
                 predicate: (*fresh).clone(),
             })
         }
         PhysicalPlan::Scan { .. } => Some(plan.clone()),
+        // An unpruned partitioned scan is constant-independent; a pruned
+        // one *not* governed by a filter above (handled there) cannot be
+        // revalidated — refuse the hit and let the engine plan cold.
+        PhysicalPlan::PartitionedScan { parts, total, .. } => {
+            (parts.len() == *total).then(|| plan.clone())
+        }
         PhysicalPlan::Sort {
             input,
             key,
             molecule,
         } => Some(PhysicalPlan::Sort {
-            input: Box::new(rebind_node(input, predicates, next)?),
+            input: Box::new(rebind_node(input, cx, next)?),
             key: key.clone(),
             molecule: *molecule,
         }),
@@ -248,8 +306,8 @@ fn rebind_node(
             right_key,
             algo,
         } => Some(PhysicalPlan::Join {
-            left: Box::new(rebind_node(left, predicates, next)?),
-            right: Box::new(rebind_node(right, predicates, next)?),
+            left: Box::new(rebind_node(left, cx, next)?),
+            right: Box::new(rebind_node(right, cx, next)?),
             left_key: left_key.clone(),
             right_key: right_key.clone(),
             algo: *algo,
@@ -261,22 +319,22 @@ fn rebind_node(
             algo,
             molecules,
         } => Some(PhysicalPlan::GroupBy {
-            input: Box::new(rebind_node(input, predicates, next)?),
+            input: Box::new(rebind_node(input, cx, next)?),
             keys: keys.clone(),
             aggs: aggs.clone(),
             algo: *algo,
             molecules: *molecules,
         }),
         PhysicalPlan::Project { input, columns } => Some(PhysicalPlan::Project {
-            input: Box::new(rebind_node(input, predicates, next)?),
+            input: Box::new(rebind_node(input, cx, next)?),
             columns: columns.clone(),
         }),
         PhysicalPlan::Limit { input, n } => Some(PhysicalPlan::Limit {
-            input: Box::new(rebind_node(input, predicates, next)?),
+            input: Box::new(rebind_node(input, cx, next)?),
             n: *n,
         }),
         PhysicalPlan::Exchange { input, dop } => Some(PhysicalPlan::Exchange {
-            input: Box::new(rebind_node(input, predicates, next)?),
+            input: Box::new(rebind_node(input, cx, next)?),
             dop: *dop,
         }),
     }
@@ -361,13 +419,13 @@ mod tests {
         cache.insert(shape.clone(), 1, &cold);
 
         let fresh = filtered_group(42);
-        let hit = cache.lookup(&shape, 1, &fresh).expect("hit");
+        let hit = cache.lookup(&shape, 1, &fresh, &cat, true).expect("hit");
         let text = hit.plan.explain();
         assert!(text.contains("key < 42"), "{text}");
         assert!(!text.contains("key < 5"), "{text}");
         assert_eq!(hit.est_cost, cold.est_cost);
         assert!(
-            cache.lookup(&shape, 2, &fresh).is_none(),
+            cache.lookup(&shape, 2, &fresh, &cat, true).is_none(),
             "stale generation"
         );
         let snap = registry.snapshot();
@@ -393,7 +451,7 @@ mod tests {
             "key",
             vec![AggExpr::count_star("n")],
         );
-        assert!(cache.lookup(&shape, 1, &fresh).is_none());
+        assert!(cache.lookup(&shape, 1, &fresh, &cat, true).is_none());
         assert_eq!(
             registry.snapshot().counter(names::PLAN_CACHE_MISSES),
             Some(1)
@@ -410,11 +468,15 @@ mod tests {
         cache.insert("b".into(), 1, &cold);
         assert_eq!(cache.len(), 2);
         // Touch "a" so "b" is the LRU victim.
-        let _ = cache.lookup("a", 1, &filtered_group(9));
+        let _ = cache.lookup("a", 1, &filtered_group(9), &cat, true);
         cache.insert("c".into(), 1, &cold);
         assert_eq!(cache.len(), 2);
-        assert!(cache.lookup("b", 1, &filtered_group(9)).is_none());
-        assert!(cache.lookup("a", 1, &filtered_group(9)).is_some());
+        assert!(cache
+            .lookup("b", 1, &filtered_group(9), &cat, true)
+            .is_none());
+        assert!(cache
+            .lookup("a", 1, &filtered_group(9), &cat, true)
+            .is_some());
         // A new generation sweeps everything from the old one.
         cache.insert("d".into(), 2, &cold);
         assert_eq!(cache.len(), 1);
@@ -454,7 +516,9 @@ mod tests {
         let registry = MetricsRegistry::new();
         let cache = PlanCache::new(8, &registry);
         cache.insert("k".into(), 1, &cold);
-        let hit = cache.lookup("k", 1, &filtered_group(77)).expect("hit");
+        let hit = cache
+            .lookup("k", 1, &filtered_group(77), &cat, true)
+            .expect("hit");
         let text = hit.plan.explain();
         assert!(text.contains("key < 77"), "{text}");
     }
@@ -478,7 +542,9 @@ mod tests {
         let registry = MetricsRegistry::new();
         let cache = PlanCache::new(8, &registry);
         cache.insert("k".into(), 1, &cold);
-        let hit = cache.lookup("k", 1, &with_values(30, 60)).expect("hit");
+        let hit = cache
+            .lookup("k", 1, &with_values(30, 60), &cat, true)
+            .expect("hit");
         let text = hit.plan.explain();
         assert!(text.contains("key >= 30 AND key < 60"), "{text}");
     }

@@ -89,9 +89,25 @@ impl<'a> PropertyBuilder<'a> {
         props: &PlanProps,
         table: Option<&str>,
     ) -> f64 {
+        self.selectivity_for(predicate, props, table, None)
+    }
+
+    /// [`PropertyBuilder::selectivity`] for a scan restricted to the
+    /// given partitions: the correction's validity is checked against the
+    /// *survivors'* statistics version (see
+    /// [`Catalog::stats_version_for`]), so corrections learned over a
+    /// pruned scan keep applying across appends to pruned-away partitions
+    /// and stop applying when the survivor set or its data changes.
+    pub fn selectivity_for(
+        &self,
+        predicate: &Predicate,
+        props: &PlanProps,
+        table: Option<&str>,
+        parts: Option<&[usize]>,
+    ) -> f64 {
         let base = estimate_selectivity(predicate, props);
         if let (Some(store), Some(table)) = (self.feedback, table) {
-            if let Some(version) = self.catalog.table_stats_version(table) {
+            if let Some(version) = self.catalog.stats_version_for(table, parts) {
                 if let Some(factor) = store.correction(table, &predicate.shape(), version) {
                     self.applied.set(self.applied.get() + 1);
                     return (base * factor).clamp(0.0, 1.0);
@@ -139,6 +155,19 @@ impl<'a> PropertyBuilder<'a> {
                 .get(table)
                 .map(|t| t.relation.rows() as u64)
                 .unwrap_or(0),
+            // Post-pruning estimate: the survivors' observed rowcounts,
+            // not the whole table's — this is what `explain_analyze`
+            // compares actual rows against.
+            PhysicalPlan::PartitionedScan { table, parts, .. } => {
+                match self.catalog.partitioning_of(table) {
+                    Some(p) => p.rows_in(parts) as u64,
+                    None => self
+                        .catalog
+                        .get(table)
+                        .map(|t| t.relation.rows() as u64)
+                        .unwrap_or(0),
+                }
+            }
             PhysicalPlan::Filter { input, predicate } => {
                 let child = self.est_node(input, out);
                 let props = predicate
@@ -146,7 +175,9 @@ impl<'a> PropertyBuilder<'a> {
                     .first()
                     .and_then(|col| column_props_below(input, col, self.catalog))
                     .unwrap_or_else(|| PlanProps::unknown(child));
-                let sel = self.selectivity(predicate, &props, base_table_below(input));
+                let (table, parts) =
+                    scan_target_below(input).map_or((None, None), |(t, p)| (Some(t), p));
+                let sel = self.selectivity_for(predicate, &props, table, parts);
                 ((child as f64) * sel).ceil() as u64
             }
             PhysicalPlan::Sort { input, .. }
@@ -196,7 +227,7 @@ pub(crate) fn column_props_below(
     catalog: &Catalog,
 ) -> Option<PlanProps> {
     match plan {
-        PhysicalPlan::Scan { table } => catalog
+        PhysicalPlan::Scan { table } | PhysicalPlan::PartitionedScan { table, .. } => catalog
             .column_props(table, column)
             .ok()
             .map(|d| PlanProps::from_data(&d)),
@@ -208,13 +239,16 @@ pub(crate) fn column_props_below(
     }
 }
 
-/// The single base table beneath a physical plan, walking the
-/// single-child spine; `None` once a join makes ownership ambiguous.
-pub(crate) fn base_table_below(plan: &PhysicalPlan) -> Option<&str> {
+/// The single base scan beneath a physical plan: its table plus, for a
+/// partitioned scan, the surviving partition set (the stats owner a
+/// filter's learned corrections are keyed and versioned by). `None` once
+/// a join makes ownership ambiguous.
+pub(crate) fn scan_target_below(plan: &PhysicalPlan) -> Option<(&str, Option<&[usize]>)> {
     match plan {
-        PhysicalPlan::Scan { table } => Some(table),
+        PhysicalPlan::Scan { table } => Some((table, None)),
+        PhysicalPlan::PartitionedScan { table, parts, .. } => Some((table, Some(parts))),
         PhysicalPlan::Join { .. } => None,
-        _ => plan.children().first().and_then(|c| base_table_below(c)),
+        _ => plan.children().first().and_then(|c| scan_target_below(c)),
     }
 }
 

@@ -75,11 +75,28 @@ fn scan_rules(
 ) -> Result<Vec<Candidate>> {
     let props = opt.props.scan_props(table, focus)?;
     let projected = opt.mode.project(props);
-    opt.fire("scan-impl");
+    // A partitioned table's baseline scan is a PartitionedScan naming
+    // every partition: the filter rule narrows the survivor set at
+    // plan time and the runtime seeds partition-native morsels from it.
+    // Flat-row-order emission keeps it bit-identical to a plain Scan.
+    let plan = match opt.catalog.partitioning_of(table) {
+        Some(p) => {
+            opt.fire("scan-partitioned-impl");
+            PhysicalPlan::PartitionedScan {
+                table: table.to_owned(),
+                parts: (0..p.part_count()).collect(),
+                total: p.part_count(),
+            }
+        }
+        None => {
+            opt.fire("scan-impl");
+            PhysicalPlan::Scan {
+                table: table.to_owned(),
+            }
+        }
+    };
     let mut out = vec![Candidate {
-        plan: PhysicalPlan::Scan {
-            table: table.to_owned(),
-        },
+        plan,
         cost: 0.0, // scans are the common baseline of every plan
         sort_col: (projected.sortedness == Sortedness::Ascending)
             .then(|| focus.unwrap_or_default().to_owned())
@@ -115,8 +132,32 @@ fn filter_rules(
     let inputs = opt.explore(input_gid, focus)?.as_ref().clone();
     let table = logical_base_table(input).map(str::to_owned);
     let mut all = Vec::with_capacity(inputs.len() * 2);
-    for c in inputs {
-        let selectivity = opt.props.selectivity(predicate, &c.props, table.as_deref());
+    for mut c in inputs {
+        // Partition-pruning rule: intersect the bound predicate with the
+        // scan's partition spec and keep only partitions that might hold
+        // matches. The decision reads **only the spec** (append-proof —
+        // see `crate::partition_prune`), and both the scan's cost and the
+        // estimate below shrink to the survivors' observed rowcounts.
+        if opt.pruning {
+            if let PhysicalPlan::PartitionedScan { table, parts, .. } = &mut c.plan {
+                if let Some(p) = opt.catalog.partitioning_of(table) {
+                    let survivors = crate::partition_prune::prune_partitions(p.spec(), predicate);
+                    let before = parts.len();
+                    parts.retain(|i| survivors.contains(i));
+                    c.props.rows = p.rows_in(parts) as u64;
+                    if parts.len() < before {
+                        opt.fire("filter-partition-prune");
+                    }
+                }
+            }
+        }
+        let parts = match &c.plan {
+            PhysicalPlan::PartitionedScan { parts, .. } => Some(parts.clone()),
+            _ => None,
+        };
+        let selectivity =
+            opt.props
+                .selectivity_for(predicate, &c.props, table.as_deref(), parts.as_deref());
         let props = opt
             .mode
             .project(opt.props.derive_filter(c.props, selectivity));

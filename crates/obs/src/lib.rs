@@ -108,6 +108,15 @@ pub mod names {
     pub const OPT_FEEDBACK_APPLIED: &str = "dqo_opt_feedback_applied_total";
     /// Selectivity corrections learned from executed plans (counter).
     pub const OPT_FEEDBACK_CORRECTIONS: &str = "dqo_opt_feedback_corrections_total";
+    /// Partitions pruned away at plan time across executed
+    /// `PartitionedScan` nodes (counter).
+    pub const PART_PRUNED: &str = "dqo_part_pruned_total";
+    /// Partitions actually scanned by executed `PartitionedScan` nodes
+    /// (counter).
+    pub const PART_SCANNED: &str = "dqo_part_scanned_total";
+    /// Total partitions of the tables behind executed `PartitionedScan`
+    /// nodes — `pruned + scanned` (counter).
+    pub const PART_TOTAL: &str = "dqo_part_total";
 
     /// Every canonical metric name, in the order documented in
     /// `docs/METRICS.md`. Doc-sync tests iterate this so a new metric
@@ -152,5 +161,8 @@ pub mod names {
         OPT_WINNER_HITS,
         OPT_FEEDBACK_APPLIED,
         OPT_FEEDBACK_CORRECTIONS,
+        PART_PRUNED,
+        PART_SCANNED,
+        PART_TOTAL,
     ];
 }

@@ -11,6 +11,7 @@
 //! work stealing split the morsels, so the output is **deterministic**
 //! (and emitted in ascending key order) for any thread count.
 
+use crate::morsel::{morsels, morsels_within, Morsel};
 use crate::pool::ThreadPool;
 use dqo_exec::aggregate::Aggregator;
 use dqo_exec::grouping::{hg, GroupedResult};
@@ -47,6 +48,49 @@ pub fn parallel_grouping<A: Aggregator>(
     strategy: GroupingStrategy,
     morsel_rows: usize,
 ) -> Result<(GroupedResult<A::State>, PipelineStats), ExecError> {
+    grouping_over(
+        pool,
+        keys,
+        values,
+        agg,
+        strategy,
+        &morsels(keys.len(), morsel_rows),
+    )
+}
+
+/// Partition-native [`parallel_grouping`]: morsels are generated within
+/// the segment `bounds` (see [`crate::morsel::morsels_within`]) so no
+/// work unit mixes rows from two partitions. Because the aggregate is
+/// decomposable and the merge is key-ordered, the result is bit-identical
+/// to [`parallel_grouping`] for any bounds — the segmentation only
+/// changes which rows travel together.
+pub fn parallel_grouping_segmented<A: Aggregator>(
+    pool: &ThreadPool,
+    keys: &[u32],
+    values: &[u32],
+    agg: A,
+    strategy: GroupingStrategy,
+    bounds: &[usize],
+    morsel_rows: usize,
+) -> Result<(GroupedResult<A::State>, PipelineStats), ExecError> {
+    grouping_over(
+        pool,
+        keys,
+        values,
+        agg,
+        strategy,
+        &morsels_within(bounds, morsel_rows),
+    )
+}
+
+fn grouping_over<A: Aggregator>(
+    pool: &ThreadPool,
+    keys: &[u32],
+    values: &[u32],
+    agg: A,
+    strategy: GroupingStrategy,
+    ms: &[Morsel],
+) -> Result<(GroupedResult<A::State>, PipelineStats), ExecError> {
     assert!(
         A::IS_DECOMPOSABLE,
         "parallel grouping requires a decomposable aggregate"
@@ -60,9 +104,9 @@ pub fn parallel_grouping<A: Aggregator>(
     let mut stats = PipelineStats::default();
     stats.record(Blocking::FullBreaker, keys.len() as u64);
     let result = match strategy {
-        GroupingStrategy::Hash => hash_strategy(pool, keys, values, agg, morsel_rows)?,
+        GroupingStrategy::Hash => hash_strategy(pool, keys, values, agg, ms)?,
         GroupingStrategy::StaticPerfectHash { min, max } => {
-            sph_strategy(pool, keys, values, agg, min, max, morsel_rows)?
+            sph_strategy(pool, keys, values, agg, min, max, ms)?
         }
     };
     // The merge pass is a second breaker. It is accounted at the merged
@@ -81,26 +125,21 @@ fn hash_strategy<A: Aggregator>(
     keys: &[u32],
     values: &[u32],
     agg: A,
-    morsel_rows: usize,
+    ms: &[Morsel],
 ) -> Result<GroupedResult<A::State>, ExecError> {
-    let worker_maps = pool.fold_morsels(
-        keys.len(),
-        morsel_rows,
-        HashMap::<u32, A::State>::new,
-        |map, m| {
-            let local = hg::hash_grouping_chaining(m.of(keys), m.of(values), agg, 64);
-            for (k, s) in local.keys.into_iter().zip(local.states) {
-                match map.entry(k) {
-                    std::collections::hash_map::Entry::Occupied(mut e) => {
-                        agg.merge(e.get_mut(), &s);
-                    }
-                    std::collections::hash_map::Entry::Vacant(e) => {
-                        e.insert(s);
-                    }
+    let worker_maps = pool.fold_morsel_list(ms, HashMap::<u32, A::State>::new, |map, m| {
+        let local = hg::hash_grouping_chaining(m.of(keys), m.of(values), agg, 64);
+        for (k, s) in local.keys.into_iter().zip(local.states) {
+            match map.entry(k) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    agg.merge(e.get_mut(), &s);
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(s);
                 }
             }
-        },
-    )?;
+        }
+    })?;
     let mut merged: BTreeMap<u32, A::State> = BTreeMap::new();
     for map in worker_maps {
         for (k, s) in map {
@@ -139,7 +178,7 @@ fn sph_strategy<A: Aggregator>(
     agg: A,
     min: u32,
     max: u32,
-    morsel_rows: usize,
+    ms: &[Morsel],
 ) -> Result<GroupedResult<A::State>, ExecError> {
     if max < min {
         return Err(ExecError::PreconditionViolated {
@@ -148,9 +187,8 @@ fn sph_strategy<A: Aggregator>(
         });
     }
     let domain = (u64::from(max) - u64::from(min) + 1) as usize;
-    let partials = pool.fold_morsels(
-        keys.len(),
-        morsel_rows,
+    let partials = pool.fold_morsel_list(
+        ms,
         || SphPartial {
             slots: vec![A::State::default(); domain],
             occupied: vec![false; domain],
@@ -242,6 +280,38 @@ mod tests {
             assert_eq!(r, serial, "threads={threads}");
             assert!(stats.breakers >= 2);
         }
+    }
+
+    #[test]
+    fn segmented_grouping_is_bit_identical_to_plain() {
+        let (keys, vals) = dataset(40_000, 53);
+        let pool = ThreadPool::new(4);
+        let (plain, _) =
+            parallel_grouping(&pool, &keys, &vals, CountSum, GroupingStrategy::Hash, 512).unwrap();
+        // Uneven partition-style segments, including an empty one.
+        let bounds = [0usize, 1, 1, 7_000, 19_999, 40_000];
+        let (seg, _) = parallel_grouping_segmented(
+            &pool,
+            &keys,
+            &vals,
+            CountSum,
+            GroupingStrategy::Hash,
+            &bounds,
+            512,
+        )
+        .unwrap();
+        assert_eq!(seg, plain);
+        let (seg_sph, _) = parallel_grouping_segmented(
+            &pool,
+            &keys,
+            &vals,
+            CountSum,
+            GroupingStrategy::StaticPerfectHash { min: 0, max: 52 },
+            &bounds,
+            512,
+        )
+        .unwrap();
+        assert_eq!(seg_sph, plain);
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! Output pairs are concatenated in probe-morsel order, so results are
 //! byte-identical across runs and thread counts.
 
+use crate::morsel::{morsels, morsels_within, Morsel};
 use crate::pool::ThreadPool;
 use dqo_exec::join::sphj::SphIndex;
 use dqo_exec::join::JoinResult;
@@ -49,6 +50,44 @@ pub fn parallel_hash_join(
     right: &[u32],
     morsel_rows: usize,
 ) -> Result<(JoinResult, PipelineStats), ExecError> {
+    hash_join_over(
+        pool,
+        left,
+        right,
+        &morsels(left.len(), morsel_rows),
+        morsel_rows,
+    )
+}
+
+/// Partition-native [`parallel_hash_join`]: the **build side** is
+/// scattered morsel-by-morsel within the segment `build_bounds` (one
+/// segment per surviving base-table partition range), so no build work
+/// unit mixes rows from two partitions. Probe-side morsels and the
+/// output are unchanged — morsel-order concatenation keeps the result
+/// bit-identical to [`parallel_hash_join`] for any bounds.
+pub fn parallel_hash_join_segmented(
+    pool: &ThreadPool,
+    left: &[u32],
+    right: &[u32],
+    build_bounds: &[usize],
+    morsel_rows: usize,
+) -> Result<(JoinResult, PipelineStats), ExecError> {
+    hash_join_over(
+        pool,
+        left,
+        right,
+        &morsels_within(build_bounds, morsel_rows),
+        morsel_rows,
+    )
+}
+
+fn hash_join_over(
+    pool: &ThreadPool,
+    left: &[u32],
+    right: &[u32],
+    build_ms: &[Morsel],
+    morsel_rows: usize,
+) -> Result<(JoinResult, PipelineStats), ExecError> {
     let mut stats = PipelineStats::default();
     let p = partition_count(pool);
     let mask = p - 1;
@@ -56,7 +95,7 @@ pub fn parallel_hash_join(
     // Phase 1 — parallel partition: each morsel scatters its (key, row)
     // pairs into P local buckets; morsel order keeps the concatenation
     // deterministic.
-    let morsel_buckets = pool.map_morsels(left.len(), morsel_rows, |m| {
+    let morsel_buckets = pool.map_morsel_list(build_ms, |m| {
         let mut buckets: Vec<Vec<(u32, u32)>> = vec![Vec::new(); p];
         for (i, &k) in m.of(left).iter().enumerate() {
             buckets[partition_of(k, mask)].push((k, (m.start + i) as u32));
@@ -176,6 +215,19 @@ mod tests {
             let (r, _) = parallel_sph_join(&pool, &left, &right, 0, 31, 64).unwrap();
             assert_eq!(r.normalised_pairs(), oracle, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn segmented_build_is_bit_identical_to_plain() {
+        let left = dataset(5_000, 40);
+        let right = dataset(7_000, 40);
+        let pool = ThreadPool::new(8);
+        let (plain, _) = parallel_hash_join(&pool, &left, &right, 128).unwrap();
+        // Partition-style build segments, uneven and with an empty one.
+        let bounds = [0usize, 613, 613, 1_999, 5_000];
+        let (seg, _) = parallel_hash_join_segmented(&pool, &left, &right, &bounds, 128).unwrap();
+        assert_eq!(seg.left_rows, plain.left_rows);
+        assert_eq!(seg.right_rows, plain.right_rows);
     }
 
     #[test]

@@ -69,11 +69,13 @@ pub mod sort;
 pub use admission::{AdmissionController, AdmissionPermit};
 pub use av_build::{parallel_gather, parallel_sph_index_build};
 pub use filter::{parallel_compare_mask, parallel_mask};
-pub use grouping::{parallel_grouping, GroupingStrategy};
-pub use join::{parallel_hash_join, parallel_sph_join};
-pub use morsel::{morsels, Morsel, DEFAULT_MORSEL_ROWS};
+pub use grouping::{parallel_grouping, parallel_grouping_segmented, GroupingStrategy};
+pub use join::{parallel_hash_join, parallel_hash_join_segmented, parallel_sph_join};
+pub use morsel::{morsels, morsels_within, Morsel, DEFAULT_MORSEL_ROWS};
 pub use persistent::{default_threads, BatchHandle, PersistentPool};
 pub use pool::{BatchObs, PoolError, ThreadPool};
 pub use sort::{
-    parallel_argsort, parallel_sog, parallel_sort_index, parallel_sort_merge_join, RunSortMolecule,
+    parallel_argsort, parallel_argsort_segmented, parallel_sog, parallel_sog_segmented,
+    parallel_sort_index, parallel_sort_index_segmented, parallel_sort_merge_join,
+    parallel_sort_merge_join_segmented, RunSortMolecule,
 };

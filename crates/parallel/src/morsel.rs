@@ -50,6 +50,31 @@ pub fn morsels(rows: usize, morsel_rows: usize) -> Vec<Morsel> {
         .collect()
 }
 
+/// Chop each segment `[bounds[i], bounds[i + 1])` into morsels of at most
+/// `morsel_rows` rows, in row order, such that **no morsel crosses a
+/// segment boundary**. `bounds` must be non-decreasing offsets starting
+/// at the first row and ending one past the last (empty segments yield no
+/// morsels). With `bounds == [0, rows]` this is exactly [`morsels`].
+///
+/// This is how partitioned scans seed partition-native parallel work:
+/// one segment per surviving partition range, so per-morsel kernels
+/// (filter masks, grouping partials, hash-join build scatter) never mix
+/// rows from two partitions inside one work unit.
+pub fn morsels_within(bounds: &[usize], morsel_rows: usize) -> Vec<Morsel> {
+    let step = morsel_rows.max(1);
+    let mut out = Vec::new();
+    for w in bounds.windows(2) {
+        let (seg_start, seg_end) = (w[0], w[1]);
+        let mut start = seg_start;
+        while start < seg_end {
+            let end = (start + step).min(seg_end);
+            out.push(Morsel { start, end });
+            start = end;
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -81,6 +106,38 @@ mod tests {
         assert_eq!(ms[0].len(), 5);
         // Degenerate morsel size is clamped to 1 rather than looping forever.
         assert_eq!(morsels(3, 0).len(), 3);
+    }
+
+    #[test]
+    fn morsels_within_never_cross_segment_boundaries() {
+        let ms = morsels_within(&[0, 250, 1000], 300);
+        // Segment [0,250) → one morsel; [250,1000) → 300/300/150.
+        assert_eq!(
+            ms,
+            vec![
+                Morsel { start: 0, end: 250 },
+                Morsel {
+                    start: 250,
+                    end: 550
+                },
+                Morsel {
+                    start: 550,
+                    end: 850
+                },
+                Morsel {
+                    start: 850,
+                    end: 1000
+                },
+            ]
+        );
+        let total: usize = ms.iter().map(Morsel::len).sum();
+        assert_eq!(total, 1000);
+        // Degenerate: one segment reduces to plain morsels; empty
+        // segments contribute nothing.
+        assert_eq!(morsels_within(&[0, 1000], 300), morsels(1000, 300));
+        assert_eq!(morsels_within(&[0, 0, 5, 5, 5], 2).len(), 3);
+        assert!(morsels_within(&[0], 64).is_empty());
+        assert!(morsels_within(&[], 64).is_empty());
     }
 
     #[test]

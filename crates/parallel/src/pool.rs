@@ -210,7 +210,18 @@ impl ThreadPool {
         T: Send,
         F: Fn(Morsel) -> T + Sync,
     {
-        let ms = morsels(rows, morsel_rows);
+        self.map_morsel_list(&morsels(rows, morsel_rows), f)
+    }
+
+    /// Map an explicit morsel list through `f`, results in list order —
+    /// the partition-native entry point: callers build the list with
+    /// [`crate::morsel::morsels_within`] so no morsel spans a partition
+    /// boundary.
+    pub fn map_morsel_list<T, F>(&self, ms: &[Morsel], f: F) -> Result<Vec<T>, PoolError>
+    where
+        T: Send,
+        F: Fn(Morsel) -> T + Sync,
+    {
         self.map_tasks(ms.len(), |t| f(ms[t]))
     }
 
@@ -259,7 +270,24 @@ impl ThreadPool {
         I: Fn() -> S + Sync,
         F: Fn(&mut S, Morsel) + Sync,
     {
-        let ms = morsels(rows, morsel_rows);
+        self.fold_morsel_list(&morsels(rows, morsel_rows), init, step)
+    }
+
+    /// [`ThreadPool::fold_morsels`] over an explicit morsel list — the
+    /// partition-native twin of [`ThreadPool::map_morsel_list`]. The same
+    /// determinism caveat applies: downstream merges must be insensitive
+    /// to which slot folded which morsel.
+    pub fn fold_morsel_list<S, I, F>(
+        &self,
+        ms: &[Morsel],
+        init: I,
+        step: F,
+    ) -> Result<Vec<S>, PoolError>
+    where
+        S: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, Morsel) + Sync,
+    {
         let workers = self.dop.min(ms.len().max(1));
         let states: Vec<Mutex<Option<S>>> = (0..workers).map(|_| Mutex::new(None)).collect();
         self.run_batch(ms.len(), |w, t| {

@@ -66,14 +66,53 @@ pub fn parallel_sort_index(
     molecule: RunSortMolecule,
 ) -> Result<(Vec<(u32, u32)>, PipelineStats), PoolError> {
     let n = keys.len();
+    let runs_n = pool.threads().min(n.div_ceil(MIN_RUN_ROWS)).max(1);
+    // Block boundaries depend only on (n, runs_n), never on scheduling.
+    let bounds: Vec<usize> = (0..=runs_n).map(|r| r * n / runs_n).collect();
+    sort_index_over(pool, keys, molecule, &bounds)
+}
+
+/// Partition-native [`parallel_sort_index`]: run formation uses the
+/// given segment `bounds` — one sorted run per surviving base-table
+/// partition range — instead of an even split, so no run ever crosses a
+/// partition boundary. The Merge Path merge is correct and deterministic
+/// for **any** run bounds, so the output is bit-identical to
+/// [`parallel_sort_index`] (and to serial argsort) regardless of how the
+/// input was segmented. Degenerate bounds (not spanning `0..n`) fall
+/// back to the even split.
+pub fn parallel_sort_index_segmented(
+    pool: &ThreadPool,
+    keys: &[u32],
+    molecule: RunSortMolecule,
+    bounds: &[usize],
+) -> Result<(Vec<(u32, u32)>, PipelineStats), PoolError> {
+    let n = keys.len();
+    // Drop empty segments; they would become empty runs in the merge.
+    let mut b: Vec<usize> = Vec::with_capacity(bounds.len());
+    for &x in bounds {
+        if b.last() != Some(&x) {
+            b.push(x);
+        }
+    }
+    if b.len() < 2 || b.first() != Some(&0) || b.last() != Some(&n) {
+        return parallel_sort_index(pool, keys, molecule);
+    }
+    sort_index_over(pool, keys, molecule, &b)
+}
+
+fn sort_index_over(
+    pool: &ThreadPool,
+    keys: &[u32],
+    molecule: RunSortMolecule,
+    bounds: &[usize],
+) -> Result<(Vec<(u32, u32)>, PipelineStats), PoolError> {
+    let n = keys.len();
     let mut stats = PipelineStats::default();
     stats.record(Blocking::FullBreaker, n as u64);
-    let runs_n = pool.threads().min(n.div_ceil(MIN_RUN_ROWS)).max(1);
+    let runs_n = bounds.len() - 1;
 
     // Phase 1 — run formation: one contiguous block per run, sorted
-    // locally with the chosen molecule. Block boundaries depend only on
-    // (n, runs_n), never on scheduling.
-    let bounds: Vec<usize> = (0..=runs_n).map(|r| r * n / runs_n).collect();
+    // locally with the chosen molecule.
     let runs: Vec<Vec<(u32, u32)>> = pool.map_tasks(runs_n, |r| {
         let (start, end) = (bounds[r], bounds[r + 1]);
         let mut pairs: Vec<(u32, u32)> = keys[start..end]
@@ -153,6 +192,19 @@ pub fn parallel_argsort(
     Ok((pairs.into_iter().map(|(_, row)| row).collect(), stats))
 }
 
+/// Partition-native [`parallel_argsort`]: one run per segment of
+/// `bounds` (see [`parallel_sort_index_segmented`]). Bit-identical to
+/// the plain variant at every DOP.
+pub fn parallel_argsort_segmented(
+    pool: &ThreadPool,
+    keys: &[u32],
+    molecule: RunSortMolecule,
+    bounds: &[usize],
+) -> Result<(Vec<u32>, PipelineStats), PoolError> {
+    let (pairs, stats) = parallel_sort_index_segmented(pool, keys, molecule, bounds)?;
+    Ok((pairs.into_iter().map(|(_, row)| row).collect(), stats))
+}
+
 /// Parallel SOG: parallel sort of the grouping key, then range-parallel
 /// run aggregation with deterministic run-boundary stitching. Requires a
 /// decomposable aggregate (merging the two partial states of a group
@@ -167,6 +219,29 @@ pub fn parallel_sog<A: Aggregator>(
     agg: A,
     molecule: RunSortMolecule,
 ) -> Result<(GroupedResult<A::State>, PipelineStats), ExecError> {
+    check_sog_inputs::<A>(keys, values)?;
+    let (sorted, stats) = parallel_sort_index(pool, keys, molecule)?;
+    sog_finish(pool, values, agg, sorted, stats)
+}
+
+/// Partition-native [`parallel_sog`]: the sort phase seeds one run per
+/// segment of `bounds` (see [`parallel_sort_index_segmented`]); the
+/// range-parallel aggregation over the *sorted* pairs is unchanged.
+/// Bit-identical to the plain variant at every DOP.
+pub fn parallel_sog_segmented<A: Aggregator>(
+    pool: &ThreadPool,
+    keys: &[u32],
+    values: &[u32],
+    agg: A,
+    molecule: RunSortMolecule,
+    bounds: &[usize],
+) -> Result<(GroupedResult<A::State>, PipelineStats), ExecError> {
+    check_sog_inputs::<A>(keys, values)?;
+    let (sorted, stats) = parallel_sort_index_segmented(pool, keys, molecule, bounds)?;
+    sog_finish(pool, values, agg, sorted, stats)
+}
+
+fn check_sog_inputs<A: Aggregator>(keys: &[u32], values: &[u32]) -> Result<(), ExecError> {
     assert!(
         A::IS_DECOMPOSABLE,
         "parallel SOG requires a decomposable aggregate"
@@ -177,7 +252,16 @@ pub fn parallel_sog<A: Aggregator>(
             values: values.len(),
         });
     }
-    let (sorted, mut stats) = parallel_sort_index(pool, keys, molecule)?;
+    Ok(())
+}
+
+fn sog_finish<A: Aggregator>(
+    pool: &ThreadPool,
+    values: &[u32],
+    agg: A,
+    sorted: Vec<(u32, u32)>,
+    mut stats: PipelineStats,
+) -> Result<(GroupedResult<A::State>, PipelineStats), ExecError> {
     let n = sorted.len();
     let parts = pool.threads().min(n.max(1));
     let bounds: Vec<usize> = (0..=parts).map(|w| w * n / parts).collect();
@@ -246,7 +330,33 @@ pub fn parallel_sort_merge_join(
     right: &[u32],
     molecule: RunSortMolecule,
 ) -> Result<(JoinResult, PipelineStats), ExecError> {
-    let (ls, mut stats) = parallel_sort_index(pool, left, molecule)?;
+    let (ls, stats) = parallel_sort_index(pool, left, molecule)?;
+    soj_finish(pool, ls, right, molecule, stats)
+}
+
+/// Partition-native [`parallel_sort_merge_join`]: the **left (build)
+/// side** is sorted with one run per segment of `left_bounds` (see
+/// [`parallel_sort_index_segmented`]); the right-side sort and the
+/// range-partitioned merge are unchanged. Bit-identical to the plain
+/// variant at every DOP.
+pub fn parallel_sort_merge_join_segmented(
+    pool: &ThreadPool,
+    left: &[u32],
+    right: &[u32],
+    molecule: RunSortMolecule,
+    left_bounds: &[usize],
+) -> Result<(JoinResult, PipelineStats), ExecError> {
+    let (ls, stats) = parallel_sort_index_segmented(pool, left, molecule, left_bounds)?;
+    soj_finish(pool, ls, right, molecule, stats)
+}
+
+fn soj_finish(
+    pool: &ThreadPool,
+    ls: Vec<(u32, u32)>,
+    right: &[u32],
+    molecule: RunSortMolecule,
+    mut stats: PipelineStats,
+) -> Result<(JoinResult, PipelineStats), ExecError> {
     let (rs, right_stats) = parallel_sort_index(pool, right, molecule)?;
     stats.merge(&right_stats);
 
@@ -275,7 +385,7 @@ pub fn parallel_sort_merge_join(
         let r_end = rs.partition_point(|p| p.0 <= hi);
         merge_join_views(&ls[a..b], &rs[r_start..r_end])
     })?;
-    stats.record(Blocking::FullBreaker, (left.len() + right.len()) as u64);
+    stats.record(Blocking::FullBreaker, (n + right.len()) as u64);
 
     let mut result = JoinResult {
         left_rows: Vec::new(),
@@ -331,6 +441,49 @@ mod tests {
         let mut rows: Vec<u32> = pairs.iter().map(|p| p.1).collect();
         rows.sort_unstable();
         assert!(rows.iter().enumerate().all(|(i, &r)| i as u32 == r));
+    }
+
+    #[test]
+    fn segmented_runs_are_bit_identical_to_plain() {
+        let keys = dataset(60_000, 37, 5);
+        let serial = argsort(&keys);
+        let pool = ThreadPool::new(8);
+        // Partition-style run bounds: uneven, with an empty segment.
+        let bounds = [0usize, 9_001, 9_001, 17_432, 60_000];
+        for molecule in MOLECULES {
+            let (par, _) = parallel_argsort_segmented(&pool, &keys, molecule, &bounds).unwrap();
+            assert_eq!(par, serial, "{molecule:?}");
+        }
+        // Degenerate bounds fall back to the even split.
+        let (par, _) =
+            parallel_argsort_segmented(&pool, &keys, RunSortMolecule::Comparison, &[3, 7]).unwrap();
+        assert_eq!(par, serial);
+
+        let vals = dataset(60_000, 900, 8);
+        let serial_sog = sort_order_grouping(&keys, &vals, CountSum);
+        let (sog, _) = parallel_sog_segmented(
+            &pool,
+            &keys,
+            &vals,
+            CountSum,
+            RunSortMolecule::Comparison,
+            &bounds,
+        )
+        .unwrap();
+        assert_eq!(sog, serial_sog);
+
+        let right = dataset(10_000, 40, 2);
+        let serial_soj = sort_merge_join(&keys, &right);
+        let (soj, _) = parallel_sort_merge_join_segmented(
+            &pool,
+            &keys,
+            &right,
+            RunSortMolecule::Comparison,
+            &bounds,
+        )
+        .unwrap();
+        assert_eq!(soj.left_rows, serial_soj.left_rows);
+        assert_eq!(soj.right_rows, serial_soj.right_rows);
     }
 
     #[test]

@@ -60,6 +60,20 @@ pub enum PhysicalPlan {
         /// Catalog table name.
         table: String,
     },
+    /// Scan of a partitioned base table restricted to the surviving
+    /// partitions. `parts` holds the surviving partition ids ascending;
+    /// `total` the table's partition count, so `parts.len() < total`
+    /// means the pruning rule dropped partitions. Rows are emitted in
+    /// **flat row order** (the partition-major placement order), keeping
+    /// results bit-identical to a plain `Scan` of the same table.
+    PartitionedScan {
+        /// Catalog table name.
+        table: String,
+        /// Surviving partition ids, ascending.
+        parts: Vec<usize>,
+        /// The table's total partition count.
+        total: usize,
+    },
     /// Selection.
     Filter {
         /// Input plan.
@@ -137,7 +151,7 @@ impl PhysicalPlan {
     /// Children of this node.
     pub fn children(&self) -> Vec<&PhysicalPlan> {
         match self {
-            PhysicalPlan::Scan { .. } => vec![],
+            PhysicalPlan::Scan { .. } | PhysicalPlan::PartitionedScan { .. } => vec![],
             PhysicalPlan::Filter { input, .. }
             | PhysicalPlan::Sort { input, .. }
             | PhysicalPlan::GroupBy { input, .. }
@@ -227,6 +241,22 @@ impl PhysicalPlan {
         let pad = "  ".repeat(depth);
         let line = match self {
             PhysicalPlan::Scan { table } => format!("Scan {table}"),
+            PhysicalPlan::PartitionedScan {
+                table,
+                parts,
+                total,
+            } => {
+                if parts.len() == *total {
+                    format!("PartitionedScan {table} parts={}/{total}", parts.len())
+                } else {
+                    let list: Vec<String> = parts.iter().map(|p| p.to_string()).collect();
+                    format!(
+                        "PartitionedScan {table} parts={}/{total} [{}]",
+                        parts.len(),
+                        list.join(",")
+                    )
+                }
+            }
             PhysicalPlan::Filter { predicate, .. } => format!("Filter {predicate}"),
             PhysicalPlan::Sort { key, molecule, .. } => format!("Sort by {key} [{molecule}]"),
             PhysicalPlan::Join {
@@ -374,6 +404,27 @@ mod tests {
         for (i, line) in text.lines().enumerate() {
             assert!(line.ends_with(&format!("#{i}")), "line {i}: {line}");
         }
+    }
+
+    #[test]
+    fn partitioned_scan_explain_elides_full_survivor_lists() {
+        let pruned = PhysicalPlan::PartitionedScan {
+            table: "t".into(),
+            parts: vec![0, 2],
+            total: 4,
+        };
+        assert_eq!(
+            pruned.explain().trim_end(),
+            "PartitionedScan t parts=2/4 [0,2]"
+        );
+        let full = PhysicalPlan::PartitionedScan {
+            table: "t".into(),
+            parts: vec![0, 1, 2, 3],
+            total: 4,
+        };
+        assert_eq!(full.explain().trim_end(), "PartitionedScan t parts=4/4");
+        assert!(full.children().is_empty());
+        assert!(full.algo_signature().is_empty());
     }
 
     #[test]

@@ -25,6 +25,7 @@ pub mod csv;
 pub mod datagen;
 pub mod dictionary;
 pub mod error;
+pub mod partition;
 pub mod properties;
 pub mod relation;
 pub mod rowcodec;
@@ -36,6 +37,9 @@ pub use column::Column;
 pub use datagen::{DatasetSpec, ForeignKeySpec};
 pub use dictionary::Dictionary;
 pub use error::StorageError;
+pub use partition::{
+    PartitionMeta, PartitionScheme, PartitionSpec, PartitionedRelation, Partitioning,
+};
 pub use properties::{DataProps, Density, Sortedness};
 pub use relation::{AppendedRelation, Relation};
 pub use schema::{Field, Schema};

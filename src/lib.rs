@@ -163,6 +163,18 @@ impl Dqo {
         self.engine.register_table(name, relation);
     }
 
+    /// Register a partitioned table: queries plan partition-pruned
+    /// `PartitionedScan` nodes and parallel operators seed
+    /// partition-native work, with results bit-identical to the same
+    /// data registered flat.
+    pub fn register_table_partitioned(
+        &self,
+        name: impl Into<String>,
+        partitioned: dqo_storage::PartitionedRelation,
+    ) {
+        self.engine.register_table_partitioned(name, partitioned);
+    }
+
     /// Load a CSV file (header + typed inference; strings are
     /// dictionary-encoded into dense codes) and register it as `name`.
     pub fn load_csv(

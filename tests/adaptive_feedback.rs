@@ -130,6 +130,71 @@ fn misestimated_filter_learns_a_correction_and_improves_the_plan() {
     assert!(snap.gauge(names::OPT_GROUPS).unwrap_or(0) > 0);
 }
 
+/// Corrections learned over a **pruned partitioned scan** are stamped
+/// with the surviving partitions' stats version: an append into a
+/// pruned-away partition leaves the correction live (the survivors'
+/// snapshot is unchanged), while an append into a surviving partition
+/// invalidates it — the estimate falls back to the uniform base until
+/// the shape is relearned.
+#[test]
+fn partition_stamped_corrections_survive_appends_to_pruned_partitions() {
+    use dqo::storage::{PartitionSpec, PartitionedRelation, Value};
+
+    // Partition 0 holds the skewed mass (keys < 512), partition 1 a
+    // small uniform tail (keys 512..1024). `key = 0` prunes to p0 only.
+    let mut keys = vec![0u32; 299_489];
+    keys.extend(1..512u32);
+    keys.extend((0..1_000).map(|i| 512 + (i % 512)));
+    let pr = PartitionedRelation::new(
+        Relation::single_u32("key", keys),
+        PartitionSpec::range("key", vec![512]),
+    )
+    .unwrap();
+
+    let engine = Engine::new().with_threads(4).with_tracing(true);
+    engine.register_table_partitioned("t", pr);
+    let q = skewed_query();
+    let explain = engine.plan(&q).unwrap().plan.explain();
+    assert!(explain.contains("parts=1/2"), "plan must prune:\n{explain}");
+
+    // Learn: traced execution of the wildly mis-estimated `key = 0`.
+    let est_base = filter_estimate(&engine, &engine.plan(&q).unwrap().plan);
+    engine.query(&q).unwrap();
+    assert_eq!(engine.feedback().len(), 1);
+    let est_corrected = filter_estimate(&engine, &engine.plan(&q).unwrap().plan);
+    assert!(
+        est_corrected >= est_base * 10,
+        "correction must lift the estimate: {est_base} → {est_corrected}"
+    );
+
+    // Append into the pruned-away partition 1: the survivors' snapshot
+    // is untouched, so the correction keeps applying.
+    engine.insert("t", &[vec![Value::U32(700)]]).unwrap();
+    let est_after_pruned_append = filter_estimate(&engine, &engine.plan(&q).unwrap().plan);
+    assert_eq!(
+        est_after_pruned_append, est_corrected,
+        "append to a pruned-away partition must not invalidate the correction"
+    );
+
+    // Append into surviving partition 0: the stamp is stale — the
+    // estimate reverts to the uniform base until relearned.
+    engine.insert("t", &[vec![Value::U32(5)]]).unwrap();
+    let est_after_survivor_append = filter_estimate(&engine, &engine.plan(&q).unwrap().plan);
+    assert!(
+        est_after_survivor_append < est_corrected / 10,
+        "append to a surviving partition must invalidate the correction: \
+         {est_corrected} → {est_after_survivor_append}"
+    );
+
+    // Relearning closes the loop again.
+    engine.query(&q).unwrap();
+    let est_relearned = filter_estimate(&engine, &engine.plan(&q).unwrap().plan);
+    assert!(
+        est_relearned >= est_base * 10,
+        "re-execution must relearn the correction, got {est_relearned}"
+    );
+}
+
 #[test]
 fn well_estimated_workloads_never_enter_the_store() {
     // Uniform data: estimates are accurate, so feedback stays empty and

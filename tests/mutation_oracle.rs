@@ -20,9 +20,11 @@
 use dqo::core::av::{materialise_av, AvArtifact, AvKind, AvSignature};
 use dqo::core::{Catalog, DeltaAction, Engine};
 use dqo::obs::{names, MetricsRegistry};
-use dqo::plan::expr::AggExpr;
+use dqo::plan::expr::{AggExpr, CmpOp, Predicate};
 use dqo::plan::{AggFunc, LogicalPlan};
-use dqo::storage::{Column, DataType, Field, Relation, Schema, Value};
+use dqo::storage::{
+    Column, DataType, Field, PartitionSpec, PartitionedRelation, Relation, Schema, Value,
+};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -344,6 +346,109 @@ fn sph_domain_widening_rebuilds_in_background() {
     assert_matches_rebuild(&engine, "post-widening");
     let snap = registry.snapshot();
     assert!(snap.counter(names::AV_DELTA_REBUILDS).unwrap_or(0) >= 1);
+}
+
+/// Per-partition appends on a range-partitioned base: the partitioning
+/// metadata refreshes in place (append segments on the flat tail, no
+/// re-layout), all three maintained AVs stay bit-identical to cold
+/// rebuilds over the combined flat table, and pruned prepared queries
+/// keep agreeing with the mirror — including batches landing entirely
+/// inside a partition the cached pruned plan excludes. Appends move the
+/// data clock only, so each prepared shape plans cold exactly once.
+#[test]
+fn partitioned_appends_keep_avs_bit_identical_and_pruning_sound() {
+    let mut state = 0xA11CEu64;
+    let domain = 32u32;
+    let mut mirror = seed_rows(800, domain, &mut state);
+    let registry = Arc::new(MetricsRegistry::new());
+    let engine = Engine::new()
+        .with_threads(2)
+        .with_metrics_registry(Arc::clone(&registry));
+    // Four range partitions of eight keys each.
+    let pr = PartitionedRelation::new(
+        dense_table(&mirror),
+        PartitionSpec::range("key", vec![8, 16, 24]),
+    )
+    .expect("partitioned relation");
+    engine.register_table_partitioned("t", pr);
+    let sigs: Vec<AvSignature> = ALL_KINDS
+        .iter()
+        .map(|&kind| AvSignature::new("t", "key", kind))
+        .collect();
+    engine.av_builder().build_batch(&sigs).expect("AV build");
+
+    let full = count_sum_query();
+    let pruned = LogicalPlan::group_by(
+        LogicalPlan::filter(
+            LogicalPlan::scan("t"),
+            Predicate::cmp("key", CmpOp::Lt, 8u32),
+        ),
+        "key",
+        vec![
+            AggExpr::count_star("count"),
+            AggExpr::on(AggFunc::Sum, "key", "sum"),
+        ],
+    );
+    let full_prepared = engine.prepare(&full);
+    let pruned_prepared = engine.prepare(&pruned);
+    let check = |mirror: &[(u32, u32)], ctx: &str| {
+        let out = engine
+            .execute_prepared(&full_prepared, &full)
+            .expect("full");
+        assert_eq!(
+            result_groups(&out.output.relation),
+            mirror_groups(mirror),
+            "{ctx}: full query diverged from mirror"
+        );
+        let out = engine
+            .execute_prepared(&pruned_prepared, &pruned)
+            .expect("pruned");
+        let low: Vec<(u32, u32)> = mirror.iter().filter(|(k, _)| *k < 8).copied().collect();
+        assert_eq!(
+            result_groups(&out.output.relation),
+            mirror_groups(&low),
+            "{ctx}: pruned query diverged from mirror"
+        );
+    };
+
+    check(&mirror, "pre-append");
+    // One batch aimed at each partition in turn — partition 0 survives
+    // the pruned plan, partitions 1–3 are exactly the pruned-away ones.
+    for (op, part) in [0u32, 2, 1, 3, 0, 3].into_iter().enumerate() {
+        let rows: Vec<(u32, u32)> = (0..24)
+            .map(|_| {
+                (
+                    part * 8 + next(&mut state) as u32 % 8,
+                    next(&mut state) as u32 % 1_000,
+                )
+            })
+            .collect();
+        insert(&engine, &mut mirror, &rows);
+        let ctx = format!("append {op} into partition {part}");
+        assert_matches_rebuild(&engine, &ctx);
+        // Partitioning metadata stayed consistent with the flat table.
+        let partitioning = engine
+            .catalog()
+            .partitioning_of("t")
+            .expect("still partitioned");
+        assert_eq!(
+            partitioning.rows_in(&[0, 1, 2, 3]),
+            mirror.len(),
+            "{ctx}: partition row counts drifted"
+        );
+        check(&mirror, &ctx);
+    }
+
+    let snap = registry.snapshot();
+    assert_eq!(
+        snap.counter(names::PLAN_CACHE_MISSES),
+        Some(2),
+        "appends must not flush the plan cache (one cold plan per shape)"
+    );
+    assert!(
+        snap.counter(names::PART_PRUNED).unwrap_or(0) > 0,
+        "the filtered prepared plan must actually prune"
+    );
 }
 
 /// In-domain appends take the CSR patch path (no rebuild) and still

@@ -48,6 +48,20 @@ fn corpus_catalog() -> Catalog {
     let (r, s) = ForeignKeySpec::default().generate().unwrap();
     cat.register("R", r);
     cat.register("S", s);
+    // An 8-way range-partitioned twin of `big` (bounds every 64 keys):
+    // partitioned-scan plans, pruned and unpruned, pin here too.
+    let part_base = DatasetSpec::new(200_000, 512)
+        .dense(true)
+        .relation()
+        .unwrap();
+    cat.register_partitioned(
+        "part",
+        dqo::storage::PartitionedRelation::new(
+            part_base,
+            dqo::storage::PartitionSpec::range("key", (1..8).map(|i| i * 64).collect()),
+        )
+        .unwrap(),
+    );
     cat
 }
 
@@ -154,6 +168,31 @@ fn corpus_queries() -> Vec<(&'static str, Arc<LogicalPlan>)> {
         (
             "large sort",
             LogicalPlan::sort(LogicalPlan::scan("big"), "key"),
+        ),
+        (
+            "partitioned group-by (unpruned)",
+            LogicalPlan::group_by(LogicalPlan::scan("part"), "key", count()),
+        ),
+        (
+            "partitioned pruned filter then group-by",
+            LogicalPlan::group_by(
+                LogicalPlan::filter(
+                    LogicalPlan::scan("part"),
+                    Predicate::cmp("key", CmpOp::Lt, 100u32),
+                ),
+                "key",
+                count(),
+            ),
+        ),
+        (
+            "partitioned pruned sort",
+            LogicalPlan::sort(
+                LogicalPlan::filter(
+                    LogicalPlan::scan("part"),
+                    Predicate::cmp("key", CmpOp::Ge, 448u32),
+                ),
+                "key",
+            ),
         ),
     ]
 }

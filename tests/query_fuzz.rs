@@ -19,7 +19,10 @@ use dqo::core::av::{AvKind, AvSignature};
 use dqo::core::avsp::{Solver, WorkloadQuery};
 use dqo::core::executor::{execute, naive_eval, sorted_rows};
 use dqo::plan::PhysicalPlan;
-use dqo::storage::{Column, DataType, Dictionary, Field, Relation, Schema, Value};
+use dqo::storage::{
+    Column, DataType, Dictionary, Field, PartitionSpec, PartitionedRelation, Relation, Schema,
+    Value,
+};
 use dqo::{Dqo, Engine};
 use proptest::prelude::*;
 use std::sync::Arc;
@@ -143,7 +146,7 @@ fn build_query(shape: u8, preds: &[(u8, u8)], aggs_pick: u8, order: bool) -> Str
 /// random tables.
 fn parallelise(plan: &PhysicalPlan, dop: usize) -> PhysicalPlan {
     match plan {
-        PhysicalPlan::Scan { .. } => plan.clone(),
+        PhysicalPlan::Scan { .. } | PhysicalPlan::PartitionedScan { .. } => plan.clone(),
         PhysicalPlan::Filter { input, predicate } => PhysicalPlan::Exchange {
             input: Box::new(PhysicalPlan::Filter {
                 input: Box::new(parallelise(input, dop)),
@@ -386,6 +389,94 @@ fn check_mixed_rw(
     Ok(())
 }
 
+/// The partitioned arm: re-lay the same random table under a random
+/// partitioning (range or hash, 1–16 parts, on the key or the payload
+/// column) and require
+///
+/// * **naive agreement** — the partitioned engine matches the naive
+///   evaluator over its own flat layout at DOP 1/2/8, and
+/// * **pruning soundness** — an identically partitioned engine with
+///   pruning disabled returns the same result: a partition may be
+///   pruned only if scanning it anyway changes nothing. Queries without
+///   a GROUP BY are compared byte-for-byte (scan/filter pipelines emit
+///   flat row order); grouped queries in sorted canonical form.
+fn check_partitioned(
+    raw: &[(u32, u32, u8)],
+    k_groups: u32,
+    sorted_dict: bool,
+    scheme_pick: u8,
+    parts_pick: u8,
+    on_v: bool,
+    sql: &str,
+) -> std::result::Result<(), String> {
+    let rel = build_table(raw, k_groups, sorted_dict);
+    let parts = [1usize, 2, 3, 5, 16][parts_pick as usize % 5];
+    let (column, domain) = if on_v {
+        ("v", 1_000u32)
+    } else {
+        ("k", k_groups)
+    };
+    let spec = if scheme_pick.is_multiple_of(2) {
+        let mut bounds: Vec<u32> = (1..parts)
+            .map(|i| (u64::from(domain) * i as u64 / parts as u64) as u32)
+            .collect();
+        bounds.dedup();
+        PartitionSpec::range(column, bounds)
+    } else {
+        PartitionSpec::hash(column, parts)
+    };
+    let pr = PartitionedRelation::new(rel, spec.clone())
+        .map_err(|e| format!("partition {spec:?}: {e}"))?;
+
+    let flat_db = Dqo::with_engine(Engine::new().with_threads(1));
+    flat_db.register_table("t", pr.flat().clone());
+    let logical = flat_db
+        .compile(sql)
+        .map_err(|e| format!("compile {sql}: {e}"))?;
+    let naive = naive_eval(&logical, flat_db.engine().catalog())
+        .map_err(|e| format!("naive {sql}: {e}"))?;
+    let expect = sorted_rows(&naive);
+
+    let grouped = sql.contains("GROUP BY");
+    for threads in [1usize, 2, 8] {
+        let on = Dqo::with_engine(Engine::new().with_threads(threads));
+        on.register_table_partitioned("t", pr.clone());
+        let out_on = on
+            .sql(sql)
+            .map_err(|e| format!("threads={threads} {spec:?} {sql}: {e}"))?;
+        if sorted_rows(&out_on.output.relation) != expect {
+            return Err(format!(
+                "partitioned threads={threads} {spec:?} diverges from naive for {sql}\nplan:\n{}",
+                out_on.planned.plan.explain()
+            ));
+        }
+
+        let off = Dqo::with_engine(Engine::new().with_threads(threads).with_pruning(false));
+        off.register_table_partitioned("t", pr.clone());
+        let out_off = off
+            .sql(sql)
+            .map_err(|e| format!("pruning-off threads={threads} {spec:?} {sql}: {e}"))?;
+        let (a, b) = (&out_on.output.relation, &out_off.output.relation);
+        let sound = if grouped {
+            sorted_rows(a) == sorted_rows(b)
+        } else {
+            a.rows() == b.rows()
+                && (0..a.schema().width()).all(|c| {
+                    format!("{:?}", a.column_at(c).unwrap())
+                        == format!("{:?}", b.column_at(c).unwrap())
+                })
+        };
+        if !sound {
+            return Err(format!(
+                "pruning unsound at threads={threads} {spec:?} for {sql}\npruned plan:\n{}\nfull plan:\n{}",
+                out_on.planned.plan.explain(),
+                out_off.planned.plan.explain()
+            ));
+        }
+    }
+    Ok(())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(fuzz_cases()))]
 
@@ -402,6 +493,23 @@ proptest! {
         let rel = build_table(&raw, k_groups, sorted_dict);
         let sql = build_query(shape, &preds, aggs_pick, order);
         check_differential(rel, &sql)?;
+    }
+
+    #[test]
+    fn random_partitionings_agree_with_naive_and_prune_soundly(
+        raw in proptest::collection::vec((any::<u32>(), any::<u32>(), any::<u8>()), 0..400),
+        k_groups in 1u32..24,
+        sorted_dict in any::<bool>(),
+        scheme_pick in any::<u8>(),
+        parts_pick in any::<u8>(),
+        on_v in any::<bool>(),
+        shape in any::<u8>(),
+        preds in proptest::collection::vec((any::<u8>(), any::<u8>()), 0..3),
+        aggs_pick in any::<u8>(),
+        order in any::<bool>(),
+    ) {
+        let sql = build_query(shape, &preds, aggs_pick, order);
+        check_partitioned(&raw, k_groups, sorted_dict, scheme_pick, parts_pick, on_v, &sql)?;
     }
 
     #[test]
